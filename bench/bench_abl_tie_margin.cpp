@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablation: how much of the selector's error is *label noise from
+ * near-ties*? Designs 2 and 3 share hardware and tie on balanced
+ * workloads; when the top two designs are within a few percent, the
+ * argmin label is effectively arbitrary, and no classifier can beat the
+ * tie rate. This bench measures (a) the distribution of best-vs-
+ * runner-up margins, (b) accuracy when predictions within an
+ * acceptance margin of optimal count as correct, and (c) the regret
+ * (geomean slowdown vs optimal) of the selector's choices — the metric
+ * that actually matters for performance.
+ *
+ * This contextualizes both our ~89% and the paper's 90%: most residual
+ * error is performance-free.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench/common.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace misam;
+
+int
+main()
+{
+    bench::banner("Ablation — near-tie label noise and selector regret",
+                  "Section 5.1 context");
+
+    const std::size_t n = bench::benchSamples();
+    const bench::TrainedMisam trained = bench::trainMisam(n);
+
+    // Margin distribution: runner-up latency / best latency.
+    std::vector<double> margins;
+    for (const TrainingSample &s : trained.samples) {
+        std::vector<double> lat;
+        for (const SimResult &r : s.results)
+            lat.push_back(r.exec_seconds);
+        std::sort(lat.begin(), lat.end());
+        margins.push_back(lat[1] / lat[0]);
+    }
+    TextTable margin_table({"Best-vs-runner-up margin", "Workloads",
+                            "Share"});
+    const std::vector<std::pair<const char *, std::pair<double, double>>>
+        buckets = {
+            {"< 2% (effective tie)", {1.0, 1.02}},
+            {"2% - 10%", {1.02, 1.10}},
+            {"10% - 50%", {1.10, 1.50}},
+            {"50% - 10x", {1.50, 10.0}},
+            {"> 10x (Design 4 territory)", {10.0, 1e300}},
+        };
+    for (const auto &[label, range] : buckets) {
+        const auto count = static_cast<std::size_t>(std::count_if(
+            margins.begin(), margins.end(), [&](double m) {
+                return m >= range.first && m < range.second;
+            }));
+        margin_table.addRow(
+            {label, std::to_string(count),
+             formatPercent(static_cast<double>(count) / margins.size(),
+                           1)});
+    }
+    std::printf("%s\n", margin_table.render().c_str());
+
+    // Accuracy under an acceptance margin + regret.
+    TextTable acc_table({"Acceptance margin", "Accuracy"});
+    std::vector<double> regret;
+    for (double accept : {1.0, 1.02, 1.05, 1.10}) {
+        std::size_t hits = 0;
+        for (const TrainingSample &s : trained.samples) {
+            const int predicted = static_cast<int>(
+                trained.framework.predictDesign(s.features));
+            const double t_pred =
+                s.results[static_cast<std::size_t>(predicted)]
+                    .exec_seconds;
+            const double t_best =
+                s.results[static_cast<std::size_t>(s.best_design)]
+                    .exec_seconds;
+            if (t_pred <= accept * t_best)
+                ++hits;
+            if (accept == 1.0)
+                regret.push_back(t_pred / t_best);
+        }
+        acc_table.addRow(
+            {accept == 1.0 ? "exact argmin"
+                           : ("within " +
+                              formatPercent(accept - 1.0, 0) +
+                              " of optimal"),
+             formatPercent(static_cast<double>(hits) /
+                               trained.samples.size(),
+                           1)});
+    }
+    std::printf("%s\n", acc_table.render().c_str());
+
+    std::printf("selector regret: geomean %.4fx, p95 %.3fx, max %.2fx "
+                "slowdown vs oracle\n",
+                geomean(regret), quantile(regret, 0.95),
+                maxValue(regret));
+    std::printf("\nreading: a large share of 'errors' sit inside the "
+                "effective-tie band (mostly\nD2 vs D3, which share a "
+                "bitstream anyway), so margin-tolerant accuracy is\n"
+                "several points above argmin accuracy and the geomean "
+                "regret is near 1.0 —\nthe paper's 1.06x misprediction "
+                "cost told the same story.\n");
+    return 0;
+}

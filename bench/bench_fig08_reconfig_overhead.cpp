@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Regenerates paper Figure 8: the reconfiguration-overhead analysis on
+ * the Xilinx U55C. For a sequence of workloads arriving at an FPGA with
+ * some design already loaded, each bar decomposes the time of (a)
+ * staying on the current bitstream versus (b) moving to the workload's
+ * best design, whose cost includes the 3-4 s bitstream switch unless
+ * the designs share a bitstream. The engine's choice is starred; large
+ * streamed workloads (the cg15 case) amortize the switch over many
+ * tiles and reach ~10x, while small ones (apa2/del19) stay put at a
+ * slight (~1.02x) cost versus the theoretical best.
+ *
+ * The latency predictor used here is fit on exactly this workload set's
+ * simulated latencies (the in-distribution case); bench_fig09 evaluates
+ * predictor generalization separately.
+ */
+
+#include <cmath>
+
+#include "bench/common.hh"
+#include "sim/design_sim.hh"
+#include "sparse/convert.hh"
+#include "sparse/generate.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "workloads/suitesparse_synth.hh"
+
+using namespace misam;
+
+namespace {
+
+struct Job
+{
+    std::string name;
+    CsrMatrix a;
+    CsrMatrix b;
+    double repetitions; ///< Tiles the decision amortizes over.
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 8 — reconfiguration overhead analysis",
+                  "Figure 8, Section 5.2 / Section 6.1");
+
+    Rng rng(88);
+    std::vector<Job> jobs;
+
+    // The FPGA starts with Design 2 loaded (a previous dense workload).
+    // First arrival is row-imbalanced: Design 3 is the best design and
+    // shares Design 2's bitstream, so the switch is free (§4).
+    {
+        CsrMatrix a =
+            generateRowImbalanced(4096, 4096, 0.01, 0.02, 24.0, rng);
+        CsrMatrix b = generateDenseCsr(4096, 512, rng);
+        jobs.push_back({"imbalanced (MSxD)", std::move(a),
+                        std::move(b), 1.0});
+    }
+    // Small SpMM workloads whose loaded design is already near-optimal:
+    // gains far too small to justify a 3-4 s switch (the paper's
+    // apa2 / del19 cases).
+    {
+        CsrMatrix a = generatePowerLawGraph(8192, 65536, 2.1, rng);
+        CsrMatrix b = generateDenseCsr(8192, 512, rng);
+        jobs.push_back({"apa2-like (graph HSxD)", std::move(a),
+                        std::move(b), 1.0});
+    }
+    {
+        CsrMatrix a = generateBanded(12288, 12288, 4, 0.8, rng);
+        CsrMatrix b = generateDenseCsr(12288, 512, rng);
+        jobs.push_back({"del19-like (banded HSxD)", std::move(a),
+                        std::move(b), 1.0});
+    }
+    // DNN workload whose optimum is Design 1: the margin over the
+    // loaded design is small, so the engine keeps the bitstream.
+    {
+        CsrMatrix a = generateStructuredPruned(256, 64, 0.2, 8, rng);
+        CsrMatrix b = generateDenseCsr(64, 256, rng);
+        jobs.push_back({"resnet-like (small MSxD)", std::move(a),
+                        std::move(b), 1.0});
+    }
+    // The cg15 case: a very large matrix streamed as row tiles; the
+    // per-tile gain of Design 4 over the loaded SpMM design repeats
+    // across every tile, amortizing the bitstream switch.
+    {
+        const Index big = 262144;
+        CsrMatrix a = generateBanded(big, big, 3, 0.8, rng);
+        // One representative 36k-row tile; the stream has ~7 such.
+        CsrMatrix tile = sliceRows(a, 0, 36864);
+        jobs.push_back({"cg15-like (262k, streamed x7)",
+                        std::move(tile), std::move(a), 7.0});
+    }
+
+    // Simulate every (job, design) pair; these oracle latencies both
+    // feed the table and fit the engine's in-distribution predictor.
+    std::vector<std::array<SimResult, kNumDesigns>> sims;
+    Dataset latency_rows(kAugmentedFeatures);
+    std::vector<FeatureVector> features;
+    for (const Job &j : jobs) {
+        features.push_back(extractFeatures(j.a, j.b));
+        sims.push_back(simulateAllDesigns(j.a, j.b));
+        for (std::size_t d = 0; d < kNumDesigns; ++d) {
+            latency_rows.addSample(
+                augmentFeatures(features.back(), allDesigns()[d]),
+                static_cast<int>(d),
+                std::log2(sims.back()[d].exec_seconds));
+        }
+    }
+    RegressionTree predictor;
+    predictor.fit(latency_rows, {.max_depth = 24, .min_samples_leaf = 1,
+                                 .min_samples_split = 2,
+                                 .min_variance_decrease = 0.0});
+    ReconfigEngine engine(std::move(predictor), {}, DesignId::D2);
+
+    TextTable table({"Workload", "Loaded", "t(current)", "Best",
+                     "t(best)", "switch ovh", "Engine", "Realized",
+                     "Speedup"});
+    std::vector<double> switch_speedups;
+    std::vector<double> stay_slowdowns;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const Job &j = jobs[i];
+        const DesignId loaded = engine.currentDesign();
+        const DesignId best = fastestDesign(sims[i]);
+        const double t_current =
+            sims[i][static_cast<std::size_t>(loaded)].exec_seconds *
+            j.repetitions;
+        const double t_best =
+            sims[i][static_cast<std::size_t>(best)].exec_seconds *
+            j.repetitions;
+        const double overhead =
+            engine.config().time_model.switchSeconds(loaded, best);
+
+        const ReconfigDecision decision =
+            engine.decide(features[i], best, j.repetitions);
+        const double realized =
+            sims[i][static_cast<std::size_t>(decision.chosen)]
+                .exec_seconds *
+                j.repetitions +
+            (decision.reconfigure ? decision.overhead_s : 0.0);
+        const double speedup = t_current / realized;
+        if (decision.chosen != loaded)
+            switch_speedups.push_back(speedup);
+        else
+            stay_slowdowns.push_back(t_best / realized);
+
+        table.addRow(
+            {j.name, designName(loaded), formatDouble(t_current, 3) + "s",
+             designName(best), formatDouble(t_best, 3) + "s",
+             formatDouble(overhead, 2) + "s",
+             std::string(designName(decision.chosen)) +
+                 (decision.chosen != loaded ? " *" : ""),
+             formatDouble(realized, 3) + "s", formatSpeedup(speedup)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    if (!switch_speedups.empty())
+        std::printf("geomean speedup where the engine switched: %s "
+                    "(paper: 2.74x, up to 10.76x on cg15)\n",
+                    formatSpeedup(geomean(switch_speedups)).c_str());
+    if (!stay_slowdowns.empty())
+        std::printf("geomean slowdown vs theoretical best where it "
+                    "stayed: %s (paper: 1.02x)\n",
+                    formatSpeedup(1.0 / geomean(stay_slowdowns))
+                        .c_str());
+    std::printf("\n(D2<->D3 transitions are free: shared bitstream. "
+                "The U55C's 3-4 s full\nreconfiguration makes "
+                "switching worthwhile only when amortized, §6.1.)\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Regenerates paper Figure 10: Misam's performance gain over the CPU
+ * (Intel MKL), GPU (cuSPARSE on an RTX A6000), and Trapezoid across the
+ * five workload categories of the evaluation suite.
+ *
+ * Paper shape to reproduce: largest gains over Trapezoid on HSxMS
+ * (3.23x) and HSxD (5.84x) with near-parity on MSxMS (1.01x); large
+ * gains over the CPU everywhere sparse (5.5-20x); GPU beaten on HSxHS
+ * (1.37x), HSxMS (4.48x) and MSxMS (11.26x) while the GPU keeps dense
+ * work (HSxD/MSxD).
+ */
+
+#include "bench/common.hh"
+#include "util/table.hh"
+
+using namespace misam;
+
+int
+main()
+{
+    bench::banner("Figure 10 — performance gain over CPU/GPU/Trapezoid",
+                  "Figure 10, Section 5.3");
+
+    const std::size_t n = bench::benchSamples();
+    const double scale = bench::benchScale();
+    std::printf("training Misam on %zu workloads, evaluating the "
+                "113-workload suite (HS scale %.2f)...\n\n",
+                n, scale);
+    bench::TrainedMisam trained =
+        bench::trainMisam(n, 7, bench::zeroReconfigCostConfig());
+    const auto suite = bench::benchSuite(scale);
+    const auto rows = bench::evaluateSuite(trained.framework, suite);
+
+    // Geomean speedups per category.
+    std::vector<RunningStats> vs_cpu(kNumCategories);
+    std::vector<RunningStats> vs_gpu(kNumCategories);
+    std::vector<RunningStats> vs_trap(kNumCategories);
+    for (const bench::SuiteEvalRow &row : rows) {
+        const auto cat =
+            static_cast<std::size_t>(row.workload->category);
+        const double misam_s = row.misam.sim.exec_seconds;
+        vs_cpu[cat].add(row.cpu.exec_seconds / misam_s);
+        vs_gpu[cat].add(row.gpu.exec_seconds / misam_s);
+        vs_trap[cat].add(row.trapezoid.exec_seconds / misam_s);
+    }
+
+    TextTable table({"Category", "N", "vs CPU (MKL)", "vs GPU "
+                     "(cuSPARSE)", "vs Trapezoid"});
+    RunningStats all_cpu, all_gpu, all_trap;
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+        if (vs_cpu[c].count() == 0)
+            continue;
+        table.addRow({categoryName(static_cast<WorkloadCategory>(c)),
+                      std::to_string(vs_cpu[c].count()),
+                      formatSpeedup(vs_cpu[c].geomean()),
+                      formatSpeedup(vs_gpu[c].geomean()),
+                      formatSpeedup(vs_trap[c].geomean())});
+    }
+    for (const bench::SuiteEvalRow &row : rows) {
+        const double misam_s = row.misam.sim.exec_seconds;
+        all_cpu.add(row.cpu.exec_seconds / misam_s);
+        all_gpu.add(row.gpu.exec_seconds / misam_s);
+        all_trap.add(row.trapezoid.exec_seconds / misam_s);
+    }
+    table.addRow({"ALL", std::to_string(rows.size()),
+                  formatSpeedup(all_cpu.geomean()),
+                  formatSpeedup(all_gpu.geomean()),
+                  formatSpeedup(all_trap.geomean())});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("paper reference points: vs Trapezoid 3.23x (HSxMS), "
+                "1.01x (MSxMS), 5.84x (HSxD);\nvs CPU 5.50x (HSxHS), "
+                "15.33x (HSxMS), 20.27x (MSxMS); vs GPU 1.37x (HSxHS),"
+                "\n4.48x (HSxMS), 11.26x (MSxMS); GPU keeps dense "
+                "categories.\n\n");
+
+    // Design selection mix per category (the mechanism behind the gains).
+    TextTable mix({"Category", "D1", "D2", "D3", "D4"});
+    std::array<std::array<int, kNumDesigns>, kNumCategories> counts{};
+    for (const bench::SuiteEvalRow &row : rows)
+        ++counts[static_cast<std::size_t>(row.workload->category)]
+                [static_cast<std::size_t>(row.misam.decision.chosen)];
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+        mix.addRow({categoryName(static_cast<WorkloadCategory>(c)),
+                    std::to_string(counts[c][0]),
+                    std::to_string(counts[c][1]),
+                    std::to_string(counts[c][2]),
+                    std::to_string(counts[c][3])});
+    }
+    std::printf("designs Misam chose per category:\n%s",
+                mix.render().c_str());
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Regenerates paper Figure 13: performance of Trapezoid's three
+ * dataflows normalized to the best dataflow per workload. The figure's
+ * point is that even within Trapezoid's own suite no dataflow wins
+ * consistently — different ConvNeXt layers prefer different dataflows —
+ * so the choice needs a systematic selector (§6.3).
+ */
+
+#include <algorithm>
+
+#include "bench/common.hh"
+#include "sparse/generate.hh"
+#include "trapezoid/trapezoid.hh"
+#include "util/table.hh"
+#include "workloads/dnn.hh"
+#include "workloads/suitesparse_synth.hh"
+
+using namespace misam;
+
+int
+main()
+{
+    bench::banner("Figure 13 — Trapezoid's dataflows (norm. to best)",
+                  "Figure 13, Section 6.3");
+
+    Rng rng(13);
+    const double scale = bench::benchScale();
+    std::vector<std::pair<std::string, std::pair<CsrMatrix, CsrMatrix>>>
+        cases;
+
+    // ConvNeXt layers under two activation regimes — the paper's
+    // "different layers of ConvNeXt benefit from different dataflows"
+    // example: dense activations favor the inner product's SIMD
+    // streams, sparse ones favor row-wise.
+    for (const DnnLayer &layer : convnextLayers()) {
+        CsrMatrix w = generatePrunedWeights(layer, 0.2, rng);
+        const bool dense_act = (&layer - convnextLayers().data()) % 2;
+        CsrMatrix act =
+            dense_act
+                ? generateActivations(layer, 512, rng)
+                : generateSparseActivations(layer, 512, 0.3, rng);
+        cases.push_back({layer.model + "/" + layer.name +
+                             (dense_act ? " (dense act)"
+                                        : " (sparse act)"),
+                         {std::move(w), std::move(act)}});
+    }
+    // Highly sparse graph/FEM workloads.
+    for (const char *id : {"p2p", "wiki", "poi", "good"}) {
+        CsrMatrix a = generateSuiteSparseProxy(id, scale, rng);
+        cases.push_back({std::string(id) + "x" + id, {a, a}});
+    }
+    // Dense-leaning workloads where inner product shines.
+    {
+        CsrMatrix a = generateUniform(768, 768, 0.5, rng);
+        CsrMatrix b = generateUniform(768, 768, 0.6, rng);
+        cases.push_back({"dense-ish", {std::move(a), std::move(b)}});
+    }
+
+    TextTable table({"Workload", "Inner", "Outer", "RowWise", "Best"});
+    int wins[3] = {0, 0, 0};
+    for (const auto &[name, ab] : cases) {
+        const auto all = simulateAllTrapezoid(ab.first, ab.second);
+        const double best =
+            std::min({all[0].exec_seconds, all[1].exec_seconds,
+                      all[2].exec_seconds});
+        int best_idx = 0;
+        for (int d = 1; d < 3; ++d)
+            if (all[d].exec_seconds < all[best_idx].exec_seconds)
+                best_idx = d;
+        ++wins[best_idx];
+        table.addRow({name, formatDouble(best / all[0].exec_seconds, 3),
+                      formatDouble(best / all[1].exec_seconds, 3),
+                      formatDouble(best / all[2].exec_seconds, 3),
+                      trapezoidDataflowName(
+                          allTrapezoidDataflows()[best_idx])});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("wins: Inner=%d Outer=%d RowWise=%d — no single "
+                "dataflow dominates,\nmotivating Misam's learned "
+                "selector (bench_sec63).\n",
+                wins[0], wins[1], wins[2]);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * google-benchmark microbenches of the decision path (§5.5): decision-
+ * tree inference (paper: 0.002 ms via a custom unrolled function),
+ * the reconfiguration engine's full decision (paper: 0.005 ms), and
+ * the latency predictor. Times here validate the "inference is ~0.1%
+ * of execution" claim.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/misam.hh"
+#include "sparse/generate.hh"
+#include "workloads/training_data.hh"
+
+namespace misam {
+namespace {
+
+/** One-time trained framework shared by the benches. */
+struct SharedState
+{
+    SharedState()
+    {
+        samples = generateTrainingSamples(
+            {.num_samples = 250, .seed = 55, .max_dim = 512});
+        misam.train(samples);
+        Rng rng(56);
+        const CsrMatrix a = generateUniform(512, 512, 0.05, rng);
+        const CsrMatrix b = generateUniform(512, 512, 0.3, rng);
+        features = extractFeatures(a, b);
+    }
+
+    std::vector<TrainingSample> samples;
+    MisamFramework misam;
+    FeatureVector features;
+};
+
+SharedState &
+shared()
+{
+    static SharedState state;
+    return state;
+}
+
+void
+BM_SelectorInference(benchmark::State &state)
+{
+    SharedState &s = shared();
+    const std::vector<double> row = s.features.toVector();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(s.misam.selector().predict(row));
+}
+BENCHMARK(BM_SelectorInference);
+
+void
+BM_PredictDesign(benchmark::State &state)
+{
+    SharedState &s = shared();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(s.misam.predictDesign(s.features));
+}
+BENCHMARK(BM_PredictDesign);
+
+void
+BM_LatencyPrediction(benchmark::State &state)
+{
+    SharedState &s = shared();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s.misam.engine().predictLatencySeconds(
+            s.features, DesignId::D2));
+    }
+}
+BENCHMARK(BM_LatencyPrediction);
+
+void
+BM_EngineDecision(benchmark::State &state)
+{
+    SharedState &s = shared();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            s.misam.engine().decide(s.features, DesignId::D2));
+    }
+}
+BENCHMARK(BM_EngineDecision);
+
+void
+BM_FeatureVectorCopy(benchmark::State &state)
+{
+    SharedState &s = shared();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(s.features.toVector());
+}
+BENCHMARK(BM_FeatureVectorCopy);
+
+} // namespace
+} // namespace misam

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * google-benchmark microbenches of the software substrate: the three
+ * SpGEMM dataflow kernels, SpMM, feature extraction (the paper's ~2%
+ * preprocessing cost), format conversion, and one cycle-level design
+ * simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "features/features.hh"
+#include "sim/design_sim.hh"
+#include "sparse/convert.hh"
+#include "sparse/generate.hh"
+#include "sparse/spgemm.hh"
+#include "sparse/spmm.hh"
+
+namespace misam {
+namespace {
+
+CsrMatrix
+benchMatrix(Index n, double density, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return generateUniform(n, n, density, rng);
+}
+
+void
+BM_SpgemmRowWise(benchmark::State &state)
+{
+    const auto n = static_cast<Index>(state.range(0));
+    const CsrMatrix a = benchMatrix(n, 0.02, 1);
+    const CsrMatrix b = benchMatrix(n, 0.02, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(spgemmRowWise(a, b));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(spgemmMultiplyCount(a, b)));
+}
+BENCHMARK(BM_SpgemmRowWise)->Arg(256)->Arg(512)->Arg(1024);
+
+void
+BM_SpgemmInnerProduct(benchmark::State &state)
+{
+    const auto n = static_cast<Index>(state.range(0));
+    const CsrMatrix a = benchMatrix(n, 0.02, 3);
+    const CscMatrix b = csrToCsc(benchMatrix(n, 0.02, 4));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(spgemmInnerProduct(a, b));
+}
+BENCHMARK(BM_SpgemmInnerProduct)->Arg(256)->Arg(512);
+
+void
+BM_SpgemmOuterProduct(benchmark::State &state)
+{
+    const auto n = static_cast<Index>(state.range(0));
+    const CscMatrix a = csrToCsc(benchMatrix(n, 0.02, 5));
+    const CsrMatrix b = benchMatrix(n, 0.02, 6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(spgemmOuterProduct(a, b));
+}
+BENCHMARK(BM_SpgemmOuterProduct)->Arg(256)->Arg(512);
+
+void
+BM_Spmm(benchmark::State &state)
+{
+    const auto n = static_cast<Index>(state.range(0));
+    const CsrMatrix a = benchMatrix(n, 0.05, 7);
+    Rng rng(8);
+    const DenseMatrix b = generateDense(n, 128, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(spmm(a, b));
+}
+BENCHMARK(BM_Spmm)->Arg(512)->Arg(1024);
+
+void
+BM_FeatureExtraction(benchmark::State &state)
+{
+    const auto n = static_cast<Index>(state.range(0));
+    const CsrMatrix a = benchMatrix(n, 0.02, 9);
+    const CsrMatrix b = benchMatrix(n, 0.1, 10);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(extractFeatures(a, b));
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(512)->Arg(2048);
+
+void
+BM_CsrToCsc(benchmark::State &state)
+{
+    const auto n = static_cast<Index>(state.range(0));
+    const CsrMatrix a = benchMatrix(n, 0.05, 11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(csrToCsc(a));
+}
+BENCHMARK(BM_CsrToCsc)->Arg(1024)->Arg(4096);
+
+void
+BM_DesignSim(benchmark::State &state)
+{
+    const auto design = static_cast<std::size_t>(state.range(0));
+    const CsrMatrix a = benchMatrix(1024, 0.02, 12);
+    const CsrMatrix b = benchMatrix(1024, 0.1, 13);
+    const CscMatrix a_csc = csrToCsc(a);
+    const DesignConfig &cfg = designConfig(allDesigns()[design]);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(simulateDesign(cfg, a, a_csc, b));
+}
+BENCHMARK(BM_DesignSim)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+} // namespace
+} // namespace misam

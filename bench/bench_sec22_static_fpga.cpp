@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Regenerates the §2.2 motivation: prior FPGA accelerators such as
+ * Sextans (SpMM) and FSpGEMM (SpGEMM) "rely on static configurations or
+ * offline profiling" — a single fixed design for every workload. This
+ * bench compares each fixed-design policy against Misam's learned
+ * selection (and against the oracle) over the evaluation suite,
+ * quantifying the cost of staticness per sparsity category.
+ *
+ * Design 2 stands in for the Sextans-like fixed SpMM engine, Design 4
+ * for the FSpGEMM-like fixed SpGEMM engine.
+ */
+
+#include "bench/common.hh"
+#include "sim/design_sim.hh"
+#include "util/table.hh"
+
+using namespace misam;
+
+int
+main()
+{
+    bench::banner("Section 2.2 — static FPGA configurations vs Misam",
+                  "Section 2.2 motivation");
+
+    const std::size_t n = bench::benchSamples();
+    const double scale = bench::benchScale();
+    std::printf("training Misam (%zu samples), simulating all designs "
+                "over the suite...\n\n",
+                n);
+    bench::TrainedMisam trained =
+        bench::trainMisam(n, 7, bench::zeroReconfigCostConfig());
+    const auto suite = bench::benchSuite(scale);
+
+    // Per-workload: all-design sims + Misam's pick.
+    struct Row
+    {
+        WorkloadCategory category;
+        std::array<double, kNumDesigns> secs;
+        double misam_secs;
+    };
+    std::vector<Row> rows;
+    for (const Workload &w : suite) {
+        Row row;
+        row.category = w.category;
+        const auto sims = simulateAllDesigns(w.a, w.b);
+        for (std::size_t d = 0; d < kNumDesigns; ++d)
+            row.secs[d] = sims[d].exec_seconds;
+        const DesignId pick = trained.framework.predictDesign(
+            extractFeatures(w.a, w.b));
+        row.misam_secs = row.secs[static_cast<std::size_t>(pick)];
+        rows.push_back(row);
+    }
+
+    // Geomean slowdown vs oracle, per policy and category.
+    TextTable table({"Category", "fixed D1", "fixed D2 (Sextans-like)",
+                     "fixed D3", "fixed D4 (FSpGEMM-like)", "Misam"});
+    auto emit = [&](const char *name, auto in_category) {
+        std::array<RunningStats, kNumDesigns> fixed;
+        RunningStats misam_stats;
+        for (const Row &row : rows) {
+            if (!in_category(row.category))
+                continue;
+            const double best =
+                *std::min_element(row.secs.begin(), row.secs.end());
+            for (std::size_t d = 0; d < kNumDesigns; ++d)
+                fixed[d].add(row.secs[d] / best);
+            misam_stats.add(row.misam_secs / best);
+        }
+        if (misam_stats.count() == 0)
+            return;
+        table.addRow({name, formatSpeedup(fixed[0].geomean()),
+                      formatSpeedup(fixed[1].geomean()),
+                      formatSpeedup(fixed[2].geomean()),
+                      formatSpeedup(fixed[3].geomean()),
+                      formatSpeedup(misam_stats.geomean())});
+    };
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+        const auto cat = static_cast<WorkloadCategory>(c);
+        emit(categoryName(cat),
+             [cat](WorkloadCategory x) { return x == cat; });
+    }
+    emit("ALL", [](WorkloadCategory) { return true; });
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("(geomean slowdown vs the oracle design per workload; "
+                "1.00x = always optimal)\n\n");
+    std::printf("reading: every fixed configuration is far from optimal "
+                "in at least one\ncategory — the SpMM-style engines "
+                "collapse on HSxHS, the SpGEMM engine lags\non dense "
+                "operands — while Misam's learned selection stays near "
+                "the oracle\neverywhere. This is the adaptability gap "
+                "§2.2 motivates Misam with.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Regenerates the §6.2 efficient-hardware-utilization study:
+ * Trapezoid's fixed ASIC configurations idle up to 26.5% of their area
+ * when a smaller dataflow runs, while Misam's compact per-design
+ * bitstreams allow multi-tenant co-location — 1 instance of Design 1,
+ * 2 of Design 2/3, and at least 2 of Design 4 fit the U55C, plus mixed
+ * packings that exploit leftover capacity.
+ */
+
+#include "bench/common.hh"
+#include "reconfig/multitenant.hh"
+#include "trapezoid/trapezoid.hh"
+#include "util/table.hh"
+
+using namespace misam;
+
+int
+main()
+{
+    bench::banner("Section 6.2 — multi-tenant hardware utilization",
+                  "Section 6.2, Table 2");
+
+    // ASIC side: idle area when running a smaller configuration.
+    const TrapezoidConfig trap;
+    std::printf("Trapezoid ASIC area configurations:\n\n");
+    TextTable asic({"Configuration", "Area (mm^2)",
+                    "Idle when smallest runs"});
+    const double largest = trap.area_mm2[0];
+    for (std::size_t i = 0; i < trap.area_mm2.size(); ++i) {
+        const double idle = 1.0 - trap.area_mm2[2] / trap.area_mm2[i];
+        asic.addRow({trapezoidDataflowName(allTrapezoidDataflows()[i]),
+                     formatDouble(trap.area_mm2[i], 1),
+                     formatPercent(idle, 1)});
+    }
+    std::printf("%s", asic.render().c_str());
+    std::printf("(paper: up to %.1f%% of the chip idles yet still "
+                "costs silicon and leakage)\n\n",
+                (1.0 - trap.area_mm2[2] / largest) * 100);
+
+    // FPGA side: same-design instance counts.
+    std::printf("Misam on the U55C — same-design instances that fit:\n\n");
+    TextTable inst({"Design", "Bottleneck resource", "Max instances",
+                    "Paper"});
+    const char *paper_counts[] = {"1", "2", "2", "2"};
+    for (std::size_t i = 0; i < kNumDesigns; ++i) {
+        const DesignId id = allDesigns()[i];
+        const ResourceUtilization &r = designConfig(id).resources;
+        const char *bottleneck = "LUT";
+        double max_frac = r.lut;
+        if (r.bram > max_frac) {
+            max_frac = r.bram;
+            bottleneck = "BRAM";
+        }
+        if (r.uram > max_frac) {
+            max_frac = r.uram;
+            bottleneck = "URAM";
+        }
+        if (r.dsp > max_frac) {
+            max_frac = r.dsp;
+            bottleneck = "DSP";
+        }
+        inst.addRow({designName(id), bottleneck,
+                     std::to_string(maxInstances(id)),
+                     paper_counts[i]});
+    }
+    std::printf("%s\n", inst.render().c_str());
+
+    // Mixed packings.
+    std::printf("mixed co-location packings (greedy first-fit):\n\n");
+    TextTable mixed({"Request", "Placed", "Rejected", "LUT", "BRAM",
+                     "URAM", "DSP"});
+    const std::vector<std::pair<std::string, std::vector<DesignId>>>
+        requests = {
+            {"D1 + D4", {DesignId::D1, DesignId::D4}},
+            {"D2 + D2", {DesignId::D2, DesignId::D2}},
+            {"D2 + D4 + D4",
+             {DesignId::D2, DesignId::D4, DesignId::D4}},
+            {"D1 + D1", {DesignId::D1, DesignId::D1}},
+            {"D2 + D3 + D4",
+             {DesignId::D2, DesignId::D3, DesignId::D4}},
+        };
+    for (const auto &[name, req] : requests) {
+        const TenantPacking p = packInstances(req);
+        mixed.addRow({name, std::to_string(p.placed.size()),
+                      std::to_string(p.rejected.size()),
+                      formatPercent(p.used.lut, 0),
+                      formatPercent(p.used.bram, 0),
+                      formatPercent(p.used.uram, 0),
+                      formatPercent(p.used.dsp, 0)});
+    }
+    std::printf("%s\n", mixed.render().c_str());
+    std::printf("(spatial multi-tenancy turns the FPGA's leftover "
+                "capacity into throughput —\nthe §6.2 advantage over "
+                "over-provisioned fixed-function ASICs)\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates paper Table 5 (the selector's confusion matrix) along
+ * with the §5.1 metrics around it: validation accuracy (~90%), k-fold
+ * cross-validation accuracy, model size (the 6 KB claim), and the
+ * geomean speedup on correct predictions / slowdown on mispredictions
+ * (paper: 1.31x / 1.06x).
+ */
+
+#include "bench/common.hh"
+#include "ml/metrics.hh"
+#include "util/table.hh"
+
+using namespace misam;
+
+int
+main()
+{
+    bench::banner("Table 5 — selector confusion matrix",
+                  "Table 5, Section 5.1");
+
+    const std::size_t n = bench::benchSamples();
+    std::printf("training on %zu workloads (70/30 split, inverse-"
+                "frequency class weights)...\n\n",
+                n);
+    const bench::TrainedMisam trained = bench::trainMisam(n);
+    const TrainingReport &rep = trained.report;
+
+    const ConfusionMatrix cm(rep.validation_actual,
+                             rep.validation_predicted, kNumDesigns);
+    std::printf("%s\n", cm.render({"Design 1", "Design 2", "Design 3",
+                                   "Design 4"})
+                            .c_str());
+
+    TextTable metrics({"Metric", "Measured", "Paper"});
+    metrics.addRow({"validation accuracy",
+                    formatPercent(rep.selector_accuracy, 1), "90%"});
+    metrics.addRow({"10-fold CV accuracy",
+                    formatPercent(rep.selector_cv_accuracy, 1), "90%"});
+    metrics.addRow({"model size",
+                    std::to_string(rep.selector_size_bytes) + " B",
+                    "~6 KB"});
+    metrics.addRow({"tree nodes", std::to_string(rep.selector_nodes),
+                    "-"});
+    metrics.addRow({"hit geomean speedup",
+                    formatSpeedup(rep.hit_geomean_speedup),
+                    "1.31x"});
+    metrics.addRow({"miss geomean slowdown",
+                    formatSpeedup(rep.miss_geomean_slowdown),
+                    "1.06x"});
+    metrics.addRow({"latency model MAE (log2)",
+                    formatDouble(rep.latency_mae_log2, 3), "0.344"});
+    metrics.addRow({"latency model R^2",
+                    formatDouble(rep.latency_r2, 3), "0.978"});
+    std::printf("%s\n", metrics.render().c_str());
+
+    std::printf("per-class recall:");
+    for (std::size_t c = 0; c < kNumDesigns; ++c)
+        std::printf("  D%zu %.0f%%", c + 1, cm.recall(c) * 100);
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries. Each bench binary
+ * regenerates one paper table/figure with no arguments; these helpers
+ * keep training and workload construction consistent across them.
+ *
+ * Environment knobs (optional):
+ *   MISAM_BENCH_SAMPLES  — training-set size override.
+ *   MISAM_BENCH_SCALE    — HS proxy scale override (0 < s <= 1).
+ */
+
+#ifndef MISAM_BENCH_COMMON_HH
+#define MISAM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/cpu_mkl.hh"
+#include "baselines/gpu_cusparse.hh"
+#include "core/misam.hh"
+#include "trapezoid/trapezoid.hh"
+#include "util/stats.hh"
+#include "workloads/suite.hh"
+#include "workloads/training_data.hh"
+
+namespace misam::bench {
+
+/** Training-set size for selector benches (paper scale: 6,219). */
+inline std::size_t
+benchSamples(std::size_t fallback = 800)
+{
+    if (const char *env = std::getenv("MISAM_BENCH_SAMPLES"))
+        return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    return fallback;
+}
+
+/** HS-proxy scale for suite benches. */
+inline double
+benchScale(double fallback = 0.1)
+{
+    if (const char *env = std::getenv("MISAM_BENCH_SCALE"))
+        return std::strtod(env, nullptr);
+    return fallback;
+}
+
+/** Generate the standard bench training set. */
+inline std::vector<TrainingSample>
+benchTrainingSamples(std::size_t n, std::uint64_t seed = 7)
+{
+    return generateTrainingSamples({.num_samples = n, .seed = seed});
+}
+
+/** Train a framework on n samples and return both. */
+struct TrainedMisam
+{
+    std::vector<TrainingSample> samples;
+    MisamFramework framework;
+    TrainingReport report;
+};
+
+inline TrainedMisam
+trainMisam(std::size_t n, std::uint64_t seed = 7, MisamConfig config = {})
+{
+    TrainedMisam out{benchTrainingSamples(n, seed),
+                     MisamFramework(std::move(config)),
+                     {}};
+    out.report = out.framework.train(out.samples);
+    return out;
+}
+
+/** The evaluation suite at bench scale. */
+inline std::vector<Workload>
+benchSuite(double scale)
+{
+    SuiteConfig cfg;
+    cfg.hs_scale = scale;
+    return buildEvaluationSuite(cfg);
+}
+
+/** Per-workload results of the full cross-platform comparison. */
+struct SuiteEvalRow
+{
+    const Workload *workload = nullptr;
+    ExecutionReport misam;
+    BaselineResult cpu;
+    BaselineResult gpu;
+    TrapezoidResult trapezoid;
+};
+
+/** Whether the workload's B operand is dense (SpMM on CPU/GPU). */
+inline bool
+denseB(const Workload &w)
+{
+    return w.b.density() >= 0.999;
+}
+
+/**
+ * Evaluate the whole suite against every platform. Misam runs with a
+ * zero-cost reconfiguration model (the §5.2 knob) so each workload uses
+ * its predicted design — Figure 10/11 compare kernel performance, not
+ * switching overhead (bench_fig08 covers that). Trapezoid runs the
+ * single fixed dataflow that offline profiling over the whole suite
+ * would select (geomean-best), mirroring the static configuration the
+ * paper criticizes.
+ */
+std::vector<SuiteEvalRow> evaluateSuite(MisamFramework &misam,
+                                        const std::vector<Workload> &suite);
+
+/** Offline-profiled fixed Trapezoid dataflow for a suite. */
+inline TrapezoidDataflow
+profiledTrapezoidDataflow(const std::vector<Workload> &suite)
+{
+    double best_geomean = 0.0;
+    TrapezoidDataflow best = TrapezoidDataflow::RowWise;
+    for (TrapezoidDataflow df : allTrapezoidDataflows()) {
+        RunningStats stats;
+        for (const Workload &w : suite)
+            stats.add(simulateTrapezoid(df, w.a, w.b).exec_seconds);
+        if (best_geomean == 0.0 || stats.geomean() < best_geomean) {
+            best_geomean = stats.geomean();
+            best = df;
+        }
+    }
+    return best;
+}
+
+inline std::vector<SuiteEvalRow>
+evaluateSuite(MisamFramework &misam, const std::vector<Workload> &suite)
+{
+    const TrapezoidDataflow fixed = profiledTrapezoidDataflow(suite);
+    std::fprintf(stderr,
+                 "(Trapezoid offline profiling fixed its dataflow to "
+                 "%s)\n",
+                 trapezoidDataflowName(fixed));
+
+    std::vector<SuiteEvalRow> rows;
+    rows.reserve(suite.size());
+    for (const Workload &w : suite) {
+        SuiteEvalRow row;
+        row.workload = &w;
+        row.misam = misam.execute(w.a, w.b);
+        if (denseB(w)) {
+            row.cpu = cpuMklSpmm(w.a, w.b.cols());
+            row.gpu = gpuCusparseSpmm(w.a, w.b.cols());
+        } else {
+            row.cpu = cpuMklSpgemm(w.a, w.b);
+            row.gpu = gpuCusparseSpgemm(w.a, w.b);
+        }
+        row.trapezoid = simulateTrapezoid(fixed, w.a, w.b);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/** A Misam config whose engine always chases the predicted design. */
+inline MisamConfig
+zeroReconfigCostConfig()
+{
+    MisamConfig cfg;
+    cfg.engine_config.time_model.fabric_seconds_per_mb = 0.0;
+    cfg.engine_config.time_model.pcie_gbps = 1e12;
+    return cfg;
+}
+
+/** Banner printed at the top of every bench binary. */
+inline void
+banner(const char *experiment, const char *paper_ref)
+{
+    std::printf("================================================"
+                "======================\n");
+    std::printf("Misam reproduction — %s\n", experiment);
+    std::printf("Paper reference: %s\n", paper_ref);
+    std::printf("================================================"
+                "======================\n\n");
+}
+
+} // namespace misam::bench
+
+#endif // MISAM_BENCH_COMMON_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Objective-aware selection (paper §3.1): Misam lets users optimize for
+ * latency, energy, or a weighted blend. This example trains three
+ * selectors — latency-only, energy-only, and 70/30 blended — on the
+ * same workload population and shows where their design choices
+ * diverge.
+ *
+ * Run: ./build/examples/custom_objective
+ */
+
+#include <cstdio>
+
+#include "core/misam.hh"
+#include "util/table.hh"
+#include "workloads/training_data.hh"
+
+using namespace misam;
+
+namespace {
+
+MisamFramework
+trainWith(Objective objective,
+          const std::vector<TrainingSample> &samples)
+{
+    MisamConfig config;
+    config.objective = objective;
+    MisamFramework misam(config);
+    misam.train(samples);
+    return misam;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("training three objective variants on one dataset...\n\n");
+    const auto samples = generateTrainingSamples({.num_samples = 400,
+                                                  .seed = 99});
+
+    MisamFramework by_latency = trainWith(Objective::latency(), samples);
+    MisamFramework by_energy = trainWith(Objective::energy(), samples);
+    MisamFramework blended =
+        trainWith(Objective::weighted(0.7, 0.3), samples);
+
+    // Count how often the objectives disagree on the validation set.
+    int disagree_lat_en = 0;
+    TextTable table({"Workload", "Latency pick", "Energy pick",
+                     "70/30 pick", "t(lat) ms", "t(en) ms", "E(lat) mJ",
+                     "E(en) mJ"});
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const TrainingSample &s = samples[i];
+        const DesignId lat = by_latency.predictDesign(s.features);
+        const DesignId en = by_energy.predictDesign(s.features);
+        const DesignId mix = blended.predictDesign(s.features);
+        if (lat != en) {
+            ++disagree_lat_en;
+            if (table.rowCount() < 12) {
+                const auto li = static_cast<std::size_t>(lat);
+                const auto ei = static_cast<std::size_t>(en);
+                table.addRow(
+                    {"sample " + std::to_string(i), designName(lat),
+                     designName(en), designName(mix),
+                     formatDouble(s.results[li].exec_seconds * 1e3, 3),
+                     formatDouble(s.results[ei].exec_seconds * 1e3, 3),
+                     formatDouble(s.results[li].energy_joules * 1e3, 3),
+                     formatDouble(s.results[ei].energy_joules * 1e3,
+                                  3)});
+            }
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("objectives disagree on %d of %zu workloads "
+                "(latency-optimal vs energy-optimal).\n",
+                disagree_lat_en, samples.size());
+    std::printf("\nWhy they diverge: Designs 2/3 draw ~49 W against "
+                "Design 1's ~44 W and\nDesign 4's ~37 W (Table 2 "
+                "utilizations), so a marginal latency win on the\n"
+                "bigger design can be an energy loss.\n");
+    return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, and regenerate
+# every paper table/figure into bench_output.txt.
+#
+# Usage: scripts/reproduce_all.sh [build-dir]
+# Env:   MISAM_BENCH_SAMPLES / MISAM_BENCH_SCALE scale the benches up
+#        toward the paper's dataset sizes (defaults are laptop-sized).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+for b in "$BUILD"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    "$b"
+done 2>&1 | tee bench_output.txt
+
+echo
+echo "done: test_output.txt and bench_output.txt written."

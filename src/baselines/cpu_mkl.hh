@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Analytical cost model of Intel MKL SpGEMM/SpMM on the paper's CPU
+ * baseline (Core i9-11980HK, 8 cores, 32 GB).
+ *
+ * The model is a roofline over effectual multiplies and memory traffic
+ * with a sparsity-dependent per-multiply cost: dense-ish inner loops
+ * vectorize well, while highly sparse rows degenerate into gather-heavy,
+ * cache-missing traversals. Constants are set so the relative Misam/CPU
+ * ratios land in the regime Figure 10 reports (Misam ~5-20x faster on
+ * sparse categories, CPU competitive only on small dense work).
+ */
+
+#ifndef MISAM_BASELINES_CPU_MKL_HH
+#define MISAM_BASELINES_CPU_MKL_HH
+
+#include "sparse/csr.hh"
+
+namespace misam {
+
+/** Modeled CPU platform parameters. */
+struct CpuConfig
+{
+    int cores = 8;
+    double freq_ghz = 4.5;
+    double dram_bw_gbps = 45.0;
+    double power_watts = 45.0;
+    /** Fused multiply-adds per core-cycle on well-vectorized streams. */
+    double peak_flops_per_cycle = 8.0;
+    /** Fixed per-call setup (format inspection, thread fork). */
+    double setup_seconds = 30e-6;
+};
+
+/** Execution time and energy of one modeled baseline run. */
+struct BaselineResult
+{
+    double exec_seconds = 0.0;
+    double energy_joules = 0.0;
+    double effective_gflops = 0.0; ///< mults / time / 1e9.
+};
+
+/** Model MKL's SpGEMM (both operands sparse CSR). */
+BaselineResult cpuMklSpgemm(const CsrMatrix &a, const CsrMatrix &b,
+                            const CpuConfig &cfg = {});
+
+/** Model MKL's SpMM (sparse A, dense B of b_cols columns). */
+BaselineResult cpuMklSpmm(const CsrMatrix &a, Index b_cols,
+                          const CpuConfig &cfg = {});
+
+} // namespace misam
+
+#endif // MISAM_BASELINES_CPU_MKL_HH

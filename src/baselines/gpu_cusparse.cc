@@ -1,0 +1,100 @@
+#include "baselines/gpu_cusparse.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "features/features.hh"
+#include "sparse/spgemm.hh"
+#include "util/logging.hh"
+
+namespace misam {
+
+namespace {
+
+constexpr double kBytesPerEntry = 8.0;
+
+BaselineResult
+finish(double kernel_seconds, double mults, double power,
+       const GpuConfig &cfg)
+{
+    BaselineResult res;
+    res.exec_seconds = kernel_seconds + cfg.launch_seconds;
+    res.energy_joules = res.exec_seconds * power;
+    if (res.exec_seconds > 0.0)
+        res.effective_gflops = mults / res.exec_seconds / 1e9;
+    return res;
+}
+
+/**
+ * Irregularity penalty of sparse CSR rows on GPU warps: short rows leave
+ * most of a warp idle, imbalanced rows serialize blocks.
+ */
+double
+warpEfficiency(double avg_row_nnz, double imbalance)
+{
+    const double occupancy = avg_row_nnz / (avg_row_nnz + 32.0);
+    const double balance = 1.0 / (1.0 + 0.10 * std::max(0.0, imbalance - 1.0));
+    return std::clamp(0.02 + 0.98 * occupancy * balance, 0.02, 1.0);
+}
+
+} // namespace
+
+BaselineResult
+gpuCusparseSpgemm(const CsrMatrix &a, const CsrMatrix &b,
+                  const GpuConfig &cfg)
+{
+    if (a.cols() != b.rows())
+        fatal("gpuCusparseSpgemm: dimension mismatch");
+    const auto mults = static_cast<double>(spgemmMultiplyCount(a, b));
+    const auto nnz_c = static_cast<double>(spgemmOutputNnz(a, b));
+    const double avg_row_b =
+        b.rows() > 0 ? static_cast<double>(b.nnz()) / b.rows() : 0.0;
+    const MatrixStats stats = computeMatrixStats(a);
+
+    const double eff = warpEfficiency(avg_row_b, stats.row.imbalance);
+    const double compute = mults / (cfg.peak_sparse_gflops * 1e9 * eff);
+
+    // cusparseSpGEMM materializes an intermediate product before
+    // compression: the hash/merge phase re-reads partials.
+    const double traffic = (static_cast<double>(a.nnz()) +
+                            static_cast<double>(b.nnz()) + nnz_c +
+                            2.0 * mults * 0.25) *
+                           kBytesPerEntry;
+    const double memory = traffic / (cfg.dram_bw_gbps * 1e9);
+    return finish(std::max(compute, memory), mults,
+                  cfg.power_sparse_watts, cfg);
+}
+
+BaselineResult
+gpuCusparseSpmm(const CsrMatrix &a, Index b_cols, const GpuConfig &cfg)
+{
+    const double mults =
+        static_cast<double>(a.nnz()) * static_cast<double>(b_cols);
+    const double density = a.density();
+
+    // Dense-ish SpMM approaches the dense roofline; highly sparse A
+    // degrades toward the irregular-kernel roofline.
+    const double dense_frac = std::clamp(density * 4.0, 0.0, 1.0);
+    const double roofline = cfg.peak_sparse_gflops * 1e9 +
+                            dense_frac * (cfg.peak_dense_gflops -
+                                          cfg.peak_sparse_gflops) *
+                                1e9;
+    const MatrixStats stats = computeMatrixStats(a);
+    const double avg_row = a.rows() > 0
+                               ? static_cast<double>(a.nnz()) / a.rows()
+                               : 0.0;
+    const double eff = warpEfficiency(avg_row, stats.row.imbalance);
+    const double compute = mults / (roofline * std::max(eff, 0.3));
+
+    const double traffic = (static_cast<double>(a.nnz()) * 2.0 +
+                            static_cast<double>(a.cols()) * b_cols +
+                            static_cast<double>(a.rows()) * b_cols) *
+                           4.0;
+    const double memory = traffic / (cfg.dram_bw_gbps * 1e9);
+    const double power = cfg.power_sparse_watts +
+                         dense_frac * (cfg.power_dense_watts -
+                                       cfg.power_sparse_watts);
+    return finish(std::max(compute, memory), mults, power, cfg);
+}
+
+} // namespace misam

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Analytical cost model of cuSPARSE on the paper's GPU baseline (NVIDIA
+ * RTX A6000: 84 SMs, 768 GB/s GDDR6).
+ *
+ * Shape requirements from Figure 10/11: the GPU dominates dense work
+ * (HS x D, MS x D), loses moderately on HS x HS (1.37x), and loses badly
+ * on MS x MS (11.26x) because structured pruning produces sparsity
+ * patterns hostile to its memory coalescing and tensor cores. The model
+ * is a roofline with a sparsity- and pattern-dependent efficiency plus a
+ * fixed kernel-launch/setup overhead that punishes small kernels.
+ */
+
+#ifndef MISAM_BASELINES_GPU_CUSPARSE_HH
+#define MISAM_BASELINES_GPU_CUSPARSE_HH
+
+#include "baselines/cpu_mkl.hh"
+#include "sparse/csr.hh"
+
+namespace misam {
+
+/** Modeled GPU platform parameters. */
+struct GpuConfig
+{
+    double dram_bw_gbps = 768.0;
+    double peak_sparse_gflops = 40.0;   ///< Effective cusparseSpGEMM roofline for
+                                        ///< irregular sparse kernels.
+    double peak_dense_gflops = 38000.0; ///< Dense/tensor-core roofline.
+    double launch_seconds = 25e-6;      ///< Kernel launch + cusparse
+                                        ///< analysis overhead.
+    double power_sparse_watts = 180.0;
+    double power_dense_watts = 280.0;
+};
+
+/** Model cuSPARSE SpGEMM (cusparseSpGEMM, both operands sparse). */
+BaselineResult gpuCusparseSpgemm(const CsrMatrix &a, const CsrMatrix &b,
+                                 const GpuConfig &cfg = {});
+
+/** Model cuSPARSE SpMM (sparse A, dense B of b_cols columns). */
+BaselineResult gpuCusparseSpmm(const CsrMatrix &a, Index b_cols,
+                               const GpuConfig &cfg = {});
+
+} // namespace misam
+
+#endif // MISAM_BASELINES_GPU_CUSPARSE_HH

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * MisamFramework — the top-level public API.
+ *
+ * Ties the pieces together exactly as the paper's Figure 7 sketches:
+ * the host extracts features from the input matrices, a trained decision
+ * tree predicts the optimal design, and the reconfiguration engine —
+ * armed with a learned latency predictor and the bitstream-switch cost
+ * model — decides whether loading that design is worth it. Execution is
+ * then carried out on the cycle-level design simulators.
+ *
+ * Typical use:
+ * @code
+ * MisamFramework misam;
+ * misam.train(generateTrainingSamples({.num_samples = 800}));
+ * auto report = misam.execute(a, b);
+ * @endcode
+ */
+
+#ifndef MISAM_CORE_MISAM_HH
+#define MISAM_CORE_MISAM_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/objective.hh"
+#include "core/pipeline.hh"
+#include "features/features.hh"
+#include "ml/decision_tree.hh"
+#include "ml/regression_tree.hh"
+#include "reconfig/engine.hh"
+#include "workloads/training_data.hh"
+
+namespace misam {
+
+/** Framework configuration. */
+struct MisamConfig
+{
+    DecisionTreeParams selector_params{};
+    RegressionTreeParams latency_params{};
+    ReconfigEngineConfig engine_config{};
+    Objective objective = Objective::latency();
+    double train_fraction = 0.7;   ///< Paper's 70/30 split.
+    std::size_t cv_folds = 10;     ///< Paper's 10-fold protocol.
+    bool prune_selector = true;    ///< Reduced-error pruning pass.
+    std::uint64_t seed = 42;
+    DesignId initial_design = DesignId::D1;
+};
+
+/** Metrics produced by training (paper §5.1, §5.2). */
+struct TrainingReport
+{
+    double selector_accuracy = 0.0;    ///< Held-out validation accuracy.
+    double selector_cv_accuracy = 0.0; ///< k-fold cross-validation.
+    std::vector<int> validation_actual;
+    std::vector<int> validation_predicted;
+    std::vector<double> feature_importances; ///< Figure 4.
+    std::size_t selector_nodes = 0;
+    std::size_t selector_size_bytes = 0;     ///< The "6 KB" footprint.
+    double latency_mae_log2 = 0.0;           ///< Figure 9 MAE.
+    double latency_r2 = 0.0;                 ///< Figure 9 R^2.
+    std::size_t latency_nodes = 0;
+
+    /**
+     * Geomean speedup of the predicted design over the previous default
+     * when the prediction is correct / incorrect (paper: 1.31x gain on
+     * hits, 1.06x slowdown on misses).
+     */
+    double hit_geomean_speedup = 1.0;
+    double miss_geomean_slowdown = 1.0;
+};
+
+/** Everything Misam did for one workload. */
+struct ExecutionReport
+{
+    FeatureVector features;
+    DesignId predicted = DesignId::D1;  ///< Selector's choice.
+    ReconfigDecision decision;          ///< Engine's verdict.
+    SimResult sim;                      ///< Run on decision.chosen.
+    BreakdownReport breakdown;          ///< Figure 12 decomposition.
+};
+
+/** One job of a batch submission. */
+struct BatchJob
+{
+    std::string name;
+    CsrMatrix a;
+    CsrMatrix b;
+    /** Executions this job stands for (identical DNN layers, solver
+     *  iterations) — amortizes reconfiguration, as in Figure 8. */
+    double repetitions = 1.0;
+};
+
+/** Outcome of a batch submission. */
+struct BatchReport
+{
+    std::vector<ExecutionReport> jobs;
+    double total_execute_s = 0.0;   ///< Sum of exec * repetitions.
+    double total_reconfig_s = 0.0;  ///< Bitstream switches paid.
+    double total_host_s = 0.0;      ///< Features + inference + engine.
+    int reconfigurations = 0;
+
+    double total() const
+    {
+        return total_execute_s + total_reconfig_s + total_host_s;
+    }
+};
+
+/** Summary of streaming execution over tiles (paper §3.3). */
+struct StreamReport
+{
+    std::vector<ExecutionReport> tiles;
+    double total_execute_s = 0.0;
+    double total_reconfig_s = 0.0;
+    double total_host_s = 0.0;
+    int reconfigurations = 0;
+
+    double total() const
+    {
+        return total_execute_s + total_reconfig_s + total_host_s;
+    }
+};
+
+/**
+ * The Misam framework: trainable dataflow selector + reconfiguration
+ * engine + design simulators behind one facade.
+ */
+class MisamFramework
+{
+  public:
+    explicit MisamFramework(MisamConfig config = {});
+
+    /**
+     * Train selector and latency predictor from labeled samples.
+     * Relabels samples with this framework's objective (so an
+     * energy-weighted instance trains an energy-aware selector).
+     */
+    TrainingReport train(const std::vector<TrainingSample> &samples);
+
+    /** True once train() has run. */
+    bool trained() const { return engine_ != nullptr; }
+
+    /**
+     * Restore a trained state from persisted models without rerunning
+     * training (see core/persistence.hh). The engine is rebuilt from
+     * this framework's configuration.
+     */
+    void restore(DecisionTree selector, RegressionTree latency_model,
+                 DesignId current_design);
+
+    /** Predict the optimal design for extracted features. */
+    DesignId predictDesign(const FeatureVector &features) const;
+
+    /**
+     * Execute one workload end-to-end: extract features, predict, let
+     * the engine decide, simulate on the chosen design. `repetitions`
+     * amortizes reconfiguration across repeated executions (tiles or
+     * identical layers).
+     */
+    ExecutionReport execute(const CsrMatrix &a, const CsrMatrix &b,
+                            double repetitions = 1.0);
+
+    /**
+     * Like execute(), but with B's feature summary precomputed by the
+     * caller (summarizeMatrix) — the streaming path shares one summary
+     * across every tile of A.
+     */
+    ExecutionReport executeWithSummary(
+        const CsrMatrix &a, const CsrMatrix &b,
+        const MatrixFeatureSummary &b_summary, double repetitions = 1.0);
+
+    /**
+     * Execute a sequence of jobs against one FPGA: the engine's loaded-
+     * bitstream state persists across jobs, so early decisions shape
+     * later costs — the Figure 8 scenario as an API.
+     */
+    BatchReport executeBatch(const std::vector<BatchJob> &jobs);
+
+    /**
+     * Streaming execution (§3.3): A is split into row tiles of random
+     * height in [tile_min, tile_max] (the paper streams 10k-50k tiles),
+     * the engine re-decides per tile, and reconfiguration cost is paid
+     * at the switch points.
+     */
+    StreamReport executeStream(const CsrMatrix &a, const CsrMatrix &b,
+                               Index tile_min = 10000,
+                               Index tile_max = 50000);
+
+    /** Trained selector (valid after train()). */
+    const DecisionTree &selector() const;
+
+    /** Reconfiguration engine (valid after train()). */
+    ReconfigEngine &engine();
+    const ReconfigEngine &engine() const;
+
+    /** Framework configuration. */
+    const MisamConfig &config() const { return config_; }
+
+  private:
+    void requireTrained() const;
+
+    /** Shared tail of execute/executeWithSummary: predict, decide, run. */
+    ExecutionReport finishExecution(ExecutionReport report,
+                                    const CsrMatrix &a, const CsrMatrix &b,
+                                    double repetitions);
+
+    MisamConfig config_;
+    DecisionTree selector_;
+    std::unique_ptr<ReconfigEngine> engine_;
+};
+
+} // namespace misam
+
+#endif // MISAM_CORE_MISAM_HH

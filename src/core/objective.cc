@@ -1,0 +1,44 @@
+#include "core/objective.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+double
+Objective::score(const SimResult &result) const
+{
+    if (latency_weight < 0.0 || energy_weight < 0.0)
+        fatal("Objective: negative weight");
+    if (latency_weight + energy_weight <= 0.0)
+        fatal("Objective: all-zero weights");
+    // Log-domain blend: equivalent to exec^w_lat * energy^w_en, robust
+    // across the microsecond-to-second magnitude span.
+    double s = 0.0;
+    if (latency_weight > 0.0)
+        s += latency_weight * std::log(std::max(result.exec_seconds,
+                                                1e-18));
+    if (energy_weight > 0.0)
+        s += energy_weight * std::log(std::max(result.energy_joules,
+                                               1e-18));
+    return s;
+}
+
+int
+bestDesignIndex(const std::array<SimResult, kNumDesigns> &results,
+                const Objective &objective)
+{
+    int best = 0;
+    double best_score = objective.score(results[0]);
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        const double s = objective.score(results[i]);
+        if (s < best_score) {
+            best_score = s;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+} // namespace misam

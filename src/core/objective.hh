@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tunable optimization objective (paper §3.1): users may optimize purely
+ * for latency, purely for energy, or a weighted combination. The score
+ * is a weighted geometric blend, so the label of a training sample is
+ * the design minimizing exec^w_lat * energy^w_en.
+ */
+
+#ifndef MISAM_CORE_OBJECTIVE_HH
+#define MISAM_CORE_OBJECTIVE_HH
+
+#include "sim/design_sim.hh"
+
+namespace misam {
+
+/** Weighted latency/energy objective; lower scores are better. */
+struct Objective
+{
+    double latency_weight = 1.0;
+    double energy_weight = 0.0;
+
+    /** Pure-latency objective (the default). */
+    static Objective latency() { return {1.0, 0.0}; }
+
+    /** Pure-energy objective. */
+    static Objective energy() { return {0.0, 1.0}; }
+
+    /** Blended objective. */
+    static Objective
+    weighted(double latency_w, double energy_w)
+    {
+        return {latency_w, energy_w};
+    }
+
+    /** Score of one simulation result (log-domain weighted blend). */
+    double score(const SimResult &result) const;
+};
+
+/** Index of the objective-optimal design in a simulateAllDesigns array. */
+int bestDesignIndex(const std::array<SimResult, kNumDesigns> &results,
+                    const Objective &objective);
+
+} // namespace misam
+
+#endif // MISAM_CORE_OBJECTIVE_HH

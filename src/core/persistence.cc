@@ -1,0 +1,109 @@
+#include "core/persistence.hh"
+
+#include <fstream>
+
+#include "ml/serialize.hh"
+#include "util/logging.hh"
+
+namespace misam {
+
+namespace {
+
+constexpr std::uint32_t kFrameworkMagic = 0x4d495357u; // "MISW"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::int32_t current_design;
+    float threshold;
+    float pcie_gbps;
+    float fabric_seconds_per_mb;
+    float partial_base_seconds;
+    float objective_latency_weight;
+    float objective_energy_weight;
+};
+
+} // namespace
+
+void
+saveFramework(std::ostream &out, const MisamFramework &framework)
+{
+    if (!framework.trained())
+        fatal("saveFramework: framework is not trained");
+
+    const ReconfigEngine &engine = framework.engine();
+    const ReconfigEngineConfig &ecfg = engine.config();
+    const Header h{
+        kFrameworkMagic,
+        kVersion,
+        static_cast<std::int32_t>(engine.currentDesign()),
+        static_cast<float>(ecfg.threshold),
+        static_cast<float>(ecfg.time_model.pcie_gbps),
+        static_cast<float>(ecfg.time_model.fabric_seconds_per_mb),
+        static_cast<float>(ecfg.time_model.partial_base_seconds),
+        static_cast<float>(framework.config().objective.latency_weight),
+        static_cast<float>(framework.config().objective.energy_weight),
+    };
+    out.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    saveTree(out, framework.selector(), kNumFeatures);
+    saveTree(out, engine.latencyModel(), kAugmentedFeatures);
+}
+
+MisamFramework
+loadFramework(std::istream &in)
+{
+    Header h{};
+    in.read(reinterpret_cast<char *>(&h), sizeof(h));
+    if (!in)
+        fatal("loadFramework: truncated header");
+    if (h.magic != kFrameworkMagic)
+        fatal("loadFramework: bad magic ", h.magic);
+    if (h.version != kVersion)
+        fatal("loadFramework: unsupported version ", h.version);
+    if (h.current_design < 0 ||
+        h.current_design >= static_cast<std::int32_t>(kNumDesigns))
+        fatal("loadFramework: bad current design ", h.current_design);
+
+    MisamConfig config;
+    config.engine_config.threshold = h.threshold;
+    config.engine_config.time_model.pcie_gbps = h.pcie_gbps;
+    config.engine_config.time_model.fabric_seconds_per_mb =
+        h.fabric_seconds_per_mb;
+    config.engine_config.time_model.partial_base_seconds =
+        h.partial_base_seconds;
+    config.objective = {h.objective_latency_weight,
+                        h.objective_energy_weight};
+    config.initial_design =
+        static_cast<DesignId>(h.current_design);
+
+    DecisionTree selector = loadTree(in);
+    RegressionTree latency = loadRegressionTree(in);
+
+    MisamFramework framework(config);
+    framework.restore(std::move(selector), std::move(latency),
+                      static_cast<DesignId>(h.current_design));
+    return framework;
+}
+
+void
+saveFrameworkFile(const std::string &path,
+                  const MisamFramework &framework)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("saveFrameworkFile: cannot create '", path, "'");
+    saveFramework(out, framework);
+}
+
+MisamFramework
+loadFrameworkFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("loadFrameworkFile: cannot open '", path, "'");
+    return loadFramework(in);
+}
+
+} // namespace misam

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Whole-framework persistence.
+ *
+ * A deployment trains Misam once (minutes, per §6.3) and then ships the
+ * trained artifact: the ~KB selector, the latency predictor, and the
+ * engine configuration. These routines bundle all three into a single
+ * binary file so inference hosts never need the training pipeline.
+ */
+
+#ifndef MISAM_CORE_PERSISTENCE_HH
+#define MISAM_CORE_PERSISTENCE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/misam.hh"
+
+namespace misam {
+
+/**
+ * Serialize a trained framework (selector + latency model + engine
+ * configuration + current design). fatal() if untrained.
+ */
+void saveFramework(std::ostream &out, const MisamFramework &framework);
+
+/** Restore a framework from a stream; fatal() on corruption. */
+MisamFramework loadFramework(std::istream &in);
+
+/** File variants; fatal() on I/O failure. */
+void saveFrameworkFile(const std::string &path,
+                       const MisamFramework &framework);
+MisamFramework loadFrameworkFile(const std::string &path);
+
+} // namespace misam
+
+#endif // MISAM_CORE_PERSISTENCE_HH

@@ -1,0 +1,5 @@
+#include "core/pipeline.hh"
+
+// Header-only timing helpers; this translation unit exists so the module
+// has a home for future out-of-line additions and keeps the build list
+// uniform.

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * End-to-end execution breakdown (paper Figure 12): preprocessing
+ * (feature extraction), model inference, reconfiguration-engine
+ * decision, and hardware execution. Host-side phases are measured in
+ * real wall-clock time; the hardware phase is the simulator's modeled
+ * FPGA time — the same accounting the paper performs.
+ */
+
+#ifndef MISAM_CORE_PIPELINE_HH
+#define MISAM_CORE_PIPELINE_HH
+
+#include <chrono>
+
+namespace misam {
+
+/** Per-phase timing of one Misam execution. */
+struct BreakdownReport
+{
+    double preprocess_s = 0.0; ///< Feature-extraction wall time.
+    double inference_s = 0.0;  ///< Selector inference wall time.
+    double engine_s = 0.0;     ///< Reconfiguration-engine wall time.
+    double execute_s = 0.0;    ///< Modeled FPGA execution time.
+    double reconfig_s = 0.0;   ///< Bitstream-switch overhead charged.
+
+    /** Sum of all phases. */
+    double total() const
+    {
+        return preprocess_s + inference_s + engine_s + execute_s +
+               reconfig_s;
+    }
+
+    /** Host-side overhead fraction of the total (the paper's ~2%). */
+    double hostOverheadFraction() const
+    {
+        const double t = total();
+        if (t <= 0.0)
+            return 0.0;
+        return (preprocess_s + inference_s + engine_s) / t;
+    }
+};
+
+/** Monotonic stopwatch for the host-side phases. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(clock::now()) {}
+
+    /** Seconds since construction or the last restart. */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_)
+            .count();
+    }
+
+    /** Reset the epoch. */
+    void restart() { start_ = clock::now(); }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace misam
+
+#endif // MISAM_CORE_PIPELINE_HH

@@ -1,0 +1,163 @@
+#include "core/router.hh"
+
+#include <cmath>
+
+#include "ml/metrics.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace misam {
+
+const char *
+deviceName(Device device)
+{
+    switch (device) {
+      case Device::MisamFpga:
+        return "Misam";
+      case Device::Cpu:
+        return "CPU";
+      case Device::Gpu:
+        return "GPU";
+    }
+    return "?";
+}
+
+Device
+DeviceEvaluation::fastest() const
+{
+    std::size_t best = 0;
+    for (std::size_t d = 1; d < kNumDevices; ++d)
+        if (outcomes[d].exec_seconds < outcomes[best].exec_seconds)
+            best = d;
+    return static_cast<Device>(best);
+}
+
+Device
+DeviceEvaluation::mostEfficient() const
+{
+    std::size_t best = 0;
+    for (std::size_t d = 1; d < kNumDevices; ++d)
+        if (outcomes[d].energy_joules < outcomes[best].energy_joules)
+            best = d;
+    return static_cast<Device>(best);
+}
+
+DeviceEvaluation
+evaluateDevices(const CsrMatrix &a, const CsrMatrix &b,
+                const CpuConfig &cpu, const GpuConfig &gpu)
+{
+    DeviceEvaluation eval;
+
+    const auto sims = simulateAllDesigns(a, b);
+    const DesignId best = fastestDesign(sims);
+    const SimResult &fpga = sims[static_cast<std::size_t>(best)];
+    eval.misam_design = best;
+    eval.outcomes[static_cast<std::size_t>(Device::MisamFpga)] = {
+        fpga.exec_seconds, fpga.energy_joules};
+
+    const bool dense_b =
+        b.nnz() == static_cast<Offset>(b.rows()) * b.cols();
+    const BaselineResult cpu_res = dense_b
+                                       ? cpuMklSpmm(a, b.cols(), cpu)
+                                       : cpuMklSpgemm(a, b, cpu);
+    const BaselineResult gpu_res =
+        dense_b ? gpuCusparseSpmm(a, b.cols(), gpu)
+                : gpuCusparseSpgemm(a, b, gpu);
+    eval.outcomes[static_cast<std::size_t>(Device::Cpu)] = {
+        cpu_res.exec_seconds, cpu_res.energy_joules};
+    eval.outcomes[static_cast<std::size_t>(Device::Gpu)] = {
+        gpu_res.exec_seconds, gpu_res.energy_joules};
+    return eval;
+}
+
+int
+bestDeviceIndex(const DeviceEvaluation &eval, const Objective &objective)
+{
+    auto score = [&](const DeviceOutcome &o) {
+        double s = 0.0;
+        if (objective.latency_weight > 0.0)
+            s += objective.latency_weight *
+                 std::log(std::max(o.exec_seconds, 1e-18));
+        if (objective.energy_weight > 0.0)
+            s += objective.energy_weight *
+                 std::log(std::max(o.energy_joules, 1e-18));
+        return s;
+    };
+    int best = 0;
+    double best_score = score(eval.outcomes[0]);
+    for (std::size_t d = 1; d < kNumDevices; ++d) {
+        const double s = score(eval.outcomes[d]);
+        if (s < best_score) {
+            best_score = s;
+            best = static_cast<int>(d);
+        }
+    }
+    return best;
+}
+
+RouterReport
+DeviceRouter::train(const std::vector<RoutingSample> &samples,
+                    const Objective &objective, std::uint64_t seed)
+{
+    if (samples.empty())
+        fatal("DeviceRouter::train: no samples");
+
+    Dataset data(kNumFeatures);
+    for (const RoutingSample &s : samples)
+        data.addSample(s.features.toVector(),
+                       bestDeviceIndex(s.evaluation, objective));
+
+    Rng rng(seed);
+    auto [train_set, valid_set] = data.stratifiedSplit(0.7, rng);
+    tree_ = DecisionTree();
+    tree_.fit(train_set, params_, train_set.classWeights());
+    if (valid_set.size() > 0)
+        tree_.pruneWithValidation(valid_set);
+
+    RouterReport report;
+    report.validation_actual = valid_set.labels();
+    report.validation_predicted = tree_.predictAll(valid_set);
+    report.accuracy = accuracy(report.validation_actual,
+                               report.validation_predicted);
+    report.tree_nodes = tree_.nodeCount();
+    report.size_bytes = tree_.sizeBytes();
+
+    // Routed-vs-static-policy speedups over all samples.
+    RunningStats vs_cpu, vs_gpu, vs_fpga;
+    for (const RoutingSample &s : samples) {
+        const int routed = tree_.predict(s.features.toVector());
+        const double t_routed =
+            s.evaluation.outcomes[static_cast<std::size_t>(routed)]
+                .exec_seconds;
+        vs_cpu.add(s.evaluation
+                       .outcomes[static_cast<std::size_t>(Device::Cpu)]
+                       .exec_seconds /
+                   t_routed);
+        vs_gpu.add(s.evaluation
+                       .outcomes[static_cast<std::size_t>(Device::Gpu)]
+                       .exec_seconds /
+                   t_routed);
+        vs_fpga.add(
+            s.evaluation
+                .outcomes[static_cast<std::size_t>(Device::MisamFpga)]
+                .exec_seconds /
+            t_routed);
+    }
+    report.speedup_vs_cpu_only = vs_cpu.geomean();
+    report.speedup_vs_gpu_only = vs_gpu.geomean();
+    report.speedup_vs_fpga_only = vs_fpga.geomean();
+    return report;
+}
+
+Device
+DeviceRouter::route(const FeatureVector &features) const
+{
+    if (!tree_.trained())
+        fatal("DeviceRouter::route: train() must be called first");
+    const int label = tree_.predict(features.toVector());
+    if (label < 0 || label >= static_cast<int>(kNumDevices))
+        panic("DeviceRouter::route: bad label ", label);
+    return static_cast<Device>(label);
+}
+
+} // namespace misam

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Heterogeneous device routing (paper §6.3).
+ *
+ * "Misam is also extensible to heterogeneous environments involving
+ * CPUs, GPUs, FPGAs, and ASICs. Based on performance trends across
+ * different sparsity regimes, the model can route workloads to the most
+ * suitable device; for instance, it correctly routes workloads to the
+ * GPU when it consistently offers better performance."
+ *
+ * DeviceRouter trains the same decision tree over the same matrix
+ * features, but its classes are *devices*: the Misam FPGA (running its
+ * own best design), the CPU (MKL), and the GPU (cuSPARSE). Labels come
+ * from evaluating each backend's cost model, so routing quality is
+ * measured, not assumed.
+ */
+
+#ifndef MISAM_CORE_ROUTER_HH
+#define MISAM_CORE_ROUTER_HH
+
+#include <array>
+#include <vector>
+
+#include "baselines/cpu_mkl.hh"
+#include "baselines/gpu_cusparse.hh"
+#include "core/objective.hh"
+#include "features/features.hh"
+#include "ml/decision_tree.hh"
+#include "sim/design_sim.hh"
+
+namespace misam {
+
+/** Execution backends the router chooses among. */
+enum class Device : int { MisamFpga = 0, Cpu = 1, Gpu = 2 };
+
+/** Number of routable devices. */
+constexpr std::size_t kNumDevices = 3;
+
+/** Display name ("Misam", "CPU", "GPU"). */
+const char *deviceName(Device device);
+
+/** Per-device outcome for one workload. */
+struct DeviceOutcome
+{
+    double exec_seconds = 0.0;
+    double energy_joules = 0.0;
+};
+
+/** All backends evaluated on one workload. */
+struct DeviceEvaluation
+{
+    std::array<DeviceOutcome, kNumDevices> outcomes;
+    DesignId misam_design = DesignId::D1; ///< Design the FPGA would run.
+
+    /** Device minimizing execution time. */
+    Device fastest() const;
+
+    /** Device minimizing energy. */
+    Device mostEfficient() const;
+};
+
+/**
+ * Evaluate every backend on a workload: the FPGA runs its oracle-best
+ * design (the router asks "is this workload FPGA work at all?" — design
+ * choice within the FPGA is the selector's job), the CPU and GPU run
+ * their library models with the SpMM path when B is dense.
+ */
+DeviceEvaluation evaluateDevices(const CsrMatrix &a, const CsrMatrix &b,
+                                 const CpuConfig &cpu = {},
+                                 const GpuConfig &gpu = {});
+
+/** One labeled routing sample. */
+struct RoutingSample
+{
+    FeatureVector features;
+    DeviceEvaluation evaluation;
+};
+
+/** Router training metrics. */
+struct RouterReport
+{
+    double accuracy = 0.0;
+    std::vector<int> validation_actual;
+    std::vector<int> validation_predicted;
+    std::size_t tree_nodes = 0;
+    std::size_t size_bytes = 0;
+    /** Geomean speedup of routed choice over always-CPU / always-GPU /
+     *  always-FPGA policies, on the validation set. */
+    double speedup_vs_cpu_only = 1.0;
+    double speedup_vs_gpu_only = 1.0;
+    double speedup_vs_fpga_only = 1.0;
+};
+
+/**
+ * Decision-tree device router. Train on labeled samples; route new
+ * workloads by their features.
+ */
+class DeviceRouter
+{
+  public:
+    explicit DeviceRouter(DecisionTreeParams params = {})
+        : params_(params)
+    {
+    }
+
+    /**
+     * Train on routing samples, labeling each with the device that is
+     * optimal under `objective`. Returns held-out metrics (30% split).
+     */
+    RouterReport train(const std::vector<RoutingSample> &samples,
+                       const Objective &objective = Objective::latency(),
+                       std::uint64_t seed = 42);
+
+    /** Route a workload by its features. */
+    Device route(const FeatureVector &features) const;
+
+    /** True once train() has run. */
+    bool trained() const { return tree_.trained(); }
+
+    /** Underlying tree (size reporting, serialization). */
+    const DecisionTree &tree() const { return tree_; }
+
+  private:
+    DecisionTreeParams params_;
+    DecisionTree tree_;
+};
+
+/** Label: optimal device index under the objective. */
+int bestDeviceIndex(const DeviceEvaluation &eval,
+                    const Objective &objective);
+
+} // namespace misam
+
+#endif // MISAM_CORE_ROUTER_HH

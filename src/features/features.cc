@@ -1,0 +1,334 @@
+#include "features/features.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+namespace {
+
+constexpr std::array<const char *, kNumFeatures> feature_names = {
+    "A_rows",
+    "A_cols",
+    "A_nonzeroes",
+    "A_sparsity",
+    "A_nnz_row_mean",
+    "A_nnz_row_var",
+    "A_nnz_col_mean",
+    "A_nnz_col_var",
+    "A_load_imbalance_row",
+    "A_load_imbalance_col",
+    "row_B",
+    "col_B",
+    "B_nonzeroes",
+    "B_sparsity",
+    "B_nnz_row_mean",
+    "B_nnz_row_var",
+    "B_nnz_col_mean",
+    "B_nnz_col_var",
+    "B_load_imbalance_row",
+    "B_load_imbalance_col",
+    "Tile_1D_Density",
+    "Tile_1D_Count",
+    "Tile_2D_Density",
+    "Tile_2D_Count",
+    "A_Tile_1D_Density",
+    "A_Tile_1D_Count",
+    "A_Tile_2D_Density",
+    "A_Tile_2D_Count",
+};
+
+AxisStats
+statsFromCounts(const std::vector<Offset> &counts)
+{
+    AxisStats s;
+    if (counts.empty())
+        return s;
+    double sum = 0.0;
+    Offset max_count = 0;
+    for (Offset c : counts) {
+        sum += static_cast<double>(c);
+        max_count = std::max(max_count, c);
+    }
+    s.mean = sum / static_cast<double>(counts.size());
+    double sq = 0.0;
+    for (Offset c : counts) {
+        const double d = static_cast<double>(c) - s.mean;
+        sq += d * d;
+    }
+    s.var = sq / static_cast<double>(counts.size());
+    s.imbalance =
+        s.mean > 0.0 ? static_cast<double>(max_count) / s.mean : 1.0;
+    return s;
+}
+
+} // namespace
+
+const char *
+featureName(FeatureId id)
+{
+    return featureName(static_cast<std::size_t>(id));
+}
+
+const char *
+featureName(std::size_t index)
+{
+    if (index >= kNumFeatures)
+        panic("featureName: index ", index, " out of range");
+    return feature_names[index];
+}
+
+std::vector<double>
+FeatureVector::toVector() const
+{
+    return {values.begin(), values.end()};
+}
+
+MatrixStats
+computeMatrixStats(const CsrMatrix &m)
+{
+    std::vector<Offset> row_counts(m.rows());
+    for (Index r = 0; r < m.rows(); ++r)
+        row_counts[r] = m.rowNnz(r);
+
+    std::vector<Offset> col_counts(m.cols(), 0);
+    for (Index c : m.colIdx())
+        ++col_counts[c];
+
+    return {statsFromCounts(row_counts), statsFromCounts(col_counts)};
+}
+
+TileStats
+computeTileStats1D(const CsrMatrix &m, Index tile_rows)
+{
+    if (tile_rows == 0)
+        fatal("computeTileStats1D: tile_rows must be positive");
+    TileStats out;
+    if (m.rows() == 0 || m.cols() == 0)
+        return out;
+
+    const Index n_tiles = (m.rows() + tile_rows - 1) / tile_rows;
+    double density_sum = 0.0;
+    Offset nonempty = 0;
+    for (Index t = 0; t < n_tiles; ++t) {
+        const Index r_lo = t * tile_rows;
+        const Index r_hi = std::min<Index>(r_lo + tile_rows, m.rows());
+        const Offset nnz = m.rowPtr()[r_hi] - m.rowPtr()[r_lo];
+        if (nnz == 0)
+            continue;
+        const double area =
+            static_cast<double>(r_hi - r_lo) * static_cast<double>(m.cols());
+        density_sum += static_cast<double>(nnz) / area;
+        ++nonempty;
+    }
+    if (nonempty > 0)
+        out.mean_density = density_sum / static_cast<double>(nonempty);
+    out.nonempty_tiles = static_cast<double>(nonempty);
+    return out;
+}
+
+TileStats
+computeTileStats2D(const CsrMatrix &m, Index tile_rows, Index tile_cols)
+{
+    if (tile_rows == 0 || tile_cols == 0)
+        fatal("computeTileStats2D: tile dimensions must be positive");
+    TileStats out;
+    if (m.rows() == 0 || m.cols() == 0)
+        return out;
+
+    const Index col_tiles = (m.cols() + tile_cols - 1) / tile_cols;
+    const Index row_tiles = (m.rows() + tile_rows - 1) / tile_rows;
+
+    // Count nonzeros per 2D tile in one O(nnz) pass over CSR. Tiles are
+    // indexed (row_tile * col_tiles + col_tile).
+    std::vector<Offset> tile_nnz(
+        static_cast<std::size_t>(col_tiles) * row_tiles, 0);
+    for (Index r = 0; r < m.rows(); ++r) {
+        const std::size_t base =
+            static_cast<std::size_t>(r / tile_rows) * col_tiles;
+        for (Index c : m.rowCols(r))
+            ++tile_nnz[base + c / tile_cols];
+    }
+
+    double density_sum = 0.0;
+    Offset nonempty = 0;
+    for (Index rt = 0; rt < row_tiles; ++rt) {
+        const Index r_lo = rt * tile_rows;
+        const Index r_hi = std::min<Index>(r_lo + tile_rows, m.rows());
+        for (Index ct = 0; ct < col_tiles; ++ct) {
+            const Offset nnz =
+                tile_nnz[static_cast<std::size_t>(rt) * col_tiles + ct];
+            if (nnz == 0)
+                continue;
+            const Index c_lo = ct * tile_cols;
+            const Index c_hi = std::min<Index>(c_lo + tile_cols, m.cols());
+            const double area = static_cast<double>(r_hi - r_lo) *
+                                static_cast<double>(c_hi - c_lo);
+            density_sum += static_cast<double>(nnz) / area;
+            ++nonempty;
+        }
+    }
+    if (nonempty > 0)
+        out.mean_density = density_sum / static_cast<double>(nonempty);
+    out.nonempty_tiles = static_cast<double>(nonempty);
+    return out;
+}
+
+namespace {
+
+/** All single-matrix features, computed together. */
+struct MatrixFeatures
+{
+    MatrixStats stats;
+    TileStats tile1d;
+    TileStats tile2d;
+};
+
+/**
+ * Fused single-pass extraction. Row statistics and 1D tile statistics
+ * come from the row-pointer array alone (O(rows)); column counts and 2D
+ * tile occupancy share one pass over the column indices. Fully dense
+ * matrices short-circuit to closed forms — no per-nonzero work at all —
+ * which is what keeps preprocessing cheap on the (dense-B) SpMM
+ * workloads.
+ */
+MatrixFeatures
+extractMatrixFeatures(const CsrMatrix &m, const FeatureTileConfig &cfg)
+{
+    MatrixFeatures out;
+    if (m.rows() == 0 || m.cols() == 0)
+        return out;
+
+    const Index row_tiles = (m.rows() + cfg.tile_rows - 1) / cfg.tile_rows;
+    const Index col_tiles = (m.cols() + cfg.tile_cols - 1) / cfg.tile_cols;
+
+    const bool dense =
+        m.nnz() == static_cast<Offset>(m.rows()) * m.cols();
+    if (dense) {
+        out.stats.row = {static_cast<double>(m.cols()), 0.0, 1.0};
+        out.stats.col = {static_cast<double>(m.rows()), 0.0, 1.0};
+        out.tile1d = {1.0, static_cast<double>(row_tiles)};
+        out.tile2d = {1.0, static_cast<double>(row_tiles) * col_tiles};
+        return out;
+    }
+
+    // Row stats + 1D tiles from rowPtr offsets only.
+    {
+        std::vector<Offset> row_counts(m.rows());
+        for (Index r = 0; r < m.rows(); ++r)
+            row_counts[r] = m.rowNnz(r);
+        out.stats.row = statsFromCounts(row_counts);
+    }
+    out.tile1d = computeTileStats1D(m, cfg.tile_rows);
+
+    // One fused pass over the column indices: per-column counts and
+    // per-2D-tile occupancy together.
+    std::vector<Offset> col_counts(m.cols(), 0);
+    std::vector<Offset> tile_nnz(
+        static_cast<std::size_t>(row_tiles) * col_tiles, 0);
+    for (Index r = 0; r < m.rows(); ++r) {
+        const std::size_t base =
+            static_cast<std::size_t>(r / cfg.tile_rows) * col_tiles;
+        for (Index c : m.rowCols(r)) {
+            ++col_counts[c];
+            ++tile_nnz[base + c / cfg.tile_cols];
+        }
+    }
+    out.stats.col = statsFromCounts(col_counts);
+
+    double density_sum = 0.0;
+    Offset nonempty = 0;
+    for (Index rt = 0; rt < row_tiles; ++rt) {
+        const Index r_lo = rt * cfg.tile_rows;
+        const Index r_hi =
+            std::min<Index>(r_lo + cfg.tile_rows, m.rows());
+        for (Index ct = 0; ct < col_tiles; ++ct) {
+            const Offset nnz =
+                tile_nnz[static_cast<std::size_t>(rt) * col_tiles + ct];
+            if (nnz == 0)
+                continue;
+            const Index c_lo = ct * cfg.tile_cols;
+            const Index c_hi =
+                std::min<Index>(c_lo + cfg.tile_cols, m.cols());
+            const double area = static_cast<double>(r_hi - r_lo) *
+                                static_cast<double>(c_hi - c_lo);
+            density_sum += static_cast<double>(nnz) / area;
+            ++nonempty;
+        }
+    }
+    if (nonempty > 0)
+        out.tile2d.mean_density =
+            density_sum / static_cast<double>(nonempty);
+    out.tile2d.nonempty_tiles = static_cast<double>(nonempty);
+    return out;
+}
+
+} // namespace
+
+MatrixFeatureSummary
+summarizeMatrix(const CsrMatrix &m, const FeatureTileConfig &cfg)
+{
+    const MatrixFeatures mf = extractMatrixFeatures(m, cfg);
+    return {m.rows(), m.cols(), m.nnz(), mf.stats, mf.tile1d, mf.tile2d};
+}
+
+FeatureVector
+combineFeatures(const MatrixFeatureSummary &a,
+                const MatrixFeatureSummary &b)
+{
+    if (a.cols != b.rows)
+        panic("combineFeatures: dimension mismatch, A cols ", a.cols,
+              " vs B rows ", b.rows);
+
+    auto density = [](const MatrixFeatureSummary &s) {
+        if (s.rows == 0 || s.cols == 0)
+            return 0.0;
+        return static_cast<double>(s.nnz) /
+               (static_cast<double>(s.rows) * static_cast<double>(s.cols));
+    };
+
+    FeatureVector f;
+    f[FeatureId::ARows] = a.rows;
+    f[FeatureId::ACols] = a.cols;
+    f[FeatureId::ANnz] = static_cast<double>(a.nnz);
+    f[FeatureId::ASparsity] = 1.0 - density(a);
+    f[FeatureId::ANnzRowMean] = a.stats.row.mean;
+    f[FeatureId::ANnzRowVar] = a.stats.row.var;
+    f[FeatureId::ANnzColMean] = a.stats.col.mean;
+    f[FeatureId::ANnzColVar] = a.stats.col.var;
+    f[FeatureId::ALoadImbalanceRow] = a.stats.row.imbalance;
+    f[FeatureId::ALoadImbalanceCol] = a.stats.col.imbalance;
+
+    f[FeatureId::BRows] = b.rows;
+    f[FeatureId::BCols] = b.cols;
+    f[FeatureId::BNnz] = static_cast<double>(b.nnz);
+    f[FeatureId::BSparsity] = 1.0 - density(b);
+    f[FeatureId::BNnzRowMean] = b.stats.row.mean;
+    f[FeatureId::BNnzRowVar] = b.stats.row.var;
+    f[FeatureId::BNnzColMean] = b.stats.col.mean;
+    f[FeatureId::BNnzColVar] = b.stats.col.var;
+    f[FeatureId::BLoadImbalanceRow] = b.stats.row.imbalance;
+    f[FeatureId::BLoadImbalanceCol] = b.stats.col.imbalance;
+
+    f[FeatureId::Tile1DDensityB] = b.tile1d.mean_density;
+    f[FeatureId::Tile1DCountB] = b.tile1d.nonempty_tiles;
+    f[FeatureId::Tile2DDensityB] = b.tile2d.mean_density;
+    f[FeatureId::Tile2DCountB] = b.tile2d.nonempty_tiles;
+    f[FeatureId::Tile1DDensityA] = a.tile1d.mean_density;
+    f[FeatureId::Tile1DCountA] = a.tile1d.nonempty_tiles;
+    f[FeatureId::Tile2DDensityA] = a.tile2d.mean_density;
+    f[FeatureId::Tile2DCountA] = a.tile2d.nonempty_tiles;
+
+    return f;
+}
+
+FeatureVector
+extractFeatures(const CsrMatrix &a, const CsrMatrix &b,
+                const FeatureTileConfig &cfg)
+{
+    return combineFeatures(summarizeMatrix(a, cfg),
+                           summarizeMatrix(b, cfg));
+}
+
+} // namespace misam

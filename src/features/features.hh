@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Matrix feature extraction for the ML-based dataflow predictor.
+ *
+ * Implements the paper's candidate feature set (§3.1): sparsity of A and B,
+ * mean and variance of nonzeros per row and column of both matrices, tile
+ * density and tile counts under 1D and architecture-aware 2D tiling of B
+ * (and A), load-imbalance ratios (longest row/column over the average), and
+ * the raw dimensions. All features are derived from CSR/CSC offsets in
+ * O(nnz) time — the property that makes the predictor's preprocessing cost
+ * a ~2% overhead (Fig. 12).
+ */
+
+#ifndef MISAM_FEATURES_FEATURES_HH
+#define MISAM_FEATURES_FEATURES_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace misam {
+
+/**
+ * Identifiers of the extracted features, in storage order. Names follow
+ * the paper's Figure 4 vocabulary where one exists.
+ */
+enum class FeatureId : std::size_t {
+    ARows,               ///< Number of rows in A.
+    ACols,               ///< Number of columns in A (= rows of B).
+    ANnz,                ///< Nonzeros in A ("A_nonzeroes").
+    ASparsity,           ///< 1 - density of A.
+    ANnzRowMean,         ///< Mean nonzeros per row of A.
+    ANnzRowVar,          ///< Variance of nonzeros per row of A.
+    ANnzColMean,         ///< Mean nonzeros per column of A.
+    ANnzColVar,          ///< Variance of nonzeros per column of A.
+    ALoadImbalanceRow,   ///< Longest row of A over mean row length.
+    ALoadImbalanceCol,   ///< Longest column of A over mean column length.
+    BRows,               ///< Number of rows in B ("row_B").
+    BCols,               ///< Number of columns in B.
+    BNnz,                ///< Nonzeros in B.
+    BSparsity,           ///< 1 - density of B.
+    BNnzRowMean,         ///< Mean nonzeros per row of B.
+    BNnzRowVar,          ///< Variance of nonzeros per row of B.
+    BNnzColMean,         ///< Mean nonzeros per column of B.
+    BNnzColVar,          ///< Variance of nonzeros per column of B.
+    BLoadImbalanceRow,   ///< Longest row of B over mean row length.
+    BLoadImbalanceCol,   ///< Longest column of B over mean column length.
+    Tile1DDensityB,      ///< Mean density of nonempty 1D row tiles of B.
+    Tile1DCountB,        ///< Number of nonempty 1D row tiles of B.
+    Tile2DDensityB,      ///< Mean density of nonempty 2D tiles of B.
+    Tile2DCountB,        ///< Number of nonempty 2D tiles of B.
+    Tile1DDensityA,      ///< Mean density of nonempty 1D row tiles of A.
+    Tile1DCountA,        ///< Number of nonempty 1D row tiles of A.
+    Tile2DDensityA,      ///< Mean density of nonempty 2D tiles of A.
+    Tile2DCountA,        ///< Number of nonempty 2D tiles of A.
+    NumFeatures          ///< Sentinel: total feature count.
+};
+
+/** Total number of features. */
+constexpr std::size_t kNumFeatures =
+    static_cast<std::size_t>(FeatureId::NumFeatures);
+
+/** Human-readable feature name (Figure 4 vocabulary). */
+const char *featureName(FeatureId id);
+
+/** Feature name by flat index; panics when out of range. */
+const char *featureName(std::size_t index);
+
+/** A fixed-length feature vector for one (A, B) workload. */
+struct FeatureVector
+{
+    std::array<double, kNumFeatures> values{};
+
+    double
+    operator[](FeatureId id) const
+    {
+        return values[static_cast<std::size_t>(id)];
+    }
+
+    double &
+    operator[](FeatureId id)
+    {
+        return values[static_cast<std::size_t>(id)];
+    }
+
+    /** Copy into a plain vector (the ML layer's sample type). */
+    std::vector<double> toVector() const;
+};
+
+/**
+ * Tiling geometry used for the tile-density features. Defaults match the
+ * hardware: 4096-entry BRAM row tiles (§3.2.1) and the architecture-aware
+ * 2D tile width of one PEG's SIMD span.
+ */
+struct FeatureTileConfig
+{
+    Index tile_rows = 4096;   ///< 1D tile height (BRAM rows).
+    Index tile_cols = 512;    ///< 2D tile width.
+};
+
+/** Per-axis nonzero-count statistics of a single matrix. */
+struct AxisStats
+{
+    double mean = 0.0;        ///< Mean count per row/column.
+    double var = 0.0;         ///< Population variance of the counts.
+    double imbalance = 1.0;   ///< max count / mean count (>= 1; 1 if empty).
+};
+
+/** Row- and column-count statistics of a single matrix, from CSR offsets. */
+struct MatrixStats
+{
+    AxisStats row;
+    AxisStats col;
+};
+
+/** Tile occupancy statistics of a single matrix. */
+struct TileStats
+{
+    double mean_density = 0.0;   ///< Mean nnz/area over nonempty tiles.
+    double nonempty_tiles = 0;   ///< Count of tiles holding >= 1 nonzero.
+};
+
+/** Compute per-row and per-column statistics in O(nnz + rows + cols). */
+MatrixStats computeMatrixStats(const CsrMatrix &m);
+
+/** Compute 1D (row-strip) tile statistics. */
+TileStats computeTileStats1D(const CsrMatrix &m, Index tile_rows);
+
+/** Compute 2D tile statistics. */
+TileStats computeTileStats2D(const CsrMatrix &m, Index tile_rows,
+                             Index tile_cols);
+
+/**
+ * All features of one matrix, precomputed. In streaming execution
+ * (§3.3) the B operand is shared across every A tile, so summarizing it
+ * once and combining per tile removes the dominant preprocessing cost.
+ */
+struct MatrixFeatureSummary
+{
+    Index rows = 0;
+    Index cols = 0;
+    Offset nnz = 0;
+    MatrixStats stats;
+    TileStats tile1d;
+    TileStats tile2d;
+};
+
+/** Compute a reusable feature summary of one matrix. */
+MatrixFeatureSummary summarizeMatrix(const CsrMatrix &m,
+                                     const FeatureTileConfig &cfg = {});
+
+/**
+ * Combine two summaries into the workload feature vector for C = A * B.
+ * Panics if inner dimensions disagree.
+ */
+FeatureVector combineFeatures(const MatrixFeatureSummary &a,
+                              const MatrixFeatureSummary &b);
+
+/**
+ * Extract the full feature vector for the workload C = A * B.
+ * Panics if inner dimensions disagree.
+ */
+FeatureVector extractFeatures(const CsrMatrix &a, const CsrMatrix &b,
+                              const FeatureTileConfig &cfg = {});
+
+} // namespace misam
+
+#endif // MISAM_FEATURES_FEATURES_HH

@@ -1,0 +1,137 @@
+#include "ml/dataset.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+std::size_t
+Dataset::numClasses() const
+{
+    int max_label = -1;
+    for (int l : labels_)
+        max_label = std::max(max_label, l);
+    return static_cast<std::size_t>(max_label + 1);
+}
+
+void
+Dataset::addSample(std::vector<double> features, int label)
+{
+    addSample(std::move(features), label, 0.0);
+}
+
+void
+Dataset::addSample(std::vector<double> features, int label, double target)
+{
+    if (features.size() != num_features_)
+        panic("Dataset::addSample: feature arity ", features.size(),
+              " != ", num_features_);
+    if (label < 0)
+        panic("Dataset::addSample: negative label");
+    rows_.push_back(std::move(features));
+    labels_.push_back(label);
+    targets_.push_back(target);
+}
+
+const std::vector<double> &
+Dataset::features(std::size_t i) const
+{
+    if (i >= rows_.size())
+        panic("Dataset::features: index out of range");
+    return rows_[i];
+}
+
+Dataset
+Dataset::subset(const std::vector<std::size_t> &indices) const
+{
+    Dataset out(num_features_);
+    for (std::size_t i : indices) {
+        if (i >= size())
+            panic("Dataset::subset: index out of range");
+        out.addSample(rows_[i], labels_[i], targets_[i]);
+    }
+    return out;
+}
+
+std::pair<Dataset, Dataset>
+Dataset::stratifiedSplit(double train_fraction, Rng &rng) const
+{
+    if (train_fraction <= 0.0 || train_fraction >= 1.0)
+        fatal("stratifiedSplit: train_fraction must be in (0,1)");
+
+    // Bucket indices by class, shuffle each bucket, take the leading
+    // fraction of each into the training set.
+    const std::size_t k = numClasses();
+    std::vector<std::vector<std::size_t>> buckets(k);
+    for (std::size_t i = 0; i < size(); ++i)
+        buckets[static_cast<std::size_t>(labels_[i])].push_back(i);
+
+    std::vector<std::size_t> train_idx, valid_idx;
+    for (auto &bucket : buckets) {
+        rng.shuffle(bucket);
+        const auto n_train =
+            static_cast<std::size_t>(train_fraction * bucket.size() + 0.5);
+        for (std::size_t j = 0; j < bucket.size(); ++j)
+            (j < n_train ? train_idx : valid_idx).push_back(bucket[j]);
+    }
+    rng.shuffle(train_idx);
+    rng.shuffle(valid_idx);
+    return {subset(train_idx), subset(valid_idx)};
+}
+
+std::vector<std::vector<std::size_t>>
+Dataset::kfoldIndices(std::size_t k, Rng &rng) const
+{
+    if (k < 2)
+        fatal("kfoldIndices: k must be >= 2");
+    std::vector<std::vector<std::size_t>> folds(k);
+
+    const std::size_t classes = numClasses();
+    std::vector<std::vector<std::size_t>> buckets(classes);
+    for (std::size_t i = 0; i < size(); ++i)
+        buckets[static_cast<std::size_t>(labels_[i])].push_back(i);
+
+    std::size_t next_fold = 0;
+    for (auto &bucket : buckets) {
+        rng.shuffle(bucket);
+        for (std::size_t idx : bucket) {
+            folds[next_fold].push_back(idx);
+            next_fold = (next_fold + 1) % k;
+        }
+    }
+    return folds;
+}
+
+std::vector<double>
+Dataset::classWeights() const
+{
+    const auto counts = classCounts();
+    const std::size_t k = counts.size();
+    std::vector<double> weights(k, 0.0);
+    std::size_t present = 0;
+    for (std::size_t c : counts)
+        if (c > 0)
+            ++present;
+    if (present == 0)
+        return weights;
+    for (std::size_t c = 0; c < k; ++c) {
+        if (counts[c] > 0) {
+            weights[c] = static_cast<double>(size()) /
+                         (static_cast<double>(present) *
+                          static_cast<double>(counts[c]));
+        }
+    }
+    return weights;
+}
+
+std::vector<std::size_t>
+Dataset::classCounts() const
+{
+    std::vector<std::size_t> counts(numClasses(), 0);
+    for (int l : labels_)
+        ++counts[static_cast<std::size_t>(l)];
+    return counts;
+}
+
+} // namespace misam

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tabular dataset container and sampling utilities for the ML layer:
+ * train/validation splits (the paper uses 70/30), stratified sampling,
+ * k-fold cross-validation indices, and inverse-frequency class weights
+ * (the paper's remedy for class imbalance, §3.1).
+ */
+
+#ifndef MISAM_ML_DATASET_HH
+#define MISAM_ML_DATASET_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace misam {
+
+/**
+ * A dataset of fixed-width feature rows with an integer class label and an
+ * optional real-valued regression target per row.
+ */
+class Dataset
+{
+  public:
+    Dataset() = default;
+
+    /** Construct an empty dataset with the given feature arity. */
+    explicit Dataset(std::size_t num_features)
+        : num_features_(num_features)
+    {
+    }
+
+    /** Number of features per sample. */
+    std::size_t numFeatures() const { return num_features_; }
+
+    /** Number of samples. */
+    std::size_t size() const { return labels_.size(); }
+
+    /** Largest label value + 1 (0 when empty). */
+    std::size_t numClasses() const;
+
+    /** Append a classification sample. */
+    void addSample(std::vector<double> features, int label);
+
+    /** Append a sample carrying both a label and a regression target. */
+    void addSample(std::vector<double> features, int label, double target);
+
+    /** Feature row i. */
+    const std::vector<double> &features(std::size_t i) const;
+
+    /** Class label of row i. */
+    int label(std::size_t i) const { return labels_[i]; }
+
+    /** Regression target of row i (0 when none was provided). */
+    double target(std::size_t i) const { return targets_[i]; }
+
+    /** All labels. */
+    const std::vector<int> &labels() const { return labels_; }
+
+    /** All regression targets. */
+    const std::vector<double> &targets() const { return targets_; }
+
+    /** Subset of this dataset selected by row indices. */
+    Dataset subset(const std::vector<std::size_t> &indices) const;
+
+    /**
+     * Split into (train, validation) with `train_fraction` of each class
+     * in the training half (stratified), shuffled by `rng`.
+     */
+    std::pair<Dataset, Dataset> stratifiedSplit(double train_fraction,
+                                                Rng &rng) const;
+
+    /**
+     * K-fold partition: returns k disjoint index sets covering the whole
+     * dataset, stratified by class and shuffled by `rng`.
+     */
+    std::vector<std::vector<std::size_t>> kfoldIndices(std::size_t k,
+                                                       Rng &rng) const;
+
+    /**
+     * Inverse-frequency class weights: weight[c] = n / (k * n_c), as in
+     * the "balanced" weighting that the paper applies. Classes absent from
+     * the data get weight 0.
+     */
+    std::vector<double> classWeights() const;
+
+    /** Per-class sample counts indexed by label. */
+    std::vector<std::size_t> classCounts() const;
+
+  private:
+    std::size_t num_features_ = 0;
+    std::vector<std::vector<double>> rows_;
+    std::vector<int> labels_;
+    std::vector<double> targets_;
+};
+
+} // namespace misam
+
+#endif // MISAM_ML_DATASET_HH

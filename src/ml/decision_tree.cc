@@ -1,0 +1,409 @@
+#include "ml/decision_tree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/metrics.hh"
+#include "util/logging.hh"
+
+namespace misam {
+
+namespace {
+
+/** Weighted gini impurity of a class-weight histogram. */
+double
+gini(const std::vector<double> &class_weight_sum, double total)
+{
+    if (total <= 0.0)
+        return 0.0;
+    double sum_sq = 0.0;
+    for (double w : class_weight_sum)
+        sum_sq += (w / total) * (w / total);
+    return 1.0 - sum_sq;
+}
+
+int
+argmaxLabel(const std::vector<double> &class_weight_sum)
+{
+    int best = 0;
+    for (std::size_t c = 1; c < class_weight_sum.size(); ++c)
+        if (class_weight_sum[c] > class_weight_sum[best])
+            best = static_cast<int>(c);
+    return best;
+}
+
+/** Recursive CART builder emitting flattened nodes in preorder. */
+class TreeBuilder
+{
+  public:
+    TreeBuilder(const Dataset &data, const DecisionTreeParams &params,
+                const std::vector<double> &sample_weights,
+                std::size_t num_classes)
+        : data_(data), params_(params), weights_(sample_weights),
+          num_classes_(num_classes),
+          importances_(data.numFeatures(), 0.0)
+    {
+    }
+
+    std::int32_t
+    build(std::vector<std::size_t> &indices, std::size_t depth)
+    {
+        std::vector<double> class_sum(num_classes_, 0.0);
+        double total = 0.0;
+        for (std::size_t i : indices) {
+            class_sum[static_cast<std::size_t>(data_.label(i))] +=
+                weights_[i];
+            total += weights_[i];
+        }
+        const double node_gini = gini(class_sum, total);
+
+        const auto node_id = static_cast<std::int32_t>(nodes_.size());
+        nodes_.push_back({});
+        nodes_[node_id].label = argmaxLabel(class_sum);
+
+        const bool stop = depth >= params_.max_depth ||
+                          indices.size() < params_.min_samples_split ||
+                          node_gini <= 0.0;
+        if (!stop) {
+            const Split split = findBestSplit(indices, class_sum, total,
+                                              node_gini);
+            if (split.valid()) {
+                importances_[static_cast<std::size_t>(split.feature)] +=
+                    split.gain;
+                auto [left_idx, right_idx] = partition(indices, split);
+                // Free the parent's index list before recursing.
+                indices.clear();
+                indices.shrink_to_fit();
+                nodes_[node_id].feature = split.feature;
+                nodes_[node_id].threshold =
+                    static_cast<float>(split.threshold);
+                const std::int32_t left = build(left_idx, depth + 1);
+                nodes_[node_id].left = left;
+                const std::int32_t right = build(right_idx, depth + 1);
+                nodes_[node_id].right = right;
+            }
+        }
+        return node_id;
+    }
+
+    std::vector<DecisionTree::Node> takeNodes() { return std::move(nodes_); }
+
+    std::vector<double>
+    takeImportances()
+    {
+        const double total = std::accumulate(importances_.begin(),
+                                             importances_.end(), 0.0);
+        if (total > 0.0)
+            for (double &v : importances_)
+                v /= total;
+        return std::move(importances_);
+    }
+
+  private:
+    struct Split
+    {
+        std::int32_t feature = -1;
+        double threshold = 0.0;
+        double gain = 0.0;
+
+        bool valid() const { return feature >= 0; }
+    };
+
+    Split
+    findBestSplit(const std::vector<std::size_t> &indices,
+                  const std::vector<double> &class_sum, double total,
+                  double node_gini)
+    {
+        Split best;
+        std::vector<std::size_t> order(indices);
+        std::vector<double> left_sum(num_classes_);
+
+        for (std::size_t f = 0; f < data_.numFeatures(); ++f) {
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return data_.features(a)[f] <
+                                 data_.features(b)[f];
+                      });
+            std::fill(left_sum.begin(), left_sum.end(), 0.0);
+            double left_total = 0.0;
+            std::size_t left_count = 0;
+            for (std::size_t pos = 0; pos + 1 < order.size(); ++pos) {
+                const std::size_t i = order[pos];
+                left_sum[static_cast<std::size_t>(data_.label(i))] +=
+                    weights_[i];
+                left_total += weights_[i];
+                ++left_count;
+
+                const double v = data_.features(i)[f];
+                const double v_next = data_.features(order[pos + 1])[f];
+                if (v == v_next)
+                    continue;
+                if (left_count < params_.min_samples_leaf ||
+                    order.size() - left_count < params_.min_samples_leaf) {
+                    continue;
+                }
+
+                double right_total = total - left_total;
+                double g_left = 0.0, g_right = 0.0;
+                {
+                    double sq_l = 0.0, sq_r = 0.0;
+                    for (std::size_t c = 0; c < num_classes_; ++c) {
+                        const double wl = left_sum[c];
+                        const double wr = class_sum[c] - wl;
+                        sq_l += wl * wl;
+                        sq_r += wr * wr;
+                    }
+                    if (left_total > 0.0)
+                        g_left = 1.0 - sq_l / (left_total * left_total);
+                    if (right_total > 0.0)
+                        g_right = 1.0 - sq_r / (right_total * right_total);
+                }
+                const double child_gini =
+                    (left_total * g_left + right_total * g_right) / total;
+                const double gain =
+                    (total / total_weight_) * (node_gini - child_gini);
+                if (gain > best.gain) {
+                    best.feature = static_cast<std::int32_t>(f);
+                    best.threshold = 0.5 * (v + v_next);
+                    best.gain = gain;
+                }
+            }
+        }
+        if (best.gain < params_.min_impurity_decrease)
+            return {};
+        return best;
+    }
+
+    std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+    partition(const std::vector<std::size_t> &indices, const Split &split)
+    {
+        std::vector<std::size_t> left, right;
+        for (std::size_t i : indices) {
+            const double v =
+                data_.features(i)[static_cast<std::size_t>(split.feature)];
+            (v <= split.threshold ? left : right).push_back(i);
+        }
+        return {std::move(left), std::move(right)};
+    }
+
+  public:
+    /** Total sample weight; set by fit() before build(). */
+    double total_weight_ = 1.0;
+
+  private:
+    const Dataset &data_;
+    const DecisionTreeParams &params_;
+    const std::vector<double> &weights_;
+    std::size_t num_classes_;
+    std::vector<DecisionTree::Node> nodes_;
+    std::vector<double> importances_;
+};
+
+} // namespace
+
+void
+DecisionTree::fit(const Dataset &data, const DecisionTreeParams &params,
+                  const std::vector<double> &class_weights)
+{
+    if (data.size() == 0)
+        fatal("DecisionTree::fit: empty dataset");
+    num_features_ = data.numFeatures();
+    const std::size_t num_classes = std::max<std::size_t>(
+        data.numClasses(), class_weights.size());
+
+    std::vector<double> sample_weights(data.size(), 1.0);
+    if (!class_weights.empty()) {
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            const auto label = static_cast<std::size_t>(data.label(i));
+            if (label >= class_weights.size())
+                panic("DecisionTree::fit: label ", label,
+                      " has no class weight");
+            sample_weights[i] = class_weights[label];
+        }
+    }
+
+    TreeBuilder builder(data, params, sample_weights, num_classes);
+    builder.total_weight_ = std::accumulate(sample_weights.begin(),
+                                            sample_weights.end(), 0.0);
+    std::vector<std::size_t> all(data.size());
+    std::iota(all.begin(), all.end(), 0);
+    builder.build(all, 0);
+    nodes_ = builder.takeNodes();
+    importances_ = builder.takeImportances();
+}
+
+int
+DecisionTree::predict(const std::vector<double> &features) const
+{
+    if (nodes_.empty())
+        panic("DecisionTree::predict: tree not trained");
+    if (features.size() != num_features_)
+        panic("DecisionTree::predict: feature arity ", features.size(),
+              " != ", num_features_);
+    std::int32_t node = 0;
+    while (nodes_[node].feature != kLeaf) {
+        const auto &n = nodes_[node];
+        node = features[static_cast<std::size_t>(n.feature)] <= n.threshold
+                   ? n.left
+                   : n.right;
+    }
+    return nodes_[node].label;
+}
+
+std::vector<int>
+DecisionTree::predictAll(const Dataset &data) const
+{
+    std::vector<int> out;
+    out.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.push_back(predict(data.features(i)));
+    return out;
+}
+
+std::size_t
+DecisionTree::depth() const
+{
+    if (nodes_.empty())
+        return 0;
+    // Iterative DFS carrying depth.
+    std::size_t max_depth = 0;
+    std::vector<std::pair<std::int32_t, std::size_t>> stack{{0, 0}};
+    while (!stack.empty()) {
+        auto [node, d] = stack.back();
+        stack.pop_back();
+        max_depth = std::max(max_depth, d);
+        if (nodes_[node].feature != kLeaf) {
+            stack.push_back({nodes_[node].left, d + 1});
+            stack.push_back({nodes_[node].right, d + 1});
+        }
+    }
+    return max_depth;
+}
+
+std::size_t
+DecisionTree::leafCount() const
+{
+    std::size_t leaves = 0;
+    for (const Node &n : nodes_)
+        if (n.feature == kLeaf)
+            ++leaves;
+    return leaves;
+}
+
+std::size_t
+DecisionTree::pruneWithValidation(const Dataset &validation)
+{
+    if (nodes_.empty() || validation.size() == 0)
+        return 0;
+
+    const std::size_t before = nodes_.size();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        const double base_acc =
+            accuracy(validation.labels(), predictAll(validation));
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            Node &n = nodes_[i];
+            if (n.feature == kLeaf)
+                continue;
+            const bool children_are_leaves =
+                nodes_[n.left].feature == kLeaf &&
+                nodes_[n.right].feature == kLeaf;
+            if (!children_are_leaves)
+                continue;
+            // Tentatively collapse; restore if accuracy drops.
+            const Node saved = n;
+            n.feature = kLeaf;
+            const double pruned_acc =
+                accuracy(validation.labels(), predictAll(validation));
+            if (pruned_acc >= base_acc) {
+                changed = true;
+                break; // Restart scan against the new baseline.
+            }
+            n = saved;
+        }
+    }
+
+    // Compact away unreachable nodes.
+    std::vector<Node> compact;
+    std::vector<std::int32_t> remap(nodes_.size(), -1);
+    std::vector<std::int32_t> stack{0};
+    // Preorder rebuild preserving child order.
+    std::vector<std::int32_t> order;
+    while (!stack.empty()) {
+        const std::int32_t node = stack.back();
+        stack.pop_back();
+        order.push_back(node);
+        if (nodes_[node].feature != kLeaf) {
+            stack.push_back(nodes_[node].right);
+            stack.push_back(nodes_[node].left);
+        }
+    }
+    for (std::int32_t node : order) {
+        remap[node] = static_cast<std::int32_t>(compact.size());
+        compact.push_back(nodes_[node]);
+    }
+    for (Node &n : compact) {
+        if (n.feature != kLeaf) {
+            n.left = remap[n.left];
+            n.right = remap[n.right];
+        } else {
+            n.left = n.right = -1;
+        }
+    }
+    nodes_ = std::move(compact);
+    return before - nodes_.size();
+}
+
+void
+DecisionTree::setNodes(std::vector<Node> nodes, std::size_t num_features)
+{
+    if (nodes.empty())
+        fatal("DecisionTree::setNodes: empty node array");
+    for (const Node &n : nodes) {
+        if (n.feature == kLeaf)
+            continue;
+        if (n.feature < 0 ||
+            static_cast<std::size_t>(n.feature) >= num_features)
+            fatal("DecisionTree::setNodes: bad feature index ", n.feature);
+        if (n.left < 0 || n.right < 0 ||
+            static_cast<std::size_t>(n.left) >= nodes.size() ||
+            static_cast<std::size_t>(n.right) >= nodes.size()) {
+            fatal("DecisionTree::setNodes: bad child index");
+        }
+    }
+    nodes_ = std::move(nodes);
+    num_features_ = num_features;
+    importances_.assign(num_features, 0.0);
+}
+
+double
+crossValidateAccuracy(const Dataset &data, const DecisionTreeParams &params,
+                      std::size_t folds, Rng &rng)
+{
+    const auto fold_indices = data.kfoldIndices(folds, rng);
+    std::vector<double> fold_acc;
+    for (std::size_t f = 0; f < folds; ++f) {
+        std::vector<std::size_t> train_idx;
+        for (std::size_t g = 0; g < folds; ++g)
+            if (g != f)
+                train_idx.insert(train_idx.end(), fold_indices[g].begin(),
+                                 fold_indices[g].end());
+        const Dataset train = data.subset(train_idx);
+        const Dataset valid = data.subset(fold_indices[f]);
+        if (train.size() == 0 || valid.size() == 0)
+            continue;
+        DecisionTree tree;
+        tree.fit(train, params, train.classWeights());
+        fold_acc.push_back(accuracy(valid.labels(), tree.predictAll(valid)));
+    }
+    if (fold_acc.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double a : fold_acc)
+        sum += a;
+    return sum / static_cast<double>(fold_acc.size());
+}
+
+} // namespace misam

@@ -1,0 +1,55 @@
+#include "ml/hw_inference.hh"
+
+#include "util/logging.hh"
+
+namespace misam {
+
+namespace {
+
+/** U55C BRAM capacity in bytes (2016 x RAMB36 = ~9 MB usable). */
+constexpr double kU55cBramBytes = 9.0e6;
+
+} // namespace
+
+double
+HwInferenceModel::onDeviceSeconds(const DecisionTree &tree) const
+{
+    if (!tree.trained())
+        fatal("HwInferenceModel: tree is not trained");
+    const double cycles =
+        static_cast<double>(pipeline_fill) +
+        static_cast<double>(tree.depth()) * cycles_per_level;
+    return cycles / (freq_mhz * 1e6);
+}
+
+double
+HwInferenceModel::onDeviceThroughput(const DecisionTree &tree) const
+{
+    if (!tree.trained())
+        fatal("HwInferenceModel: tree is not trained");
+    // A level-pipelined walker retires one prediction per II once full;
+    // II equals cycles_per_level.
+    return freq_mhz * 1e6 / static_cast<double>(cycles_per_level);
+}
+
+double
+HwInferenceModel::hostGatedSeconds(double host_inference_seconds) const
+{
+    // Features travel down, the decision travels back.
+    return host_inference_seconds + 2.0 * pcie_round_trip_us * 1e-6;
+}
+
+Offset
+HwInferenceModel::bramBlocks(const DecisionTree &tree) const
+{
+    const Offset bytes = tree.sizeBytes();
+    return (bytes + bram_block_bytes - 1) / bram_block_bytes;
+}
+
+double
+HwInferenceModel::bramFraction(const DecisionTree &tree) const
+{
+    return static_cast<double>(tree.sizeBytes()) / kU55cBramBytes;
+}
+
+} // namespace misam

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hardware cost model for on-device decision-tree inference.
+ *
+ * The paper keeps the selector on the host but flags migration to the
+ * FPGA as the next step: "In future iterations, if inference is
+ * migrated to the FPGA to enable on-device reconfiguration decisions,
+ * the model's efficiency and small memory footprint become even more
+ * critical" (§3.1). This module models that deployment: the flattened
+ * node array lives in a BRAM-backed table and a pipelined comparator
+ * walks one level per initiation interval, so a prediction costs
+ * ~depth cycles at the kernel clock — versus a host prediction that
+ * must cross PCIe twice when the decision gates device-side work.
+ */
+
+#ifndef MISAM_ML_HW_INFERENCE_HH
+#define MISAM_ML_HW_INFERENCE_HH
+
+#include "ml/decision_tree.hh"
+#include "sparse/types.hh"
+
+namespace misam {
+
+/** Parameters of the on-device inference engine. */
+struct HwInferenceModel
+{
+    double freq_mhz = 290.0;        ///< Kernel clock (Table 2 band).
+    int cycles_per_level = 2;       ///< BRAM read + compare per level.
+    int pipeline_fill = 6;          ///< Feature-load and output stages.
+    double pcie_round_trip_us = 1.8;///< Host<->device hop (gating the
+                                    ///< host-side alternative).
+    Offset bram_block_bytes = 4096; ///< One BRAM18 block's bytes.
+
+    /** Seconds for one on-device prediction. */
+    double onDeviceSeconds(const DecisionTree &tree) const;
+
+    /**
+     * Steady-state on-device throughput (predictions/s) with a
+     * level-pipelined walker (one prediction completes per
+     * cycles_per_level once the pipeline is full).
+     */
+    double onDeviceThroughput(const DecisionTree &tree) const;
+
+    /**
+     * Seconds for a host prediction when the result must reach the
+     * device: measured host inference plus a PCIe round trip.
+     */
+    double hostGatedSeconds(double host_inference_seconds) const;
+
+    /** BRAM blocks needed to hold the flattened node table. */
+    Offset bramBlocks(const DecisionTree &tree) const;
+
+    /** Fraction of the U55C's BRAM the node table occupies. */
+    double bramFraction(const DecisionTree &tree) const;
+};
+
+} // namespace misam
+
+#endif // MISAM_ML_HW_INFERENCE_HH

@@ -1,0 +1,108 @@
+#include "ml/metrics.hh"
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace misam {
+
+double
+accuracy(const std::vector<int> &actual, const std::vector<int> &predicted)
+{
+    if (actual.size() != predicted.size())
+        panic("accuracy: size mismatch");
+    if (actual.empty())
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        if (actual[i] == predicted[i])
+            ++correct;
+    return static_cast<double>(correct) /
+           static_cast<double>(actual.size());
+}
+
+ConfusionMatrix::ConfusionMatrix(const std::vector<int> &actual,
+                                 const std::vector<int> &predicted,
+                                 std::size_t num_classes)
+    : k_(num_classes), counts_(num_classes * num_classes, 0)
+{
+    if (actual.size() != predicted.size())
+        panic("ConfusionMatrix: size mismatch");
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        const auto a = static_cast<std::size_t>(actual[i]);
+        const auto p = static_cast<std::size_t>(predicted[i]);
+        if (a >= k_ || p >= k_)
+            panic("ConfusionMatrix: label out of range");
+        ++counts_[p * k_ + a];
+    }
+}
+
+std::size_t
+ConfusionMatrix::count(std::size_t predicted, std::size_t actual) const
+{
+    if (predicted >= k_ || actual >= k_)
+        panic("ConfusionMatrix::count: index out of range");
+    return counts_[predicted * k_ + actual];
+}
+
+std::size_t
+ConfusionMatrix::total() const
+{
+    std::size_t sum = 0;
+    for (std::size_t c : counts_)
+        sum += c;
+    return sum;
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    const std::size_t n = total();
+    if (n == 0)
+        return 0.0;
+    std::size_t diag = 0;
+    for (std::size_t c = 0; c < k_; ++c)
+        diag += counts_[c * k_ + c];
+    return static_cast<double>(diag) / static_cast<double>(n);
+}
+
+double
+ConfusionMatrix::precision(std::size_t c) const
+{
+    std::size_t row = 0;
+    for (std::size_t a = 0; a < k_; ++a)
+        row += count(c, a);
+    if (row == 0)
+        return 0.0;
+    return static_cast<double>(count(c, c)) / static_cast<double>(row);
+}
+
+double
+ConfusionMatrix::recall(std::size_t c) const
+{
+    std::size_t col = 0;
+    for (std::size_t p = 0; p < k_; ++p)
+        col += count(p, c);
+    if (col == 0)
+        return 0.0;
+    return static_cast<double>(count(c, c)) / static_cast<double>(col);
+}
+
+std::string
+ConfusionMatrix::render(const std::vector<std::string> &class_names) const
+{
+    if (class_names.size() != k_)
+        panic("ConfusionMatrix::render: name count mismatch");
+    std::vector<std::string> header{"Predicted/Actual"};
+    for (const auto &name : class_names)
+        header.push_back(name);
+    TextTable table(std::move(header));
+    for (std::size_t p = 0; p < k_; ++p) {
+        std::vector<std::string> row{class_names[p]};
+        for (std::size_t a = 0; a < k_; ++a)
+            row.push_back(std::to_string(count(p, a)));
+        table.addRow(std::move(row));
+    }
+    return table.render();
+}
+
+} // namespace misam

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Classification and regression metrics for the evaluation: accuracy,
+ * confusion matrices (Table 5), per-class precision/recall, and the
+ * regression metrics Figure 9 reports (MAE, R^2 live in util/stats.hh).
+ */
+
+#ifndef MISAM_ML_METRICS_HH
+#define MISAM_ML_METRICS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace misam {
+
+/** Fraction of predictions equal to the actual labels. */
+double accuracy(const std::vector<int> &actual,
+                const std::vector<int> &predicted);
+
+/**
+ * Confusion matrix with `num_classes` rows/columns.
+ * count(p, a) is the number of samples predicted as class p whose actual
+ * class is a — the row/column convention of the paper's Table 5
+ * ("Predicted/Actual").
+ */
+class ConfusionMatrix
+{
+  public:
+    ConfusionMatrix(const std::vector<int> &actual,
+                    const std::vector<int> &predicted,
+                    std::size_t num_classes);
+
+    /** Number of classes. */
+    std::size_t numClasses() const { return k_; }
+
+    /** Count of samples predicted `p` with actual class `a`. */
+    std::size_t count(std::size_t predicted, std::size_t actual) const;
+
+    /** Total number of samples. */
+    std::size_t total() const;
+
+    /** Diagonal fraction (== accuracy). */
+    double accuracy() const;
+
+    /** Precision of class c: diag / row sum (predicted c). */
+    double precision(std::size_t c) const;
+
+    /** Recall of class c: diag / column sum (actual c). */
+    double recall(std::size_t c) const;
+
+    /** Render with the given class names (Table 5 layout). */
+    std::string render(const std::vector<std::string> &class_names) const;
+
+  private:
+    std::size_t k_;
+    std::vector<std::size_t> counts_; // row-major [predicted][actual]
+};
+
+} // namespace misam
+
+#endif // MISAM_ML_METRICS_HH

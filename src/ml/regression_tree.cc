@@ -1,0 +1,226 @@
+#include "ml/regression_tree.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+namespace {
+
+/** Recursive variance-reduction builder emitting flattened nodes. */
+class RegBuilder
+{
+  public:
+    RegBuilder(const Dataset &data, const RegressionTreeParams &params)
+        : data_(data), params_(params)
+    {
+    }
+
+    std::int32_t
+    build(std::vector<std::size_t> &indices, std::size_t depth)
+    {
+        double sum = 0.0, sum_sq = 0.0;
+        for (std::size_t i : indices) {
+            sum += data_.target(i);
+            sum_sq += data_.target(i) * data_.target(i);
+        }
+        const auto n = static_cast<double>(indices.size());
+        const double node_mean = sum / n;
+        const double node_sse = sum_sq - sum * sum / n;
+
+        const auto node_id = static_cast<std::int32_t>(nodes_.size());
+        nodes_.push_back({});
+        nodes_[node_id].value = node_mean;
+
+        const bool stop = depth >= params_.max_depth ||
+                          indices.size() < params_.min_samples_split ||
+                          node_sse <= 0.0;
+        if (!stop) {
+            const Split split = findBestSplit(indices, sum, sum_sq,
+                                              node_sse);
+            if (split.valid()) {
+                auto [left_idx, right_idx] = partition(indices, split);
+                indices.clear();
+                indices.shrink_to_fit();
+                nodes_[node_id].feature = split.feature;
+                nodes_[node_id].threshold =
+                    static_cast<float>(split.threshold);
+                const std::int32_t left = build(left_idx, depth + 1);
+                nodes_[node_id].left = left;
+                const std::int32_t right = build(right_idx, depth + 1);
+                nodes_[node_id].right = right;
+            }
+        }
+        return node_id;
+    }
+
+    std::vector<RegressionTree::Node> takeNodes()
+    {
+        return std::move(nodes_);
+    }
+
+  private:
+    struct Split
+    {
+        std::int32_t feature = -1;
+        double threshold = 0.0;
+        double sse_decrease = 0.0;
+
+        bool valid() const { return feature >= 0; }
+    };
+
+    Split
+    findBestSplit(const std::vector<std::size_t> &indices, double total_sum,
+                  double total_sum_sq, double node_sse)
+    {
+        Split best;
+        std::vector<std::size_t> order(indices);
+
+        for (std::size_t f = 0; f < data_.numFeatures(); ++f) {
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return data_.features(a)[f] <
+                                 data_.features(b)[f];
+                      });
+            double left_sum = 0.0, left_sum_sq = 0.0;
+            for (std::size_t pos = 0; pos + 1 < order.size(); ++pos) {
+                const std::size_t i = order[pos];
+                const double t = data_.target(i);
+                left_sum += t;
+                left_sum_sq += t * t;
+
+                const double v = data_.features(i)[f];
+                const double v_next = data_.features(order[pos + 1])[f];
+                if (v == v_next)
+                    continue;
+                const std::size_t left_n = pos + 1;
+                const std::size_t right_n = order.size() - left_n;
+                if (left_n < params_.min_samples_leaf ||
+                    right_n < params_.min_samples_leaf) {
+                    continue;
+                }
+                const double right_sum = total_sum - left_sum;
+                const double right_sum_sq = total_sum_sq - left_sum_sq;
+                const double sse_left =
+                    left_sum_sq -
+                    left_sum * left_sum / static_cast<double>(left_n);
+                const double sse_right =
+                    right_sum_sq -
+                    right_sum * right_sum / static_cast<double>(right_n);
+                const double decrease = node_sse - sse_left - sse_right;
+                if (decrease > best.sse_decrease) {
+                    best.feature = static_cast<std::int32_t>(f);
+                    best.threshold = 0.5 * (v + v_next);
+                    best.sse_decrease = decrease;
+                }
+            }
+        }
+        if (best.sse_decrease < params_.min_variance_decrease)
+            return {};
+        return best;
+    }
+
+    std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+    partition(const std::vector<std::size_t> &indices, const Split &split)
+    {
+        std::vector<std::size_t> left, right;
+        for (std::size_t i : indices) {
+            const double v =
+                data_.features(i)[static_cast<std::size_t>(split.feature)];
+            (v <= split.threshold ? left : right).push_back(i);
+        }
+        return {std::move(left), std::move(right)};
+    }
+
+    const Dataset &data_;
+    const RegressionTreeParams &params_;
+    std::vector<RegressionTree::Node> nodes_;
+};
+
+} // namespace
+
+void
+RegressionTree::fit(const Dataset &data, const RegressionTreeParams &params)
+{
+    if (data.size() == 0)
+        fatal("RegressionTree::fit: empty dataset");
+    num_features_ = data.numFeatures();
+    RegBuilder builder(data, params);
+    std::vector<std::size_t> all(data.size());
+    std::iota(all.begin(), all.end(), 0);
+    builder.build(all, 0);
+    nodes_ = builder.takeNodes();
+}
+
+double
+RegressionTree::predict(const std::vector<double> &features) const
+{
+    if (nodes_.empty())
+        panic("RegressionTree::predict: tree not trained");
+    if (features.size() != num_features_)
+        panic("RegressionTree::predict: feature arity ", features.size(),
+              " != ", num_features_);
+    std::int32_t node = 0;
+    while (nodes_[node].feature != kLeaf) {
+        const auto &n = nodes_[node];
+        node = features[static_cast<std::size_t>(n.feature)] <= n.threshold
+                   ? n.left
+                   : n.right;
+    }
+    return nodes_[node].value;
+}
+
+std::vector<double>
+RegressionTree::predictAll(const Dataset &data) const
+{
+    std::vector<double> out;
+    out.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.push_back(predict(data.features(i)));
+    return out;
+}
+
+std::size_t
+RegressionTree::depth() const
+{
+    if (nodes_.empty())
+        return 0;
+    std::size_t max_depth = 0;
+    std::vector<std::pair<std::int32_t, std::size_t>> stack{{0, 0}};
+    while (!stack.empty()) {
+        auto [node, d] = stack.back();
+        stack.pop_back();
+        max_depth = std::max(max_depth, d);
+        if (nodes_[node].feature != kLeaf) {
+            stack.push_back({nodes_[node].left, d + 1});
+            stack.push_back({nodes_[node].right, d + 1});
+        }
+    }
+    return max_depth;
+}
+
+void
+RegressionTree::setNodes(std::vector<Node> nodes, std::size_t num_features)
+{
+    if (nodes.empty())
+        fatal("RegressionTree::setNodes: empty node array");
+    for (const Node &n : nodes) {
+        if (n.feature == kLeaf)
+            continue;
+        if (n.feature < 0 ||
+            static_cast<std::size_t>(n.feature) >= num_features)
+            fatal("RegressionTree::setNodes: bad feature index ",
+                  n.feature);
+        if (n.left < 0 || n.right < 0 ||
+            static_cast<std::size_t>(n.left) >= nodes.size() ||
+            static_cast<std::size_t>(n.right) >= nodes.size()) {
+            fatal("RegressionTree::setNodes: bad child index");
+        }
+    }
+    nodes_ = std::move(nodes);
+    num_features_ = num_features;
+}
+
+} // namespace misam

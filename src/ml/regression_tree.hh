@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CART regression tree — the reconfiguration engine's latency predictor
+ * (§3.3). Fits on (matrix features + design id) -> log-latency targets and
+ * is evaluated with MAE and R^2 (Figure 9 reports MAE 0.344, R^2 0.978 on
+ * the paper's platform).
+ */
+
+#ifndef MISAM_ML_REGRESSION_TREE_HH
+#define MISAM_ML_REGRESSION_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hh"
+
+namespace misam {
+
+/** Hyperparameters for regression-tree training. */
+struct RegressionTreeParams
+{
+    std::size_t max_depth = 16;          ///< Maximum tree depth.
+    std::size_t min_samples_leaf = 2;    ///< Minimum samples per leaf.
+    std::size_t min_samples_split = 4;   ///< Minimum samples to split.
+    double min_variance_decrease = 1e-7; ///< Minimum weighted MSE gain.
+};
+
+/**
+ * A trained regression tree in the same flattened-array form as
+ * DecisionTree, predicting the mean target of the reached leaf.
+ */
+class RegressionTree
+{
+  public:
+    /** Sentinel feature index marking a leaf node. */
+    static constexpr std::int32_t kLeaf = -1;
+
+    /** One flattened node. */
+    struct Node
+    {
+        std::int32_t feature = kLeaf;  ///< Split feature or kLeaf.
+        float threshold = 0.0f;        ///< Go left if x[feature] <= threshold.
+        std::int32_t left = -1;        ///< Left child index.
+        std::int32_t right = -1;       ///< Right child index.
+        double value = 0.0;            ///< Mean target (valid at leaves).
+    };
+
+    RegressionTree() = default;
+
+    /** Fit on the dataset's regression targets. */
+    void fit(const Dataset &data, const RegressionTreeParams &params = {});
+
+    /** Predict the target for one feature row. */
+    double predict(const std::vector<double> &features) const;
+
+    /** Predict targets for a whole dataset. */
+    std::vector<double> predictAll(const Dataset &data) const;
+
+    /** Number of nodes. */
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /** Tree depth (0 for a single leaf). */
+    std::size_t depth() const;
+
+    /** Storage footprint of the flattened model in bytes. */
+    std::size_t sizeBytes() const { return nodes_.size() * sizeof(Node); }
+
+    /** Raw node array (serialization and tests). */
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+    /** Replace the node array (deserialization); validates the topology. */
+    void setNodes(std::vector<Node> nodes, std::size_t num_features);
+
+    /** True once fit() or setNodes() has produced a nonempty tree. */
+    bool trained() const { return !nodes_.empty(); }
+
+  private:
+    std::vector<Node> nodes_;
+    std::size_t num_features_ = 0;
+};
+
+} // namespace misam
+
+#endif // MISAM_ML_REGRESSION_TREE_HH

@@ -1,0 +1,149 @@
+#include "ml/serialize.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+namespace {
+
+constexpr std::uint32_t kClassifierMagic = 0x4d49434cu; // "MICL"
+constexpr std::uint32_t kRegressorMagic = 0x4d495247u;  // "MIRG"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint32_t node_count;
+    std::uint32_t num_features;
+};
+
+void
+writeHeader(std::ostream &out, std::uint32_t magic, std::size_t nodes,
+            std::size_t features)
+{
+    const Header h{magic, kVersion, static_cast<std::uint32_t>(nodes),
+                   static_cast<std::uint32_t>(features)};
+    out.write(reinterpret_cast<const char *>(&h), sizeof(h));
+}
+
+Header
+readHeader(std::istream &in, std::uint32_t expected_magic)
+{
+    Header h{};
+    in.read(reinterpret_cast<char *>(&h), sizeof(h));
+    if (!in)
+        fatal("loadTree: truncated header");
+    if (h.magic != expected_magic)
+        fatal("loadTree: bad magic ", h.magic);
+    if (h.version != kVersion)
+        fatal("loadTree: unsupported version ", h.version);
+    return h;
+}
+
+} // namespace
+
+void
+saveTree(std::ostream &out, const DecisionTree &tree,
+         std::size_t num_features)
+{
+    writeHeader(out, kClassifierMagic, tree.nodeCount(), num_features);
+    for (const auto &n : tree.nodes())
+        out.write(reinterpret_cast<const char *>(&n), sizeof(n));
+}
+
+DecisionTree
+loadTree(std::istream &in)
+{
+    const Header h = readHeader(in, kClassifierMagic);
+    std::vector<DecisionTree::Node> nodes(h.node_count);
+    for (auto &n : nodes) {
+        in.read(reinterpret_cast<char *>(&n), sizeof(n));
+        if (!in)
+            fatal("loadTree: truncated node array");
+    }
+    DecisionTree tree;
+    tree.setNodes(std::move(nodes), h.num_features);
+    return tree;
+}
+
+void
+saveTree(std::ostream &out, const RegressionTree &tree,
+         std::size_t num_features)
+{
+    writeHeader(out, kRegressorMagic, tree.nodeCount(), num_features);
+    for (const auto &n : tree.nodes())
+        out.write(reinterpret_cast<const char *>(&n), sizeof(n));
+}
+
+RegressionTree
+loadRegressionTree(std::istream &in)
+{
+    const Header h = readHeader(in, kRegressorMagic);
+    std::vector<RegressionTree::Node> nodes(h.node_count);
+    for (auto &n : nodes) {
+        in.read(reinterpret_cast<char *>(&n), sizeof(n));
+        if (!in)
+            fatal("loadRegressionTree: truncated node array");
+    }
+    RegressionTree tree;
+    tree.setNodes(std::move(nodes), h.num_features);
+    return tree;
+}
+
+void
+saveTreeFile(const std::string &path, const DecisionTree &tree,
+             std::size_t num_features)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("saveTreeFile: cannot create '", path, "'");
+    saveTree(out, tree, num_features);
+}
+
+DecisionTree
+loadTreeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("loadTreeFile: cannot open '", path, "'");
+    return loadTree(in);
+}
+
+void
+saveTreeFile(const std::string &path, const RegressionTree &tree,
+             std::size_t num_features)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("saveTreeFile: cannot create '", path, "'");
+    saveTree(out, tree, num_features);
+}
+
+RegressionTree
+loadRegressionTreeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("loadRegressionTreeFile: cannot open '", path, "'");
+    return loadRegressionTree(in);
+}
+
+std::size_t
+serializedSize(const DecisionTree &tree)
+{
+    return sizeof(Header) +
+           tree.nodeCount() * sizeof(DecisionTree::Node);
+}
+
+std::size_t
+serializedSize(const RegressionTree &tree)
+{
+    return sizeof(Header) +
+           tree.nodeCount() * sizeof(RegressionTree::Node);
+}
+
+} // namespace misam

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Binary (de)serialization of the trained trees.
+ *
+ * The paper emphasizes the selector's 6 KB on-disk footprint as the
+ * property that makes host-side (and future on-FPGA) deployment cheap;
+ * these routines produce that artifact and let the model ship separately
+ * from the training pipeline.
+ *
+ * Format: a 16-byte header (magic, version, node count, feature count)
+ * followed by packed node records. Little-endian, fixed width.
+ */
+
+#ifndef MISAM_ML_SERIALIZE_HH
+#define MISAM_ML_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/decision_tree.hh"
+#include "ml/regression_tree.hh"
+
+namespace misam {
+
+/** Write a classifier to a binary stream. */
+void saveTree(std::ostream &out, const DecisionTree &tree,
+              std::size_t num_features);
+
+/** Read a classifier from a binary stream; fatal() on corruption. */
+DecisionTree loadTree(std::istream &in);
+
+/** Write a regression tree to a binary stream. */
+void saveTree(std::ostream &out, const RegressionTree &tree,
+              std::size_t num_features);
+
+/** Read a regression tree from a binary stream; fatal() on corruption. */
+RegressionTree loadRegressionTree(std::istream &in);
+
+/** Save/load helpers against files; fatal() on I/O failure. */
+void saveTreeFile(const std::string &path, const DecisionTree &tree,
+                  std::size_t num_features);
+DecisionTree loadTreeFile(const std::string &path);
+void saveTreeFile(const std::string &path, const RegressionTree &tree,
+                  std::size_t num_features);
+RegressionTree loadRegressionTreeFile(const std::string &path);
+
+/** Serialized size in bytes of a classifier (header + nodes). */
+std::size_t serializedSize(const DecisionTree &tree);
+
+/** Serialized size in bytes of a regression tree (header + nodes). */
+std::size_t serializedSize(const RegressionTree &tree);
+
+} // namespace misam
+
+#endif // MISAM_ML_SERIALIZE_HH

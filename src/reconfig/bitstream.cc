@@ -1,0 +1,81 @@
+#include "reconfig/bitstream.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+BitstreamInfo
+bitstreamInfo(DesignId id)
+{
+    // Sizes scale with the logic footprint of each design (Table 2),
+    // landing in the 50-80 MB band of §6.1.
+    switch (id) {
+      case DesignId::D1:
+        return {id, 64.0};
+      case DesignId::D2:
+      case DesignId::D3:
+        return {id, 78.0}; // shared bitstream
+      case DesignId::D4:
+        return {id, 55.0};
+    }
+    panic("bitstreamInfo: unknown design");
+}
+
+double
+ReconfigTimeModel::fullReconfigSeconds(DesignId target) const
+{
+    const BitstreamInfo info = bitstreamInfo(target);
+    const double transfer =
+        info.size_mb / 1024.0 / pcie_gbps; // MB -> GB over PCIe
+    const double fabric = info.size_mb * fabric_seconds_per_mb;
+    return transfer + fabric;
+}
+
+double
+ReconfigTimeModel::partialReconfigSeconds(DesignId target,
+                                          double region_fraction) const
+{
+    if (region_fraction <= 0.0 || region_fraction > 1.0)
+        fatal("partialReconfigSeconds: region fraction ", region_fraction,
+              " out of (0,1]");
+    const double full = fullReconfigSeconds(target);
+    return std::min(full,
+                    partial_base_seconds + region_fraction * full);
+}
+
+const char *
+reconfigModeName(ReconfigMode mode)
+{
+    switch (mode) {
+      case ReconfigMode::Full:
+        return "Full";
+      case ReconfigMode::Partial:
+        return "Partial";
+      case ReconfigMode::Cgra:
+        return "CGRA";
+    }
+    return "?";
+}
+
+double
+ReconfigTimeModel::switchSeconds(DesignId from, DesignId to) const
+{
+    if (sharesBitstream(from, to))
+        return 0.0;
+    switch (mode) {
+      case ReconfigMode::Full:
+        return fullReconfigSeconds(to);
+      case ReconfigMode::Partial:
+        // The dynamic region must host the target design's footprint;
+        // its bottleneck resource fraction sizes the region.
+        return partialReconfigSeconds(
+            to, designConfig(to).resources.maxFraction());
+      case ReconfigMode::Cgra:
+        return cgra_switch_seconds;
+    }
+    panic("switchSeconds: unknown mode");
+}
+
+} // namespace misam

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bitstream metadata and reconfiguration-time model (paper §6.1).
+ *
+ * Full reconfiguration of the U55C takes 3-4 s: 50-80 MB bitstreams move
+ * over PCIe Gen4 x8 at 6.4 GB/s (~10 ms) but the fabric-programming phase
+ * dominates. Partial reconfiguration of a small dynamic region costs a
+ * few hundred ms, degrading toward the full cost as the region grows.
+ * Designs 2 and 3 share a bitstream, so switching between them is free.
+ */
+
+#ifndef MISAM_RECONFIG_BITSTREAM_HH
+#define MISAM_RECONFIG_BITSTREAM_HH
+
+#include "sim/design.hh"
+
+namespace misam {
+
+/** Static metadata of one design's bitstream. */
+struct BitstreamInfo
+{
+    DesignId design;
+    double size_mb;  ///< Compressed bitstream size.
+};
+
+/** Bitstream metadata for a design (sizes in the paper's 50-80 MB band). */
+BitstreamInfo bitstreamInfo(DesignId id);
+
+/**
+ * How design switches are realized (§6.1). Full reconfiguration is what
+ * the paper's U55C prototype uses; partial reconfiguration and CGRA
+ * mapping are the §6.1 forward-looking alternatives, exposed so the
+ * engine's behaviour can be studied under faster switching
+ * (bench_abl_reconfig_modes).
+ */
+enum class ReconfigMode
+{
+    Full,    ///< Whole-bitstream load: 3-4 s on the U55C.
+    Partial, ///< Dynamic-region update sized to the design's footprint.
+    Cgra,    ///< Coarse-grained reconfigurable fabric: us-ms switches.
+};
+
+/** Display name ("Full", "Partial", "CGRA"). */
+const char *reconfigModeName(ReconfigMode mode);
+
+/** Timing model for loading bitstreams onto the FPGA. */
+struct ReconfigTimeModel
+{
+    ReconfigMode mode = ReconfigMode::Full;
+    double pcie_gbps = 6.4;              ///< PCIe Gen4 x8 effective rate.
+    double fabric_seconds_per_mb = 0.047;///< Fabric programming per MB —
+                                         ///< the dominant §6.1 term.
+    double partial_base_seconds = 0.15;  ///< Fixed partial-reconfig cost.
+    double cgra_switch_seconds = 500e-6; ///< CGRA context-switch time.
+
+    /** Seconds for a full reconfiguration to `target`. */
+    double fullReconfigSeconds(DesignId target) const;
+
+    /**
+     * Seconds for a partial reconfiguration updating `region_fraction`
+     * of the fabric (0, 1]; approaches the full cost at 1.
+     */
+    double partialReconfigSeconds(DesignId target,
+                                  double region_fraction) const;
+
+    /**
+     * Seconds to switch `from` -> `to` under `mode`: zero when the
+     * designs share a bitstream; otherwise the full-reconfiguration
+     * time (Full), a dynamic-region update sized to the target's
+     * resource footprint (Partial), or the CGRA context switch (Cgra).
+     */
+    double switchSeconds(DesignId from, DesignId to) const;
+};
+
+} // namespace misam
+
+#endif // MISAM_RECONFIG_BITSTREAM_HH

@@ -1,0 +1,84 @@
+#include "reconfig/engine.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+std::vector<double>
+augmentFeatures(const FeatureVector &features, DesignId design)
+{
+    std::vector<double> row = features.toVector();
+    row.push_back(static_cast<double>(static_cast<int>(design)));
+    return row;
+}
+
+ReconfigEngine::ReconfigEngine(RegressionTree latency_model,
+                               ReconfigEngineConfig config,
+                               DesignId initial_design)
+    : model_(std::move(latency_model)), config_(config),
+      current_(initial_design)
+{
+    if (!model_.trained())
+        fatal("ReconfigEngine: latency model is not trained");
+    if (config_.threshold <= 0.0)
+        fatal("ReconfigEngine: threshold must be positive");
+}
+
+double
+ReconfigEngine::predictLatencySeconds(const FeatureVector &features,
+                                      DesignId design) const
+{
+    // The model is trained on log2(seconds) to span the microsecond-to-
+    // second range of the workloads; invert here.
+    const double log2_latency =
+        model_.predict(augmentFeatures(features, design));
+    return std::exp2(log2_latency);
+}
+
+ReconfigDecision
+ReconfigEngine::decide(const FeatureVector &features,
+                       DesignId predicted_best, double repetitions)
+{
+    if (repetitions < 1.0)
+        fatal("ReconfigEngine::decide: repetitions must be >= 1");
+
+    ReconfigDecision d;
+    d.current_latency_s = predictLatencySeconds(features, current_);
+    d.best_latency_s = predictLatencySeconds(features, predicted_best);
+    d.overhead_s = config_.time_model.switchSeconds(current_,
+                                                    predicted_best);
+    d.expected_gain_s =
+        (d.current_latency_s - d.best_latency_s) * repetitions;
+
+    if (predicted_best == current_) {
+        d.chosen = current_;
+        return d;
+    }
+    if (d.overhead_s == 0.0) {
+        // Shared bitstream: a pure host-side scheduling change, taken
+        // whenever the predictor sees any gain at all.
+        if (d.expected_gain_s > 0.0) {
+            d.chosen = predicted_best;
+            current_ = predicted_best;
+        } else {
+            d.chosen = current_;
+        }
+        return d;
+    }
+
+    // Paper rule: reconfigure only when the overhead is below the
+    // threshold fraction of the expected gain.
+    if (d.expected_gain_s > 0.0 &&
+        d.overhead_s < config_.threshold * d.expected_gain_s) {
+        d.chosen = predicted_best;
+        d.reconfigure = true;
+        current_ = predicted_best;
+    } else {
+        d.chosen = current_;
+    }
+    return d;
+}
+
+} // namespace misam

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The reconfiguration engine (paper §3.3).
+ *
+ * Given the features of the next workload and the design the selector
+ * predicts, the engine estimates — with a learned latency predictor —
+ * the execution time on the currently loaded design versus the predicted
+ * design plus any bitstream-switch overhead, and triggers reconfiguration
+ * only when the overhead is below a user-defined fraction (default 20%)
+ * of the expected gain. Switches between designs sharing a bitstream
+ * (D2 <-> D3) are free.
+ */
+
+#ifndef MISAM_RECONFIG_ENGINE_HH
+#define MISAM_RECONFIG_ENGINE_HH
+
+#include "features/features.hh"
+#include "ml/regression_tree.hh"
+#include "reconfig/bitstream.hh"
+#include "sim/design.hh"
+
+namespace misam {
+
+/**
+ * Build the latency predictor's input row: the matrix features with the
+ * design id appended as one extra feature, so a single tree covers all
+ * designs.
+ */
+std::vector<double> augmentFeatures(const FeatureVector &features,
+                                    DesignId design);
+
+/** Feature arity of the augmented rows. */
+constexpr std::size_t kAugmentedFeatures = kNumFeatures + 1;
+
+/** The engine's verdict for one workload. */
+struct ReconfigDecision
+{
+    DesignId chosen = DesignId::D1;   ///< Design to run the workload on.
+    bool reconfigure = false;         ///< Whether a bitstream load fires.
+    double current_latency_s = 0.0;   ///< Predicted time on current design.
+    double best_latency_s = 0.0;      ///< Predicted time on target design.
+    double overhead_s = 0.0;          ///< Bitstream-switch cost (0 if
+                                      ///< shared or already loaded).
+    double expected_gain_s = 0.0;     ///< (current - best) * repetitions.
+};
+
+/** Engine configuration knobs. */
+struct ReconfigEngineConfig
+{
+    /**
+     * Reconfiguration threshold (paper default 0.2): switch only when
+     * overhead < threshold * expected gain. Setting the reconfiguration
+     * time model's costs to zero makes the engine always chase the
+     * fastest design.
+     */
+    double threshold = 0.2;
+    ReconfigTimeModel time_model{};
+};
+
+/**
+ * Runtime reconfiguration decision engine. Holds the latency predictor
+ * (a regression tree over augmented features predicting log2 seconds)
+ * and the identity of the currently loaded bitstream.
+ */
+class ReconfigEngine
+{
+  public:
+    ReconfigEngine(RegressionTree latency_model,
+                   ReconfigEngineConfig config = {},
+                   DesignId initial_design = DesignId::D1);
+
+    /** Predicted execution seconds of the workload on `design`. */
+    double predictLatencySeconds(const FeatureVector &features,
+                                 DesignId design) const;
+
+    /**
+     * Decide whether to switch to `predicted_best` for a workload whose
+     * per-execution gain amortizes over `repetitions` runs (tiles of a
+     * streamed matrix, or identical layers of a DNN).
+     *
+     * The decision is applied: on a positive verdict the engine's current
+     * design becomes `predicted_best`.
+     */
+    ReconfigDecision decide(const FeatureVector &features,
+                            DesignId predicted_best,
+                            double repetitions = 1.0);
+
+    /** Design whose bitstream is currently loaded. */
+    DesignId currentDesign() const { return current_; }
+
+    /** Force-load a design (initial programming; tests). */
+    void setCurrentDesign(DesignId id) { current_ = id; }
+
+    /** Engine configuration. */
+    const ReconfigEngineConfig &config() const { return config_; }
+
+    /** Latency predictor (shared with evaluation code). */
+    const RegressionTree &latencyModel() const { return model_; }
+
+  private:
+    RegressionTree model_;
+    ReconfigEngineConfig config_;
+    DesignId current_;
+};
+
+} // namespace misam
+
+#endif // MISAM_RECONFIG_ENGINE_HH

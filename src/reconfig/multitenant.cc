@@ -1,0 +1,72 @@
+#include "reconfig/multitenant.hh"
+
+namespace misam {
+
+namespace {
+
+bool
+withinBudget(const ResourceUtilization &used,
+             const FpgaResourceBudget &budget)
+{
+    return used.lut <= budget.lut && used.ff <= budget.ff &&
+           used.bram <= budget.bram && used.uram <= budget.uram &&
+           used.dsp <= budget.dsp;
+}
+
+ResourceUtilization
+add(const ResourceUtilization &a, const ResourceUtilization &b)
+{
+    return {a.lut + b.lut, a.ff + b.ff, a.bram + b.bram, a.uram + b.uram,
+            a.dsp + b.dsp};
+}
+
+} // namespace
+
+ResourceUtilization
+totalUtilization(const std::vector<DesignId> &instances)
+{
+    ResourceUtilization total{};
+    for (DesignId id : instances)
+        total = add(total, designConfig(id).resources);
+    return total;
+}
+
+bool
+fits(const std::vector<DesignId> &instances,
+     const FpgaResourceBudget &budget)
+{
+    return withinBudget(totalUtilization(instances), budget);
+}
+
+int
+maxInstances(DesignId id, const FpgaResourceBudget &budget)
+{
+    std::vector<DesignId> instances;
+    while (true) {
+        instances.push_back(id);
+        if (!fits(instances, budget))
+            return static_cast<int>(instances.size()) - 1;
+        if (instances.size() > 64)
+            return 64; // Degenerate zero-utilization config guard.
+    }
+}
+
+TenantPacking
+packInstances(const std::vector<DesignId> &requested,
+              const FpgaResourceBudget &budget)
+{
+    TenantPacking packing;
+    for (DesignId id : requested) {
+        const ResourceUtilization candidate =
+            add(packing.used, designConfig(id).resources);
+        if (withinBudget(candidate, budget)) {
+            packing.placed.push_back(id);
+            packing.used = candidate;
+        } else {
+            packing.rejected.push_back(id);
+        }
+    }
+    return packing;
+}
+
+} // namespace misam

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Multi-tenant packing of design instances on one FPGA (paper §6.2).
+ *
+ * Because each Misam bitstream uses only a compact slice of the U55C's
+ * resources (Table 2), several independent instances can be co-located.
+ * The paper estimates 1 instance of Design 1, 2 of Design 2/3, and 2 of
+ * Design 4 fit individually; this module computes those bounds and packs
+ * mixed sets of requested instances greedily against the device budget.
+ */
+
+#ifndef MISAM_RECONFIG_MULTITENANT_HH
+#define MISAM_RECONFIG_MULTITENANT_HH
+
+#include <vector>
+
+#include "sim/design.hh"
+
+namespace misam {
+
+/** Fraction of each device resource available for kernels (1.0 = all). */
+struct FpgaResourceBudget
+{
+    double lut = 1.0;
+    double ff = 1.0;
+    double bram = 1.0;
+    double uram = 1.0;
+    double dsp = 1.0;
+};
+
+/** Sum of per-design utilizations of a set of co-located instances. */
+ResourceUtilization
+totalUtilization(const std::vector<DesignId> &instances);
+
+/** True if the instances' summed utilization fits the budget. */
+bool fits(const std::vector<DesignId> &instances,
+          const FpgaResourceBudget &budget = {});
+
+/** Maximum same-design instance count fitting the budget. */
+int maxInstances(DesignId id, const FpgaResourceBudget &budget = {});
+
+/** Result of packing a request list. */
+struct TenantPacking
+{
+    std::vector<DesignId> placed;
+    std::vector<DesignId> rejected;
+    ResourceUtilization used;
+};
+
+/**
+ * Greedy first-fit packing of the requested instances in order; each is
+ * placed when it still fits the remaining budget.
+ */
+TenantPacking packInstances(const std::vector<DesignId> &requested,
+                            const FpgaResourceBudget &budget = {});
+
+} // namespace misam
+
+#endif // MISAM_RECONFIG_MULTITENANT_HH

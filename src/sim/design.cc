@@ -1,0 +1,149 @@
+#include "sim/design.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+double
+ResourceUtilization::maxFraction() const
+{
+    return std::max({lut, ff, bram, uram, dsp});
+}
+
+const std::array<DesignId, kNumDesigns> &
+allDesigns()
+{
+    static const std::array<DesignId, kNumDesigns> ids = {
+        DesignId::D1, DesignId::D2, DesignId::D3, DesignId::D4};
+    return ids;
+}
+
+const char *
+designName(DesignId id)
+{
+    switch (id) {
+      case DesignId::D1:
+        return "Design 1";
+      case DesignId::D2:
+        return "Design 2";
+      case DesignId::D3:
+        return "Design 3";
+      case DesignId::D4:
+        return "Design 4";
+    }
+    return "?";
+}
+
+namespace {
+
+DesignConfig
+makeDesign1()
+{
+    DesignConfig d;
+    d.id = DesignId::D1;
+    d.name = designName(DesignId::D1);
+    d.ch_a = 8;
+    d.ch_b = 4;
+    d.ch_c = 8;
+    d.pegs = 16;
+    d.accgs = 16;
+    d.scheduler = SchedulerKind::Col;
+    d.format_b = FormatB::Uncompressed;
+    d.freq_mhz = 284.02;
+    d.resources = {0.3320, 0.2361, 0.6071, 0.2667, 0.2900};
+    return d;
+}
+
+DesignConfig
+makeDesign2()
+{
+    DesignConfig d;
+    d.id = DesignId::D2;
+    d.name = designName(DesignId::D2);
+    d.ch_a = 12;
+    d.ch_b = 4;
+    d.ch_c = 12;
+    d.pegs = 24;
+    d.accgs = 24;
+    d.scheduler = SchedulerKind::Col;
+    d.format_b = FormatB::Uncompressed;
+    d.freq_mhz = 290.3;
+    d.resources = {0.4303, 0.3035, 0.4802, 0.4000, 0.3068};
+    // Designs 2/3 spend less BRAM than Design 1 (Table 2: 48% vs 61%),
+    // so their dense B row tiles are shorter.
+    d.bram_tile_rows = 2560;
+    return d;
+}
+
+DesignConfig
+makeDesign3()
+{
+    DesignConfig d = makeDesign2();
+    d.id = DesignId::D3;
+    d.name = designName(DesignId::D3);
+    d.scheduler = SchedulerKind::Row;
+    return d;
+}
+
+DesignConfig
+makeDesign4()
+{
+    DesignConfig d;
+    d.id = DesignId::D4;
+    d.name = designName(DesignId::D4);
+    d.ch_a = 8;
+    d.ch_b = 8;
+    d.ch_c = 4;
+    d.pegs = 16;
+    d.accgs = 16;
+    d.scheduler = SchedulerKind::Col;
+    d.format_b = FormatB::Compressed;
+    d.freq_mhz = 287.4;
+    d.resources = {0.3053, 0.2115, 0.2421, 0.3000, 0.2049};
+    return d;
+}
+
+} // namespace
+
+const DesignConfig &
+designConfig(DesignId id)
+{
+    static const DesignConfig d1 = makeDesign1();
+    static const DesignConfig d2 = makeDesign2();
+    static const DesignConfig d3 = makeDesign3();
+    static const DesignConfig d4 = makeDesign4();
+    switch (id) {
+      case DesignId::D1:
+        return d1;
+      case DesignId::D2:
+        return d2;
+      case DesignId::D3:
+        return d3;
+      case DesignId::D4:
+        return d4;
+    }
+    panic("designConfig: unknown design id");
+}
+
+std::vector<DesignConfig>
+allDesignConfigs()
+{
+    std::vector<DesignConfig> out;
+    for (DesignId id : allDesigns())
+        out.push_back(designConfig(id));
+    return out;
+}
+
+bool
+sharesBitstream(DesignId a, DesignId b)
+{
+    if (a == b)
+        return true;
+    const bool a23 = a == DesignId::D2 || a == DesignId::D3;
+    const bool b23 = b == DesignId::D2 || b == DesignId::D3;
+    return a23 && b23;
+}
+
+} // namespace misam

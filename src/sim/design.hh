@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Static description of the four Misam FPGA designs (paper Table 1) and
+ * their resource/frequency estimates on the Alveo U55C (paper Table 2).
+ */
+
+#ifndef MISAM_SIM_DESIGN_HH
+#define MISAM_SIM_DESIGN_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace misam {
+
+/** Identifiers of the four designs. */
+enum class DesignId : int { D1 = 0, D2 = 1, D3 = 2, D4 = 3 };
+
+/** Number of designs in the suite. */
+constexpr std::size_t kNumDesigns = 4;
+
+/** All design ids in order. */
+const std::array<DesignId, kNumDesigns> &allDesigns();
+
+/** Short display name, e.g. "Design 1". */
+const char *designName(DesignId id);
+
+/** How the host schedules matrix A onto PEs (Table 1 "Scheduler A"). */
+enum class SchedulerKind
+{
+    /**
+     * Column-scheduled (Designs 1, 2, 4): rows of A are distributed
+     * round-robin across PEs and each PE interleaves nonzeros of its own
+     * rows to hide the load/store dependency.
+     */
+    Col,
+    /**
+     * Row-scheduled (Design 3): nonzeros are assigned to PEs by
+     * column index modulo the PE count, spreading long rows across PEs.
+     */
+    Row,
+};
+
+/** Storage format of matrix B (Table 1 "Format B"). */
+enum class FormatB
+{
+    Uncompressed, ///< Dense row tiles, 16 FP32 values per HBM word.
+    Compressed,   ///< 64-bit COO entries, 8 per HBM word (Design 4).
+};
+
+/** FPGA resource-utilization fractions (Table 2). */
+struct ResourceUtilization
+{
+    double lut = 0.0;
+    double ff = 0.0;
+    double bram = 0.0;
+    double uram = 0.0;
+    double dsp = 0.0;
+
+    /** Largest fraction across resource types (packing bottleneck). */
+    double maxFraction() const;
+};
+
+/** Complete configuration of one design. */
+struct DesignConfig
+{
+    DesignId id;
+    std::string name;
+
+    int ch_a;                  ///< HBM channels reading A.
+    int ch_b;                  ///< HBM channels reading B.
+    int ch_c;                  ///< HBM channels writing C.
+    int pegs;                  ///< Processing element groups.
+    int accgs;                 ///< Accumulator groups.
+    int pes_per_peg = 4;       ///< PEs per PEG (fixed by the architecture).
+    int simd_lanes = 8;        ///< B-columns (or B-nonzeros) per PE-cycle.
+    SchedulerKind scheduler;   ///< A-scheduling policy.
+    FormatB format_b;          ///< B storage format.
+
+    double freq_mhz;           ///< Post-route clock (Table 2).
+    ResourceUtilization resources;
+
+    Index bram_tile_rows = 4096;      ///< Dense B-tile height (§3.2.1).
+    Offset bram_capacity_nnz = 49152; ///< Sparse B-tile capacity (Design 4).
+    int dependency_cycles = 2;        ///< Same-row load/store distance.
+    /**
+     * Per-hop latency of the B broadcast chain. Every compute pass pays
+     * a pipeline fill of pegs * broadcast_latency cycles before the last
+     * PEG sees its first B element — the deeper chain is why the larger
+     * designs lose to Design 1 when the per-pass work is small (§3.2.2).
+     */
+    int broadcast_latency = 6;
+    int pipeline_depth = 32;          ///< Fill/drain latency per run.
+    /**
+     * Compressed-format per-element overhead (Design 4): URAM metadata
+     * lookup cycles spent locating the B row of each A nonzero.
+     */
+    int metadata_lookup_cycles = 3;
+    /**
+     * Effective SIMD lanes when gathering irregular compressed B rows
+     * (< simd_lanes because packed rows straddle lane boundaries).
+     */
+    double compressed_lane_efficiency = 0.625;
+
+    /** Total PE count. */
+    int totalPes() const { return pegs * pes_per_peg; }
+};
+
+/** The configuration of one of the four designs (Table 1 + Table 2). */
+const DesignConfig &designConfig(DesignId id);
+
+/** All four configurations in order. */
+std::vector<DesignConfig> allDesignConfigs();
+
+/**
+ * True when switching between two designs needs no bitstream change.
+ * Designs 2 and 3 share a bitstream and differ only in host scheduling
+ * (paper §4), so D2 <-> D3 is free.
+ */
+bool sharesBitstream(DesignId a, DesignId b);
+
+} // namespace misam
+
+#endif // MISAM_SIM_DESIGN_HH

@@ -1,0 +1,257 @@
+#include "sim/design_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/energy.hh"
+#include "sim/hbm.hh"
+#include "sim/scheduler.hh"
+#include "sim/tiling.hh"
+#include "sparse/convert.hh"
+#include "sparse/spgemm.hh"
+#include "util/logging.hh"
+
+namespace misam {
+
+namespace {
+
+Offset
+ceilDiv(Offset num, Offset den)
+{
+    return (num + den - 1) / den;
+}
+
+/** SpMM path: Designs 1-3 stream B as dense row tiles. */
+SimResult
+simulateSpmm(const DesignConfig &cfg, const CsrMatrix &a,
+             const CscMatrix &a_csc, const CsrMatrix &b,
+             std::vector<TileBreakdown> *detail)
+{
+    SimResult res;
+    res.design = cfg.id;
+
+    const Index n = b.cols();
+    const auto tiles = fixedRowTiles(b.rows(), cfg.bram_tile_rows);
+    const TileScheduler scheduler(cfg.scheduler, cfg.totalPes(),
+                                  cfg.dependency_cycles);
+    // Each PE covers simd_lanes B columns per cycle; the full width of C
+    // is produced in ceil(N / lanes) passes over the tile's schedule.
+    const Offset passes = std::max<Offset>(
+        ceilDiv(n, static_cast<Offset>(cfg.simd_lanes)), 1);
+
+    double total = 0.0;
+    double busy_pe_cycles = 0.0;
+    for (const KTile &tile : tiles) {
+        const Offset a_nnz_tile =
+            a_csc.colPtr()[tile.k_hi] - a_csc.colPtr()[tile.k_lo];
+        const Offset read_a =
+            HbmModel::packedReadCycles(a_nnz_tile, cfg.ch_a);
+        const Offset read_b = HbmModel::denseReadCycles(
+            static_cast<Offset>(tile.height()) * n, cfg.ch_b);
+        const TileScheduleStats sched =
+            scheduler.schedule(a_csc, tile, nullptr);
+        // Every pass re-streams the B tile through the PEG broadcast
+        // chain and pays its pipeline fill — the deeper chain of the
+        // larger designs is what Design 1 exploits on small inputs.
+        const Offset fill = static_cast<Offset>(cfg.pegs) *
+                            static_cast<Offset>(cfg.broadcast_latency);
+        const Offset compute = (sched.schedule_length + fill) * passes;
+
+        res.read_a_cycles += static_cast<double>(read_a);
+        res.read_b_cycles += static_cast<double>(read_b);
+        res.compute_cycles +=
+            static_cast<double>(sched.schedule_length * passes);
+        res.overhead_cycles += static_cast<double>(fill * passes);
+        busy_pe_cycles +=
+            static_cast<double>(sched.busy_cycles) *
+            static_cast<double>(passes);
+
+        total += static_cast<double>(std::max({read_a, read_b, compute}));
+        if (detail) {
+            detail->push_back({tile, sched.total_elements, read_a,
+                               read_b, compute, sched.pe_utilization});
+        }
+    }
+
+    // C is dense M x N for SpMM; written back once, after the last tile.
+    const Offset write_c = HbmModel::denseWriteCycles(
+        static_cast<Offset>(a.rows()) * n, cfg.ch_c);
+    res.write_c_cycles = static_cast<double>(write_c);
+    res.overhead_cycles += cfg.pipeline_depth;
+    total += static_cast<double>(write_c) + cfg.pipeline_depth;
+
+    res.total_cycles = total;
+    res.num_tiles = static_cast<int>(tiles.size());
+    res.multiplies = a.nnz() * static_cast<Offset>(n);
+    res.output_nnz = static_cast<Offset>(a.rows()) * n;
+    if (res.compute_cycles > 0.0) {
+        res.pe_utilization =
+            busy_pe_cycles /
+            (res.compute_cycles * static_cast<double>(cfg.totalPes()));
+    }
+    return res;
+}
+
+/** SpGEMM path: Design 4 with compressed B and sparsity-aware tiles. */
+SimResult
+simulateSpgemm(const DesignConfig &cfg, const CsrMatrix &a,
+               const CscMatrix &a_csc, const CsrMatrix &b,
+               std::vector<TileBreakdown> *detail)
+{
+    SimResult res;
+    res.design = cfg.id;
+
+    const auto tiles = sparsityAwareRowTiles(b, cfg.bram_capacity_nnz,
+                                             /*max_height=*/1u << 16);
+    const TileScheduler scheduler(cfg.scheduler, cfg.totalPes(),
+                                  cfg.dependency_cycles);
+
+    // Per-column job weight: each A nonzero in column k pays a URAM
+    // metadata lookup plus the gather of B row k through the (reduced-
+    // efficiency) SIMD lanes.
+    const double eff_lanes =
+        std::max(1.0, cfg.simd_lanes * cfg.compressed_lane_efficiency);
+    std::vector<Offset> job_weight(b.rows());
+    for (Index k = 0; k < b.rows(); ++k) {
+        const auto gather = static_cast<Offset>(
+            std::ceil(static_cast<double>(b.rowNnz(k)) / eff_lanes));
+        job_weight[k] =
+            static_cast<Offset>(cfg.metadata_lookup_cycles) + gather;
+    }
+
+    double total = 0.0;
+    double busy_pe_cycles = 0.0;
+    for (const KTile &tile : tiles) {
+        const Offset a_nnz_tile =
+            a_csc.colPtr()[tile.k_hi] - a_csc.colPtr()[tile.k_lo];
+        const Offset b_nnz_tile = tileNnz(b, tile);
+        const Offset read_a =
+            HbmModel::packedReadCycles(a_nnz_tile, cfg.ch_a);
+        const Offset read_b =
+            HbmModel::packedReadCycles(b_nnz_tile, cfg.ch_b);
+        const TileScheduleStats sched =
+            scheduler.schedule(a_csc, tile, &job_weight);
+        // Compressed B makes a single pass per tile; one broadcast fill.
+        const Offset fill = static_cast<Offset>(cfg.pegs) *
+                            static_cast<Offset>(cfg.broadcast_latency);
+        const Offset compute = sched.schedule_length + fill;
+
+        res.read_a_cycles += static_cast<double>(read_a);
+        res.read_b_cycles += static_cast<double>(read_b);
+        res.compute_cycles += static_cast<double>(sched.schedule_length);
+        res.overhead_cycles += static_cast<double>(fill);
+        busy_pe_cycles += static_cast<double>(sched.busy_cycles);
+
+        total += static_cast<double>(std::max({read_a, read_b, compute}));
+        if (detail) {
+            detail->push_back({tile, sched.total_elements, read_a,
+                               read_b, compute, sched.pe_utilization});
+        }
+    }
+
+    // Sparse C written back as packed 64-bit entries.
+    res.output_nnz = spgemmOutputNnz(a, b);
+    const Offset write_c =
+        HbmModel::packedWriteCycles(res.output_nnz, cfg.ch_c);
+    res.write_c_cycles = static_cast<double>(write_c);
+    res.overhead_cycles += cfg.pipeline_depth;
+    total += static_cast<double>(write_c) + cfg.pipeline_depth;
+
+    res.total_cycles = total;
+    res.num_tiles = static_cast<int>(tiles.size());
+    res.multiplies = spgemmMultiplyCount(a, b);
+    if (res.compute_cycles > 0.0) {
+        res.pe_utilization =
+            busy_pe_cycles /
+            (res.compute_cycles * static_cast<double>(cfg.totalPes()));
+    }
+    return res;
+}
+
+} // namespace
+
+namespace {
+
+SimResult
+simulateDesignImpl(const DesignConfig &cfg, const CsrMatrix &a,
+                   const CscMatrix &a_csc, const CsrMatrix &b,
+                   std::vector<TileBreakdown> *detail)
+{
+    if (a.cols() != b.rows())
+        fatal("simulateDesign: dimension mismatch, A cols ", a.cols(),
+              " vs B rows ", b.rows());
+    if (a_csc.rows() != a.rows() || a_csc.cols() != a.cols())
+        panic("simulateDesign: a_csc does not match a");
+
+    SimResult res = cfg.format_b == FormatB::Compressed
+                        ? simulateSpgemm(cfg, a, a_csc, b, detail)
+                        : simulateSpmm(cfg, a, a_csc, b, detail);
+    res.exec_seconds = res.total_cycles / (cfg.freq_mhz * 1e6);
+    res.avg_power_watts = fpgaPowerWatts(cfg);
+    res.energy_joules = res.avg_power_watts * res.exec_seconds;
+    return res;
+}
+
+} // namespace
+
+SimResult
+simulateDesign(const DesignConfig &cfg, const CsrMatrix &a,
+               const CscMatrix &a_csc, const CsrMatrix &b)
+{
+    return simulateDesignImpl(cfg, a, a_csc, b, nullptr);
+}
+
+SimResult
+simulateDesign(const DesignConfig &cfg, const CsrMatrix &a,
+               const CsrMatrix &b)
+{
+    return simulateDesign(cfg, a, csrToCsc(a), b);
+}
+
+DetailedSimResult
+simulateDesignDetailed(const DesignConfig &cfg, const CsrMatrix &a,
+                       const CsrMatrix &b)
+{
+    DetailedSimResult out;
+    out.summary =
+        simulateDesignImpl(cfg, a, csrToCsc(a), b, &out.tiles);
+    return out;
+}
+
+FunctionalResult
+executeFunctional(const DesignConfig &cfg, const CsrMatrix &a,
+                  const CsrMatrix &b)
+{
+    // All four designs compute the same mathematical product; the
+    // reference row-wise kernel supplies the values while the cycle
+    // model supplies the time.
+    return {simulateDesign(cfg, a, b), spgemmRowWise(a, b)};
+}
+
+SimResult
+simulateDesign(DesignId id, const CsrMatrix &a, const CsrMatrix &b)
+{
+    return simulateDesign(designConfig(id), a, b);
+}
+
+std::array<SimResult, kNumDesigns>
+simulateAllDesigns(const CsrMatrix &a, const CsrMatrix &b)
+{
+    const CscMatrix a_csc = csrToCsc(a);
+    std::array<SimResult, kNumDesigns> out;
+    for (std::size_t i = 0; i < kNumDesigns; ++i)
+        out[i] = simulateDesign(designConfig(allDesigns()[i]), a, a_csc, b);
+    return out;
+}
+
+DesignId
+fastestDesign(const std::array<SimResult, kNumDesigns> &results)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < results.size(); ++i)
+        if (results[i].exec_seconds < results[best].exec_seconds)
+            best = i;
+    return allDesigns()[best];
+}
+
+} // namespace misam

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Cycle-level simulator of the four Misam designs.
+ *
+ * The paper trains its models on per-design simulators "built using
+ * detailed profiling runs and HLS synthesis reports" (§4); this is our
+ * equivalent. For each B row tile, the model overlaps (double-buffers)
+ * streaming A over ch_A, streaming the B tile over ch_B, and the PE
+ * compute phase, whose length comes from the host scheduling model in
+ * scheduler.hh; output write-back uses ch_C. Designs 1-3 execute SpMM
+ * (B handled as dense rows); Design 4 executes true SpGEMM with
+ * compressed B and sparsity-aware tiling.
+ */
+
+#ifndef MISAM_SIM_DESIGN_SIM_HH
+#define MISAM_SIM_DESIGN_SIM_HH
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "sim/design.hh"
+#include "sim/tiling.hh"
+#include "sparse/csc.hh"
+#include "sparse/csr.hh"
+
+namespace misam {
+
+/** Outcome of simulating one workload on one design. */
+struct SimResult
+{
+    DesignId design = DesignId::D1;
+    double total_cycles = 0.0;     ///< End-to-end kernel cycles.
+    double exec_seconds = 0.0;     ///< total_cycles / frequency.
+
+    double read_a_cycles = 0.0;    ///< Cycles streaming A (sum over tiles).
+    double read_b_cycles = 0.0;    ///< Cycles streaming B.
+    double compute_cycles = 0.0;   ///< PE compute phase cycles.
+    double write_c_cycles = 0.0;   ///< Output write-back cycles.
+    double overhead_cycles = 0.0;  ///< Broadcast/pipeline fill and drain.
+
+    double pe_utilization = 0.0;   ///< Useful work / PE-cycle capacity.
+    Offset multiplies = 0;         ///< Useful scalar MACs performed.
+    Offset output_nnz = 0;         ///< Nonzeros written to C.
+    int num_tiles = 0;             ///< B row tiles processed.
+
+    double avg_power_watts = 0.0;  ///< Modeled power draw.
+    double energy_joules = 0.0;    ///< avg_power * exec_seconds.
+};
+
+/**
+ * Simulate the workload C = A * B on one design.
+ *
+ * `a_csc` may be passed when the caller already holds A in CSC (the
+ * schedulers consume CSC); otherwise it is derived internally.
+ */
+SimResult simulateDesign(const DesignConfig &cfg, const CsrMatrix &a,
+                         const CsrMatrix &b);
+SimResult simulateDesign(const DesignConfig &cfg, const CsrMatrix &a,
+                         const CscMatrix &a_csc, const CsrMatrix &b);
+SimResult simulateDesign(DesignId id, const CsrMatrix &a,
+                         const CsrMatrix &b);
+
+/** Simulate all four designs (sharing one CSC conversion of A). */
+std::array<SimResult, kNumDesigns> simulateAllDesigns(const CsrMatrix &a,
+                                                      const CsrMatrix &b);
+
+/** Index of the fastest design in a simulateAllDesigns() result. */
+DesignId fastestDesign(const std::array<SimResult, kNumDesigns> &results);
+
+/** Phase-by-phase accounting of one B row tile. */
+struct TileBreakdown
+{
+    KTile k_range{0, 0};        ///< B rows this tile covers.
+    Offset a_elements = 0;      ///< A nonzeros scheduled in the tile.
+    Offset read_a_cycles = 0;   ///< ch_A streaming.
+    Offset read_b_cycles = 0;   ///< ch_B streaming.
+    Offset compute_cycles = 0;  ///< PE schedule (x passes) + fills.
+    double pe_utilization = 0.0;
+
+    /** The phase that bounds this tile under double buffering. */
+    Offset
+    bottleneckCycles() const
+    {
+        return std::max({read_a_cycles, read_b_cycles, compute_cycles});
+    }
+};
+
+/** A SimResult plus its per-tile decomposition. */
+struct DetailedSimResult
+{
+    SimResult summary;
+    std::vector<TileBreakdown> tiles;
+};
+
+/**
+ * Simulate with per-tile phase accounting — the view an architect uses
+ * to see whether a workload is ch_A-, ch_B-, or compute-bound tile by
+ * tile (and why e.g. Design 4's sparsity-aware tiles vary in height).
+ */
+DetailedSimResult simulateDesignDetailed(const DesignConfig &cfg,
+                                         const CsrMatrix &a,
+                                         const CsrMatrix &b);
+
+/**
+ * Functional + timing execution: simulate the design AND compute the
+ * actual product with the value-correct reference kernel. Every design
+ * computes the same mathematical C (they differ in schedule and
+ * format, not semantics); tests pin that property.
+ */
+struct FunctionalResult
+{
+    SimResult sim;
+    CsrMatrix product;
+};
+
+FunctionalResult executeFunctional(const DesignConfig &cfg,
+                                   const CsrMatrix &a,
+                                   const CsrMatrix &b);
+
+} // namespace misam
+
+#endif // MISAM_SIM_DESIGN_SIM_HH

@@ -1,0 +1,22 @@
+#include "sim/energy.hh"
+
+namespace misam {
+
+double
+fpgaPowerWatts(const DesignConfig &cfg)
+{
+    // Dynamic power coefficients (watts at 100% utilization of each
+    // resource class at ~290 MHz), fit so a mid-size design lands in the
+    // 35-45 W envelope xbutil reports for U55C kernels.
+    constexpr double lut_w = 40.0;
+    constexpr double ff_w = 10.0;
+    constexpr double bram_w = 12.0;
+    constexpr double uram_w = 8.0;
+    constexpr double dsp_w = 25.0;
+
+    const ResourceUtilization &r = cfg.resources;
+    return PlatformPower::fpga_base + lut_w * r.lut + ff_w * r.ff +
+           bram_w * r.bram + uram_w * r.uram + dsp_w * r.dsp;
+}
+
+} // namespace misam

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Power and energy models.
+ *
+ * The paper measures FPGA power with xbutil, CPU power via RAPL, and GPU
+ * power via NVML (§4); offline we substitute utilization-scaled platform
+ * power models. Only relative energy efficiency across platforms matters
+ * for Figure 11.
+ */
+
+#ifndef MISAM_SIM_ENERGY_HH
+#define MISAM_SIM_ENERGY_HH
+
+#include "sim/design.hh"
+
+namespace misam {
+
+/** Representative platform power draws (watts). */
+struct PlatformPower
+{
+    /** Idle/static draw of the U55C card (shell + HBM). */
+    static constexpr double fpga_base = 12.0;
+    /** Package power of the Core i9-11980HK class CPU under SpGEMM load. */
+    static constexpr double cpu = 45.0;
+    /** Average draw of the RTX A6000 under sparse kernels. */
+    static constexpr double gpu_sparse = 180.0;
+    /** Average draw of the RTX A6000 under dense kernels. */
+    static constexpr double gpu_dense = 280.0;
+};
+
+/**
+ * Modeled power of one Misam design: card base power plus dynamic
+ * contributions scaled by the resource fractions of Table 2.
+ */
+double fpgaPowerWatts(const DesignConfig &cfg);
+
+} // namespace misam
+
+#endif // MISAM_SIM_ENERGY_HH

@@ -1,0 +1,47 @@
+#include "sim/hbm.hh"
+
+#include "util/logging.hh"
+
+namespace misam {
+
+namespace {
+
+Offset
+ceilDiv(Offset num, Offset den)
+{
+    return (num + den - 1) / den;
+}
+
+} // namespace
+
+Offset
+HbmModel::packedReadCycles(Offset entries, int channels)
+{
+    if (channels <= 0)
+        panic("HbmModel: non-positive channel count");
+    const Offset words = ceilDiv(entries, kPackedEntriesPerWord);
+    return ceilDiv(words, static_cast<Offset>(channels));
+}
+
+Offset
+HbmModel::denseReadCycles(Offset values, int channels)
+{
+    if (channels <= 0)
+        panic("HbmModel: non-positive channel count");
+    const Offset words = ceilDiv(values, kDenseValuesPerWord);
+    return ceilDiv(words, static_cast<Offset>(channels));
+}
+
+Offset
+HbmModel::denseWriteCycles(Offset values, int channels)
+{
+    return denseReadCycles(values, channels);
+}
+
+Offset
+HbmModel::packedWriteCycles(Offset entries, int channels)
+{
+    return packedReadCycles(entries, channels);
+}
+
+} // namespace misam

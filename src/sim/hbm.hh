@@ -1,0 +1,46 @@
+/**
+ * @file
+ * HBM channel bandwidth model for the Alveo U55C.
+ *
+ * Each pseudo channel delivers one 512-bit word per kernel cycle. Matrix A
+ * nonzeros are coalesced 8 per word (64-bit row/col/value encoding), dense
+ * B values 16 FP32 per word, and compressed B entries 8 per word — exactly
+ * the packing §3.2.1 and §3.2.4 describe.
+ */
+
+#ifndef MISAM_SIM_HBM_HH
+#define MISAM_SIM_HBM_HH
+
+#include "sparse/types.hh"
+
+namespace misam {
+
+/** Bandwidth model of a group of HBM pseudo channels. */
+class HbmModel
+{
+  public:
+    /** 512-bit words: bytes moved per channel per cycle. */
+    static constexpr Offset kBytesPerWord = 64;
+
+    /** Packed 64-bit A/compressed-B entries per word. */
+    static constexpr Offset kPackedEntriesPerWord = 8;
+
+    /** Dense FP32 values per word. */
+    static constexpr Offset kDenseValuesPerWord = 16;
+
+    /** Cycles to stream `entries` packed 64-bit entries over `channels`. */
+    static Offset packedReadCycles(Offset entries, int channels);
+
+    /** Cycles to stream `values` dense FP32 values over `channels`. */
+    static Offset denseReadCycles(Offset values, int channels);
+
+    /** Cycles to write `values` dense FP32 values over `channels`. */
+    static Offset denseWriteCycles(Offset values, int channels);
+
+    /** Cycles to write `entries` packed 64-bit entries over `channels`. */
+    static Offset packedWriteCycles(Offset entries, int channels);
+};
+
+} // namespace misam
+
+#endif // MISAM_SIM_HBM_HH

@@ -1,0 +1,125 @@
+#include "sim/scheduler.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+TileScheduler::TileScheduler(SchedulerKind kind, int total_pes,
+                             int dependency_cycles)
+    : kind_(kind), total_pes_(total_pes), dep_(dependency_cycles)
+{
+    if (total_pes <= 0)
+        panic("TileScheduler: non-positive PE count");
+    if (dependency_cycles < 1)
+        panic("TileScheduler: dependency distance must be >= 1");
+}
+
+Offset
+TileScheduler::peScheduleLength(Offset total_work, Offset max_row_count,
+                                Offset rows_at_max, int dep)
+{
+    if (total_work == 0)
+        return 0;
+    const Offset cooldown_bound =
+        max_row_count > 0
+            ? (max_row_count - 1) * static_cast<Offset>(dep) + rows_at_max
+            : 0;
+    return std::max(total_work, cooldown_bound);
+}
+
+namespace {
+
+/** Per-PE accumulation of row histograms and work totals. */
+struct PeAccumulator
+{
+    Offset total_elements = 0;
+    Offset total_work = 0;
+    Offset max_row_count = 0;
+    Offset rows_at_max = 0;
+
+    void
+    addRow(Offset count, Offset work)
+    {
+        total_elements += count;
+        total_work += work;
+        if (count > max_row_count) {
+            max_row_count = count;
+            rows_at_max = 1;
+        } else if (count == max_row_count) {
+            ++rows_at_max;
+        }
+    }
+};
+
+} // namespace
+
+TileScheduleStats
+TileScheduler::schedule(const CscMatrix &a_csc, const KTile &k_range,
+                        const std::vector<Offset> *col_job_weight) const
+{
+    if (k_range.k_hi > a_csc.cols())
+        panic("TileScheduler::schedule: tile exceeds A columns");
+
+    const auto pes = static_cast<std::size_t>(total_pes_);
+    std::vector<PeAccumulator> pe_acc(pes);
+
+    if (kind_ == SchedulerKind::Col) {
+        // PE is a function of the output row; accumulate per-row counts
+        // once, then fold each row into its PE.
+        std::vector<Offset> row_count(a_csc.rows(), 0);
+        std::vector<Offset> row_work(a_csc.rows(), 0);
+        std::vector<Index> touched;
+        for (Index k = k_range.k_lo; k < k_range.k_hi; ++k) {
+            const Offset w =
+                col_job_weight ? std::max<Offset>((*col_job_weight)[k], 1)
+                               : 1;
+            for (Index r : a_csc.colRows(k)) {
+                if (row_count[r] == 0)
+                    touched.push_back(r);
+                ++row_count[r];
+                row_work[r] += w;
+            }
+        }
+        for (Index r : touched)
+            pe_acc[r % pes].addRow(row_count[r], row_work[r]);
+    } else {
+        // PE is a function of the column; per-(PE, row) histograms.
+        std::unordered_map<std::uint64_t, std::pair<Offset, Offset>> cells;
+        for (Index k = k_range.k_lo; k < k_range.k_hi; ++k) {
+            const Offset w =
+                col_job_weight ? std::max<Offset>((*col_job_weight)[k], 1)
+                               : 1;
+            const std::uint64_t pe = k % pes;
+            for (Index r : a_csc.colRows(k)) {
+                auto &cell = cells[(pe << 32) | r];
+                cell.first += 1;
+                cell.second += w;
+            }
+        }
+        for (const auto &[key, cell] : cells)
+            pe_acc[key >> 32].addRow(cell.first, cell.second);
+    }
+
+    TileScheduleStats stats;
+    for (const PeAccumulator &acc : pe_acc) {
+        const Offset len = peScheduleLength(acc.total_work,
+                                            acc.max_row_count,
+                                            acc.rows_at_max, dep_);
+        stats.schedule_length = std::max(stats.schedule_length, len);
+        stats.total_elements += acc.total_elements;
+        stats.busy_cycles += acc.total_work;
+    }
+    if (stats.schedule_length > 0) {
+        const Offset capacity =
+            stats.schedule_length * static_cast<Offset>(total_pes_);
+        stats.bubble_cycles = capacity - stats.busy_cycles;
+        stats.pe_utilization = static_cast<double>(stats.busy_cycles) /
+                               static_cast<double>(capacity);
+    }
+    return stats;
+}
+
+} // namespace misam

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * PE scheduling model for the Misam designs.
+ *
+ * The host pre-generates per-PE schedules (§3.2.1). Two policies exist:
+ *
+ *  - Col (Designs 1, 2, 4): rows of A are distributed round-robin across
+ *    PEs; each PE interleaves nonzeros from its own rows to hide the
+ *    2-cycle same-row load/store dependency. More rows per PE means more
+ *    interleaving candidates and fewer "bubbles" — the mechanism that
+ *    makes Design 1 beat Design 2 on small/highly-sparse inputs (§3.2.2).
+ *
+ *  - Row (Design 3): nonzeros are assigned by column index modulo the PE
+ *    count, spreading a long row across PEs — the mechanism that wins
+ *    under high row imbalance (§3.2.3).
+ *
+ * The schedule length per PE is the optimum of the cooldown-scheduling
+ * problem: max(total_work, (cmax - 1) * dep + ties), where cmax is the
+ * largest per-output-row element count on that PE and ties the number of
+ * rows attaining it. trace.cc contains an exact greedy scheduler that
+ * achieves this bound cycle-by-cycle (property-tested against it).
+ */
+
+#ifndef MISAM_SIM_SCHEDULER_HH
+#define MISAM_SIM_SCHEDULER_HH
+
+#include <vector>
+
+#include "sim/design.hh"
+#include "sim/tiling.hh"
+#include "sparse/csc.hh"
+
+namespace misam {
+
+/** Aggregate schedule statistics for one tile. */
+struct TileScheduleStats
+{
+    Offset schedule_length = 0;  ///< Cycles of the slowest PE.
+    Offset total_elements = 0;   ///< A nonzeros scheduled in the tile.
+    Offset busy_cycles = 0;      ///< Sum of per-PE useful work cycles.
+    Offset bubble_cycles = 0;    ///< Idle PE-cycles (pes*length - busy).
+    double pe_utilization = 0.0; ///< busy / (pes * length); 0 if empty.
+};
+
+/**
+ * Closed-form tile scheduler.
+ *
+ * `col_job_weight`, when non-null, gives the compute cycles each nonzero
+ * of A costs as a function of its column (Design 4: proportional to the
+ * nonzeros of the matching B row). Null means unit-cost elements
+ * (Designs 1-3, one cycle per element per SIMD column pass).
+ */
+class TileScheduler
+{
+  public:
+    TileScheduler(SchedulerKind kind, int total_pes, int dependency_cycles);
+
+    /**
+     * Schedule the nonzeros of A (given in CSC) whose columns fall in
+     * `k_range` onto the PEs.
+     */
+    TileScheduleStats
+    schedule(const CscMatrix &a_csc, const KTile &k_range,
+             const std::vector<Offset> *col_job_weight = nullptr) const;
+
+    /** Optimal cooldown-schedule length for one PE's row histogram. */
+    static Offset peScheduleLength(Offset total_work, Offset max_row_count,
+                                   Offset rows_at_max, int dep);
+
+  private:
+    SchedulerKind kind_;
+    int total_pes_;
+    int dep_;
+};
+
+} // namespace misam
+
+#endif // MISAM_SIM_SCHEDULER_HH

@@ -1,0 +1,58 @@
+#include "sim/tiling.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+std::vector<KTile>
+fixedRowTiles(Index rows, Index tile_height)
+{
+    if (tile_height == 0)
+        panic("fixedRowTiles: zero tile height");
+    std::vector<KTile> tiles;
+    for (Index lo = 0; lo < rows; lo += tile_height)
+        tiles.push_back({lo, std::min<Index>(lo + tile_height, rows)});
+    if (tiles.empty())
+        tiles.push_back({0, rows});
+    return tiles;
+}
+
+std::vector<KTile>
+sparsityAwareRowTiles(const CsrMatrix &b, Offset capacity_nnz,
+                      Index max_height)
+{
+    if (capacity_nnz == 0 || max_height == 0)
+        panic("sparsityAwareRowTiles: zero capacity");
+    std::vector<KTile> tiles;
+    Index lo = 0;
+    while (lo < b.rows()) {
+        Index hi = lo;
+        Offset nnz = 0;
+        while (hi < b.rows() && hi - lo < max_height) {
+            const Offset row_nnz = b.rowNnz(hi);
+            if (hi > lo && nnz + row_nnz > capacity_nnz)
+                break;
+            nnz += row_nnz;
+            ++hi;
+        }
+        if (hi == lo)
+            ++hi; // Oversized single row: stream in chunks.
+        tiles.push_back({lo, hi});
+        lo = hi;
+    }
+    if (tiles.empty())
+        tiles.push_back({0, b.rows()});
+    return tiles;
+}
+
+Offset
+tileNnz(const CsrMatrix &b, const KTile &tile)
+{
+    if (tile.k_hi > b.rows() || tile.k_lo > tile.k_hi)
+        panic("tileNnz: tile out of range");
+    return b.rowPtr()[tile.k_hi] - b.rowPtr()[tile.k_lo];
+}
+
+} // namespace misam

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * B-matrix row tiling for the accelerator models.
+ *
+ * Designs 1-3 row-tile dense B at a fixed BRAM height (4096 entries,
+ * §3.2.1). Design 4 performs the paper's "sparsity-aware packing
+ * analysis" (§3.2.4): variable-height row tiles sized so each tile's
+ * nonzeros fill — but do not overflow — the BRAM nonzero capacity, with
+ * URAM metadata mapping B rows to BRAM ranges.
+ */
+
+#ifndef MISAM_SIM_TILING_HH
+#define MISAM_SIM_TILING_HH
+
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace misam {
+
+/** A half-open range [k_lo, k_hi) of B rows (= columns of A). */
+struct KTile
+{
+    Index k_lo;
+    Index k_hi;
+
+    Index height() const { return k_hi - k_lo; }
+};
+
+/** Fixed-height row tiles covering [0, rows). */
+std::vector<KTile> fixedRowTiles(Index rows, Index tile_height);
+
+/**
+ * Sparsity-aware variable-height row tiles of B: greedily extend each
+ * tile until the next row would overflow `capacity_nnz` stored nonzeros
+ * or `max_height` rows of URAM metadata. Every tile holds at least one
+ * row (a single row larger than capacity still becomes its own tile —
+ * the hardware streams it in chunks).
+ */
+std::vector<KTile> sparsityAwareRowTiles(const CsrMatrix &b,
+                                         Offset capacity_nnz,
+                                         Index max_height);
+
+/** Nonzeros of B that fall in the tile. */
+Offset tileNnz(const CsrMatrix &b, const KTile &tile);
+
+} // namespace misam
+
+#endif // MISAM_SIM_TILING_HH

@@ -1,0 +1,116 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+namespace {
+
+/** Greedy cooldown scheduling of one PE's row histogram. */
+PeTimeline
+schedulePe(std::map<Index, Offset> row_counts, int dep)
+{
+    PeTimeline timeline;
+    Offset remaining = 0;
+    for (const auto &[row, count] : row_counts)
+        remaining += count;
+
+    std::map<Index, Offset> last_issue; // row -> cycle of last issue
+    Offset cycle = 0;
+    while (remaining > 0) {
+        // Pick the ready row with the most remaining elements.
+        Index best_row = 0;
+        Offset best_count = 0;
+        for (const auto &[row, count] : row_counts) {
+            if (count == 0)
+                continue;
+            const auto it = last_issue.find(row);
+            const bool ready =
+                it == last_issue.end() ||
+                cycle >= it->second + static_cast<Offset>(dep);
+            if (ready && count > best_count) {
+                best_count = count;
+                best_row = row;
+            }
+        }
+        if (best_count == 0) {
+            timeline.slots.push_back(-1); // bubble
+        } else {
+            timeline.slots.push_back(static_cast<int>(best_row));
+            --row_counts[best_row];
+            last_issue[best_row] = cycle;
+            --remaining;
+        }
+        ++cycle;
+    }
+    return timeline;
+}
+
+} // namespace
+
+std::string
+TimelineTrace::render() const
+{
+    std::ostringstream oss;
+    for (std::size_t pe = 0; pe < pes.size(); ++pe) {
+        oss << "PE" << pe << " |";
+        for (std::size_t c = 0; c < static_cast<std::size_t>(length); ++c) {
+            if (c < pes[pe].slots.size() && pes[pe].slots[c] >= 0) {
+                oss << " r" << pes[pe].slots[c];
+            } else {
+                oss << " . ";
+            }
+        }
+        oss << " |\n";
+    }
+    oss << "cycles: " << length << ", elements: " << elements
+        << ", bubbles: " << bubbles << "\n";
+    return oss.str();
+}
+
+TimelineTrace
+traceSchedule(const CscMatrix &a_csc, SchedulerKind kind, int total_pes,
+              int dependency_cycles, const KTile &k_range)
+{
+    if (total_pes <= 0)
+        panic("traceSchedule: non-positive PE count");
+    if (k_range.k_hi > a_csc.cols())
+        panic("traceSchedule: tile exceeds A columns");
+
+    const auto pes = static_cast<std::size_t>(total_pes);
+    std::vector<std::map<Index, Offset>> per_pe_rows(pes);
+    Offset elements = 0;
+    for (Index k = k_range.k_lo; k < k_range.k_hi; ++k) {
+        for (Index r : a_csc.colRows(k)) {
+            const std::size_t pe =
+                kind == SchedulerKind::Col ? r % pes : k % pes;
+            ++per_pe_rows[pe][r];
+            ++elements;
+        }
+    }
+
+    TimelineTrace trace;
+    trace.elements = elements;
+    for (std::size_t pe = 0; pe < pes; ++pe) {
+        trace.pes.push_back(
+            schedulePe(std::move(per_pe_rows[pe]), dependency_cycles));
+        trace.length = std::max<Offset>(trace.length,
+                                        trace.pes.back().slots.size());
+    }
+    trace.bubbles = trace.length * pes - elements;
+    return trace;
+}
+
+TimelineTrace
+traceSchedule(const CscMatrix &a_csc, SchedulerKind kind, int total_pes,
+              int dependency_cycles)
+{
+    return traceSchedule(a_csc, kind, total_pes, dependency_cycles,
+                         {0, a_csc.cols()});
+}
+
+} // namespace misam

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Exact cycle-by-cycle schedule traces — the machinery behind the paper's
+ * Figure 6 toy timelines, and the ground truth the closed-form scheduler
+ * of scheduler.hh is property-tested against.
+ */
+
+#ifndef MISAM_SIM_TRACE_HH
+#define MISAM_SIM_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/design.hh"
+#include "sim/tiling.hh"
+#include "sparse/csc.hh"
+
+namespace misam {
+
+/** One PE's timeline: the A-row index issued each cycle, or -1 (bubble). */
+struct PeTimeline
+{
+    std::vector<int> slots;
+};
+
+/** A full schedule trace across PEs. */
+struct TimelineTrace
+{
+    std::vector<PeTimeline> pes;
+    Offset length = 0;          ///< Cycles of the slowest PE.
+    Offset elements = 0;        ///< Nonzeros scheduled.
+    Offset bubbles = 0;         ///< Idle slots before the trace's end.
+
+    /** Render as "PE0 | r0 r1 .  r2 |" rows (Figure 6 style). */
+    std::string render() const;
+};
+
+/**
+ * Run the exact greedy scheduler: each PE issues, per cycle, the ready
+ * nonzero whose A row has the most remaining work (ready = the same row
+ * was last issued at least `dependency_cycles` ago on this PE). Achieves
+ * the closed-form optimum of TileScheduler::peScheduleLength.
+ */
+TimelineTrace traceSchedule(const CscMatrix &a_csc, SchedulerKind kind,
+                            int total_pes, int dependency_cycles,
+                            const KTile &k_range);
+
+/** Trace the whole matrix (k_range covering every column). */
+TimelineTrace traceSchedule(const CscMatrix &a_csc, SchedulerKind kind,
+                            int total_pes, int dependency_cycles);
+
+} // namespace misam
+
+#endif // MISAM_SIM_TRACE_HH

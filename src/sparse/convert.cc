@@ -1,0 +1,151 @@
+#include "sparse/convert.hh"
+
+namespace misam {
+
+CsrMatrix
+cooToCsr(CooMatrix coo)
+{
+    coo.sortAndCombine();
+    const Index rows = coo.rows();
+    const Index cols = coo.cols();
+    std::vector<Offset> row_ptr(rows + 1, 0);
+    std::vector<Index> col_idx;
+    std::vector<Value> values;
+    col_idx.reserve(coo.nnz());
+    values.reserve(coo.nnz());
+
+    for (const auto &e : coo.entries())
+        ++row_ptr[e.row + 1];
+    for (Index r = 0; r < rows; ++r)
+        row_ptr[r + 1] += row_ptr[r];
+    for (const auto &e : coo.entries()) {
+        col_idx.push_back(e.col);
+        values.push_back(e.value);
+    }
+    return {rows, cols, std::move(row_ptr), std::move(col_idx),
+            std::move(values)};
+}
+
+CooMatrix
+csrToCoo(const CsrMatrix &csr)
+{
+    CooMatrix coo(csr.rows(), csr.cols());
+    coo.reserve(csr.nnz());
+    for (Index r = 0; r < csr.rows(); ++r) {
+        auto cols = csr.rowCols(r);
+        auto vals = csr.rowVals(r);
+        for (std::size_t k = 0; k < cols.size(); ++k)
+            coo.addEntry(r, cols[k], vals[k]);
+    }
+    return coo;
+}
+
+CscMatrix
+csrToCsc(const CsrMatrix &csr)
+{
+    const Index rows = csr.rows();
+    const Index cols = csr.cols();
+    std::vector<Offset> col_ptr(cols + 1, 0);
+    std::vector<Index> row_idx(csr.nnz());
+    std::vector<Value> values(csr.nnz());
+
+    for (Index c : csr.colIdx())
+        ++col_ptr[c + 1];
+    for (Index c = 0; c < cols; ++c)
+        col_ptr[c + 1] += col_ptr[c];
+
+    std::vector<Offset> cursor(col_ptr.begin(), col_ptr.end() - 1);
+    for (Index r = 0; r < rows; ++r) {
+        auto row_cols = csr.rowCols(r);
+        auto row_vals = csr.rowVals(r);
+        for (std::size_t k = 0; k < row_cols.size(); ++k) {
+            const Offset dst = cursor[row_cols[k]]++;
+            row_idx[dst] = r;
+            values[dst] = row_vals[k];
+        }
+    }
+    return {rows, cols, std::move(col_ptr), std::move(row_idx),
+            std::move(values)};
+}
+
+CsrMatrix
+cscToCsr(const CscMatrix &csc)
+{
+    const Index rows = csc.rows();
+    const Index cols = csc.cols();
+    std::vector<Offset> row_ptr(rows + 1, 0);
+    std::vector<Index> col_idx(csc.nnz());
+    std::vector<Value> values(csc.nnz());
+
+    for (Index r : csc.rowIdx())
+        ++row_ptr[r + 1];
+    for (Index r = 0; r < rows; ++r)
+        row_ptr[r + 1] += row_ptr[r];
+
+    std::vector<Offset> cursor(row_ptr.begin(), row_ptr.end() - 1);
+    for (Index c = 0; c < cols; ++c) {
+        auto rows_in_col = csc.colRows(c);
+        auto vals_in_col = csc.colVals(c);
+        for (std::size_t k = 0; k < rows_in_col.size(); ++k) {
+            const Offset dst = cursor[rows_in_col[k]]++;
+            col_idx[dst] = c;
+            values[dst] = vals_in_col[k];
+        }
+    }
+    return {rows, cols, std::move(row_ptr), std::move(col_idx),
+            std::move(values)};
+}
+
+CsrMatrix
+transpose(const CsrMatrix &csr)
+{
+    const CscMatrix csc = csrToCsc(csr);
+    // A CSC view of A is structurally a CSR view of A^T.
+    return {csc.cols(), csc.rows(), csc.colPtr(), csc.rowIdx(),
+            csc.values()};
+}
+
+DenseMatrix
+csrToDense(const CsrMatrix &csr)
+{
+    DenseMatrix dense(csr.rows(), csr.cols());
+    for (Index r = 0; r < csr.rows(); ++r) {
+        auto cols = csr.rowCols(r);
+        auto vals = csr.rowVals(r);
+        for (std::size_t k = 0; k < cols.size(); ++k)
+            dense.at(r, cols[k]) = vals[k];
+    }
+    return dense;
+}
+
+CsrMatrix
+sliceRows(const CsrMatrix &m, Index row_lo, Index row_hi)
+{
+    if (row_lo > row_hi || row_hi > m.rows())
+        panic("sliceRows: bad range [", row_lo, ",", row_hi, ") for ",
+              m.rows(), " rows");
+    const Index rows = row_hi - row_lo;
+    std::vector<Offset> row_ptr(rows + 1);
+    const Offset base = m.rowPtr()[row_lo];
+    for (Index r = 0; r <= rows; ++r)
+        row_ptr[r] = m.rowPtr()[row_lo + r] - base;
+    std::vector<Index> col_idx(m.colIdx().begin() + base,
+                               m.colIdx().begin() + m.rowPtr()[row_hi]);
+    std::vector<Value> values(m.values().begin() + base,
+                              m.values().begin() + m.rowPtr()[row_hi]);
+    return {rows, m.cols(), std::move(row_ptr), std::move(col_idx),
+            std::move(values)};
+}
+
+CsrMatrix
+denseToCsr(const DenseMatrix &dense)
+{
+    CooMatrix coo(dense.rows(), dense.cols());
+    for (Index r = 0; r < dense.rows(); ++r)
+        for (Index c = 0; c < dense.cols(); ++c)
+            if (dense.at(r, c) != 0.0)
+                coo.addEntry(r, c, dense.at(r, c));
+    return cooToCsr(std::move(coo));
+}
+
+} // namespace misam

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Conversions between the sparse formats (COO/CSR/CSC/dense) and the
+ * transpose operation. All conversions produce canonical (sorted,
+ * duplicate-free) outputs.
+ */
+
+#ifndef MISAM_SPARSE_CONVERT_HH
+#define MISAM_SPARSE_CONVERT_HH
+
+#include "sparse/coo.hh"
+#include "sparse/csc.hh"
+#include "sparse/csr.hh"
+#include "sparse/dense.hh"
+
+namespace misam {
+
+/** COO -> CSR. The input is canonicalized (sorted, duplicates summed). */
+CsrMatrix cooToCsr(CooMatrix coo);
+
+/** CSR -> COO (already canonical). */
+CooMatrix csrToCoo(const CsrMatrix &csr);
+
+/** CSR -> CSC via a counting transpose-style pass. */
+CscMatrix csrToCsc(const CsrMatrix &csr);
+
+/** CSC -> CSR. */
+CsrMatrix cscToCsr(const CscMatrix &csc);
+
+/** Transpose of a CSR matrix, returned in CSR. */
+CsrMatrix transpose(const CsrMatrix &csr);
+
+/** CSR -> dense (for tests on small matrices). */
+DenseMatrix csrToDense(const CsrMatrix &csr);
+
+/** Dense -> CSR, dropping exact zeros. */
+CsrMatrix denseToCsr(const DenseMatrix &dense);
+
+/**
+ * Row slice [row_lo, row_hi) of a CSR matrix (the streaming execution
+ * model's A tiles). Column count is preserved.
+ */
+CsrMatrix sliceRows(const CsrMatrix &m, Index row_lo, Index row_hi);
+
+} // namespace misam
+
+#endif // MISAM_SPARSE_CONVERT_HH

@@ -1,0 +1,61 @@
+#include "sparse/csc.hh"
+
+#include "util/logging.hh"
+
+namespace misam {
+
+CscMatrix::CscMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols), col_ptr_(cols + 1, 0)
+{
+}
+
+CscMatrix::CscMatrix(Index rows, Index cols, std::vector<Offset> col_ptr,
+                     std::vector<Index> row_idx, std::vector<Value> values)
+    : rows_(rows), cols_(cols), col_ptr_(std::move(col_ptr)),
+      row_idx_(std::move(row_idx)), values_(std::move(values))
+{
+    validate();
+}
+
+std::span<const Index>
+CscMatrix::colRows(Index c) const
+{
+    return {row_idx_.data() + col_ptr_[c],
+            static_cast<std::size_t>(colNnz(c))};
+}
+
+std::span<const Value>
+CscMatrix::colVals(Index c) const
+{
+    return {values_.data() + col_ptr_[c],
+            static_cast<std::size_t>(colNnz(c))};
+}
+
+void
+CscMatrix::validate() const
+{
+    if (col_ptr_.size() != static_cast<std::size_t>(cols_) + 1)
+        panic("CscMatrix: colPtr size ", col_ptr_.size(), " != cols+1 (",
+              cols_ + 1, ")");
+    if (col_ptr_.front() != 0)
+        panic("CscMatrix: colPtr[0] != 0");
+    if (col_ptr_.back() != values_.size())
+        panic("CscMatrix: colPtr back ", col_ptr_.back(), " != nnz ",
+              values_.size());
+    if (row_idx_.size() != values_.size())
+        panic("CscMatrix: rowIdx/values size mismatch");
+    for (Index c = 0; c < cols_; ++c) {
+        if (col_ptr_[c] > col_ptr_[c + 1])
+            panic("CscMatrix: colPtr not monotone at column ", c);
+        for (Offset k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+            if (row_idx_[k] >= rows_)
+                panic("CscMatrix: row ", row_idx_[k],
+                      " out of range in column ", c);
+            if (k > col_ptr_[c] && row_idx_[k - 1] >= row_idx_[k])
+                panic("CscMatrix: rows not strictly increasing in column ",
+                      c);
+        }
+    }
+}
+
+} // namespace misam

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Compressed Sparse Column (CSC) matrix.
+ *
+ * The inner-product dataflow needs B in CSC (paper §2.1), the outer-product
+ * dataflow needs A in CSC, and the column-wise schedulers of Designs 1 and 2
+ * traverse A column-major — all of which this format serves.
+ */
+
+#ifndef MISAM_SPARSE_CSC_HH
+#define MISAM_SPARSE_CSC_HH
+
+#include <span>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace misam {
+
+/**
+ * Sparse matrix in compressed sparse column format; the column-major dual
+ * of CsrMatrix with the same invariants transposed.
+ */
+class CscMatrix
+{
+  public:
+    CscMatrix() = default;
+
+    /** Construct an empty (all-zero) rows x cols matrix. */
+    CscMatrix(Index rows, Index cols);
+
+    /** Construct from raw arrays (takes ownership; validates). */
+    CscMatrix(Index rows, Index cols, std::vector<Offset> col_ptr,
+              std::vector<Index> row_idx, std::vector<Value> values);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Offset nnz() const { return values_.size(); }
+
+    /** Number of nonzeros in column c. */
+    Offset colNnz(Index c) const { return col_ptr_[c + 1] - col_ptr_[c]; }
+
+    /** Row indices of column c. */
+    std::span<const Index> colRows(Index c) const;
+
+    /** Values of column c. */
+    std::span<const Value> colVals(Index c) const;
+
+    const std::vector<Offset> &colPtr() const { return col_ptr_; }
+    const std::vector<Index> &rowIdx() const { return row_idx_; }
+    const std::vector<Value> &values() const { return values_; }
+
+    /** Check all structural invariants; panics with a description if bad. */
+    void validate() const;
+
+    bool operator==(const CscMatrix &other) const = default;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Offset> col_ptr_{0};
+    std::vector<Index> row_idx_;
+    std::vector<Value> values_;
+};
+
+} // namespace misam
+
+#endif // MISAM_SPARSE_CSC_HH

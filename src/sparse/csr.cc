@@ -1,0 +1,89 @@
+#include "sparse/csr.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+CsrMatrix::CsrMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0)
+{
+}
+
+CsrMatrix::CsrMatrix(Index rows, Index cols, std::vector<Offset> row_ptr,
+                     std::vector<Index> col_idx, std::vector<Value> values)
+    : rows_(rows), cols_(cols), row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)), values_(std::move(values))
+{
+    validate();
+}
+
+double
+CsrMatrix::density() const
+{
+    if (rows_ == 0 || cols_ == 0)
+        return 0.0;
+    return static_cast<double>(nnz()) /
+           (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+std::span<const Index>
+CsrMatrix::rowCols(Index r) const
+{
+    return {col_idx_.data() + row_ptr_[r],
+            static_cast<std::size_t>(rowNnz(r))};
+}
+
+std::span<const Value>
+CsrMatrix::rowVals(Index r) const
+{
+    return {values_.data() + row_ptr_[r],
+            static_cast<std::size_t>(rowNnz(r))};
+}
+
+void
+CsrMatrix::validate() const
+{
+    if (row_ptr_.size() != static_cast<std::size_t>(rows_) + 1)
+        panic("CsrMatrix: rowPtr size ", row_ptr_.size(), " != rows+1 (",
+              rows_ + 1, ")");
+    if (row_ptr_.front() != 0)
+        panic("CsrMatrix: rowPtr[0] != 0");
+    if (row_ptr_.back() != values_.size())
+        panic("CsrMatrix: rowPtr back ", row_ptr_.back(), " != nnz ",
+              values_.size());
+    if (col_idx_.size() != values_.size())
+        panic("CsrMatrix: colIdx/values size mismatch");
+    for (Index r = 0; r < rows_; ++r) {
+        if (row_ptr_[r] > row_ptr_[r + 1])
+            panic("CsrMatrix: rowPtr not monotone at row ", r);
+        for (Offset k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+            if (col_idx_[k] >= cols_)
+                panic("CsrMatrix: column ", col_idx_[k],
+                      " out of range in row ", r);
+            if (k > row_ptr_[r] && col_idx_[k - 1] >= col_idx_[k])
+                panic("CsrMatrix: columns not strictly increasing in row ",
+                      r);
+        }
+    }
+}
+
+bool
+CsrMatrix::approxEqual(const CsrMatrix &other, double tol) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_ ||
+        row_ptr_ != other.row_ptr_ || col_idx_ != other.col_idx_) {
+        return false;
+    }
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        const double scale =
+            std::max({1.0, std::abs(values_[i]), std::abs(other.values_[i])});
+        if (std::abs(values_[i] - other.values_[i]) > tol * scale)
+            return false;
+    }
+    return true;
+}
+
+} // namespace misam

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Compressed Sparse Row (CSR) matrix.
+ *
+ * CSR is the workhorse format: the row-wise SpGEMM kernels, the feature
+ * extractor (which derives everything from row-pointer offsets, per §3.1 of
+ * the paper), and the accelerator schedulers all consume it.
+ */
+
+#ifndef MISAM_SPARSE_CSR_HH
+#define MISAM_SPARSE_CSR_HH
+
+#include <span>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace misam {
+
+/**
+ * Sparse matrix in compressed sparse row format.
+ *
+ * Invariants (checked by validate()):
+ *  - rowPtr has rows()+1 monotonically non-decreasing entries,
+ *  - rowPtr.front() == 0 and rowPtr.back() == nnz(),
+ *  - column indices within each row are strictly increasing and in range.
+ */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    /** Construct an empty (all-zero) rows x cols matrix. */
+    CsrMatrix(Index rows, Index cols);
+
+    /** Construct from raw arrays (takes ownership; validates). */
+    CsrMatrix(Index rows, Index cols, std::vector<Offset> row_ptr,
+              std::vector<Index> col_idx, std::vector<Value> values);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Offset nnz() const { return values_.size(); }
+
+    /** Fraction of positions that are stored nonzeros. */
+    double density() const;
+
+    /** Number of nonzeros in row r. */
+    Offset rowNnz(Index r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+    /** Column indices of row r. */
+    std::span<const Index> rowCols(Index r) const;
+
+    /** Values of row r. */
+    std::span<const Value> rowVals(Index r) const;
+
+    const std::vector<Offset> &rowPtr() const { return row_ptr_; }
+    const std::vector<Index> &colIdx() const { return col_idx_; }
+    const std::vector<Value> &values() const { return values_; }
+
+    /** Check all structural invariants; panics with a description if bad. */
+    void validate() const;
+
+    /** Structural + value equality. */
+    bool operator==(const CsrMatrix &other) const = default;
+
+    /**
+     * Approximate equality: same structure, values within `tol` (used by
+     * tests comparing the three SpGEMM dataflows, whose accumulation orders
+     * differ).
+     */
+    bool approxEqual(const CsrMatrix &other, double tol = 1e-9) const;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Offset> row_ptr_{0};
+    std::vector<Index> col_idx_;
+    std::vector<Value> values_;
+};
+
+} // namespace misam
+
+#endif // MISAM_SPARSE_CSR_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Row-major dense matrix used as the D (dense) operand in SpMM workloads
+ * (e.g. the 512-column right-hand sides of the HS x D category) and as the
+ * reference result container in tests.
+ */
+
+#ifndef MISAM_SPARSE_DENSE_HH
+#define MISAM_SPARSE_DENSE_HH
+
+#include <vector>
+
+#include "sparse/types.hh"
+#include "util/logging.hh"
+
+namespace misam {
+
+/** Row-major dense matrix of Value. */
+class DenseMatrix
+{
+  public:
+    DenseMatrix() = default;
+
+    /** Construct a zero-initialized rows x cols matrix. */
+    DenseMatrix(Index rows, Index cols)
+        : rows_(rows), cols_(cols),
+          data_(static_cast<std::size_t>(rows) * cols, 0.0)
+    {
+    }
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+
+    /** Element access. */
+    Value &
+    at(Index r, Index c)
+    {
+        checkBounds(r, c);
+        return data_[static_cast<std::size_t>(r) * cols_ + c];
+    }
+
+    /** Element access (const). */
+    Value
+    at(Index r, Index c) const
+    {
+        checkBounds(r, c);
+        return data_[static_cast<std::size_t>(r) * cols_ + c];
+    }
+
+    /** Raw row-major storage. */
+    const std::vector<Value> &data() const { return data_; }
+    std::vector<Value> &data() { return data_; }
+
+    /** Number of stored nonzero elements (for density checks in tests). */
+    Offset countNonzeros() const;
+
+    bool operator==(const DenseMatrix &other) const = default;
+
+  private:
+    void
+    checkBounds(Index r, Index c) const
+    {
+        if (r >= rows_ || c >= cols_)
+            panic("DenseMatrix: index (", r, ",", c, ") out of range for ",
+                  rows_, "x", cols_);
+    }
+
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Value> data_;
+};
+
+inline Offset
+DenseMatrix::countNonzeros() const
+{
+    Offset n = 0;
+    for (Value v : data_)
+        if (v != 0.0)
+            ++n;
+    return n;
+}
+
+} // namespace misam
+
+#endif // MISAM_SPARSE_DENSE_HH

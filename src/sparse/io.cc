@@ -1,0 +1,111 @@
+#include "sparse/io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+namespace {
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+} // namespace
+
+CooMatrix
+readMatrixMarket(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        fatal("MatrixMarket: empty input");
+
+    std::istringstream banner(line);
+    std::string tag, object, format, field, symmetry;
+    banner >> tag >> object >> format >> field >> symmetry;
+    if (tag != "%%MatrixMarket")
+        fatal("MatrixMarket: missing %%MatrixMarket banner");
+    object = toLower(object);
+    format = toLower(format);
+    field = toLower(field);
+    symmetry = toLower(symmetry);
+    if (object != "matrix" || format != "coordinate")
+        fatal("MatrixMarket: only 'matrix coordinate' supported, got '",
+              object, " ", format, "'");
+    const bool pattern = field == "pattern";
+    if (!pattern && field != "real" && field != "integer")
+        fatal("MatrixMarket: unsupported field '", field, "'");
+    const bool symmetric = symmetry == "symmetric";
+    if (!symmetric && symmetry != "general")
+        fatal("MatrixMarket: unsupported symmetry '", symmetry, "'");
+
+    // Skip comments, read the size line.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+    std::istringstream size_line(line);
+    std::uint64_t rows = 0, cols = 0, nnz = 0;
+    if (!(size_line >> rows >> cols >> nnz))
+        fatal("MatrixMarket: bad size line '", line, "'");
+
+    CooMatrix coo(static_cast<Index>(rows), static_cast<Index>(cols));
+    coo.reserve(symmetric ? nnz * 2 : nnz);
+    for (std::uint64_t i = 0; i < nnz; ++i) {
+        std::uint64_t r = 0, c = 0;
+        double v = 1.0;
+        if (!(in >> r >> c))
+            fatal("MatrixMarket: truncated at entry ", i);
+        if (!pattern && !(in >> v))
+            fatal("MatrixMarket: missing value at entry ", i);
+        if (r == 0 || c == 0 || r > rows || c > cols)
+            fatal("MatrixMarket: 1-based index out of range at entry ", i);
+        coo.addEntry(static_cast<Index>(r - 1), static_cast<Index>(c - 1),
+                     v);
+        if (symmetric && r != c)
+            coo.addEntry(static_cast<Index>(c - 1),
+                         static_cast<Index>(r - 1), v);
+    }
+    coo.sortAndCombine();
+    return coo;
+}
+
+CooMatrix
+readMatrixMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("MatrixMarket: cannot open '", path, "'");
+    return readMatrixMarket(in);
+}
+
+void
+writeMatrixMarket(std::ostream &out, const CsrMatrix &m)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+    for (Index r = 0; r < m.rows(); ++r) {
+        auto cols = m.rowCols(r);
+        auto vals = m.rowVals(r);
+        for (std::size_t k = 0; k < cols.size(); ++k)
+            out << (r + 1) << ' ' << (cols[k] + 1) << ' ' << vals[k]
+                << '\n';
+    }
+}
+
+void
+writeMatrixMarketFile(const std::string &path, const CsrMatrix &m)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("MatrixMarket: cannot create '", path, "'");
+    writeMatrixMarket(out, m);
+}
+
+} // namespace misam

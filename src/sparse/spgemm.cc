@@ -1,0 +1,241 @@
+#include "sparse/spgemm.hh"
+
+#include <algorithm>
+
+#include "sparse/convert.hh"
+#include "util/logging.hh"
+
+namespace misam {
+
+namespace {
+
+void
+checkDims(Index a_cols, Index b_rows)
+{
+    if (a_cols != b_rows)
+        fatal("spgemm: dimension mismatch, A has ", a_cols,
+              " columns but B has ", b_rows, " rows");
+}
+
+/**
+ * Dense sparse-accumulator (SPA) sized to the output column count, reused
+ * across rows. Tracks touched positions so reset is O(row nnz).
+ */
+class SparseAccumulator
+{
+  public:
+    explicit SparseAccumulator(Index cols)
+        : values_(cols, 0.0), occupied_(cols, false)
+    {
+    }
+
+    void
+    add(Index col, Value v)
+    {
+        if (!occupied_[col]) {
+            occupied_[col] = true;
+            touched_.push_back(col);
+        }
+        values_[col] += v;
+    }
+
+    /** Flush the accumulated row (sorted by column) and reset. */
+    void
+    flush(std::vector<Index> &col_idx, std::vector<Value> &values)
+    {
+        std::sort(touched_.begin(), touched_.end());
+        for (Index c : touched_) {
+            col_idx.push_back(c);
+            values.push_back(values_[c]);
+            values_[c] = 0.0;
+            occupied_[c] = false;
+        }
+        touched_.clear();
+    }
+
+  private:
+    std::vector<Value> values_;
+    std::vector<bool> occupied_;
+    std::vector<Index> touched_;
+};
+
+} // namespace
+
+const char *
+dataflowName(SpgemmDataflow dataflow)
+{
+    switch (dataflow) {
+      case SpgemmDataflow::InnerProduct:
+        return "IP";
+      case SpgemmDataflow::OuterProduct:
+        return "OP";
+      case SpgemmDataflow::RowWise:
+        return "RW";
+    }
+    return "?";
+}
+
+CsrMatrix
+spgemmRowWise(const CsrMatrix &a, const CsrMatrix &b)
+{
+    checkDims(a.cols(), b.rows());
+    const Index rows = a.rows();
+    const Index cols = b.cols();
+
+    std::vector<Offset> row_ptr(rows + 1, 0);
+    std::vector<Index> col_idx;
+    std::vector<Value> values;
+    SparseAccumulator spa(cols);
+
+    for (Index i = 0; i < rows; ++i) {
+        auto a_cols = a.rowCols(i);
+        auto a_vals = a.rowVals(i);
+        for (std::size_t ka = 0; ka < a_cols.size(); ++ka) {
+            const Index k = a_cols[ka];
+            const Value a_val = a_vals[ka];
+            auto b_cols = b.rowCols(k);
+            auto b_vals = b.rowVals(k);
+            for (std::size_t kb = 0; kb < b_cols.size(); ++kb)
+                spa.add(b_cols[kb], a_val * b_vals[kb]);
+        }
+        spa.flush(col_idx, values);
+        row_ptr[i + 1] = values.size();
+    }
+    return {rows, cols, std::move(row_ptr), std::move(col_idx),
+            std::move(values)};
+}
+
+CsrMatrix
+spgemmInnerProduct(const CsrMatrix &a, const CscMatrix &b)
+{
+    checkDims(a.cols(), b.rows());
+    const Index rows = a.rows();
+    const Index cols = b.cols();
+
+    std::vector<Offset> row_ptr(rows + 1, 0);
+    std::vector<Index> col_idx;
+    std::vector<Value> values;
+
+    for (Index i = 0; i < rows; ++i) {
+        auto a_cols = a.rowCols(i);
+        auto a_vals = a.rowVals(i);
+        if (a_cols.empty()) {
+            row_ptr[i + 1] = values.size();
+            continue;
+        }
+        for (Index j = 0; j < cols; ++j) {
+            auto b_rows = b.colRows(j);
+            auto b_vals = b.colVals(j);
+            // Two-pointer intersection of A(i,:) indices with B(:,j).
+            std::size_t pa = 0;
+            std::size_t pb = 0;
+            Value dot = 0.0;
+            bool hit = false;
+            while (pa < a_cols.size() && pb < b_rows.size()) {
+                if (a_cols[pa] < b_rows[pb]) {
+                    ++pa;
+                } else if (a_cols[pa] > b_rows[pb]) {
+                    ++pb;
+                } else {
+                    dot += a_vals[pa] * b_vals[pb];
+                    hit = true;
+                    ++pa;
+                    ++pb;
+                }
+            }
+            if (hit) {
+                col_idx.push_back(j);
+                values.push_back(dot);
+            }
+        }
+        row_ptr[i + 1] = values.size();
+    }
+    return {rows, cols, std::move(row_ptr), std::move(col_idx),
+            std::move(values)};
+}
+
+CsrMatrix
+spgemmOuterProduct(const CscMatrix &a, const CsrMatrix &b)
+{
+    checkDims(a.cols(), b.rows());
+    const Index rows = a.rows();
+    const Index cols = b.cols();
+
+    // Accumulate all rank-1 partial products into per-output-row COO-style
+    // lists, then merge. This mirrors the format/merge cost structure of
+    // outer-product accelerators (partial matrices then merge phase).
+    CooMatrix partials(rows, cols);
+    for (Index k = 0; k < a.cols(); ++k) {
+        auto a_rows = a.colRows(k);
+        auto a_vals = a.colVals(k);
+        auto b_cols = b.rowCols(k);
+        auto b_vals = b.rowVals(k);
+        for (std::size_t pa = 0; pa < a_rows.size(); ++pa)
+            for (std::size_t pb = 0; pb < b_cols.size(); ++pb)
+                partials.addEntry(a_rows[pa], b_cols[pb],
+                                  a_vals[pa] * b_vals[pb]);
+    }
+    return cooToCsr(std::move(partials));
+}
+
+CsrMatrix
+spgemm(const CsrMatrix &a, const CsrMatrix &b, SpgemmDataflow dataflow)
+{
+    switch (dataflow) {
+      case SpgemmDataflow::RowWise:
+        return spgemmRowWise(a, b);
+      case SpgemmDataflow::InnerProduct:
+        return spgemmInnerProduct(a, csrToCsc(b));
+      case SpgemmDataflow::OuterProduct:
+        return spgemmOuterProduct(csrToCsc(a), b);
+    }
+    panic("spgemm: unknown dataflow");
+}
+
+Offset
+spgemmMultiplyCount(const CsrMatrix &a, const CsrMatrix &b)
+{
+    checkDims(a.cols(), b.rows());
+    // multiplies = sum_i sum_{k in A(i,:)} nnz(B(k,:)).
+    Offset total = 0;
+    for (Index i = 0; i < a.rows(); ++i)
+        for (Index k : a.rowCols(i))
+            total += b.rowNnz(k);
+    return total;
+}
+
+Offset
+spgemmOutputNnz(const CsrMatrix &a, const CsrMatrix &b)
+{
+    checkDims(a.cols(), b.rows());
+    const Index cols = b.cols();
+    std::vector<Index> mark(cols, 0);
+    Index stamp = 0;
+    Offset total = 0;
+    for (Index i = 0; i < a.rows(); ++i) {
+        ++stamp;
+        Offset row_nnz = 0;
+        for (Index k : a.rowCols(i)) {
+            for (Index j : b.rowCols(k)) {
+                if (mark[j] != stamp) {
+                    mark[j] = stamp;
+                    ++row_nnz;
+                }
+            }
+        }
+        total += row_nnz;
+    }
+    return total;
+}
+
+double
+spgemmCompressionFactor(const CsrMatrix &a, const CsrMatrix &b)
+{
+    const Offset mults = spgemmMultiplyCount(a, b);
+    if (mults == 0)
+        return 1.0;
+    return static_cast<double>(spgemmOutputNnz(a, b)) /
+           static_cast<double>(mults);
+}
+
+} // namespace misam

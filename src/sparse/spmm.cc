@@ -1,0 +1,36 @@
+#include "sparse/spmm.hh"
+
+#include "util/logging.hh"
+
+namespace misam {
+
+DenseMatrix
+spmm(const CsrMatrix &a, const DenseMatrix &b)
+{
+    if (a.cols() != b.rows())
+        fatal("spmm: dimension mismatch, A has ", a.cols(),
+              " columns but B has ", b.rows(), " rows");
+    DenseMatrix c(a.rows(), b.cols());
+    const Index n = b.cols();
+    for (Index i = 0; i < a.rows(); ++i) {
+        auto a_cols = a.rowCols(i);
+        auto a_vals = a.rowVals(i);
+        Value *c_row = c.data().data() + static_cast<std::size_t>(i) * n;
+        for (std::size_t ka = 0; ka < a_cols.size(); ++ka) {
+            const Value a_val = a_vals[ka];
+            const Value *b_row =
+                b.data().data() + static_cast<std::size_t>(a_cols[ka]) * n;
+            for (Index j = 0; j < n; ++j)
+                c_row[j] += a_val * b_row[j];
+        }
+    }
+    return c;
+}
+
+Offset
+spmmMultiplyCount(const CsrMatrix &a, Index b_cols)
+{
+    return a.nnz() * static_cast<Offset>(b_cols);
+}
+
+} // namespace misam

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Sparse-matrix x dense-matrix (SpMM) reference kernel. Designs 1-3 of the
+ * Misam suite are SpMM engines (B kept uncompressed); this kernel is their
+ * functional ground truth.
+ */
+
+#ifndef MISAM_SPARSE_SPMM_HH
+#define MISAM_SPARSE_SPMM_HH
+
+#include "sparse/csr.hh"
+#include "sparse/dense.hh"
+
+namespace misam {
+
+/** C = A * B with sparse A (CSR) and dense row-major B. */
+DenseMatrix spmm(const CsrMatrix &a, const DenseMatrix &b);
+
+/** Scalar multiply count for SpMM: nnz(A) * cols(B). */
+Offset spmmMultiplyCount(const CsrMatrix &a, Index b_cols);
+
+} // namespace misam
+
+#endif // MISAM_SPARSE_SPMM_HH

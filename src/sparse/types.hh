@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Fundamental scalar types shared by all sparse-matrix containers.
+ */
+
+#ifndef MISAM_SPARSE_TYPES_HH
+#define MISAM_SPARSE_TYPES_HH
+
+#include <cstdint>
+
+namespace misam {
+
+/** Row/column index type. 32 bits covers every matrix in the evaluation. */
+using Index = std::uint32_t;
+
+/** Nonzero count / offset type (can exceed 2^32 for dense products). */
+using Offset = std::uint64_t;
+
+/** Numeric value type (the FPGA designs stream FP32; we model in double). */
+using Value = double;
+
+} // namespace misam
+
+#endif // MISAM_SPARSE_TYPES_HH

@@ -1,0 +1,183 @@
+#include "trapezoid/trapezoid.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "features/features.hh"
+#include "sparse/spgemm.hh"
+#include "util/logging.hh"
+
+namespace misam {
+
+const std::array<TrapezoidDataflow, kNumTrapezoidDataflows> &
+allTrapezoidDataflows()
+{
+    static const std::array<TrapezoidDataflow, kNumTrapezoidDataflows> dfs =
+        {TrapezoidDataflow::Inner, TrapezoidDataflow::Outer,
+         TrapezoidDataflow::RowWise};
+    return dfs;
+}
+
+const char *
+trapezoidDataflowName(TrapezoidDataflow df)
+{
+    switch (df) {
+      case TrapezoidDataflow::Inner:
+        return "Inner";
+      case TrapezoidDataflow::Outer:
+        return "Outer";
+      case TrapezoidDataflow::RowWise:
+        return "RowWise";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr double kBytesPerEntry = 8.0; // packed index+value
+
+struct WorkloadShape
+{
+    double m, k, n;
+    double nnz_a, nnz_b, nnz_c;
+    double mults;
+    double avg_row_a, avg_col_b, avg_row_b;
+    double imbalance_a;
+};
+
+WorkloadShape
+shapeOf(const CsrMatrix &a, const CsrMatrix &b)
+{
+    WorkloadShape s;
+    s.m = a.rows();
+    s.k = a.cols();
+    s.n = b.cols();
+    s.nnz_a = static_cast<double>(a.nnz());
+    s.nnz_b = static_cast<double>(b.nnz());
+    s.mults = static_cast<double>(spgemmMultiplyCount(a, b));
+    s.nnz_c = static_cast<double>(spgemmOutputNnz(a, b));
+    s.avg_row_a = s.m > 0 ? s.nnz_a / s.m : 0.0;
+    s.avg_row_b = s.k > 0 ? s.nnz_b / s.k : 0.0;
+    s.avg_col_b = s.n > 0 ? s.nnz_b / s.n : 0.0;
+    const MatrixStats stats = computeMatrixStats(a);
+    s.imbalance_a = stats.row.imbalance;
+    return s;
+}
+
+/** Inner product: merge-intersection work on all M x N output pairs. */
+void
+modelInner(const WorkloadShape &s, const TrapezoidConfig &cfg, double &ops,
+           double &traffic)
+{
+    // Every candidate output walks the merge of A(i,:) and B(:,j); dense
+    // streams are SIMD-amortized by inner_simd_eff.
+    const double merge_steps = s.m * s.n * (s.avg_row_a + s.avg_col_b);
+    const double density_b = s.k * s.n > 0 ? s.nnz_b / (s.k * s.n) : 0.0;
+    const double simd = 1.0 + (cfg.inner_simd_eff - 1.0) * density_b;
+    ops = merge_steps / simd;
+
+    // B columns are re-fetched once per A-row block; blocks sized so a
+    // column working set fits the cache.
+    const double cols_in_cache = std::max(
+        1.0, static_cast<double>(cfg.cache_bytes) /
+                 (kBytesPerEntry * std::max(1.0, s.avg_col_b)));
+    const double row_blocks =
+        std::max(1.0, std::ceil(s.n / cols_in_cache));
+    traffic = (s.nnz_a * row_blocks + s.nnz_b * std::max(1.0, s.m / 512.0) +
+               s.nnz_c) *
+              kBytesPerEntry;
+}
+
+/** Outer product: no wasted multiplies, but partial-matrix spills. */
+void
+modelOuter(const WorkloadShape &s, const TrapezoidConfig &cfg, double &ops,
+           double &traffic)
+{
+    // Merging partial products costs ~1 extra op per multiply.
+    ops = s.mults * 2.0;
+    const double partial_bytes = s.mults * kBytesPerEntry;
+    double spill = 0.0;
+    if (partial_bytes > static_cast<double>(cfg.cache_bytes)) {
+        // Overflowing partials are written out and read back for merge.
+        spill = 2.0 * (partial_bytes - static_cast<double>(cfg.cache_bytes));
+    }
+    traffic = (s.nnz_a + s.nnz_b + s.nnz_c) * kBytesPerEntry + spill;
+}
+
+/** Row-wise product: versatile, pays B re-fetch and row imbalance. */
+void
+modelRowWise(const WorkloadShape &s, const TrapezoidConfig &cfg,
+             double &ops, double &traffic)
+{
+    // Row imbalance lowers PE utilization: the longest row serializes.
+    const double imbalance_penalty =
+        1.0 + 0.15 * std::max(0.0, s.imbalance_a - 1.0);
+    ops = s.mults * imbalance_penalty;
+
+    const double b_bytes = s.nnz_b * kBytesPerEntry;
+    double b_traffic = s.nnz_b;
+    if (b_bytes > static_cast<double>(cfg.cache_bytes)) {
+        // Rows of B miss the cache in proportion to the overflow.
+        const double miss =
+            1.0 - static_cast<double>(cfg.cache_bytes) / b_bytes;
+        b_traffic = s.nnz_b + miss * (s.mults - s.nnz_b);
+    }
+    traffic = (s.nnz_a + b_traffic + s.nnz_c) * kBytesPerEntry;
+}
+
+} // namespace
+
+TrapezoidResult
+simulateTrapezoid(TrapezoidDataflow df, const CsrMatrix &a,
+                  const CsrMatrix &b, const TrapezoidConfig &cfg)
+{
+    if (a.cols() != b.rows())
+        fatal("simulateTrapezoid: dimension mismatch");
+
+    const WorkloadShape s = shapeOf(a, b);
+    double ops = 0.0;
+    double traffic = 0.0;
+    switch (df) {
+      case TrapezoidDataflow::Inner:
+        modelInner(s, cfg, ops, traffic);
+        break;
+      case TrapezoidDataflow::Outer:
+        modelOuter(s, cfg, ops, traffic);
+        break;
+      case TrapezoidDataflow::RowWise:
+        modelRowWise(s, cfg, ops, traffic);
+        break;
+    }
+
+    TrapezoidResult res;
+    res.dataflow = df;
+    res.compute_seconds = ops / (cfg.pes * cfg.freq_ghz * 1e9);
+    res.memory_seconds = traffic / (cfg.dram_bw_gbps * 1e9);
+    res.exec_seconds = std::max(res.compute_seconds, res.memory_seconds);
+    res.cycles = res.exec_seconds * cfg.freq_ghz * 1e9;
+    res.traffic_bytes = static_cast<Offset>(traffic);
+    return res;
+}
+
+std::array<TrapezoidResult, kNumTrapezoidDataflows>
+simulateAllTrapezoid(const CsrMatrix &a, const CsrMatrix &b,
+                     const TrapezoidConfig &cfg)
+{
+    std::array<TrapezoidResult, kNumTrapezoidDataflows> out;
+    for (std::size_t i = 0; i < kNumTrapezoidDataflows; ++i)
+        out[i] = simulateTrapezoid(allTrapezoidDataflows()[i], a, b, cfg);
+    return out;
+}
+
+TrapezoidResult
+bestTrapezoid(const CsrMatrix &a, const CsrMatrix &b,
+              const TrapezoidConfig &cfg)
+{
+    const auto all = simulateAllTrapezoid(a, b, cfg);
+    return *std::min_element(all.begin(), all.end(),
+                             [](const auto &x, const auto &y) {
+                                 return x.exec_seconds < y.exec_seconds;
+                             });
+}
+
+} // namespace misam

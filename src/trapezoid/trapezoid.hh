@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cycle-level model of the Trapezoid accelerator (Yang, Emer, Sanchez —
+ * ISCA 2024), the paper's primary hardware baseline.
+ *
+ * Trapezoid is a fixed-function ASIC supporting three dataflows (inner,
+ * outer, and row-wise product) but — the gap Misam fills — no runtime
+ * mechanism to choose among them (§2.1, §6.3). We model each dataflow as
+ * a roofline over effectual+wasted compute operations and off-chip
+ * traffic, with dataflow-specific inefficiencies:
+ *
+ *  - Inner product pays merge-intersection work on every output pair, so
+ *    it collapses on highly sparse inputs (mostly-empty intersections)
+ *    but is efficient on dense ones.
+ *  - Outer product never wastes a multiply, but partial matrices that
+ *    overflow the on-chip merge buffer spill to DRAM (read+written back).
+ *  - Row-wise product is the versatile middle: it re-fetches B rows when
+ *    B exceeds the cache and loses utilization to row imbalance.
+ *
+ * Area figures for the three configurations (69.7/57.6/51.2 mm^2) feed
+ * the §6.2 utilization comparison.
+ */
+
+#ifndef MISAM_TRAPEZOID_TRAPEZOID_HH
+#define MISAM_TRAPEZOID_TRAPEZOID_HH
+
+#include <array>
+#include <string>
+
+#include "sparse/csr.hh"
+
+namespace misam {
+
+/** Trapezoid's three dataflows. */
+enum class TrapezoidDataflow : int { Inner = 0, Outer = 1, RowWise = 2 };
+
+/** Number of Trapezoid dataflows. */
+constexpr std::size_t kNumTrapezoidDataflows = 3;
+
+/** All dataflows in order. */
+const std::array<TrapezoidDataflow, kNumTrapezoidDataflows> &
+allTrapezoidDataflows();
+
+/** Display name ("Inner", "Outer", "RowWise"). */
+const char *trapezoidDataflowName(TrapezoidDataflow df);
+
+/** Hardware parameters of the modeled ASIC. */
+struct TrapezoidConfig
+{
+    int pes = 48;                      ///< MAC units (GAMMA-class PE count).
+    double freq_ghz = 1.0;             ///< ASIC clock.
+    double dram_bw_gbps = 128.0;       ///< Off-chip bandwidth.
+    Offset cache_bytes = 3ull << 20;   ///< Shared on-chip buffer
+                                       ///< (GAMMA-class FiberCache).
+    double inner_simd_eff = 8.0;       ///< Inner-product SIMD speedup on
+                                       ///< dense streams.
+    /** Die area (mm^2) of the configuration hosting each dataflow. */
+    std::array<double, kNumTrapezoidDataflows> area_mm2 = {69.7, 57.6,
+                                                           51.2};
+};
+
+/** Outcome of one workload on one Trapezoid dataflow. */
+struct TrapezoidResult
+{
+    TrapezoidDataflow dataflow = TrapezoidDataflow::RowWise;
+    double cycles = 0.0;
+    double exec_seconds = 0.0;
+    double compute_seconds = 0.0;  ///< Compute-roofline term.
+    double memory_seconds = 0.0;   ///< Traffic-roofline term.
+    Offset traffic_bytes = 0;      ///< Modeled off-chip traffic.
+};
+
+/** Simulate one dataflow on C = A * B. */
+TrapezoidResult simulateTrapezoid(TrapezoidDataflow df, const CsrMatrix &a,
+                                  const CsrMatrix &b,
+                                  const TrapezoidConfig &cfg = {});
+
+/** Simulate all three dataflows. */
+std::array<TrapezoidResult, kNumTrapezoidDataflows>
+simulateAllTrapezoid(const CsrMatrix &a, const CsrMatrix &b,
+                     const TrapezoidConfig &cfg = {});
+
+/** The fastest of the three (oracle selection). */
+TrapezoidResult bestTrapezoid(const CsrMatrix &a, const CsrMatrix &b,
+                              const TrapezoidConfig &cfg = {});
+
+} // namespace misam
+
+#endif // MISAM_TRAPEZOID_TRAPEZOID_HH

@@ -1,0 +1,47 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+
+namespace misam {
+
+namespace {
+
+bool verbose_enabled = false;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Fatal:
+        return "fatal";
+      case LogLevel::Panic:
+        return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", levelTag(level), msg.c_str());
+}
+
+bool
+verboseLogging()
+{
+    return verbose_enabled;
+}
+
+void
+setVerboseLogging(bool enabled)
+{
+    verbose_enabled = enabled;
+}
+
+} // namespace misam

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 style.
+ *
+ * `inform` reports normal status, `warn` flags suspicious-but-survivable
+ * conditions, `fatal` terminates on user error (bad configuration or
+ * arguments), and `panic` aborts on an internal invariant violation that
+ * indicates a bug in this library.
+ */
+
+#ifndef MISAM_UTIL_LOGGING_HH
+#define MISAM_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace misam {
+
+/** Severity of a log message. */
+enum class LogLevel { Info, Warn, Fatal, Panic };
+
+/**
+ * Emit a formatted log line to stderr.
+ *
+ * @param level Severity tag to prefix the message with.
+ * @param msg   Fully formatted message body.
+ */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** True once verbose (info-level) logging has been enabled. */
+bool verboseLogging();
+
+/** Enable or disable info-level logging (warnings always print). */
+void setVerboseLogging(bool enabled);
+
+namespace detail {
+
+/** Concatenate arbitrary streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Report normal operating status; suppressed unless verbose. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (verboseLogging())
+        logMessage(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious condition that does not stop execution. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    logMessage(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Terminate due to a user error (bad inputs or configuration). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    logMessage(LogLevel::Fatal, detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/** Abort due to an internal invariant violation (a library bug). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    logMessage(LogLevel::Panic, detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+} // namespace misam
+
+#endif // MISAM_UTIL_LOGGING_HH

@@ -1,0 +1,156 @@
+#include "util/random.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::uniformInt: bound must be positive");
+    // 128-bit multiply-shift scaling (Lemire); bias is negligible for the
+    // bounds used in this library and determinism is what matters.
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(next()) * bound) >> 64);
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::uniformInt: lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+double
+Rng::normal()
+{
+    if (have_spare_normal_) {
+        have_spare_normal_ = false;
+        return spare_normal_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    spare_normal_ = radius * std::sin(theta);
+    have_spare_normal_ = true;
+    return radius * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::powerLaw(std::uint64_t max_value, double alpha)
+{
+    if (max_value == 0)
+        panic("Rng::powerLaw: max_value must be positive");
+    // Inverse-CDF sampling of p(x) ~ x^-alpha on [1, max_value].
+    const double u = uniform();
+    const double exponent = 1.0 - alpha;
+    double x = 0.0;
+    if (std::abs(exponent) < 1e-9) {
+        x = std::exp(u * std::log(static_cast<double>(max_value)));
+    } else {
+        const double max_pow = std::pow(static_cast<double>(max_value),
+                                        exponent);
+        x = std::pow(1.0 + u * (max_pow - 1.0), 1.0 / exponent);
+    }
+    const auto value = static_cast<std::uint64_t>(x);
+    return std::clamp<std::uint64_t>(value, 1, max_value);
+}
+
+std::vector<std::uint64_t>
+Rng::sampleDistinct(std::uint64_t n, std::uint64_t k)
+{
+    if (k > n)
+        panic("Rng::sampleDistinct: k > n");
+    // Floyd's algorithm: k iterations, O(k) memory.
+    std::unordered_set<std::uint64_t> chosen;
+    chosen.reserve(k);
+    for (std::uint64_t j = n - k; j < n; ++j) {
+        std::uint64_t t = uniformInt(j + 1);
+        if (!chosen.insert(t).second)
+            chosen.insert(j);
+    }
+    std::vector<std::uint64_t> out(chosen.begin(), chosen.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace misam

@@ -1,0 +1,177 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double mu = mean(xs);
+    double sum = 0.0;
+    for (double x : xs)
+        sum += (x - mu) * (x - mu);
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            panic("geomean: non-positive value ", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+minValue(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        panic("minValue: empty input");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxValue(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        panic("maxValue: empty input");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        panic("quantile: empty input");
+    if (q < 0.0 || q > 1.0)
+        panic("quantile: q out of range ", q);
+    std::sort(xs.begin(), xs.end());
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+meanAbsoluteError(const std::vector<double> &actual,
+                  const std::vector<double> &predicted)
+{
+    if (actual.size() != predicted.size())
+        panic("meanAbsoluteError: size mismatch");
+    if (actual.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        sum += std::abs(actual[i] - predicted[i]);
+    return sum / static_cast<double>(actual.size());
+}
+
+double
+rSquared(const std::vector<double> &actual,
+         const std::vector<double> &predicted)
+{
+    if (actual.size() != predicted.size())
+        panic("rSquared: size mismatch");
+    if (actual.empty())
+        return 0.0;
+    const double mu = mean(actual);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+        ss_tot += (actual[i] - mu) * (actual[i] - mu);
+    }
+    if (ss_tot == 0.0)
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x > 0.0)
+        log_sum_ += std::log(x);
+    else
+        all_positive_ = false;
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    if (count_ == 0)
+        panic("RunningStats::min: no samples");
+    return min_;
+}
+
+double
+RunningStats::max() const
+{
+    if (count_ == 0)
+        panic("RunningStats::max: no samples");
+    return max_;
+}
+
+double
+RunningStats::geomean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (!all_positive_)
+        panic("RunningStats::geomean: saw non-positive samples");
+    return std::exp(log_sum_ / static_cast<double>(count_));
+}
+
+} // namespace misam

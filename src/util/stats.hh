@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Summary-statistics helpers used throughout the evaluation harness:
+ * means, variance, geometric means (the paper reports geomean speedups),
+ * quantiles, and a small online accumulator.
+ */
+
+#ifndef MISAM_UTIL_STATS_HH
+#define MISAM_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace misam {
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Population variance; 0 for fewer than two samples. */
+double variance(const std::vector<double> &xs);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Geometric mean of strictly positive values; 0 for an empty input.
+ * Values <= 0 are a caller bug and trigger a panic.
+ */
+double geomean(const std::vector<double> &xs);
+
+/** Minimum; panics on empty input. */
+double minValue(const std::vector<double> &xs);
+
+/** Maximum; panics on empty input. */
+double maxValue(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolation quantile, q in [0, 1]; panics on empty input.
+ * q = 0.5 yields the median.
+ */
+double quantile(std::vector<double> xs, double q);
+
+/** Median absolute value of (a[i] - b[i]) divided by n: mean absolute error. */
+double meanAbsoluteError(const std::vector<double> &actual,
+                         const std::vector<double> &predicted);
+
+/** Coefficient of determination R^2 of predictions against actuals. */
+double rSquared(const std::vector<double> &actual,
+                const std::vector<double> &predicted);
+
+/**
+ * Online accumulator for streaming mean/variance/min/max via Welford's
+ * algorithm, plus a log-sum for geometric means.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples added so far. */
+    std::size_t count() const { return count_; }
+
+    /** Arithmetic mean of the samples; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; panics when empty. */
+    double min() const;
+
+    /** Largest sample; panics when empty. */
+    double max() const;
+
+    /** Geometric mean; only valid if every sample was positive. */
+    double geomean() const;
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double log_sum_ = 0.0;
+    bool all_positive_ = true;
+};
+
+} // namespace misam
+
+#endif // MISAM_UTIL_STATS_HH

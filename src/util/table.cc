@@ -1,0 +1,118 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty())
+        panic("TextTable: empty header");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        panic("TextTable::addRow: arity mismatch (", row.size(), " vs ",
+              header_.size(), ")");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << row[c];
+            if (c + 1 < row.size())
+                oss << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        oss << '\n';
+    };
+
+    emit_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    oss << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+formatSpeedup(double value, int precision)
+{
+    return formatDouble(value, precision) + "x";
+}
+
+std::string
+formatScientific(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+    return buf;
+}
+
+std::string
+formatCount(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    int since_sep = static_cast<int>(digits.size() % 3);
+    if (since_sep == 0)
+        since_sep = 3;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i > 0 && since_sep == 0) {
+            out += ',';
+            since_sep = 3;
+        }
+        out += digits[i];
+        --since_sep;
+    }
+    return out;
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    return formatDouble(fraction * 100.0, precision) + "%";
+}
+
+std::string
+formatBar(double frac, int width)
+{
+    frac = std::clamp(frac, 0.0, 1.0);
+    const int filled = static_cast<int>(frac * width + 0.5);
+    std::string out;
+    out.reserve(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i)
+        out += i < filled ? '#' : '.';
+    return out;
+}
+
+} // namespace misam

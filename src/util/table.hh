@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark harness output.
+ *
+ * Every bench binary prints the rows of the paper table/figure it
+ * regenerates; TextTable keeps that output aligned and diff-friendly.
+ */
+
+#ifndef MISAM_UTIL_TABLE_HH
+#define MISAM_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace misam {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ * TextTable t({"Design", "Cycles", "Speedup"});
+ * t.addRow({"D1", "1024", "1.31x"});
+ * std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Construct with the header row. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table with a separator under the header. */
+    std::string render() const;
+
+    /** Number of data rows added. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision (%.*f). */
+std::string formatDouble(double value, int precision = 2);
+
+/** Format a value as a multiplier string, e.g. "3.23x". */
+std::string formatSpeedup(double value, int precision = 2);
+
+/** Format a double in scientific notation, e.g. "9.3e-05". */
+std::string formatScientific(double value, int precision = 1);
+
+/** Format an integer with thousands separators, e.g. "1,930,655". */
+std::string formatCount(std::uint64_t value);
+
+/** Format a fraction as a percentage string, e.g. 0.3320 -> "33.20%". */
+std::string formatPercent(double fraction, int precision = 2);
+
+/** Render a single-line horizontal bar of `width` cells filled to `frac`. */
+std::string formatBar(double frac, int width = 40);
+
+} // namespace misam
+
+#endif // MISAM_UTIL_TABLE_HH

@@ -1,0 +1,101 @@
+#include "workloads/dnn.hh"
+
+#include "sparse/generate.hh"
+#include "util/logging.hh"
+
+namespace misam {
+
+const std::vector<DnnLayer> &
+resnet50Layers()
+{
+    // im2col-lowered conv shapes: M = out channels, K = in * kh * kw.
+    static const std::vector<DnnLayer> layers = {
+        {"ResNet-50", "conv2_1x1a", 64, 256},
+        {"ResNet-50", "conv2_3x3", 64, 576},
+        {"ResNet-50", "conv2_1x1b", 256, 64},
+        {"ResNet-50", "conv3_1x1a", 128, 512},
+        {"ResNet-50", "conv3_3x3", 128, 1152},
+        {"ResNet-50", "conv3_1x1b", 512, 128},
+        {"ResNet-50", "conv4_1x1a", 256, 1024},
+        {"ResNet-50", "conv4_3x3", 256, 2304},
+        {"ResNet-50", "conv4_1x1b", 1024, 256},
+        {"ResNet-50", "conv5_3x3", 512, 4608},
+        {"ResNet-50", "conv5_1x1b", 2048, 512},
+        {"ResNet-50", "fc", 1000, 2048},
+    };
+    return layers;
+}
+
+const std::vector<DnnLayer> &
+vgg16Layers()
+{
+    static const std::vector<DnnLayer> layers = {
+        {"VGG-16", "conv1_2", 64, 576},
+        {"VGG-16", "conv2_1", 128, 576},
+        {"VGG-16", "conv2_2", 128, 1152},
+        {"VGG-16", "conv3_1", 256, 1152},
+        {"VGG-16", "conv3_2", 256, 2304},
+        {"VGG-16", "conv4_1", 512, 2304},
+        {"VGG-16", "conv4_2", 512, 4608},
+        {"VGG-16", "conv5_1", 512, 4608},
+        {"VGG-16", "fc6", 4096, 4096},
+        {"VGG-16", "fc7", 1000, 4096},
+    };
+    return layers;
+}
+
+const std::vector<DnnLayer> &
+mobilenetLayers()
+{
+    static const std::vector<DnnLayer> layers = {
+        {"MobileNet", "pw2", 64, 32},
+        {"MobileNet", "pw4", 128, 64},
+        {"MobileNet", "pw6", 256, 128},
+        {"MobileNet", "pw8", 512, 256},
+        {"MobileNet", "pw12", 1024, 512},
+    };
+    return layers;
+}
+
+const std::vector<DnnLayer> &
+convnextLayers()
+{
+    static const std::vector<DnnLayer> layers = {
+        {"ConvNeXt", "stage1_pw1", 384, 96},
+        {"ConvNeXt", "stage1_pw2", 96, 384},
+        {"ConvNeXt", "stage2_pw1", 768, 192},
+        {"ConvNeXt", "stage3_pw1", 1536, 384},
+        {"ConvNeXt", "stage4_pw1", 3072, 768},
+        {"ConvNeXt", "stage4_pw2", 768, 3072},
+    };
+    return layers;
+}
+
+CsrMatrix
+generatePrunedWeights(const DnnLayer &layer, double density, Rng &rng)
+{
+    if (density <= 0.0 || density > 1.0)
+        fatal("generatePrunedWeights: density ", density, " out of (0,1]");
+    // STR prunes in channel-aligned groups; 8x8 blocks model that
+    // structured granularity.
+    return generateStructuredPruned(layer.m, layer.k, density,
+                                    /*block_size=*/8, rng);
+}
+
+CsrMatrix
+generateActivations(const DnnLayer &layer, Index n, Rng &rng)
+{
+    return generateDenseCsr(layer.k, n, rng);
+}
+
+CsrMatrix
+generateSparseActivations(const DnnLayer &layer, Index n, double density,
+                          Rng &rng)
+{
+    if (density <= 0.0 || density > 1.0)
+        fatal("generateSparseActivations: density ", density,
+              " out of (0,1]");
+    return generateUniform(layer.k, n, density, rng);
+}
+
+} // namespace misam

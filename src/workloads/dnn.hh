@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DNN-derived workloads: GEMM-lowered layer shapes of ResNet-50, VGG-16,
+ * MobileNet, and ConvNeXt, plus STR-style structured pruning to the
+ * paper's target weight densities (0.1 and 0.2). These supply the MS
+ * (moderately sparse) and D (dense) operands of the evaluation suite and
+ * the DNN half of the training set.
+ */
+
+#ifndef MISAM_WORKLOADS_DNN_HH
+#define MISAM_WORKLOADS_DNN_HH
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hh"
+#include "util/random.hh"
+
+namespace misam {
+
+/** One GEMM-lowered layer: weights are M x K, activations K x N. */
+struct DnnLayer
+{
+    std::string model; ///< Source network, e.g. "ResNet-50".
+    std::string name;  ///< Layer name, e.g. "conv3_1".
+    Index m;           ///< Output channels.
+    Index k;           ///< Input channels x kernel area.
+};
+
+/** Representative GEMM-lowered ResNet-50 layers. */
+const std::vector<DnnLayer> &resnet50Layers();
+
+/** Representative GEMM-lowered VGG-16 layers. */
+const std::vector<DnnLayer> &vgg16Layers();
+
+/** Representative GEMM-lowered MobileNet-V1 pointwise layers. */
+const std::vector<DnnLayer> &mobilenetLayers();
+
+/** Representative GEMM-lowered ConvNeXt-T layers (Figure 13 workloads). */
+const std::vector<DnnLayer> &convnextLayers();
+
+/**
+ * STR-style structured pruning: the layer's M x K weight matrix with
+ * square blocks kept at probability `density` and fully dense inside.
+ */
+CsrMatrix generatePrunedWeights(const DnnLayer &layer, double density,
+                                Rng &rng);
+
+/** A dense K x N activation matrix for the layer (N = sequence length). */
+CsrMatrix generateActivations(const DnnLayer &layer, Index n, Rng &rng);
+
+/**
+ * A moderately sparse K x N activation-like matrix (e.g. post-ReLU or
+ * attention-masked activations) at the given density.
+ */
+CsrMatrix generateSparseActivations(const DnnLayer &layer, Index n,
+                                    double density, Rng &rng);
+
+} // namespace misam
+
+#endif // MISAM_WORKLOADS_DNN_HH

@@ -1,0 +1,195 @@
+#include "workloads/suite.hh"
+
+#include <algorithm>
+
+#include "sparse/generate.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "workloads/dnn.hh"
+#include "workloads/suitesparse_synth.hh"
+
+namespace misam {
+
+const char *
+categoryName(WorkloadCategory cat)
+{
+    switch (cat) {
+      case WorkloadCategory::MSxD:
+        return "MSxD";
+      case WorkloadCategory::MSxMS:
+        return "MSxMS";
+      case WorkloadCategory::HSxD:
+        return "HSxD";
+      case WorkloadCategory::HSxMS:
+        return "HSxMS";
+      case WorkloadCategory::HSxHS:
+        return "HSxHS";
+    }
+    return "?";
+}
+
+const std::vector<std::string> &
+evaluationHsIds()
+{
+    static const std::vector<std::string> ids = {
+        "p2p", "sx", "cond", "ore", "em",   "opt",
+        "poi", "wiki", "astro", "ms", "good", "ram",
+    };
+    return ids;
+}
+
+std::string
+formatDensity(double d)
+{
+    // 0.1 -> "0.1", 0.25 -> "0.25"
+    std::string s = std::to_string(d);
+    while (s.size() > 3 && s.back() == '0')
+        s.pop_back();
+    return s;
+}
+
+namespace {
+
+std::vector<Workload>
+buildMsXD(const SuiteConfig &cfg, Rng &rng)
+{
+    // Pruned ResNet-50 weights times dense activations of 512 columns,
+    // at weight densities 0.1 and 0.2 (§4).
+    std::vector<Workload> out;
+    const auto &layers = resnet50Layers();
+    const std::vector<double> densities = {0.1, 0.2};
+    for (double d : densities) {
+        for (const DnnLayer &layer : layers) {
+            if (static_cast<int>(out.size()) >= cfg.count_ms_x_d)
+                return out;
+            Workload w;
+            w.name = layer.model + "/" + layer.name + "@d" +
+                     formatDensity(d);
+            w.category = WorkloadCategory::MSxD;
+            w.a = generatePrunedWeights(layer, d, rng);
+            w.b = generateActivations(layer, cfg.dense_cols, rng);
+            out.push_back(std::move(w));
+        }
+    }
+    return out;
+}
+
+std::vector<Workload>
+buildMsXMs(const SuiteConfig &cfg, Rng &rng)
+{
+    // Pruned VGG-16 weights times moderately sparse activations.
+    std::vector<Workload> out;
+    const auto &layers = vgg16Layers();
+    const std::vector<double> w_densities = {0.1, 0.2};
+    const std::vector<double> b_densities = {0.1, 0.2};
+    for (double wd : w_densities) {
+        for (double bd : b_densities) {
+            for (const DnnLayer &layer : layers) {
+                if (static_cast<int>(out.size()) >= cfg.count_ms_x_ms)
+                    return out;
+                Workload w;
+                w.name = layer.model + "/" + layer.name + "@w" +
+                         formatDensity(wd) + "b" + formatDensity(bd);
+                w.category = WorkloadCategory::MSxMS;
+                w.a = generatePrunedWeights(layer, wd, rng);
+                w.b = generateSparseActivations(layer, cfg.dense_cols, bd,
+                                                rng);
+                out.push_back(std::move(w));
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Workload>
+buildHsXD(const SuiteConfig &cfg, Rng &rng)
+{
+    std::vector<Workload> out;
+    for (const std::string &id : evaluationHsIds()) {
+        if (static_cast<int>(out.size()) >= cfg.count_hs_x_d)
+            break;
+        Workload w;
+        w.name = id + "xD";
+        w.category = WorkloadCategory::HSxD;
+        w.a = generateSuiteSparseProxy(id, cfg.hs_scale, rng);
+        w.b = generateDenseCsr(w.a.cols(), cfg.dense_cols, rng);
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+std::vector<Workload>
+buildHsXMs(const SuiteConfig &cfg, Rng &rng)
+{
+    // Each HS matrix times three moderately sparse 512-column matrices
+    // at densities 0.2 / 0.4 / 0.6 (§4).
+    std::vector<Workload> out;
+    const std::vector<double> densities = {0.2, 0.4, 0.6};
+    for (const std::string &id : evaluationHsIds()) {
+        const CsrMatrix a = generateSuiteSparseProxy(id, cfg.hs_scale, rng);
+        for (double d : densities) {
+            if (static_cast<int>(out.size()) >= cfg.count_hs_x_ms)
+                return out;
+            Workload w;
+            w.name = id + "xMS" + formatDensity(d);
+            w.category = WorkloadCategory::HSxMS;
+            w.a = a;
+            w.b = generateUniform(a.cols(), cfg.dense_cols, d, rng);
+            out.push_back(std::move(w));
+        }
+    }
+    return out;
+}
+
+std::vector<Workload>
+buildHsXHs(const SuiteConfig &cfg, Rng &rng)
+{
+    // Self-multiplication A x A (graph analytics, solvers).
+    std::vector<Workload> out;
+    for (const std::string &id : evaluationHsIds()) {
+        if (static_cast<int>(out.size()) >= cfg.count_hs_x_hs)
+            break;
+        Workload w;
+        w.name = id + "x" + id;
+        w.category = WorkloadCategory::HSxHS;
+        w.a = generateSuiteSparseProxy(id, cfg.hs_scale, rng);
+        w.b = w.a;
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<Workload>
+buildCategory(WorkloadCategory cat, const SuiteConfig &cfg)
+{
+    Rng rng(cfg.seed + static_cast<std::uint64_t>(cat) * 7919);
+    switch (cat) {
+      case WorkloadCategory::MSxD:
+        return buildMsXD(cfg, rng);
+      case WorkloadCategory::MSxMS:
+        return buildMsXMs(cfg, rng);
+      case WorkloadCategory::HSxD:
+        return buildHsXD(cfg, rng);
+      case WorkloadCategory::HSxMS:
+        return buildHsXMs(cfg, rng);
+      case WorkloadCategory::HSxHS:
+        return buildHsXHs(cfg, rng);
+    }
+    panic("buildCategory: unknown category");
+}
+
+std::vector<Workload>
+buildEvaluationSuite(const SuiteConfig &cfg)
+{
+    std::vector<Workload> suite;
+    for (int c = 0; c < static_cast<int>(kNumCategories); ++c) {
+        auto cat = buildCategory(static_cast<WorkloadCategory>(c), cfg);
+        for (auto &w : cat)
+            suite.push_back(std::move(w));
+    }
+    return suite;
+}
+
+} // namespace misam

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The paper's evaluation suite: 116 standalone matrix-multiplication
+ * workloads across five sparsity categories — 15 MS x D, 38 MS x MS,
+ * 12 HS x D, 36 HS x MS, and 12 HS x HS (§4 "Workloads").
+ *
+ * D operands are dense with 512 columns, MS operands are pruned DNN
+ * weights (densities 0.1/0.2) or moderately sparse 512-column matrices
+ * (densities 0.2/0.4/0.6), and HS operands are the Table-3 SuiteSparse
+ * proxies. HS x HS squares each proxy (A x A), as in graph analytics.
+ */
+
+#ifndef MISAM_WORKLOADS_SUITE_HH
+#define MISAM_WORKLOADS_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace misam {
+
+/** The five workload categories of the evaluation. */
+enum class WorkloadCategory : int
+{
+    MSxD = 0,
+    MSxMS = 1,
+    HSxD = 2,
+    HSxMS = 3,
+    HSxHS = 4,
+};
+
+/** Number of categories. */
+constexpr std::size_t kNumCategories = 5;
+
+/** Display name, e.g. "HSxMS". */
+const char *categoryName(WorkloadCategory cat);
+
+/** One standalone workload C = A * B. */
+struct Workload
+{
+    std::string name;
+    WorkloadCategory category;
+    CsrMatrix a;
+    CsrMatrix b;
+};
+
+/** Suite-construction knobs. */
+struct SuiteConfig
+{
+    /**
+     * Linear scale on the HS SuiteSparse proxies (1.0 = published size).
+     * The default keeps the whole 116-workload suite tractable on a
+     * laptop while preserving per-matrix structure.
+     */
+    double hs_scale = 0.12;
+    Index dense_cols = 512;      ///< Columns of the D and MS-B operands.
+    std::uint64_t seed = 2025;   ///< Generator seed.
+
+    int count_ms_x_d = 15;
+    int count_ms_x_ms = 38;
+    int count_hs_x_d = 12;
+    int count_hs_x_ms = 36;
+    int count_hs_x_hs = 12;
+};
+
+/** Build the full evaluation suite. */
+std::vector<Workload> buildEvaluationSuite(const SuiteConfig &cfg = {});
+
+/** Build only one category of the suite. */
+std::vector<Workload> buildCategory(WorkloadCategory cat,
+                                    const SuiteConfig &cfg = {});
+
+/** The 12 HS matrix ids the evaluation uses from Table 3. */
+const std::vector<std::string> &evaluationHsIds();
+
+/** Compact density tag for workload names: 0.1 -> "0.1". */
+std::string formatDensity(double d);
+
+} // namespace misam
+
+#endif // MISAM_WORKLOADS_SUITE_HH

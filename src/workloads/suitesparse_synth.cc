@@ -1,0 +1,102 @@
+#include "workloads/suitesparse_synth.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/generate.hh"
+#include "util/logging.hh"
+
+namespace misam {
+
+const std::vector<SuiteSparseProxyInfo> &
+suiteSparseTable()
+{
+    // Name, id, density, rows, nnz straight from Table 3; the family is
+    // our classification of each matrix's domain.
+    static const std::vector<SuiteSparseProxyInfo> table = {
+        {"p2p-Gnutella24", "p2p", 9.3e-5, 26518, 65369,
+         MatrixFamily::PowerLaw},
+        {"sx-mathoverflow", "sx", 3.9e-4, 24818, 239978,
+         MatrixFamily::PowerLaw},
+        {"ca-CondMat", "cond", 3.5e-4, 23133, 186936,
+         MatrixFamily::PowerLaw},
+        {"Oregon-2", "ore", 3.5e-4, 11806, 65460, MatrixFamily::PowerLaw},
+        {"email-Enron", "em", 2.7e-4, 36692, 367662,
+         MatrixFamily::PowerLaw},
+        {"opt1", "opt", 8.1e-3, 15449, 1930655, MatrixFamily::Block},
+        {"scircuit", "sc", 3.3e-5, 170998, 958936, MatrixFamily::Block},
+        {"gupta2", "gup", 1.1e-3, 62064, 4248286, MatrixFamily::Block},
+        {"sme3Db", "sme", 2.5e-3, 29067, 2081063, MatrixFamily::Banded},
+        {"poisson3Da", "poi", 1.9e-3, 13514, 352762,
+         MatrixFamily::Banded},
+        {"wiki-RfA", "wiki", 1.5e-3, 11380, 188077,
+         MatrixFamily::PowerLaw},
+        {"ca-AstroPh", "astro", 1.1e-3, 18772, 396160,
+         MatrixFamily::PowerLaw},
+        {"msc10848", "ms", 1.0e-2, 10848, 1229776, MatrixFamily::Banded},
+        {"ramage02", "ram", 1.0e-2, 16830, 2866352, MatrixFamily::Banded},
+        {"cage12", "cage", 1.2e-4, 130228, 2032536,
+         MatrixFamily::Banded},
+        {"goodwin", "good", 6.0e-3, 7320, 324772, MatrixFamily::Banded},
+    };
+    return table;
+}
+
+const SuiteSparseProxyInfo &
+suiteSparseInfo(const std::string &id_or_name)
+{
+    for (const auto &info : suiteSparseTable())
+        if (info.id == id_or_name || info.name == id_or_name)
+            return info;
+    fatal("suiteSparseInfo: unknown matrix '", id_or_name, "'");
+}
+
+CsrMatrix
+generateSuiteSparseProxy(const SuiteSparseProxyInfo &info, double scale,
+                         Rng &rng)
+{
+    if (scale <= 0.0 || scale > 1.0)
+        fatal("generateSuiteSparseProxy: scale ", scale, " out of (0,1]");
+
+    const auto rows = std::max<Index>(
+        64, static_cast<Index>(info.rows * scale));
+    // Preserve the average row degree.
+    const double avg_degree =
+        static_cast<double>(info.nnz) / static_cast<double>(info.rows);
+    const auto target_nnz = std::max<Offset>(
+        rows, static_cast<Offset>(avg_degree * rows));
+
+    switch (info.family) {
+      case MatrixFamily::PowerLaw:
+        return generatePowerLawGraph(rows, target_nnz, /*alpha=*/2.1, rng);
+      case MatrixFamily::Banded: {
+        // Band half-width sized so the expected degree matches.
+        constexpr double fill = 0.8;
+        const auto bandwidth = std::max<Index>(
+            1, static_cast<Index>(avg_degree / (2.0 * fill)));
+        return generateBanded(rows, rows, bandwidth, fill, rng);
+      }
+      case MatrixFamily::Block: {
+        constexpr double block_density = 0.45;
+        const auto block = std::max<Index>(
+            2, static_cast<Index>(std::sqrt(avg_degree / block_density) *
+                                  2.0));
+        // A thin random background models off-block coupling entries.
+        const double background =
+            0.1 * avg_degree / static_cast<double>(rows);
+        return generateBlockDiagonal(rows, rows, block, block_density,
+                                     background, rng);
+      }
+    }
+    panic("generateSuiteSparseProxy: unknown family");
+}
+
+CsrMatrix
+generateSuiteSparseProxy(const std::string &id_or_name, double scale,
+                         Rng &rng)
+{
+    return generateSuiteSparseProxy(suiteSparseInfo(id_or_name), scale,
+                                    rng);
+}
+
+} // namespace misam

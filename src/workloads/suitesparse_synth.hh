@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Synthetic proxies for the SuiteSparse matrices of the paper's Table 3.
+ *
+ * The real collection is not available offline, so each matrix is
+ * regenerated from its published dimensions, nonzero count, and density
+ * with a structural family matched to its application domain: power-law
+ * graphs for the network/social matrices, banded stencils for the
+ * FEM/CFD ones, and block-structured fill for the circuit/optimization
+ * matrices. The features that drive both the dataflow choice and the
+ * scheduling quality — dims, nnz distribution, imbalance — are thereby
+ * preserved.
+ */
+
+#ifndef MISAM_WORKLOADS_SUITESPARSE_SYNTH_HH
+#define MISAM_WORKLOADS_SUITESPARSE_SYNTH_HH
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hh"
+#include "util/random.hh"
+
+namespace misam {
+
+/** Structural family used to synthesize a proxy. */
+enum class MatrixFamily
+{
+    PowerLaw, ///< Scale-free graph (p2p, social, co-authorship).
+    Banded,   ///< FEM/CFD stencil band.
+    Block,    ///< Circuit / optimization block structure.
+};
+
+/** One row of the paper's Table 3. */
+struct SuiteSparseProxyInfo
+{
+    std::string name;    ///< Full SuiteSparse name, e.g. "p2p-Gnutella24".
+    std::string id;      ///< Short id used in figures, e.g. "p2p".
+    double density;      ///< Published density.
+    Index rows;          ///< Published dimension (square matrices).
+    Offset nnz;          ///< Published nonzero count.
+    MatrixFamily family; ///< Synthesis family.
+};
+
+/** The 16 Table-3 matrices. */
+const std::vector<SuiteSparseProxyInfo> &suiteSparseTable();
+
+/** Look up a table entry by short id or full name; fatal() if unknown. */
+const SuiteSparseProxyInfo &suiteSparseInfo(const std::string &id_or_name);
+
+/**
+ * Generate the proxy at `scale` (1.0 = published size). Rows scale
+ * linearly and nnz scales to preserve the average row degree, keeping
+ * the scheduling behaviour representative at reduced cost.
+ */
+CsrMatrix generateSuiteSparseProxy(const SuiteSparseProxyInfo &info,
+                                   double scale, Rng &rng);
+
+/** Convenience overload by id/name. */
+CsrMatrix generateSuiteSparseProxy(const std::string &id_or_name,
+                                   double scale, Rng &rng);
+
+} // namespace misam
+
+#endif // MISAM_WORKLOADS_SUITESPARSE_SYNTH_HH

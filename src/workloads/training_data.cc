@@ -1,0 +1,160 @@
+#include "workloads/training_data.hh"
+
+#include <cmath>
+
+#include "reconfig/engine.hh"
+#include "sparse/generate.hh"
+#include "util/logging.hh"
+
+namespace misam {
+
+namespace {
+
+double
+logUniform(Rng &rng, double lo, double hi)
+{
+    return std::exp(rng.uniform(std::log(lo), std::log(hi)));
+}
+
+Index
+logUniformDim(Rng &rng, Index lo, Index hi)
+{
+    return static_cast<Index>(logUniform(rng, lo, hi));
+}
+
+/** A random structured sparse matrix from the scientific population. */
+CsrMatrix
+randomScientificMatrix(Index rows, Index cols, double density, Rng &rng)
+{
+    switch (rng.uniformInt(5)) {
+      case 0:
+        return generateUniform(rows, cols, density, rng);
+      case 1: {
+        const auto bandwidth = std::max<Index>(
+            1, static_cast<Index>(density * cols / 1.6));
+        return generateBanded(rows, cols, bandwidth, 0.8, rng);
+      }
+      case 2: {
+        const auto block = std::max<Index>(
+            2, static_cast<Index>(std::sqrt(density * rows * 4.0)));
+        return generateBlockDiagonal(rows, cols, block, 0.5,
+                                     density * 0.1, rng);
+      }
+      case 3: {
+        if (rows == cols) {
+            const auto nnz = std::max<Offset>(
+                rows, static_cast<Offset>(density * rows * cols));
+            return generatePowerLawGraph(rows, nnz, 2.1, rng);
+        }
+        return generateUniform(rows, cols, density, rng);
+      }
+      default:
+        return generateRowImbalanced(rows, cols, density, 0.03,
+                                     rng.uniform(4.0, 24.0), rng);
+    }
+}
+
+/** A random matrix from the DNN-like population. */
+CsrMatrix
+randomMlMatrix(Index rows, Index cols, double density, Rng &rng)
+{
+    if (density > 0.9)
+        return generateDenseCsr(rows, cols, rng);
+    if (rng.bernoulli(0.6))
+        return generateStructuredPruned(rows, cols, density, 8, rng);
+    return generateUniform(rows, cols, density, rng);
+}
+
+Index
+powerOfTwoDim(Rng &rng)
+{
+    static const Index dims[] = {128, 256, 512, 1024, 2048};
+    return dims[rng.uniformInt(5)];
+}
+
+} // namespace
+
+std::pair<CsrMatrix, CsrMatrix>
+generateWorkloadPair(const TrainingDataConfig &cfg, Rng &rng)
+{
+    const bool ml_like = rng.bernoulli(cfg.ml_fraction);
+    if (ml_like) {
+        // DNN population: B has power-of-two columns and is dense or
+        // moderately sparse (pruning); A is a pruned weight tensor.
+        const Index m = logUniformDim(rng, cfg.min_dim, cfg.max_dim);
+        const Index k = powerOfTwoDim(rng);
+        const Index n = powerOfTwoDim(rng);
+        const double da = logUniform(rng, 0.02, 0.9);
+        // Pruned/dense DNN operands skew dense: a third are fully
+        // dense activations, the rest spread uniformly.
+        const double db = rng.bernoulli(0.33)
+                              ? 1.0
+                              : rng.uniform(0.05, cfg.max_density);
+        return {randomMlMatrix(m, k, da, rng),
+                randomMlMatrix(k, n, db, rng)};
+    }
+    // Scientific population: large, highly sparse, structured.
+    const Index m = logUniformDim(rng, cfg.min_dim, cfg.max_dim);
+    const Index k = rng.bernoulli(0.5)
+                        ? m
+                        : logUniformDim(rng, cfg.min_dim, cfg.max_dim);
+    const Index n = rng.bernoulli(0.4)
+                        ? k
+                        : logUniformDim(rng, cfg.min_dim, cfg.max_dim);
+    const double da = logUniform(rng, cfg.min_density, 0.1);
+    const double db = logUniform(rng, cfg.min_density, 0.5);
+    return {randomScientificMatrix(m, k, da, rng),
+            randomScientificMatrix(k, n, db, rng)};
+}
+
+std::vector<TrainingSample>
+generateTrainingSamples(const TrainingDataConfig &cfg)
+{
+    if (cfg.num_samples == 0)
+        fatal("generateTrainingSamples: zero samples requested");
+    Rng rng(cfg.seed);
+    std::vector<TrainingSample> samples;
+    samples.reserve(cfg.num_samples);
+
+    while (samples.size() < cfg.num_samples) {
+        auto [a, b] = generateWorkloadPair(cfg, rng);
+        if (a.nnz() == 0 || b.nnz() == 0)
+            continue; // Degenerate draw; resample.
+
+        TrainingSample sample;
+        sample.features = extractFeatures(a, b);
+        sample.results = simulateAllDesigns(a, b);
+        sample.best_design =
+            static_cast<int>(fastestDesign(sample.results));
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+Dataset
+toClassifierDataset(const std::vector<TrainingSample> &samples)
+{
+    Dataset data(kNumFeatures);
+    for (const TrainingSample &s : samples)
+        data.addSample(s.features.toVector(), s.best_design);
+    return data;
+}
+
+Dataset
+toLatencyDataset(const std::vector<TrainingSample> &samples)
+{
+    Dataset data(kAugmentedFeatures);
+    for (const TrainingSample &s : samples) {
+        for (std::size_t d = 0; d < kNumDesigns; ++d) {
+            const SimResult &r = s.results[d];
+            if (r.exec_seconds <= 0.0)
+                continue;
+            data.addSample(augmentFeatures(s.features, allDesigns()[d]),
+                           static_cast<int>(d),
+                           std::log2(r.exec_seconds));
+        }
+    }
+    return data;
+}
+
+} // namespace misam

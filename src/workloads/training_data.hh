@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Training-set synthesis for the selector and the latency predictor.
+ *
+ * The paper curates 6,219 matrices spanning 1%-99% sparsity on both
+ * operands (SuiteSparse structures plus pruned DNN tensors) for the
+ * classifier, and a 19,000-matrix superset for the latency model (§4
+ * "Datasets"). We regenerate that population synthetically: each sample
+ * draws a structural family, dimensions, and densities, runs all four
+ * design simulators, and is labeled with the objective-optimal design —
+ * labels are *emergent from the simulators*, never hard-coded.
+ */
+
+#ifndef MISAM_WORKLOADS_TRAINING_DATA_HH
+#define MISAM_WORKLOADS_TRAINING_DATA_HH
+
+#include <array>
+#include <vector>
+
+#include "features/features.hh"
+#include "ml/dataset.hh"
+#include "sim/design_sim.hh"
+
+namespace misam {
+
+/** One labeled training sample. */
+struct TrainingSample
+{
+    FeatureVector features;
+    std::array<SimResult, kNumDesigns> results;
+    int best_design = 0; ///< argmin exec_seconds over the designs.
+};
+
+/** Knobs of the training-set generator. */
+struct TrainingDataConfig
+{
+    std::size_t num_samples = 600;  ///< Paper scale: 6,219 (selector) and
+                                    ///< 19,000 (latency); benches default
+                                    ///< lower for runtime.
+    std::uint64_t seed = 7;
+    Index min_dim = 64;             ///< Smallest matrix dimension.
+    Index max_dim = 2048;           ///< Largest matrix dimension.
+    double min_density = 0.0008;    ///< ~99.9% sparse lower bound.
+    double max_density = 0.99;      ///< ~dense upper bound.
+    /** Fraction of samples drawn from the DNN-like population (B with
+     *  power-of-two columns, moderately sparse or dense). */
+    double ml_fraction = 0.5;
+};
+
+/**
+ * Draw one random (A, B) workload pair from the mixed DNN/scientific
+ * population the training set samples. Exposed so other consumers (the
+ * Trapezoid-selection study of §6.3, custom training flows) can share
+ * the same population.
+ */
+std::pair<CsrMatrix, CsrMatrix>
+generateWorkloadPair(const TrainingDataConfig &cfg, Rng &rng);
+
+/** Generate the labeled sample set by running all design simulators. */
+std::vector<TrainingSample>
+generateTrainingSamples(const TrainingDataConfig &cfg = {});
+
+/**
+ * Classifier view: one row per sample, features -> best-design label.
+ */
+Dataset toClassifierDataset(const std::vector<TrainingSample> &samples);
+
+/**
+ * Latency-predictor view: one row per (sample, design) with the design
+ * id appended to the features (see augmentFeatures) and target
+ * log2(exec_seconds). The label column carries the design id.
+ */
+Dataset toLatencyDataset(const std::vector<TrainingSample> &samples);
+
+} // namespace misam
+
+#endif // MISAM_WORKLOADS_TRAINING_DATA_HH

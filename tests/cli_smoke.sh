@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the misam CLI: train a tiny model, persist
+# it, analyze/simulate/predict a generated matrix, export a dataset.
+set -euo pipefail
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# A small deterministic banded matrix in Matrix Market form.
+{
+    n=256
+    printf '%%%%MatrixMarket matrix coordinate real general\n'
+    printf '%d %d %d\n' "$n" "$n" $((3 * n - 2))
+    for ((i = 1; i <= n; ++i)); do
+        printf '%d %d 1.0\n' "$i" "$i"
+        if ((i < n)); then
+            printf '%d %d 0.5\n' "$i" $((i + 1))
+            printf '%d %d -0.5\n' $((i + 1)) "$i"
+        fi
+    done
+} > "$WORK/g.mtx"
+
+echo "== train =="
+"$CLI" train --out "$WORK/model.bin" --samples 60 --seed 3
+test -s "$WORK/model.bin"
+
+echo "== analyze =="
+"$CLI" analyze --matrix "$WORK/g.mtx" --self | grep -q "A_sparsity"
+
+echo "== simulate =="
+"$CLI" simulate --matrix "$WORK/g.mtx" --self | grep -q "fastest:"
+
+echo "== detail =="
+"$CLI" detail --matrix "$WORK/g.mtx" --self | grep -q "bound by"
+
+echo "== predict =="
+"$CLI" predict --model "$WORK/model.bin" --matrix "$WORK/g.mtx" --self \
+    | grep -q "predicted design"
+
+echo "== dataset =="
+"$CLI" dataset --out "$WORK/data.csv" --samples 20 --seed 4
+lines=$(wc -l < "$WORK/data.csv")
+test "$lines" -eq 21   # header + 20 rows
+
+echo "== usage on bad input =="
+if "$CLI" frobnicate 2>/dev/null; then
+    echo "expected nonzero exit"; exit 1
+fi
+
+echo "cli smoke OK"

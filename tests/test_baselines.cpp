@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the baseline cost models: Trapezoid's three dataflows and
+ * the CPU (MKL) / GPU (cuSPARSE) analytical models. The assertions pin
+ * the qualitative regimes the paper's comparison depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_mkl.hh"
+#include "baselines/gpu_cusparse.hh"
+#include "sparse/generate.hh"
+#include "sparse/spgemm.hh"
+#include "trapezoid/trapezoid.hh"
+
+namespace misam {
+namespace {
+
+// --------------------------------------------------------------------
+// Trapezoid
+// --------------------------------------------------------------------
+
+TEST(Trapezoid, NamesAndEnumeration)
+{
+    EXPECT_EQ(allTrapezoidDataflows().size(), kNumTrapezoidDataflows);
+    EXPECT_STREQ(trapezoidDataflowName(TrapezoidDataflow::Inner),
+                 "Inner");
+    EXPECT_STREQ(trapezoidDataflowName(TrapezoidDataflow::Outer),
+                 "Outer");
+    EXPECT_STREQ(trapezoidDataflowName(TrapezoidDataflow::RowWise),
+                 "RowWise");
+}
+
+TEST(Trapezoid, AreaConfigsMatchPaper)
+{
+    const TrapezoidConfig cfg;
+    EXPECT_DOUBLE_EQ(cfg.area_mm2[0], 69.7);
+    EXPECT_DOUBLE_EQ(cfg.area_mm2[1], 57.6);
+    EXPECT_DOUBLE_EQ(cfg.area_mm2[2], 51.2);
+}
+
+TEST(Trapezoid, ResultInvariants)
+{
+    Rng rng(1);
+    const CsrMatrix a = generateUniform(256, 256, 0.05, rng);
+    const CsrMatrix b = generateUniform(256, 256, 0.05, rng);
+    for (TrapezoidDataflow df : allTrapezoidDataflows()) {
+        const TrapezoidResult r = simulateTrapezoid(df, a, b);
+        EXPECT_EQ(r.dataflow, df);
+        EXPECT_GT(r.exec_seconds, 0.0);
+        EXPECT_GE(r.exec_seconds, r.compute_seconds);
+        EXPECT_GE(r.exec_seconds, r.memory_seconds);
+        EXPECT_GT(r.traffic_bytes, 0u);
+    }
+}
+
+TEST(Trapezoid, InnerCollapsesOnHyperSparse)
+{
+    // Mostly-empty intersections make inner product pay for every
+    // output pair; outer/row-wise skip them.
+    Rng rng(2);
+    const CsrMatrix a = generatePowerLawGraph(2048, 10000, 2.1, rng);
+    const auto all = simulateAllTrapezoid(a, a);
+    EXPECT_GT(all[0].exec_seconds, 3.0 * all[1].exec_seconds);
+    EXPECT_GT(all[0].exec_seconds, 3.0 * all[2].exec_seconds);
+}
+
+TEST(Trapezoid, OuterSpillsOnDenseProducts)
+{
+    // Dense-ish inputs make the partial-product set overflow the merge
+    // buffer; inner/row-wise beat outer there.
+    Rng rng(3);
+    const CsrMatrix a = generateUniform(768, 768, 0.4, rng);
+    const CsrMatrix b = generateUniform(768, 768, 0.4, rng);
+    const auto all = simulateAllTrapezoid(a, b);
+    EXPECT_GT(all[1].exec_seconds, all[2].exec_seconds);
+}
+
+TEST(Trapezoid, RowWisePenalizedByImbalance)
+{
+    Rng rng(4);
+    const CsrMatrix balanced = generateUniform(1024, 1024, 0.02, rng);
+    const CsrMatrix imbalanced =
+        generateRowImbalanced(1024, 1024, 0.02, 0.02, 24.0, rng);
+    const CsrMatrix b = generateUniform(1024, 1024, 0.02, rng);
+    const double t_bal =
+        simulateTrapezoid(TrapezoidDataflow::RowWise, balanced, b)
+            .compute_seconds /
+        static_cast<double>(spgemmMultiplyCount(balanced, b));
+    const double t_imb =
+        simulateTrapezoid(TrapezoidDataflow::RowWise, imbalanced, b)
+            .compute_seconds /
+        static_cast<double>(spgemmMultiplyCount(imbalanced, b));
+    EXPECT_GT(t_imb, t_bal); // more compute time per multiply
+}
+
+TEST(Trapezoid, BestPicksMinimum)
+{
+    Rng rng(5);
+    const CsrMatrix a = generateUniform(256, 256, 0.1, rng);
+    const CsrMatrix b = generateUniform(256, 256, 0.1, rng);
+    const auto all = simulateAllTrapezoid(a, b);
+    const TrapezoidResult best = bestTrapezoid(a, b);
+    for (const auto &r : all)
+        EXPECT_LE(best.exec_seconds, r.exec_seconds);
+}
+
+TEST(TrapezoidDeath, DimensionMismatch)
+{
+    const CsrMatrix a(2, 3);
+    const CsrMatrix b(4, 2);
+    EXPECT_EXIT(simulateTrapezoid(TrapezoidDataflow::Inner, a, b),
+                testing::ExitedWithCode(1), "dimension mismatch");
+}
+
+// --------------------------------------------------------------------
+// CPU / GPU models
+// --------------------------------------------------------------------
+
+TEST(CpuModel, InvariantsAndSetupFloor)
+{
+    Rng rng(6);
+    const CsrMatrix a = generateUniform(128, 128, 0.05, rng);
+    const CsrMatrix b = generateUniform(128, 128, 0.05, rng);
+    const CpuConfig cfg;
+    const BaselineResult r = cpuMklSpgemm(a, b, cfg);
+    EXPECT_GE(r.exec_seconds, cfg.setup_seconds);
+    EXPECT_GT(r.energy_joules, 0.0);
+    EXPECT_NEAR(r.energy_joules, r.exec_seconds * cfg.power_watts, 1e-12);
+}
+
+TEST(CpuModel, DenserIsSlower)
+{
+    Rng rng(7);
+    const CsrMatrix sparse = generateUniform(512, 512, 0.01, rng);
+    const CsrMatrix dense = generateUniform(512, 512, 0.2, rng);
+    const CsrMatrix b = generateUniform(512, 512, 0.1, rng);
+    EXPECT_LT(cpuMklSpgemm(sparse, b).exec_seconds,
+              cpuMklSpgemm(dense, b).exec_seconds);
+}
+
+TEST(CpuModel, EffectiveGflopsHigherOnDenseRows)
+{
+    Rng rng(8);
+    const CsrMatrix a = generateUniform(512, 512, 0.05, rng);
+    const CsrMatrix b_sparse = generateUniform(512, 512, 0.005, rng);
+    const CsrMatrix b_dense = generateUniform(512, 512, 0.5, rng);
+    EXPECT_GT(cpuMklSpgemm(a, b_dense).effective_gflops,
+              cpuMklSpgemm(a, b_sparse).effective_gflops);
+}
+
+TEST(CpuModel, SpmmFasterPerFlopThanHyperSparseSpgemm)
+{
+    Rng rng(9);
+    const CsrMatrix a = generateUniform(512, 512, 0.02, rng);
+    const CsrMatrix b_hs = generateUniform(512, 512, 0.002, rng);
+    const BaselineResult spmm = cpuMklSpmm(a, 512);
+    const BaselineResult spgemm = cpuMklSpgemm(a, b_hs);
+    EXPECT_GT(spmm.effective_gflops, spgemm.effective_gflops);
+}
+
+TEST(GpuModel, InvariantsAndLaunchFloor)
+{
+    Rng rng(10);
+    const CsrMatrix a = generateUniform(128, 128, 0.05, rng);
+    const CsrMatrix b = generateUniform(128, 128, 0.05, rng);
+    const GpuConfig cfg;
+    const BaselineResult r = gpuCusparseSpgemm(a, b, cfg);
+    EXPECT_GE(r.exec_seconds, cfg.launch_seconds);
+    EXPECT_GT(r.energy_joules, 0.0);
+}
+
+TEST(GpuModel, DenseSpmmNearDenseRoofline)
+{
+    Rng rng(11);
+    const CsrMatrix dense_a = generateUniform(1024, 1024, 0.5, rng);
+    const BaselineResult r = gpuCusparseSpmm(dense_a, 1024);
+    // Dense-ish SpMM should exceed the sparse roofline clearly.
+    EXPECT_GT(r.effective_gflops, 900.0);
+}
+
+TEST(GpuModel, GpuBeatsCpuOnDenseWork)
+{
+    Rng rng(12);
+    const CsrMatrix a = generateUniform(1024, 1024, 0.5, rng);
+    EXPECT_LT(gpuCusparseSpmm(a, 512).exec_seconds,
+              cpuMklSpmm(a, 512).exec_seconds);
+}
+
+TEST(GpuModel, LaunchOverheadDominatesTinyKernels)
+{
+    Rng rng(13);
+    const CsrMatrix a = generateUniform(32, 32, 0.1, rng);
+    const CsrMatrix b = generateUniform(32, 32, 0.1, rng);
+    const GpuConfig cfg;
+    const BaselineResult r = gpuCusparseSpgemm(a, b, cfg);
+    EXPECT_LT(r.exec_seconds, 2.0 * cfg.launch_seconds);
+    EXPECT_GE(r.exec_seconds, cfg.launch_seconds);
+}
+
+TEST(GpuModel, ImbalanceHurtsSparseKernels)
+{
+    Rng rng(14);
+    const CsrMatrix balanced = generateUniform(1024, 1024, 0.01, rng);
+    const CsrMatrix imbalanced =
+        generateRowImbalanced(1024, 1024, 0.01, 0.02, 30.0, rng);
+    const CsrMatrix b = generateUniform(1024, 1024, 0.01, rng);
+    const double per_mult_bal =
+        gpuCusparseSpgemm(balanced, b).exec_seconds /
+        static_cast<double>(spgemmMultiplyCount(balanced, b));
+    const double per_mult_imb =
+        gpuCusparseSpgemm(imbalanced, b).exec_seconds /
+        static_cast<double>(spgemmMultiplyCount(imbalanced, b));
+    EXPECT_GT(per_mult_imb, per_mult_bal * 0.9);
+}
+
+} // namespace
+} // namespace misam

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the design configurations (Table 1 / Table 2 fidelity) and
+ * the cycle-level simulator: accounting invariants, monotonicity, and —
+ * most importantly — the qualitative design ordering the paper's §3.2
+ * narrates (D1 on small sparse, D2 on large dense, D3 under imbalance,
+ * D4 on highly sparse B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/design_sim.hh"
+#include "sim/energy.hh"
+#include "sparse/convert.hh"
+#include "sparse/generate.hh"
+
+namespace misam {
+namespace {
+
+// --------------------------------------------------------------------
+// Table 1 / Table 2 fidelity
+// --------------------------------------------------------------------
+
+TEST(DesignConfig, Table1Parameters)
+{
+    const DesignConfig &d1 = designConfig(DesignId::D1);
+    EXPECT_EQ(d1.ch_a, 8);
+    EXPECT_EQ(d1.ch_b, 4);
+    EXPECT_EQ(d1.ch_c, 8);
+    EXPECT_EQ(d1.pegs, 16);
+    EXPECT_EQ(d1.accgs, 16);
+    EXPECT_EQ(d1.scheduler, SchedulerKind::Col);
+    EXPECT_EQ(d1.format_b, FormatB::Uncompressed);
+
+    const DesignConfig &d2 = designConfig(DesignId::D2);
+    EXPECT_EQ(d2.ch_a, 12);
+    EXPECT_EQ(d2.ch_b, 4);
+    EXPECT_EQ(d2.ch_c, 12);
+    EXPECT_EQ(d2.pegs, 24);
+    EXPECT_EQ(d2.scheduler, SchedulerKind::Col);
+
+    const DesignConfig &d3 = designConfig(DesignId::D3);
+    EXPECT_EQ(d3.pegs, 24);
+    EXPECT_EQ(d3.scheduler, SchedulerKind::Row);
+    EXPECT_EQ(d3.format_b, FormatB::Uncompressed);
+
+    const DesignConfig &d4 = designConfig(DesignId::D4);
+    EXPECT_EQ(d4.ch_a, 8);
+    EXPECT_EQ(d4.ch_b, 8);
+    EXPECT_EQ(d4.ch_c, 4);
+    EXPECT_EQ(d4.pegs, 16);
+    EXPECT_EQ(d4.format_b, FormatB::Compressed);
+}
+
+TEST(DesignConfig, Table2ResourcesAndFrequency)
+{
+    const DesignConfig &d1 = designConfig(DesignId::D1);
+    EXPECT_NEAR(d1.resources.lut, 0.3320, 1e-9);
+    EXPECT_NEAR(d1.resources.bram, 0.6071, 1e-9);
+    EXPECT_NEAR(d1.freq_mhz, 284.02, 1e-9);
+
+    const DesignConfig &d2 = designConfig(DesignId::D2);
+    EXPECT_NEAR(d2.resources.lut, 0.4303, 1e-9);
+    EXPECT_NEAR(d2.freq_mhz, 290.3, 1e-9);
+
+    const DesignConfig &d4 = designConfig(DesignId::D4);
+    EXPECT_NEAR(d4.resources.bram, 0.2421, 1e-9);
+    EXPECT_NEAR(d4.freq_mhz, 287.4, 1e-9);
+}
+
+TEST(DesignConfig, FourPesPerPeg)
+{
+    for (DesignId id : allDesigns()) {
+        const DesignConfig &cfg = designConfig(id);
+        EXPECT_EQ(cfg.pes_per_peg, 4);
+        EXPECT_EQ(cfg.totalPes(), cfg.pegs * 4);
+    }
+}
+
+TEST(DesignConfig, SharedBitstreamD2D3)
+{
+    EXPECT_TRUE(sharesBitstream(DesignId::D2, DesignId::D3));
+    EXPECT_TRUE(sharesBitstream(DesignId::D3, DesignId::D2));
+    EXPECT_TRUE(sharesBitstream(DesignId::D1, DesignId::D1));
+    EXPECT_FALSE(sharesBitstream(DesignId::D1, DesignId::D2));
+    EXPECT_FALSE(sharesBitstream(DesignId::D4, DesignId::D3));
+}
+
+TEST(DesignConfig, NamesStable)
+{
+    EXPECT_STREQ(designName(DesignId::D1), "Design 1");
+    EXPECT_STREQ(designName(DesignId::D4), "Design 4");
+    EXPECT_EQ(allDesigns().size(), kNumDesigns);
+}
+
+TEST(DesignConfig, MaxFractionPicksBottleneck)
+{
+    // Design 1's BRAM (60.71%) dominates its footprint.
+    EXPECT_NEAR(designConfig(DesignId::D1).resources.maxFraction(),
+                0.6071, 1e-9);
+}
+
+TEST(Energy, PowerWithinU55CEnvelope)
+{
+    for (DesignId id : allDesigns()) {
+        const double watts = fpgaPowerWatts(designConfig(id));
+        EXPECT_GT(watts, PlatformPower::fpga_base);
+        EXPECT_LT(watts, 80.0);
+    }
+}
+
+// --------------------------------------------------------------------
+// simulator accounting invariants
+// --------------------------------------------------------------------
+
+class SimInvariants : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(SimInvariants, AccountingHolds)
+{
+    const DesignId id = allDesigns()[static_cast<std::size_t>(GetParam())];
+    Rng rng(77);
+    const CsrMatrix a = generateUniform(256, 256, 0.05, rng);
+    const CsrMatrix b = generateUniform(256, 128, 0.2, rng);
+    const SimResult r = simulateDesign(id, a, b);
+
+    EXPECT_EQ(r.design, id);
+    EXPECT_GT(r.total_cycles, 0.0);
+    EXPECT_GT(r.exec_seconds, 0.0);
+    EXPECT_GT(r.compute_cycles, 0.0);
+    EXPECT_GE(r.read_a_cycles, 0.0);
+    EXPECT_GT(r.read_b_cycles, 0.0);
+    EXPECT_GT(r.write_c_cycles, 0.0);
+    EXPECT_GT(r.pe_utilization, 0.0);
+    EXPECT_LE(r.pe_utilization, 1.0);
+    EXPECT_GT(r.multiplies, 0u);
+    EXPECT_GE(r.num_tiles, 1);
+    EXPECT_GT(r.energy_joules, 0.0);
+    EXPECT_NEAR(r.energy_joules, r.avg_power_watts * r.exec_seconds,
+                1e-12);
+    // Total is bounded by the sum of all phases (overlap can only help).
+    EXPECT_LE(r.total_cycles,
+              r.read_a_cycles + r.read_b_cycles + r.compute_cycles +
+                  r.write_c_cycles + r.overhead_cycles + 1.0);
+    // Cycles/seconds conversion uses the design's frequency.
+    EXPECT_NEAR(r.exec_seconds,
+                r.total_cycles / (designConfig(id).freq_mhz * 1e6),
+                1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, SimInvariants,
+                         testing::Values(0, 1, 2, 3));
+
+TEST(Sim, MultiplyCountSemantics)
+{
+    Rng rng(78);
+    const CsrMatrix a = generateUniform(64, 64, 0.1, rng);
+    const CsrMatrix b = generateUniform(64, 32, 0.5, rng);
+    // SpMM designs touch every B column per A nonzero.
+    const SimResult d1 = simulateDesign(DesignId::D1, a, b);
+    EXPECT_EQ(d1.multiplies, a.nnz() * 32);
+    // The SpGEMM design only multiplies matching nonzeros.
+    const SimResult d4 = simulateDesign(DesignId::D4, a, b);
+    EXPECT_LT(d4.multiplies, d1.multiplies);
+}
+
+TEST(Sim, MoreNnzMoreCycles)
+{
+    Rng rng(79);
+    const CsrMatrix sparse = generateUniform(512, 512, 0.01, rng);
+    const CsrMatrix dense = generateUniform(512, 512, 0.2, rng);
+    const CsrMatrix b = generateDenseCsr(512, 128, rng);
+    for (DesignId id : allDesigns()) {
+        EXPECT_LT(simulateDesign(id, sparse, b).total_cycles,
+                  simulateDesign(id, dense, b).total_cycles)
+            << designName(id);
+    }
+}
+
+TEST(Sim, WiderBMoreCycles)
+{
+    Rng rng(80);
+    const CsrMatrix a = generateUniform(256, 256, 0.05, rng);
+    const CsrMatrix b_narrow = generateDenseCsr(256, 64, rng);
+    const CsrMatrix b_wide = generateDenseCsr(256, 512, rng);
+    for (DesignId id : allDesigns()) {
+        EXPECT_LT(simulateDesign(id, a, b_narrow).total_cycles,
+                  simulateDesign(id, a, b_wide).total_cycles);
+    }
+}
+
+TEST(SimDeath, DimensionMismatch)
+{
+    const CsrMatrix a(4, 5);
+    const CsrMatrix b(6, 4);
+    EXPECT_EXIT(simulateDesign(DesignId::D1, a, b),
+                testing::ExitedWithCode(1), "dimension mismatch");
+}
+
+TEST(Sim, EmptyAIsCheap)
+{
+    Rng rng(81);
+    const CsrMatrix a(128, 128);
+    const CsrMatrix b = generateDenseCsr(128, 64, rng);
+    const SimResult r = simulateDesign(DesignId::D1, a, b);
+    EXPECT_EQ(r.multiplies, 0u);
+    EXPECT_GT(r.total_cycles, 0.0); // still reads B, writes C
+}
+
+// --------------------------------------------------------------------
+// qualitative design ordering (§3.2)
+// --------------------------------------------------------------------
+
+TEST(DesignOrdering, D1WinsSmallHighlySparse)
+{
+    Rng rng(82);
+    const CsrMatrix a = generateUniform(512, 512, 0.005, rng);
+    const CsrMatrix b = generateDenseCsr(512, 256, rng);
+    const auto r = simulateAllDesigns(a, b);
+    EXPECT_LT(r[0].exec_seconds, r[1].exec_seconds); // D1 < D2
+    EXPECT_LT(r[0].exec_seconds, r[2].exec_seconds); // D1 < D3
+}
+
+TEST(DesignOrdering, D2WinsLargeDense)
+{
+    Rng rng(83);
+    const CsrMatrix a = generateUniform(2048, 2048, 0.3, rng);
+    const CsrMatrix b = generateDenseCsr(2048, 512, rng);
+    const auto r = simulateAllDesigns(a, b);
+    EXPECT_LT(r[1].exec_seconds, r[0].exec_seconds); // D2 < D1
+    EXPECT_LT(r[1].exec_seconds, r[3].exec_seconds); // D2 < D4
+}
+
+TEST(DesignOrdering, D3WinsUnderRowImbalance)
+{
+    Rng rng(84);
+    const CsrMatrix a =
+        generateRowImbalanced(2048, 2048, 0.02, 0.02, 20.0, rng);
+    const CsrMatrix b = generateDenseCsr(2048, 512, rng);
+    const auto r = simulateAllDesigns(a, b);
+    EXPECT_EQ(fastestDesign(r), DesignId::D3);
+    // And the margin over the equally-sized column scheduler is real.
+    EXPECT_LT(r[2].exec_seconds * 1.2, r[1].exec_seconds);
+}
+
+TEST(DesignOrdering, D4WinsHighlySparseB)
+{
+    Rng rng(85);
+    const CsrMatrix a = generatePowerLawGraph(4096, 40000, 2.1, rng);
+    const auto r = simulateAllDesigns(a, a);
+    EXPECT_EQ(fastestDesign(r), DesignId::D4);
+    // "No other design can compete" (§5.1): an order of magnitude.
+    for (int d = 0; d < 3; ++d)
+        EXPECT_GT(r[d].exec_seconds, 10.0 * r[3].exec_seconds);
+}
+
+TEST(DesignOrdering, D4LosesOnDenseB)
+{
+    Rng rng(86);
+    const CsrMatrix a = generateUniform(1024, 1024, 0.1, rng);
+    const CsrMatrix b = generateDenseCsr(1024, 512, rng);
+    const auto r = simulateAllDesigns(a, b);
+    EXPECT_NE(fastestDesign(r), DesignId::D4);
+}
+
+TEST(DesignOrdering, D2D3NearTieOnUniform)
+{
+    // With uniform sparsity neither scheduler has an edge (same
+    // hardware, §3.2.3); results should be within a few percent.
+    Rng rng(87);
+    const CsrMatrix a = generateUniform(1024, 1024, 0.05, rng);
+    const CsrMatrix b = generateDenseCsr(1024, 256, rng);
+    const auto r = simulateAllDesigns(a, b);
+    EXPECT_NEAR(r[1].exec_seconds / r[2].exec_seconds, 1.0, 0.1);
+}
+
+TEST(DesignOrdering, FastestDesignReturnsArgmin)
+{
+    std::array<SimResult, kNumDesigns> results{};
+    for (std::size_t i = 0; i < kNumDesigns; ++i) {
+        results[i].design = allDesigns()[i];
+        results[i].exec_seconds = 1.0 + static_cast<double>(i);
+    }
+    results[2].exec_seconds = 0.25;
+    EXPECT_EQ(fastestDesign(results), DesignId::D3);
+}
+
+TEST(Sim, SharedCscOverloadMatches)
+{
+    Rng rng(88);
+    const CsrMatrix a = generateUniform(128, 128, 0.1, rng);
+    const CsrMatrix b = generateDenseCsr(128, 64, rng);
+    const CscMatrix a_csc = csrToCsc(a);
+    const SimResult via_csr =
+        simulateDesign(designConfig(DesignId::D2), a, b);
+    const SimResult via_csc =
+        simulateDesign(designConfig(DesignId::D2), a, a_csc, b);
+    EXPECT_DOUBLE_EQ(via_csr.total_cycles, via_csc.total_cycles);
+}
+
+} // namespace
+} // namespace misam

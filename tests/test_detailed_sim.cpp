@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the detailed per-tile simulation view, the functional
+ * (timing + values) execution mode, the batch executor, and the R-MAT
+ * generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/misam.hh"
+#include "features/features.hh"
+#include "sim/design_sim.hh"
+#include "sparse/convert.hh"
+#include "sparse/generate.hh"
+#include "sparse/spgemm.hh"
+#include "workloads/training_data.hh"
+
+namespace misam {
+namespace {
+
+// --------------------------------------------------------------------
+// detailed simulation
+// --------------------------------------------------------------------
+
+class DetailedSim : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(DetailedSim, TilesConsistentWithSummary)
+{
+    const DesignId id = allDesigns()[static_cast<std::size_t>(GetParam())];
+    Rng rng(51);
+    const CsrMatrix a = generateUniform(512, 6000, 0.02, rng);
+    const CsrMatrix b = generateUniform(6000, 256, 0.05, rng);
+    const DetailedSimResult detailed =
+        simulateDesignDetailed(designConfig(id), a, b);
+
+    ASSERT_EQ(detailed.tiles.size(),
+              static_cast<std::size_t>(detailed.summary.num_tiles));
+
+    // Tiles cover B's rows exactly once, in order.
+    Index covered = 0;
+    Offset elements = 0;
+    double read_a = 0.0, read_b = 0.0;
+    for (const TileBreakdown &t : detailed.tiles) {
+        EXPECT_EQ(t.k_range.k_lo, covered);
+        covered = t.k_range.k_hi;
+        elements += t.a_elements;
+        read_a += static_cast<double>(t.read_a_cycles);
+        read_b += static_cast<double>(t.read_b_cycles);
+        EXPECT_GE(t.pe_utilization, 0.0);
+        EXPECT_LE(t.pe_utilization, 1.0 + 1e-9);
+        EXPECT_GE(t.bottleneckCycles(), t.read_a_cycles);
+        EXPECT_GE(t.bottleneckCycles(), t.compute_cycles);
+    }
+    EXPECT_EQ(covered, b.rows());
+    EXPECT_EQ(elements, a.nnz());
+    EXPECT_DOUBLE_EQ(read_a, detailed.summary.read_a_cycles);
+    EXPECT_DOUBLE_EQ(read_b, detailed.summary.read_b_cycles);
+}
+
+TEST_P(DetailedSim, SummaryMatchesPlainSimulation)
+{
+    const DesignId id = allDesigns()[static_cast<std::size_t>(GetParam())];
+    Rng rng(52);
+    const CsrMatrix a = generateUniform(256, 256, 0.05, rng);
+    const CsrMatrix b = generateUniform(256, 128, 0.2, rng);
+    const SimResult plain = simulateDesign(id, a, b);
+    const DetailedSimResult detailed =
+        simulateDesignDetailed(designConfig(id), a, b);
+    EXPECT_DOUBLE_EQ(plain.total_cycles,
+                     detailed.summary.total_cycles);
+    EXPECT_DOUBLE_EQ(plain.exec_seconds,
+                     detailed.summary.exec_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, DetailedSim,
+                         testing::Values(0, 1, 2, 3));
+
+TEST(DetailedSim, D4TilesVaryWithSparsityPattern)
+{
+    // A B matrix whose first half is dense and second half hyper-sparse
+    // should produce short tiles up front and tall tiles at the back.
+    Rng rng(53);
+    CooMatrix coo(4000, 256);
+    for (Index r = 0; r < 2000; ++r)
+        for (Index c = 0; c < 256; ++c)
+            if (rng.bernoulli(0.5))
+                coo.addEntry(r, c, 1.0);
+    for (Index r = 2000; r < 4000; ++r)
+        coo.addEntry(r, static_cast<Index>(rng.uniformInt(256)), 1.0);
+    const CsrMatrix b = cooToCsr(std::move(coo));
+    const CsrMatrix a = generateUniform(128, 4000, 0.01, rng);
+
+    const DetailedSimResult d4 =
+        simulateDesignDetailed(designConfig(DesignId::D4), a, b);
+    ASSERT_GE(d4.tiles.size(), 2u);
+    EXPECT_LT(d4.tiles.front().k_range.height(),
+              d4.tiles.back().k_range.height());
+}
+
+// --------------------------------------------------------------------
+// functional execution
+// --------------------------------------------------------------------
+
+TEST(Functional, ProductIdenticalAcrossDesigns)
+{
+    Rng rng(54);
+    const CsrMatrix a = generateUniform(64, 64, 0.1, rng);
+    const CsrMatrix b = generateUniform(64, 48, 0.2, rng);
+    const CsrMatrix reference = spgemmRowWise(a, b);
+    for (DesignId id : allDesigns()) {
+        const FunctionalResult fr =
+            executeFunctional(designConfig(id), a, b);
+        EXPECT_EQ(fr.product, reference) << designName(id);
+        EXPECT_GT(fr.sim.exec_seconds, 0.0);
+    }
+}
+
+TEST(Functional, TimingMatchesPlainSimulation)
+{
+    Rng rng(55);
+    const CsrMatrix a = generateUniform(96, 96, 0.08, rng);
+    const CsrMatrix b = generateUniform(96, 96, 0.08, rng);
+    const FunctionalResult fr =
+        executeFunctional(designConfig(DesignId::D4), a, b);
+    EXPECT_DOUBLE_EQ(fr.sim.total_cycles,
+                     simulateDesign(DesignId::D4, a, b).total_cycles);
+}
+
+// --------------------------------------------------------------------
+// batch executor
+// --------------------------------------------------------------------
+
+TEST(Batch, StatePersistsAcrossJobs)
+{
+    const auto samples = generateTrainingSamples(
+        {.num_samples = 120, .seed = 56, .max_dim = 512});
+    MisamFramework misam;
+    misam.train(samples);
+
+    Rng rng(57);
+    std::vector<BatchJob> jobs;
+    jobs.push_back({"j0", generateUniform(256, 256, 0.05, rng),
+                    generateDenseCsr(256, 128, rng), 1.0});
+    jobs.push_back({"j1", generateUniform(300, 300, 0.02, rng),
+                    generateDenseCsr(300, 128, rng), 1.0});
+    const BatchReport report = misam.executeBatch(jobs);
+
+    ASSERT_EQ(report.jobs.size(), 2u);
+    EXPECT_GT(report.total_execute_s, 0.0);
+    EXPECT_GT(report.total_host_s, 0.0);
+    EXPECT_GE(report.reconfigurations, 0);
+    // Job 1 starts on whatever bitstream job 0 left loaded.
+    EXPECT_EQ(report.jobs[1].decision.chosen,
+              misam.engine().currentDesign());
+    EXPECT_NEAR(report.total(), report.total_execute_s +
+                                    report.total_reconfig_s +
+                                    report.total_host_s,
+                1e-12);
+}
+
+TEST(Batch, RepetitionsScaleExecution)
+{
+    const auto samples = generateTrainingSamples(
+        {.num_samples = 100, .seed = 58, .max_dim = 512});
+    MisamFramework m1, m2;
+    m1.train(samples);
+    m2.train(samples);
+
+    Rng rng(59);
+    const CsrMatrix a = generateUniform(200, 200, 0.05, rng);
+    const CsrMatrix b = generateDenseCsr(200, 64, rng);
+    const BatchReport once = m1.executeBatch({{"x", a, b, 1.0}});
+    const BatchReport many = m2.executeBatch({{"x", a, b, 10.0}});
+    EXPECT_NEAR(many.total_execute_s, 10.0 * once.total_execute_s,
+                1e-12);
+}
+
+// --------------------------------------------------------------------
+// R-MAT generator
+// --------------------------------------------------------------------
+
+TEST(Rmat, HitsTargetNnzApproximately)
+{
+    Rng rng(60);
+    const CsrMatrix g = generateRmat(2048, 20000, 0.57, 0.19, 0.19, rng);
+    EXPECT_EQ(g.rows(), 2048u);
+    EXPECT_EQ(g.cols(), 2048u);
+    // Duplicate edges collapse a few percent.
+    EXPECT_GT(g.nnz(), 15000u);
+    EXPECT_LE(g.nnz(), 20000u);
+}
+
+TEST(Rmat, MoreSkewedThanUniform)
+{
+    Rng rng(61);
+    const CsrMatrix rmat =
+        generateRmat(1024, 10000, 0.57, 0.19, 0.19, rng);
+    const CsrMatrix uniform = generateUniform(1024, 1024, 0.0095, rng);
+    const MatrixStats sr = computeMatrixStats(rmat);
+    const MatrixStats su = computeMatrixStats(uniform);
+    EXPECT_GT(sr.row.imbalance, su.row.imbalance);
+    EXPECT_GT(sr.row.var, su.row.var);
+}
+
+TEST(Rmat, SymmetricProbabilitiesAreBalanced)
+{
+    Rng rng(62);
+    const CsrMatrix g = generateRmat(512, 8000, 0.25, 0.25, 0.25, rng);
+    const MatrixStats s = computeMatrixStats(g);
+    // Uniform quadrants degenerate to an unskewed random graph.
+    EXPECT_LT(s.row.imbalance, 3.5);
+}
+
+TEST(RmatDeath, RejectsBadProbabilities)
+{
+    Rng rng(63);
+    EXPECT_EXIT(generateRmat(64, 100, 0.6, 0.3, 0.2, rng),
+                testing::ExitedWithCode(1), "quadrant");
+    EXPECT_EXIT(generateRmat(0, 100, 0.5, 0.2, 0.2, rng),
+                testing::ExitedWithCode(1), "empty");
+}
+
+TEST(Rmat, NonPowerOfTwoDims)
+{
+    Rng rng(64);
+    const CsrMatrix g = generateRmat(1000, 5000, 0.57, 0.19, 0.19, rng);
+    EXPECT_EQ(g.rows(), 1000u);
+    for (Index r = 0; r < g.rows(); ++r)
+        for (Index c : g.rowCols(r))
+            EXPECT_LT(c, 1000u);
+}
+
+} // namespace
+} // namespace misam

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the feature extractor: exact values on hand-built matrices,
+ * tile statistics, naming, and range invariants over random inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "features/features.hh"
+#include "sparse/convert.hh"
+#include "sparse/generate.hh"
+
+namespace misam {
+namespace {
+
+/** 4x4 fixture with known row/col stats:
+ *  row nnz = {3, 1, 0, 2}; col nnz = {2, 2, 1, 1}. */
+CsrMatrix
+fixture()
+{
+    CooMatrix coo(4, 4);
+    coo.addEntry(0, 0, 1.0);
+    coo.addEntry(0, 1, 1.0);
+    coo.addEntry(0, 2, 1.0);
+    coo.addEntry(1, 3, 1.0);
+    coo.addEntry(3, 0, 1.0);
+    coo.addEntry(3, 1, 1.0);
+    return cooToCsr(std::move(coo));
+}
+
+TEST(MatrixStats, RowStatsExact)
+{
+    const MatrixStats s = computeMatrixStats(fixture());
+    EXPECT_DOUBLE_EQ(s.row.mean, 1.5);
+    // var of {3,1,0,2} around 1.5 = (2.25+0.25+2.25+0.25)/4 = 1.25
+    EXPECT_DOUBLE_EQ(s.row.var, 1.25);
+    EXPECT_DOUBLE_EQ(s.row.imbalance, 2.0); // 3 / 1.5
+}
+
+TEST(MatrixStats, ColStatsExact)
+{
+    const MatrixStats s = computeMatrixStats(fixture());
+    EXPECT_DOUBLE_EQ(s.col.mean, 1.5);
+    EXPECT_DOUBLE_EQ(s.col.var, 0.25);
+    EXPECT_DOUBLE_EQ(s.col.imbalance, 2.0 / 1.5);
+}
+
+TEST(MatrixStats, EmptyMatrix)
+{
+    const CsrMatrix m(3, 3);
+    const MatrixStats s = computeMatrixStats(m);
+    EXPECT_DOUBLE_EQ(s.row.mean, 0.0);
+    EXPECT_DOUBLE_EQ(s.row.imbalance, 1.0);
+}
+
+TEST(TileStats, OneDimensionalCountsNonempty)
+{
+    // 4 rows, tile height 2: tile {0,1} holds 4 nnz, tile {2,3} holds 2.
+    const TileStats t = computeTileStats1D(fixture(), 2);
+    EXPECT_DOUBLE_EQ(t.nonempty_tiles, 2.0);
+    // densities: 4/(2*4)=0.5 and 2/(2*4)=0.25 -> mean 0.375
+    EXPECT_DOUBLE_EQ(t.mean_density, 0.375);
+}
+
+TEST(TileStats, OneDimensionalSkipsEmptyTiles)
+{
+    CooMatrix coo(8, 4);
+    coo.addEntry(0, 0, 1.0);
+    coo.addEntry(7, 3, 1.0);
+    const CsrMatrix m = cooToCsr(std::move(coo));
+    const TileStats t = computeTileStats1D(m, 2);
+    EXPECT_DOUBLE_EQ(t.nonempty_tiles, 2.0); // tiles 0 and 3 only
+    EXPECT_DOUBLE_EQ(t.mean_density, 1.0 / 8.0);
+}
+
+TEST(TileStats, TwoDimensionalExact)
+{
+    // fixture entries in 2x2 tiles: (0,0):3 of them -> tile(0,0) has
+    // {(0,0),(0,1),(1,3),(0,2)}: tile(0,0)={(0,0),(0,1)} 2 nnz,
+    // tile(0,1)={(0,2),(1,3)} 2 nnz, tile(1,0)={(3,0),(3,1)} 2 nnz.
+    const TileStats t = computeTileStats2D(fixture(), 2, 2);
+    EXPECT_DOUBLE_EQ(t.nonempty_tiles, 3.0);
+    EXPECT_DOUBLE_EQ(t.mean_density, 0.5); // each tile 2/(2*2)
+}
+
+TEST(TileStats, DenseMatrixDensityOne)
+{
+    Rng rng(1);
+    const CsrMatrix m = generateDenseCsr(16, 16, rng);
+    EXPECT_DOUBLE_EQ(computeTileStats1D(m, 4).mean_density, 1.0);
+    EXPECT_DOUBLE_EQ(computeTileStats2D(m, 4, 4).mean_density, 1.0);
+    EXPECT_DOUBLE_EQ(computeTileStats2D(m, 4, 4).nonempty_tiles, 16.0);
+}
+
+TEST(TileStats, RaggedEdgesUseActualArea)
+{
+    // 3 rows, tile height 2: second tile is 1 row tall.
+    CooMatrix coo(3, 2);
+    coo.addEntry(2, 0, 1.0);
+    coo.addEntry(2, 1, 1.0);
+    const CsrMatrix m = cooToCsr(std::move(coo));
+    const TileStats t = computeTileStats1D(m, 2);
+    EXPECT_DOUBLE_EQ(t.nonempty_tiles, 1.0);
+    EXPECT_DOUBLE_EQ(t.mean_density, 1.0); // 2 nnz / (1 row * 2 cols)
+}
+
+TEST(TileStatsDeath, RejectsZeroTile)
+{
+    EXPECT_EXIT(computeTileStats1D(fixture(), 0),
+                testing::ExitedWithCode(1), "tile_rows");
+}
+
+TEST(FeatureNames, MatchPaperVocabulary)
+{
+    EXPECT_STREQ(featureName(FeatureId::Tile1DDensityB),
+                 "Tile_1D_Density");
+    EXPECT_STREQ(featureName(FeatureId::BRows), "row_B");
+    EXPECT_STREQ(featureName(FeatureId::ALoadImbalanceRow),
+                 "A_load_imbalance_row");
+    EXPECT_STREQ(featureName(FeatureId::ANnz), "A_nonzeroes");
+}
+
+TEST(FeatureNames, AllDistinct)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < kNumFeatures; ++i)
+        names.insert(featureName(i));
+    EXPECT_EQ(names.size(), kNumFeatures);
+}
+
+TEST(FeatureNamesDeath, OutOfRange)
+{
+    EXPECT_DEATH(featureName(kNumFeatures), "out of range");
+}
+
+TEST(ExtractFeatures, DimensionsAndCounts)
+{
+    Rng rng(2);
+    const CsrMatrix a = generateUniform(32, 48, 0.2, rng);
+    const CsrMatrix b = generateUniform(48, 24, 0.4, rng);
+    const FeatureVector f = extractFeatures(a, b);
+    EXPECT_DOUBLE_EQ(f[FeatureId::ARows], 32.0);
+    EXPECT_DOUBLE_EQ(f[FeatureId::ACols], 48.0);
+    EXPECT_DOUBLE_EQ(f[FeatureId::BRows], 48.0);
+    EXPECT_DOUBLE_EQ(f[FeatureId::BCols], 24.0);
+    EXPECT_DOUBLE_EQ(f[FeatureId::ANnz], static_cast<double>(a.nnz()));
+    EXPECT_DOUBLE_EQ(f[FeatureId::BNnz], static_cast<double>(b.nnz()));
+}
+
+TEST(ExtractFeatures, SparsityComplementsDensity)
+{
+    Rng rng(3);
+    const CsrMatrix a = generateUniform(64, 64, 0.25, rng);
+    const CsrMatrix b = generateDenseCsr(64, 16, rng);
+    const FeatureVector f = extractFeatures(a, b);
+    EXPECT_NEAR(f[FeatureId::ASparsity], 1.0 - a.density(), 1e-12);
+    EXPECT_DOUBLE_EQ(f[FeatureId::BSparsity], 0.0);
+}
+
+TEST(ExtractFeatures, ToVectorPreservesOrder)
+{
+    Rng rng(4);
+    const CsrMatrix a = generateUniform(16, 16, 0.3, rng);
+    const FeatureVector f = extractFeatures(a, a);
+    const std::vector<double> v = f.toVector();
+    ASSERT_EQ(v.size(), kNumFeatures);
+    for (std::size_t i = 0; i < kNumFeatures; ++i)
+        EXPECT_DOUBLE_EQ(v[i], f.values[i]);
+}
+
+TEST(ExtractFeaturesDeath, DimensionMismatch)
+{
+    const CsrMatrix a(4, 5);
+    const CsrMatrix b(6, 4);
+    EXPECT_DEATH(extractFeatures(a, b), "dimension mismatch");
+}
+
+/** Range invariants over a random population. */
+class FeatureInvariants : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FeatureInvariants, RangesHold)
+{
+    Rng rng(GetParam());
+    const Index m = 16 + static_cast<Index>(rng.uniformInt(100));
+    const Index k = 16 + static_cast<Index>(rng.uniformInt(100));
+    const Index n = 16 + static_cast<Index>(rng.uniformInt(100));
+    const CsrMatrix a = generateUniform(m, k, rng.uniform(0.01, 0.8), rng);
+    const CsrMatrix b = generateUniform(k, n, rng.uniform(0.01, 0.8), rng);
+    const FeatureVector f = extractFeatures(a, b);
+
+    EXPECT_GE(f[FeatureId::ASparsity], 0.0);
+    EXPECT_LE(f[FeatureId::ASparsity], 1.0);
+    EXPECT_GE(f[FeatureId::BSparsity], 0.0);
+    EXPECT_LE(f[FeatureId::BSparsity], 1.0);
+    EXPECT_GE(f[FeatureId::ALoadImbalanceRow], 1.0);
+    EXPECT_GE(f[FeatureId::BLoadImbalanceCol], 1.0);
+    EXPECT_GE(f[FeatureId::ANnzRowVar], 0.0);
+    EXPECT_GE(f[FeatureId::Tile1DDensityB], 0.0);
+    EXPECT_LE(f[FeatureId::Tile1DDensityB], 1.0);
+    EXPECT_GE(f[FeatureId::Tile1DCountB], 1.0);
+    EXPECT_GE(f[FeatureId::Tile2DCountB], f[FeatureId::Tile1DCountB]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeatureInvariants,
+                         testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(ExtractFeatures, TileConfigChangesTileFeatures)
+{
+    Rng rng(5);
+    const CsrMatrix a = generateUniform(64, 600, 0.1, rng);
+    const CsrMatrix b = generateUniform(600, 64, 0.05, rng);
+    const FeatureVector coarse =
+        extractFeatures(a, b, {.tile_rows = 4096, .tile_cols = 512});
+    const FeatureVector fine =
+        extractFeatures(a, b, {.tile_rows = 64, .tile_cols = 32});
+    EXPECT_GT(fine[FeatureId::Tile1DCountB],
+              coarse[FeatureId::Tile1DCountB]);
+}
+
+TEST(ExtractFeatures, MeanRowNnzConsistent)
+{
+    Rng rng(6);
+    const CsrMatrix a = generateUniform(50, 80, 0.2, rng);
+    const CsrMatrix b = generateUniform(80, 30, 0.3, rng);
+    const FeatureVector f = extractFeatures(a, b);
+    EXPECT_NEAR(f[FeatureId::ANnzRowMean],
+                static_cast<double>(a.nnz()) / a.rows(), 1e-9);
+    EXPECT_NEAR(f[FeatureId::BNnzColMean],
+                static_cast<double>(b.nnz()) / b.cols(), 1e-9);
+}
+
+} // namespace
+} // namespace misam

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Tests for the synthetic matrix generators (structural properties,
+ * density targets, determinism) and Matrix Market I/O round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "features/features.hh"
+#include "sparse/generate.hh"
+#include "sparse/io.hh"
+#include "sparse/convert.hh"
+
+namespace misam {
+namespace {
+
+// --------------------------------------------------------------------
+// generators
+// --------------------------------------------------------------------
+
+class UniformDensity : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(UniformDensity, HitsTargetDensity)
+{
+    const double target = GetParam();
+    Rng rng(42);
+    const CsrMatrix m = generateUniform(400, 400, target, rng);
+    EXPECT_NEAR(m.density(), target, std::max(0.01, target * 0.15));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UniformDensity,
+                         testing::Values(0.01, 0.05, 0.1, 0.3, 0.6, 0.9));
+
+TEST(Generate, UniformDeterministicPerSeed)
+{
+    Rng r1(5), r2(5);
+    const CsrMatrix a = generateUniform(64, 64, 0.2, r1);
+    const CsrMatrix b = generateUniform(64, 64, 0.2, r2);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Generate, UniformDifferentSeedsDiffer)
+{
+    Rng r1(5), r2(6);
+    const CsrMatrix a = generateUniform(64, 64, 0.2, r1);
+    const CsrMatrix b = generateUniform(64, 64, 0.2, r2);
+    EXPECT_NE(a, b);
+}
+
+TEST(Generate, UniformZeroDensityEmpty)
+{
+    Rng rng(7);
+    const CsrMatrix m = generateUniform(50, 50, 0.0, rng);
+    EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(GenerateDeath, UniformRejectsBadDensity)
+{
+    Rng rng(8);
+    EXPECT_EXIT(generateUniform(10, 10, 1.5, rng),
+                testing::ExitedWithCode(1), "density");
+}
+
+TEST(Generate, BandedStaysInBand)
+{
+    Rng rng(9);
+    const Index bw = 5;
+    const CsrMatrix m = generateBanded(100, 100, bw, 0.8, rng);
+    for (Index r = 0; r < m.rows(); ++r)
+        for (Index c : m.rowCols(r))
+            EXPECT_LE(std::abs(static_cast<long>(r) -
+                               static_cast<long>(c)),
+                      static_cast<long>(bw));
+    EXPECT_GT(m.nnz(), 0u);
+}
+
+TEST(Generate, BandedDiagonalAlwaysPresent)
+{
+    Rng rng(10);
+    const CsrMatrix m = generateBanded(60, 60, 3, 0.0, rng);
+    EXPECT_EQ(m.nnz(), 60u); // only the mandatory diagonal
+}
+
+TEST(Generate, BandedRectangularScalesBand)
+{
+    Rng rng(11);
+    const CsrMatrix m = generateBanded(50, 100, 4, 0.9, rng);
+    EXPECT_EQ(m.rows(), 50u);
+    EXPECT_EQ(m.cols(), 100u);
+    for (Index r = 0; r < m.rows(); ++r)
+        for (Index c : m.rowCols(r))
+            EXPECT_LE(std::abs(static_cast<long>(c) -
+                               static_cast<long>(r) * 2),
+                      4L);
+}
+
+TEST(Generate, BlockDiagonalConcentratesOnBlocks)
+{
+    Rng rng(12);
+    const CsrMatrix m =
+        generateBlockDiagonal(128, 128, 16, 0.8, 0.0, rng);
+    // Every entry must fall inside its 16x16 diagonal block.
+    for (Index r = 0; r < m.rows(); ++r) {
+        const Index rb = (r / 16) * 16;
+        for (Index c : m.rowCols(r)) {
+            EXPECT_GE(c, rb);
+            EXPECT_LT(c, rb + 16);
+        }
+    }
+}
+
+TEST(Generate, BlockDiagonalBackgroundAddsOffBlock)
+{
+    Rng rng(13);
+    const CsrMatrix with_bg =
+        generateBlockDiagonal(128, 128, 16, 0.5, 0.02, rng);
+    bool off_block = false;
+    for (Index r = 0; r < with_bg.rows() && !off_block; ++r) {
+        const Index rb = (r / 16) * 16;
+        for (Index c : with_bg.rowCols(r))
+            if (c < rb || c >= rb + 16)
+                off_block = true;
+    }
+    EXPECT_TRUE(off_block);
+}
+
+TEST(Generate, PowerLawHitsNnzTarget)
+{
+    Rng rng(14);
+    const CsrMatrix m = generatePowerLawGraph(2000, 20000, 2.1, rng);
+    EXPECT_EQ(m.rows(), 2000u);
+    EXPECT_EQ(m.cols(), 2000u);
+    // Duplicate collapses lose a few percent.
+    EXPECT_GT(m.nnz(), 14000u);
+    EXPECT_LT(m.nnz(), 24000u);
+}
+
+TEST(Generate, PowerLawMoreImbalancedThanUniform)
+{
+    Rng rng(15);
+    const CsrMatrix pl = generatePowerLawGraph(1000, 10000, 2.1, rng);
+    const CsrMatrix un = generateUniform(1000, 1000, 0.01, rng);
+    const MatrixStats spl = computeMatrixStats(pl);
+    const MatrixStats sun = computeMatrixStats(un);
+    EXPECT_GT(spl.row.imbalance, sun.row.imbalance);
+    EXPECT_GT(spl.col.imbalance, sun.col.imbalance);
+}
+
+TEST(Generate, RowImbalancedHasHotRows)
+{
+    Rng rng(16);
+    const CsrMatrix m =
+        generateRowImbalanced(500, 500, 0.02, 0.02, 12.0, rng);
+    const MatrixStats s = computeMatrixStats(m);
+    EXPECT_GT(s.row.imbalance, 6.0);
+    EXPECT_NEAR(m.density(), 0.02, 0.006);
+}
+
+TEST(GenerateDeath, RowImbalancedValidatesParams)
+{
+    Rng rng(17);
+    EXPECT_EXIT(generateRowImbalanced(10, 10, 0.1, 0.0, 5.0, rng),
+                testing::ExitedWithCode(1), "hot_fraction");
+    EXPECT_EXIT(generateRowImbalanced(10, 10, 0.1, 0.1, 0.5, rng),
+                testing::ExitedWithCode(1), "imbalance");
+}
+
+TEST(Generate, DiagonalExactStructure)
+{
+    Rng rng(18);
+    const CsrMatrix m = generateDiagonal(32, rng);
+    EXPECT_EQ(m.nnz(), 32u);
+    for (Index r = 0; r < 32; ++r) {
+        ASSERT_EQ(m.rowNnz(r), 1u);
+        EXPECT_EQ(m.rowCols(r)[0], r);
+    }
+}
+
+TEST(Generate, StructuredPrunedBlockAligned)
+{
+    Rng rng(19);
+    const CsrMatrix m = generateStructuredPruned(64, 64, 0.3, 8, rng);
+    // Every kept 8x8 block must be fully dense: check that within each
+    // block, either all 64 or none of the positions are present.
+    for (Index rb = 0; rb < 64; rb += 8) {
+        for (Index cb = 0; cb < 64; cb += 8) {
+            int count = 0;
+            for (Index r = rb; r < rb + 8; ++r)
+                for (Index c : m.rowCols(r))
+                    if (c >= cb && c < cb + 8)
+                        ++count;
+            EXPECT_TRUE(count == 0 || count == 64)
+                << "block (" << rb << "," << cb << ") has " << count;
+        }
+    }
+}
+
+TEST(Generate, StructuredPrunedDensityApproximate)
+{
+    Rng rng(20);
+    const CsrMatrix m = generateStructuredPruned(256, 256, 0.2, 8, rng);
+    EXPECT_NEAR(m.density(), 0.2, 0.05);
+}
+
+TEST(Generate, DenseCsrFullyPopulated)
+{
+    Rng rng(21);
+    const CsrMatrix m = generateDenseCsr(10, 20, rng);
+    EXPECT_EQ(m.nnz(), 200u);
+    EXPECT_DOUBLE_EQ(m.density(), 1.0);
+}
+
+TEST(Generate, DenseMatrixNoZeros)
+{
+    Rng rng(22);
+    const DenseMatrix m = generateDense(16, 16, rng);
+    EXPECT_EQ(m.countNonzeros(), 256u);
+}
+
+// --------------------------------------------------------------------
+// Matrix Market I/O
+// --------------------------------------------------------------------
+
+TEST(MatrixMarket, WriteReadRoundTrip)
+{
+    Rng rng(30);
+    const CsrMatrix a = generateUniform(40, 30, 0.15, rng);
+    std::stringstream ss;
+    writeMatrixMarket(ss, a);
+    const CsrMatrix b = cooToCsr(readMatrixMarket(ss));
+    EXPECT_EQ(a.rows(), b.rows());
+    EXPECT_EQ(a.cols(), b.cols());
+    EXPECT_TRUE(a.approxEqual(b, 1e-6));
+}
+
+TEST(MatrixMarket, ParsesGeneralReal)
+{
+    std::stringstream ss("%%MatrixMarket matrix coordinate real general\n"
+                         "% comment line\n"
+                         "2 3 2\n"
+                         "1 1 1.5\n"
+                         "2 3 -2.0\n");
+    const CooMatrix coo = readMatrixMarket(ss);
+    EXPECT_EQ(coo.rows(), 2u);
+    EXPECT_EQ(coo.cols(), 3u);
+    EXPECT_EQ(coo.nnz(), 2u);
+    EXPECT_DOUBLE_EQ(coo.entries()[0].value, 1.5);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric)
+{
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 4.0\n"
+        "3 3 5.0\n");
+    const CooMatrix coo = readMatrixMarket(ss);
+    // (2,1) mirrors to (1,2); the diagonal entry does not duplicate.
+    EXPECT_EQ(coo.nnz(), 3u);
+}
+
+TEST(MatrixMarket, PatternDefaultsToOne)
+{
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 1\n"
+        "1 2\n");
+    const CooMatrix coo = readMatrixMarket(ss);
+    ASSERT_EQ(coo.nnz(), 1u);
+    EXPECT_DOUBLE_EQ(coo.entries()[0].value, 1.0);
+}
+
+TEST(MatrixMarketDeath, RejectsMissingBanner)
+{
+    std::stringstream ss("not a matrix market file\n1 1 0\n");
+    EXPECT_EXIT(readMatrixMarket(ss), testing::ExitedWithCode(1),
+                "banner");
+}
+
+TEST(MatrixMarketDeath, RejectsUnsupportedField)
+{
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate complex general\n"
+        "1 1 0\n");
+    EXPECT_EXIT(readMatrixMarket(ss), testing::ExitedWithCode(1),
+                "unsupported field");
+}
+
+TEST(MatrixMarketDeath, RejectsOutOfRangeIndex)
+{
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");
+    EXPECT_EXIT(readMatrixMarket(ss), testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(MatrixMarketDeath, RejectsTruncatedEntries)
+{
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n");
+    EXPECT_EXIT(readMatrixMarket(ss), testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(MatrixMarketDeath, MissingFileFails)
+{
+    EXPECT_EXIT(readMatrixMarketFile("/nonexistent/path.mtx"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace misam

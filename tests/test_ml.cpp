@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Tests for the ML layer: dataset splitting/weighting, the CART
+ * classifier (separable fits, class weighting, importances, pruning,
+ * serialization), the regression tree, and the metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "ml/dataset.hh"
+#include "ml/decision_tree.hh"
+#include "ml/metrics.hh"
+#include "ml/regression_tree.hh"
+#include "ml/serialize.hh"
+#include "util/stats.hh"
+
+namespace misam {
+namespace {
+
+/** Two-feature, linearly separable two-class blob dataset. */
+Dataset
+separableBlobs(std::size_t per_class, Rng &rng)
+{
+    Dataset data(2);
+    for (std::size_t i = 0; i < per_class; ++i) {
+        data.addSample({rng.normal(-2.0, 0.5), rng.normal(0.0, 0.5)}, 0);
+        data.addSample({rng.normal(2.0, 0.5), rng.normal(0.0, 0.5)}, 1);
+    }
+    return data;
+}
+
+// --------------------------------------------------------------------
+// Dataset
+// --------------------------------------------------------------------
+
+TEST(Dataset, AddAndAccess)
+{
+    Dataset d(3);
+    d.addSample({1.0, 2.0, 3.0}, 1, 0.5);
+    EXPECT_EQ(d.size(), 1u);
+    EXPECT_EQ(d.numFeatures(), 3u);
+    EXPECT_EQ(d.label(0), 1);
+    EXPECT_DOUBLE_EQ(d.target(0), 0.5);
+    EXPECT_DOUBLE_EQ(d.features(0)[2], 3.0);
+    EXPECT_EQ(d.numClasses(), 2u);
+}
+
+TEST(DatasetDeath, RejectsArityMismatch)
+{
+    Dataset d(2);
+    EXPECT_DEATH(d.addSample({1.0}, 0), "arity");
+}
+
+TEST(DatasetDeath, RejectsNegativeLabel)
+{
+    Dataset d(1);
+    EXPECT_DEATH(d.addSample({1.0}, -1), "negative label");
+}
+
+TEST(Dataset, SubsetSelectsRows)
+{
+    Dataset d(1);
+    for (int i = 0; i < 5; ++i)
+        d.addSample({static_cast<double>(i)}, i % 2);
+    const Dataset s = d.subset({0, 2, 4});
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.features(1)[0], 2.0);
+}
+
+TEST(Dataset, StratifiedSplitPreservesClassBalance)
+{
+    Rng rng(1);
+    Dataset d(1);
+    for (int i = 0; i < 100; ++i)
+        d.addSample({static_cast<double>(i)}, i < 80 ? 0 : 1);
+    auto [train, valid] = d.stratifiedSplit(0.7, rng);
+    EXPECT_EQ(train.size() + valid.size(), 100u);
+    const auto train_counts = train.classCounts();
+    EXPECT_EQ(train_counts[0], 56u); // 70% of 80
+    EXPECT_EQ(train_counts[1], 14u); // 70% of 20
+}
+
+TEST(Dataset, KfoldCoversAllSamplesOnce)
+{
+    Rng rng(2);
+    Dataset d(1);
+    for (int i = 0; i < 57; ++i)
+        d.addSample({static_cast<double>(i)}, i % 3);
+    const auto folds = d.kfoldIndices(5, rng);
+    ASSERT_EQ(folds.size(), 5u);
+    std::set<std::size_t> all;
+    for (const auto &fold : folds)
+        for (std::size_t idx : fold)
+            EXPECT_TRUE(all.insert(idx).second) << "duplicate " << idx;
+    EXPECT_EQ(all.size(), 57u);
+}
+
+TEST(Dataset, KfoldRoughlyBalanced)
+{
+    Rng rng(3);
+    Dataset d(1);
+    for (int i = 0; i < 100; ++i)
+        d.addSample({0.0}, 0);
+    const auto folds = d.kfoldIndices(4, rng);
+    for (const auto &fold : folds)
+        EXPECT_EQ(fold.size(), 25u);
+}
+
+TEST(Dataset, ClassWeightsInverseFrequency)
+{
+    Dataset d(1);
+    for (int i = 0; i < 90; ++i)
+        d.addSample({0.0}, 0);
+    for (int i = 0; i < 10; ++i)
+        d.addSample({0.0}, 1);
+    const auto w = d.classWeights();
+    ASSERT_EQ(w.size(), 2u);
+    // n / (k * n_c): 100/(2*90) and 100/(2*10).
+    EXPECT_NEAR(w[0], 100.0 / 180.0, 1e-12);
+    EXPECT_NEAR(w[1], 5.0, 1e-12);
+    // Weighted mass is equal across classes.
+    EXPECT_NEAR(w[0] * 90, w[1] * 10, 1e-9);
+}
+
+TEST(Dataset, ClassWeightsSkipAbsentClasses)
+{
+    Dataset d(1);
+    d.addSample({0.0}, 0);
+    d.addSample({0.0}, 2);
+    const auto w = d.classWeights();
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_DOUBLE_EQ(w[1], 0.0);
+    EXPECT_GT(w[0], 0.0);
+}
+
+// --------------------------------------------------------------------
+// DecisionTree
+// --------------------------------------------------------------------
+
+TEST(DecisionTree, FitsSeparableDataPerfectly)
+{
+    Rng rng(4);
+    const Dataset data = separableBlobs(60, rng);
+    DecisionTree tree;
+    tree.fit(data);
+    EXPECT_DOUBLE_EQ(accuracy(data.labels(), tree.predictAll(data)), 1.0);
+    EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(DecisionTree, SingleClassYieldsLeaf)
+{
+    Dataset data(1);
+    for (int i = 0; i < 10; ++i)
+        data.addSample({static_cast<double>(i)}, 2);
+    DecisionTree tree;
+    tree.fit(data);
+    EXPECT_EQ(tree.nodeCount(), 1u);
+    EXPECT_EQ(tree.predict({42.0}), 2);
+}
+
+TEST(DecisionTree, RespectsMaxDepth)
+{
+    Rng rng(5);
+    Dataset data(1);
+    for (int i = 0; i < 200; ++i)
+        data.addSample({rng.uniform()}, static_cast<int>(rng.uniformInt(4)));
+    DecisionTree tree;
+    tree.fit(data, {.max_depth = 3, .min_samples_leaf = 1,
+                    .min_samples_split = 2,
+                    .min_impurity_decrease = 0.0});
+    EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected)
+{
+    Rng rng(6);
+    const Dataset data = separableBlobs(40, rng);
+    DecisionTree tree;
+    tree.fit(data, {.max_depth = 20, .min_samples_leaf = 30,
+                    .min_samples_split = 60,
+                    .min_impurity_decrease = 0.0});
+    // With 80 samples and 30-sample leaves, at most 2 leaves exist.
+    EXPECT_LE(tree.leafCount(), 2u);
+}
+
+TEST(DecisionTree, ImportancesNormalized)
+{
+    Rng rng(7);
+    const Dataset data = separableBlobs(50, rng);
+    DecisionTree tree;
+    tree.fit(data);
+    const auto &imp = tree.featureImportances();
+    ASSERT_EQ(imp.size(), 2u);
+    double sum = 0.0;
+    for (double v : imp)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // Feature 0 is the separating one.
+    EXPECT_GT(imp[0], 0.9);
+}
+
+TEST(DecisionTree, ClassWeightingShiftsMinorityRecall)
+{
+    // Overlapping classes, 10:1 imbalance: unweighted trees ignore the
+    // minority; inverse-frequency weights recover its recall.
+    Rng rng(8);
+    Dataset data(1);
+    for (int i = 0; i < 300; ++i)
+        data.addSample({rng.normal(0.0, 1.0)}, 0);
+    for (int i = 0; i < 30; ++i)
+        data.addSample({rng.normal(1.0, 1.0)}, 1);
+
+    const DecisionTreeParams params{.max_depth = 2, .min_samples_leaf = 5,
+                                    .min_samples_split = 10,
+                                    .min_impurity_decrease = 0.0};
+    DecisionTree unweighted, weighted;
+    unweighted.fit(data, params);
+    weighted.fit(data, params, data.classWeights());
+
+    auto recall1 = [&](const DecisionTree &t) {
+        const ConfusionMatrix cm(data.labels(), t.predictAll(data), 2);
+        return cm.recall(1);
+    };
+    EXPECT_GT(recall1(weighted), recall1(unweighted));
+}
+
+TEST(DecisionTree, PruningNeverHurtsValidationAccuracy)
+{
+    Rng rng(9);
+    Dataset noisy(2);
+    for (int i = 0; i < 400; ++i) {
+        const double x = rng.uniform(-1.0, 1.0);
+        const double y = rng.uniform(-1.0, 1.0);
+        int label = x > 0.0 ? 1 : 0;
+        if (rng.bernoulli(0.15))
+            label = 1 - label; // noise that deep trees overfit
+        noisy.addSample({x, y}, label);
+    }
+    auto [train, valid] = noisy.stratifiedSplit(0.7, rng);
+    DecisionTree tree;
+    tree.fit(train, {.max_depth = 12, .min_samples_leaf = 1,
+                     .min_samples_split = 2,
+                     .min_impurity_decrease = 0.0});
+    const double before =
+        accuracy(valid.labels(), tree.predictAll(valid));
+    const std::size_t before_nodes = tree.nodeCount();
+    const std::size_t removed = tree.pruneWithValidation(valid);
+    const double after = accuracy(valid.labels(), tree.predictAll(valid));
+    EXPECT_GE(after, before);
+    EXPECT_GT(removed, 0u);
+    EXPECT_EQ(tree.nodeCount(), before_nodes - removed);
+}
+
+TEST(DecisionTree, SizeBytesTracksNodes)
+{
+    Rng rng(10);
+    const Dataset data = separableBlobs(30, rng);
+    DecisionTree tree;
+    tree.fit(data);
+    EXPECT_EQ(tree.sizeBytes(),
+              tree.nodeCount() * sizeof(DecisionTree::Node));
+}
+
+TEST(DecisionTreeDeath, PredictBeforeFit)
+{
+    DecisionTree tree;
+    EXPECT_DEATH(tree.predict({1.0}), "not trained");
+}
+
+TEST(DecisionTreeDeath, FitEmptyDataset)
+{
+    Dataset d(1);
+    DecisionTree tree;
+    EXPECT_EXIT(tree.fit(d), testing::ExitedWithCode(1), "empty dataset");
+}
+
+TEST(DecisionTree, CrossValidationReasonableOnSeparableData)
+{
+    Rng rng(11);
+    const Dataset data = separableBlobs(60, rng);
+    const double acc = crossValidateAccuracy(data, {}, 5, rng);
+    EXPECT_GT(acc, 0.95);
+}
+
+// --------------------------------------------------------------------
+// RegressionTree
+// --------------------------------------------------------------------
+
+TEST(RegressionTree, FitsStepFunction)
+{
+    Dataset data(1);
+    for (int i = 0; i < 50; ++i) {
+        const double x = static_cast<double>(i);
+        data.addSample({x}, 0, x < 25 ? 1.0 : 5.0);
+    }
+    RegressionTree tree;
+    tree.fit(data);
+    EXPECT_NEAR(tree.predict({3.0}), 1.0, 1e-9);
+    EXPECT_NEAR(tree.predict({40.0}), 5.0, 1e-9);
+}
+
+TEST(RegressionTree, HighTrainR2OnSmoothTarget)
+{
+    Rng rng(12);
+    Dataset data(2);
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.uniform(0.0, 4.0);
+        const double y = rng.uniform(0.0, 4.0);
+        data.addSample({x, y}, 0, std::sin(x) + 0.5 * y);
+    }
+    RegressionTree tree;
+    tree.fit(data);
+    const double r2 = rSquared(data.targets(), tree.predictAll(data));
+    EXPECT_GT(r2, 0.97);
+}
+
+TEST(RegressionTree, MinSamplesLeafLimitsResolution)
+{
+    Dataset data(1);
+    for (int i = 0; i < 64; ++i)
+        data.addSample({static_cast<double>(i)}, 0,
+                       static_cast<double>(i));
+    RegressionTree coarse;
+    coarse.fit(data, {.max_depth = 20, .min_samples_leaf = 32,
+                      .min_samples_split = 64,
+                      .min_variance_decrease = 0.0});
+    EXPECT_LE(coarse.nodeCount(), 3u);
+}
+
+TEST(RegressionTreeDeath, PredictBeforeFit)
+{
+    RegressionTree tree;
+    EXPECT_DEATH(tree.predict({1.0}), "not trained");
+}
+
+// --------------------------------------------------------------------
+// serialization
+// --------------------------------------------------------------------
+
+TEST(Serialize, ClassifierRoundTrip)
+{
+    Rng rng(13);
+    const Dataset data = separableBlobs(40, rng);
+    DecisionTree tree;
+    tree.fit(data);
+
+    std::stringstream ss;
+    saveTree(ss, tree, data.numFeatures());
+    const DecisionTree loaded = loadTree(ss);
+    EXPECT_EQ(loaded.nodeCount(), tree.nodeCount());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_EQ(loaded.predict(data.features(i)),
+                  tree.predict(data.features(i)));
+}
+
+TEST(Serialize, RegressorRoundTrip)
+{
+    Dataset data(1);
+    for (int i = 0; i < 32; ++i)
+        data.addSample({static_cast<double>(i)}, 0, i * 0.5);
+    RegressionTree tree;
+    tree.fit(data);
+
+    std::stringstream ss;
+    saveTree(ss, tree, 1);
+    const RegressionTree loaded = loadRegressionTree(ss);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_DOUBLE_EQ(loaded.predict({static_cast<double>(i)}),
+                         tree.predict({static_cast<double>(i)}));
+}
+
+TEST(Serialize, SizeMatchesHeaderPlusNodes)
+{
+    Rng rng(14);
+    const Dataset data = separableBlobs(20, rng);
+    DecisionTree tree;
+    tree.fit(data);
+    std::stringstream ss;
+    saveTree(ss, tree, 2);
+    EXPECT_EQ(ss.str().size(), serializedSize(tree));
+}
+
+TEST(SerializeDeath, RejectsWrongMagic)
+{
+    std::stringstream ss("garbage data that is long enough to be header");
+    EXPECT_EXIT(loadTree(ss), testing::ExitedWithCode(1), "bad magic");
+}
+
+TEST(SerializeDeath, ClassifierRegressorMagicsDiffer)
+{
+    Dataset data(1);
+    for (int i = 0; i < 8; ++i)
+        data.addSample({static_cast<double>(i)}, 0, 1.0);
+    RegressionTree reg;
+    reg.fit(data);
+    std::stringstream ss;
+    saveTree(ss, reg, 1);
+    EXPECT_EXIT(loadTree(ss), testing::ExitedWithCode(1), "bad magic");
+}
+
+// --------------------------------------------------------------------
+// metrics
+// --------------------------------------------------------------------
+
+TEST(Metrics, AccuracyBasic)
+{
+    EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 2, 0}), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+}
+
+TEST(Metrics, ConfusionMatrixLayout)
+{
+    // actual:    0 0 1 1 1
+    // predicted: 0 1 1 1 0
+    const ConfusionMatrix cm({0, 0, 1, 1, 1}, {0, 1, 1, 1, 0}, 2);
+    EXPECT_EQ(cm.count(0, 0), 1u); // predicted 0, actual 0
+    EXPECT_EQ(cm.count(1, 0), 1u); // predicted 1, actual 0
+    EXPECT_EQ(cm.count(1, 1), 2u);
+    EXPECT_EQ(cm.count(0, 1), 1u);
+    EXPECT_EQ(cm.total(), 5u);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 3.0 / 5.0);
+}
+
+TEST(Metrics, PrecisionRecall)
+{
+    const ConfusionMatrix cm({0, 0, 1, 1, 1}, {0, 1, 1, 1, 0}, 2);
+    EXPECT_DOUBLE_EQ(cm.precision(1), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(cm.recall(1), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(cm.precision(0), 0.5);
+}
+
+TEST(Metrics, ConfusionRenderContainsCounts)
+{
+    const ConfusionMatrix cm({0, 1}, {0, 1}, 2);
+    const std::string out = cm.render({"Design 1", "Design 2"});
+    EXPECT_NE(out.find("Design 1"), std::string::npos);
+    EXPECT_NE(out.find("Predicted/Actual"), std::string::npos);
+}
+
+TEST(MetricsDeath, ConfusionRejectsBadLabels)
+{
+    EXPECT_DEATH(ConfusionMatrix({5}, {0}, 2), "out of range");
+}
+
+} // namespace
+} // namespace misam

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Cross-module property sweeps and the on-device inference model:
+ * simulator invariants over a (design x density x shape) grid, kernel
+ * agreement on structured (non-uniform) matrices, end-to-end counter
+ * consistency, and the HwInferenceModel's arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ml/hw_inference.hh"
+#include "sim/design_sim.hh"
+#include "sim/scheduler.hh"
+#include "sparse/convert.hh"
+#include "sparse/generate.hh"
+#include "sparse/spgemm.hh"
+#include "trapezoid/trapezoid.hh"
+
+namespace misam {
+namespace {
+
+// --------------------------------------------------------------------
+// simulator invariants over a parameter grid
+// --------------------------------------------------------------------
+
+class SimGrid
+    : public testing::TestWithParam<std::tuple<int, double, int>>
+{
+};
+
+TEST_P(SimGrid, InvariantsHoldEverywhere)
+{
+    const auto [design_idx, density, n] = GetParam();
+    const DesignId id = allDesigns()[static_cast<std::size_t>(design_idx)];
+    Rng rng(static_cast<std::uint64_t>(design_idx * 1000 + n) ^
+            static_cast<std::uint64_t>(density * 1e6));
+    const auto dim = static_cast<Index>(n);
+    const CsrMatrix a = generateUniform(dim, dim, density, rng);
+    const CsrMatrix b = generateUniform(dim, dim / 2, density * 2.0,
+                                        rng);
+    const SimResult r = simulateDesign(id, a, b);
+
+    EXPECT_GT(r.total_cycles, 0.0);
+    EXPECT_GE(r.pe_utilization, 0.0);
+    EXPECT_LE(r.pe_utilization, 1.0 + 1e-9);
+    EXPECT_GE(r.num_tiles, 1);
+    EXPECT_GT(r.energy_joules, 0.0);
+    // Overlap model: the bottleneck phase alone is a lower bound.
+    EXPECT_GE(r.total_cycles + 1.0,
+              std::max({r.read_a_cycles, r.read_b_cycles}) /
+                  std::max(r.num_tiles, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimGrid,
+    testing::Combine(testing::Values(0, 1, 2, 3),
+                     testing::Values(0.003, 0.05, 0.4),
+                     testing::Values(96, 384, 1024)));
+
+// --------------------------------------------------------------------
+// kernel agreement on structured matrices
+// --------------------------------------------------------------------
+
+class StructuredAgreement : public testing::TestWithParam<int>
+{
+  protected:
+    CsrMatrix
+    makeA(Rng &rng) const
+    {
+        switch (GetParam()) {
+          case 0:
+            return generateBanded(48, 48, 4, 0.7, rng);
+          case 1:
+            return generatePowerLawGraph(48, 300, 2.1, rng);
+          case 2:
+            return generateBlockDiagonal(48, 48, 8, 0.6, 0.02, rng);
+          case 3:
+            return generateRowImbalanced(48, 48, 0.1, 0.05, 6.0, rng);
+          default:
+            return generateStructuredPruned(48, 48, 0.3, 8, rng);
+        }
+    }
+};
+
+TEST_P(StructuredAgreement, AllDataflowsAgree)
+{
+    Rng rng(123 + GetParam());
+    const CsrMatrix a = makeA(rng);
+    const CsrMatrix b = makeA(rng);
+    const CsrMatrix rw = spgemm(a, b, SpgemmDataflow::RowWise);
+    const CsrMatrix ip = spgemm(a, b, SpgemmDataflow::InnerProduct);
+    const CsrMatrix op = spgemm(a, b, SpgemmDataflow::OuterProduct);
+    EXPECT_TRUE(rw.approxEqual(ip, 1e-9));
+    EXPECT_TRUE(rw.approxEqual(op, 1e-9));
+}
+
+TEST_P(StructuredAgreement, SymbolicCountersConsistent)
+{
+    Rng rng(321 + GetParam());
+    const CsrMatrix a = makeA(rng);
+    const CsrMatrix b = makeA(rng);
+    const CsrMatrix c = spgemmRowWise(a, b);
+    EXPECT_EQ(spgemmOutputNnz(a, b), c.nnz());
+    EXPECT_GE(spgemmMultiplyCount(a, b), c.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, StructuredAgreement,
+                         testing::Values(0, 1, 2, 3, 4));
+
+// --------------------------------------------------------------------
+// end-to-end counter consistency
+// --------------------------------------------------------------------
+
+TEST(CounterConsistency, D4OutputMatchesRealProduct)
+{
+    Rng rng(9);
+    const CsrMatrix a = generateUniform(128, 128, 0.05, rng);
+    const CsrMatrix b = generateUniform(128, 96, 0.08, rng);
+    const SimResult d4 = simulateDesign(DesignId::D4, a, b);
+    const CsrMatrix c = spgemmRowWise(a, b);
+    EXPECT_EQ(d4.output_nnz, c.nnz());
+    EXPECT_EQ(d4.multiplies, spgemmMultiplyCount(a, b));
+}
+
+TEST(CounterConsistency, TrapezoidTrafficGrowsWithProblem)
+{
+    Rng rng(10);
+    const CsrMatrix small = generateUniform(128, 128, 0.05, rng);
+    const CsrMatrix big = generateUniform(512, 512, 0.05, rng);
+    for (TrapezoidDataflow df : allTrapezoidDataflows()) {
+        EXPECT_LT(simulateTrapezoid(df, small, small).traffic_bytes,
+                  simulateTrapezoid(df, big, big).traffic_bytes);
+    }
+}
+
+TEST(CounterConsistency, SchedulerBusyEqualsWeightedElements)
+{
+    Rng rng(11);
+    const CsrMatrix a = generateUniform(200, 200, 0.05, rng);
+    const CscMatrix a_csc = csrToCsc(a);
+    std::vector<Offset> weights(200);
+    Offset expected_busy = 0;
+    for (Index k = 0; k < 200; ++k) {
+        weights[k] = 1 + k % 5;
+        expected_busy += a_csc.colNnz(k) * weights[k];
+    }
+    const TileScheduler sched(SchedulerKind::Col, 16, 2);
+    const TileScheduleStats stats =
+        sched.schedule(a_csc, {0, 200}, &weights);
+    EXPECT_EQ(stats.busy_cycles, expected_busy);
+}
+
+// --------------------------------------------------------------------
+// HwInferenceModel
+// --------------------------------------------------------------------
+
+class HwInferenceTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(12);
+        Dataset data(2);
+        for (int i = 0; i < 200; ++i) {
+            const double x = rng.uniform(-1.0, 1.0);
+            const double y = rng.uniform(-1.0, 1.0);
+            data.addSample({x, y}, (x > 0) + 2 * (y > 0));
+        }
+        tree_.fit(data);
+    }
+
+    DecisionTree tree_;
+};
+
+TEST_F(HwInferenceTest, LatencyScalesWithDepth)
+{
+    const HwInferenceModel hw;
+    const double seconds = hw.onDeviceSeconds(tree_);
+    const double expected_cycles =
+        hw.pipeline_fill + tree_.depth() * hw.cycles_per_level;
+    EXPECT_NEAR(seconds, expected_cycles / (hw.freq_mhz * 1e6), 1e-15);
+}
+
+TEST_F(HwInferenceTest, ThroughputIndependentOfDepth)
+{
+    const HwInferenceModel hw;
+    EXPECT_NEAR(hw.onDeviceThroughput(tree_),
+                hw.freq_mhz * 1e6 / hw.cycles_per_level, 1e-6);
+}
+
+TEST_F(HwInferenceTest, HostGatedAddsTwoPcieHops)
+{
+    const HwInferenceModel hw;
+    const double host = 10e-9;
+    EXPECT_NEAR(hw.hostGatedSeconds(host),
+                host + 2 * hw.pcie_round_trip_us * 1e-6, 1e-15);
+    // The round trip dominates nanosecond host inference by orders of
+    // magnitude — the quantitative case for on-device inference.
+    EXPECT_GT(hw.hostGatedSeconds(host), 100.0 * host);
+}
+
+TEST_F(HwInferenceTest, BramFootprintTiny)
+{
+    const HwInferenceModel hw;
+    EXPECT_GE(hw.bramBlocks(tree_), 1u);
+    EXPECT_LT(hw.bramFraction(tree_), 0.001);
+}
+
+TEST(HwInferenceDeath, RejectsUntrainedTree)
+{
+    const HwInferenceModel hw;
+    DecisionTree empty;
+    EXPECT_EXIT(hw.onDeviceSeconds(empty), testing::ExitedWithCode(1),
+                "not trained");
+}
+
+} // namespace
+} // namespace misam

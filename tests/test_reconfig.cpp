@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for the reconfiguration subsystem: bitstream timing (§6.1),
+ * engine decisions (§3.3 threshold rule, amortization, shared-bitstream
+ * free switching), and multi-tenant packing (§6.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reconfig/bitstream.hh"
+#include "reconfig/engine.hh"
+#include "reconfig/multitenant.hh"
+
+namespace misam {
+namespace {
+
+// --------------------------------------------------------------------
+// bitstream timing
+// --------------------------------------------------------------------
+
+TEST(Bitstream, SizesInPaperBand)
+{
+    for (DesignId id : allDesigns()) {
+        const BitstreamInfo info = bitstreamInfo(id);
+        EXPECT_GE(info.size_mb, 50.0);
+        EXPECT_LE(info.size_mb, 80.0);
+    }
+}
+
+TEST(Bitstream, SharedBitstreamSameSize)
+{
+    EXPECT_DOUBLE_EQ(bitstreamInfo(DesignId::D2).size_mb,
+                     bitstreamInfo(DesignId::D3).size_mb);
+}
+
+TEST(Bitstream, FullReconfigTakesSeconds)
+{
+    const ReconfigTimeModel model;
+    for (DesignId id : allDesigns()) {
+        const double t = model.fullReconfigSeconds(id);
+        // §6.1: "full bitstream reconfiguration typically takes 3-4 s".
+        EXPECT_GE(t, 2.5);
+        EXPECT_LE(t, 4.2);
+    }
+}
+
+TEST(Bitstream, FabricProgrammingDominatesTransfer)
+{
+    const ReconfigTimeModel model;
+    const BitstreamInfo info = bitstreamInfo(DesignId::D1);
+    const double transfer = info.size_mb / 1024.0 / model.pcie_gbps;
+    const double total = model.fullReconfigSeconds(DesignId::D1);
+    EXPECT_GT(total - transfer, 20.0 * transfer);
+}
+
+TEST(Bitstream, PartialReconfigHundredsOfMs)
+{
+    const ReconfigTimeModel model;
+    const double small =
+        model.partialReconfigSeconds(DesignId::D1, 0.05);
+    EXPECT_GE(small, 0.1);
+    EXPECT_LE(small, 0.6);
+}
+
+TEST(Bitstream, PartialApproachesFullAsRegionGrows)
+{
+    const ReconfigTimeModel model;
+    const double full = model.fullReconfigSeconds(DesignId::D2);
+    double prev = 0.0;
+    for (double frac : {0.1, 0.3, 0.6, 1.0}) {
+        const double t = model.partialReconfigSeconds(DesignId::D2, frac);
+        EXPECT_GE(t, prev);
+        EXPECT_LE(t, full);
+        prev = t;
+    }
+}
+
+TEST(BitstreamDeath, PartialRejectsBadFraction)
+{
+    const ReconfigTimeModel model;
+    EXPECT_EXIT(model.partialReconfigSeconds(DesignId::D1, 0.0),
+                testing::ExitedWithCode(1), "region fraction");
+    EXPECT_EXIT(model.partialReconfigSeconds(DesignId::D1, 1.5),
+                testing::ExitedWithCode(1), "region fraction");
+}
+
+TEST(Bitstream, SwitchFreeBetweenSharedDesigns)
+{
+    const ReconfigTimeModel model;
+    EXPECT_DOUBLE_EQ(model.switchSeconds(DesignId::D2, DesignId::D3),
+                     0.0);
+    EXPECT_DOUBLE_EQ(model.switchSeconds(DesignId::D1, DesignId::D1),
+                     0.0);
+    EXPECT_GT(model.switchSeconds(DesignId::D1, DesignId::D4), 1.0);
+}
+
+// --------------------------------------------------------------------
+// engine decisions
+// --------------------------------------------------------------------
+
+/**
+ * Latency model stub: a tree splitting on the appended design-id
+ * feature, mapping each design to a fixed log2 latency.
+ */
+RegressionTree
+stubLatencyModel(const std::array<double, kNumDesigns> &seconds)
+{
+    Dataset data(kAugmentedFeatures);
+    for (std::size_t d = 0; d < kNumDesigns; ++d) {
+        for (int rep = 0; rep < 4; ++rep) {
+            std::vector<double> row(kAugmentedFeatures, 0.0);
+            row[kNumFeatures - 0 - 1] = rep; // vary a dummy feature
+            row[kAugmentedFeatures - 1] = static_cast<double>(d);
+            data.addSample(row, static_cast<int>(d),
+                           std::log2(seconds[d]));
+        }
+    }
+    RegressionTree tree;
+    tree.fit(data, {.max_depth = 8, .min_samples_leaf = 1,
+                    .min_samples_split = 2,
+                    .min_variance_decrease = 0.0});
+    return tree;
+}
+
+FeatureVector
+zeroFeatures()
+{
+    return FeatureVector{};
+}
+
+TEST(Engine, PredictLatencyInvertsLog)
+{
+    const auto model = stubLatencyModel({1.0, 2.0, 4.0, 8.0});
+    ReconfigEngine engine(model, {}, DesignId::D1);
+    EXPECT_NEAR(engine.predictLatencySeconds(zeroFeatures(), DesignId::D1),
+                1.0, 1e-6);
+    EXPECT_NEAR(engine.predictLatencySeconds(zeroFeatures(), DesignId::D4),
+                8.0, 1e-6);
+}
+
+TEST(Engine, StaysWhenPredictionMatchesCurrent)
+{
+    const auto model = stubLatencyModel({1.0, 2.0, 4.0, 8.0});
+    ReconfigEngine engine(model, {}, DesignId::D1);
+    const ReconfigDecision d =
+        engine.decide(zeroFeatures(), DesignId::D1);
+    EXPECT_EQ(d.chosen, DesignId::D1);
+    EXPECT_FALSE(d.reconfigure);
+}
+
+TEST(Engine, RefusesWhenOverheadSwampsGain)
+{
+    // Current D1 at 2 s, best D4 at 1 s: gain 1 s, overhead ~2.6 s,
+    // threshold 0.2 -> refuse.
+    const auto model = stubLatencyModel({2.0, 4.0, 4.0, 1.0});
+    ReconfigEngine engine(model, {}, DesignId::D1);
+    const ReconfigDecision d =
+        engine.decide(zeroFeatures(), DesignId::D4);
+    EXPECT_EQ(d.chosen, DesignId::D1);
+    EXPECT_FALSE(d.reconfigure);
+    EXPECT_EQ(engine.currentDesign(), DesignId::D1);
+}
+
+TEST(Engine, AmortizationUnlocksReconfiguration)
+{
+    // Same as above but the gain repeats over 50 tiles: 50 s of gain
+    // dwarfs the ~2.6 s overhead (the cg15 story, §5.2).
+    const auto model = stubLatencyModel({2.0, 4.0, 4.0, 1.0});
+    ReconfigEngine engine(model, {}, DesignId::D1);
+    const ReconfigDecision d =
+        engine.decide(zeroFeatures(), DesignId::D4, 50.0);
+    EXPECT_EQ(d.chosen, DesignId::D4);
+    EXPECT_TRUE(d.reconfigure);
+    EXPECT_GT(d.expected_gain_s, 10.0);
+    EXPECT_EQ(engine.currentDesign(), DesignId::D4);
+}
+
+TEST(Engine, SharedBitstreamSwitchIsFreeAndEager)
+{
+    // D2 -> D3 shares the bitstream: any gain triggers the switch.
+    const auto model = stubLatencyModel({4.0, 2.0, 1.9, 8.0});
+    ReconfigEngine engine(model, {}, DesignId::D2);
+    const ReconfigDecision d =
+        engine.decide(zeroFeatures(), DesignId::D3);
+    EXPECT_EQ(d.chosen, DesignId::D3);
+    EXPECT_FALSE(d.reconfigure); // no bitstream load
+    EXPECT_DOUBLE_EQ(d.overhead_s, 0.0);
+    EXPECT_EQ(engine.currentDesign(), DesignId::D3);
+}
+
+TEST(Engine, IgnoresPredictedSlowdowns)
+{
+    // The "secondary validation" role: the predicted-best design is
+    // actually slower by the latency model -> stay.
+    const auto model = stubLatencyModel({1.0, 2.0, 4.0, 8.0});
+    ReconfigEngine engine(model, {}, DesignId::D1);
+    const ReconfigDecision d =
+        engine.decide(zeroFeatures(), DesignId::D2, 100.0);
+    EXPECT_EQ(d.chosen, DesignId::D1);
+    EXPECT_FALSE(d.reconfigure);
+    EXPECT_LT(d.expected_gain_s, 0.0);
+}
+
+TEST(Engine, ZeroCostTimeModelAlwaysChasesBest)
+{
+    // §5.2: "users can configure reconfiguration times to zero, allowing
+    // the engine to always switch to the optimal bitstream".
+    const auto model = stubLatencyModel({2.0, 4.0, 4.0, 1.0});
+    ReconfigEngineConfig cfg;
+    cfg.time_model.fabric_seconds_per_mb = 0.0;
+    cfg.time_model.pcie_gbps = 1e12;
+    ReconfigEngine engine(model, cfg, DesignId::D1);
+    const ReconfigDecision d =
+        engine.decide(zeroFeatures(), DesignId::D4);
+    EXPECT_EQ(d.chosen, DesignId::D4);
+}
+
+TEST(Engine, ThresholdTunesAggressiveness)
+{
+    // Gain 1 s/run * 3 runs = 3 s vs overhead ~2.6 s: a permissive
+    // threshold (1.0) switches, the default 0.2 does not.
+    const auto model = stubLatencyModel({2.0, 4.0, 4.0, 1.0});
+    ReconfigEngineConfig permissive;
+    permissive.threshold = 1.0;
+    ReconfigEngine eager(model, permissive, DesignId::D1);
+    EXPECT_TRUE(eager.decide(zeroFeatures(), DesignId::D4, 3.0)
+                    .reconfigure);
+
+    ReconfigEngine strict(model, {}, DesignId::D1);
+    EXPECT_FALSE(strict.decide(zeroFeatures(), DesignId::D4, 3.0)
+                     .reconfigure);
+}
+
+TEST(EngineDeath, RejectsUntrainedModel)
+{
+    RegressionTree empty;
+    EXPECT_EXIT(ReconfigEngine(empty, {}, DesignId::D1),
+                testing::ExitedWithCode(1), "not trained");
+}
+
+TEST(EngineDeath, RejectsBadRepetitions)
+{
+    const auto model = stubLatencyModel({1.0, 2.0, 3.0, 4.0});
+    ReconfigEngine engine(model, {}, DesignId::D1);
+    EXPECT_EXIT(engine.decide(zeroFeatures(), DesignId::D2, 0.5),
+                testing::ExitedWithCode(1), "repetitions");
+}
+
+TEST(Engine, AugmentAppendsDesignId)
+{
+    const FeatureVector f{};
+    const auto row = augmentFeatures(f, DesignId::D3);
+    ASSERT_EQ(row.size(), kAugmentedFeatures);
+    EXPECT_DOUBLE_EQ(row.back(), 2.0);
+}
+
+// --------------------------------------------------------------------
+// multi-tenancy (§6.2)
+// --------------------------------------------------------------------
+
+TEST(Multitenant, SingleInstanceCountsMatchPaper)
+{
+    // §6.2: 1 instance of Design 1, 2 of Design 2/3, >= 2 of Design 4.
+    EXPECT_EQ(maxInstances(DesignId::D1), 1);
+    EXPECT_EQ(maxInstances(DesignId::D2), 2);
+    EXPECT_EQ(maxInstances(DesignId::D3), 2);
+    EXPECT_GE(maxInstances(DesignId::D4), 2);
+}
+
+TEST(Multitenant, TotalUtilizationAdds)
+{
+    const ResourceUtilization u =
+        totalUtilization({DesignId::D1, DesignId::D4});
+    EXPECT_NEAR(u.lut, 0.3320 + 0.3053, 1e-9);
+    EXPECT_NEAR(u.bram, 0.6071 + 0.2421, 1e-9);
+}
+
+TEST(Multitenant, FitsChecksEveryResource)
+{
+    EXPECT_TRUE(fits({DesignId::D1}));
+    EXPECT_TRUE(fits({DesignId::D1, DesignId::D4}));
+    // Two D1 instances exceed the BRAM budget (2 x 60.71%).
+    EXPECT_FALSE(fits({DesignId::D1, DesignId::D1}));
+}
+
+TEST(Multitenant, CoLocationAcrossDesigns)
+{
+    // §6.2: once a design is placed, remaining capacity can host other
+    // bitstreams with compatible footprints.
+    EXPECT_TRUE(fits({DesignId::D2, DesignId::D4}));
+    EXPECT_TRUE(fits({DesignId::D2, DesignId::D2}));
+    EXPECT_FALSE(fits({DesignId::D2, DesignId::D2, DesignId::D2}));
+}
+
+TEST(Multitenant, PackGreedyFirstFit)
+{
+    const TenantPacking p = packInstances(
+        {DesignId::D1, DesignId::D1, DesignId::D4, DesignId::D4});
+    // Second D1 rejected (BRAM); both D4s fit alongside the first D1?
+    // D1 bram 0.6071 + 2 x 0.2421 = 1.09 -> only one D4 joins.
+    EXPECT_EQ(p.placed.size(), 2u);
+    EXPECT_EQ(p.rejected.size(), 2u);
+    EXPECT_EQ(p.placed[0], DesignId::D1);
+    EXPECT_EQ(p.placed[1], DesignId::D4);
+}
+
+TEST(Multitenant, RestrictedBudgetShrinksPacking)
+{
+    FpgaResourceBudget half;
+    half.lut = half.ff = half.bram = half.uram = half.dsp = 0.5;
+    EXPECT_EQ(maxInstances(DesignId::D2, half), 1);
+    EXPECT_FALSE(fits({DesignId::D1}, half)); // BRAM 60.7% > 50%
+}
+
+TEST(Multitenant, EmptyRequestYieldsEmptyPacking)
+{
+    const TenantPacking p = packInstances({});
+    EXPECT_TRUE(p.placed.empty());
+    EXPECT_TRUE(p.rejected.empty());
+    EXPECT_DOUBLE_EQ(p.used.maxFraction(), 0.0);
+}
+
+} // namespace
+} // namespace misam

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Tests for the §6.3 heterogeneous device router, whole-framework
+ * persistence, the §6.1 reconfiguration modes, and the streaming
+ * feature-summary path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/misam.hh"
+#include "core/persistence.hh"
+#include "core/router.hh"
+#include "sparse/generate.hh"
+#include "workloads/training_data.hh"
+
+namespace misam {
+namespace {
+
+std::vector<RoutingSample>
+makeRoutingSamples(std::size_t n, std::uint64_t seed)
+{
+    TrainingDataConfig cfg;
+    cfg.num_samples = n;
+    cfg.seed = seed;
+    cfg.max_dim = 512;
+    Rng rng(seed);
+    std::vector<RoutingSample> samples;
+    while (samples.size() < n) {
+        auto [a, b] = generateWorkloadPair(cfg, rng);
+        if (a.nnz() == 0 || b.nnz() == 0)
+            continue;
+        samples.push_back(
+            {extractFeatures(a, b), evaluateDevices(a, b)});
+    }
+    return samples;
+}
+
+// --------------------------------------------------------------------
+// DeviceRouter
+// --------------------------------------------------------------------
+
+TEST(Router, DeviceNames)
+{
+    EXPECT_STREQ(deviceName(Device::MisamFpga), "Misam");
+    EXPECT_STREQ(deviceName(Device::Cpu), "CPU");
+    EXPECT_STREQ(deviceName(Device::Gpu), "GPU");
+}
+
+TEST(Router, EvaluationPicksArgmin)
+{
+    DeviceEvaluation eval;
+    eval.outcomes = {DeviceOutcome{3.0, 1.0}, DeviceOutcome{1.0, 9.0},
+                     DeviceOutcome{2.0, 2.0}};
+    EXPECT_EQ(eval.fastest(), Device::Cpu);
+    EXPECT_EQ(eval.mostEfficient(), Device::MisamFpga);
+    EXPECT_EQ(bestDeviceIndex(eval, Objective::latency()), 1);
+    EXPECT_EQ(bestDeviceIndex(eval, Objective::energy()), 0);
+}
+
+TEST(Router, EvaluateDevicesPopulatesAllBackends)
+{
+    Rng rng(1);
+    const CsrMatrix a = generateUniform(128, 128, 0.05, rng);
+    const CsrMatrix b = generateUniform(128, 128, 0.1, rng);
+    const DeviceEvaluation eval = evaluateDevices(a, b);
+    for (const DeviceOutcome &o : eval.outcomes) {
+        EXPECT_GT(o.exec_seconds, 0.0);
+        EXPECT_GT(o.energy_joules, 0.0);
+    }
+}
+
+TEST(Router, GpuWinsDenseWork)
+{
+    Rng rng(2);
+    const CsrMatrix a = generateUniform(1024, 1024, 0.5, rng);
+    const CsrMatrix b = generateDenseCsr(1024, 512, rng);
+    const DeviceEvaluation eval = evaluateDevices(a, b);
+    EXPECT_EQ(eval.fastest(), Device::Gpu);
+}
+
+TEST(Router, FpgaWinsHighlySparseWork)
+{
+    Rng rng(3);
+    const CsrMatrix a = generatePowerLawGraph(4096, 40000, 2.1, rng);
+    const DeviceEvaluation eval = evaluateDevices(a, a);
+    EXPECT_EQ(eval.fastest(), Device::MisamFpga);
+    EXPECT_EQ(eval.misam_design, DesignId::D4);
+}
+
+TEST(Router, TrainedRouterBeatsStaticPolicies)
+{
+    const auto samples = makeRoutingSamples(150, 4);
+    DeviceRouter router;
+    const RouterReport report = router.train(samples);
+    EXPECT_GT(report.accuracy, 0.6);
+    // A working router is at least as good as any static policy
+    // (geomean over the sample population).
+    EXPECT_GE(report.speedup_vs_cpu_only, 1.0);
+    EXPECT_GE(report.speedup_vs_gpu_only, 0.95);
+    EXPECT_GE(report.speedup_vs_fpga_only, 0.95);
+    EXPECT_TRUE(router.trained());
+}
+
+TEST(Router, RouteReturnsTrainedLabels)
+{
+    const auto samples = makeRoutingSamples(120, 5);
+    DeviceRouter router;
+    router.train(samples);
+    for (const RoutingSample &s : samples) {
+        const Device d = router.route(s.features);
+        EXPECT_GE(static_cast<int>(d), 0);
+        EXPECT_LT(static_cast<int>(d), static_cast<int>(kNumDevices));
+    }
+}
+
+TEST(RouterDeath, RouteBeforeTrain)
+{
+    DeviceRouter router;
+    const FeatureVector f{};
+    EXPECT_EXIT(router.route(f), testing::ExitedWithCode(1), "train");
+}
+
+TEST(RouterDeath, TrainRejectsEmpty)
+{
+    DeviceRouter router;
+    EXPECT_EXIT(router.train({}), testing::ExitedWithCode(1),
+                "no samples");
+}
+
+// --------------------------------------------------------------------
+// framework persistence
+// --------------------------------------------------------------------
+
+class PersistenceTest : public testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        samples_ = new std::vector<TrainingSample>(generateTrainingSamples(
+            {.num_samples = 120, .seed = 31, .max_dim = 512}));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete samples_;
+        samples_ = nullptr;
+    }
+
+    static std::vector<TrainingSample> *samples_;
+};
+
+std::vector<TrainingSample> *PersistenceTest::samples_ = nullptr;
+
+TEST_F(PersistenceTest, RoundTripPreservesPredictions)
+{
+    MisamFramework original;
+    original.train(*samples_);
+
+    std::stringstream ss;
+    saveFramework(ss, original);
+    MisamFramework restored = loadFramework(ss);
+    EXPECT_TRUE(restored.trained());
+
+    for (const TrainingSample &s : *samples_) {
+        EXPECT_EQ(restored.predictDesign(s.features),
+                  original.predictDesign(s.features));
+        EXPECT_DOUBLE_EQ(
+            restored.engine().predictLatencySeconds(s.features,
+                                                    DesignId::D2),
+            original.engine().predictLatencySeconds(s.features,
+                                                    DesignId::D2));
+    }
+}
+
+TEST_F(PersistenceTest, RoundTripPreservesEngineState)
+{
+    MisamConfig config;
+    config.engine_config.threshold = 0.35;
+    config.initial_design = DesignId::D4;
+    MisamFramework original(config);
+    original.train(*samples_);
+
+    std::stringstream ss;
+    saveFramework(ss, original);
+    const MisamFramework restored = loadFramework(ss);
+    EXPECT_EQ(restored.engine().currentDesign(), DesignId::D4);
+    EXPECT_NEAR(restored.engine().config().threshold, 0.35, 1e-6);
+}
+
+TEST_F(PersistenceTest, RestoredFrameworkExecutes)
+{
+    MisamFramework original;
+    original.train(*samples_);
+    std::stringstream ss;
+    saveFramework(ss, original);
+    MisamFramework restored = loadFramework(ss);
+
+    Rng rng(32);
+    const CsrMatrix a = generateUniform(256, 256, 0.05, rng);
+    const CsrMatrix b = generateUniform(256, 128, 0.3, rng);
+    const ExecutionReport rep = restored.execute(a, b);
+    EXPECT_GT(rep.sim.exec_seconds, 0.0);
+}
+
+TEST(PersistenceDeath, SaveUntrainedIsFatal)
+{
+    MisamFramework untrained;
+    std::stringstream ss;
+    EXPECT_EXIT(saveFramework(ss, untrained),
+                testing::ExitedWithCode(1), "not trained");
+}
+
+TEST(PersistenceDeath, LoadRejectsGarbage)
+{
+    std::stringstream ss("this is not a framework file at all, no sir");
+    EXPECT_EXIT(loadFramework(ss), testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST(PersistenceDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadFrameworkFile("/nonexistent/misam.bin"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+// --------------------------------------------------------------------
+// reconfiguration modes (§6.1)
+// --------------------------------------------------------------------
+
+TEST(ReconfigModes, Names)
+{
+    EXPECT_STREQ(reconfigModeName(ReconfigMode::Full), "Full");
+    EXPECT_STREQ(reconfigModeName(ReconfigMode::Partial), "Partial");
+    EXPECT_STREQ(reconfigModeName(ReconfigMode::Cgra), "CGRA");
+}
+
+TEST(ReconfigModes, OrderingFullOverPartialOverCgra)
+{
+    ReconfigTimeModel model;
+    model.mode = ReconfigMode::Full;
+    const double full = model.switchSeconds(DesignId::D1, DesignId::D4);
+    model.mode = ReconfigMode::Partial;
+    const double partial =
+        model.switchSeconds(DesignId::D1, DesignId::D4);
+    model.mode = ReconfigMode::Cgra;
+    const double cgra = model.switchSeconds(DesignId::D1, DesignId::D4);
+
+    EXPECT_GT(full, partial);
+    EXPECT_GT(partial, cgra);
+    EXPECT_NEAR(cgra, 500e-6, 1e-9);
+}
+
+TEST(ReconfigModes, SharedBitstreamFreeInEveryMode)
+{
+    for (ReconfigMode mode :
+         {ReconfigMode::Full, ReconfigMode::Partial, ReconfigMode::Cgra}) {
+        ReconfigTimeModel model;
+        model.mode = mode;
+        EXPECT_DOUBLE_EQ(
+            model.switchSeconds(DesignId::D2, DesignId::D3), 0.0);
+    }
+}
+
+TEST(ReconfigModes, PartialScalesWithFootprint)
+{
+    ReconfigTimeModel model;
+    model.mode = ReconfigMode::Partial;
+    // Design 1 has the largest bottleneck footprint (BRAM 61%), so its
+    // dynamic region costs more than Design 4's (LUT 31%).
+    EXPECT_GT(model.switchSeconds(DesignId::D4, DesignId::D1),
+              model.switchSeconds(DesignId::D1, DesignId::D4));
+}
+
+// --------------------------------------------------------------------
+// feature summaries (streaming path)
+// --------------------------------------------------------------------
+
+TEST(FeatureSummary, CombineMatchesExtract)
+{
+    Rng rng(41);
+    const CsrMatrix a = generateUniform(64, 96, 0.1, rng);
+    const CsrMatrix b = generateUniform(96, 48, 0.4, rng);
+    const FeatureVector direct = extractFeatures(a, b);
+    const FeatureVector combined =
+        combineFeatures(summarizeMatrix(a), summarizeMatrix(b));
+    for (std::size_t i = 0; i < kNumFeatures; ++i)
+        EXPECT_DOUBLE_EQ(direct.values[i], combined.values[i]) << i;
+}
+
+TEST(FeatureSummary, DenseShortcutMatchesGenericPath)
+{
+    Rng rng(42);
+    const CsrMatrix dense = generateDenseCsr(32, 48, rng);
+    const CsrMatrix a = generateUniform(16, 32, 0.2, rng);
+    const FeatureVector f = extractFeatures(a, dense);
+    // Against hand-computed dense values.
+    EXPECT_DOUBLE_EQ(f[FeatureId::BSparsity], 0.0);
+    EXPECT_DOUBLE_EQ(f[FeatureId::BNnzRowMean], 48.0);
+    EXPECT_DOUBLE_EQ(f[FeatureId::BNnzRowVar], 0.0);
+    EXPECT_DOUBLE_EQ(f[FeatureId::BLoadImbalanceRow], 1.0);
+    EXPECT_DOUBLE_EQ(f[FeatureId::Tile1DDensityB], 1.0);
+    // And against the explicit tile-stat functions.
+    EXPECT_DOUBLE_EQ(f[FeatureId::Tile2DCountB],
+                     computeTileStats2D(dense, 4096, 512).nonempty_tiles);
+}
+
+TEST(FeatureSummary, ExecuteWithSummaryMatchesExecute)
+{
+    const auto samples = generateTrainingSamples(
+        {.num_samples = 100, .seed = 43, .max_dim = 512});
+    MisamFramework misam;
+    misam.train(samples);
+
+    Rng rng(44);
+    const CsrMatrix a = generateUniform(300, 200, 0.1, rng);
+    const CsrMatrix b = generateUniform(200, 150, 0.3, rng);
+    const MatrixFeatureSummary b_summary = summarizeMatrix(b);
+
+    MisamFramework misam2;
+    misam2.train(samples);
+    const ExecutionReport direct = misam.execute(a, b);
+    const ExecutionReport summarized =
+        misam2.executeWithSummary(a, b, b_summary);
+    EXPECT_EQ(direct.predicted, summarized.predicted);
+    EXPECT_EQ(direct.decision.chosen, summarized.decision.chosen);
+    EXPECT_DOUBLE_EQ(direct.sim.total_cycles,
+                     summarized.sim.total_cycles);
+    for (std::size_t i = 0; i < kNumFeatures; ++i)
+        EXPECT_DOUBLE_EQ(direct.features.values[i],
+                         summarized.features.values[i]);
+}
+
+} // namespace
+} // namespace misam

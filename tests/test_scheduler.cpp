@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the PE scheduling model: the closed-form cooldown-schedule
+ * length, its agreement with the exact greedy cycle-by-cycle scheduler
+ * (the core property behind every compute-cycle number in the paper's
+ * reproduction), tiling, and the HBM bandwidth arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "sim/hbm.hh"
+#include "sim/scheduler.hh"
+#include "sim/tiling.hh"
+#include "sim/trace.hh"
+#include "sparse/convert.hh"
+#include "sparse/generate.hh"
+
+namespace misam {
+namespace {
+
+// --------------------------------------------------------------------
+// HBM arithmetic
+// --------------------------------------------------------------------
+
+TEST(Hbm, PackedReadCycles)
+{
+    // 8 entries per word; 1 channel.
+    EXPECT_EQ(HbmModel::packedReadCycles(8, 1), 1u);
+    EXPECT_EQ(HbmModel::packedReadCycles(9, 1), 2u);
+    EXPECT_EQ(HbmModel::packedReadCycles(0, 4), 0u);
+    // 64 entries = 8 words over 4 channels = 2 cycles.
+    EXPECT_EQ(HbmModel::packedReadCycles(64, 4), 2u);
+}
+
+TEST(Hbm, DenseReadCycles)
+{
+    EXPECT_EQ(HbmModel::denseReadCycles(16, 1), 1u);
+    EXPECT_EQ(HbmModel::denseReadCycles(17, 1), 2u);
+    EXPECT_EQ(HbmModel::denseReadCycles(256, 4), 4u);
+}
+
+TEST(Hbm, WritesMirrorReads)
+{
+    EXPECT_EQ(HbmModel::denseWriteCycles(100, 2),
+              HbmModel::denseReadCycles(100, 2));
+    EXPECT_EQ(HbmModel::packedWriteCycles(100, 2),
+              HbmModel::packedReadCycles(100, 2));
+}
+
+TEST(HbmDeath, RejectsZeroChannels)
+{
+    EXPECT_DEATH(HbmModel::packedReadCycles(8, 0), "channel");
+}
+
+// --------------------------------------------------------------------
+// tiling
+// --------------------------------------------------------------------
+
+TEST(Tiling, FixedRowTilesCoverExactly)
+{
+    const auto tiles = fixedRowTiles(10, 4);
+    ASSERT_EQ(tiles.size(), 3u);
+    EXPECT_EQ(tiles[0].k_lo, 0u);
+    EXPECT_EQ(tiles[0].k_hi, 4u);
+    EXPECT_EQ(tiles[2].k_lo, 8u);
+    EXPECT_EQ(tiles[2].k_hi, 10u);
+}
+
+TEST(Tiling, FixedRowTilesEmptyMatrix)
+{
+    const auto tiles = fixedRowTiles(0, 4);
+    ASSERT_EQ(tiles.size(), 1u);
+    EXPECT_EQ(tiles[0].height(), 0u);
+}
+
+TEST(Tiling, SparsityAwareRespectsCapacity)
+{
+    Rng rng(1);
+    const CsrMatrix b = generateUniform(200, 100, 0.2, rng);
+    const auto tiles = sparsityAwareRowTiles(b, 400, 1000);
+    Index covered = 0;
+    for (const KTile &t : tiles) {
+        EXPECT_EQ(t.k_lo, covered);
+        covered = t.k_hi;
+        // Single-row tiles may exceed capacity (oversized rows stream);
+        // multi-row tiles must respect it.
+        if (t.height() > 1) {
+            EXPECT_LE(tileNnz(b, t), 400u);
+        }
+    }
+    EXPECT_EQ(covered, b.rows());
+}
+
+TEST(Tiling, SparsityAwarePacksSparseRowsDensely)
+{
+    Rng rng(2);
+    const CsrMatrix sparse = generateUniform(1000, 100, 0.005, rng);
+    const CsrMatrix dense = generateUniform(1000, 100, 0.5, rng);
+    const auto t_sparse = sparsityAwareRowTiles(sparse, 500, 100000);
+    const auto t_dense = sparsityAwareRowTiles(dense, 500, 100000);
+    // The sparser B packs many more rows per tile -> fewer tiles.
+    EXPECT_LT(t_sparse.size(), t_dense.size());
+}
+
+TEST(Tiling, SparsityAwareMaxHeightCap)
+{
+    const CsrMatrix empty(100, 10);
+    const auto tiles = sparsityAwareRowTiles(empty, 1000, 16);
+    for (const KTile &t : tiles)
+        EXPECT_LE(t.height(), 16u);
+}
+
+TEST(Tiling, TileNnzMatchesManualCount)
+{
+    Rng rng(3);
+    const CsrMatrix b = generateUniform(50, 20, 0.3, rng);
+    const KTile tile{10, 25};
+    Offset manual = 0;
+    for (Index r = 10; r < 25; ++r)
+        manual += b.rowNnz(r);
+    EXPECT_EQ(tileNnz(b, tile), manual);
+}
+
+// --------------------------------------------------------------------
+// closed-form schedule length
+// --------------------------------------------------------------------
+
+TEST(ScheduleLength, WorkBoundDominatesWhenRowsAbound)
+{
+    // 100 unit jobs spread over rows with max 2 per row: the cooldown
+    // bound (2-1)*2+ties is tiny; length = total work.
+    EXPECT_EQ(TileScheduler::peScheduleLength(100, 2, 10, 2), 100u);
+}
+
+TEST(ScheduleLength, CooldownBoundDominatesForOneHotRow)
+{
+    // One row with 5 elements, dep 2: r . r . r . r . r = 9 cycles.
+    EXPECT_EQ(TileScheduler::peScheduleLength(5, 5, 1, 2), 9u);
+}
+
+TEST(ScheduleLength, TiesExtendTheLastGroup)
+{
+    // Two rows with 3 elements each, dep 2: r0 r1 r0 r1 r0 r1 = 6.
+    EXPECT_EQ(TileScheduler::peScheduleLength(6, 3, 2, 2), 6u);
+}
+
+TEST(ScheduleLength, ZeroWorkIsZero)
+{
+    EXPECT_EQ(TileScheduler::peScheduleLength(0, 0, 0, 2), 0u);
+}
+
+TEST(ScheduleLength, DependencyDistanceScales)
+{
+    EXPECT_EQ(TileScheduler::peScheduleLength(4, 4, 1, 3), 10u);
+    EXPECT_EQ(TileScheduler::peScheduleLength(4, 4, 1, 1), 4u);
+}
+
+// --------------------------------------------------------------------
+// TileScheduler aggregate behaviour
+// --------------------------------------------------------------------
+
+TEST(TileScheduler, EmptyTileYieldsZero)
+{
+    Rng rng(4);
+    const CscMatrix a = csrToCsc(generateUniform(16, 16, 0.2, rng));
+    const TileScheduler sched(SchedulerKind::Col, 4, 2);
+    const TileScheduleStats s = sched.schedule(a, {5, 5});
+    EXPECT_EQ(s.schedule_length, 0u);
+    EXPECT_EQ(s.total_elements, 0u);
+    EXPECT_DOUBLE_EQ(s.pe_utilization, 0.0);
+}
+
+TEST(TileScheduler, CountsAllElementsInRange)
+{
+    Rng rng(5);
+    const CsrMatrix a_csr = generateUniform(32, 32, 0.2, rng);
+    const CscMatrix a = csrToCsc(a_csr);
+    const TileScheduler sched(SchedulerKind::Col, 4, 2);
+    const TileScheduleStats s = sched.schedule(a, {0, 32});
+    EXPECT_EQ(s.total_elements, a_csr.nnz());
+    EXPECT_EQ(s.busy_cycles, a_csr.nnz()); // unit jobs
+}
+
+TEST(TileScheduler, UtilizationBounded)
+{
+    Rng rng(6);
+    const CscMatrix a = csrToCsc(generateUniform(64, 64, 0.1, rng));
+    for (auto kind : {SchedulerKind::Col, SchedulerKind::Row}) {
+        const TileScheduler sched(kind, 8, 2);
+        const TileScheduleStats s = sched.schedule(a, {0, 64});
+        EXPECT_GT(s.pe_utilization, 0.0);
+        EXPECT_LE(s.pe_utilization, 1.0);
+        EXPECT_EQ(s.bubble_cycles + s.busy_cycles,
+                  s.schedule_length * 8);
+    }
+}
+
+TEST(TileScheduler, MorePesNeverLengthensSchedule)
+{
+    Rng rng(7);
+    const CscMatrix a = csrToCsc(generateUniform(128, 128, 0.05, rng));
+    const TileScheduler few(SchedulerKind::Col, 4, 2);
+    const TileScheduler many(SchedulerKind::Col, 16, 2);
+    EXPECT_GE(few.schedule(a, {0, 128}).schedule_length,
+              many.schedule(a, {0, 128}).schedule_length);
+}
+
+TEST(TileScheduler, RowKindSpreadsHotRow)
+{
+    // One row holding every nonzero: Col scheduling serializes it on a
+    // single PE with cooldown bubbles; Row scheduling spreads it by
+    // column index (paper §3.2.3).
+    CooMatrix coo(8, 64);
+    for (Index c = 0; c < 64; ++c)
+        coo.addEntry(0, c, 1.0);
+    const CscMatrix a = csrToCsc(cooToCsr(std::move(coo)));
+    const TileScheduler col(SchedulerKind::Col, 8, 2);
+    const TileScheduler row(SchedulerKind::Row, 8, 2);
+    const Offset len_col = col.schedule(a, {0, 64}).schedule_length;
+    const Offset len_row = row.schedule(a, {0, 64}).schedule_length;
+    // Col: 64 elements on one PE, same row -> (64-1)*2+1 = 127 cycles.
+    EXPECT_EQ(len_col, 127u);
+    // Row: 8 elements per PE, same row each -> (8-1)*2+1 = 15 cycles.
+    EXPECT_EQ(len_row, 15u);
+}
+
+TEST(TileScheduler, WeightedJobsExtendWork)
+{
+    Rng rng(8);
+    const CsrMatrix a_csr = generateUniform(16, 16, 0.3, rng);
+    const CscMatrix a = csrToCsc(a_csr);
+    std::vector<Offset> weights(16, 5);
+    const TileScheduler sched(SchedulerKind::Col, 4, 2);
+    const TileScheduleStats unit = sched.schedule(a, {0, 16});
+    const TileScheduleStats weighted =
+        sched.schedule(a, {0, 16}, &weights);
+    EXPECT_EQ(weighted.busy_cycles, unit.busy_cycles * 5);
+    EXPECT_GE(weighted.schedule_length, unit.schedule_length);
+}
+
+TEST(TileSchedulerDeath, RejectsBadConfig)
+{
+    EXPECT_DEATH(TileScheduler(SchedulerKind::Col, 0, 2), "PE count");
+    EXPECT_DEATH(TileScheduler(SchedulerKind::Col, 4, 0), "dependency");
+}
+
+// --------------------------------------------------------------------
+// exact greedy trace vs closed form (the key property)
+// --------------------------------------------------------------------
+
+class ScheduleAgreement
+    : public testing::TestWithParam<
+          std::tuple<std::uint64_t, int, int, int>>
+{
+};
+
+TEST_P(ScheduleAgreement, GreedyTraceMatchesClosedForm)
+{
+    const auto [seed, pes, dep, kind_int] = GetParam();
+    const auto kind = static_cast<SchedulerKind>(kind_int);
+    Rng rng(seed);
+    const Index n = 12 + static_cast<Index>(rng.uniformInt(20));
+    const CsrMatrix a_csr =
+        generateUniform(n, n, rng.uniform(0.05, 0.5), rng);
+    const CscMatrix a = csrToCsc(a_csr);
+
+    const TileScheduler sched(kind, pes, dep);
+    const TileScheduleStats closed = sched.schedule(a, {0, n});
+    const TimelineTrace trace = traceSchedule(a, kind, pes, dep);
+
+    EXPECT_EQ(trace.length, closed.schedule_length)
+        << "pes=" << pes << " dep=" << dep << " n=" << n;
+    EXPECT_EQ(trace.elements, closed.total_elements);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScheduleAgreement,
+    testing::Combine(testing::Values(101, 202, 303, 404),
+                     testing::Values(1, 2, 4, 8),
+                     testing::Values(1, 2, 3),
+                     testing::Values(0, 1))); // Col, Row
+
+TEST(Trace, DependencyRespectedInTimeline)
+{
+    Rng rng(9);
+    const CsrMatrix a_csr = generateUniform(24, 24, 0.3, rng);
+    const CscMatrix a = csrToCsc(a_csr);
+    const int dep = 2;
+    const TimelineTrace trace =
+        traceSchedule(a, SchedulerKind::Col, 4, dep);
+    for (const PeTimeline &pe : trace.pes) {
+        std::map<int, std::size_t> last;
+        for (std::size_t t = 0; t < pe.slots.size(); ++t) {
+            const int row = pe.slots[t];
+            if (row < 0)
+                continue;
+            auto it = last.find(row);
+            if (it != last.end()) {
+                EXPECT_GE(t, it->second + dep);
+            }
+            last[row] = t;
+        }
+    }
+}
+
+TEST(Trace, AllElementsIssuedExactlyOnce)
+{
+    Rng rng(10);
+    const CsrMatrix a_csr = generateUniform(20, 20, 0.25, rng);
+    const CscMatrix a = csrToCsc(a_csr);
+    const TimelineTrace trace =
+        traceSchedule(a, SchedulerKind::Row, 3, 2);
+    Offset issued = 0;
+    for (const PeTimeline &pe : trace.pes)
+        for (int slot : pe.slots)
+            if (slot >= 0)
+                ++issued;
+    EXPECT_EQ(issued, a_csr.nnz());
+}
+
+TEST(Trace, RenderMentionsCyclesAndBubbles)
+{
+    Rng rng(11);
+    const CscMatrix a = csrToCsc(generateUniform(8, 8, 0.4, rng));
+    const TimelineTrace trace =
+        traceSchedule(a, SchedulerKind::Col, 2, 2);
+    const std::string out = trace.render();
+    EXPECT_NE(out.find("PE0"), std::string::npos);
+    EXPECT_NE(out.find("cycles:"), std::string::npos);
+}
+
+} // namespace
+} // namespace misam

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the SpGEMM/SpMM reference kernels: value correctness against
+ * a dense reference, cross-dataflow agreement (the property that all
+ * three dataflows compute the same product), and the symbolic counters
+ * (multiply count, output nnz, compression factor) the cost models use.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sparse/convert.hh"
+#include "sparse/generate.hh"
+#include "sparse/spgemm.hh"
+#include "sparse/spmm.hh"
+
+namespace misam {
+namespace {
+
+/** Dense reference product. */
+DenseMatrix
+denseRef(const CsrMatrix &a, const CsrMatrix &b)
+{
+    const DenseMatrix da = csrToDense(a);
+    const DenseMatrix db = csrToDense(b);
+    DenseMatrix c(a.rows(), b.cols());
+    for (Index i = 0; i < a.rows(); ++i)
+        for (Index k = 0; k < a.cols(); ++k)
+            for (Index j = 0; j < b.cols(); ++j)
+                c.at(i, j) += da.at(i, k) * db.at(k, j);
+    return c;
+}
+
+bool
+matchesDense(const CsrMatrix &c, const DenseMatrix &ref, double tol = 1e-9)
+{
+    if (c.rows() != ref.rows() || c.cols() != ref.cols())
+        return false;
+    const DenseMatrix dc = csrToDense(c);
+    for (Index r = 0; r < ref.rows(); ++r)
+        for (Index col = 0; col < ref.cols(); ++col)
+            if (std::abs(dc.at(r, col) - ref.at(r, col)) > tol)
+                return false;
+    return true;
+}
+
+TEST(Spgemm, IdentityTimesMatrix)
+{
+    Rng rng(1);
+    const CsrMatrix a = generateDiagonal(8, rng);
+    const CsrMatrix b = generateUniform(8, 8, 0.4, rng);
+    // Diagonal values are random, so compare against the dense product.
+    EXPECT_TRUE(matchesDense(spgemmRowWise(a, b), denseRef(a, b)));
+}
+
+TEST(Spgemm, KnownSmallProduct)
+{
+    // A = [1 2; 0 3], B = [4 0; 1 5] -> C = [6 10; 3 15]
+    CooMatrix ca(2, 2), cb(2, 2);
+    ca.addEntry(0, 0, 1.0);
+    ca.addEntry(0, 1, 2.0);
+    ca.addEntry(1, 1, 3.0);
+    cb.addEntry(0, 0, 4.0);
+    cb.addEntry(1, 0, 1.0);
+    cb.addEntry(1, 1, 5.0);
+    const CsrMatrix c =
+        spgemmRowWise(cooToCsr(std::move(ca)), cooToCsr(std::move(cb)));
+    const DenseMatrix d = csrToDense(c);
+    EXPECT_DOUBLE_EQ(d.at(0, 0), 6.0);
+    EXPECT_DOUBLE_EQ(d.at(0, 1), 10.0);
+    EXPECT_DOUBLE_EQ(d.at(1, 0), 3.0);
+    EXPECT_DOUBLE_EQ(d.at(1, 1), 15.0);
+}
+
+TEST(Spgemm, EmptyOperandsGiveEmptyProduct)
+{
+    const CsrMatrix a(4, 5);
+    const CsrMatrix b(5, 3);
+    for (auto df : {SpgemmDataflow::RowWise, SpgemmDataflow::InnerProduct,
+                    SpgemmDataflow::OuterProduct}) {
+        const CsrMatrix c = spgemm(a, b, df);
+        EXPECT_EQ(c.rows(), 4u);
+        EXPECT_EQ(c.cols(), 3u);
+        EXPECT_EQ(c.nnz(), 0u);
+    }
+}
+
+TEST(SpgemmDeath, DimensionMismatch)
+{
+    const CsrMatrix a(2, 3);
+    const CsrMatrix b(4, 2);
+    EXPECT_EXIT(spgemmRowWise(a, b), testing::ExitedWithCode(1),
+                "dimension mismatch");
+}
+
+TEST(Spgemm, DataflowNames)
+{
+    EXPECT_STREQ(dataflowName(SpgemmDataflow::InnerProduct), "IP");
+    EXPECT_STREQ(dataflowName(SpgemmDataflow::OuterProduct), "OP");
+    EXPECT_STREQ(dataflowName(SpgemmDataflow::RowWise), "RW");
+}
+
+/** Property sweep: all dataflows agree with the dense reference. */
+class SpgemmProperty
+    : public testing::TestWithParam<std::tuple<int, int, int, double,
+                                               double>>
+{
+};
+
+TEST_P(SpgemmProperty, AllDataflowsMatchDenseReference)
+{
+    const auto [m, k, n, da, db] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(m * 31 + k * 7 + n));
+    const CsrMatrix a = generateUniform(m, k, da, rng);
+    const CsrMatrix b = generateUniform(k, n, db, rng);
+    const DenseMatrix ref = denseRef(a, b);
+
+    const CsrMatrix rw = spgemm(a, b, SpgemmDataflow::RowWise);
+    const CsrMatrix ip = spgemm(a, b, SpgemmDataflow::InnerProduct);
+    const CsrMatrix op = spgemm(a, b, SpgemmDataflow::OuterProduct);
+
+    EXPECT_TRUE(matchesDense(rw, ref));
+    EXPECT_TRUE(matchesDense(ip, ref));
+    EXPECT_TRUE(matchesDense(op, ref));
+    // Structures agree across dataflows up to numerically-cancelled
+    // entries; with random values cancellation has probability zero.
+    EXPECT_TRUE(rw.approxEqual(ip, 1e-9));
+    EXPECT_TRUE(rw.approxEqual(op, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpgemmProperty,
+    testing::Values(
+        std::make_tuple(8, 8, 8, 0.3, 0.3),
+        std::make_tuple(16, 8, 24, 0.2, 0.5),
+        std::make_tuple(32, 32, 32, 0.05, 0.05),
+        std::make_tuple(5, 40, 5, 0.5, 0.1),
+        std::make_tuple(64, 16, 8, 0.1, 0.9),
+        std::make_tuple(24, 24, 24, 1.0, 1.0),
+        std::make_tuple(30, 10, 30, 0.02, 0.02),
+        std::make_tuple(12, 50, 12, 0.08, 0.6)));
+
+/** Symbolic counters against brute force. */
+class SpgemmCounters
+    : public testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(SpgemmCounters, MultiplyCountMatchesBruteForce)
+{
+    const auto [n, d] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(n) * 977);
+    const CsrMatrix a = generateUniform(n, n, d, rng);
+    const CsrMatrix b = generateUniform(n, n, d, rng);
+
+    Offset expected = 0;
+    const CscMatrix a_csc = csrToCsc(a);
+    for (Index k = 0; k < a.cols(); ++k)
+        expected += a_csc.colNnz(k) * b.rowNnz(k);
+    EXPECT_EQ(spgemmMultiplyCount(a, b), expected);
+}
+
+TEST_P(SpgemmCounters, OutputNnzMatchesActualProduct)
+{
+    const auto [n, d] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(n) * 1009);
+    const CsrMatrix a = generateUniform(n, n, d, rng);
+    const CsrMatrix b = generateUniform(n, n, d, rng);
+    const CsrMatrix c = spgemmRowWise(a, b);
+    EXPECT_EQ(spgemmOutputNnz(a, b), c.nnz());
+}
+
+TEST_P(SpgemmCounters, CompressionFactorInUnitRange)
+{
+    const auto [n, d] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(n) * 1013);
+    const CsrMatrix a = generateUniform(n, n, d, rng);
+    const CsrMatrix b = generateUniform(n, n, d, rng);
+    const double cf = spgemmCompressionFactor(a, b);
+    EXPECT_GT(cf, 0.0);
+    EXPECT_LE(cf, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpgemmCounters,
+                         testing::Combine(testing::Values(8, 20, 48),
+                                          testing::Values(0.05, 0.2,
+                                                          0.6)));
+
+TEST(Spgemm, CompressionFactorEmptyProductIsOne)
+{
+    const CsrMatrix a(3, 3);
+    const CsrMatrix b(3, 3);
+    EXPECT_DOUBLE_EQ(spgemmCompressionFactor(a, b), 1.0);
+}
+
+// --------------------------------------------------------------------
+// SpMM
+// --------------------------------------------------------------------
+
+TEST(Spmm, MatchesDenseReference)
+{
+    Rng rng(9);
+    const CsrMatrix a = generateUniform(20, 15, 0.3, rng);
+    const DenseMatrix b = generateDense(15, 10, rng);
+    const DenseMatrix c = spmm(a, b);
+    const CsrMatrix b_csr = denseToCsr(b);
+    const DenseMatrix ref = denseRef(a, b_csr);
+    for (Index r = 0; r < 20; ++r)
+        for (Index j = 0; j < 10; ++j)
+            EXPECT_NEAR(c.at(r, j), ref.at(r, j), 1e-9);
+}
+
+TEST(Spmm, SparseAsDenseAgreesWithSpgemm)
+{
+    Rng rng(10);
+    const CsrMatrix a = generateUniform(16, 16, 0.25, rng);
+    const CsrMatrix b = generateUniform(16, 12, 0.5, rng);
+    const DenseMatrix c_spmm = spmm(a, csrToDense(b));
+    const CsrMatrix c_spgemm = spgemmRowWise(a, b);
+    const DenseMatrix c_ref = csrToDense(c_spgemm);
+    for (Index r = 0; r < 16; ++r)
+        for (Index j = 0; j < 12; ++j)
+            EXPECT_NEAR(c_spmm.at(r, j), c_ref.at(r, j), 1e-9);
+}
+
+TEST(SpmmDeath, DimensionMismatch)
+{
+    const CsrMatrix a(2, 3);
+    const DenseMatrix b(4, 2);
+    EXPECT_EXIT(spmm(a, b), testing::ExitedWithCode(1),
+                "dimension mismatch");
+}
+
+TEST(Spmm, MultiplyCount)
+{
+    Rng rng(11);
+    const CsrMatrix a = generateUniform(10, 10, 0.3, rng);
+    EXPECT_EQ(spmmMultiplyCount(a, 64), a.nnz() * 64);
+}
+
+} // namespace
+} // namespace misam

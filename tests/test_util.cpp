@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Unit tests for the utility layer: RNG determinism and distribution
+ * sanity, summary statistics, and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace misam {
+namespace {
+
+// --------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differences = 0;
+    for (int i = 0; i < 32; ++i)
+        if (a.next() != b.next())
+            ++differences;
+    EXPECT_GT(differences, 28);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(8);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.5, 2.5);
+        EXPECT_GE(u, -3.5);
+        EXPECT_LT(u, 2.5);
+    }
+}
+
+TEST(Rng, UniformIntBound)
+{
+    Rng rng(10);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.uniformInt(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all residues hit
+}
+
+TEST(Rng, UniformIntInclusiveRange)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(12);
+    const int n = 40000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalShifted)
+{
+    Rng rng(13);
+    const int n = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(14);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(15);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, PowerLawInRange)
+{
+    Rng rng(16);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.powerLaw(100, 2.0);
+        EXPECT_GE(v, 1u);
+        EXPECT_LE(v, 100u);
+    }
+}
+
+TEST(Rng, PowerLawSkewsSmall)
+{
+    Rng rng(17);
+    int small = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        if (rng.powerLaw(1000, 2.5) <= 5)
+            ++small;
+    // A heavy-tailed alpha=2.5 law concentrates most mass at tiny values.
+    EXPECT_GT(small, n / 2);
+}
+
+TEST(Rng, SampleDistinctProducesSortedUnique)
+{
+    Rng rng(18);
+    const auto sample = rng.sampleDistinct(100, 30);
+    ASSERT_EQ(sample.size(), 30u);
+    for (std::size_t i = 1; i < sample.size(); ++i)
+        EXPECT_LT(sample[i - 1], sample[i]);
+    for (std::uint64_t v : sample)
+        EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleDistinctFullRange)
+{
+    Rng rng(19);
+    const auto sample = rng.sampleDistinct(16, 16);
+    ASSERT_EQ(sample.size(), 16u);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(20);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(RngDeath, SampleDistinctRejectsOverdraw)
+{
+    Rng rng(21);
+    EXPECT_DEATH(rng.sampleDistinct(4, 5), "k > n");
+}
+
+// --------------------------------------------------------------------
+// stats
+// --------------------------------------------------------------------
+
+TEST(Stats, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, VarianceBasic)
+{
+    EXPECT_DOUBLE_EQ(variance({2.0, 4.0}), 1.0);
+    EXPECT_DOUBLE_EQ(variance({5.0}), 0.0);
+}
+
+TEST(Stats, StddevBasic)
+{
+    EXPECT_DOUBLE_EQ(stddev({2.0, 4.0}), 1.0);
+}
+
+TEST(Stats, GeomeanBasic)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(StatsDeath, GeomeanRejectsNonPositive)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "non-positive");
+}
+
+TEST(Stats, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minValue({3.0, 1.0, 2.0}), 1.0);
+    EXPECT_DOUBLE_EQ(maxValue({3.0, 1.0, 2.0}), 3.0);
+}
+
+TEST(Stats, QuantileMedianAndExtremes)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(Stats, QuantileInterpolates)
+{
+    EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Stats, MeanAbsoluteError)
+{
+    EXPECT_DOUBLE_EQ(meanAbsoluteError({1.0, 2.0}, {2.0, 0.0}), 1.5);
+    EXPECT_DOUBLE_EQ(meanAbsoluteError({}, {}), 0.0);
+}
+
+TEST(Stats, RSquaredPerfectFit)
+{
+    EXPECT_DOUBLE_EQ(rSquared({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 1.0);
+}
+
+TEST(Stats, RSquaredMeanPredictor)
+{
+    // Predicting the mean gives R^2 = 0.
+    EXPECT_NEAR(rSquared({1.0, 2.0, 3.0}, {2.0, 2.0, 2.0}), 0.0, 1e-12);
+}
+
+TEST(Stats, RunningStatsMatchesBatch)
+{
+    RunningStats rs;
+    const std::vector<double> xs{1.0, 5.0, 2.5, 9.0, 4.0};
+    for (double x : xs)
+        rs.add(x);
+    EXPECT_EQ(rs.count(), xs.size());
+    EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+    EXPECT_NEAR(rs.geomean(), geomean(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(Stats, RunningStatsEmpty)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+// --------------------------------------------------------------------
+// table formatting
+// --------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t({"Name", "Value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "12345"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("12345"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableDeath, RejectsArityMismatch)
+{
+    TextTable t({"A", "B"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(Table, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(Table, FormatSpeedup)
+{
+    EXPECT_EQ(formatSpeedup(10.756, 2), "10.76x");
+}
+
+TEST(Table, FormatScientific)
+{
+    EXPECT_EQ(formatScientific(9.3e-5, 1), "9.3e-05");
+}
+
+TEST(Table, FormatCount)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1930655), "1,930,655");
+}
+
+TEST(Table, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.3320), "33.20%");
+}
+
+TEST(Table, FormatBarClampsAndFills)
+{
+    EXPECT_EQ(formatBar(0.5, 4), "##..");
+    EXPECT_EQ(formatBar(-1.0, 4), "....");
+    EXPECT_EQ(formatBar(2.0, 4), "####");
+}
+
+TEST(Logging, VerboseToggle)
+{
+    const bool was = verboseLogging();
+    setVerboseLogging(true);
+    EXPECT_TRUE(verboseLogging());
+    setVerboseLogging(false);
+    EXPECT_FALSE(verboseLogging());
+    setVerboseLogging(was);
+}
+
+} // namespace
+} // namespace misam

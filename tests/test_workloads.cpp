@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tests for the workload layer: SuiteSparse proxies (Table 3 fidelity),
+ * DNN layer tables and pruning, the 116-workload evaluation suite, and
+ * the training-set generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/features.hh"
+#include "reconfig/engine.hh"
+#include "workloads/dnn.hh"
+#include "workloads/suite.hh"
+#include "workloads/suitesparse_synth.hh"
+#include "workloads/training_data.hh"
+
+namespace misam {
+namespace {
+
+// --------------------------------------------------------------------
+// SuiteSparse proxies
+// --------------------------------------------------------------------
+
+TEST(SuiteSparse, TableHasSixteenEntries)
+{
+    EXPECT_EQ(suiteSparseTable().size(), 16u);
+}
+
+TEST(SuiteSparse, Table3ValuesSpotCheck)
+{
+    const SuiteSparseProxyInfo &p2p = suiteSparseInfo("p2p");
+    EXPECT_EQ(p2p.name, "p2p-Gnutella24");
+    EXPECT_EQ(p2p.rows, 26518u);
+    EXPECT_EQ(p2p.nnz, 65369u);
+    EXPECT_NEAR(p2p.density, 9.3e-5, 1e-9);
+
+    const SuiteSparseProxyInfo &gup = suiteSparseInfo("gupta2");
+    EXPECT_EQ(gup.rows, 62064u);
+    EXPECT_EQ(gup.nnz, 4248286u);
+}
+
+TEST(SuiteSparse, LookupByIdAndName)
+{
+    EXPECT_EQ(&suiteSparseInfo("sc"), &suiteSparseInfo("scircuit"));
+}
+
+TEST(SuiteSparseDeath, UnknownMatrix)
+{
+    EXPECT_EXIT(suiteSparseInfo("does-not-exist"),
+                testing::ExitedWithCode(1), "unknown matrix");
+}
+
+TEST(SuiteSparse, ProxyPreservesAverageDegree)
+{
+    Rng rng(1);
+    for (const char *id : {"p2p", "poi", "sc"}) {
+        const SuiteSparseProxyInfo &info = suiteSparseInfo(id);
+        const CsrMatrix m = generateSuiteSparseProxy(info, 0.1, rng);
+        const double want_degree =
+            static_cast<double>(info.nnz) / info.rows;
+        const double got_degree =
+            static_cast<double>(m.nnz()) / m.rows();
+        EXPECT_NEAR(got_degree / want_degree, 1.0, 0.45) << id;
+        EXPECT_NEAR(static_cast<double>(m.rows()),
+                    static_cast<double>(info.rows) * 0.1,
+                    info.rows * 0.02);
+    }
+}
+
+TEST(SuiteSparse, PowerLawProxiesAreImbalanced)
+{
+    Rng rng(2);
+    const CsrMatrix graph = generateSuiteSparseProxy("astro", 0.2, rng);
+    const CsrMatrix band = generateSuiteSparseProxy("good", 0.2, rng);
+    const MatrixStats sg = computeMatrixStats(graph);
+    const MatrixStats sb = computeMatrixStats(band);
+    EXPECT_GT(sg.row.imbalance, sb.row.imbalance);
+}
+
+TEST(SuiteSparseDeath, RejectsBadScale)
+{
+    Rng rng(3);
+    EXPECT_EXIT(generateSuiteSparseProxy("p2p", 0.0, rng),
+                testing::ExitedWithCode(1), "scale");
+    EXPECT_EXIT(generateSuiteSparseProxy("p2p", 2.0, rng),
+                testing::ExitedWithCode(1), "scale");
+}
+
+// --------------------------------------------------------------------
+// DNN workloads
+// --------------------------------------------------------------------
+
+TEST(Dnn, LayerTablesNonEmpty)
+{
+    EXPECT_GE(resnet50Layers().size(), 10u);
+    EXPECT_GE(vgg16Layers().size(), 8u);
+    EXPECT_GE(mobilenetLayers().size(), 4u);
+    EXPECT_GE(convnextLayers().size(), 4u);
+}
+
+TEST(Dnn, PrunedWeightsHitDensity)
+{
+    Rng rng(4);
+    const DnnLayer layer = resnet50Layers()[8]; // 1024x256
+    for (double d : {0.1, 0.2}) {
+        const CsrMatrix w = generatePrunedWeights(layer, d, rng);
+        EXPECT_EQ(w.rows(), layer.m);
+        EXPECT_EQ(w.cols(), layer.k);
+        EXPECT_NEAR(w.density(), d, 0.05);
+    }
+}
+
+TEST(Dnn, ActivationsDense)
+{
+    Rng rng(5);
+    const DnnLayer layer = vgg16Layers()[0];
+    const CsrMatrix act = generateActivations(layer, 64, rng);
+    EXPECT_EQ(act.rows(), layer.k);
+    EXPECT_EQ(act.cols(), 64u);
+    EXPECT_DOUBLE_EQ(act.density(), 1.0);
+}
+
+TEST(Dnn, SparseActivationsHitDensity)
+{
+    Rng rng(6);
+    const DnnLayer layer = vgg16Layers()[1];
+    const CsrMatrix act =
+        generateSparseActivations(layer, 128, 0.4, rng);
+    EXPECT_NEAR(act.density(), 0.4, 0.05);
+}
+
+TEST(DnnDeath, RejectsBadDensity)
+{
+    Rng rng(7);
+    EXPECT_EXIT(generatePrunedWeights(resnet50Layers()[0], 0.0, rng),
+                testing::ExitedWithCode(1), "density");
+}
+
+// --------------------------------------------------------------------
+// evaluation suite
+// --------------------------------------------------------------------
+
+SuiteConfig
+tinySuite()
+{
+    SuiteConfig cfg;
+    cfg.hs_scale = 0.02;
+    cfg.dense_cols = 64;
+    return cfg;
+}
+
+TEST(Suite, CategoryNames)
+{
+    EXPECT_STREQ(categoryName(WorkloadCategory::MSxD), "MSxD");
+    EXPECT_STREQ(categoryName(WorkloadCategory::HSxHS), "HSxHS");
+}
+
+TEST(Suite, PaperWorkloadCounts)
+{
+    const SuiteConfig cfg = tinySuite();
+    EXPECT_EQ(buildCategory(WorkloadCategory::MSxD, cfg).size(), 15u);
+    EXPECT_EQ(buildCategory(WorkloadCategory::MSxMS, cfg).size(), 38u);
+    EXPECT_EQ(buildCategory(WorkloadCategory::HSxD, cfg).size(), 12u);
+    EXPECT_EQ(buildCategory(WorkloadCategory::HSxMS, cfg).size(), 36u);
+    EXPECT_EQ(buildCategory(WorkloadCategory::HSxHS, cfg).size(), 12u);
+}
+
+TEST(Suite, FullSuiteMatchesCategorySum)
+{
+    // The paper says "116 workloads" but its per-category counts
+    // (15 + 38 + 12 + 36 + 12) sum to 113; we follow the per-category
+    // numbers and note the discrepancy in EXPERIMENTS.md.
+    const auto suite = buildEvaluationSuite(tinySuite());
+    EXPECT_EQ(suite.size(), 113u);
+}
+
+TEST(Suite, DimensionsAlwaysCompatible)
+{
+    for (const Workload &w : buildEvaluationSuite(tinySuite()))
+        EXPECT_EQ(w.a.cols(), w.b.rows()) << w.name;
+}
+
+TEST(Suite, HsXHsIsSelfMultiplication)
+{
+    for (const Workload &w :
+         buildCategory(WorkloadCategory::HSxHS, tinySuite())) {
+        EXPECT_EQ(w.a, w.b) << w.name;
+    }
+}
+
+TEST(Suite, HsXDUsesDenseB)
+{
+    const SuiteConfig cfg = tinySuite();
+    for (const Workload &w : buildCategory(WorkloadCategory::HSxD, cfg)) {
+        EXPECT_DOUBLE_EQ(w.b.density(), 1.0) << w.name;
+        EXPECT_EQ(w.b.cols(), cfg.dense_cols);
+    }
+}
+
+TEST(Suite, HsOperandsAreHighlySparse)
+{
+    // Proxies preserve average row degree, so density scales inversely
+    // with the proxy scale; use a moderate scale for the check.
+    SuiteConfig cfg = tinySuite();
+    cfg.hs_scale = 0.05;
+    for (const Workload &w : buildCategory(WorkloadCategory::HSxMS, cfg)) {
+        EXPECT_LT(w.a.density(), 0.3) << w.name;
+        EXPECT_GE(w.b.density(), 0.1) << w.name;
+    }
+}
+
+TEST(Suite, TwelveEvaluationHsMatrices)
+{
+    EXPECT_EQ(evaluationHsIds().size(), 12u);
+    for (const std::string &id : evaluationHsIds())
+        EXPECT_NO_FATAL_FAILURE(suiteSparseInfo(id));
+}
+
+TEST(Suite, DeterministicForSameConfig)
+{
+    const auto a = buildCategory(WorkloadCategory::MSxD, tinySuite());
+    const auto b = buildCategory(WorkloadCategory::MSxD, tinySuite());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].a, b[i].a);
+    }
+}
+
+TEST(Suite, FormatDensityTags)
+{
+    EXPECT_EQ(formatDensity(0.1), "0.1");
+    EXPECT_EQ(formatDensity(0.25), "0.25");
+}
+
+// --------------------------------------------------------------------
+// training data
+// --------------------------------------------------------------------
+
+TEST(TrainingData, GeneratesRequestedCount)
+{
+    const auto samples =
+        generateTrainingSamples({.num_samples = 40, .seed = 9,
+                                 .max_dim = 256});
+    EXPECT_EQ(samples.size(), 40u);
+}
+
+TEST(TrainingData, LabelsAreArgminOfResults)
+{
+    const auto samples =
+        generateTrainingSamples({.num_samples = 25, .seed = 10,
+                                 .max_dim = 256});
+    for (const TrainingSample &s : samples) {
+        const int label = s.best_design;
+        ASSERT_GE(label, 0);
+        ASSERT_LT(label, static_cast<int>(kNumDesigns));
+        for (const SimResult &r : s.results)
+            EXPECT_LE(s.results[static_cast<std::size_t>(label)]
+                          .exec_seconds,
+                      r.exec_seconds);
+    }
+}
+
+TEST(TrainingData, ClassifierDatasetShape)
+{
+    const auto samples =
+        generateTrainingSamples({.num_samples = 20, .seed = 11,
+                                 .max_dim = 256});
+    const Dataset data = toClassifierDataset(samples);
+    EXPECT_EQ(data.size(), 20u);
+    EXPECT_EQ(data.numFeatures(), kNumFeatures);
+}
+
+TEST(TrainingData, LatencyDatasetHasRowPerDesign)
+{
+    const auto samples =
+        generateTrainingSamples({.num_samples = 15, .seed = 12,
+                                 .max_dim = 256});
+    const Dataset data = toLatencyDataset(samples);
+    EXPECT_EQ(data.size(), 15u * kNumDesigns);
+    EXPECT_EQ(data.numFeatures(), kAugmentedFeatures);
+    // Targets are log2 seconds: invertible and finite.
+    for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_TRUE(std::isfinite(data.target(i)));
+}
+
+TEST(TrainingData, DeterministicBySeed)
+{
+    const TrainingDataConfig cfg{.num_samples = 10, .seed = 13,
+                                 .max_dim = 128};
+    const auto a = generateTrainingSamples(cfg);
+    const auto b = generateTrainingSamples(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].best_design, b[i].best_design);
+        EXPECT_DOUBLE_EQ(a[i].results[0].total_cycles,
+                         b[i].results[0].total_cycles);
+    }
+}
+
+TEST(TrainingDataDeath, RejectsZeroSamples)
+{
+    EXPECT_EXIT(generateTrainingSamples({.num_samples = 0}),
+                testing::ExitedWithCode(1), "zero samples");
+}
+
+} // namespace
+} // namespace misam

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * misam — command-line front end to the framework.
+ *
+ * Subcommands:
+ *   train     --out FILE [--samples N] [--seed S] [--energy-weight W]
+ *             Synthesize a training set, train selector + latency
+ *             model, and persist the framework.
+ *   predict   --model FILE --matrix A.mtx
+ *             [--b B.mtx | --dense-cols N | --self]
+ *             Load a trained framework and report the full decision
+ *             pipeline for the workload.
+ *   analyze   --matrix A.mtx [--b B.mtx | --dense-cols N | --self]
+ *             Print the paper's feature set for a workload.
+ *   simulate  --matrix A.mtx [--b B.mtx | --dense-cols N | --self]
+ *             Run all four design simulators and print the comparison.
+ *   dataset   --out FILE.csv [--samples N] [--seed S]
+ *             Export (features, per-design latency, label) rows as CSV
+ *             for external ML experimentation.
+ *   detail    --matrix A.mtx [--design 1..4] [B flags]
+ *             Per-tile phase breakdown (ch_A / ch_B / compute bound)
+ *             of one design's execution; defaults to the fastest.
+ *
+ * Matrices are Matrix Market files; B defaults to --self (A x A).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "core/misam.hh"
+#include "core/persistence.hh"
+#include "sparse/generate.hh"
+#include "sparse/convert.hh"
+#include "sparse/io.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workloads/training_data.hh"
+
+using namespace misam;
+
+namespace {
+
+/** Minimal --flag value parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv) : argc_(argc), argv_(argv) {}
+
+    std::optional<std::string>
+    value(const char *flag) const
+    {
+        for (int i = 2; i + 1 < argc_; ++i)
+            if (std::strcmp(argv_[i], flag) == 0)
+                return std::string(argv_[i + 1]);
+        return std::nullopt;
+    }
+
+    bool
+    has(const char *flag) const
+    {
+        for (int i = 2; i < argc_; ++i)
+            if (std::strcmp(argv_[i], flag) == 0)
+                return true;
+        return false;
+    }
+
+    std::string
+    require(const char *flag) const
+    {
+        auto v = value(flag);
+        if (!v)
+            fatal("missing required flag ", flag);
+        return *v;
+    }
+
+    std::size_t
+    sizeOr(const char *flag, std::size_t fallback) const
+    {
+        auto v = value(flag);
+        return v ? std::strtoull(v->c_str(), nullptr, 10) : fallback;
+    }
+
+    double
+    doubleOr(const char *flag, double fallback) const
+    {
+        auto v = value(flag);
+        return v ? std::strtod(v->c_str(), nullptr) : fallback;
+    }
+
+  private:
+    int argc_;
+    char **argv_;
+};
+
+/** Resolve the (A, B) pair from the matrix flags. */
+std::pair<CsrMatrix, CsrMatrix>
+loadWorkload(const Args &args)
+{
+    const CsrMatrix a =
+        cooToCsr(readMatrixMarketFile(args.require("--matrix")));
+    if (auto b_path = args.value("--b"))
+        return {a, cooToCsr(readMatrixMarketFile(*b_path))};
+    if (auto cols = args.value("--dense-cols")) {
+        Rng rng(1);
+        const auto n = static_cast<Index>(
+            std::strtoul(cols->c_str(), nullptr, 10));
+        return {a, generateDenseCsr(a.cols(), n, rng)};
+    }
+    if (a.rows() != a.cols())
+        fatal("--self needs a square matrix; pass --b or --dense-cols");
+    return {a, a};
+}
+
+int
+cmdTrain(const Args &args)
+{
+    const std::string out = args.require("--out");
+    const std::size_t n = args.sizeOr("--samples", 600);
+    const auto seed = static_cast<std::uint64_t>(
+        args.sizeOr("--seed", 7));
+    const double energy_w = args.doubleOr("--energy-weight", 0.0);
+
+    std::printf("generating %zu training samples (seed %llu)...\n", n,
+                static_cast<unsigned long long>(seed));
+    const auto samples =
+        generateTrainingSamples({.num_samples = n, .seed = seed});
+
+    MisamConfig config;
+    config.objective = Objective::weighted(1.0 - energy_w, energy_w);
+    MisamFramework misam(config);
+    const TrainingReport report = misam.train(samples);
+
+    std::printf("selector: accuracy %.1f%% (cv %.1f%%), %zu nodes, %zu "
+                "bytes\n",
+                report.selector_accuracy * 100,
+                report.selector_cv_accuracy * 100, report.selector_nodes,
+                report.selector_size_bytes);
+    std::printf("latency model: MAE(log2) %.3f, R^2 %.3f\n",
+                report.latency_mae_log2, report.latency_r2);
+    saveFrameworkFile(out, misam);
+    std::printf("framework saved to %s\n", out.c_str());
+    return 0;
+}
+
+int
+cmdPredict(const Args &args)
+{
+    MisamFramework misam = loadFrameworkFile(args.require("--model"));
+    auto [a, b] = loadWorkload(args);
+
+    ExecutionReport rep = misam.execute(a, b);
+    TextTable table({"Stage", "Result"});
+    table.addRow({"workload", std::to_string(a.rows()) + "x" +
+                                  std::to_string(a.cols()) + " * " +
+                                  std::to_string(b.rows()) + "x" +
+                                  std::to_string(b.cols())});
+    table.addRow({"predicted design", designName(rep.predicted)});
+    table.addRow({"engine choice",
+                  std::string(designName(rep.decision.chosen)) +
+                      (rep.decision.reconfigure ? " (reconfigure)"
+                                                : " (keep bitstream)")});
+    table.addRow({"modeled exec",
+                  formatDouble(rep.sim.exec_seconds * 1e3, 4) + " ms"});
+    table.addRow({"PE utilization",
+                  formatPercent(rep.sim.pe_utilization, 1)});
+    table.addRow({"modeled energy",
+                  formatDouble(rep.sim.energy_joules * 1e3, 3) + " mJ"});
+    table.addRow({"host overhead",
+                  formatDouble((rep.breakdown.preprocess_s +
+                                rep.breakdown.inference_s +
+                                rep.breakdown.engine_s) *
+                                   1e3,
+                               3) +
+                      " ms"});
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    auto [a, b] = loadWorkload(args);
+    const FeatureVector f = extractFeatures(a, b);
+    TextTable table({"Feature", "Value"});
+    for (std::size_t i = 0; i < kNumFeatures; ++i)
+        table.addRow({featureName(i), formatScientific(f.values[i], 4)});
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    auto [a, b] = loadWorkload(args);
+    const auto sims = simulateAllDesigns(a, b);
+    TextTable table({"Design", "Cycles", "Exec (ms)", "PE util",
+                     "Energy (mJ)", "Tiles"});
+    for (const SimResult &r : sims) {
+        table.addRow({designName(r.design),
+                      formatCount(static_cast<std::uint64_t>(
+                          r.total_cycles)),
+                      formatDouble(r.exec_seconds * 1e3, 4),
+                      formatPercent(r.pe_utilization, 1),
+                      formatDouble(r.energy_joules * 1e3, 3),
+                      std::to_string(r.num_tiles)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("fastest: %s\n", designName(fastestDesign(sims)));
+    return 0;
+}
+
+int
+cmdDetail(const Args &args)
+{
+    auto [a, b] = loadWorkload(args);
+    const auto design = args.value("--design");
+    const DesignId id =
+        design ? static_cast<DesignId>(
+                     std::strtol(design->c_str(), nullptr, 10) - 1)
+               : fastestDesign(simulateAllDesigns(a, b));
+    if (static_cast<int>(id) < 0 ||
+        static_cast<int>(id) >= static_cast<int>(kNumDesigns))
+        fatal("--design must be 1..4");
+
+    const DetailedSimResult detailed =
+        simulateDesignDetailed(designConfig(id), a, b);
+    std::printf("%s: %d tiles, %.4f ms total\n", designName(id),
+                detailed.summary.num_tiles,
+                detailed.summary.exec_seconds * 1e3);
+    TextTable table({"Tile (B rows)", "A nnz", "read A", "read B",
+                     "compute", "bound by", "PE util"});
+    for (const TileBreakdown &t : detailed.tiles) {
+        const char *bound =
+            t.bottleneckCycles() == t.compute_cycles ? "compute"
+            : t.bottleneckCycles() == t.read_b_cycles ? "ch_B"
+                                                      : "ch_A";
+        table.addRow({"[" + std::to_string(t.k_range.k_lo) + "," +
+                          std::to_string(t.k_range.k_hi) + ")",
+                      formatCount(t.a_elements),
+                      formatCount(t.read_a_cycles),
+                      formatCount(t.read_b_cycles),
+                      formatCount(t.compute_cycles), bound,
+                      formatPercent(t.pe_utilization, 1)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdDataset(const Args &args)
+{
+    const std::string out = args.require("--out");
+    const std::size_t n = args.sizeOr("--samples", 600);
+    const auto seed = static_cast<std::uint64_t>(
+        args.sizeOr("--seed", 7));
+
+    std::printf("generating %zu samples...\n", n);
+    const auto samples =
+        generateTrainingSamples({.num_samples = n, .seed = seed});
+
+    std::ofstream csv(out);
+    if (!csv)
+        fatal("cannot create ", out);
+    for (std::size_t i = 0; i < kNumFeatures; ++i)
+        csv << featureName(i) << ',';
+    csv << "latency_d1,latency_d2,latency_d3,latency_d4,best_design\n";
+    for (const TrainingSample &s : samples) {
+        for (double v : s.features.values)
+            csv << v << ',';
+        for (const SimResult &r : s.results)
+            csv << r.exec_seconds << ',';
+        csv << s.best_design << '\n';
+    }
+    std::printf("wrote %zu rows to %s\n", samples.size(), out.c_str());
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: misam <train|predict|analyze|simulate|dataset> "
+        "[flags]\n"
+        "  train    --out FILE [--samples N] [--seed S] "
+        "[--energy-weight W]\n"
+        "  predict  --model FILE --matrix A.mtx [--b B.mtx | "
+        "--dense-cols N | --self]\n"
+        "  analyze  --matrix A.mtx [--b B.mtx | --dense-cols N | "
+        "--self]\n"
+        "  simulate --matrix A.mtx [--b B.mtx | --dense-cols N | "
+        "--self]\n"
+        "  dataset  --out FILE.csv [--samples N] [--seed S]\n"
+        "  detail   --matrix A.mtx [--design 1..4] [B flags]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const Args args(argc, argv);
+    const std::string cmd = argv[1];
+    if (cmd == "train")
+        return cmdTrain(args);
+    if (cmd == "predict")
+        return cmdPredict(args);
+    if (cmd == "analyze")
+        return cmdAnalyze(args);
+    if (cmd == "simulate")
+        return cmdSimulate(args);
+    if (cmd == "dataset")
+        return cmdDataset(args);
+    if (cmd == "detail")
+        return cmdDetail(args);
+    usage();
+    return 2;
+}
