@@ -24,13 +24,40 @@
 using namespace misam;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Ablation — training-set size, objectives, weighting",
                   "Section 3.1 / Section 5.1");
 
     const std::size_t n_max = bench::benchSamples();
-    const auto samples = bench::benchTrainingSamples(n_max, 23);
+    const unsigned threads = bench::benchThreads(argc, argv);
+
+    // Label generation dominates bench wall clock; time the simulator-
+    // labeled sample pipeline serial vs parallel. Per-index Rng streams
+    // make the two runs bit-identical.
+    std::printf("0. sample generation wall clock (%zu samples, 4 design "
+                "sims each):\n\n",
+                n_max);
+    Stopwatch gen_timer;
+    const auto serial_samples = bench::benchTrainingSamples(n_max, 23, 1);
+    const double serial_s = gen_timer.elapsedSeconds();
+    gen_timer.restart();
+    const auto samples = bench::benchTrainingSamples(n_max, 23, threads);
+    const double parallel_s = gen_timer.elapsedSeconds();
+    bool identical = serial_samples.size() == samples.size();
+    for (std::size_t i = 0; identical && i < samples.size(); ++i)
+        identical = serial_samples[i].best_design == samples[i].best_design &&
+                    serial_samples[i].features.toVector() ==
+                        samples[i].features.toVector();
+    TextTable gen_table({"mode", "threads", "seconds", "speedup"});
+    gen_table.addRow({"serial", "1", formatDouble(serial_s, 2), "1.00x"});
+    gen_table.addRow({"parallel", std::to_string(threads),
+                      formatDouble(parallel_s, 2),
+                      formatDouble(serial_s / std::max(parallel_s, 1e-12),
+                                   2) +
+                          "x"});
+    std::printf("%s(samples bit-identical across modes: %s)\n\n",
+                gen_table.render().c_str(), identical ? "yes" : "NO");
 
     std::printf("1. selector accuracy vs training-set size:\n\n");
     TextTable size_table({"samples", "val accuracy", "cv accuracy",

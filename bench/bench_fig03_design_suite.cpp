@@ -8,6 +8,7 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <vector>
 
 #include "bench/common.hh"
@@ -32,11 +33,12 @@ struct Case
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Figure 3 — design suite across diverse workloads",
                   "Figure 3, Section 2.2");
 
+    const unsigned threads = bench::benchThreads(argc, argv);
     Rng rng(31);
     const double scale = bench::benchScale();
     std::vector<Case> cases;
@@ -87,14 +89,40 @@ main()
                          std::move(b)});
     }
 
+    // Each (case, design) simulation is independent: run the grid once
+    // serially and once fanned out, and report both wall clocks.
+    std::vector<std::array<double, 3>> serial_secs(cases.size());
+    std::vector<std::array<double, 3>> secs_by_case(cases.size());
+    Stopwatch sim_timer;
+    for (std::size_t i = 0; i < cases.size(); ++i)
+        for (int d = 0; d < 3; ++d)
+            serial_secs[i][static_cast<std::size_t>(d)] =
+                simulateDesign(allDesigns()[d], cases[i].a, cases[i].b)
+                    .exec_seconds;
+    const double serial_s = sim_timer.elapsedSeconds();
+    sim_timer.restart();
+    parallelFor(
+        cases.size(),
+        [&](std::size_t i) {
+            for (int d = 0; d < 3; ++d)
+                secs_by_case[i][static_cast<std::size_t>(d)] =
+                    simulateDesign(allDesigns()[d], cases[i].a,
+                                   cases[i].b)
+                        .exec_seconds;
+        },
+        threads);
+    const double parallel_s = sim_timer.elapsedSeconds();
+    std::printf("case evaluation: serial %.2fs, parallel (%u threads) "
+                "%.2fs, results identical: %s\n\n",
+                serial_s, threads, parallel_s,
+                serial_secs == secs_by_case ? "yes" : "NO");
+
     TextTable table({"Workload", "Domain", "D1 (norm)", "D2 (norm)",
                      "D3 (norm)", "Best"});
     int wins[3] = {0, 0, 0};
-    for (const Case &c : cases) {
-        double secs[3];
-        for (int d = 0; d < 3; ++d)
-            secs[d] =
-                simulateDesign(allDesigns()[d], c.a, c.b).exec_seconds;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const Case &c = cases[i];
+        const std::array<double, 3> &secs = secs_by_case[i];
         const double best = std::min({secs[0], secs[1], secs[2]});
         int best_idx = 0;
         for (int d = 1; d < 3; ++d)

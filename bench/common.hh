@@ -7,6 +7,9 @@
  * Environment knobs (optional):
  *   MISAM_BENCH_SAMPLES  — training-set size override.
  *   MISAM_BENCH_SCALE    — HS proxy scale override (0 < s <= 1).
+ *   MISAM_THREADS        — worker threads for parallel stages; benches
+ *                          that parse argv also accept --threads=N,
+ *                          which wins over the environment.
  */
 
 #ifndef MISAM_BENCH_COMMON_HH
@@ -20,11 +23,31 @@
 #include "baselines/gpu_cusparse.hh"
 #include "core/misam.hh"
 #include "trapezoid/trapezoid.hh"
+#include "util/parallel.hh"
 #include "util/stats.hh"
 #include "workloads/suite.hh"
 #include "workloads/training_data.hh"
 
 namespace misam::bench {
+
+/**
+ * Thread count for parallel bench stages: --threads=N (or "--threads N")
+ * from argv, else MISAM_THREADS, else the hardware default.
+ */
+inline unsigned
+benchThreads(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--threads=", 0) == 0)
+            return resolveThreads(static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 10, nullptr, 10)));
+        if (arg == "--threads" && i + 1 < argc)
+            return resolveThreads(static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10)));
+    }
+    return resolveThreads(0);
+}
 
 /** Training-set size for selector benches (paper scale: 6,219). */
 inline std::size_t
@@ -44,11 +67,16 @@ benchScale(double fallback = 0.1)
     return fallback;
 }
 
-/** Generate the standard bench training set. */
+/** Generate the standard bench training set (0 threads = default). */
 inline std::vector<TrainingSample>
-benchTrainingSamples(std::size_t n, std::uint64_t seed = 7)
+benchTrainingSamples(std::size_t n, std::uint64_t seed = 7,
+                     unsigned threads = 0)
 {
-    return generateTrainingSamples({.num_samples = n, .seed = seed});
+    TrainingDataConfig cfg;
+    cfg.num_samples = n;
+    cfg.seed = seed;
+    cfg.threads = threads;
+    return generateTrainingSamples(cfg);
 }
 
 /** Train a framework on n samples and return both. */

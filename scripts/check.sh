@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+#
+# Full verification flow: the tier-1 build + test pass, then a
+# ThreadSanitizer build that runs the parallel-layer tests so data races
+# in the thread pool / sample fan-out are caught at check time.
+#
+# Usage: scripts/check.sh [--tsan-only]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tsan_only=0
+[[ "${1:-}" == "--tsan-only" ]] && tsan_only=1
+
+if [[ "$tsan_only" -eq 0 ]]; then
+    echo "== tier-1: build + ctest =="
+    cmake -B build -S .
+    cmake --build build -j
+    (cd build && ctest --output-on-failure -j)
+fi
+
+# TSan pass over the parallel tests. Skipped (with a notice) when the
+# toolchain has no libtsan — the container's compiler may not ship it.
+probe=$(mktemp /tmp/misam_tsan_probe.XXXXXX)
+if echo 'int main(){return 0;}' |
+    c++ -fsanitize=thread -x c++ - -o "$probe" 2>/dev/null; then
+    rm -f "$probe"
+    echo "== TSan: build + parallel tests =="
+    cmake -B build-tsan -S . -DMISAM_SANITIZE=thread \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build build-tsan -j --target test_parallel
+    (cd build-tsan && ctest --output-on-failure -R '^Parallel')
+else
+    rm -f "$probe"
+    echo "NOTICE: toolchain lacks ThreadSanitizer support; skipping" \
+         "the TSan pass."
+fi
+
+echo "check.sh: all passes complete"

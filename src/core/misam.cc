@@ -6,6 +6,7 @@
 #include "ml/metrics.hh"
 #include "sparse/convert.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/stats.hh"
 
 namespace misam {
@@ -35,8 +36,11 @@ MisamFramework::train(const std::vector<TrainingSample> &samples)
             bestDesignIndex(s.results, config_.objective));
     }
 
-    auto [train_set, valid_set] =
-        classifier_data.stratifiedSplit(config_.train_fraction, rng);
+    auto [train_idx, valid_idx] =
+        classifier_data.stratifiedSplitIndices(config_.train_fraction,
+                                               rng);
+    const Dataset train_set = classifier_data.subset(train_idx);
+    const Dataset valid_set = classifier_data.subset(valid_idx);
     selector_ = DecisionTree();
     selector_.fit(train_set, config_.selector_params,
                   train_set.classWeights());
@@ -52,6 +56,8 @@ MisamFramework::train(const std::vector<TrainingSample> &samples)
     report.feature_importances = selector_.featureImportances();
     report.selector_nodes = selector_.nodeCount();
     report.selector_size_bytes = selector_.sizeBytes();
+    report.training_indices = std::move(train_idx);
+    report.validation_indices = std::move(valid_idx);
 
     // Latency predictor on log2 seconds over (features, design) rows.
     Dataset latency_data = toLatencyDataset(samples);
@@ -68,16 +74,16 @@ MisamFramework::train(const std::vector<TrainingSample> &samples)
     }
     report.latency_nodes = latency_tree.nodeCount();
 
-    // Hit/miss quality on the validation split: on a correct prediction
-    // the win is over the runner-up design; on a miss the loss is versus
-    // the true optimum (paper: 1.31x gain / 1.06x slowdown).
+    // Hit/miss quality on the validation split only: on a correct
+    // prediction the win is over the runner-up design; on a miss the
+    // loss is versus the true optimum (paper: 1.31x gain / 1.06x
+    // slowdown). Classifier rows were added in sample order, so the
+    // split indices address the sample vector directly.
     {
-        // Recover the per-sample results for validation rows by matching
-        // feature vectors is fragile; instead evaluate on all samples
-        // with the trained selector (the split only affects fitting).
         std::vector<double> hit_speedups;
         std::vector<double> miss_slowdowns;
-        for (const TrainingSample &s : samples) {
+        for (const std::size_t sample_idx : report.validation_indices) {
+            const TrainingSample &s = samples[sample_idx];
             const int actual_best =
                 bestDesignIndex(s.results, config_.objective);
             const int predicted = selector_.predict(s.features.toVector());
@@ -192,12 +198,33 @@ MisamFramework::finishExecution(ExecutionReport report, const CsrMatrix &a,
 }
 
 BatchReport
-MisamFramework::executeBatch(const std::vector<BatchJob> &jobs)
+MisamFramework::executeBatch(const std::vector<BatchJob> &jobs,
+                             unsigned threads)
 {
     requireTrained();
+
+    // Feature extraction is pure per-job work — fan it out. The
+    // predict/decide/execute pass below must stay serial in job order:
+    // the engine's loaded-bitstream state carries from job to job.
+    std::vector<FeatureVector> features(jobs.size());
+    std::vector<double> preprocess_s(jobs.size(), 0.0);
+    parallelFor(
+        jobs.size(),
+        [&](std::size_t i) {
+            Stopwatch sw;
+            features[i] = extractFeatures(jobs[i].a, jobs[i].b);
+            preprocess_s[i] = sw.elapsedSeconds();
+        },
+        threads);
+
     BatchReport batch;
-    for (const BatchJob &job : jobs) {
-        ExecutionReport rep = execute(job.a, job.b, job.repetitions);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const BatchJob &job = jobs[i];
+        ExecutionReport partial;
+        partial.features = std::move(features[i]);
+        partial.breakdown.preprocess_s = preprocess_s[i];
+        ExecutionReport rep = finishExecution(std::move(partial), job.a,
+                                              job.b, job.repetitions);
         batch.total_execute_s +=
             rep.breakdown.execute_s * job.repetitions;
         batch.total_reconfig_s += rep.breakdown.reconfig_s;

@@ -65,10 +65,19 @@ struct TrainingReport
     /**
      * Geomean speedup of the predicted design over the previous default
      * when the prediction is correct / incorrect (paper: 1.31x gain on
-     * hits, 1.06x slowdown on misses).
+     * hits, 1.06x slowdown on misses). Computed on held-out validation
+     * samples only — never on rows the selector was fit on.
      */
     double hit_geomean_speedup = 1.0;
     double miss_geomean_slowdown = 1.0;
+
+    /**
+     * Row indices (into the training-sample vector) of the selector's
+     * train/validation split: disjoint, jointly covering every sample.
+     * All held-out metrics above are computed over validation_indices.
+     */
+    std::vector<std::size_t> training_indices;
+    std::vector<std::size_t> validation_indices;
 };
 
 /** Everything Misam did for one workload. */
@@ -173,9 +182,14 @@ class MisamFramework
     /**
      * Execute a sequence of jobs against one FPGA: the engine's loaded-
      * bitstream state persists across jobs, so early decisions shape
-     * later costs — the Figure 8 scenario as an API.
+     * later costs — the Figure 8 scenario as an API. Feature extraction
+     * is independent per job and fans out over `threads` workers
+     * (0 = MISAM_THREADS/hardware default); the predict/decide/execute
+     * pass stays serial in job order because bitstream state carries
+     * across jobs, so results are identical for any thread count.
      */
-    BatchReport executeBatch(const std::vector<BatchJob> &jobs);
+    BatchReport executeBatch(const std::vector<BatchJob> &jobs,
+                             unsigned threads = 0);
 
     /**
      * Streaming execution (§3.3): A is split into row tiles of random

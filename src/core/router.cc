@@ -4,6 +4,7 @@
 
 #include "ml/metrics.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/stats.hh"
 
 namespace misam {
@@ -70,6 +71,30 @@ evaluateDevices(const CsrMatrix &a, const CsrMatrix &b,
     return eval;
 }
 
+std::vector<RoutingSample>
+generateRoutingSamples(const TrainingDataConfig &cfg,
+                       const CpuConfig &cpu, const GpuConfig &gpu)
+{
+    if (cfg.num_samples == 0)
+        fatal("generateRoutingSamples: zero samples requested");
+    std::vector<RoutingSample> samples(cfg.num_samples);
+    parallelFor(
+        cfg.num_samples,
+        [&](std::size_t i) {
+            Rng rng(cfg.seed, i);
+            for (;;) {
+                auto [a, b] = generateWorkloadPair(cfg, rng);
+                if (a.nnz() == 0 || b.nnz() == 0)
+                    continue; // Degenerate draw; resample in-stream.
+                samples[i] = {extractFeatures(a, b),
+                              evaluateDevices(a, b, cpu, gpu)};
+                return;
+            }
+        },
+        cfg.threads);
+    return samples;
+}
+
 int
 bestDeviceIndex(const DeviceEvaluation &eval, const Objective &objective)
 {
@@ -108,7 +133,9 @@ DeviceRouter::train(const std::vector<RoutingSample> &samples,
                        bestDeviceIndex(s.evaluation, objective));
 
     Rng rng(seed);
-    auto [train_set, valid_set] = data.stratifiedSplit(0.7, rng);
+    auto [train_idx, valid_idx] = data.stratifiedSplitIndices(0.7, rng);
+    const Dataset train_set = data.subset(train_idx);
+    const Dataset valid_set = data.subset(valid_idx);
     tree_ = DecisionTree();
     tree_.fit(train_set, params_, train_set.classWeights());
     if (valid_set.size() > 0)
@@ -121,10 +148,14 @@ DeviceRouter::train(const std::vector<RoutingSample> &samples,
                                report.validation_predicted);
     report.tree_nodes = tree_.nodeCount();
     report.size_bytes = tree_.sizeBytes();
+    report.training_indices = std::move(train_idx);
+    report.validation_indices = std::move(valid_idx);
 
-    // Routed-vs-static-policy speedups over all samples.
+    // Routed-vs-static-policy speedups on held-out samples only (rows
+    // were added in sample order, so split indices address `samples`).
     RunningStats vs_cpu, vs_gpu, vs_fpga;
-    for (const RoutingSample &s : samples) {
+    for (const std::size_t sample_idx : report.validation_indices) {
+        const RoutingSample &s = samples[sample_idx];
         const int routed = tree_.predict(s.features.toVector());
         const double t_routed =
             s.evaluation.outcomes[static_cast<std::size_t>(routed)]

@@ -27,6 +27,7 @@
 #include "features/features.hh"
 #include "ml/decision_tree.hh"
 #include "sim/design_sim.hh"
+#include "workloads/training_data.hh"
 
 namespace misam {
 
@@ -76,6 +77,16 @@ struct RoutingSample
     DeviceEvaluation evaluation;
 };
 
+/**
+ * Generate cfg.num_samples labeled routing samples from the shared
+ * training population, evaluating every backend per sample. Fans out
+ * over cfg.threads workers; sample i draws from the Rng substream
+ * (cfg.seed, i), so output is identical for any thread count.
+ */
+std::vector<RoutingSample>
+generateRoutingSamples(const TrainingDataConfig &cfg,
+                       const CpuConfig &cpu = {}, const GpuConfig &gpu = {});
+
 /** Router training metrics. */
 struct RouterReport
 {
@@ -85,10 +96,15 @@ struct RouterReport
     std::size_t tree_nodes = 0;
     std::size_t size_bytes = 0;
     /** Geomean speedup of routed choice over always-CPU / always-GPU /
-     *  always-FPGA policies, on the validation set. */
+     *  always-FPGA policies, computed on held-out validation samples
+     *  only (never on rows the tree was fit on). */
     double speedup_vs_cpu_only = 1.0;
     double speedup_vs_gpu_only = 1.0;
     double speedup_vs_fpga_only = 1.0;
+    /** Sample indices of the train/validation split: disjoint, jointly
+     *  covering the input. Speedups above use validation_indices. */
+    std::vector<std::size_t> training_indices;
+    std::vector<std::size_t> validation_indices;
 };
 
 /**

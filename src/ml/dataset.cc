@@ -57,6 +57,14 @@ Dataset::subset(const std::vector<std::size_t> &indices) const
 std::pair<Dataset, Dataset>
 Dataset::stratifiedSplit(double train_fraction, Rng &rng) const
 {
+    auto [train_idx, valid_idx] =
+        stratifiedSplitIndices(train_fraction, rng);
+    return {subset(train_idx), subset(valid_idx)};
+}
+
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+Dataset::stratifiedSplitIndices(double train_fraction, Rng &rng) const
+{
     if (train_fraction <= 0.0 || train_fraction >= 1.0)
         fatal("stratifiedSplit: train_fraction must be in (0,1)");
 
@@ -70,14 +78,19 @@ Dataset::stratifiedSplit(double train_fraction, Rng &rng) const
     std::vector<std::size_t> train_idx, valid_idx;
     for (auto &bucket : buckets) {
         rng.shuffle(bucket);
-        const auto n_train =
+        auto n_train =
             static_cast<std::size_t>(train_fraction * bucket.size() + 0.5);
+        // A small bucket under a low fraction rounds to zero training
+        // rows, leaving the class only in validation — unpredictable by
+        // construction. Keep at least one row on the training side.
+        if (n_train == 0 && !bucket.empty())
+            n_train = 1;
         for (std::size_t j = 0; j < bucket.size(); ++j)
             (j < n_train ? train_idx : valid_idx).push_back(bucket[j]);
     }
     rng.shuffle(train_idx);
     rng.shuffle(valid_idx);
-    return {subset(train_idx), subset(valid_idx)};
+    return {std::move(train_idx), std::move(valid_idx)};
 }
 
 std::vector<std::vector<std::size_t>>

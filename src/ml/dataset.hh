@@ -67,10 +67,22 @@ class Dataset
 
     /**
      * Split into (train, validation) with `train_fraction` of each class
-     * in the training half (stratified), shuffled by `rng`.
+     * in the training half (stratified), shuffled by `rng`. Every
+     * non-empty class contributes at least one training row, so the
+     * tree can always learn to predict it.
      */
     std::pair<Dataset, Dataset> stratifiedSplit(double train_fraction,
                                                 Rng &rng) const;
+
+    /**
+     * Index form of stratifiedSplit: (train, validation) row indices
+     * into this dataset, disjoint and jointly covering every row.
+     * Callers that must evaluate on held-out *source* objects (e.g.
+     * TrainingSamples backing the rows 1:1) use these to avoid
+     * evaluating on rows the model was fit on.
+     */
+    std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+    stratifiedSplitIndices(double train_fraction, Rng &rng) const;
 
     /**
      * K-fold partition: returns k disjoint index sets covering the whole

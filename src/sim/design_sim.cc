@@ -10,6 +10,7 @@
 #include "sparse/convert.hh"
 #include "sparse/spgemm.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace misam {
 
@@ -235,12 +236,18 @@ simulateDesign(DesignId id, const CsrMatrix &a, const CsrMatrix &b)
 }
 
 std::array<SimResult, kNumDesigns>
-simulateAllDesigns(const CsrMatrix &a, const CsrMatrix &b)
+simulateAllDesigns(const CsrMatrix &a, const CsrMatrix &b,
+                   unsigned threads)
 {
     const CscMatrix a_csc = csrToCsc(a);
     std::array<SimResult, kNumDesigns> out;
-    for (std::size_t i = 0; i < kNumDesigns; ++i)
-        out[i] = simulateDesign(designConfig(allDesigns()[i]), a, a_csc, b);
+    parallelFor(
+        kNumDesigns,
+        [&](std::size_t i) {
+            out[i] =
+                simulateDesign(designConfig(allDesigns()[i]), a, a_csc, b);
+        },
+        threads);
     return out;
 }
 

@@ -61,9 +61,16 @@ SimResult simulateDesign(const DesignConfig &cfg, const CsrMatrix &a,
 SimResult simulateDesign(DesignId id, const CsrMatrix &a,
                          const CsrMatrix &b);
 
-/** Simulate all four designs (sharing one CSC conversion of A). */
-std::array<SimResult, kNumDesigns> simulateAllDesigns(const CsrMatrix &a,
-                                                      const CsrMatrix &b);
+/**
+ * Simulate all four designs (sharing one CSC conversion of A).
+ * `threads` > 1 fans the independent per-design simulations out via
+ * parallelFor with identical results; the default stays serial because
+ * the dominant caller (sample generation) already parallelizes across
+ * samples, and nested regions run inline anyway.
+ */
+std::array<SimResult, kNumDesigns>
+simulateAllDesigns(const CsrMatrix &a, const CsrMatrix &b,
+                   unsigned threads = 1);
 
 /** Index of the fastest design in a simulateAllDesigns() result. */
 DesignId fastestDesign(const std::array<SimResult, kNumDesigns> &results);

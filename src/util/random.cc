@@ -28,11 +28,27 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+deriveSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    // Injective per-seed combination (stream scaled by the splitmix64
+    // golden-ratio increment), then one finalizer pass. The Rng
+    // constructor splitmixes again, so neighbouring streams share no
+    // state structure.
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    return splitmix64(z);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t s = seed;
     for (auto &word : state_)
         word = splitmix64(s);
+}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : Rng(deriveSeed(seed, stream))
+{
 }
 
 std::uint64_t

@@ -17,6 +17,19 @@
 namespace misam {
 
 /**
+ * Derive an independent substream seed from (seed, stream) via the
+ * splitmix64 finalizer. For a fixed seed, distinct streams map to
+ * distinct inputs (the combination is injective), and the finalizer
+ * decorrelates neighbouring streams.
+ *
+ * This is what makes sample generation order-independent: worker i
+ * seeds its own Rng from deriveSeed(cfg.seed, i) instead of sharing
+ * one sequential stream, so any thread count produces identical
+ * per-index draws.
+ */
+std::uint64_t deriveSeed(std::uint64_t seed, std::uint64_t stream);
+
+/**
  * A seedable xoshiro256** generator with convenience distributions.
  *
  * Unlike std::mt19937 + std::*_distribution, the outputs here are fully
@@ -28,6 +41,9 @@ class Rng
   public:
     /** Construct from a 64-bit seed via splitmix64 state expansion. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Construct substream `stream` of `seed` (see deriveSeed). */
+    Rng(std::uint64_t seed, std::uint64_t stream);
 
     /** Next raw 64-bit output. */
     std::uint64_t next();

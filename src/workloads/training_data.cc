@@ -5,6 +5,7 @@
 #include "reconfig/engine.hh"
 #include "sparse/generate.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace misam {
 
@@ -107,27 +108,34 @@ generateWorkloadPair(const TrainingDataConfig &cfg, Rng &rng)
             randomScientificMatrix(k, n, db, rng)};
 }
 
-std::vector<TrainingSample>
-generateTrainingSamples(const TrainingDataConfig &cfg)
+TrainingSample
+generateTrainingSample(const TrainingDataConfig &cfg, std::size_t index)
 {
-    if (cfg.num_samples == 0)
-        fatal("generateTrainingSamples: zero samples requested");
-    Rng rng(cfg.seed);
-    std::vector<TrainingSample> samples;
-    samples.reserve(cfg.num_samples);
-
-    while (samples.size() < cfg.num_samples) {
+    Rng rng(cfg.seed, index);
+    for (;;) {
         auto [a, b] = generateWorkloadPair(cfg, rng);
         if (a.nnz() == 0 || b.nnz() == 0)
-            continue; // Degenerate draw; resample.
+            continue; // Degenerate draw; resample within this stream.
 
         TrainingSample sample;
         sample.features = extractFeatures(a, b);
         sample.results = simulateAllDesigns(a, b);
         sample.best_design =
             static_cast<int>(fastestDesign(sample.results));
-        samples.push_back(std::move(sample));
+        return sample;
     }
+}
+
+std::vector<TrainingSample>
+generateTrainingSamples(const TrainingDataConfig &cfg)
+{
+    if (cfg.num_samples == 0)
+        fatal("generateTrainingSamples: zero samples requested");
+    std::vector<TrainingSample> samples(cfg.num_samples);
+    parallelFor(
+        cfg.num_samples,
+        [&](std::size_t i) { samples[i] = generateTrainingSample(cfg, i); },
+        cfg.threads);
     return samples;
 }
 

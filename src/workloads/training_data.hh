@@ -45,6 +45,11 @@ struct TrainingDataConfig
     /** Fraction of samples drawn from the DNN-like population (B with
      *  power-of-two columns, moderately sparse or dense). */
     double ml_fraction = 0.5;
+    /** Worker threads for sample generation: 0 = MISAM_THREADS env or
+     *  the hardware default (see util/parallel.hh). Any value yields
+     *  identical samples: sample i draws from its own Rng substream
+     *  derived from (seed, i). */
+    unsigned threads = 0;
 };
 
 /**
@@ -56,7 +61,21 @@ struct TrainingDataConfig
 std::pair<CsrMatrix, CsrMatrix>
 generateWorkloadPair(const TrainingDataConfig &cfg, Rng &rng);
 
-/** Generate the labeled sample set by running all design simulators. */
+/**
+ * Generate sample `index` of the set: seed an Rng substream from
+ * (cfg.seed, index), draw workload pairs until one is non-degenerate,
+ * then extract features and label it by simulating all designs.
+ * Deterministic in (cfg, index) alone — the basis of the parallel
+ * generator's order-independence.
+ */
+TrainingSample generateTrainingSample(const TrainingDataConfig &cfg,
+                                      std::size_t index);
+
+/**
+ * Generate the labeled sample set by running all design simulators,
+ * fanned out over cfg.threads workers. Output is bit-identical for any
+ * thread count (each sample owns its Rng substream).
+ */
 std::vector<TrainingSample>
 generateTrainingSamples(const TrainingDataConfig &cfg = {});
 

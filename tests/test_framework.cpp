@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "core/misam.hh"
 #include "ml/metrics.hh"
 #include "sparse/generate.hh"
@@ -84,6 +86,26 @@ TEST_F(FrameworkTest, HitSpeedupAndMissSlowdownShape)
     EXPECT_GT(report_->hit_geomean_speedup, 1.0);
     EXPECT_GE(report_->miss_geomean_slowdown, 1.0);
     EXPECT_LT(report_->miss_geomean_slowdown, 2.0);
+}
+
+TEST_F(FrameworkTest, HitMissEvaluatedOnHeldOutRowsOnly)
+{
+    // The hit/miss quality metrics are computed over
+    // validation_indices; assert that set is disjoint from the training
+    // rows and that the two halves cover every sample.
+    std::set<std::size_t> train(report_->training_indices.begin(),
+                               report_->training_indices.end());
+    EXPECT_EQ(train.size(), report_->training_indices.size());
+    std::set<std::size_t> seen = train;
+    for (std::size_t i : report_->validation_indices) {
+        EXPECT_EQ(train.count(i), 0u)
+            << "validation row " << i << " was used for fitting";
+        EXPECT_TRUE(seen.insert(i).second);
+        EXPECT_LT(i, samples_->size());
+    }
+    EXPECT_EQ(seen.size(), samples_->size());
+    EXPECT_EQ(report_->validation_indices.size(),
+              report_->validation_actual.size());
 }
 
 TEST_F(FrameworkTest, ValidationVectorsConsistent)

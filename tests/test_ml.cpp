@@ -84,6 +84,39 @@ TEST(Dataset, StratifiedSplitPreservesClassBalance)
     EXPECT_EQ(train_counts[1], 14u); // 70% of 20
 }
 
+TEST(Dataset, StratifiedSplitIndicesDisjointAndCovering)
+{
+    Rng rng(11);
+    Dataset d(1);
+    for (int i = 0; i < 90; ++i)
+        d.addSample({static_cast<double>(i)}, i % 3);
+    auto [train_idx, valid_idx] = d.stratifiedSplitIndices(0.7, rng);
+    std::set<std::size_t> seen;
+    for (std::size_t i : train_idx)
+        EXPECT_TRUE(seen.insert(i).second) << "duplicate " << i;
+    for (std::size_t i : valid_idx)
+        EXPECT_TRUE(seen.insert(i).second)
+            << "index " << i << " in both halves";
+    EXPECT_EQ(seen.size(), 90u);
+}
+
+TEST(Dataset, StratifiedSplitKeepsSingletonClassInTraining)
+{
+    // A 1-sample class under a low train fraction used to round to zero
+    // training rows, leaving the class only in validation — a label the
+    // tree could never predict. Non-empty classes now keep >= 1 row.
+    Rng rng(12);
+    Dataset d(1);
+    for (int i = 0; i < 20; ++i)
+        d.addSample({static_cast<double>(i)}, 0);
+    d.addSample({99.0}, 1);
+    auto [train, valid] = d.stratifiedSplit(0.3, rng);
+    const auto train_counts = train.classCounts();
+    ASSERT_EQ(train_counts.size(), 2u);
+    EXPECT_EQ(train_counts[1], 1u);
+    EXPECT_EQ(train.size() + valid.size(), 21u);
+}
+
 TEST(Dataset, KfoldCoversAllSamplesOnce)
 {
     Rng rng(2);

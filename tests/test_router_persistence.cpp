@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
 
 #include "core/misam.hh"
@@ -101,6 +102,26 @@ TEST(Router, TrainedRouterBeatsStaticPolicies)
     EXPECT_GE(report.speedup_vs_gpu_only, 0.95);
     EXPECT_GE(report.speedup_vs_fpga_only, 0.95);
     EXPECT_TRUE(router.trained());
+}
+
+TEST(Router, SpeedupsEvaluatedOnHeldOutRowsOnly)
+{
+    const auto samples = makeRoutingSamples(120, 6);
+    DeviceRouter router;
+    const RouterReport report = router.train(samples);
+    std::set<std::size_t> train(report.training_indices.begin(),
+                                report.training_indices.end());
+    EXPECT_EQ(train.size(), report.training_indices.size());
+    std::set<std::size_t> seen = train;
+    for (std::size_t i : report.validation_indices) {
+        EXPECT_EQ(train.count(i), 0u)
+            << "validation row " << i << " was used for fitting";
+        EXPECT_TRUE(seen.insert(i).second);
+        EXPECT_LT(i, samples.size());
+    }
+    EXPECT_EQ(seen.size(), samples.size());
+    EXPECT_EQ(report.validation_indices.size(),
+              report.validation_actual.size());
 }
 
 TEST(Router, RouteReturnsTrainedLabels)
