@@ -39,12 +39,23 @@ benchThreads(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        const char *value = nullptr;
         if (arg.rfind("--threads=", 0) == 0)
-            return resolveThreads(static_cast<unsigned>(
-                std::strtoul(arg.c_str() + 10, nullptr, 10)));
-        if (arg == "--threads" && i + 1 < argc)
-            return resolveThreads(static_cast<unsigned>(
-                std::strtoul(argv[i + 1], nullptr, 10)));
+            value = arg.c_str() + 10;
+        else if (arg == "--threads" && i + 1 < argc)
+            value = argv[++i]; // Consume the value token.
+        else
+            continue;
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(value, &end, 10);
+        if (end == value || *end != '\0') {
+            std::fprintf(stderr,
+                         "warning: ignoring unparseable --threads value "
+                         "'%s'\n",
+                         value);
+            continue;
+        }
+        return resolveThreads(static_cast<unsigned>(v));
     }
     return resolveThreads(0);
 }

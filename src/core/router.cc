@@ -174,9 +174,11 @@ DeviceRouter::train(const std::vector<RoutingSample> &samples,
                 .exec_seconds /
             t_routed);
     }
-    report.speedup_vs_cpu_only = vs_cpu.geomean();
-    report.speedup_vs_gpu_only = vs_gpu.geomean();
-    report.speedup_vs_fpga_only = vs_fpga.geomean();
+    if (vs_cpu.count() > 0) {
+        report.speedup_vs_cpu_only = vs_cpu.geomean();
+        report.speedup_vs_gpu_only = vs_gpu.geomean();
+        report.speedup_vs_fpga_only = vs_fpga.geomean();
+    }
     return report;
 }
 

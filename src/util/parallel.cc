@@ -52,12 +52,20 @@ void
 ThreadPool::ensureWorkers(unsigned target)
 {
     // Only called from the constructor or under submit_mutex_ with no
-    // job in flight, so pushing to workers_ is safe: new workers park
-    // on wake_cv_ until the next generation bump.
+    // job in flight, so pushing to workers_ is safe. New workers must
+    // start from the *current* generation, not 0: otherwise a pool that
+    // has already run jobs (generation_ > 0) would satisfy the wake
+    // predicate immediately and the fresh worker would run a phantom
+    // pass over stale job state.
     if (target > kMaxWorkers)
         target = kMaxWorkers;
+    std::uint64_t g;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        g = generation_;
+    }
     while (workers_.size() < target)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, g] { workerLoop(g); });
 }
 
 ThreadPool::~ThreadPool()
@@ -86,9 +94,9 @@ ThreadPool::drainJob(std::size_t n,
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(std::uint64_t start_generation)
 {
-    std::uint64_t seen = 0;
+    std::uint64_t seen = start_generation;
     std::unique_lock<std::mutex> lk(mutex_);
     for (;;) {
         wake_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });

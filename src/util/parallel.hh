@@ -97,7 +97,7 @@ class ThreadPool
     static ThreadPool &global();
 
   private:
-    void workerLoop();
+    void workerLoop(std::uint64_t start_generation);
     void ensureWorkers(unsigned target);
     void drainJob(std::size_t n,
                   const std::function<void(std::size_t)> &fn);

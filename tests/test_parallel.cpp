@@ -62,6 +62,24 @@ TEST(Parallel, RepeatedJobsStayExact)
     }
 }
 
+TEST(Parallel, GrowingPoolAfterUseStaysExact)
+{
+    // Workers added on demand after the pool has run jobs (explicit
+    // request above the initial size) must park until the next
+    // generation bump — not run a phantom pass over stale job state.
+    ThreadPool pool(1);
+    for (unsigned round = 0; round < 6; ++round) {
+        constexpr std::size_t n = 503;
+        std::vector<std::atomic<int>> hits(n);
+        pool.forEach(
+            n, [&](std::size_t i) { hits[i].fetch_add(1); },
+            1 + 2 * round);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1)
+                << "round " << round << " index " << i;
+    }
+}
+
 TEST(Parallel, SingleThreadRunsInline)
 {
     const std::thread::id caller = std::this_thread::get_id();
