@@ -25,7 +25,7 @@ using namespace misam;
 
 namespace {
 
-struct Phase
+struct BenchPhase
 {
     std::string name;
     CsrMatrix a;
@@ -44,10 +44,10 @@ main()
     // Alternating phases: D4-friendly sparse self-products and
     // D2-friendly dense SpMM, each repeated enough for gains to matter.
     Rng rng(61);
-    std::vector<Phase> phases;
+    std::vector<BenchPhase> phases;
     for (int rep = 0; rep < 4; ++rep) {
         {
-            Phase p;
+            BenchPhase p;
             p.name = "sparse";
             p.a = generateBanded(24576, 24576, 4, 0.8, rng);
             p.b = p.a;
@@ -55,7 +55,7 @@ main()
             phases.push_back(std::move(p));
         }
         {
-            Phase p;
+            BenchPhase p;
             p.name = "dense";
             p.a = generateUniform(2048, 2048, 0.3, rng);
             p.b = generateDenseCsr(2048, 512, rng);
@@ -68,7 +68,7 @@ main()
 
     // Oracle: free switching, always the best design.
     double oracle_s = 0.0;
-    for (const Phase &p : phases)
+    for (const BenchPhase &p : phases)
         oracle_s +=
             p.sims[static_cast<std::size_t>(fastestDesign(p.sims))]
                 .exec_seconds *
@@ -85,7 +85,7 @@ main()
             int switches = 0;
             double exec_s = 0.0;
             double overhead_s = 0.0;
-            for (const Phase &p : phases) {
+            for (const BenchPhase &p : phases) {
                 const DesignId best = fastestDesign(p.sims);
                 const double gain =
                     (p.sims[static_cast<std::size_t>(current)]

@@ -10,6 +10,9 @@
  *   MISAM_THREADS        — worker threads for parallel stages; benches
  *                          that parse argv also accept --threads=N,
  *                          which wins over the environment.
+ *   MISAM_METRICS        — JSONL metrics-trace output path; benches
+ *                          that parse argv also accept --metrics=FILE
+ *                          (see docs/OBSERVABILITY.md for the schema).
  */
 
 #ifndef MISAM_BENCH_COMMON_HH
@@ -23,6 +26,7 @@
 #include "baselines/gpu_cusparse.hh"
 #include "core/misam.hh"
 #include "trapezoid/trapezoid.hh"
+#include "util/metrics.hh"
 #include "util/parallel.hh"
 #include "util/stats.hh"
 #include "workloads/suite.hh"
@@ -58,6 +62,25 @@ benchThreads(int argc, char **argv)
         return resolveThreads(static_cast<unsigned>(v));
     }
     return resolveThreads(0);
+}
+
+/**
+ * Optional JSONL metrics-trace path: --metrics=FILE (or "--metrics FILE")
+ * from argv, else MISAM_METRICS, else empty (tracing off).
+ */
+inline std::string
+benchMetricsPath(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--metrics=", 0) == 0)
+            return arg.substr(10);
+        if (arg == "--metrics" && i + 1 < argc)
+            return argv[++i];
+    }
+    if (const char *env = std::getenv("MISAM_METRICS"))
+        return env;
+    return {};
 }
 
 /** Training-set size for selector benches (paper scale: 6,219). */

@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 #
-# Full verification flow: the tier-1 build + test pass, then a
-# ThreadSanitizer build that runs the parallel-layer tests so data races
-# in the thread pool / sample fan-out are caught at check time.
+# Full verification flow:
+#   1. tier-1 build (warning-gated) + full ctest pass,
+#   2. the golden-trace suite again under an AddressSanitizer build,
+#   3. a ThreadSanitizer build running the parallel-layer tests, so data
+#      races in the thread pool / sample fan-out are caught at check time.
+#
+# Sanitizer passes are skipped (with a notice) when the toolchain lacks
+# the runtime — the container's compiler may not ship every libsan.
 #
 # Usage: scripts/check.sh [--tsan-only]
 
@@ -12,26 +17,56 @@ cd "$(dirname "$0")/.."
 tsan_only=0
 [[ "${1:-}" == "--tsan-only" ]] && tsan_only=1
 
+# True when the toolchain can link the given -fsanitize= runtime.
+have_sanitizer() {
+    local probe
+    probe=$(mktemp /tmp/misam_san_probe.XXXXXX)
+    if echo 'int main(){return 0;}' |
+        c++ "-fsanitize=$1" -x c++ - -o "$probe" 2>/dev/null; then
+        rm -f "$probe"
+        return 0
+    fi
+    rm -f "$probe"
+    return 1
+}
+
 if [[ "$tsan_only" -eq 0 ]]; then
     echo "== tier-1: build + ctest =="
     cmake -B build -S .
-    cmake --build build -j
+    build_log=$(mktemp /tmp/misam_build_log.XXXXXX)
+    cmake --build build -j 2>&1 | tee "$build_log"
+    # The tree builds warning-free under -Wall -Wextra; keep it that way.
+    if grep -E 'warning:' "$build_log"; then
+        rm -f "$build_log"
+        echo "check.sh: compiler warnings introduced (see above)" >&2
+        exit 1
+    fi
+    rm -f "$build_log"
     (cd build && ctest --output-on-failure -j)
+
+    # Golden-trace suite under ASan: the trace emitters and the JSONL
+    # sink touch raw buffers, so run the byte-stability suite with
+    # memory checking on.
+    if have_sanitizer address; then
+        echo "== ASan: build + golden-trace tests =="
+        cmake -B build-asan -S . -DMISAM_SANITIZE=address \
+              -DCMAKE_BUILD_TYPE=RelWithDebInfo
+        cmake --build build-asan -j --target test_metrics
+        (cd build-asan && ctest --output-on-failure -L golden)
+    else
+        echo "NOTICE: toolchain lacks AddressSanitizer support;" \
+             "skipping the ASan golden pass."
+    fi
 fi
 
-# TSan pass over the parallel tests. Skipped (with a notice) when the
-# toolchain has no libtsan — the container's compiler may not ship it.
-probe=$(mktemp /tmp/misam_tsan_probe.XXXXXX)
-if echo 'int main(){return 0;}' |
-    c++ -fsanitize=thread -x c++ - -o "$probe" 2>/dev/null; then
-    rm -f "$probe"
+# TSan pass over the parallel tests.
+if have_sanitizer thread; then
     echo "== TSan: build + parallel tests =="
     cmake -B build-tsan -S . -DMISAM_SANITIZE=thread \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-tsan -j --target test_parallel
     (cd build-tsan && ctest --output-on-failure -R '^Parallel')
 else
-    rm -f "$probe"
     echo "NOTICE: toolchain lacks ThreadSanitizer support; skipping" \
          "the TSan pass."
 fi

@@ -6,6 +6,7 @@
 #include "ml/metrics.hh"
 #include "sparse/convert.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/parallel.hh"
 #include "util/stats.hh"
 
@@ -122,6 +123,7 @@ MisamFramework::train(const std::vector<TrainingSample> &samples)
     engine_ = std::make_unique<ReconfigEngine>(std::move(latency_tree),
                                                config_.engine_config,
                                                config_.initial_design);
+    engine_->setMetrics(metrics_);
     return report;
 }
 
@@ -136,6 +138,24 @@ MisamFramework::restore(DecisionTree selector,
     engine_ = std::make_unique<ReconfigEngine>(std::move(latency_model),
                                                config_.engine_config,
                                                current_design);
+    engine_->setMetrics(metrics_);
+}
+
+void
+MisamFramework::setMetrics(MetricsRegistry *metrics)
+{
+    metrics_ = metrics;
+    if (engine_)
+        engine_->setMetrics(metrics);
+}
+
+void
+MisamFramework::recordPhase(BreakdownReport &breakdown, Phase phase,
+                            double seconds) const
+{
+    breakdown.record(phase, seconds);
+    if (metrics_)
+        metrics_->addSeconds(phaseTimerName(phase), seconds);
 }
 
 DesignId
@@ -157,7 +177,7 @@ MisamFramework::execute(const CsrMatrix &a, const CsrMatrix &b,
 
     Stopwatch sw;
     report.features = extractFeatures(a, b);
-    report.breakdown.preprocess_s = sw.elapsedSeconds();
+    recordPhase(report.breakdown, Phase::Preprocess, sw.elapsedSeconds());
     return finishExecution(std::move(report), a, b, repetitions);
 }
 
@@ -171,7 +191,7 @@ MisamFramework::executeWithSummary(const CsrMatrix &a, const CsrMatrix &b,
 
     Stopwatch sw;
     report.features = combineFeatures(summarizeMatrix(a), b_summary);
-    report.breakdown.preprocess_s = sw.elapsedSeconds();
+    recordPhase(report.breakdown, Phase::Preprocess, sw.elapsedSeconds());
     return finishExecution(std::move(report), a, b, repetitions);
 }
 
@@ -183,17 +203,21 @@ MisamFramework::finishExecution(ExecutionReport report, const CsrMatrix &a,
 
     sw.restart();
     report.predicted = predictDesign(report.features);
-    report.breakdown.inference_s = sw.elapsedSeconds();
+    recordPhase(report.breakdown, Phase::Inference, sw.elapsedSeconds());
 
     sw.restart();
     report.decision =
         engine_->decide(report.features, report.predicted, repetitions);
-    report.breakdown.engine_s = sw.elapsedSeconds();
+    recordPhase(report.breakdown, Phase::Engine, sw.elapsedSeconds());
 
     report.sim = simulateDesign(report.decision.chosen, a, b);
-    report.breakdown.execute_s = report.sim.exec_seconds;
-    if (report.decision.reconfigure)
-        report.breakdown.reconfig_s = report.decision.overhead_s;
+    recordPhase(report.breakdown, Phase::Execute,
+                report.sim.exec_seconds);
+    recordPhase(report.breakdown, Phase::Reconfig,
+                report.decision.reconfigure ? report.decision.overhead_s
+                                            : 0.0);
+    if (metrics_)
+        recordSimMetrics(*metrics_, report.sim);
     return report;
 }
 
@@ -222,7 +246,8 @@ MisamFramework::executeBatch(const std::vector<BatchJob> &jobs,
         const BatchJob &job = jobs[i];
         ExecutionReport partial;
         partial.features = std::move(features[i]);
-        partial.breakdown.preprocess_s = preprocess_s[i];
+        recordPhase(partial.breakdown, Phase::Preprocess,
+                    preprocess_s[i]);
         ExecutionReport rep = finishExecution(std::move(partial), job.a,
                                               job.b, job.repetitions);
         batch.total_execute_s +=
@@ -276,8 +301,14 @@ MisamFramework::executeStream(const CsrMatrix &a, const CsrMatrix &b,
         const auto remaining = static_cast<double>(ranges.size() - i);
         ExecutionReport rep = executeWithSummary(tile, b, b_summary,
                                                  remaining);
-        if (i == 0)
-            rep.breakdown.preprocess_s += b_summary_s;
+        if (i == 0) {
+            // The shared B summary is preprocessing work of the stream;
+            // charge it to the first tile's already-recorded phase.
+            rep.breakdown.accumulate(Phase::Preprocess, b_summary_s);
+            if (metrics_)
+                metrics_->addSeconds(phaseTimerName(Phase::Preprocess),
+                                     b_summary_s);
+        }
         stream.total_execute_s += rep.breakdown.execute_s;
         stream.total_reconfig_s += rep.breakdown.reconfig_s;
         stream.total_host_s += rep.breakdown.preprocess_s +

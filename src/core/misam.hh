@@ -211,6 +211,20 @@ class MisamFramework
     /** Framework configuration. */
     const MisamConfig &config() const { return config_; }
 
+    /**
+     * Attach a metrics registry (nullptr detaches; the caller keeps it
+     * alive). Every execution then folds its telemetry in: `phase.*`
+     * timers mirror the BreakdownReport phases, `sim.*` counters carry
+     * the chosen design's DesignStats, and the engine contributes its
+     * `reconfig.*` decision counters. Observability only — attaching a
+     * registry changes no prediction, decision, or simulated cycle
+     * count (pinned by tests/test_metrics.cpp).
+     */
+    void setMetrics(MetricsRegistry *metrics);
+
+    /** The attached registry, or nullptr. */
+    MetricsRegistry *metrics() const { return metrics_; }
+
   private:
     void requireTrained() const;
 
@@ -219,9 +233,14 @@ class MisamFramework
                                     const CsrMatrix &a, const CsrMatrix &b,
                                     double repetitions);
 
+    /** Record a phase in the report and mirror it into the registry. */
+    void recordPhase(BreakdownReport &breakdown, Phase phase,
+                     double seconds) const;
+
     MisamConfig config_;
     DecisionTree selector_;
     std::unique_ptr<ReconfigEngine> engine_;
+    MetricsRegistry *metrics_ = nullptr;
 };
 
 } // namespace misam

@@ -1,5 +1,92 @@
 #include "core/pipeline.hh"
 
-// Header-only timing helpers; this translation unit exists so the module
-// has a home for future out-of-line additions and keeps the build list
-// uniform.
+#include "util/logging.hh"
+
+namespace misam {
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Preprocess:
+        return "preprocess";
+      case Phase::Inference:
+        return "inference";
+      case Phase::Engine:
+        return "engine";
+      case Phase::Execute:
+        return "execute";
+      case Phase::Reconfig:
+        return "reconfig";
+    }
+    panic("phaseName: invalid phase ", static_cast<int>(phase));
+}
+
+const char *
+phaseTimerName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Preprocess:
+        return "phase.preprocess";
+      case Phase::Inference:
+        return "phase.inference";
+      case Phase::Engine:
+        return "phase.engine";
+      case Phase::Execute:
+        return "phase.execute";
+      case Phase::Reconfig:
+        return "phase.reconfig";
+    }
+    panic("phaseTimerName: invalid phase ", static_cast<int>(phase));
+}
+
+double &
+BreakdownReport::slot(Phase phase)
+{
+    switch (phase) {
+      case Phase::Preprocess:
+        return preprocess_s;
+      case Phase::Inference:
+        return inference_s;
+      case Phase::Engine:
+        return engine_s;
+      case Phase::Execute:
+        return execute_s;
+      case Phase::Reconfig:
+        return reconfig_s;
+    }
+    panic("BreakdownReport: invalid phase ", static_cast<int>(phase));
+}
+
+void
+BreakdownReport::record(Phase phase, double seconds)
+{
+    double &field = slot(phase);
+    if (recorded(phase)) {
+        if (field == seconds)
+            return; // Idempotent re-record of the identical value.
+        fatal("BreakdownReport: phase '", phaseName(phase),
+              "' recorded twice with different values (", field, " vs ",
+              seconds, " s); use accumulate() to add to a phase");
+    }
+    field = seconds;
+    recorded_mask_ |= 1u << static_cast<int>(phase);
+}
+
+void
+BreakdownReport::accumulate(Phase phase, double seconds)
+{
+    if (!recorded(phase))
+        fatal("BreakdownReport: accumulate into unrecorded phase '",
+              phaseName(phase), "'; record() it first");
+    slot(phase) += seconds;
+}
+
+double
+BreakdownReport::phaseSeconds(Phase phase) const
+{
+    // const_cast is safe: slot() only selects a member reference.
+    return const_cast<BreakdownReport *>(this)->slot(phase);
+}
+
+} // namespace misam

@@ -5,14 +5,39 @@
  * decision, and hardware execution. Host-side phases are measured in
  * real wall-clock time; the hardware phase is the simulator's modeled
  * FPGA time — the same accounting the paper performs.
+ *
+ * Phases are recorded through record()/accumulate(), which feed both
+ * the report fields and (via MisamFramework's attached MetricsRegistry)
+ * the `phase.*` registry timers, so Figure 12 output derives from the
+ * same counters the observability layer exports.
  */
 
 #ifndef MISAM_CORE_PIPELINE_HH
 #define MISAM_CORE_PIPELINE_HH
 
 #include <chrono>
+#include <cstddef>
 
 namespace misam {
+
+/** The phases of one Misam execution, in pipeline order. */
+enum class Phase : int
+{
+    Preprocess = 0, ///< Feature extraction.
+    Inference,      ///< Selector inference.
+    Engine,         ///< Reconfiguration-engine decision.
+    Execute,        ///< Modeled FPGA execution.
+    Reconfig,       ///< Bitstream-switch overhead charged.
+};
+
+/** Number of Phase values. */
+constexpr std::size_t kNumPhases = 5;
+
+/** Short lowercase phase name, e.g. "preprocess". */
+const char *phaseName(Phase phase);
+
+/** Registry timer key for a phase, e.g. "phase.preprocess". */
+const char *phaseTimerName(Phase phase);
 
 /** Per-phase timing of one Misam execution. */
 struct BreakdownReport
@@ -22,6 +47,33 @@ struct BreakdownReport
     double engine_s = 0.0;     ///< Reconfiguration-engine wall time.
     double execute_s = 0.0;    ///< Modeled FPGA execution time.
     double reconfig_s = 0.0;   ///< Bitstream-switch overhead charged.
+
+    /**
+     * Record a phase once. Idempotent-or-fatal: re-recording the exact
+     * same value is a no-op, but recording a *different* value for an
+     * already-recorded phase is a fatal error — silently overwriting
+     * (or double-charging) a phase is how host-overhead fractions go
+     * wrong, so it fails loudly instead.
+     */
+    void record(Phase phase, double seconds);
+
+    /**
+     * Add to an already-recorded phase (e.g. folding a shared B-summary
+     * cost into tile 0 of a stream). Fatal when the phase has not been
+     * recorded yet — accumulating into an unrecorded phase almost
+     * always means the phases ran out of order.
+     */
+    void accumulate(Phase phase, double seconds);
+
+    /** True once `phase` has been recorded. */
+    bool
+    recorded(Phase phase) const
+    {
+        return (recorded_mask_ & (1u << static_cast<int>(phase))) != 0;
+    }
+
+    /** The recorded value of `phase` (0.0 when unrecorded). */
+    double phaseSeconds(Phase phase) const;
 
     /** Sum of all phases. */
     double total() const
@@ -38,6 +90,11 @@ struct BreakdownReport
             return 0.0;
         return (preprocess_s + inference_s + engine_s) / t;
     }
+
+  private:
+    double &slot(Phase phase);
+
+    unsigned recorded_mask_ = 0;
 };
 
 /** Monotonic stopwatch for the host-side phases. */

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/metrics.hh"
 
 namespace misam {
 
@@ -44,6 +45,7 @@ ReconfigEngine::decide(const FeatureVector &features,
     if (repetitions < 1.0)
         fatal("ReconfigEngine::decide: repetitions must be >= 1");
 
+    const DesignId before = current_;
     ReconfigDecision d;
     d.current_latency_s = predictLatencySeconds(features, current_);
     d.best_latency_s = predictLatencySeconds(features, predicted_best);
@@ -54,9 +56,7 @@ ReconfigEngine::decide(const FeatureVector &features,
 
     if (predicted_best == current_) {
         d.chosen = current_;
-        return d;
-    }
-    if (d.overhead_s == 0.0) {
+    } else if (d.overhead_s == 0.0) {
         // Shared bitstream: a pure host-side scheduling change, taken
         // whenever the predictor sees any gain at all.
         if (d.expected_gain_s > 0.0) {
@@ -65,18 +65,33 @@ ReconfigEngine::decide(const FeatureVector &features,
         } else {
             d.chosen = current_;
         }
-        return d;
-    }
-
-    // Paper rule: reconfigure only when the overhead is below the
-    // threshold fraction of the expected gain.
-    if (d.expected_gain_s > 0.0 &&
-        d.overhead_s < config_.threshold * d.expected_gain_s) {
+    } else if (d.expected_gain_s > 0.0 &&
+               d.overhead_s < config_.threshold * d.expected_gain_s) {
+        // Paper rule: reconfigure only when the overhead is below the
+        // threshold fraction of the expected gain.
         d.chosen = predicted_best;
         d.reconfigure = true;
         current_ = predicted_best;
     } else {
         d.chosen = current_;
+    }
+
+    if (metrics_) {
+        metrics_->add("reconfig.decisions");
+        if (d.reconfigure) {
+            metrics_->add("reconfig.swaps_taken");
+            // Predicted-vs-charged accounting: what the latency model
+            // promised against what the bitstream switch cost.
+            metrics_->addSeconds("reconfig.predicted_gain_s",
+                                 d.expected_gain_s);
+            metrics_->addSeconds("reconfig.charged_s", d.overhead_s);
+        } else if (d.chosen != before) {
+            metrics_->add("reconfig.free_switches");
+        } else if (predicted_best == before) {
+            metrics_->add("reconfig.already_loaded");
+        } else {
+            metrics_->add("reconfig.swaps_skipped");
+        }
     }
     return d;
 }

@@ -57,6 +57,8 @@ struct ReconfigEngineConfig
     ReconfigTimeModel time_model{};
 };
 
+class MetricsRegistry;
+
 /**
  * Runtime reconfiguration decision engine. Holds the latency predictor
  * (a regression tree over augmented features predicting log2 seconds)
@@ -97,10 +99,21 @@ class ReconfigEngine
     /** Latency predictor (shared with evaluation code). */
     const RegressionTree &latencyModel() const { return model_; }
 
+    /**
+     * Attach a metrics registry (nullptr detaches). Every decide() then
+     * folds its verdict into the `reconfig.*` counters/timers: decisions
+     * seen, swaps taken/skipped, free (shared-bitstream) switches, and
+     * the predicted-gain vs charged-overhead seconds — the signals
+     * behind the paper's Figure 8 trade-off. Observability only: the
+     * decision logic never reads the registry.
+     */
+    void setMetrics(MetricsRegistry *metrics) { metrics_ = metrics; }
+
   private:
     RegressionTree model_;
     ReconfigEngineConfig config_;
     DesignId current_;
+    MetricsRegistry *metrics_ = nullptr;
 };
 
 } // namespace misam

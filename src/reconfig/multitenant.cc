@@ -1,5 +1,7 @@
 #include "reconfig/multitenant.hh"
 
+#include "util/metrics.hh"
+
 namespace misam {
 
 namespace {
@@ -53,7 +55,7 @@ maxInstances(DesignId id, const FpgaResourceBudget &budget)
 
 TenantPacking
 packInstances(const std::vector<DesignId> &requested,
-              const FpgaResourceBudget &budget)
+              const FpgaResourceBudget &budget, MetricsRegistry *metrics)
 {
     TenantPacking packing;
     for (DesignId id : requested) {
@@ -65,6 +67,12 @@ packInstances(const std::vector<DesignId> &requested,
         } else {
             packing.rejected.push_back(id);
         }
+    }
+    if (metrics) {
+        metrics->add("tenant.requests", requested.size());
+        metrics->add("tenant.placed", packing.placed.size());
+        metrics->add("tenant.rejected", packing.rejected.size());
+        metrics->set("tenant.max_fraction", packing.used.maxFraction());
     }
     return packing;
 }

@@ -18,6 +18,8 @@
 
 namespace misam {
 
+class MetricsRegistry;
+
 /** Fraction of each device resource available for kernels (1.0 = all). */
 struct FpgaResourceBudget
 {
@@ -50,9 +52,14 @@ struct TenantPacking
 /**
  * Greedy first-fit packing of the requested instances in order; each is
  * placed when it still fits the remaining budget.
+ *
+ * When `metrics` is non-null, the outcome is folded into the
+ * `tenant.*` counters (requests seen, instances placed/rejected) and
+ * the `tenant.max_fraction` gauge (the packing's resource bottleneck).
  */
 TenantPacking packInstances(const std::vector<DesignId> &requested,
-                            const FpgaResourceBudget &budget = {});
+                            const FpgaResourceBudget &budget = {},
+                            MetricsRegistry *metrics = nullptr);
 
 } // namespace misam
 

@@ -10,6 +10,7 @@
 #include "sparse/convert.hh"
 #include "sparse/spgemm.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/parallel.hh"
 
 namespace misam {
@@ -67,6 +68,18 @@ simulateSpmm(const DesignConfig &cfg, const CsrMatrix &a,
             static_cast<double>(sched.busy_cycles) *
             static_cast<double>(passes);
 
+        res.stats.issued_nonzeros += sched.total_elements * passes;
+        res.stats.busy_cycles += sched.busy_cycles * passes;
+        res.stats.bubble_cycles += sched.bubble_cycles * passes;
+        res.stats.slot_cycles += sched.slot_cycles * passes;
+        res.stats.fill_cycles += fill * passes;
+        res.stats.tile_refills += 1;
+        res.stats.hbm_read_a_bytes += HbmModel::packedBytes(a_nnz_tile);
+        const Offset b_bytes = HbmModel::denseBytes(
+            static_cast<Offset>(tile.height()) * n);
+        res.stats.hbm_read_b_bytes += b_bytes;
+        res.stats.b_bytes_dense_equiv += b_bytes;
+
         total += static_cast<double>(std::max({read_a, read_b, compute}));
         if (detail) {
             detail->push_back({tile, sched.total_elements, read_a,
@@ -77,6 +90,8 @@ simulateSpmm(const DesignConfig &cfg, const CsrMatrix &a,
     // C is dense M x N for SpMM; written back once, after the last tile.
     const Offset write_c = HbmModel::denseWriteCycles(
         static_cast<Offset>(a.rows()) * n, cfg.ch_c);
+    res.stats.hbm_write_c_bytes =
+        HbmModel::denseBytes(static_cast<Offset>(a.rows()) * n);
     res.write_c_cycles = static_cast<double>(write_c);
     res.overhead_cycles += cfg.pipeline_depth;
     total += static_cast<double>(write_c) + cfg.pipeline_depth;
@@ -143,6 +158,18 @@ simulateSpgemm(const DesignConfig &cfg, const CsrMatrix &a,
         res.overhead_cycles += static_cast<double>(fill);
         busy_pe_cycles += static_cast<double>(sched.busy_cycles);
 
+        res.stats.issued_nonzeros += sched.total_elements;
+        res.stats.busy_cycles += sched.busy_cycles;
+        res.stats.bubble_cycles += sched.bubble_cycles;
+        res.stats.slot_cycles += sched.slot_cycles;
+        res.stats.fill_cycles += fill;
+        res.stats.tile_refills += 1;
+        res.stats.hbm_read_a_bytes += HbmModel::packedBytes(a_nnz_tile);
+        res.stats.hbm_read_b_bytes += HbmModel::packedBytes(b_nnz_tile);
+        res.stats.b_bytes_dense_equiv += HbmModel::denseBytes(
+            static_cast<Offset>(tile.height()) *
+            static_cast<Offset>(b.cols()));
+
         total += static_cast<double>(std::max({read_a, read_b, compute}));
         if (detail) {
             detail->push_back({tile, sched.total_elements, read_a,
@@ -154,6 +181,7 @@ simulateSpgemm(const DesignConfig &cfg, const CsrMatrix &a,
     res.output_nnz = spgemmOutputNnz(a, b);
     const Offset write_c =
         HbmModel::packedWriteCycles(res.output_nnz, cfg.ch_c);
+    res.stats.hbm_write_c_bytes = HbmModel::packedBytes(res.output_nnz);
     res.write_c_cycles = static_cast<double>(write_c);
     res.overhead_cycles += cfg.pipeline_depth;
     total += static_cast<double>(write_c) + cfg.pipeline_depth;
@@ -259,6 +287,76 @@ fastestDesign(const std::array<SimResult, kNumDesigns> &results)
         if (results[i].exec_seconds < results[best].exec_seconds)
             best = i;
     return allDesigns()[best];
+}
+
+void
+recordSimMetrics(MetricsRegistry &registry, const SimResult &result)
+{
+    const DesignStats &s = result.stats;
+    registry.add("sim.runs");
+    registry.add("sim.issued_nonzeros", s.issued_nonzeros);
+    registry.add("sim.busy_cycles", s.busy_cycles);
+    registry.add("sim.bubble_cycles", s.bubble_cycles);
+    registry.add("sim.slot_cycles", s.slot_cycles);
+    registry.add("sim.fill_cycles", s.fill_cycles);
+    registry.add("sim.tile_refills", s.tile_refills);
+    registry.add("sim.hbm.read_a_bytes", s.hbm_read_a_bytes);
+    registry.add("sim.hbm.read_b_bytes", s.hbm_read_b_bytes);
+    registry.add("sim.hbm.write_c_bytes", s.hbm_write_c_bytes);
+    registry.add("sim.b_dense_equiv_bytes", s.b_bytes_dense_equiv);
+    // Counters are monotonic; the saving only accrues when positive
+    // (Design 4 on an operand sparse enough for packing to win).
+    const std::int64_t saved = s.compressionBytesSaved();
+    if (saved > 0)
+        registry.add("sim.b_compression_saved_bytes",
+                     static_cast<std::uint64_t>(saved));
+}
+
+void
+emitSimEvents(MetricsSink &sink, const SimResult &result)
+{
+    const DesignConfig &cfg = designConfig(result.design);
+    const DesignStats &s = result.stats;
+    const std::string_view design = cfg.name;
+    sink.event("sim.design",
+               {{"design", design},
+                {"total_cycles", result.total_cycles},
+                {"compute_cycles", result.compute_cycles},
+                {"read_a_cycles", result.read_a_cycles},
+                {"read_b_cycles", result.read_b_cycles},
+                {"write_c_cycles", result.write_c_cycles},
+                {"overhead_cycles", result.overhead_cycles},
+                {"pe_utilization", result.pe_utilization},
+                {"multiplies", result.multiplies},
+                {"output_nnz", result.output_nnz},
+                {"num_tiles", result.num_tiles}});
+    sink.event("sim.schedule",
+               {{"design", design},
+                {"issued_nonzeros", s.issued_nonzeros},
+                {"busy_cycles", s.busy_cycles},
+                {"bubble_cycles", s.bubble_cycles},
+                {"slot_cycles", s.slot_cycles},
+                {"fill_cycles", s.fill_cycles},
+                {"tile_refills", s.tile_refills}});
+    sink.event("sim.hbm",
+               {{"design", design},
+                {"ch_a", cfg.ch_a},
+                {"ch_b", cfg.ch_b},
+                {"ch_c", cfg.ch_c},
+                {"read_a_bytes", s.hbm_read_a_bytes},
+                {"read_b_bytes", s.hbm_read_b_bytes},
+                {"write_c_bytes", s.hbm_write_c_bytes},
+                {"read_a_bytes_per_chan",
+                 static_cast<double>(s.hbm_read_a_bytes) / cfg.ch_a},
+                {"read_b_bytes_per_chan",
+                 static_cast<double>(s.hbm_read_b_bytes) / cfg.ch_b},
+                {"write_c_bytes_per_chan",
+                 static_cast<double>(s.hbm_write_c_bytes) / cfg.ch_c}});
+    sink.event("sim.compress",
+               {{"design", design},
+                {"b_streamed_bytes", s.hbm_read_b_bytes},
+                {"b_dense_equiv_bytes", s.b_bytes_dense_equiv},
+                {"saved_bytes", s.compressionBytesSaved()}});
 }
 
 } // namespace misam

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "sim/design.hh"
@@ -25,6 +26,57 @@
 #include "sparse/csr.hh"
 
 namespace misam {
+
+class MetricsRegistry;
+class MetricsSink;
+
+/**
+ * Internal accounting of one design simulation — the signals the cycle
+ * model computes anyway (schedule occupancy, HBM traffic, compression
+ * trade-offs) surfaced so callers can assert on *why* a design was fast
+ * or slow without re-simulating. Pure data: filling it never changes a
+ * simulated cycle count, and all fields are deterministic for any
+ * thread count.
+ *
+ * Conservation invariants (pinned by tests/test_properties.cpp):
+ *   busy_cycles + bubble_cycles == slot_cycles
+ *   hbm_read_a_bytes >= A nonzeros * 8 (packed 64-bit entries)
+ *   For Designs 1-3, issued_nonzeros == busy_cycles (unit-cost jobs).
+ */
+struct DesignStats
+{
+    Offset issued_nonzeros = 0;  ///< A nonzeros issued into PE schedules
+                                 ///< (x SIMD passes for Designs 1-3).
+    Offset busy_cycles = 0;      ///< Useful PE work cycles (x passes).
+    Offset bubble_cycles = 0;    ///< Idle PE slots inside schedules.
+    Offset slot_cycles = 0;      ///< PE-cycle capacity of all schedules.
+    Offset fill_cycles = 0;      ///< Broadcast-chain fill cycles charged.
+    Offset tile_refills = 0;     ///< B tile-buffer loads (one per tile).
+
+    Offset hbm_read_a_bytes = 0;  ///< Bytes streamed for A over ch_a.
+    Offset hbm_read_b_bytes = 0;  ///< Bytes streamed for B over ch_b.
+    Offset hbm_write_c_bytes = 0; ///< Bytes written for C over ch_c.
+
+    /**
+     * Bytes B would cost in dense row-tile form. Equals
+     * hbm_read_b_bytes on Designs 1-3 (B is streamed dense); on
+     * Design 4 the difference against the compressed stream is the
+     * paper's B-compression trade-off.
+     */
+    Offset b_bytes_dense_equiv = 0;
+
+    /**
+     * Bytes the compressed B format saved versus dense streaming.
+     * Negative when packed 64-bit entries cost more than the dense
+     * tile would have (dense operands on Design 4).
+     */
+    std::int64_t
+    compressionBytesSaved() const
+    {
+        return static_cast<std::int64_t>(b_bytes_dense_equiv) -
+               static_cast<std::int64_t>(hbm_read_b_bytes);
+    }
+};
 
 /** Outcome of simulating one workload on one design. */
 struct SimResult
@@ -46,6 +98,8 @@ struct SimResult
 
     double avg_power_watts = 0.0;  ///< Modeled power draw.
     double energy_joules = 0.0;    ///< avg_power * exec_seconds.
+
+    DesignStats stats;             ///< Internal accounting (see above).
 };
 
 /**
@@ -124,6 +178,22 @@ struct FunctionalResult
 FunctionalResult executeFunctional(const DesignConfig &cfg,
                                    const CsrMatrix &a,
                                    const CsrMatrix &b);
+
+/**
+ * Fold one simulation's counters into a registry under the `sim.*`
+ * namespace (see docs/OBSERVABILITY.md for the catalog). Counter adds
+ * commute, so accumulating from parallel workers stays deterministic.
+ */
+void recordSimMetrics(MetricsRegistry &registry, const SimResult &result);
+
+/**
+ * Emit the canonical per-design event sequence for one simulation:
+ * `sim.design` (cycle totals), `sim.schedule` (occupancy counters),
+ * `sim.hbm` (per-channel-group traffic), `sim.compress` (B-format
+ * trade-off). This is the stream the golden traces under tests/golden/
+ * pin; field sets are part of the stable schema.
+ */
+void emitSimEvents(MetricsSink &sink, const SimResult &result);
 
 } // namespace misam
 

@@ -44,4 +44,16 @@ HbmModel::packedWriteCycles(Offset entries, int channels)
     return packedReadCycles(entries, channels);
 }
 
+Offset
+HbmModel::packedBytes(Offset entries)
+{
+    return ceilDiv(entries, kPackedEntriesPerWord) * kBytesPerWord;
+}
+
+Offset
+HbmModel::denseBytes(Offset values)
+{
+    return ceilDiv(values, kDenseValuesPerWord) * kBytesPerWord;
+}
+
 } // namespace misam

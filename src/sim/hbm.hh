@@ -39,6 +39,16 @@ class HbmModel
 
     /** Cycles to write `entries` packed 64-bit entries over `channels`. */
     static Offset packedWriteCycles(Offset entries, int channels);
+
+    /**
+     * Bytes actually moved when streaming `entries` packed 64-bit
+     * entries: full 512-bit words including tail padding — the quantity
+     * the observability layer reports as HBM traffic.
+     */
+    static Offset packedBytes(Offset entries);
+
+    /** Bytes actually moved when streaming `values` dense FP32 values. */
+    static Offset denseBytes(Offset values);
 };
 
 } // namespace misam

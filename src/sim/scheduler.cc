@@ -115,6 +115,7 @@ TileScheduler::schedule(const CscMatrix &a_csc, const KTile &k_range,
     if (stats.schedule_length > 0) {
         const Offset capacity =
             stats.schedule_length * static_cast<Offset>(total_pes_);
+        stats.slot_cycles = capacity;
         stats.bubble_cycles = capacity - stats.busy_cycles;
         stats.pe_utilization = static_cast<double>(stats.busy_cycles) /
                                static_cast<double>(capacity);

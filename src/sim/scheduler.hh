@@ -39,6 +39,7 @@ struct TileScheduleStats
     Offset total_elements = 0;   ///< A nonzeros scheduled in the tile.
     Offset busy_cycles = 0;      ///< Sum of per-PE useful work cycles.
     Offset bubble_cycles = 0;    ///< Idle PE-cycles (pes*length - busy).
+    Offset slot_cycles = 0;      ///< PE-cycle capacity (pes * length).
     double pe_utilization = 0.0; ///< busy / (pes * length); 0 if empty.
 };
 

@@ -1,0 +1,296 @@
+#include "util/metrics.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace misam {
+
+void
+Timer::addSeconds(double s)
+{
+    // fetch_add on atomic<double> is C++20; keep a CAS loop so the
+    // sanitizer builds exercise the same code path as the default one.
+    double cur = seconds_.load(std::memory_order_relaxed);
+    while (!seconds_.compare_exchange_weak(cur, cur + s,
+                                           std::memory_order_relaxed))
+        ;
+    count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+/**
+ * Find-or-create a cell in one of the registry's (deque, map) pairs.
+ * Called under the registry mutex.
+ */
+template <typename Cell>
+Cell &
+resolveCell(std::string_view name, std::deque<Cell> &cells,
+            std::map<std::string, Cell *, std::less<>> &index)
+{
+    const auto it = index.find(name);
+    if (it != index.end())
+        return *it->second;
+    cells.emplace_back();
+    Cell &cell = cells.back();
+    index.emplace(std::string(name), &cell);
+    return cell;
+}
+
+} // namespace
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resolveCell(name, counter_cells_, counters_);
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resolveCell(name, gauge_cells_, gauges_);
+}
+
+Timer &
+MetricsRegistry::timer(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resolveCell(name, timer_cells_, timers_);
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+double
+MetricsRegistry::gaugeValue(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+double
+MetricsRegistry::timerSeconds(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = timers_.find(name);
+    return it == timers_.end() ? 0.0 : it->second->seconds();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, cell] : counters_)
+        out.emplace_back(name, cell->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::gauges() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, cell] : gauges_)
+        out.emplace_back(name, cell->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, MetricsRegistry::TimerSnapshot>>
+MetricsRegistry::timers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, TimerSnapshot>> out;
+    out.reserve(timers_.size());
+    for (const auto &[name, cell] : timers_)
+        out.emplace_back(name,
+                         TimerSnapshot{cell->seconds(), cell->count()});
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Counter &c : counter_cells_)
+        c.value_.store(0, std::memory_order_relaxed);
+    for (Gauge &g : gauge_cells_)
+        g.value_.store(0.0, std::memory_order_relaxed);
+    for (Timer &t : timer_cells_) {
+        t.seconds_.store(0.0, std::memory_order_relaxed);
+        t.count_.store(0, std::memory_order_relaxed);
+    }
+}
+
+ScopedTimer::ScopedTimer(Timer &timer)
+    : timer_(&timer), start_(std::chrono::steady_clock::now())
+{
+}
+
+ScopedTimer::ScopedTimer(MetricsRegistry &registry, std::string_view name)
+    : ScopedTimer(registry.timer(name))
+{
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (timer_)
+        stop();
+}
+
+double
+ScopedTimer::stop()
+{
+    if (!timer_)
+        return 0.0;
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    timer_->addSeconds(s);
+    timer_ = nullptr;
+    return s;
+}
+
+void
+appendJsonString(std::string &out, std::string_view s)
+{
+    out += '"';
+    for (const char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+MetricsSink::MetricsSink(std::ostream &out) : out_(&out) {}
+
+MetricsSink::MetricsSink(const std::string &path)
+    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get())
+{
+    if (!*owned_)
+        fatal("MetricsSink: cannot create ", path);
+}
+
+MetricsSink::~MetricsSink()
+{
+    out_->flush();
+}
+
+void
+MetricsSink::event(std::string_view ev,
+                   std::initializer_list<MetricField> fields)
+{
+    writeLine(ev, fields.begin(), fields.size());
+}
+
+void
+MetricsSink::event(std::string_view ev,
+                   const std::vector<MetricField> &fields)
+{
+    writeLine(ev, fields.data(), fields.size());
+}
+
+void
+MetricsSink::writeLine(std::string_view ev, const MetricField *fields,
+                       std::size_t n)
+{
+    std::string line;
+    line.reserve(64 + 24 * n);
+    line += "{\"ev\":";
+    appendJsonString(line, ev);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    line += ",\"t\":";
+    line += std::to_string(next_t_++);
+    for (std::size_t f = 0; f < n; ++f) {
+        const MetricField &field = fields[f];
+        line += ',';
+        appendJsonString(line, field.key);
+        line += ':';
+        switch (field.kind) {
+          case MetricField::Kind::U64:
+            line += std::to_string(field.u);
+            break;
+          case MetricField::Kind::I64:
+            line += std::to_string(field.i);
+            break;
+          case MetricField::Kind::F64:
+            line += jsonNumber(field.d);
+            break;
+          case MetricField::Kind::Str:
+            appendJsonString(line, field.s);
+            break;
+        }
+    }
+    line += "}\n";
+    *out_ << line;
+}
+
+void
+MetricsSink::emitRegistry(const MetricsRegistry &registry)
+{
+    for (const auto &[name, value] : registry.counters())
+        event("counter", {{"name", std::string_view(name)},
+                          {"value", value}});
+    for (const auto &[name, value] : registry.gauges())
+        event("gauge",
+              {{"name", std::string_view(name)}, {"value", value}});
+    for (const auto &[name, snap] : registry.timers())
+        event("timer", {{"name", std::string_view(name)},
+                        {"seconds", snap.seconds},
+                        {"count", snap.count}});
+}
+
+std::uint64_t
+MetricsSink::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_t_;
+}
+
+} // namespace misam

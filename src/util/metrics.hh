@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Lightweight observability layer: a thread-compatible metrics registry
+ * (named monotonic counters, gauges, and wall-clock timers) plus a JSONL
+ * event-trace sink.
+ *
+ * Design constraints, in order:
+ *
+ *  1. Cheap enough to stay on in hot loops. Hot paths resolve a metric
+ *     name to a cell handle once (`Counter &c = reg.counter("x")`) and
+ *     then pay one relaxed atomic RMW per update. Cells have stable
+ *     addresses for the registry's lifetime.
+ *  2. Deterministic output. Registry snapshots iterate in sorted name
+ *     order; counter values are order-independent sums, so they are
+ *     identical for any `MISAM_THREADS` value. Event streams carry a
+ *     logical sequence number `t` (not wall time), so a trace produced
+ *     from deterministic inputs is byte-stable — the property the
+ *     golden-trace suite under `tests/golden/` pins.
+ *  3. Zero effect on simulated results. Nothing in the simulators reads
+ *     a metric; registries and sinks are pure observers.
+ *
+ * JSONL schema (one event per line, `docs/OBSERVABILITY.md` catalogs
+ * the emitted events):
+ *
+ *     {"ev":"<event-name>","t":<seq>,"<key>":<value>,...}
+ *
+ * `ev` is the event name, `t` a per-sink monotonically increasing
+ * sequence number starting at 0. Remaining fields are event-specific
+ * key/value pairs (integers, doubles, or strings).
+ */
+
+#ifndef MISAM_UTIL_METRICS_HH
+#define MISAM_UTIL_METRICS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace misam {
+
+/** Monotonic counter cell. Updates are relaxed atomic adds. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-written-value gauge cell. */
+class Gauge
+{
+  public:
+    void
+    set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    std::atomic<double> value_{0.0};
+};
+
+/** Accumulating wall-clock timer cell (seconds + record count). */
+class Timer
+{
+  public:
+    /** Fold `s` seconds into the accumulated total. */
+    void addSeconds(double s);
+
+    double
+    seconds() const
+    {
+        return seconds_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    std::atomic<double> seconds_{0.0};
+    std::atomic<std::uint64_t> count_{0};
+};
+
+/**
+ * A named collection of counters, gauges, and timers.
+ *
+ * Name resolution takes a mutex; updates through the returned handles
+ * are lock-free. Thread-compatible: concurrent updates to the same cell
+ * commute (counters/timers) or race benignly to a last-writer value
+ * (gauges), so final counter values are deterministic for any thread
+ * count.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Cell handles: created on first use, stable addresses afterward. */
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Timer &timer(std::string_view name);
+
+    /** One-shot conveniences (resolve the name every call). */
+    void
+    add(std::string_view name, std::uint64_t delta = 1)
+    {
+        counter(name).add(delta);
+    }
+
+    void
+    set(std::string_view name, double value)
+    {
+        gauge(name).set(value);
+    }
+
+    void
+    addSeconds(std::string_view name, double s)
+    {
+        timer(name).addSeconds(s);
+    }
+
+    /** Value reads; 0 when the metric does not exist. */
+    std::uint64_t counterValue(std::string_view name) const;
+    double gaugeValue(std::string_view name) const;
+    double timerSeconds(std::string_view name) const;
+
+    /** Accumulated timer value. */
+    struct TimerSnapshot
+    {
+        double seconds = 0.0;
+        std::uint64_t count = 0;
+    };
+
+    /** Snapshots in sorted name order (deterministic iteration). */
+    std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+    std::vector<std::pair<std::string, double>> gauges() const;
+    std::vector<std::pair<std::string, TimerSnapshot>> timers() const;
+
+    /** Zero every cell; existing handles remain valid. */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    // Cells live in deques (stable addresses across growth); maps index
+    // them by name. transparent comparators let string_view lookups
+    // avoid a temporary std::string on the hit path.
+    std::deque<Counter> counter_cells_;
+    std::deque<Gauge> gauge_cells_;
+    std::deque<Timer> timer_cells_;
+    std::map<std::string, Counter *, std::less<>> counters_;
+    std::map<std::string, Gauge *, std::less<>> gauges_;
+    std::map<std::string, Timer *, std::less<>> timers_;
+};
+
+/**
+ * RAII wall-clock timer: accumulates the elapsed seconds into a Timer
+ * cell (or a named registry timer) on destruction or stop().
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Timer &timer);
+    ScopedTimer(MetricsRegistry &registry, std::string_view name);
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer();
+
+    /** Record now and disarm; returns the elapsed seconds. */
+    double stop();
+
+  private:
+    Timer *timer_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** One key/value field of a JSONL event. */
+struct MetricField
+{
+    enum class Kind { U64, I64, F64, Str };
+
+    MetricField(std::string_view k, std::uint64_t v)
+        : key(k), kind(Kind::U64), u(v)
+    {
+    }
+    MetricField(std::string_view k, std::int64_t v)
+        : key(k), kind(Kind::I64), i(v)
+    {
+    }
+    MetricField(std::string_view k, int v)
+        : key(k), kind(Kind::I64), i(v)
+    {
+    }
+    MetricField(std::string_view k, double v)
+        : key(k), kind(Kind::F64), d(v)
+    {
+    }
+    MetricField(std::string_view k, std::string_view v)
+        : key(k), kind(Kind::Str), s(v)
+    {
+    }
+    MetricField(std::string_view k, const char *v)
+        : key(k), kind(Kind::Str), s(v)
+    {
+    }
+
+    std::string_view key;
+    Kind kind;
+    std::uint64_t u = 0;
+    std::int64_t i = 0;
+    double d = 0.0;
+    std::string_view s;
+};
+
+/**
+ * JSONL event-trace sink. Each event() call writes exactly one line of
+ * the documented schema and flushes at destruction. Writes are
+ * mutex-serialized, so a sink may be shared across threads — but for
+ * byte-stable traces, emit events from one thread in a deterministic
+ * order (the pattern every built-in emitter follows).
+ */
+class MetricsSink
+{
+  public:
+    /** Write to a borrowed stream (caller keeps it alive). */
+    explicit MetricsSink(std::ostream &out);
+
+    /** Create/truncate `path`; fatal() when the file cannot be opened. */
+    explicit MetricsSink(const std::string &path);
+
+    MetricsSink(const MetricsSink &) = delete;
+    MetricsSink &operator=(const MetricsSink &) = delete;
+
+    ~MetricsSink();
+
+    /** Append one event line; `t` is assigned from the sequence. */
+    void event(std::string_view ev,
+               std::initializer_list<MetricField> fields);
+    void event(std::string_view ev,
+               const std::vector<MetricField> &fields);
+
+    /**
+     * Emit the registry's current state as `counter` / `gauge` / `timer`
+     * events, sorted by name — a deterministic flush of everything the
+     * run accumulated.
+     */
+    void emitRegistry(const MetricsRegistry &registry);
+
+    /** Events written so far (== the next event's `t`). */
+    std::uint64_t eventCount() const;
+
+  private:
+    void writeLine(std::string_view ev, const MetricField *fields,
+                   std::size_t n);
+
+    mutable std::mutex mutex_;
+    std::unique_ptr<std::ofstream> owned_;
+    std::ostream *out_;
+    std::uint64_t next_t_ = 0;
+};
+
+/** Append one JSON-escaped string literal (with quotes) to `out`. */
+void appendJsonString(std::string &out, std::string_view s);
+
+/** Format a double as a JSON number (deterministic shortest %.17g). */
+std::string jsonNumber(double v);
+
+} // namespace misam
+
+#endif // MISAM_UTIL_METRICS_HH

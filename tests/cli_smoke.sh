@@ -31,12 +31,69 @@ echo "== analyze =="
 echo "== simulate =="
 "$CLI" simulate --matrix "$WORK/g.mtx" --self | grep -q "fastest:"
 
+echo "== simulate --metrics =="
+"$CLI" simulate --matrix "$WORK/g.mtx" --self \
+    --metrics "$WORK/trace.jsonl" | grep -q "metrics trace written"
+test -s "$WORK/trace.jsonl"
+
+# Schema check of the JSONL trace: every line parses as flat JSON,
+# carries the documented envelope ("ev" string, "t" sequencing from 0),
+# and every counter value is a non-negative integer.
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$WORK/trace.jsonl" <<'PYEOF'
+import json, sys
+
+path = sys.argv[1]
+events = set()
+with open(path) as f:
+    for lineno, line in enumerate(f):
+        try:
+            obj = json.loads(line)
+        except ValueError as e:
+            sys.exit(f"{path}:{lineno + 1}: invalid JSON: {e}")
+        for key in ("ev", "t"):
+            if key not in obj:
+                sys.exit(f"{path}:{lineno + 1}: missing key {key!r}")
+        if not isinstance(obj["ev"], str) or not obj["ev"]:
+            sys.exit(f"{path}:{lineno + 1}: 'ev' must be a string")
+        if obj["t"] != lineno:
+            sys.exit(f"{path}:{lineno + 1}: 't' is {obj['t']}, "
+                     f"expected the line sequence {lineno}")
+        if obj["ev"] == "counter":
+            value = obj.get("value")
+            if not isinstance(value, int) or value < 0:
+                sys.exit(f"{path}:{lineno + 1}: counter "
+                         f"{obj.get('name')!r} has non-counter "
+                         f"value {value!r}")
+        events.add(obj["ev"])
+missing = {"run", "sim.design", "sim.hbm", "counter"} - events
+if missing:
+    sys.exit(f"{path}: expected event types missing: {sorted(missing)}")
+print(f"trace schema OK ({lineno + 1} events)")
+PYEOF
+else
+    # Fallback without python3: envelope + key events, line-anchored.
+    grep -q '^{"ev":"run","t":0,' "$WORK/trace.jsonl"
+    grep -q '"ev":"sim.design"' "$WORK/trace.jsonl"
+    grep -q '"ev":"counter"' "$WORK/trace.jsonl"
+    if grep -v '^{"ev":"[a-z._]*","t":[0-9]*,' "$WORK/trace.jsonl"; then
+        echo "malformed trace line"; exit 1
+    fi
+    echo "trace schema OK (grep fallback)"
+fi
+
 echo "== detail =="
 "$CLI" detail --matrix "$WORK/g.mtx" --self | grep -q "bound by"
 
 echo "== predict =="
 "$CLI" predict --model "$WORK/model.bin" --matrix "$WORK/g.mtx" --self \
     | grep -q "predicted design"
+
+echo "== predict --metrics =="
+"$CLI" predict --model "$WORK/model.bin" --matrix "$WORK/g.mtx" --self \
+    --metrics "$WORK/ptrace.jsonl" | grep -q "metrics trace written"
+grep -q '"ev":"decision"' "$WORK/ptrace.jsonl"
+grep -q '"name":"phase.preprocess"' "$WORK/ptrace.jsonl"
 
 echo "== dataset =="
 "$CLI" dataset --out "$WORK/data.csv" --samples 20 --seed 4

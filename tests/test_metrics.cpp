@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Observability-layer tests: the metrics registry and JSONL sink, and
+ * the golden-trace regression suite.
+ *
+ * Golden traces live under tests/golden/ (one JSONL file per seeded
+ * 64x64 workload, covering all four designs). Each test regenerates the
+ * trace from scratch and diffs it field-by-field against the checked-in
+ * file, failing with the first divergence. To refresh after an
+ * intentional simulator change:
+ *
+ *     MISAM_UPDATE_GOLDEN=1 ./build/tests/test_metrics
+ *
+ * then review the tests/golden/ diff like any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/misam.hh"
+#include "sim/design_sim.hh"
+#include "sparse/generate.hh"
+#include "util/metrics.hh"
+#include "workloads/training_data.hh"
+
+#ifndef MISAM_GOLDEN_DIR
+#error "MISAM_GOLDEN_DIR must point at tests/golden"
+#endif
+
+using namespace misam;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Registry basics.
+
+TEST(MetricsRegistry, CountersAccumulateAndRead)
+{
+    MetricsRegistry reg;
+    reg.add("a");
+    reg.add("a", 4);
+    reg.add("b", 2);
+    EXPECT_EQ(reg.counterValue("a"), 5u);
+    EXPECT_EQ(reg.counterValue("b"), 2u);
+    EXPECT_EQ(reg.counterValue("missing"), 0u);
+
+    Counter &c = reg.counter("a");
+    c.add(10);
+    EXPECT_EQ(reg.counterValue("a"), 15u);
+}
+
+TEST(MetricsRegistry, GaugesHoldLastValue)
+{
+    MetricsRegistry reg;
+    reg.set("g", 1.5);
+    reg.set("g", -2.25);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("g"), -2.25);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("missing"), 0.0);
+}
+
+TEST(MetricsRegistry, TimersAccumulateSecondsAndCount)
+{
+    MetricsRegistry reg;
+    reg.addSeconds("t", 0.5);
+    reg.addSeconds("t", 0.25);
+    EXPECT_DOUBLE_EQ(reg.timerSeconds("t"), 0.75);
+    EXPECT_EQ(reg.timer("t").count(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotsAreSortedByName)
+{
+    MetricsRegistry reg;
+    reg.add("zebra");
+    reg.add("apple");
+    reg.add("mango");
+    const auto snap = reg.counters();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].first, "apple");
+    EXPECT_EQ(snap[1].first, "mango");
+    EXPECT_EQ(snap[2].first, "zebra");
+}
+
+TEST(MetricsRegistry, ResetZerosButKeepsHandles)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("c");
+    c.add(7);
+    reg.addSeconds("t", 1.0);
+    reg.set("g", 3.0);
+    reg.reset();
+    EXPECT_EQ(reg.counterValue("c"), 0u);
+    EXPECT_DOUBLE_EQ(reg.timerSeconds("t"), 0.0);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("g"), 0.0);
+    c.add(2); // Handle still valid after reset.
+    EXPECT_EQ(reg.counterValue("c"), 2u);
+}
+
+TEST(ScopedTimer, RecordsElapsedOnStopAndDestruction)
+{
+    MetricsRegistry reg;
+    {
+        ScopedTimer t(reg, "scope");
+    }
+    EXPECT_EQ(reg.timer("scope").count(), 1u);
+    ScopedTimer t(reg, "scope");
+    const double s = t.stop();
+    EXPECT_GE(s, 0.0);
+    EXPECT_EQ(reg.timer("scope").count(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// JSON building blocks.
+
+TEST(MetricsJson, StringEscaping)
+{
+    std::string out;
+    appendJsonString(out, "a\"b\\c\n\t");
+    EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\\t\"");
+    out.clear();
+    appendJsonString(out, std::string_view("\x01", 1));
+    EXPECT_EQ(out, "\"\\u0001\"");
+}
+
+TEST(MetricsJson, NumbersRoundTrip)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(std::stod(jsonNumber(0.1)), 0.1);
+    EXPECT_EQ(std::stod(jsonNumber(1e-18)), 1e-18);
+}
+
+TEST(MetricsSinkTest, SchemaAndSequence)
+{
+    std::ostringstream out;
+    MetricsSink sink(out);
+    sink.event("alpha", {{"k", std::uint64_t{1}}});
+    sink.event("beta", {{"s", "x y"}, {"d", 2.5}});
+    EXPECT_EQ(sink.eventCount(), 2u);
+    EXPECT_EQ(out.str(), "{\"ev\":\"alpha\",\"t\":0,\"k\":1}\n"
+                         "{\"ev\":\"beta\",\"t\":1,\"s\":\"x y\","
+                         "\"d\":2.5}\n");
+}
+
+// ---------------------------------------------------------------------
+// Golden traces.
+
+/** One key/raw-value pair of a flat JSON object, in document order. */
+using FlatJson = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Split one flat JSONL object (no nesting — the documented schema) into
+ * ordered key/raw-value pairs. Values keep their literal spelling so the
+ * diff reports exactly what is on disk.
+ */
+FlatJson
+parseFlatJson(const std::string &line)
+{
+    FlatJson fields;
+    std::size_t i = 0;
+    auto expect = [&](char c) {
+        ASSERT_LT(i, line.size()) << "truncated JSON line: " << line;
+        ASSERT_EQ(line[i], c) << "malformed JSON line at byte " << i
+                              << ": " << line;
+        ++i;
+    };
+    auto parseString = [&]() {
+        std::string s;
+        expect('"');
+        while (i < line.size() && line[i] != '"') {
+            if (line[i] == '\\' && i + 1 < line.size())
+                s += line[i++];
+            s += line[i++];
+        }
+        expect('"');
+        return s;
+    };
+
+    expect('{');
+    while (i < line.size() && line[i] != '}') {
+        const std::string key = parseString();
+        if (testing::Test::HasFatalFailure())
+            return fields;
+        expect(':');
+        std::string value;
+        if (i < line.size() && line[i] == '"') {
+            value = '"' + parseString() + '"';
+        } else {
+            while (i < line.size() && line[i] != ',' && line[i] != '}')
+                value += line[i++];
+        }
+        fields.emplace_back(key, value);
+        if (i < line.size() && line[i] == ',')
+            ++i;
+    }
+    expect('}');
+    return fields;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            lines.push_back(line);
+    return lines;
+}
+
+/** A seeded workload whose trace is pinned under tests/golden/. */
+struct GoldenCase
+{
+    const char *name; ///< Golden file is <name>.jsonl.
+    CsrMatrix a;
+    CsrMatrix b;
+};
+
+std::vector<GoldenCase>
+goldenCases()
+{
+    std::vector<GoldenCase> cases;
+    {
+        Rng rng(101);
+        CsrMatrix a = generateUniform(64, 64, 0.08, rng);
+        cases.push_back({"uniform_64_self", a, a});
+    }
+    {
+        Rng rng(202);
+        CsrMatrix a = generateBanded(64, 64, 5, 0.7, rng);
+        cases.push_back({"banded_64_self", a, a});
+    }
+    {
+        Rng rng(303);
+        CsrMatrix a = generateUniform(64, 64, 0.12, rng);
+        CsrMatrix b = generateDenseCsr(64, 32, rng);
+        cases.push_back({"uniform_64_dense32", std::move(a),
+                         std::move(b)});
+    }
+    return cases;
+}
+
+/**
+ * Produce the canonical trace of one golden case: a run header, the
+ * four designs' sim.* events in design order, then the registry
+ * counters. Everything here is integer arithmetic over seeded inputs —
+ * no wall-clock values — so the bytes are stable across runs, hosts,
+ * and MISAM_THREADS settings.
+ */
+std::string
+buildGoldenTrace(const GoldenCase &c, unsigned threads = 1)
+{
+    std::ostringstream out;
+    MetricsSink sink(out);
+    MetricsRegistry registry;
+    const auto sims = simulateAllDesigns(c.a, c.b, threads);
+    sink.event("run",
+               {{"case", c.name},
+                {"rows", static_cast<std::uint64_t>(c.a.rows())},
+                {"cols", static_cast<std::uint64_t>(c.a.cols())},
+                {"b_cols", static_cast<std::uint64_t>(c.b.cols())},
+                {"nnz", c.a.nnz()}});
+    for (const SimResult &r : sims) {
+        recordSimMetrics(registry, r);
+        emitSimEvents(sink, r);
+    }
+    sink.emitRegistry(registry);
+    return out.str();
+}
+
+std::string
+goldenPath(const GoldenCase &c)
+{
+    return std::string(MISAM_GOLDEN_DIR) + "/" + c.name + ".jsonl";
+}
+
+/**
+ * Field-by-field diff of a regenerated trace against the golden file,
+ * reporting the first divergence with enough context to act on it.
+ */
+void
+expectMatchesGolden(const std::string &trace, const std::string &path)
+{
+    if (std::getenv("MISAM_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write golden file " << path;
+        out << trace;
+        std::printf("[golden] refreshed %s\n", path.c_str());
+        return;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " — run MISAM_UPDATE_GOLDEN=1 ./test_metrics "
+                       "and commit the result";
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    const std::vector<std::string> expected = splitLines(buf.str());
+    const std::vector<std::string> actual = splitLines(trace);
+    const std::size_t common = std::min(expected.size(), actual.size());
+    for (std::size_t ln = 0; ln < common; ++ln) {
+        if (expected[ln] == actual[ln])
+            continue;
+        const FlatJson want = parseFlatJson(expected[ln]);
+        const FlatJson got = parseFlatJson(actual[ln]);
+        if (testing::Test::HasFatalFailure())
+            return;
+        const std::string ev =
+            want.empty() ? "?" : want.front().second;
+        for (std::size_t f = 0; f < std::min(want.size(), got.size());
+             ++f) {
+            if (want[f].first != got[f].first) {
+                FAIL() << path << ":" << ln + 1 << " (event " << ev
+                       << "): field #" << f << " is named \""
+                       << got[f].first << "\", golden has \""
+                       << want[f].first << '"';
+            }
+            if (want[f].second != got[f].second) {
+                FAIL() << path << ":" << ln + 1 << " (event " << ev
+                       << "): field \"" << want[f].first
+                       << "\" diverged — golden " << want[f].second
+                       << ", regenerated " << got[f].second;
+            }
+        }
+        FAIL() << path << ":" << ln + 1 << " (event " << ev
+               << "): field count diverged — golden " << want.size()
+               << " fields, regenerated " << got.size();
+    }
+    if (expected.size() != actual.size()) {
+        FAIL() << path << ": line count diverged — golden "
+               << expected.size() << " events, regenerated "
+               << actual.size() << " (first extra line: "
+               << (expected.size() > actual.size()
+                       ? expected[common]
+                       : actual[common])
+               << ")";
+    }
+}
+
+class GoldenTrace : public testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(GoldenTrace, MatchesCheckedInTrace)
+{
+    const GoldenCase c = goldenCases()[GetParam()];
+    expectMatchesGolden(buildGoldenTrace(c), goldenPath(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, GoldenTrace,
+                         testing::Range<std::size_t>(0, 3),
+                         [](const auto &info) {
+                             return goldenCases()[info.param].name;
+                         });
+
+TEST(GoldenTraceDeterminism, IdenticalForAnyThreadCount)
+{
+    for (const GoldenCase &c : goldenCases()) {
+        const std::string serial = buildGoldenTrace(c, 1);
+        EXPECT_EQ(serial, buildGoldenTrace(c, 4)) << c.name;
+        EXPECT_EQ(serial, buildGoldenTrace(c, 1)) << c.name;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Observer neutrality: attaching a registry changes nothing simulated.
+
+TEST(MetricsNeutrality, AttachedRegistryChangesNoResult)
+{
+    TrainingDataConfig cfg;
+    cfg.num_samples = 50;
+    cfg.seed = 11;
+    const auto samples = generateTrainingSamples(cfg);
+
+    MisamFramework plain;
+    MisamFramework observed;
+    plain.train(samples);
+    observed.train(samples);
+    MetricsRegistry registry;
+    observed.setMetrics(&registry);
+
+    Rng rng(7);
+    const CsrMatrix a = generateUniform(96, 96, 0.05, rng);
+    const ExecutionReport without = plain.execute(a, a);
+    const ExecutionReport with = observed.execute(a, a);
+
+    EXPECT_EQ(without.predicted, with.predicted);
+    EXPECT_EQ(without.decision.chosen, with.decision.chosen);
+    EXPECT_EQ(without.decision.reconfigure, with.decision.reconfigure);
+    EXPECT_EQ(without.sim.total_cycles, with.sim.total_cycles);
+    EXPECT_DOUBLE_EQ(without.sim.exec_seconds, with.sim.exec_seconds);
+    EXPECT_EQ(without.sim.stats.issued_nonzeros,
+              with.sim.stats.issued_nonzeros);
+    EXPECT_EQ(without.sim.stats.hbm_read_a_bytes,
+              with.sim.stats.hbm_read_a_bytes);
+
+    // And the observer actually observed.
+    EXPECT_EQ(registry.counterValue("sim.runs"), 1u);
+    EXPECT_EQ(registry.counterValue("reconfig.decisions"), 1u);
+    EXPECT_EQ(registry.timer(phaseTimerName(Phase::Preprocess)).count(),
+              1u);
+}
+
+} // namespace

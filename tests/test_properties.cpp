@@ -10,13 +10,18 @@
 
 #include <tuple>
 
+#include "core/misam.hh"
 #include "ml/hw_inference.hh"
 #include "sim/design_sim.hh"
+#include "sim/hbm.hh"
 #include "sim/scheduler.hh"
+#include "sim/trace.hh"
 #include "sparse/convert.hh"
 #include "sparse/generate.hh"
 #include "sparse/spgemm.hh"
 #include "trapezoid/trapezoid.hh"
+#include "util/metrics.hh"
+#include "workloads/training_data.hh"
 
 namespace misam {
 namespace {
@@ -53,11 +58,167 @@ TEST_P(SimGrid, InvariantsHoldEverywhere)
                   std::max(r.num_tiles, 1));
 }
 
+TEST_P(SimGrid, DesignStatsConservation)
+{
+    const auto [design_idx, density, n] = GetParam();
+    const DesignId id = allDesigns()[static_cast<std::size_t>(design_idx)];
+    Rng rng(static_cast<std::uint64_t>(design_idx * 1000 + n) ^
+            static_cast<std::uint64_t>(density * 1e6));
+    const auto dim = static_cast<Index>(n);
+    const CsrMatrix a = generateUniform(dim, dim, density, rng);
+    const CsrMatrix b = generateUniform(dim, dim / 2, density * 2.0,
+                                        rng);
+    const SimResult r = simulateDesign(id, a, b);
+    const DesignStats &s = r.stats;
+
+    // Slot conservation: every PE-cycle of capacity is either useful
+    // work or a bubble, for every design including weighted Design 4.
+    EXPECT_EQ(s.busy_cycles + s.bubble_cycles, s.slot_cycles);
+    // SpMM designs issue one nonzero per busy cycle (unit weights), so
+    // the issue counter is exactly the busy-cycle counter.
+    if (id != DesignId::D4) {
+        EXPECT_EQ(s.issued_nonzeros, s.busy_cycles);
+    }
+    EXPECT_GE(s.slot_cycles, s.issued_nonzeros);
+
+    // HBM floors: A streams every nonzero as a packed 64-bit entry at
+    // least once, so word-rounded traffic can only exceed nnz * 8.
+    EXPECT_GE(s.hbm_read_a_bytes, a.nnz() * 8);
+    if (id == DesignId::D4) {
+        EXPECT_GE(s.hbm_read_b_bytes, b.nnz() * 8);
+        EXPECT_GE(s.hbm_write_c_bytes, r.output_nnz * 8);
+    } else {
+        // Dense B tiles and a dense C write-back: 4-byte FP32 values.
+        EXPECT_EQ(s.hbm_read_b_bytes, s.b_bytes_dense_equiv);
+        EXPECT_GE(s.hbm_write_c_bytes,
+                  static_cast<Offset>(a.rows()) * b.cols() * 4);
+    }
+    EXPECT_GE(s.tile_refills, static_cast<Offset>(r.num_tiles));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Grid, SimGrid,
     testing::Combine(testing::Values(0, 1, 2, 3),
                      testing::Values(0.003, 0.05, 0.4),
                      testing::Values(96, 384, 1024)));
+
+// --------------------------------------------------------------------
+// DesignStats vs the exact cycle-by-cycle timeline
+// --------------------------------------------------------------------
+
+class ScheduleVsTimeline
+    : public testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(ScheduleVsTimeline, OccupancyMatchesExactTrace)
+{
+    const auto [kind_idx, pes, dep] = GetParam();
+    const auto kind = static_cast<SchedulerKind>(kind_idx);
+    Rng rng(static_cast<std::uint64_t>(kind_idx * 100 + pes * 10 + dep));
+    const CsrMatrix a = generateUniform(96, 96, 0.08, rng);
+    const CscMatrix a_csc = csrToCsc(a);
+
+    const TileScheduler sched(kind, pes, dep);
+    const TileScheduleStats stats = sched.schedule(a_csc, {0, 96});
+    const TimelineTrace trace = traceSchedule(a_csc, kind, pes, dep);
+
+    // Walk the timeline slot-by-slot: issued nonzeros, explicit
+    // bubbles, and the implicit trailing idle (every PE is padded to
+    // the slowest one) must exactly fill the closed-form capacity.
+    Offset timeline_slots = 0;
+    Offset issued = 0;
+    Offset bubbles = 0;
+    for (const PeTimeline &pe : trace.pes) {
+        ASSERT_LE(pe.slots.size(), trace.length);
+        for (const int slot : pe.slots) {
+            if (slot >= 0)
+                ++issued;
+            else
+                ++bubbles;
+        }
+        bubbles += trace.length - pe.slots.size();
+        timeline_slots += trace.length;
+    }
+    EXPECT_EQ(issued, trace.elements);
+    EXPECT_EQ(issued + bubbles, timeline_slots);
+    EXPECT_EQ(stats.slot_cycles, timeline_slots);
+    EXPECT_EQ(stats.busy_cycles, issued);
+    EXPECT_EQ(stats.bubble_cycles, bubbles);
+    EXPECT_EQ(stats.total_elements, trace.elements);
+    EXPECT_EQ(stats.bubble_cycles, trace.bubbles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ScheduleVsTimeline,
+                         testing::Combine(testing::Values(0, 1),
+                                          testing::Values(4, 16),
+                                          testing::Values(1, 3)));
+
+// --------------------------------------------------------------------
+// BreakdownReport vs the metrics registry
+// --------------------------------------------------------------------
+
+TEST(BreakdownRegistryAgreement, TotalEqualsSumOfPhaseTimers)
+{
+    TrainingDataConfig cfg;
+    cfg.num_samples = 40;
+    cfg.seed = 5;
+    MisamFramework misam;
+    misam.train(generateTrainingSamples(cfg));
+    MetricsRegistry registry;
+    misam.setMetrics(&registry);
+
+    Rng rng(6);
+    const CsrMatrix a = generateUniform(80, 80, 0.06, rng);
+    const ExecutionReport rep = misam.execute(a, a);
+
+    double timer_sum = 0.0;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        const auto phase = static_cast<Phase>(p);
+        EXPECT_TRUE(rep.breakdown.recorded(phase)) << phaseName(phase);
+        EXPECT_EQ(registry.timer(phaseTimerName(phase)).count(), 1u)
+            << phaseName(phase);
+        timer_sum += registry.timerSeconds(phaseTimerName(phase));
+    }
+    EXPECT_NEAR(rep.breakdown.total(), timer_sum, 1e-12);
+}
+
+TEST(BreakdownRegistryAgreement, BatchAccumulatesOneRecordPerJob)
+{
+    TrainingDataConfig cfg;
+    cfg.num_samples = 40;
+    cfg.seed = 5;
+    MisamFramework misam;
+    misam.train(generateTrainingSamples(cfg));
+    MetricsRegistry registry;
+    misam.setMetrics(&registry);
+
+    Rng rng(8);
+    std::vector<BatchJob> jobs;
+    for (int i = 0; i < 3; ++i) {
+        BatchJob job;
+        job.name = "job" + std::to_string(i);
+        job.a = generateUniform(64, 64, 0.05 + 0.02 * i, rng);
+        job.b = job.a;
+        jobs.push_back(std::move(job));
+    }
+    const BatchReport batch = misam.executeBatch(jobs);
+
+    double timer_sum = 0.0;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        const auto phase = static_cast<Phase>(p);
+        EXPECT_EQ(registry.timer(phaseTimerName(phase)).count(),
+                  jobs.size())
+            << phaseName(phase);
+        timer_sum += registry.timerSeconds(phaseTimerName(phase));
+    }
+    double report_sum = 0.0;
+    for (const ExecutionReport &rep : batch.jobs)
+        report_sum += rep.breakdown.total();
+    EXPECT_NEAR(report_sum, timer_sum, 1e-12);
+    EXPECT_EQ(registry.counterValue("sim.runs"), jobs.size());
+    EXPECT_EQ(registry.counterValue("reconfig.decisions"), jobs.size());
+}
 
 // --------------------------------------------------------------------
 // kernel agreement on structured matrices

@@ -1,7 +1,8 @@
 /**
  * @file
  * Unit tests for the utility layer: RNG determinism and distribution
- * sanity, summary statistics, and table formatting.
+ * sanity, summary statistics, table formatting, and the BreakdownReport
+ * phase-recording contract.
  */
 
 #include <gtest/gtest.h>
@@ -9,6 +10,7 @@
 #include <cmath>
 #include <set>
 
+#include "core/pipeline.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
@@ -348,6 +350,73 @@ TEST(Logging, VerboseToggle)
     setVerboseLogging(false);
     EXPECT_FALSE(verboseLogging());
     setVerboseLogging(was);
+}
+
+// --------------------------------------------------------------------
+// BreakdownReport phase recording
+// --------------------------------------------------------------------
+
+TEST(BreakdownReport, RecordFillsFieldsAndMask)
+{
+    BreakdownReport bd;
+    EXPECT_FALSE(bd.recorded(Phase::Preprocess));
+    bd.record(Phase::Preprocess, 0.25);
+    bd.record(Phase::Execute, 1.5);
+    EXPECT_TRUE(bd.recorded(Phase::Preprocess));
+    EXPECT_TRUE(bd.recorded(Phase::Execute));
+    EXPECT_FALSE(bd.recorded(Phase::Inference));
+    EXPECT_DOUBLE_EQ(bd.preprocess_s, 0.25);
+    EXPECT_DOUBLE_EQ(bd.execute_s, 1.5);
+    EXPECT_DOUBLE_EQ(bd.phaseSeconds(Phase::Execute), 1.5);
+    EXPECT_DOUBLE_EQ(bd.phaseSeconds(Phase::Inference), 0.0);
+    EXPECT_DOUBLE_EQ(bd.total(), 1.75);
+}
+
+TEST(BreakdownReport, RecordIsIdempotentForSameValue)
+{
+    BreakdownReport bd;
+    bd.record(Phase::Engine, 0.5);
+    bd.record(Phase::Engine, 0.5); // Exact re-record: a no-op.
+    EXPECT_DOUBLE_EQ(bd.engine_s, 0.5);
+}
+
+TEST(BreakdownReport, AccumulateAddsToRecordedPhase)
+{
+    BreakdownReport bd;
+    bd.record(Phase::Preprocess, 0.5);
+    bd.accumulate(Phase::Preprocess, 0.25);
+    EXPECT_DOUBLE_EQ(bd.preprocess_s, 0.75);
+    EXPECT_DOUBLE_EQ(bd.total(), 0.75);
+}
+
+TEST(BreakdownReport, PhaseNamesCoverEveryPhase)
+{
+    std::set<std::string> names;
+    std::set<std::string> timer_keys;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        const auto phase = static_cast<Phase>(p);
+        names.insert(phaseName(phase));
+        const std::string key = phaseTimerName(phase);
+        EXPECT_EQ(key.rfind("phase.", 0), 0u) << key;
+        timer_keys.insert(key);
+    }
+    EXPECT_EQ(names.size(), kNumPhases);
+    EXPECT_EQ(timer_keys.size(), kNumPhases);
+}
+
+TEST(BreakdownReportDeath, DoubleRecordWithDifferentValueIsFatal)
+{
+    BreakdownReport bd;
+    bd.record(Phase::Execute, 1.0);
+    EXPECT_EXIT(bd.record(Phase::Execute, 2.0),
+                testing::ExitedWithCode(1), "recorded twice");
+}
+
+TEST(BreakdownReportDeath, AccumulateIntoUnrecordedPhaseIsFatal)
+{
+    BreakdownReport bd;
+    EXPECT_EXIT(bd.accumulate(Phase::Reconfig, 0.1),
+                testing::ExitedWithCode(1), "unrecorded phase");
 }
 
 } // namespace

@@ -8,12 +8,16 @@
  *             model, and persist the framework.
  *   predict   --model FILE --matrix A.mtx
  *             [--b B.mtx | --dense-cols N | --self]
+ *             [--metrics OUT.jsonl]
  *             Load a trained framework and report the full decision
  *             pipeline for the workload.
  *   analyze   --matrix A.mtx [--b B.mtx | --dense-cols N | --self]
  *             Print the paper's feature set for a workload.
  *   simulate  --matrix A.mtx [--b B.mtx | --dense-cols N | --self]
+ *             [--metrics OUT.jsonl]
  *             Run all four design simulators and print the comparison.
+ *             --metrics appends a JSONL event trace (see
+ *             docs/OBSERVABILITY.md for the schema).
  *   dataset   --out FILE.csv [--samples N] [--seed S]
  *             Export (features, per-design latency, label) rows as CSV
  *             for external ML experimentation.
@@ -32,10 +36,12 @@
 
 #include "core/misam.hh"
 #include "core/persistence.hh"
+#include "sim/design_sim.hh"
 #include "sparse/generate.hh"
 #include "sparse/convert.hh"
 #include "sparse/io.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/table.hh"
 #include "workloads/training_data.hh"
 
@@ -151,6 +157,9 @@ cmdPredict(const Args &args)
     MisamFramework misam = loadFrameworkFile(args.require("--model"));
     auto [a, b] = loadWorkload(args);
 
+    MetricsRegistry registry;
+    if (args.has("--metrics"))
+        misam.setMetrics(&registry);
     ExecutionReport rep = misam.execute(a, b);
     TextTable table({"Stage", "Result"});
     table.addRow({"workload", std::to_string(a.rows()) + "x" +
@@ -176,6 +185,27 @@ cmdPredict(const Args &args)
                                3) +
                       " ms"});
     std::printf("%s", table.render().c_str());
+
+    if (auto metrics_path = args.value("--metrics")) {
+        MetricsSink sink(*metrics_path);
+        sink.event("run",
+                   {{"cmd", "predict"},
+                    {"rows", static_cast<std::uint64_t>(a.rows())},
+                    {"cols", static_cast<std::uint64_t>(a.cols())},
+                    {"b_cols", static_cast<std::uint64_t>(b.cols())},
+                    {"nnz", static_cast<std::uint64_t>(a.nnz())}});
+        sink.event("decision",
+                   {{"predicted", designName(rep.predicted)},
+                    {"chosen", designName(rep.decision.chosen)},
+                    {"reconfigure", rep.decision.reconfigure ? 1 : 0},
+                    {"overhead_s", rep.decision.overhead_s},
+                    {"expected_gain_s", rep.decision.expected_gain_s}});
+        emitSimEvents(sink, rep.sim);
+        sink.emitRegistry(registry);
+        std::printf("metrics trace written to %s (%llu events)\n",
+                    metrics_path->c_str(),
+                    static_cast<unsigned long long>(sink.eventCount()));
+    }
     return 0;
 }
 
@@ -194,8 +224,15 @@ cmdAnalyze(const Args &args)
 int
 cmdSimulate(const Args &args)
 {
+    MetricsRegistry registry;
+    ScopedTimer load_timer(registry, "phase.load");
     auto [a, b] = loadWorkload(args);
+    load_timer.stop();
+
+    ScopedTimer sim_timer(registry, "phase.simulate");
     const auto sims = simulateAllDesigns(a, b);
+    sim_timer.stop();
+
     TextTable table({"Design", "Cycles", "Exec (ms)", "PE util",
                      "Energy (mJ)", "Tiles"});
     for (const SimResult &r : sims) {
@@ -209,6 +246,24 @@ cmdSimulate(const Args &args)
     }
     std::printf("%s", table.render().c_str());
     std::printf("fastest: %s\n", designName(fastestDesign(sims)));
+
+    if (auto metrics_path = args.value("--metrics")) {
+        for (const SimResult &r : sims)
+            recordSimMetrics(registry, r);
+        MetricsSink sink(*metrics_path);
+        sink.event("run",
+                   {{"cmd", "simulate"},
+                    {"rows", static_cast<std::uint64_t>(a.rows())},
+                    {"cols", static_cast<std::uint64_t>(a.cols())},
+                    {"b_cols", static_cast<std::uint64_t>(b.cols())},
+                    {"nnz", static_cast<std::uint64_t>(a.nnz())}});
+        for (const SimResult &r : sims)
+            emitSimEvents(sink, r);
+        sink.emitRegistry(registry);
+        std::printf("metrics trace written to %s (%llu events)\n",
+                    metrics_path->c_str(),
+                    static_cast<unsigned long long>(sink.eventCount()));
+    }
     return 0;
 }
 
@@ -288,11 +343,11 @@ usage()
         "  train    --out FILE [--samples N] [--seed S] "
         "[--energy-weight W]\n"
         "  predict  --model FILE --matrix A.mtx [--b B.mtx | "
-        "--dense-cols N | --self]\n"
+        "--dense-cols N | --self] [--metrics OUT.jsonl]\n"
         "  analyze  --matrix A.mtx [--b B.mtx | --dense-cols N | "
         "--self]\n"
         "  simulate --matrix A.mtx [--b B.mtx | --dense-cols N | "
-        "--self]\n"
+        "--self] [--metrics OUT.jsonl]\n"
         "  dataset  --out FILE.csv [--samples N] [--seed S]\n"
         "  detail   --matrix A.mtx [--design 1..4] [B flags]\n");
 }
