@@ -3,8 +3,9 @@
 # Full verification flow:
 #   1. tier-1 build (warning-gated) + full ctest pass,
 #   2. the golden-trace suite again under an AddressSanitizer build,
-#   3. a ThreadSanitizer build running the parallel-layer tests, so data
-#      races in the thread pool / sample fan-out are caught at check time.
+#   3. a ThreadSanitizer build running the parallel-layer and serving-
+#      layer tests, so data races in the thread pool / sample fan-out /
+#      operand cache / server dispatcher are caught at check time.
 #
 # Sanitizer passes are skipped (with a notice) when the toolchain lacks
 # the runtime — the container's compiler may not ship every libsan.
@@ -59,13 +60,15 @@ if [[ "$tsan_only" -eq 0 ]]; then
     fi
 fi
 
-# TSan pass over the parallel tests.
+# TSan pass over the parallel tests and the serving layer (cache +
+# server smoke under concurrency).
 if have_sanitizer thread; then
-    echo "== TSan: build + parallel tests =="
+    echo "== TSan: build + parallel/serve tests =="
     cmake -B build-tsan -S . -DMISAM_SANITIZE=thread \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    cmake --build build-tsan -j --target test_parallel
+    cmake --build build-tsan -j --target test_parallel test_serve
     (cd build-tsan && ctest --output-on-failure -R '^Parallel')
+    (cd build-tsan && ctest --output-on-failure -L serve)
 else
     echo "NOTICE: toolchain lacks ThreadSanitizer support; skipping" \
          "the TSan pass."

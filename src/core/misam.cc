@@ -4,10 +4,13 @@
 #include <cmath>
 
 #include "ml/metrics.hh"
+#include "serve/fingerprint.hh"
+#include "serve/summary_cache.hh"
 #include "sparse/convert.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
 #include "util/parallel.hh"
+#include "util/random.hh"
 #include "util/stats.hh"
 
 namespace misam {
@@ -83,6 +86,7 @@ MisamFramework::train(const std::vector<TrainingSample> &samples)
     {
         std::vector<double> hit_speedups;
         std::vector<double> miss_slowdowns;
+        std::size_t degenerate_ratios = 0;
         for (const std::size_t sample_idx : report.validation_indices) {
             const TrainingSample &s = samples[sample_idx];
             const int actual_best =
@@ -105,14 +109,32 @@ MisamFramework::train(const std::vector<TrainingSample> &samples)
                     if (static_cast<int>(d) != actual_best)
                         others.push_back(latencies[d]);
                 const double runner_up = minValue(others);
-                hit_speedups.push_back(
-                    runner_up /
-                    std::max(latencies[actual_best], 1e-18));
+                // A zero or negative simulated latency on either side
+                // makes the ratio meaningless (and geomean() is fatal
+                // on non-positive input): skip the sample and count it.
+                if (latencies[actual_best] <= 0.0 || runner_up <= 0.0) {
+                    ++degenerate_ratios;
+                    continue;
+                }
+                hit_speedups.push_back(runner_up /
+                                       latencies[actual_best]);
             } else {
-                miss_slowdowns.push_back(
-                    latencies[predicted] /
-                    std::max(latencies[actual_best], 1e-18));
+                if (latencies[actual_best] <= 0.0 ||
+                    latencies[predicted] <= 0.0) {
+                    ++degenerate_ratios;
+                    continue;
+                }
+                miss_slowdowns.push_back(latencies[predicted] /
+                                         latencies[actual_best]);
             }
+        }
+        if (degenerate_ratios > 0) {
+            warn("MisamFramework::train: skipped ", degenerate_ratios,
+                 " validation sample(s) with non-positive simulated "
+                 "latency from the hit/miss geomean");
+            if (metrics_)
+                metrics_->add("train.degenerate_ratios",
+                              degenerate_ratios);
         }
         if (!hit_speedups.empty())
             report.hit_geomean_speedup = geomean(hit_speedups);
@@ -168,6 +190,19 @@ MisamFramework::predictDesign(const FeatureVector &features) const
     return allDesigns()[static_cast<std::size_t>(label)];
 }
 
+FeatureVector
+MisamFramework::extractFeaturesCached(const CsrMatrix &a,
+                                      const CsrMatrix &b) const
+{
+    // extractFeatures(a, b) is definitionally combineFeatures over the
+    // two per-matrix summaries (features/features.cc), so routing each
+    // operand through the content-addressed cache is bit-identical.
+    if (summary_cache_ == nullptr)
+        return extractFeatures(a, b);
+    return combineFeatures(*summary_cache_->summary(a),
+                           *summary_cache_->summary(b));
+}
+
 ExecutionReport
 MisamFramework::execute(const CsrMatrix &a, const CsrMatrix &b,
                         double repetitions)
@@ -176,9 +211,10 @@ MisamFramework::execute(const CsrMatrix &a, const CsrMatrix &b,
     ExecutionReport report;
 
     Stopwatch sw;
-    report.features = extractFeatures(a, b);
+    report.features = extractFeaturesCached(a, b);
     recordPhase(report.breakdown, Phase::Preprocess, sw.elapsedSeconds());
-    return finishExecution(std::move(report), a, b, repetitions);
+    return finishExecution(std::move(report), a, b, repetitions,
+                           repetitions);
 }
 
 ExecutionReport
@@ -192,12 +228,14 @@ MisamFramework::executeWithSummary(const CsrMatrix &a, const CsrMatrix &b,
     Stopwatch sw;
     report.features = combineFeatures(summarizeMatrix(a), b_summary);
     recordPhase(report.breakdown, Phase::Preprocess, sw.elapsedSeconds());
-    return finishExecution(std::move(report), a, b, repetitions);
+    return finishExecution(std::move(report), a, b, repetitions,
+                           repetitions);
 }
 
 ExecutionReport
 MisamFramework::finishExecution(ExecutionReport report, const CsrMatrix &a,
-                                const CsrMatrix &b, double repetitions)
+                                const CsrMatrix &b, double repetitions,
+                                double engine_amortization)
 {
     Stopwatch sw;
 
@@ -206,13 +244,19 @@ MisamFramework::finishExecution(ExecutionReport report, const CsrMatrix &a,
     recordPhase(report.breakdown, Phase::Inference, sw.elapsedSeconds());
 
     sw.restart();
-    report.decision =
-        engine_->decide(report.features, report.predicted, repetitions);
+    report.decision = engine_->decide(report.features, report.predicted,
+                                      engine_amortization);
     recordPhase(report.breakdown, Phase::Engine, sw.elapsedSeconds());
 
+    // One convention everywhere: the execute phase covers every
+    // execution the report stands for, so breakdown.execute_s, the
+    // registry's phase.execute timer, and batch/stream totals all agree
+    // (previously the registry recorded a single run while batch totals
+    // multiplied by repetitions — they disagreed for repetitions > 1).
+    report.repetitions = repetitions;
     report.sim = simulateDesign(report.decision.chosen, a, b);
     recordPhase(report.breakdown, Phase::Execute,
-                report.sim.exec_seconds);
+                report.sim.exec_seconds * repetitions);
     recordPhase(report.breakdown, Phase::Reconfig,
                 report.decision.reconfigure ? report.decision.overhead_s
                                             : 0.0);
@@ -236,7 +280,7 @@ MisamFramework::executeBatch(const std::vector<BatchJob> &jobs,
         jobs.size(),
         [&](std::size_t i) {
             Stopwatch sw;
-            features[i] = extractFeatures(jobs[i].a, jobs[i].b);
+            features[i] = extractFeaturesCached(jobs[i].a, jobs[i].b);
             preprocess_s[i] = sw.elapsedSeconds();
         },
         threads);
@@ -245,13 +289,15 @@ MisamFramework::executeBatch(const std::vector<BatchJob> &jobs,
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const BatchJob &job = jobs[i];
         ExecutionReport partial;
+        partial.name = job.name;
         partial.features = std::move(features[i]);
         recordPhase(partial.breakdown, Phase::Preprocess,
                     preprocess_s[i]);
-        ExecutionReport rep = finishExecution(std::move(partial), job.a,
-                                              job.b, job.repetitions);
-        batch.total_execute_s +=
-            rep.breakdown.execute_s * job.repetitions;
+        ExecutionReport rep =
+            finishExecution(std::move(partial), job.a, job.b,
+                            job.repetitions, job.repetitions);
+        // breakdown.execute_s already covers the job's repetitions.
+        batch.total_execute_s += rep.breakdown.execute_s;
         batch.total_reconfig_s += rep.breakdown.reconfig_s;
         batch.total_host_s += rep.breakdown.preprocess_s +
                               rep.breakdown.inference_s +
@@ -273,8 +319,11 @@ MisamFramework::executeStream(const CsrMatrix &a, const CsrMatrix &b,
               "]");
 
     // Random tile heights in [tile_min, tile_max] — the paper randomizes
-    // sizes to avoid dimension bias in the model.
-    Rng rng(config_.seed ^ (static_cast<std::uint64_t>(a.rows()) << 20));
+    // sizes to avoid dimension bias in the model. The per-matrix seed
+    // mixes a content fingerprint, not just the row count: two distinct
+    // matrices of equal height must not share a tiling substream.
+    const Fingerprint128 a_fp = fingerprintMatrix(a);
+    Rng rng(deriveSeed(config_.seed ^ a_fp.hi, a_fp.lo));
     std::vector<std::pair<Index, Index>> ranges;
     Index lo = 0;
     while (lo < a.rows()) {
@@ -286,21 +335,35 @@ MisamFramework::executeStream(const CsrMatrix &a, const CsrMatrix &b,
         lo = hi;
     }
 
-    // B is shared by every tile: summarize its features once. This is
-    // what keeps streaming preprocessing overhead low — only the small
-    // A tile is scanned per step.
+    // B is shared by every tile: summarize its features once (through
+    // the operand cache when one is attached — a weight matrix reused
+    // across streams is then summarized once globally). This is what
+    // keeps streaming preprocessing overhead low — only the small A
+    // tile is scanned per step.
     Stopwatch b_summary_timer;
-    const MatrixFeatureSummary b_summary = summarizeMatrix(b);
+    std::shared_ptr<const MatrixFeatureSummary> b_cached;
+    MatrixFeatureSummary b_local;
+    if (summary_cache_ != nullptr)
+        b_cached = summary_cache_->summary(b);
+    else
+        b_local = summarizeMatrix(b);
+    const MatrixFeatureSummary &b_summary =
+        b_cached ? *b_cached : b_local;
     const double b_summary_s = b_summary_timer.elapsedSeconds();
 
     StreamReport stream;
     for (std::size_t i = 0; i < ranges.size(); ++i) {
         const CsrMatrix tile = sliceRows(a, ranges[i].first,
                                          ranges[i].second);
-        // Reconfiguration amortizes over the tiles still to come.
+        // Each tile executes exactly once (repetitions = 1), but a
+        // bitstream switch amortizes over the tiles still to come.
         const auto remaining = static_cast<double>(ranges.size() - i);
-        ExecutionReport rep = executeWithSummary(tile, b, b_summary,
-                                                 remaining);
+        ExecutionReport rep;
+        Stopwatch tile_sw;
+        rep.features = combineFeatures(summarizeMatrix(tile), b_summary);
+        recordPhase(rep.breakdown, Phase::Preprocess,
+                    tile_sw.elapsedSeconds());
+        rep = finishExecution(std::move(rep), tile, b, 1.0, remaining);
         if (i == 0) {
             // The shared B summary is preprocessing work of the stream;
             // charge it to the first tile's already-recorded phase.

@@ -22,6 +22,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/objective.hh"
@@ -33,6 +34,8 @@
 #include "workloads/training_data.hh"
 
 namespace misam {
+
+class SummaryCache;
 
 /** Framework configuration. */
 struct MisamConfig
@@ -83,11 +86,19 @@ struct TrainingReport
 /** Everything Misam did for one workload. */
 struct ExecutionReport
 {
+    std::string name;  ///< Job label (batch/serve paths; else empty).
     FeatureVector features;
     DesignId predicted = DesignId::D1;  ///< Selector's choice.
     ReconfigDecision decision;          ///< Engine's verdict.
     SimResult sim;                      ///< Run on decision.chosen.
     BreakdownReport breakdown;          ///< Figure 12 decomposition.
+    /**
+     * Executions this report stands for. One convention everywhere:
+     * breakdown.execute_s == sim.exec_seconds * repetitions, and the
+     * same total lands in the registry's phase.execute timer and in
+     * BatchReport.total_execute_s (pinned by tests/test_properties.cpp).
+     */
+    double repetitions = 1.0;
 };
 
 /** One job of a batch submission. */
@@ -105,7 +116,9 @@ struct BatchJob
 struct BatchReport
 {
     std::vector<ExecutionReport> jobs;
-    double total_execute_s = 0.0;   ///< Sum of exec * repetitions.
+    /** Sum of per-job breakdown.execute_s (each already covers the
+     *  job's repetitions) — equals the registry's phase.execute total. */
+    double total_execute_s = 0.0;
     double total_reconfig_s = 0.0;  ///< Bitstream switches paid.
     double total_host_s = 0.0;      ///< Features + inference + engine.
     int reconfigurations = 0;
@@ -225,13 +238,40 @@ class MisamFramework
     /** The attached registry, or nullptr. */
     MetricsRegistry *metrics() const { return metrics_; }
 
+    /**
+     * Attach a content-addressed operand cache (nullptr detaches; the
+     * caller keeps it alive). execute()/executeBatch() then route per-
+     * operand summarization through it, and executeStream() fetches the
+     * shared B summary from it — repeated operands (a shared weight
+     * matrix across DNN layers, say) are summarized once. Results are
+     * bit-identical with or without the cache: extractFeatures(a, b) is
+     * definitionally combineFeatures over the two per-matrix summaries
+     * (pinned by tests/test_serve.cpp).
+     */
+    void setSummaryCache(SummaryCache *cache) { summary_cache_ = cache; }
+
+    /** The attached operand cache, or nullptr. */
+    SummaryCache *summaryCache() const { return summary_cache_; }
+
   private:
     void requireTrained() const;
 
-    /** Shared tail of execute/executeWithSummary: predict, decide, run. */
+    /** extractFeatures, through the attached cache when present. */
+    FeatureVector extractFeaturesCached(const CsrMatrix &a,
+                                        const CsrMatrix &b) const;
+
+    /**
+     * Shared tail of execute/executeWithSummary: predict, decide, run.
+     * `repetitions` scales the recorded execute phase (the executions
+     * this report stands for); `engine_amortization` is the horizon the
+     * engine amortizes a bitstream switch over — usually the same
+     * number, but the streaming path amortizes over the tiles still to
+     * come while each tile executes exactly once.
+     */
     ExecutionReport finishExecution(ExecutionReport report,
                                     const CsrMatrix &a, const CsrMatrix &b,
-                                    double repetitions);
+                                    double repetitions,
+                                    double engine_amortization);
 
     /** Record a phase in the report and mirror it into the registry. */
     void recordPhase(BreakdownReport &breakdown, Phase phase,
@@ -241,6 +281,7 @@ class MisamFramework
     DecisionTree selector_;
     std::unique_ptr<ReconfigEngine> engine_;
     MetricsRegistry *metrics_ = nullptr;
+    SummaryCache *summary_cache_ = nullptr;
 };
 
 } // namespace misam

@@ -45,7 +45,9 @@ struct BreakdownReport
     double preprocess_s = 0.0; ///< Feature-extraction wall time.
     double inference_s = 0.0;  ///< Selector inference wall time.
     double engine_s = 0.0;     ///< Reconfiguration-engine wall time.
-    double execute_s = 0.0;    ///< Modeled FPGA execution time.
+    /** Modeled FPGA execution time, covering every repetition the
+     *  report stands for (single-run seconds × repetitions). */
+    double execute_s = 0.0;
     double reconfig_s = 0.0;   ///< Bitstream-switch overhead charged.
 
     /**

@@ -1,0 +1,156 @@
+#include "serve/fingerprint.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace misam {
+
+namespace {
+
+/** splitmix64 finalizer: full-avalanche 64-bit mix. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+std::uint64_t
+rotl64(std::uint64_t x, int r)
+{
+    return (x << r) | (x >> (64 - r));
+}
+
+/**
+ * Cheap per-word round for the bulk path. No finalizer — avalanche is
+ * deferred to the lane fold / digest, which is what makes this ~4x
+ * cheaper than mix() per word.
+ */
+std::uint64_t
+bulkRound(std::uint64_t lane, std::uint64_t word)
+{
+    return rotl64(lane ^ (word * 0x9e3779b97f4a7c15ULL), 31) *
+           0xc2b2ae3d27d4eb4fULL;
+}
+
+// Domain separators between the matrix sections, so e.g. a word moving
+// from the end of col_idx to the start of values changes the digest.
+constexpr std::uint64_t kTagShape = 0x5368617065ULL;   // "Shape"
+constexpr std::uint64_t kTagRowPtr = 0x526f77507472ULL; // "RowPtr"
+constexpr std::uint64_t kTagColIdx = 0x436f6c496478ULL; // "ColIdx"
+constexpr std::uint64_t kTagValues = 0x56616c756573ULL; // "Values"
+
+/** Stack-buffer size (words) for converting col_idx/values runs. */
+constexpr std::size_t kChunkWords = 512;
+
+} // namespace
+
+void
+FingerprintHasher::mix(std::uint64_t word)
+{
+    h1_ = mix64(h1_ ^ (word * 0x9e3779b97f4a7c15ULL));
+    h2_ = mix64(rotl64(h2_, 29) + (word * 0xc2b2ae3d27d4eb4fULL));
+    ++len_;
+}
+
+void
+FingerprintHasher::mixRange(const std::uint64_t *words, std::size_t n)
+{
+    // Four independent lanes seeded from the running state: the
+    // multiply chains of consecutive words overlap instead of
+    // serializing, which is where the throughput comes from.
+    std::uint64_t l0 = h1_ ^ 0x243f6a8885a308d3ULL;
+    std::uint64_t l1 = h2_ + 0x13198a2e03707344ULL;
+    std::uint64_t l2 = rotl64(h1_, 17) + 0xa4093822299f31d0ULL;
+    std::uint64_t l3 = rotl64(h2_, 41) ^ 0x082efa98ec4e6c89ULL;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        l0 = bulkRound(l0, words[i]);
+        l1 = bulkRound(l1, words[i + 1]);
+        l2 = bulkRound(l2, words[i + 2]);
+        l3 = bulkRound(l3, words[i + 3]);
+    }
+    for (; i < n; ++i)
+        l0 = bulkRound(l0, words[i]);
+    // Fold the lanes (and the run length, so runs of different word
+    // counts never alias) back into the running state through the
+    // full-avalanche path.
+    mix(l0);
+    mix(l1);
+    mix(l2);
+    mix(l3);
+    mix(n);
+}
+
+Fingerprint128
+FingerprintHasher::digest() const
+{
+    const std::uint64_t a = mix64(h1_ + len_ * 0xff51afd7ed558ccdULL);
+    const std::uint64_t b = mix64(h2_ ^ rotl64(a, 31));
+    return {a, b};
+}
+
+Fingerprint128
+fingerprintMatrix(const CsrMatrix &m)
+{
+    FingerprintHasher h;
+    h.mix(kTagShape);
+    h.mix(m.rows());
+    h.mix(m.cols());
+    h.mix(m.nnz());
+
+    h.mix(kTagRowPtr);
+    static_assert(sizeof(Offset) == sizeof(std::uint64_t));
+    h.mixRange(m.rowPtr().data(), m.rowPtr().size());
+
+    h.mix(kTagColIdx);
+    {
+        // Pack two 32-bit column indices per word. An odd trailing
+        // index rides alone in the low half; the nnz word mixed above
+        // disambiguates that from a packed pair with a zero high half.
+        const std::vector<Index> &ci = m.colIdx();
+        static_assert(sizeof(Index) == sizeof(std::uint32_t));
+        std::uint64_t buf[kChunkWords];
+        const std::size_t n = ci.size();
+        std::size_t i = 0;
+        while (i + 1 < n) {
+            const std::size_t take =
+                std::min(kChunkWords, (n - i) / 2);
+            for (std::size_t j = 0; j < take; ++j)
+                buf[j] =
+                    static_cast<std::uint64_t>(ci[i + 2 * j]) |
+                    (static_cast<std::uint64_t>(ci[i + 2 * j + 1])
+                     << 32);
+            h.mixRange(buf, take);
+            i += 2 * take;
+        }
+        if (i < n) {
+            const std::uint64_t tail = ci[i];
+            h.mixRange(&tail, 1);
+        }
+    }
+
+    h.mix(kTagValues);
+    {
+        const std::vector<Value> &vals = m.values();
+        static_assert(sizeof(Value) == sizeof(std::uint64_t));
+        std::uint64_t buf[kChunkWords];
+        std::size_t i = 0;
+        while (i < vals.size()) {
+            const std::size_t k =
+                std::min(kChunkWords, vals.size() - i);
+            std::memcpy(buf, vals.data() + i,
+                        k * sizeof(std::uint64_t));
+            h.mixRange(buf, k);
+            i += k;
+        }
+    }
+    return h.digest();
+}
+
+} // namespace misam

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * 128-bit content fingerprints for sparse matrices.
+ *
+ * The serving layer's operand cache (serve/summary_cache.hh) is
+ * content-addressed: two CsrMatrix objects with the same shape and the
+ * same row_ptr/col_idx/values arrays hash to the same fingerprint, so a
+ * weight matrix resubmitted by every inference request is summarized
+ * exactly once. The fingerprint also feeds seed derivation in
+ * MisamFramework::executeStream — mixing matrix *content* (not just the
+ * row count) into the tile-height RNG, so two streams over different
+ * matrices never replay the same tile-size sequence by accident.
+ *
+ * The hash keeps two splitmix64-finalized lanes of running state; bulk
+ * array content flows through a four-lane murmur-style inner loop (one
+ * xor-rotate-multiply round per word, lanes independent so the four
+ * multiply chains overlap) that is folded back into the running state
+ * per block. Deterministic across platforms, and wide enough (128 bits)
+ * that accidental collisions are not a practical concern for a cache
+ * key. It is NOT cryptographic.
+ */
+
+#ifndef MISAM_SERVE_FINGERPRINT_HH
+#define MISAM_SERVE_FINGERPRINT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sparse/csr.hh"
+
+namespace misam {
+
+/** A 128-bit content hash. Value-comparable, usable as a map key. */
+struct Fingerprint128
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool operator==(const Fingerprint128 &) const = default;
+
+    /** Fold to 64 bits (both lanes are already well mixed). */
+    std::uint64_t
+    fold() const
+    {
+        return hi ^ (lo * 0x9e3779b97f4a7c15ULL);
+    }
+};
+
+/** Hash functor for unordered containers keyed by Fingerprint128. */
+struct FingerprintHash
+{
+    std::size_t
+    operator()(const Fingerprint128 &fp) const
+    {
+        return static_cast<std::size_t>(fp.fold());
+    }
+};
+
+/**
+ * Incremental two-lane mixer over 64-bit words. Word order matters
+ * (by design: permuted arrays are different content).
+ */
+class FingerprintHasher
+{
+  public:
+    /** Fold one 64-bit word into both lanes. */
+    void mix(std::uint64_t word);
+
+    /**
+     * Absorb a run of words through the four-lane fast path. Equivalent
+     * determinism guarantees as repeated mix(), but ~4x the throughput;
+     * the lane fold keeps block boundaries part of the digest, so
+     * mixRange(a, 2) and mix(a[0]); mix(a[1]) produce different (equally
+     * valid) digests — callers must pick one framing and keep it.
+     */
+    void mixRange(const std::uint64_t *words, std::size_t n);
+
+    /** Finalize. The hasher may keep absorbing words afterwards. */
+    Fingerprint128 digest() const;
+
+  private:
+    std::uint64_t h1_ = 0x6a09e667f3bcc908ULL; ///< sqrt(2) bits.
+    std::uint64_t h2_ = 0xbb67ae8584caa73bULL; ///< sqrt(3) bits.
+    std::uint64_t len_ = 0;
+};
+
+/**
+ * Fingerprint a CSR matrix's full content: shape, row pointers, column
+ * indices, and values (bit-cast, so -0.0 and 0.0 differ — fingerprints
+ * track representation, not numeric equivalence). O(rows + nnz) with a
+ * far smaller constant than feature summarization.
+ */
+Fingerprint128 fingerprintMatrix(const CsrMatrix &m);
+
+} // namespace misam
+
+#endif // MISAM_SERVE_FINGERPRINT_HH

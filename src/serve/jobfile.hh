@@ -1,0 +1,57 @@
+/**
+ * @file
+ * JSONL job files for the `misam serve` CLI subcommand.
+ *
+ * One job per line, a flat JSON object:
+ *
+ *     {"name":"layer3","a":"act3.mtx","b":"weights.mtx","repetitions":32}
+ *     {"name":"graph","a":"web.mtx"}
+ *     {"name":"spmm","a":"m.mtx","dense_cols":256}
+ *
+ * Fields:
+ *   a           (required) Matrix Market path of the A operand.
+ *   b           Path of B, or the literal "self" (default: self —
+ *               requires square A).
+ *   dense_cols  Generate a dense B with this many columns instead
+ *               (mutually exclusive with b; same convention as the
+ *               CLI's --dense-cols flag, seed 1).
+ *   name        Job label (default: "job<line>").
+ *   repetitions Executions the job stands for (default 1).
+ *
+ * Blank lines and lines starting with '#' are skipped; unknown keys
+ * warn and are ignored (forward compatibility); malformed JSON is a
+ * fatal error naming the line.
+ */
+
+#ifndef MISAM_SERVE_JOBFILE_HH
+#define MISAM_SERVE_JOBFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/misam.hh"
+
+namespace misam {
+
+/** One parsed (not yet loaded) job line. */
+struct ServeJobSpec
+{
+    std::string name;
+    std::string a_path;
+    std::string b_path;    ///< Empty: self (or dense_cols if set).
+    Index dense_cols = 0;  ///< > 0: generate a dense B operand.
+    double repetitions = 1.0;
+};
+
+/** Parse a JSONL job file; fatal on malformed lines. */
+std::vector<ServeJobSpec> parseJobFile(const std::string &path);
+
+/** Load one spec's matrices into an executable job. */
+BatchJob loadServeJob(const ServeJobSpec &spec);
+
+/** parseJobFile + loadServeJob over every line. */
+std::vector<BatchJob> loadJobFile(const std::string &path);
+
+} // namespace misam
+
+#endif // MISAM_SERVE_JOBFILE_HH

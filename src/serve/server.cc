@@ -1,0 +1,156 @@
+#include "serve/server.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+namespace misam {
+
+MisamServer::MisamServer(MisamFramework &framework, ServeConfig config)
+    : framework_(framework), config_(config)
+{
+    if (config_.queue_capacity == 0)
+        fatal("MisamServer: queue_capacity must be positive");
+    if (config_.window == 0)
+        fatal("MisamServer: window must be positive");
+    if (!framework_.trained())
+        fatal("MisamServer: framework must be trained before serving");
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+MisamServer::~MisamServer()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_cv_.notify_all();
+    admit_cv_.notify_all();
+    dispatcher_.join();
+}
+
+std::size_t
+MisamServer::submit(BatchJob job)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    admit_cv_.wait(lock, [this] {
+        return stopping_ || queue_.size() < config_.queue_capacity;
+    });
+    if (stopping_)
+        fatal("MisamServer::submit: server is shutting down");
+    queue_.push_back(std::move(job));
+    const std::size_t index = admitted_++;
+    high_water_ = std::max(high_water_, queue_.size());
+    if (metrics_) {
+        metrics_->add("serve.admitted");
+        metrics_->set("serve.queue_high_water",
+                      static_cast<double>(high_water_));
+    }
+    lock.unlock();
+    wake_cv_.notify_one();
+    return index;
+}
+
+void
+MisamServer::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock,
+                  [this] { return completed_ == admitted_; });
+}
+
+BatchReport
+MisamServer::serveAll(std::vector<BatchJob> jobs)
+{
+    for (BatchJob &job : jobs)
+        submit(std::move(job));
+    drain();
+    return report();
+}
+
+BatchReport
+MisamServer::report() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return report_;
+}
+
+std::size_t
+MisamServer::admitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return admitted_;
+}
+
+std::size_t
+MisamServer::completed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completed_;
+}
+
+std::size_t
+MisamServer::queueHighWater() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+}
+
+void
+MisamServer::setMetrics(MetricsRegistry *metrics)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_ = metrics;
+}
+
+void
+MisamServer::dispatchLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_cv_.wait(lock,
+                      [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+
+        // Pull one window in admission order; popping frees admission
+        // capacity immediately, so producers refill while we execute.
+        std::vector<BatchJob> window;
+        const std::size_t n = std::min(config_.window, queue_.size());
+        window.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            window.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        MetricsRegistry *metrics = metrics_;
+        lock.unlock();
+        admit_cv_.notify_all();
+        if (metrics)
+            metrics->add("serve.windows");
+
+        // executeBatch fans extraction over the pool and keeps the
+        // engine chain serial in window (== admission) order; engine
+        // state persists in the framework across windows, so the
+        // concatenation of windows is exactly one serial batch.
+        BatchReport part = framework_.executeBatch(window,
+                                                   config_.threads);
+
+        lock.lock();
+        for (ExecutionReport &rep : part.jobs)
+            report_.jobs.push_back(std::move(rep));
+        report_.total_execute_s += part.total_execute_s;
+        report_.total_reconfig_s += part.total_reconfig_s;
+        report_.total_host_s += part.total_host_s;
+        report_.reconfigurations += part.reconfigurations;
+        completed_ += n;
+        if (metrics_)
+            metrics_->add("serve.completed", n);
+        done_cv_.notify_all();
+    }
+}
+
+} // namespace misam

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * MisamServer — a serving front-end over MisamFramework.
+ *
+ * Accepts SpGEMM jobs through a *bounded admission queue* (submit()
+ * blocks while the queue is full — back-pressure instead of unbounded
+ * memory growth), and a dispatcher thread drains the queue in admission
+ * order, processing jobs in windows: feature extraction fans out over
+ * the existing `util/parallel.hh` thread pool (and, when a SummaryCache
+ * is attached to the framework, repeated operands skip summarization
+ * entirely), while the ReconfigEngine's predict/decide/execute pass
+ * stays strictly serialized in admission order — the loaded-bitstream
+ * state is a chain, so decision i must see the bitstream decision i-1
+ * left loaded.
+ *
+ * Determinism: results (features, predictions, decisions, simulated
+ * cycles) are bit-identical to a serial `MisamFramework::executeBatch`
+ * over the same jobs in the same admission order, for any thread count,
+ * window size, or queue capacity — pinned by tests/test_serve.cpp and
+ * exercised under TSan by scripts/check.sh. Only wall-clock phase
+ * timings differ.
+ *
+ * The framework must not be driven concurrently from outside while a
+ * server owns it — the dispatcher is the only thread that may touch the
+ * engine's bitstream chain.
+ */
+
+#ifndef MISAM_SERVE_SERVER_HH
+#define MISAM_SERVE_SERVER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/misam.hh"
+
+namespace misam {
+
+/** Serving knobs. */
+struct ServeConfig
+{
+    /** Admission-queue bound; submit() blocks at this depth. */
+    std::size_t queue_capacity = 64;
+
+    /**
+     * Max jobs per dispatch window: the dispatcher pulls up to this
+     * many queued jobs and fans their feature extraction out together.
+     * Larger windows expose more extraction parallelism; smaller ones
+     * lower per-job latency. Results are identical either way.
+     */
+    std::size_t window = 16;
+
+    /** Extraction worker threads (0 = MISAM_THREADS / hardware). */
+    unsigned threads = 0;
+};
+
+/**
+ * A serving front-end: bounded admission, windowed parallel feature
+ * extraction, admission-ordered execution, merged reporting.
+ */
+class MisamServer
+{
+  public:
+    /** Starts the dispatcher thread. `framework` must be trained. */
+    explicit MisamServer(MisamFramework &framework, ServeConfig config = {});
+
+    MisamServer(const MisamServer &) = delete;
+    MisamServer &operator=(const MisamServer &) = delete;
+
+    /** Drains outstanding jobs, then stops the dispatcher. */
+    ~MisamServer();
+
+    /**
+     * Admit one job; blocks while the queue is at capacity. Returns the
+     * job's admission index (its position in the merged report).
+     */
+    std::size_t submit(BatchJob job);
+
+    /** Block until every admitted job has completed. */
+    void drain();
+
+    /** Submit every job, drain, and return the merged report so far. */
+    BatchReport serveAll(std::vector<BatchJob> jobs);
+
+    /**
+     * Merged report of all completed jobs, in admission order
+     * (snapshot; call drain() first for a complete view).
+     */
+    BatchReport report() const;
+
+    /** Jobs admitted / completed so far. */
+    std::size_t admitted() const;
+    std::size_t completed() const;
+
+    /** Deepest the admission queue has been. */
+    std::size_t queueHighWater() const;
+
+    /**
+     * Attach a metrics registry for the `serve.*` counters (see
+     * docs/OBSERVABILITY.md). Attach before submitting; the caller
+     * keeps the registry alive. Does not touch the framework's own
+     * registry attachment.
+     */
+    void setMetrics(MetricsRegistry *metrics);
+
+    /** Serving configuration. */
+    const ServeConfig &config() const { return config_; }
+
+  private:
+    void dispatchLoop();
+
+    MisamFramework &framework_;
+    ServeConfig config_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable admit_cv_; ///< Signals queue capacity freed.
+    std::condition_variable wake_cv_;  ///< Signals work or shutdown.
+    std::condition_variable done_cv_;  ///< Signals completions.
+    std::deque<BatchJob> queue_;
+    BatchReport report_;
+    std::size_t admitted_ = 0;
+    std::size_t completed_ = 0;
+    std::size_t high_water_ = 0;
+    bool stopping_ = false;
+    MetricsRegistry *metrics_ = nullptr;
+
+    std::thread dispatcher_;
+};
+
+} // namespace misam
+
+#endif // MISAM_SERVE_SERVER_HH

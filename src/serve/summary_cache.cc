@@ -1,0 +1,159 @@
+#include "serve/summary_cache.hh"
+
+#include "sparse/convert.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+namespace misam {
+
+SummaryCache::SummaryCache(SummaryCacheConfig config)
+    : config_(config)
+{
+    if (config_.max_entries == 0)
+        fatal("SummaryCache: max_entries must be positive");
+}
+
+std::uint64_t
+SummaryCache::matrixBytes(const CsrMatrix &m)
+{
+    return static_cast<std::uint64_t>(m.rows() + 1) * sizeof(Offset) +
+           static_cast<std::uint64_t>(m.nnz()) *
+               (sizeof(Index) + sizeof(Value));
+}
+
+template <typename V>
+void
+SummaryCache::evictIfOverFull(Shard<V> &shard)
+{
+    // Called under mutex_. Evict the oldest *ready* entry; skip entries
+    // still being computed (their promise holder owns the value and
+    // waiters hold shared_future copies, so dropping a ready entry from
+    // the map is always safe).
+    if (shard.map.size() <= config_.max_entries)
+        return;
+    for (std::size_t i = 0; i < shard.fifo.size(); ++i) {
+        const Fingerprint128 fp = shard.fifo[i];
+        const auto it = shard.map.find(fp);
+        if (it == shard.map.end()) {
+            // Stale fifo entry (cleared earlier); drop it.
+            shard.fifo.erase(shard.fifo.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            --i;
+            continue;
+        }
+        if (it->second.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+            continue;
+        shard.map.erase(it);
+        shard.fifo.erase(shard.fifo.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_)
+            metrics_->add("cache.evictions");
+        return;
+    }
+}
+
+template <typename V, typename ComputeFn>
+std::shared_ptr<const V>
+SummaryCache::lookup(Shard<V> &shard, const CsrMatrix &m,
+                     ComputeFn &&compute,
+                     std::atomic<std::uint64_t> &hits,
+                     std::atomic<std::uint64_t> &misses,
+                     std::atomic<std::uint64_t> *bytes_saved,
+                     const char *hit_name, const char *miss_name,
+                     const char *bytes_name)
+{
+    const Fingerprint128 fp = fingerprintMatrix(m);
+
+    std::promise<std::shared_ptr<const V>> promise;
+    typename Shard<V>::Future future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = shard.map.find(fp);
+        if (it != shard.map.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            shard.map.emplace(fp, future);
+            shard.fifo.push_back(fp);
+            owner = true;
+            evictIfOverFull(shard);
+        }
+    }
+
+    if (owner) {
+        // Compute outside the lock: other requesters for this key wait
+        // on the future; requesters for other keys proceed unblocked.
+        std::shared_ptr<const V> value = compute(m);
+        promise.set_value(value);
+        misses.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_)
+            metrics_->add(miss_name);
+        return value;
+    }
+
+    hits.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_)
+        metrics_->add(hit_name);
+    if (bytes_saved) {
+        const std::uint64_t bytes = matrixBytes(m);
+        bytes_saved->fetch_add(bytes, std::memory_order_relaxed);
+        if (metrics_)
+            metrics_->add(bytes_name, bytes);
+    }
+    return future.get();
+}
+
+std::shared_ptr<const MatrixFeatureSummary>
+SummaryCache::summary(const CsrMatrix &m)
+{
+    return lookup(
+        summaries_, m,
+        [this](const CsrMatrix &mat) {
+            return std::make_shared<const MatrixFeatureSummary>(
+                summarizeMatrix(mat, config_.tile_config));
+        },
+        summary_hits_, summary_misses_, &summary_bytes_saved_,
+        "cache.summary_hits", "cache.summary_misses",
+        "cache.summary_bytes_saved");
+}
+
+std::shared_ptr<const CscMatrix>
+SummaryCache::csc(const CsrMatrix &m)
+{
+    return lookup(
+        cscs_, m,
+        [](const CsrMatrix &mat) {
+            return std::make_shared<const CscMatrix>(csrToCsc(mat));
+        },
+        csc_hits_, csc_misses_, nullptr, "cache.csc_hits",
+        "cache.csc_misses", "");
+}
+
+std::size_t
+SummaryCache::summaryEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return summaries_.map.size();
+}
+
+std::size_t
+SummaryCache::cscEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cscs_.map.size();
+}
+
+void
+SummaryCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    summaries_.map.clear();
+    summaries_.fifo.clear();
+    cscs_.map.clear();
+    cscs_.fifo.clear();
+}
+
+} // namespace misam

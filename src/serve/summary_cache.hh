@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Content-addressed operand cache for the serving layer.
+ *
+ * The paper's headline serving scenario multiplies one pruned DNN
+ * weight matrix B against a stream of activation tiles; Misam's host
+ * overhead stays negligible only if the pipeline does not re-derive B's
+ * feature summary on every request. SummaryCache memoizes
+ * `summarizeMatrix` results (and optionally `csrToCsc` conversions)
+ * keyed by a 128-bit content fingerprint of shape + row_ptr + col_idx +
+ * values — so repeated operands (the shared-B inference case, repeated
+ * SuiteSparse matrices in benches) skip summarization entirely.
+ *
+ * Concurrency: safe for concurrent lookups (the feature-extraction
+ * fan-out of `MisamFramework::executeBatch` hits it from pool workers).
+ * Each distinct fingerprint is computed exactly once — concurrent
+ * requesters for a key being computed block on a shared_future instead
+ * of duplicating the work — which also makes the hit/miss counters
+ * deterministic for any thread count: `misses == distinct operands`,
+ * `hits == lookups - misses`, always.
+ *
+ * Determinism: cached values are pure functions of matrix content, so
+ * routing through the cache never changes a result — only the time (and
+ * bytes scanned) spent producing it. Pinned by tests/test_serve.cpp.
+ */
+
+#ifndef MISAM_SERVE_SUMMARY_CACHE_HH
+#define MISAM_SERVE_SUMMARY_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "features/features.hh"
+#include "serve/fingerprint.hh"
+#include "sparse/csc.hh"
+#include "sparse/csr.hh"
+
+namespace misam {
+
+class MetricsRegistry;
+
+/** Cache sizing and behavior knobs. */
+struct SummaryCacheConfig
+{
+    /**
+     * Soft bound on entries per kind (summaries / CSC conversions).
+     * When exceeded, the oldest *ready* entry is evicted FIFO; entries
+     * still being computed are never evicted, so the bound can be
+     * transiently overshot by the number of in-flight computations.
+     */
+    std::size_t max_entries = 256;
+
+    /** Tiling geometry passed through to summarizeMatrix. */
+    FeatureTileConfig tile_config{};
+};
+
+/**
+ * Thread-safe content-addressed memoization of per-matrix feature
+ * summaries and CSR->CSC conversions.
+ */
+class SummaryCache
+{
+  public:
+    explicit SummaryCache(SummaryCacheConfig config = {});
+
+    SummaryCache(const SummaryCache &) = delete;
+    SummaryCache &operator=(const SummaryCache &) = delete;
+
+    /**
+     * The feature summary of `m`, computed on first sight of this
+     * content and returned from cache afterwards. Never returns null.
+     */
+    std::shared_ptr<const MatrixFeatureSummary> summary(const CsrMatrix &m);
+
+    /** The CSC conversion of `m`, memoized the same way. */
+    std::shared_ptr<const CscMatrix> csc(const CsrMatrix &m);
+
+    /**
+     * Attach a metrics registry (nullptr detaches; caller keeps it
+     * alive). Lookups then mirror into the `cache.*` counters
+     * (docs/OBSERVABILITY.md). Attach before concurrent use.
+     */
+    void setMetrics(MetricsRegistry *metrics) { metrics_ = metrics; }
+
+    /** Lifetime hit/miss/byte counters (also mirrored to `cache.*`). */
+    std::uint64_t
+    summaryHits() const
+    {
+        return summary_hits_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    summaryMisses() const
+    {
+        return summary_misses_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Operand bytes a hit did not have to re-scan: the CSR footprint
+     * (row_ptr + col_idx + values) of every matrix served from cache.
+     */
+    std::uint64_t
+    summaryBytesSaved() const
+    {
+        return summary_bytes_saved_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    cscHits() const
+    {
+        return csc_hits_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    cscMisses() const
+    {
+        return csc_misses_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+
+    /** Cached entry counts (ready + in-flight). */
+    std::size_t summaryEntries() const;
+    std::size_t cscEntries() const;
+
+    /** Drop every cached entry (counters keep accumulating). */
+    void clear();
+
+    /** CSR byte footprint used for the bytes-saved accounting. */
+    static std::uint64_t matrixBytes(const CsrMatrix &m);
+
+  private:
+    template <typename V>
+    struct Shard
+    {
+        using Future = std::shared_future<std::shared_ptr<const V>>;
+        std::unordered_map<Fingerprint128, Future, FingerprintHash> map;
+        std::deque<Fingerprint128> fifo; ///< Insertion order, for eviction.
+    };
+
+    /** find-or-compute with exactly-once semantics per fingerprint. */
+    template <typename V, typename ComputeFn>
+    std::shared_ptr<const V> lookup(Shard<V> &shard, const CsrMatrix &m,
+                                    ComputeFn &&compute,
+                                    std::atomic<std::uint64_t> &hits,
+                                    std::atomic<std::uint64_t> &misses,
+                                    std::atomic<std::uint64_t> *bytes_saved,
+                                    const char *hit_name,
+                                    const char *miss_name,
+                                    const char *bytes_name);
+
+    template <typename V> void evictIfOverFull(Shard<V> &shard);
+
+    SummaryCacheConfig config_;
+    mutable std::mutex mutex_;
+    Shard<MatrixFeatureSummary> summaries_;
+    Shard<CscMatrix> cscs_;
+
+    std::atomic<std::uint64_t> summary_hits_{0};
+    std::atomic<std::uint64_t> summary_misses_{0};
+    std::atomic<std::uint64_t> summary_bytes_saved_{0};
+    std::atomic<std::uint64_t> csc_hits_{0};
+    std::atomic<std::uint64_t> csc_misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    MetricsRegistry *metrics_ = nullptr;
+};
+
+} // namespace misam
+
+#endif // MISAM_SERVE_SUMMARY_CACHE_HH

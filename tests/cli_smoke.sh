@@ -95,6 +95,66 @@ echo "== predict --metrics =="
 grep -q '"ev":"decision"' "$WORK/ptrace.jsonl"
 grep -q '"name":"phase.preprocess"' "$WORK/ptrace.jsonl"
 
+echo "== serve =="
+# Three jobs over the same matrix (self-product), one with repetitions:
+# the content-addressed cache should see one distinct operand and hit on
+# every lookup after the first.
+{
+    printf '# serve smoke jobs\n'
+    printf '{"name":"first","a":"%s"}\n' "$WORK/g.mtx"
+    printf '{"name":"again","a":"%s","b":"self"}\n' "$WORK/g.mtx"
+    printf '{"name":"reps","a":"%s","repetitions":4}\n' "$WORK/g.mtx"
+} > "$WORK/jobs.jsonl"
+"$CLI" serve --model "$WORK/model.bin" --jobs "$WORK/jobs.jsonl" \
+    --threads 2 --metrics "$WORK/strace.jsonl" | tee "$WORK/serve.out"
+grep -q "served 3 jobs" "$WORK/serve.out"
+grep -q "operand cache:" "$WORK/serve.out"
+test -s "$WORK/strace.jsonl"
+
+# Schema + counter checks on the serve trace: envelope as above, the
+# per-job serve.job events, and the serve.*/cache.* counters with the
+# values this workload pins (3 jobs, 1 distinct operand -> 5 hits of 6
+# lookups).
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$WORK/strace.jsonl" <<'PYEOF'
+import json, sys
+
+path = sys.argv[1]
+counters = {}
+jobs = []
+with open(path) as f:
+    for lineno, line in enumerate(f):
+        try:
+            obj = json.loads(line)
+        except ValueError as e:
+            sys.exit(f"{path}:{lineno + 1}: invalid JSON: {e}")
+        if "ev" not in obj or obj.get("t") != lineno:
+            sys.exit(f"{path}:{lineno + 1}: bad envelope: {obj}")
+        if obj["ev"] == "counter":
+            counters[obj["name"]] = obj["value"]
+        elif obj["ev"] == "serve.job":
+            jobs.append(obj["name"])
+
+if jobs != ["first", "again", "reps"]:
+    sys.exit(f"{path}: serve.job events out of order: {jobs}")
+expect = {"serve.admitted": 3, "serve.completed": 3,
+          "cache.summary_misses": 1}
+for name, value in expect.items():
+    if counters.get(name) != value:
+        sys.exit(f"{path}: counter {name} = {counters.get(name)!r}, "
+                 f"expected {value}")
+if counters.get("cache.summary_hits", 0) < 5:
+    sys.exit(f"{path}: cache.summary_hits = "
+             f"{counters.get('cache.summary_hits')!r}, expected >= 5")
+print("serve trace OK")
+PYEOF
+else
+    grep -q '"ev":"serve.job"' "$WORK/strace.jsonl"
+    grep -q '"name":"serve.completed","value":3' "$WORK/strace.jsonl"
+    grep -q '"name":"cache.summary_misses","value":1' "$WORK/strace.jsonl"
+    echo "serve trace OK (grep fallback)"
+fi
+
 echo "== dataset =="
 "$CLI" dataset --out "$WORK/data.csv" --samples 20 --seed 4
 lines=$(wc -l < "$WORK/data.csv")

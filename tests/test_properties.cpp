@@ -220,6 +220,47 @@ TEST(BreakdownRegistryAgreement, BatchAccumulatesOneRecordPerJob)
     EXPECT_EQ(registry.counterValue("reconfig.decisions"), jobs.size());
 }
 
+TEST(BreakdownRegistryAgreement, RepetitionsShareOneConvention)
+{
+    // The repetition fix: breakdown.execute_s, the registry's
+    // phase.execute timer, and BatchReport.total_execute_s must all
+    // describe the same quantity — single-run seconds x repetitions —
+    // for repetitions > 1 (they previously disagreed by that factor).
+    TrainingDataConfig cfg;
+    cfg.num_samples = 40;
+    cfg.seed = 5;
+    MisamFramework misam;
+    misam.train(generateTrainingSamples(cfg));
+    MetricsRegistry registry;
+    misam.setMetrics(&registry);
+
+    Rng rng(14);
+    const double reps[] = {1.0, 3.0, 10.0};
+    std::vector<BatchJob> jobs;
+    for (int i = 0; i < 3; ++i) {
+        BatchJob job;
+        job.name = "job" + std::to_string(i);
+        job.a = generateUniform(64, 64, 0.05 + 0.02 * i, rng);
+        job.b = job.a;
+        job.repetitions = reps[i];
+        jobs.push_back(std::move(job));
+    }
+    const BatchReport batch = misam.executeBatch(jobs);
+
+    double breakdown_sum = 0.0;
+    for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
+        const ExecutionReport &rep = batch.jobs[i];
+        EXPECT_DOUBLE_EQ(rep.repetitions, reps[i]);
+        EXPECT_DOUBLE_EQ(rep.breakdown.execute_s,
+                         rep.sim.exec_seconds * reps[i])
+            << "job " << i;
+        breakdown_sum += rep.breakdown.execute_s;
+    }
+    EXPECT_DOUBLE_EQ(batch.total_execute_s, breakdown_sum);
+    EXPECT_DOUBLE_EQ(registry.timerSeconds(phaseTimerName(Phase::Execute)),
+                     batch.total_execute_s);
+}
+
 // --------------------------------------------------------------------
 // kernel agreement on structured matrices
 // --------------------------------------------------------------------

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Serving-layer tests: content fingerprints, the SummaryCache's
+ * exactly-once semantics and deterministic counters, MisamServer's
+ * bit-identity with the serial batch path, and regression tests for the
+ * stream-tiling seed and zero-latency training fixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "core/misam.hh"
+#include "serve/fingerprint.hh"
+#include "serve/jobfile.hh"
+#include "serve/server.hh"
+#include "serve/summary_cache.hh"
+#include "sparse/convert.hh"
+#include "sparse/generate.hh"
+#include "util/metrics.hh"
+#include "workloads/training_data.hh"
+
+namespace misam {
+namespace {
+
+CsrMatrix
+testMatrix(std::uint64_t seed, Index rows = 64, Index cols = 64)
+{
+    Rng rng(seed);
+    return generateUniform(rows, cols, 0.05, rng);
+}
+
+TEST(Fingerprint, EqualContentEqualFingerprint)
+{
+    const CsrMatrix a = testMatrix(3);
+    const CsrMatrix b = a; // Distinct object, identical content.
+    EXPECT_EQ(fingerprintMatrix(a), fingerprintMatrix(b));
+}
+
+TEST(Fingerprint, SensitiveToEveryComponent)
+{
+    const CsrMatrix base = testMatrix(3);
+    const Fingerprint128 fp = fingerprintMatrix(base);
+
+    // A changed value.
+    {
+        std::vector<Value> values = base.values();
+        values.front() += 1.0;
+        const CsrMatrix m(base.rows(), base.cols(), base.rowPtr(),
+                          base.colIdx(), std::move(values));
+        EXPECT_NE(fingerprintMatrix(m), fp);
+    }
+    // A moved nonzero (different col_idx, same counts). Row 0 has
+    // >= 1 nonzero w.h.p. at 5% density on 64 columns; move its first
+    // entry to a column not already occupied.
+    {
+        std::vector<Index> cols = base.colIdx();
+        ASSERT_GT(base.rowNnz(0), 0u);
+        // Nonzero columns of row 0 are sorted; shifting the last one to
+        // the right keeps the row valid if there is room.
+        const std::size_t last =
+            static_cast<std::size_t>(base.rowPtr()[1]) - 1;
+        if (cols[last] + 1 < base.cols()) {
+            cols[last] += 1;
+            const CsrMatrix m(base.rows(), base.cols(), base.rowPtr(),
+                              std::move(cols), base.values());
+            EXPECT_NE(fingerprintMatrix(m), fp);
+        }
+    }
+    // Same nnz pattern container, different declared width.
+    {
+        const CsrMatrix m(base.rows(), base.cols() + 1, base.rowPtr(),
+                          base.colIdx(), base.values());
+        EXPECT_NE(fingerprintMatrix(m), fp);
+    }
+    // -0.0 vs 0.0: representation-sensitive by documented contract.
+    {
+        std::vector<Value> plus = base.values();
+        std::vector<Value> minus = base.values();
+        plus.front() = 0.0;
+        minus.front() = -0.0;
+        const CsrMatrix mp(base.rows(), base.cols(), base.rowPtr(),
+                           base.colIdx(), std::move(plus));
+        const CsrMatrix mm(base.rows(), base.cols(), base.rowPtr(),
+                           base.colIdx(), std::move(minus));
+        EXPECT_NE(fingerprintMatrix(mp), fingerprintMatrix(mm));
+    }
+}
+
+TEST(Fingerprint, DistinctMatricesDistinctFingerprints)
+{
+    // A sanity sweep: 64 different matrices, no collisions.
+    std::vector<Fingerprint128> fps;
+    for (std::uint64_t s = 0; s < 64; ++s)
+        fps.push_back(fingerprintMatrix(testMatrix(s)));
+    for (std::size_t i = 0; i < fps.size(); ++i)
+        for (std::size_t j = i + 1; j < fps.size(); ++j)
+            EXPECT_FALSE(fps[i] == fps[j]) << i << " vs " << j;
+}
+
+TEST(SummaryCacheTest, MissThenHitReturnsIdenticalSummary)
+{
+    SummaryCache cache;
+    const CsrMatrix m = testMatrix(7);
+
+    const auto first = cache.summary(m);
+    EXPECT_EQ(cache.summaryMisses(), 1u);
+    EXPECT_EQ(cache.summaryHits(), 0u);
+
+    const CsrMatrix copy = m;
+    const auto second = cache.summary(copy);
+    EXPECT_EQ(cache.summaryMisses(), 1u);
+    EXPECT_EQ(cache.summaryHits(), 1u);
+    EXPECT_EQ(first.get(), second.get()); // Same cached object.
+    EXPECT_EQ(cache.summaryBytesSaved(), SummaryCache::matrixBytes(m));
+
+    // Cached summary equals a direct computation, field for field.
+    const MatrixFeatureSummary direct = summarizeMatrix(m);
+    EXPECT_EQ(first->rows, direct.rows);
+    EXPECT_EQ(first->cols, direct.cols);
+    EXPECT_EQ(first->nnz, direct.nnz);
+    const FeatureVector via_cache = combineFeatures(*first, *first);
+    const FeatureVector via_direct = combineFeatures(direct, direct);
+    EXPECT_EQ(0, std::memcmp(via_cache.values.data(),
+                             via_direct.values.data(),
+                             sizeof(double) * kNumFeatures));
+}
+
+TEST(SummaryCacheTest, CscMemoization)
+{
+    SummaryCache cache;
+    const CsrMatrix m = testMatrix(11);
+    const auto c1 = cache.csc(m);
+    const auto c2 = cache.csc(m);
+    EXPECT_EQ(c1.get(), c2.get());
+    EXPECT_EQ(cache.cscMisses(), 1u);
+    EXPECT_EQ(cache.cscHits(), 1u);
+    // Memoized conversion matches a direct one.
+    const CscMatrix direct = csrToCsc(m);
+    EXPECT_EQ(c1->colPtr(), direct.colPtr());
+    EXPECT_EQ(c1->rowIdx(), direct.rowIdx());
+    EXPECT_EQ(c1->values(), direct.values());
+}
+
+TEST(SummaryCacheTest, EvictsOldestBeyondCapacity)
+{
+    SummaryCache cache({.max_entries = 4});
+    for (std::uint64_t s = 0; s < 10; ++s)
+        (void)cache.summary(testMatrix(s));
+    EXPECT_EQ(cache.summaryMisses(), 10u);
+    EXPECT_LE(cache.summaryEntries(), 4u);
+    EXPECT_EQ(cache.evictions(), 6u);
+    // An evicted matrix recomputes (a new miss, not a hit).
+    (void)cache.summary(testMatrix(0));
+    EXPECT_EQ(cache.summaryMisses(), 11u);
+}
+
+TEST(SummaryCacheTest, CountersMirrorIntoRegistry)
+{
+    MetricsRegistry registry;
+    SummaryCache cache;
+    cache.setMetrics(&registry);
+    const CsrMatrix m = testMatrix(13);
+    (void)cache.summary(m);
+    (void)cache.summary(m);
+    (void)cache.summary(m);
+    EXPECT_EQ(registry.counterValue("cache.summary_misses"), 1u);
+    EXPECT_EQ(registry.counterValue("cache.summary_hits"), 2u);
+    EXPECT_EQ(registry.counterValue("cache.summary_bytes_saved"),
+              2u * SummaryCache::matrixBytes(m));
+}
+
+/** Shared trained framework: training is the expensive part. */
+class ServeTest : public testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        samples_ = new std::vector<TrainingSample>(generateTrainingSamples(
+            {.num_samples = 120, .seed = 33, .max_dim = 512}));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete samples_;
+        samples_ = nullptr;
+    }
+
+    /** A fresh framework trained on the shared samples. */
+    static MisamFramework
+    freshFramework()
+    {
+        MisamFramework misam;
+        misam.train(*samples_);
+        return misam;
+    }
+
+    /** Shared-B workload: one weight matrix times `n` activation tiles. */
+    static std::vector<BatchJob>
+    sharedBJobs(std::size_t n)
+    {
+        Rng rng(99);
+        const CsrMatrix b = generateUniform(256, 256, 0.04, rng);
+        std::vector<BatchJob> jobs;
+        for (std::size_t i = 0; i < n; ++i) {
+            BatchJob job;
+            job.name = "tile" + std::to_string(i);
+            job.a = generateUniform(128, 256, 0.03, rng);
+            job.b = b;
+            jobs.push_back(std::move(job));
+        }
+        return jobs;
+    }
+
+    static std::vector<TrainingSample> *samples_;
+};
+
+std::vector<TrainingSample> *ServeTest::samples_ = nullptr;
+
+/** Result fields that must be bit-identical across paths. */
+void
+expectSameResults(const std::vector<ExecutionReport> &x,
+                  const std::vector<ExecutionReport> &y)
+{
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(x[i].name, y[i].name);
+        EXPECT_EQ(0, std::memcmp(x[i].features.values.data(),
+                                 y[i].features.values.data(),
+                                 sizeof(double) * kNumFeatures));
+        EXPECT_EQ(x[i].predicted, y[i].predicted);
+        EXPECT_EQ(x[i].decision.chosen, y[i].decision.chosen);
+        EXPECT_EQ(x[i].decision.reconfigure, y[i].decision.reconfigure);
+        EXPECT_EQ(x[i].sim.total_cycles, y[i].sim.total_cycles);
+        EXPECT_EQ(x[i].sim.exec_seconds, y[i].sim.exec_seconds);
+        EXPECT_EQ(x[i].repetitions, y[i].repetitions);
+    }
+}
+
+TEST_F(ServeTest, CacheRoutingIsBitIdentical)
+{
+    // execute() with and without a cache attached: identical features
+    // and identical downstream decisions.
+    MisamFramework plain = freshFramework();
+    MisamFramework cached = freshFramework();
+    SummaryCache cache;
+    cached.setSummaryCache(&cache);
+
+    const CsrMatrix a = testMatrix(17, 200, 160);
+    const CsrMatrix b = testMatrix(18, 160, 200);
+    const ExecutionReport rp = plain.execute(a, b);
+    const ExecutionReport rc = cached.execute(a, b);
+    cached.setSummaryCache(nullptr);
+
+    EXPECT_EQ(0, std::memcmp(rp.features.values.data(),
+                             rc.features.values.data(),
+                             sizeof(double) * kNumFeatures));
+    EXPECT_EQ(rp.predicted, rc.predicted);
+    EXPECT_EQ(rp.sim.total_cycles, rc.sim.total_cycles);
+    EXPECT_EQ(cache.summaryMisses(), 2u); // One per distinct operand.
+}
+
+TEST_F(ServeTest, SharedBBatchHitsCacheDeterministically)
+{
+    // 32 jobs sharing one B: exactly-once semantics pin the counters
+    // for ANY thread count — 33 distinct operands, 31 shared-B hits.
+    const std::vector<BatchJob> jobs = sharedBJobs(32);
+    MisamFramework misam = freshFramework();
+    SummaryCache cache;
+    misam.setSummaryCache(&cache);
+    const BatchReport report = misam.executeBatch(jobs, 4);
+    misam.setSummaryCache(nullptr);
+
+    EXPECT_EQ(report.jobs.size(), 32u);
+    EXPECT_EQ(cache.summaryMisses(), 33u);
+    EXPECT_GE(cache.summaryHits(), 31u);
+    EXPECT_EQ(cache.summaryHits() + cache.summaryMisses(), 64u);
+}
+
+TEST_F(ServeTest, ServerMatchesSerialBatchAcrossThreadCounts)
+{
+    const std::vector<BatchJob> jobs = sharedBJobs(24);
+
+    // Ground truth: serial executeBatch, no cache, one thread.
+    MisamFramework serial = freshFramework();
+    const BatchReport truth = serial.executeBatch(jobs, 1);
+
+    for (unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE(threads);
+        MisamFramework misam = freshFramework();
+        SummaryCache cache;
+        misam.setSummaryCache(&cache);
+        ServeConfig config;
+        config.threads = threads;
+        config.window = 5;        // Windows deliberately misaligned
+        config.queue_capacity = 7; // with the job count.
+        BatchReport served;
+        {
+            MisamServer server(misam, config);
+            server.setMetrics(nullptr);
+            served = server.serveAll(jobs);
+            EXPECT_EQ(server.admitted(), jobs.size());
+            EXPECT_EQ(server.completed(), jobs.size());
+            EXPECT_LE(server.queueHighWater(), config.queue_capacity);
+        }
+        misam.setSummaryCache(nullptr);
+        expectSameResults(truth.jobs, served.jobs);
+        EXPECT_DOUBLE_EQ(truth.total_execute_s, served.total_execute_s);
+        EXPECT_DOUBLE_EQ(truth.total_reconfig_s,
+                         served.total_reconfig_s);
+        EXPECT_EQ(truth.reconfigurations, served.reconfigurations);
+    }
+}
+
+TEST_F(ServeTest, ServerCountsMetrics)
+{
+    MetricsRegistry registry;
+    MisamFramework misam = freshFramework();
+    ServeConfig config;
+    config.window = 4;
+    std::vector<BatchJob> jobs = sharedBJobs(10);
+    {
+        MisamServer server(misam, config);
+        server.setMetrics(&registry);
+        (void)server.serveAll(std::move(jobs));
+    }
+    EXPECT_EQ(registry.counterValue("serve.admitted"), 10u);
+    EXPECT_EQ(registry.counterValue("serve.completed"), 10u);
+    EXPECT_GE(registry.counterValue("serve.windows"), 3u);
+}
+
+TEST_F(ServeTest, StreamTilingSeedDependsOnContent)
+{
+    // Regression: the tiling seed once mixed only a.rows(), so two
+    // different matrices with equal height replayed the same tile-size
+    // sequence. The seed now mixes a content fingerprint.
+    MisamFramework misam = freshFramework();
+    Rng rng(5);
+    const CsrMatrix m1 = generateUniform(3000, 256, 0.01, rng);
+    const CsrMatrix m2 = generateUniform(3000, 256, 0.01, rng);
+    const CsrMatrix b = generateUniform(256, 256, 0.05, rng);
+    ASSERT_EQ(m1.rows(), m2.rows());
+    ASSERT_FALSE(m1 == m2);
+
+    const StreamReport s1 = misam.executeStream(m1, b, 100, 800);
+    const StreamReport s2 = misam.executeStream(m2, b, 100, 800);
+
+    // Tile heights are readable off each tile's ARows feature.
+    auto heights = [](const StreamReport &s) {
+        std::vector<double> h;
+        for (const ExecutionReport &t : s.tiles)
+            h.push_back(t.features[FeatureId::ARows]);
+        return h;
+    };
+    EXPECT_NE(heights(s1), heights(s2));
+
+    // Determinism is preserved: the same matrix tiles the same way.
+    const StreamReport s1b = misam.executeStream(m1, b, 100, 800);
+    EXPECT_EQ(heights(s1), heights(s1b));
+}
+
+TEST_F(ServeTest, StreamTilesRecordSingleRunExecute)
+{
+    // Each stream tile executes once: its execute phase must equal the
+    // single-run simulated seconds even though the engine amortizes
+    // over the remaining tiles.
+    MisamFramework misam = freshFramework();
+    Rng rng(6);
+    const CsrMatrix a = generateUniform(2000, 256, 0.01, rng);
+    const CsrMatrix b = generateUniform(256, 256, 0.05, rng);
+    const StreamReport s = misam.executeStream(a, b, 200, 600);
+    ASSERT_GT(s.tiles.size(), 1u);
+    for (const ExecutionReport &t : s.tiles) {
+        EXPECT_DOUBLE_EQ(t.breakdown.execute_s, t.sim.exec_seconds);
+        EXPECT_DOUBLE_EQ(t.repetitions, 1.0);
+    }
+}
+
+TEST_F(ServeTest, TrainSurvivesZeroLatencySamples)
+{
+    // Regression: a validation sample whose simulated latencies are all
+    // zero once produced a 0.0 ratio and a geomean panic. Such samples
+    // are now skipped and counted.
+    std::vector<TrainingSample> samples = *samples_;
+    for (std::size_t i = 0; i < samples.size(); i += 4)
+        for (SimResult &r : samples[i].results)
+            r.exec_seconds = 0.0;
+
+    MetricsRegistry registry;
+    MisamFramework misam;
+    misam.setMetrics(&registry);
+    const TrainingReport report = misam.train(samples);
+
+    EXPECT_TRUE(std::isfinite(report.hit_geomean_speedup));
+    EXPECT_TRUE(std::isfinite(report.miss_geomean_slowdown));
+    EXPECT_GT(report.hit_geomean_speedup, 0.0);
+    EXPECT_GT(report.miss_geomean_slowdown, 0.0);
+    // With every 4th sample zeroed, the 30% validation split contains
+    // some of them (deterministic seed), so the skip counter moved.
+    EXPECT_GT(registry.counterValue("train.degenerate_ratios"), 0u);
+}
+
+TEST(JobFileTest, ParsesSchemaAndDefaults)
+{
+    const std::string path = testing::TempDir() + "/jobs.jsonl";
+    {
+        std::ofstream out(path);
+        out << "# comment line\n";
+        out << "\n";
+        out << "{\"name\":\"j0\",\"a\":\"a.mtx\",\"repetitions\":8}\n";
+        out << "{\"a\":\"b.mtx\",\"b\":\"self\",\"future_key\":true}\n";
+        out << "{\"a\":\"c.mtx\",\"dense_cols\":64}\n";
+    }
+    const std::vector<ServeJobSpec> specs = parseJobFile(path);
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0].name, "j0");
+    EXPECT_EQ(specs[0].a_path, "a.mtx");
+    EXPECT_DOUBLE_EQ(specs[0].repetitions, 8.0);
+    EXPECT_EQ(specs[1].name, "job1");
+    EXPECT_EQ(specs[1].b_path, "self");
+    EXPECT_EQ(specs[2].dense_cols, 64u);
+    EXPECT_DOUBLE_EQ(specs[2].repetitions, 1.0);
+}
+
+TEST(JobFileTest, MalformedLineIsFatal)
+{
+    const std::string path = testing::TempDir() + "/bad.jsonl";
+    {
+        std::ofstream out(path);
+        out << "{\"a\":\"x.mtx\"\n"; // Unclosed object.
+    }
+    EXPECT_DEATH((void)parseJobFile(path), "bad.jsonl:1");
+}
+
+TEST(JobFileTest, MissingAIsFatal)
+{
+    const std::string path = testing::TempDir() + "/noa.jsonl";
+    {
+        std::ofstream out(path);
+        out << "{\"name\":\"x\"}\n";
+    }
+    EXPECT_DEATH((void)parseJobFile(path), "missing required key 'a'");
+}
+
+} // namespace
+} // namespace misam

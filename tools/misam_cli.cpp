@@ -24,6 +24,12 @@
  *   detail    --matrix A.mtx [--design 1..4] [B flags]
  *             Per-tile phase breakdown (ch_A / ch_B / compute bound)
  *             of one design's execution; defaults to the fastest.
+ *   serve     --model FILE --jobs FILE.jsonl [--threads N] [--queue N]
+ *             [--window N] [--metrics OUT.jsonl]
+ *             Replay a JSONL job file (see serve/jobfile.hh for the
+ *             schema) through MisamServer with a content-addressed
+ *             operand cache; prints per-job results plus serve.* /
+ *             cache.* counters.
  *
  * Matrices are Matrix Market files; B defaults to --self (A x A).
  */
@@ -36,6 +42,9 @@
 
 #include "core/misam.hh"
 #include "core/persistence.hh"
+#include "serve/jobfile.hh"
+#include "serve/server.hh"
+#include "serve/summary_cache.hh"
 #include "sim/design_sim.hh"
 #include "sparse/generate.hh"
 #include "sparse/convert.hh"
@@ -333,13 +342,90 @@ cmdDataset(const Args &args)
     return 0;
 }
 
+int
+cmdServe(const Args &args)
+{
+    MisamFramework misam = loadFrameworkFile(args.require("--model"));
+    std::vector<BatchJob> jobs = loadJobFile(args.require("--jobs"));
+    if (jobs.empty())
+        fatal("serve: job file has no jobs");
+
+    MetricsRegistry registry;
+    misam.setMetrics(&registry);
+
+    SummaryCache cache;
+    cache.setMetrics(&registry);
+    misam.setSummaryCache(&cache);
+
+    ServeConfig serve_config;
+    serve_config.queue_capacity = args.sizeOr("--queue", 64);
+    serve_config.window = args.sizeOr("--window", 16);
+    serve_config.threads =
+        static_cast<unsigned>(args.sizeOr("--threads", 0));
+
+    const std::size_t num_jobs = jobs.size();
+    BatchReport report;
+    {
+        MisamServer server(misam, serve_config);
+        server.setMetrics(&registry);
+        report = server.serveAll(std::move(jobs));
+        std::printf("served %zu jobs (queue high water %zu)\n",
+                    server.completed(), server.queueHighWater());
+    }
+    misam.setSummaryCache(nullptr);
+
+    TextTable table({"Job", "Predicted", "Ran on", "Switch",
+                     "Exec total (ms)"});
+    for (const ExecutionReport &r : report.jobs) {
+        table.addRow({r.name, designName(r.predicted),
+                      designName(r.decision.chosen),
+                      r.decision.reconfigure
+                          ? formatDouble(r.decision.overhead_s, 2) + "s"
+                          : "-",
+                      formatDouble(r.breakdown.execute_s * 1e3, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("batch summary: exec %.3f s, switches %d (%.3f s), "
+                "host %.3f ms\n",
+                report.total_execute_s, report.reconfigurations,
+                report.total_reconfig_s, report.total_host_s * 1e3);
+    std::printf("operand cache: %llu summary hits, %llu misses, "
+                "%llu bytes of rescans saved\n",
+                static_cast<unsigned long long>(cache.summaryHits()),
+                static_cast<unsigned long long>(cache.summaryMisses()),
+                static_cast<unsigned long long>(
+                    cache.summaryBytesSaved()));
+
+    if (auto metrics_path = args.value("--metrics")) {
+        MetricsSink sink(*metrics_path);
+        sink.event("run", {{"cmd", "serve"},
+                           {"jobs", static_cast<std::uint64_t>(num_jobs)},
+                           {"threads", static_cast<std::uint64_t>(
+                                           serve_config.threads)}});
+        for (const ExecutionReport &r : report.jobs) {
+            sink.event("serve.job",
+                       {{"name", r.name},
+                        {"predicted", designName(r.predicted)},
+                        {"chosen", designName(r.decision.chosen)},
+                        {"reconfigure", r.decision.reconfigure ? 1 : 0},
+                        {"repetitions", r.repetitions},
+                        {"execute_s", r.breakdown.execute_s}});
+        }
+        sink.emitRegistry(registry);
+        std::printf("metrics trace written to %s (%llu events)\n",
+                    metrics_path->c_str(),
+                    static_cast<unsigned long long>(sink.eventCount()));
+    }
+    return 0;
+}
+
 void
 usage()
 {
     std::fprintf(
         stderr,
-        "usage: misam <train|predict|analyze|simulate|dataset> "
-        "[flags]\n"
+        "usage: misam <train|predict|analyze|simulate|dataset|detail|"
+        "serve> [flags]\n"
         "  train    --out FILE [--samples N] [--seed S] "
         "[--energy-weight W]\n"
         "  predict  --model FILE --matrix A.mtx [--b B.mtx | "
@@ -349,7 +435,9 @@ usage()
         "  simulate --matrix A.mtx [--b B.mtx | --dense-cols N | "
         "--self] [--metrics OUT.jsonl]\n"
         "  dataset  --out FILE.csv [--samples N] [--seed S]\n"
-        "  detail   --matrix A.mtx [--design 1..4] [B flags]\n");
+        "  detail   --matrix A.mtx [--design 1..4] [B flags]\n"
+        "  serve    --model FILE --jobs FILE.jsonl [--threads N] "
+        "[--queue N] [--window N] [--metrics OUT.jsonl]\n");
 }
 
 } // namespace
@@ -375,6 +463,8 @@ main(int argc, char **argv)
         return cmdDataset(args);
     if (cmd == "detail")
         return cmdDetail(args);
+    if (cmd == "serve")
+        return cmdServe(args);
     usage();
     return 2;
 }
