@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Simulator hot-loop bench: scratch-arena scheduler kernels + shared
+ * symbolic-SpGEMM analysis vs the retained naive reference kernels.
+ *
+ * One binary, one thread, same workloads: each seeded workload runs
+ * simulateAllDesigns() in fast mode (stamped arenas, shared tilings/
+ * histograms, fused symbolic pass) and in reference mode
+ * (setUseReferenceSimKernels: per-tile vector construction,
+ * unordered_map Row histograms, two-pass symbolic analysis). Results
+ * are bit-identical by contract (tests/test_scheduler_kernels.cpp);
+ * this bench measures the throughput gap and asserts the steady-state
+ * zero-allocation property of the arenas.
+ *
+ * Output: paper-style rows on stdout plus a machine-readable JSON
+ * summary (default BENCH_sim.json; scripts/check.sh smoke-parses it).
+ *
+ * Flags: --out=FILE (JSON path), --smoke (one repetition per workload,
+ * for CI), --threads=N / MISAM_THREADS (ignored for the timed loops,
+ * which are single-thread by design).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "sim/design_sim.hh"
+#include "sim/workspace.hh"
+#include "sparse/generate.hh"
+#include "util/table.hh"
+
+using namespace misam;
+
+namespace {
+
+struct HotWorkload
+{
+    const char *name;
+    CsrMatrix a;
+    CsrMatrix b;
+    std::size_t reps;
+};
+
+struct HotRow
+{
+    const char *name = nullptr;
+    std::size_t reps = 0;
+    int tiles_per_sample = 0;
+    double fast_seconds = 0.0;
+    double ref_seconds = 0.0;
+    double fast_tiles_per_sec = 0.0;
+    double fast_samples_per_sec = 0.0;
+    double speedup = 0.0;
+    std::uint64_t steady_alloc_delta = 0;
+};
+
+std::vector<HotWorkload>
+buildWorkloads(bool smoke)
+{
+    // Seeded populations covering the scheduler regimes: `small` is the
+    // many-tiny-samples training shape, `medium` the sparse-B SpGEMM
+    // shape where the Row-policy hash removal dominates, `skewed` the
+    // row-imbalanced Design-3 niche.
+    std::vector<HotWorkload> ws;
+    {
+        Rng rng(101);
+        ws.push_back({"small",
+                      generateUniform(384, 384, 0.03, rng),
+                      generateUniform(384, 192, 0.05, rng),
+                      smoke ? 1u : 40u});
+    }
+    {
+        Rng rng(202);
+        ws.push_back({"medium",
+                      generateUniform(3072, 3072, 0.01, rng),
+                      generateUniform(3072, 1024, 0.001, rng),
+                      smoke ? 1u : 6u});
+    }
+    {
+        Rng rng(303);
+        ws.push_back({"skewed",
+                      generateRowImbalanced(2048, 2048, 0.008, 0.03,
+                                            30.0, rng),
+                      generateUniform(2048, 512, 0.002, rng),
+                      smoke ? 1u : 8u});
+    }
+    return ws;
+}
+
+double
+timeReps(const HotWorkload &w, std::size_t reps)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < reps; ++i)
+        simulateAllDesigns(w.a, w.b, /*threads=*/1);
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+HotRow
+runWorkload(const HotWorkload &w)
+{
+    HotRow row;
+    row.name = w.name;
+    row.reps = w.reps;
+
+    // Warm both paths once (arena growth, page faults), then verify the
+    // fast path's steady state allocates nothing.
+    setUseReferenceSimKernels(false);
+    const auto sims = simulateAllDesigns(w.a, w.b, 1);
+    for (const SimResult &r : sims)
+        row.tiles_per_sample += r.num_tiles;
+    const std::uint64_t warm = SimWorkspace::local().allocationEvents();
+    row.fast_seconds = timeReps(w, w.reps);
+    row.steady_alloc_delta =
+        SimWorkspace::local().allocationEvents() - warm;
+
+    setUseReferenceSimKernels(true);
+    simulateAllDesigns(w.a, w.b, 1);
+    row.ref_seconds = timeReps(w, w.reps);
+    setUseReferenceSimKernels(false);
+
+    const double reps_d = static_cast<double>(w.reps);
+    if (row.fast_seconds > 0.0) {
+        row.fast_samples_per_sec = reps_d / row.fast_seconds;
+        row.fast_tiles_per_sec =
+            reps_d * row.tiles_per_sample / row.fast_seconds;
+        row.speedup = row.ref_seconds / row.fast_seconds;
+    }
+    return row;
+}
+
+void
+writeJson(const std::string &path, const std::vector<HotRow> &rows,
+          bool smoke)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_sim_hot: cannot write %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_sim_hot\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"workloads\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const HotRow &r = rows[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"reps\": %zu, \"tiles\": %d,\n"
+            "     \"fast_seconds\": %.6f, \"ref_seconds\": %.6f,\n"
+            "     \"tiles_per_sec\": %.1f, \"samples_per_sec\": %.3f,\n"
+            "     \"speedup\": %.3f, \"steady_alloc_events\": %llu}%s\n",
+            r.name, r.reps, r.tiles_per_sample, r.fast_seconds,
+            r.ref_seconds, r.fast_tiles_per_sec, r.fast_samples_per_sec,
+            r.speedup,
+            static_cast<unsigned long long>(r.steady_alloc_delta),
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+std::string
+outPath(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0)
+            return arg.substr(6);
+        if (arg == "--out" && i + 1 < argc)
+            return argv[++i];
+    }
+    return "BENCH_sim.json";
+}
+
+bool
+smokeMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--smoke")
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Simulator hot-loop kernels — arena vs reference",
+                  "cycle-model throughput (tooling, not a paper figure)");
+
+    const bool smoke = smokeMode(argc, argv);
+    const std::string out = outPath(argc, argv);
+    const std::vector<HotWorkload> workloads = buildWorkloads(smoke);
+
+    std::vector<HotRow> rows;
+    rows.reserve(workloads.size());
+    for (const HotWorkload &w : workloads)
+        rows.push_back(runWorkload(w));
+
+    TextTable table({"Workload", "Reps", "Tiles", "Fast (s)", "Ref (s)",
+                     "Tiles/s", "Samples/s", "Speedup", "Allocs"});
+    for (const HotRow &r : rows) {
+        table.addRow({r.name, std::to_string(r.reps),
+                      std::to_string(r.tiles_per_sample),
+                      formatDouble(r.fast_seconds, 3),
+                      formatDouble(r.ref_seconds, 3),
+                      formatDouble(r.fast_tiles_per_sec, 0),
+                      formatDouble(r.fast_samples_per_sec, 2),
+                      formatDouble(r.speedup, 2) + "x",
+                      std::to_string(r.steady_alloc_delta)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    writeJson(out, rows, smoke);
+    std::printf("JSON summary written to %s\n", out.c_str());
+
+    int failures = 0;
+    for (const HotRow &r : rows) {
+        if (r.steady_alloc_delta != 0) {
+            std::fprintf(stderr,
+                         "FAIL: %s performed %llu steady-state arena "
+                         "allocations (expected 0)\n",
+                         r.name,
+                         static_cast<unsigned long long>(
+                             r.steady_alloc_delta));
+            ++failures;
+        }
+        // Timing acceptance only in full mode: one smoke rep is noise.
+        if (!smoke && std::string(r.name) == "medium" && r.speedup < 2.0) {
+            std::fprintf(stderr,
+                         "FAIL: medium workload speedup %.2fx < 2x\n",
+                         r.speedup);
+            ++failures;
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}

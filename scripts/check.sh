@@ -45,30 +45,59 @@ if [[ "$tsan_only" -eq 0 ]]; then
     rm -f "$build_log"
     (cd build && ctest --output-on-failure -j)
 
+    # Simulator hot-loop bench smoke: one rep per workload, then verify
+    # the machine-readable summary exists, parses, and reports zero
+    # steady-state arena allocations (the bench exits nonzero itself if
+    # the allocation contract breaks).
+    echo "== bench_sim_hot smoke =="
+    sim_json=$(mktemp /tmp/misam_bench_sim.XXXXXX.json)
+    ./build/bench/bench_sim_hot --smoke --out="$sim_json"
+    python3 - "$sim_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+assert data["bench"] == "bench_sim_hot", data
+assert len(data["workloads"]) >= 3, data
+for w in data["workloads"]:
+    assert w["steady_alloc_events"] == 0, w
+print("bench_sim_hot smoke: %d workloads, JSON ok" %
+      len(data["workloads"]))
+EOF
+    rm -f "$sim_json"
+
     # Golden-trace suite under ASan: the trace emitters and the JSONL
     # sink touch raw buffers, so run the byte-stability suite with
     # memory checking on.
     if have_sanitizer address; then
-        echo "== ASan: build + golden-trace tests =="
+        echo "== ASan: build + golden-trace/kernel tests =="
         cmake -B build-asan -S . -DMISAM_SANITIZE=address \
               -DCMAKE_BUILD_TYPE=RelWithDebInfo
-        cmake --build build-asan -j --target test_metrics
+        cmake --build build-asan -j --target test_metrics \
+              test_scheduler_kernels
         (cd build-asan && ctest --output-on-failure -L golden)
+        (cd build-asan && ./tests/test_scheduler_kernels \
+            --gtest_brief=1 >/dev/null)
+        echo "test_scheduler_kernels under ASan: ok"
     else
         echo "NOTICE: toolchain lacks AddressSanitizer support;" \
              "skipping the ASan golden pass."
     fi
 fi
 
-# TSan pass over the parallel tests and the serving layer (cache +
-# server smoke under concurrency).
+# TSan pass over the parallel tests, the serving layer (cache + server
+# smoke under concurrency), and the scratch-arena scheduler kernels /
+# symbolic cache (thread-local arenas + shared memoization).
 if have_sanitizer thread; then
-    echo "== TSan: build + parallel/serve tests =="
+    echo "== TSan: build + parallel/serve/kernel tests =="
     cmake -B build-tsan -S . -DMISAM_SANITIZE=thread \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    cmake --build build-tsan -j --target test_parallel test_serve
+    cmake --build build-tsan -j --target test_parallel test_serve \
+          test_scheduler_kernels
     (cd build-tsan && ctest --output-on-failure -R '^Parallel')
     (cd build-tsan && ctest --output-on-failure -L serve)
+    (cd build-tsan && ./tests/test_scheduler_kernels \
+        --gtest_brief=1 >/dev/null)
+    echo "test_scheduler_kernels under TSan: ok"
 else
     echo "NOTICE: toolchain lacks ThreadSanitizer support; skipping" \
          "the TSan pass."

@@ -55,10 +55,17 @@ spgemmEfficiency(double avg_run)
 BaselineResult
 cpuMklSpgemm(const CsrMatrix &a, const CsrMatrix &b, const CpuConfig &cfg)
 {
+    return cpuMklSpgemm(a, b, spgemmSymbolic(a, b), cfg);
+}
+
+BaselineResult
+cpuMklSpgemm(const CsrMatrix &a, const CsrMatrix &b,
+             const SymbolicStats &symbolic, const CpuConfig &cfg)
+{
     if (a.cols() != b.rows())
         fatal("cpuMklSpgemm: dimension mismatch");
-    const auto mults = static_cast<double>(spgemmMultiplyCount(a, b));
-    const auto nnz_c = static_cast<double>(spgemmOutputNnz(a, b));
+    const auto mults = static_cast<double>(symbolic.multiplies);
+    const auto nnz_c = static_cast<double>(symbolic.output_nnz);
     const double avg_row_b =
         b.rows() > 0 ? static_cast<double>(b.nnz()) / b.rows() : 0.0;
 

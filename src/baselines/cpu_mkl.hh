@@ -18,6 +18,8 @@
 
 namespace misam {
 
+struct SymbolicStats;
+
 /** Modeled CPU platform parameters. */
 struct CpuConfig
 {
@@ -41,6 +43,15 @@ struct BaselineResult
 
 /** Model MKL's SpGEMM (both operands sparse CSR). */
 BaselineResult cpuMklSpgemm(const CsrMatrix &a, const CsrMatrix &b,
+                            const CpuConfig &cfg = {});
+
+/**
+ * As above with a caller-held symbolic analysis (spgemmSymbolic(a, b)),
+ * so a router evaluating every device shares one A·B traversal instead
+ * of re-walking the structure per baseline.
+ */
+BaselineResult cpuMklSpgemm(const CsrMatrix &a, const CsrMatrix &b,
+                            const SymbolicStats &symbolic,
                             const CpuConfig &cfg = {});
 
 /** Model MKL's SpMM (sparse A, dense B of b_cols columns). */

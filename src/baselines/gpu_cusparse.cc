@@ -43,10 +43,17 @@ BaselineResult
 gpuCusparseSpgemm(const CsrMatrix &a, const CsrMatrix &b,
                   const GpuConfig &cfg)
 {
+    return gpuCusparseSpgemm(a, b, spgemmSymbolic(a, b), cfg);
+}
+
+BaselineResult
+gpuCusparseSpgemm(const CsrMatrix &a, const CsrMatrix &b,
+                  const SymbolicStats &symbolic, const GpuConfig &cfg)
+{
     if (a.cols() != b.rows())
         fatal("gpuCusparseSpgemm: dimension mismatch");
-    const auto mults = static_cast<double>(spgemmMultiplyCount(a, b));
-    const auto nnz_c = static_cast<double>(spgemmOutputNnz(a, b));
+    const auto mults = static_cast<double>(symbolic.multiplies);
+    const auto nnz_c = static_cast<double>(symbolic.output_nnz);
     const double avg_row_b =
         b.rows() > 0 ? static_cast<double>(b.nnz()) / b.rows() : 0.0;
     const MatrixStats stats = computeMatrixStats(a);

@@ -36,6 +36,14 @@ struct GpuConfig
 BaselineResult gpuCusparseSpgemm(const CsrMatrix &a, const CsrMatrix &b,
                                  const GpuConfig &cfg = {});
 
+/**
+ * As above with a caller-held symbolic analysis (spgemmSymbolic(a, b));
+ * see the cpuMklSpgemm overload for the sharing rationale.
+ */
+BaselineResult gpuCusparseSpgemm(const CsrMatrix &a, const CsrMatrix &b,
+                                 const SymbolicStats &symbolic,
+                                 const GpuConfig &cfg = {});
+
 /** Model cuSPARSE SpMM (sparse A, dense B of b_cols columns). */
 BaselineResult gpuCusparseSpmm(const CsrMatrix &a, Index b_cols,
                                const GpuConfig &cfg = {});

@@ -254,7 +254,18 @@ MisamFramework::finishExecution(ExecutionReport report, const CsrMatrix &a,
     // (previously the registry recorded a single run while batch totals
     // multiplied by repetitions — they disagreed for repetitions > 1).
     report.repetitions = repetitions;
-    report.sim = simulateDesign(report.decision.chosen, a, b);
+    // With an operand cache attached, the CSC conversion of A is
+    // content-addressed like the feature summaries: a repeated operand
+    // (the shared-tile streaming case) skips the O(nnz) conversion, and
+    // the simulators accept the caller-held CSC directly.
+    if (summary_cache_ != nullptr) {
+        const std::shared_ptr<const CscMatrix> a_csc =
+            summary_cache_->csc(a);
+        report.sim =
+            simulateDesign(report.decision.chosen, a, *a_csc, b);
+    } else {
+        report.sim = simulateDesign(report.decision.chosen, a, b);
+    }
     recordPhase(report.breakdown, Phase::Execute,
                 report.sim.exec_seconds * repetitions);
     recordPhase(report.breakdown, Phase::Reconfig,

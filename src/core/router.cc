@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "ml/metrics.hh"
+#include "sparse/convert.hh"
+#include "sparse/spgemm.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/stats.hh"
@@ -49,7 +51,12 @@ evaluateDevices(const CsrMatrix &a, const CsrMatrix &b,
 {
     DeviceEvaluation eval;
 
-    const auto sims = simulateAllDesigns(a, b);
+    // One CSC conversion and one symbolic A·B traversal feed the FPGA
+    // simulators and both sparse baseline models — previously each of
+    // them re-derived the same structure from scratch.
+    const CscMatrix a_csc = csrToCsc(a);
+    const SymbolicStats symbolic = spgemmSymbolic(a, b);
+    const auto sims = simulateAllDesigns(a, a_csc, b, 1, &symbolic);
     const DesignId best = fastestDesign(sims);
     const SimResult &fpga = sims[static_cast<std::size_t>(best)];
     eval.misam_design = best;
@@ -58,12 +65,12 @@ evaluateDevices(const CsrMatrix &a, const CsrMatrix &b,
 
     const bool dense_b =
         b.nnz() == static_cast<Offset>(b.rows()) * b.cols();
-    const BaselineResult cpu_res = dense_b
-                                       ? cpuMklSpmm(a, b.cols(), cpu)
-                                       : cpuMklSpgemm(a, b, cpu);
+    const BaselineResult cpu_res =
+        dense_b ? cpuMklSpmm(a, b.cols(), cpu)
+                : cpuMklSpgemm(a, b, symbolic, cpu);
     const BaselineResult gpu_res =
         dense_b ? gpuCusparseSpmm(a, b.cols(), gpu)
-                : gpuCusparseSpgemm(a, b, gpu);
+                : gpuCusparseSpgemm(a, b, symbolic, gpu);
     eval.outcomes[static_cast<std::size_t>(Device::Cpu)] = {
         cpu_res.exec_seconds, cpu_res.energy_joules};
     eval.outcomes[static_cast<std::size_t>(Device::Gpu)] = {

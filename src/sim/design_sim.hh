@@ -29,6 +29,7 @@ namespace misam {
 
 class MetricsRegistry;
 class MetricsSink;
+struct SymbolicStats;
 
 /**
  * Internal accounting of one design simulation — the signals the cycle
@@ -114,17 +115,32 @@ SimResult simulateDesign(const DesignConfig &cfg, const CsrMatrix &a,
                          const CscMatrix &a_csc, const CsrMatrix &b);
 SimResult simulateDesign(DesignId id, const CsrMatrix &a,
                          const CsrMatrix &b);
+SimResult simulateDesign(DesignId id, const CsrMatrix &a,
+                         const CscMatrix &a_csc, const CsrMatrix &b);
 
 /**
- * Simulate all four designs (sharing one CSC conversion of A).
- * `threads` > 1 fans the independent per-design simulations out via
- * parallelFor with identical results; the default stays serial because
- * the dominant caller (sample generation) already parallelizes across
- * samples, and nested regions run inline anyway.
+ * Simulate all four designs, hoisting the design-independent work out
+ * of the per-design loop: one CSC conversion of A, one tiling + row
+ * histogram per distinct tile height (shared by the Col designs and,
+ * tiles-wise, Design 3), and one symbolic SpGEMM analysis for the
+ * compressed-B design. `threads` > 1 fans the independent per-design
+ * simulations out via parallelFor with identical results; the default
+ * stays serial because the dominant caller (sample generation) already
+ * parallelizes across samples, and nested regions run inline anyway.
  */
 std::array<SimResult, kNumDesigns>
 simulateAllDesigns(const CsrMatrix &a, const CsrMatrix &b,
                    unsigned threads = 1);
+
+/**
+ * As above with a caller-held CSC of A, plus an optional precomputed
+ * symbolic analysis (spgemmSymbolic(a, b)) so callers that also feed
+ * the baseline models (DeviceRouter) share one traversal end to end.
+ */
+std::array<SimResult, kNumDesigns>
+simulateAllDesigns(const CsrMatrix &a, const CscMatrix &a_csc,
+                   const CsrMatrix &b, unsigned threads = 1,
+                   const SymbolicStats *symbolic = nullptr);
 
 /** Index of the fastest design in a simulateAllDesigns() result. */
 DesignId fastestDesign(const std::array<SimResult, kNumDesigns> &results);
@@ -162,6 +178,10 @@ struct DetailedSimResult
 DetailedSimResult simulateDesignDetailed(const DesignConfig &cfg,
                                          const CsrMatrix &a,
                                          const CsrMatrix &b);
+DetailedSimResult simulateDesignDetailed(const DesignConfig &cfg,
+                                         const CsrMatrix &a,
+                                         const CscMatrix &a_csc,
+                                         const CsrMatrix &b);
 
 /**
  * Functional + timing execution: simulate the design AND compute the
@@ -177,6 +197,10 @@ struct FunctionalResult
 
 FunctionalResult executeFunctional(const DesignConfig &cfg,
                                    const CsrMatrix &a,
+                                   const CsrMatrix &b);
+FunctionalResult executeFunctional(const DesignConfig &cfg,
+                                   const CsrMatrix &a,
+                                   const CscMatrix &a_csc,
                                    const CsrMatrix &b);
 
 /**

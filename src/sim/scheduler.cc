@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "sim/workspace.hh"
 #include "util/logging.hh"
 
 namespace misam {
@@ -32,33 +33,89 @@ TileScheduler::peScheduleLength(Offset total_work, Offset max_row_count,
 
 namespace {
 
-/** Per-PE accumulation of row histograms and work totals. */
-struct PeAccumulator
+/** The closing stats fold shared by every kernel variant. */
+TileScheduleStats
+finishStats(const std::vector<PeAccumulator> &pe_acc, int total_pes,
+            int dep)
 {
-    Offset total_elements = 0;
-    Offset total_work = 0;
-    Offset max_row_count = 0;
-    Offset rows_at_max = 0;
-
-    void
-    addRow(Offset count, Offset work)
-    {
-        total_elements += count;
-        total_work += work;
-        if (count > max_row_count) {
-            max_row_count = count;
-            rows_at_max = 1;
-        } else if (count == max_row_count) {
-            ++rows_at_max;
-        }
+    TileScheduleStats stats;
+    for (const PeAccumulator &acc : pe_acc) {
+        const Offset len = TileScheduler::peScheduleLength(
+            acc.total_work, acc.max_row_count, acc.rows_at_max, dep);
+        stats.schedule_length = std::max(stats.schedule_length, len);
+        stats.total_elements += acc.total_elements;
+        stats.busy_cycles += acc.total_work;
     }
-};
+    if (stats.schedule_length > 0) {
+        const Offset capacity =
+            stats.schedule_length * static_cast<Offset>(total_pes);
+        stats.slot_cycles = capacity;
+        stats.bubble_cycles = capacity - stats.busy_cycles;
+        stats.pe_utilization = static_cast<double>(stats.busy_cycles) /
+                               static_cast<double>(capacity);
+    }
+    return stats;
+}
 
 } // namespace
 
 TileScheduleStats
 TileScheduler::schedule(const CscMatrix &a_csc, const KTile &k_range,
                         const std::vector<Offset> *col_job_weight) const
+{
+    if (k_range.k_hi > a_csc.cols())
+        panic("TileScheduler::schedule: tile exceeds A columns");
+
+    const auto pes = static_cast<std::size_t>(total_pes_);
+    SimWorkspace &ws = SimWorkspace::local();
+    std::vector<PeAccumulator> &pe_acc = ws.peAccumulators(pes);
+
+    if (kind_ == SchedulerKind::Col) {
+        // PE is a function of the output row; accumulate per-row counts
+        // once in the stamped arena, then fold each row into its PE.
+        ws.rows.begin(a_csc.rows());
+        for (Index k = k_range.k_lo; k < k_range.k_hi; ++k) {
+            const Offset w =
+                col_job_weight ? std::max<Offset>((*col_job_weight)[k], 1)
+                               : 1;
+            for (Index r : a_csc.colRows(k))
+                ws.rows.add(r, w);
+        }
+        for (Index r : ws.rows.touched())
+            pe_acc[r % pes].addRow(ws.rows.count(r), ws.rows.work(r));
+    } else {
+        // PE is a function of the column. One strided column pass per
+        // PE reuses the same stamped row arena as a per-(PE, row)
+        // histogram — replacing the per-nonzero unordered_map of the
+        // reference kernel. Total work stays O(tile nnz + pes): every
+        // tile column is visited by exactly one pass.
+        const auto stride = static_cast<Index>(pes);
+        for (std::size_t pe = 0; pe < pes; ++pe) {
+            const Index rem = k_range.k_lo % stride;
+            const Index first =
+                k_range.k_lo +
+                (static_cast<Index>(pe) + stride - rem) % stride;
+            ws.rows.begin(a_csc.rows());
+            for (Index k = first; k < k_range.k_hi; k += stride) {
+                const Offset w =
+                    col_job_weight
+                        ? std::max<Offset>((*col_job_weight)[k], 1)
+                        : 1;
+                for (Index r : a_csc.colRows(k))
+                    ws.rows.add(r, w);
+            }
+            for (Index r : ws.rows.touched())
+                pe_acc[pe].addRow(ws.rows.count(r), ws.rows.work(r));
+        }
+    }
+    noteScratchReuse();
+    return finishStats(pe_acc, total_pes_, dep_);
+}
+
+TileScheduleStats
+TileScheduler::scheduleReference(
+    const CscMatrix &a_csc, const KTile &k_range,
+    const std::vector<Offset> *col_job_weight) const
 {
     if (k_range.k_hi > a_csc.cols())
         panic("TileScheduler::schedule: tile exceeds A columns");
@@ -103,24 +160,47 @@ TileScheduler::schedule(const CscMatrix &a_csc, const KTile &k_range,
             pe_acc[key >> 32].addRow(cell.first, cell.second);
     }
 
-    TileScheduleStats stats;
-    for (const PeAccumulator &acc : pe_acc) {
-        const Offset len = peScheduleLength(acc.total_work,
-                                            acc.max_row_count,
-                                            acc.rows_at_max, dep_);
-        stats.schedule_length = std::max(stats.schedule_length, len);
-        stats.total_elements += acc.total_elements;
-        stats.busy_cycles += acc.total_work;
+    return finishStats(pe_acc, total_pes_, dep_);
+}
+
+TileScheduleStats
+TileScheduler::scheduleFromHistogram(
+    std::span<const TileRowHistograms::RowBin> bins) const
+{
+    if (kind_ != SchedulerKind::Col)
+        panic("TileScheduler::scheduleFromHistogram: Col policy only");
+
+    const auto pes = static_cast<std::size_t>(total_pes_);
+    SimWorkspace &ws = SimWorkspace::local();
+    std::vector<PeAccumulator> &pe_acc = ws.peAccumulators(pes);
+    // Unit-weight histograms: work == count for every row.
+    for (const TileRowHistograms::RowBin &bin : bins)
+        pe_acc[bin.row % pes].addRow(bin.count, bin.count);
+    return finishStats(pe_acc, total_pes_, dep_);
+}
+
+TileRowHistograms
+buildTileRowHistograms(const CscMatrix &a_csc,
+                       const std::vector<KTile> &tiles)
+{
+    if (!tiles.empty() && tiles.back().k_hi > a_csc.cols())
+        panic("buildTileRowHistograms: tiling exceeds A columns");
+
+    TileRowHistograms hist;
+    hist.tile_ptr.reserve(tiles.size() + 1);
+    hist.tile_ptr.push_back(0);
+    SimWorkspace &ws = SimWorkspace::local();
+    for (const KTile &tile : tiles) {
+        ws.rows.begin(a_csc.rows());
+        for (Index k = tile.k_lo; k < tile.k_hi; ++k)
+            for (Index r : a_csc.colRows(k))
+                ws.rows.add(r, 1);
+        for (Index r : ws.rows.touched())
+            hist.bins.push_back({r, ws.rows.count(r)});
+        hist.tile_ptr.push_back(hist.bins.size());
+        noteScratchReuse();
     }
-    if (stats.schedule_length > 0) {
-        const Offset capacity =
-            stats.schedule_length * static_cast<Offset>(total_pes_);
-        stats.slot_cycles = capacity;
-        stats.bubble_cycles = capacity - stats.busy_cycles;
-        stats.pe_utilization = static_cast<double>(stats.busy_cycles) /
-                               static_cast<double>(capacity);
-    }
-    return stats;
+    return hist;
 }
 
 } // namespace misam

@@ -24,6 +24,8 @@
 #ifndef MISAM_SIM_SCHEDULER_HH
 #define MISAM_SIM_SCHEDULER_HH
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "sim/design.hh"
@@ -44,6 +46,37 @@ struct TileScheduleStats
 };
 
 /**
+ * Per-tile row histograms of A over one tiling, in first-touch order.
+ * Identical for every unit-weight Col design sharing the tiling, so
+ * simulateAllDesigns builds them once and each design performs only the
+ * cheap per-PE fold (scheduleFromHistogram). The concatenated layout
+ * costs O(nnz + tiles) memory with no per-tile allocations.
+ */
+struct TileRowHistograms
+{
+    /** One touched row of one tile: its index and nonzero count. */
+    struct RowBin
+    {
+        Index row;
+        Offset count;
+    };
+
+    std::vector<RowBin> bins;          ///< Concatenated per tile.
+    std::vector<std::size_t> tile_ptr; ///< tiles.size()+1 offsets.
+
+    /** The bins of tile `t`, in first-touch order. */
+    std::span<const RowBin>
+    tileBins(std::size_t t) const
+    {
+        return {bins.data() + tile_ptr[t], tile_ptr[t + 1] - tile_ptr[t]};
+    }
+};
+
+/** Build the per-tile row histograms of `a_csc` over `tiles`. */
+TileRowHistograms buildTileRowHistograms(const CscMatrix &a_csc,
+                                         const std::vector<KTile> &tiles);
+
+/**
  * Closed-form tile scheduler.
  *
  * `col_job_weight`, when non-null, gives the compute cycles each nonzero
@@ -58,11 +91,33 @@ class TileScheduler
 
     /**
      * Schedule the nonzeros of A (given in CSC) whose columns fall in
-     * `k_range` onto the PEs.
+     * `k_range` onto the PEs. Runs on this thread's SimWorkspace
+     * arenas: epoch-stamped flat histograms, zero steady-state
+     * allocations, bit-identical stats to scheduleReference().
      */
     TileScheduleStats
     schedule(const CscMatrix &a_csc, const KTile &k_range,
              const std::vector<Offset> *col_job_weight = nullptr) const;
+
+    /**
+     * The naive kernel schedule() replaced (per-tile vector
+     * construction for Col, unordered_map cells for Row). Retained as
+     * the test/bench reference: tests/test_scheduler_kernels.cpp pins
+     * schedule() byte-equal to it, bench_sim_hot measures the gap.
+     */
+    TileScheduleStats
+    scheduleReference(const CscMatrix &a_csc, const KTile &k_range,
+                      const std::vector<Offset> *col_job_weight =
+                          nullptr) const;
+
+    /**
+     * Fold one tile of precomputed unit-weight row histograms
+     * (buildTileRowHistograms). Col policy only — the Row policy needs
+     * per-(PE, row) cells, which a shared row histogram cannot supply.
+     */
+    TileScheduleStats
+    scheduleFromHistogram(
+        std::span<const TileRowHistograms::RowBin> bins) const;
 
     /** Optimal cooldown-schedule length for one PE's row histogram. */
     static Offset peScheduleLength(Offset total_work, Offset max_row_count,

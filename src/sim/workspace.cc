@@ -1,0 +1,276 @@
+#include "sim/workspace.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/fingerprint.hh"
+#include "util/metrics.hh"
+
+namespace misam {
+
+void
+RowScratch::begin(std::size_t rows)
+{
+    // Touched capacity changes happen inside add(); observe them here,
+    // once per tile, so growEvents() stays out of the inner loop.
+    if (touched_.capacity() != touched_capacity_) {
+        touched_capacity_ = touched_.capacity();
+        ++grow_events_;
+    }
+    touched_.clear();
+    if (rows > count_.size()) {
+        ++grow_events_;
+        count_.assign(rows, 0);
+        work_.assign(rows, 0);
+        epoch_of_.assign(rows, 0);
+        epoch_ = 0; // Fresh stamps; the bump below revalidates.
+    }
+    ++epoch_;
+    if (epoch_ == 0) {
+        // The 32-bit stamp wrapped: old cells would alias the new
+        // epoch, so pay one full refill (once per ~4G tiles).
+        std::fill(epoch_of_.begin(), epoch_of_.end(), 0);
+        epoch_ = 1;
+    }
+}
+
+SimWorkspace &
+SimWorkspace::local()
+{
+    thread_local SimWorkspace ws;
+    return ws;
+}
+
+std::vector<PeAccumulator> &
+SimWorkspace::peAccumulators(std::size_t pes)
+{
+    if (pes > pe_acc_.capacity())
+        ++grow_events_;
+    pe_acc_.assign(pes, PeAccumulator{});
+    return pe_acc_;
+}
+
+std::vector<Offset> &
+SimWorkspace::jobWeight(std::size_t n)
+{
+    if (n > job_weight_.capacity())
+        ++grow_events_;
+    job_weight_.resize(n);
+    return job_weight_;
+}
+
+std::uint64_t
+SimWorkspace::allocationEvents() const
+{
+    return grow_events_ + rows.growEvents();
+}
+
+namespace {
+
+// Process-wide kernel counters plus optional registry mirroring. The
+// mirror handles are resolved once at attach time so the hot paths pay
+// one relaxed atomic load + add, never a name lookup.
+std::atomic<std::uint64_t> g_scratch_reuses{0};
+std::atomic<std::uint64_t> g_symbolic_hits{0};
+std::atomic<std::uint64_t> g_symbolic_misses{0};
+std::atomic<std::uint64_t> g_symbolic_evictions{0};
+
+std::atomic<Counter *> g_mirror_scratch{nullptr};
+std::atomic<Counter *> g_mirror_hits{nullptr};
+std::atomic<Counter *> g_mirror_misses{nullptr};
+std::atomic<Counter *> g_mirror_evictions{nullptr};
+
+void
+bump(std::atomic<std::uint64_t> &total, std::atomic<Counter *> &mirror)
+{
+    total.fetch_add(1, std::memory_order_relaxed);
+    if (Counter *c = mirror.load(std::memory_order_relaxed))
+        c->add(1);
+}
+
+/** Cache key: the content fingerprints of both operands. */
+struct SymbolicKey
+{
+    Fingerprint128 a;
+    Fingerprint128 b;
+
+    bool operator==(const SymbolicKey &) const = default;
+};
+
+struct SymbolicKeyHash
+{
+    std::size_t
+    operator()(const SymbolicKey &key) const
+    {
+        // Both lanes are well mixed; one extra multiply decorrelates
+        // (x, y) from (y, x).
+        return static_cast<std::size_t>(
+            key.a.fold() * 0x9e3779b97f4a7c15ULL ^ key.b.fold());
+    }
+};
+
+using SymbolicFuture =
+    std::shared_future<std::shared_ptr<const SymbolicStats>>;
+
+/** Soft entry bound; overshoots only by in-flight computations. */
+constexpr std::size_t kSymbolicCacheCapacity = 128;
+
+std::mutex g_symbolic_mutex;
+std::unordered_map<SymbolicKey, SymbolicFuture, SymbolicKeyHash>
+    &symbolicMap()
+{
+    static auto *map = new std::unordered_map<SymbolicKey, SymbolicFuture,
+                                              SymbolicKeyHash>();
+    return *map;
+}
+
+std::deque<SymbolicKey> &
+symbolicFifo()
+{
+    static auto *fifo = new std::deque<SymbolicKey>();
+    return *fifo;
+}
+
+/** Evict the oldest *ready* entries past capacity (mutex held). */
+void
+evictSymbolicOverFull()
+{
+    auto &map = symbolicMap();
+    auto &fifo = symbolicFifo();
+    while (map.size() > kSymbolicCacheCapacity) {
+        bool evicted = false;
+        for (auto it = fifo.begin(); it != fifo.end(); ++it) {
+            const auto entry = map.find(*it);
+            if (entry == map.end()) {
+                fifo.erase(it); // Stale (cleared) key.
+                evicted = true;
+                break;
+            }
+            if (entry->second.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+                map.erase(entry);
+                fifo.erase(it);
+                bump(g_symbolic_evictions, g_mirror_evictions);
+                evicted = true;
+                break;
+            }
+        }
+        if (!evicted)
+            break; // Everything in flight; transient overshoot.
+    }
+}
+
+} // namespace
+
+std::shared_ptr<const SymbolicStats>
+cachedSpgemmSymbolic(const CsrMatrix &a, const CsrMatrix &b)
+{
+    const SymbolicKey key{fingerprintMatrix(a), fingerprintMatrix(b)};
+
+    std::promise<std::shared_ptr<const SymbolicStats>> promise;
+    SymbolicFuture future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(g_symbolic_mutex);
+        auto &map = symbolicMap();
+        const auto it = map.find(key);
+        if (it != map.end()) {
+            bump(g_symbolic_hits, g_mirror_hits);
+            future = it->second;
+        } else {
+            bump(g_symbolic_misses, g_mirror_misses);
+            future = promise.get_future().share();
+            map.emplace(key, future);
+            symbolicFifo().push_back(key);
+            owner = true;
+            evictSymbolicOverFull();
+        }
+    }
+
+    if (owner) {
+        // Compute outside the lock: requesters for this pair wait on
+        // the future; requesters for other pairs proceed unblocked.
+        auto value = std::make_shared<const SymbolicStats>(
+            spgemmSymbolic(a, b));
+        promise.set_value(value);
+        return value;
+    }
+    return future.get();
+}
+
+void
+clearSymbolicCache()
+{
+    std::lock_guard<std::mutex> lock(g_symbolic_mutex);
+    symbolicMap().clear();
+    symbolicFifo().clear();
+}
+
+std::size_t
+symbolicCacheEntries()
+{
+    std::lock_guard<std::mutex> lock(g_symbolic_mutex);
+    return symbolicMap().size();
+}
+
+SimKernelCounters
+simKernelCounters()
+{
+    SimKernelCounters c;
+    c.scratch_reuses = g_scratch_reuses.load(std::memory_order_relaxed);
+    c.symbolic_hits = g_symbolic_hits.load(std::memory_order_relaxed);
+    c.symbolic_misses = g_symbolic_misses.load(std::memory_order_relaxed);
+    c.symbolic_evictions =
+        g_symbolic_evictions.load(std::memory_order_relaxed);
+    return c;
+}
+
+void
+setSimKernelMetrics(MetricsRegistry *registry)
+{
+    if (registry == nullptr) {
+        g_mirror_scratch.store(nullptr, std::memory_order_relaxed);
+        g_mirror_hits.store(nullptr, std::memory_order_relaxed);
+        g_mirror_misses.store(nullptr, std::memory_order_relaxed);
+        g_mirror_evictions.store(nullptr, std::memory_order_relaxed);
+        return;
+    }
+    g_mirror_scratch.store(&registry->counter("sim.sched.scratch_reuses"),
+                           std::memory_order_relaxed);
+    g_mirror_hits.store(&registry->counter("sim.symbolic.hits"),
+                        std::memory_order_relaxed);
+    g_mirror_misses.store(&registry->counter("sim.symbolic.misses"),
+                          std::memory_order_relaxed);
+    g_mirror_evictions.store(&registry->counter("sim.symbolic.evictions"),
+                             std::memory_order_relaxed);
+}
+
+namespace {
+std::atomic<bool> g_use_reference_kernels{false};
+} // namespace
+
+void
+setUseReferenceSimKernels(bool on)
+{
+    g_use_reference_kernels.store(on, std::memory_order_relaxed);
+}
+
+bool
+useReferenceSimKernels()
+{
+    return g_use_reference_kernels.load(std::memory_order_relaxed);
+}
+
+void
+noteScratchReuse()
+{
+    bump(g_scratch_reuses, g_mirror_scratch);
+}
+
+} // namespace misam

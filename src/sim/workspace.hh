@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Reusable per-thread scratch arenas and the shared symbolic-SpGEMM
+ * cache for the cycle simulator's hot loops.
+ *
+ * The tile schedulers (sim/scheduler.hh) historically constructed two
+ * rows()-sized vectors per tile per design (Col policy) or hashed every
+ * nonzero through an unordered_map (Row policy). SimWorkspace replaces
+ * both with epoch-stamped flat arrays: scratch is allocated once per
+ * thread, a tile "reset" is a generation-stamp bump (O(1), no memset),
+ * and stale cells are detected by comparing their stamp against the
+ * current epoch. Steady-state scheduling performs zero heap
+ * allocations; `allocationEvents()` observes the warm-up growth so the
+ * bench harness can assert that.
+ *
+ * The same header hosts the process-wide memoization of one-pass
+ * symbolic SpGEMM analysis (sparse/spgemm.hh: SymbolicStats), keyed by
+ * the 128-bit content fingerprints from serve/fingerprint.hh with
+ * exactly-once semantics (the SummaryCache pattern): Design 4, the CPU
+ * and GPU baseline models, and the compression-factor feature all
+ * consume the same traversal instead of re-walking the A·B structure.
+ *
+ * Determinism contract: nothing here changes a simulated result — the
+ * arenas only recycle memory and the cache only memoizes pure functions
+ * of matrix content. The golden-trace suite (tests/golden/) pins that
+ * byte-identity; tests/test_scheduler_kernels.cpp pins the kernels
+ * against the retained naive reference (`setUseReferenceSimKernels`).
+ */
+
+#ifndef MISAM_SIM_WORKSPACE_HH
+#define MISAM_SIM_WORKSPACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sparse/csr.hh"
+#include "sparse/spgemm.hh"
+#include "sparse/types.hh"
+
+namespace misam {
+
+class MetricsRegistry;
+
+/**
+ * Per-PE accumulation of row histograms and work totals. The fold is
+ * order-independent (sums, plus max/count-of-max over per-row counts),
+ * which is what lets the stamped kernels visit rows in any order and
+ * still reproduce the naive kernels' stats bit-for-bit.
+ */
+struct PeAccumulator
+{
+    Offset total_elements = 0;
+    Offset total_work = 0;
+    Offset max_row_count = 0;
+    Offset rows_at_max = 0;
+
+    void
+    addRow(Offset count, Offset work)
+    {
+        total_elements += count;
+        total_work += work;
+        if (count > max_row_count) {
+            max_row_count = count;
+            rows_at_max = 1;
+        } else if (count == max_row_count) {
+            ++rows_at_max;
+        }
+    }
+};
+
+/**
+ * Epoch-stamped per-row histogram scratch: count and work accumulators
+ * over the row space, reset in O(1) per tile via a generation stamp,
+ * with a touched-row list for O(touched) iteration.
+ */
+class RowScratch
+{
+  public:
+    /** Start a new histogram over `rows` rows. O(1) unless growing. */
+    void begin(std::size_t rows);
+
+    /** Fold one nonzero of row `r` carrying `work` compute cycles. */
+    void
+    add(Index r, Offset work)
+    {
+        if (epoch_of_[r] != epoch_) {
+            epoch_of_[r] = epoch_;
+            count_[r] = 0;
+            work_[r] = 0;
+            touched_.push_back(r);
+        }
+        ++count_[r];
+        work_[r] += work;
+    }
+
+    /** Rows touched since begin(), in first-touch order. */
+    const std::vector<Index> &
+    touched() const
+    {
+        return touched_;
+    }
+
+    Offset
+    count(Index r) const
+    {
+        return count_[r];
+    }
+
+    Offset
+    work(Index r) const
+    {
+        return work_[r];
+    }
+
+    /** Arena (re)allocations observed — stable once warmed up. */
+    std::uint64_t
+    growEvents() const
+    {
+        return grow_events_;
+    }
+
+  private:
+    std::vector<Offset> count_;
+    std::vector<Offset> work_;
+    std::vector<std::uint32_t> epoch_of_;
+    std::vector<Index> touched_;
+    std::uint32_t epoch_ = 0;
+    std::size_t touched_capacity_ = 0;
+    std::uint64_t grow_events_ = 0;
+};
+
+/**
+ * Per-thread scratch bundle for the simulator hot loops. Obtain via
+ * local(); buffers keep their capacity across tiles, designs, and
+ * workloads, so the scheduler's steady state allocates nothing.
+ */
+class SimWorkspace
+{
+  public:
+    /** This thread's workspace (constructed on first use). */
+    static SimWorkspace &local();
+
+    RowScratch rows;
+
+    /** PE accumulator array, cleared to `pes` zeroed entries. */
+    std::vector<PeAccumulator> &peAccumulators(std::size_t pes);
+
+    /** Reusable per-B-row job-weight buffer of `n` entries. */
+    std::vector<Offset> &jobWeight(std::size_t n);
+
+    /**
+     * Buffer (re)allocations across all arenas in this workspace.
+     * A warmed-up scheduler leaves this unchanged — the bench harness
+     * asserts a zero delta in steady state.
+     */
+    std::uint64_t allocationEvents() const;
+
+  private:
+    std::vector<PeAccumulator> pe_acc_;
+    std::vector<Offset> job_weight_;
+    std::uint64_t grow_events_ = 0;
+};
+
+/**
+ * One-pass symbolic analysis of A·B, memoized process-wide by the
+ * operands' content fingerprints with exactly-once semantics: a pair
+ * being analyzed blocks concurrent requesters on a shared future, so
+ * `misses == distinct operand pairs` for any thread count (while the
+ * working set fits the FIFO-evicted capacity). Never returns null.
+ */
+std::shared_ptr<const SymbolicStats>
+cachedSpgemmSymbolic(const CsrMatrix &a, const CsrMatrix &b);
+
+/** Drop every cached symbolic entry (counters keep accumulating). */
+void clearSymbolicCache();
+
+/** Cached symbolic entries currently held (ready + in-flight). */
+std::size_t symbolicCacheEntries();
+
+/** Process-lifetime totals of the simulator kernel counters. */
+struct SimKernelCounters
+{
+    std::uint64_t scratch_reuses = 0;    ///< Arena-backed tile schedules.
+    std::uint64_t symbolic_hits = 0;     ///< Symbolic lookups from cache.
+    std::uint64_t symbolic_misses = 0;   ///< Symbolic analyses computed.
+    std::uint64_t symbolic_evictions = 0;///< FIFO evictions.
+};
+
+/** Snapshot of the process-wide kernel counters. */
+SimKernelCounters simKernelCounters();
+
+/**
+ * Mirror future kernel-counter events into `registry` under
+ * `sim.sched.scratch_reuses` / `sim.symbolic.{hits,misses,evictions}`
+ * (docs/OBSERVABILITY.md). nullptr detaches. The caller keeps the
+ * registry alive until detach; attach before concurrent use. Mirroring
+ * starts at zero from the attach point (prior totals are not
+ * backfilled). The golden-trace registries never attach this hook, so
+ * golden traces are unaffected.
+ */
+void setSimKernelMetrics(MetricsRegistry *registry);
+
+/** RAII attach/detach for setSimKernelMetrics. */
+class ScopedSimKernelMetrics
+{
+  public:
+    explicit ScopedSimKernelMetrics(MetricsRegistry *registry)
+    {
+        setSimKernelMetrics(registry);
+    }
+
+    ~ScopedSimKernelMetrics() { setSimKernelMetrics(nullptr); }
+
+    ScopedSimKernelMetrics(const ScopedSimKernelMetrics &) = delete;
+    ScopedSimKernelMetrics &operator=(const ScopedSimKernelMetrics &) =
+        delete;
+};
+
+/**
+ * Route the simulators through the retained naive reference kernels
+ * (per-tile vector construction, unordered_map Row histograms, two-pass
+ * symbolic analysis). Test/bench only: results are bit-identical either
+ * way (pinned by tests/test_scheduler_kernels.cpp); only the speed
+ * differs, which is what bench_sim_hot measures.
+ */
+void setUseReferenceSimKernels(bool on);
+
+/** Current reference-kernel flag. */
+bool useReferenceSimKernels();
+
+/** Internal: count one arena-backed tile schedule (mirrored). */
+void noteScratchReuse();
+
+} // namespace misam
+
+#endif // MISAM_SIM_WORKSPACE_HH

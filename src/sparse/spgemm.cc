@@ -231,11 +231,43 @@ spgemmOutputNnz(const CsrMatrix &a, const CsrMatrix &b)
 double
 spgemmCompressionFactor(const CsrMatrix &a, const CsrMatrix &b)
 {
-    const Offset mults = spgemmMultiplyCount(a, b);
-    if (mults == 0)
+    const SymbolicStats sym = spgemmSymbolic(a, b);
+    if (sym.multiplies == 0)
         return 1.0;
-    return static_cast<double>(spgemmOutputNnz(a, b)) /
-           static_cast<double>(mults);
+    return static_cast<double>(sym.output_nnz) /
+           static_cast<double>(sym.multiplies);
+}
+
+SymbolicStats
+spgemmSymbolic(const CsrMatrix &a, const CsrMatrix &b)
+{
+    checkDims(a.cols(), b.rows());
+    SymbolicStats sym;
+    sym.b_row_nnz.resize(b.rows());
+    for (Index k = 0; k < b.rows(); ++k)
+        sym.b_row_nnz[k] = b.rowNnz(k);
+
+    // Fused multiply-count + symbolic-output pass: per output row, the
+    // marker array unions the B rows selected by A(i,:) while the
+    // cached B row lengths accumulate the effectual flops. Identical
+    // values to spgemmMultiplyCount/spgemmOutputNnz by construction.
+    std::vector<Index> mark(b.cols(), 0);
+    Index stamp = 0;
+    for (Index i = 0; i < a.rows(); ++i) {
+        ++stamp;
+        Offset row_nnz = 0;
+        for (Index k : a.rowCols(i)) {
+            sym.multiplies += sym.b_row_nnz[k];
+            for (Index j : b.rowCols(k)) {
+                if (mark[j] != stamp) {
+                    mark[j] = stamp;
+                    ++row_nnz;
+                }
+            }
+        }
+        sym.output_nnz += row_nnz;
+    }
+    return sym;
 }
 
 } // namespace misam

@@ -11,6 +11,8 @@
 #ifndef MISAM_SPARSE_SPGEMM_HH
 #define MISAM_SPARSE_SPGEMM_HH
 
+#include <vector>
+
 #include "sparse/csc.hh"
 #include "sparse/csr.hh"
 
@@ -61,6 +63,23 @@ Offset spgemmOutputNnz(const CsrMatrix &a, const CsrMatrix &b);
  * partial products. Low factors penalize outer-product dataflows.
  */
 double spgemmCompressionFactor(const CsrMatrix &a, const CsrMatrix &b);
+
+/**
+ * Everything the cost models need to know about A·B without computing
+ * values, from ONE structure traversal: spgemmMultiplyCount and
+ * spgemmOutputNnz each re-walk the operands, and Design 4's job weights
+ * re-read every B row length — spgemmSymbolic produces all three at
+ * once (values identical by construction; pinned by tests).
+ */
+struct SymbolicStats
+{
+    Offset multiplies = 0; ///< == spgemmMultiplyCount(a, b).
+    Offset output_nnz = 0; ///< == spgemmOutputNnz(a, b).
+    std::vector<Offset> b_row_nnz; ///< b_row_nnz[k] == b.rowNnz(k).
+};
+
+/** One-pass symbolic analysis of C = A * B (structure only). */
+SymbolicStats spgemmSymbolic(const CsrMatrix &a, const CsrMatrix &b);
 
 } // namespace misam
 

@@ -54,8 +54,9 @@ shapeOf(const CsrMatrix &a, const CsrMatrix &b)
     s.n = b.cols();
     s.nnz_a = static_cast<double>(a.nnz());
     s.nnz_b = static_cast<double>(b.nnz());
-    s.mults = static_cast<double>(spgemmMultiplyCount(a, b));
-    s.nnz_c = static_cast<double>(spgemmOutputNnz(a, b));
+    const SymbolicStats sym = spgemmSymbolic(a, b);
+    s.mults = static_cast<double>(sym.multiplies);
+    s.nnz_c = static_cast<double>(sym.output_nnz);
     s.avg_row_a = s.m > 0 ? s.nnz_a / s.m : 0.0;
     s.avg_row_b = s.k > 0 ? s.nnz_b / s.k : 0.0;
     s.avg_col_b = s.n > 0 ? s.nnz_b / s.n : 0.0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "reconfig/engine.hh"
+#include "sparse/convert.hh"
 #include "sparse/generate.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -119,7 +120,10 @@ generateTrainingSample(const TrainingDataConfig &cfg, std::size_t index)
 
         TrainingSample sample;
         sample.features = extractFeatures(a, b);
-        sample.results = simulateAllDesigns(a, b);
+        // One CSC conversion of A shared by all four design simulations
+        // (the per-design loop used to convert internally).
+        const CscMatrix a_csc = csrToCsc(a);
+        sample.results = simulateAllDesigns(a, a_csc, b);
         sample.best_design =
             static_cast<int>(fastestDesign(sample.results));
         return sample;

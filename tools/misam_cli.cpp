@@ -46,6 +46,7 @@
 #include "serve/server.hh"
 #include "serve/summary_cache.hh"
 #include "sim/design_sim.hh"
+#include "sim/workspace.hh"
 #include "sparse/generate.hh"
 #include "sparse/convert.hh"
 #include "sparse/io.hh"
@@ -167,6 +168,8 @@ cmdPredict(const Args &args)
     auto [a, b] = loadWorkload(args);
 
     MetricsRegistry registry;
+    const ScopedSimKernelMetrics kernel_metrics(
+        args.has("--metrics") ? &registry : nullptr);
     if (args.has("--metrics"))
         misam.setMetrics(&registry);
     ExecutionReport rep = misam.execute(a, b);
@@ -234,6 +237,7 @@ int
 cmdSimulate(const Args &args)
 {
     MetricsRegistry registry;
+    const ScopedSimKernelMetrics kernel_metrics(&registry);
     ScopedTimer load_timer(registry, "phase.load");
     auto [a, b] = loadWorkload(args);
     load_timer.stop();
@@ -351,6 +355,7 @@ cmdServe(const Args &args)
         fatal("serve: job file has no jobs");
 
     MetricsRegistry registry;
+    const ScopedSimKernelMetrics kernel_metrics(&registry);
     misam.setMetrics(&registry);
 
     SummaryCache cache;
