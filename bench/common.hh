@@ -26,6 +26,7 @@
 #include "baselines/gpu_cusparse.hh"
 #include "core/misam.hh"
 #include "trapezoid/trapezoid.hh"
+#include "util/env.hh"
 #include "util/metrics.hh"
 #include "util/parallel.hh"
 #include "util/stats.hh"
@@ -78,27 +79,22 @@ benchMetricsPath(int argc, char **argv)
         if (arg == "--metrics" && i + 1 < argc)
             return argv[++i];
     }
-    if (const char *env = std::getenv("MISAM_METRICS"))
-        return env;
-    return {};
+    return envString("MISAM_METRICS");
 }
 
 /** Training-set size for selector benches (paper scale: 6,219). */
 inline std::size_t
 benchSamples(std::size_t fallback = 800)
 {
-    if (const char *env = std::getenv("MISAM_BENCH_SAMPLES"))
-        return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
-    return fallback;
+    return static_cast<std::size_t>(
+        envU64("MISAM_BENCH_SAMPLES", fallback));
 }
 
 /** HS-proxy scale for suite benches. */
 inline double
 benchScale(double fallback = 0.1)
 {
-    if (const char *env = std::getenv("MISAM_BENCH_SCALE"))
-        return std::strtod(env, nullptr);
-    return fallback;
+    return envF64("MISAM_BENCH_SCALE", fallback);
 }
 
 /** Generate the standard bench training set (0 threads = default). */

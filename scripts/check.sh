@@ -1,35 +1,90 @@
 #!/usr/bin/env bash
 #
-# Full verification flow:
+# Full verification flow (docs/STATIC_ANALYSIS.md has the matrix):
+#   0. lint — misam-lint determinism rules + clang-tidy (NOTICE skip
+#      when the toolchain lacks clang-tidy). Runs first so invariant
+#      violations fail fast, before the full build.
 #   1. tier-1 build (warning-gated) + full ctest pass,
 #   2. the golden-trace suite again under an AddressSanitizer build,
-#   3. a ThreadSanitizer build running the parallel-layer and serving-
+#   3. golden + scheduler-kernel tests under UBSan
+#      (MISAM_SANITIZE=undefined, -fno-sanitize-recover=all: any UB
+#      aborts the test, so a green run asserts a UB-clean tree),
+#   4. a ThreadSanitizer build running the parallel-layer and serving-
 #      layer tests, so data races in the thread pool / sample fan-out /
 #      operand cache / server dispatcher are caught at check time.
 #
 # Sanitizer passes are skipped (with a notice) when the toolchain lacks
 # the runtime — the container's compiler may not ship every libsan.
 #
-# Usage: scripts/check.sh [--tsan-only]
+# Usage: scripts/check.sh [--tsan-only] [--lint-only]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tsan_only=0
-[[ "${1:-}" == "--tsan-only" ]] && tsan_only=1
+lint_only=0
+for arg in "$@"; do
+    case "$arg" in
+      --tsan-only) tsan_only=1 ;;
+      --lint-only) lint_only=1 ;;
+      *)
+        echo "usage: scripts/check.sh [--tsan-only] [--lint-only]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 # True when the toolchain can link the given -fsanitize= runtime.
+# Probes are compiled once per runtime per invocation and memoized in
+# san_probe_cache, then persisted under build/ keyed by the compiler
+# version, so repeated check.sh runs skip the probe compile entirely.
+declare -A san_probe_cache
+san_cache_file=""
+init_san_cache() {
+    [[ -n "$san_cache_file" ]] && return 0
+    mkdir -p build
+    local stamp
+    stamp=$(c++ --version 2>/dev/null | head -1 | cksum | cut -d' ' -f1)
+    san_cache_file="build/.sanitizer_probes.$stamp"
+    if [[ -f "$san_cache_file" ]]; then
+        while IFS='=' read -r name ok; do
+            [[ -n "$name" ]] && san_probe_cache["$name"]="$ok"
+        done < "$san_cache_file"
+    else
+        # Stale caches from an older compiler are dropped.
+        rm -f build/.sanitizer_probes.* 2>/dev/null || true
+        : > "$san_cache_file"
+    fi
+}
 have_sanitizer() {
-    local probe
+    init_san_cache
+    if [[ -n "${san_probe_cache[$1]:-}" ]]; then
+        [[ "${san_probe_cache[$1]}" == 1 ]]
+        return
+    fi
+    local probe ok=0
     probe=$(mktemp /tmp/misam_san_probe.XXXXXX)
     if echo 'int main(){return 0;}' |
         c++ "-fsanitize=$1" -x c++ - -o "$probe" 2>/dev/null; then
-        rm -f "$probe"
-        return 0
+        ok=1
     fi
     rm -f "$probe"
-    return 1
+    san_probe_cache["$1"]="$ok"
+    echo "$1=$ok" >> "$san_cache_file"
+    [[ "$ok" == 1 ]]
 }
+
+if [[ "$tsan_only" -eq 0 ]]; then
+    echo "== lint: misam-lint + clang-tidy =="
+    cmake -B build -S . >/dev/null
+    cmake --build build --target misam_lint -j >/dev/null
+    ./build/tools/lint/misam-lint --root .
+    scripts/run_clang_tidy.sh . build
+    if [[ "$lint_only" -eq 1 ]]; then
+        echo "check.sh: lint pass complete (--lint-only)"
+        exit 0
+    fi
+fi
 
 if [[ "$tsan_only" -eq 0 ]]; then
     echo "== tier-1: build + ctest =="
@@ -81,6 +136,26 @@ EOF
     else
         echo "NOTICE: toolchain lacks AddressSanitizer support;" \
              "skipping the ASan golden pass."
+    fi
+
+    # Golden + scheduler-kernel tests under UBSan. The build uses
+    # -fno-sanitize-recover=all, so *any* undefined behavior on these
+    # paths aborts the test — a green run asserts the tree is UB-clean
+    # where the determinism contract lives.
+    if have_sanitizer undefined; then
+        echo "== UBSan: build + golden-trace/kernel tests =="
+        cmake -B build-ubsan -S . -DMISAM_SANITIZE=undefined \
+              -DCMAKE_BUILD_TYPE=RelWithDebInfo
+        cmake --build build-ubsan -j --target test_metrics \
+              test_scheduler_kernels
+        (cd build-ubsan && ctest --output-on-failure -L golden)
+        (cd build-ubsan && ./tests/test_scheduler_kernels \
+            --gtest_brief=1 >/dev/null)
+        echo "test_scheduler_kernels under UBSan: ok (no UB on the"\
+             "golden/kernel paths)"
+    else
+        echo "NOTICE: toolchain lacks UndefinedBehaviorSanitizer" \
+             "support; skipping the UBSan pass."
     fi
 fi
 

@@ -12,6 +12,11 @@
  * same counters the observability layer exports.
  */
 
+// misam-lint: allow-file(no-wall-clock) -- Stopwatch measures the
+// host-side phases of the paper's Fig. 12 breakdown (real wall time by
+// design); simulated results never read it, and the phase seconds stay
+// out of golden-trace event bodies.
+
 #ifndef MISAM_CORE_PIPELINE_HH
 #define MISAM_CORE_PIPELINE_HH
 

@@ -1,0 +1,46 @@
+#include "util/env.hh"
+
+#include <cstdlib>
+
+namespace misam {
+
+const char *
+envRaw(const char *name)
+{
+    return std::getenv(name);
+}
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::string(value) : fallback;
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || *value == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value)
+        return fallback;
+    return static_cast<std::uint64_t>(parsed);
+}
+
+double
+envF64(const char *name, double fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || *value == '\0')
+        return fallback;
+    char *end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value)
+        return fallback;
+    return parsed;
+}
+
+} // namespace misam

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The one sanctioned doorway to process environment variables.
+ *
+ * misam-lint's no-raw-getenv rule bans std::getenv outside src/util/:
+ * ambient environment reads scattered through the library are invisible
+ * inputs that break the "same seed, same bytes" contract. Every env
+ * knob instead flows through these helpers, so the full set of
+ * environment inputs is grep-able from one header.
+ */
+
+#ifndef MISAM_UTIL_ENV_HH
+#define MISAM_UTIL_ENV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace misam {
+
+/** Raw value of `name`, or nullptr when unset. */
+const char *envRaw(const char *name);
+
+/** Value of `name`, or `fallback` when unset. */
+std::string envString(const char *name, const std::string &fallback = {});
+
+/** Unsigned value of `name`; `fallback` when unset or unparseable. */
+std::uint64_t envU64(const char *name, std::uint64_t fallback);
+
+/** Double value of `name`; `fallback` when unset or unparseable. */
+double envF64(const char *name, double fallback);
+
+} // namespace misam
+
+#endif // MISAM_UTIL_ENV_HH

@@ -1,3 +1,8 @@
+// misam-lint: allow-file(no-wall-clock) -- ScopedTimer's steady_clock
+// reads are the one sanctioned wall-clock source; they only feed Timer
+// cells, which never enter a golden trace body (events carry logical
+// sequence numbers).
+
 #include "util/metrics.hh"
 
 #include <cinttypes>

@@ -29,6 +29,10 @@
  * key/value pairs (integers, doubles, or strings).
  */
 
+// misam-lint: allow-file(no-wall-clock) -- this IS the sanctioned
+// wall-clock measurement layer: ScopedTimer feeds host-side Timer
+// cells only; nothing simulated or emitted in a golden trace reads it.
+
 #ifndef MISAM_UTIL_METRICS_HH
 #define MISAM_UTIL_METRICS_HH
 

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "util/env.hh"
+
 namespace misam {
 
 namespace {
@@ -29,7 +31,7 @@ resolveThreads(unsigned requested)
 {
     if (requested > 0)
         return requested;
-    if (const char *env = std::getenv("MISAM_THREADS")) {
+    if (const char *env = envRaw("MISAM_THREADS")) {
         const long v = std::strtol(env, nullptr, 10);
         if (v >= 1)
             return static_cast<unsigned>(v);

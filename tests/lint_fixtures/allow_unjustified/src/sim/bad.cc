@@ -1,0 +1,20 @@
+// Fixture: three broken annotations, each reported as allow-annotation.
+// The reason-less allow also fails to suppress, so the steady_clock
+// violation below still fires.
+#include <chrono>
+
+namespace fixture {
+
+double
+wall()
+{
+    // misam-lint: allow(no-wall-clock)
+    const auto t0 = std::chrono::steady_clock::now(); // still flagged
+    // misam-lint: allow(no-such-rule) -- unknown rule name
+    const int x = 1;
+    // misam-lint: allow(no-raw-getenv) -- suppresses nothing here
+    return std::chrono::duration<double>(t0.time_since_epoch()).count() +
+           x;
+}
+
+} // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: no-ambient-rng must fire on every site marked below.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+struct Rng
+{
+    explicit Rng(unsigned long seed = 1) : s(seed) {}
+    unsigned long s = 0;
+};
+
+unsigned long
+draws()
+{
+    std::mt19937 gen;      // line 16: mt19937
+    std::random_device rd; // line 17: random_device
+    Rng ambient;           // line 18: Rng without a derived seed
+    (void)ambient;
+    return gen() + rd() +
+           static_cast<unsigned long>(std::rand()); // line 21: rand(
+}
+
+} // namespace fixture

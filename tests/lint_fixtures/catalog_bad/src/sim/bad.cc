@@ -1,0 +1,21 @@
+// Fixture: metrics-catalog-sync must report both directions of drift:
+// `sim.undocumented_counter` is used here but missing from the catalog,
+// and the catalog documents `sim.ghost_counter` which no code uses.
+#include <cstdint>
+#include <string_view>
+
+namespace fixture {
+
+struct Registry
+{
+    void add(std::string_view name, std::uint64_t delta);
+};
+
+void
+record(Registry &registry)
+{
+    registry.add("sim.runs", 1);                 // documented: fine
+    registry.add("sim.undocumented_counter", 1); // line 18: drift
+}
+
+} // namespace fixture

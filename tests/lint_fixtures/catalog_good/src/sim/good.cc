@@ -1,0 +1,27 @@
+// Fixture: metrics-catalog-sync must stay silent — code and catalog
+// agree, and non-metric dotted strings (file names, wildcard families)
+// are not treated as metric names.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+struct Registry
+{
+    void add(std::string_view name, std::uint64_t delta);
+};
+
+std::string
+record(Registry &registry)
+{
+    registry.add("sim.runs", 1);
+    registry.add("cache.summary_hits", 1);
+    // Not metric names: wrong prefix, uppercase, or path-shaped.
+    std::string path = "trace.jsonl";
+    path += "docs/OBSERVABILITY.md";
+    path += "sim.UPPER";
+    return path;
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: no-raw-getenv must fire — ambient environment reads outside
+// src/util/ are invisible inputs to supposedly-deterministic code.
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+std::string
+threads()
+{
+    const char *value = std::getenv("MISAM_THREADS"); // line 11
+    return value ? value : "";
+}
+
+} // namespace fixture

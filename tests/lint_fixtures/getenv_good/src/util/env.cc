@@ -1,0 +1,13 @@
+// Fixture: no-raw-getenv must stay silent — src/util/ is the sanctioned
+// doorway to the environment.
+#include <cstdlib>
+
+namespace fixture {
+
+const char *
+envRaw(const char *name)
+{
+    return std::getenv(name);
+}
+
+} // namespace fixture

@@ -1,0 +1,38 @@
+// Fixture: no-unordered-emission must flag both loops below — hash
+// iteration order reaches an emitter / result struct directly.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct MetricsSink
+{
+    void event(const std::string &name, std::uint64_t v);
+};
+
+struct SimResult
+{
+    std::uint64_t total = 0;
+};
+
+void
+emitCounts(MetricsSink &sink,
+           const std::unordered_map<std::string, std::uint64_t> &counts)
+{
+    for (const auto &entry : counts) // line 24: order leaks into events
+        sink.event(entry.first, entry.second);
+}
+
+SimResult
+foldRows(const std::unordered_set<std::uint64_t> &rows)
+{
+    SimResult result;
+    for (auto it = rows.begin(); it != rows.end(); ++it) { // line 32
+        result = SimResult{result.total * 31 + *it};
+    }
+    return result;
+}
+
+} // namespace fixture

@@ -1,0 +1,49 @@
+// Fixture: no-unordered-emission must stay silent.
+//
+// Two guards: (1) iterating an unordered container into a *local*
+// accumulator (no emitter in the loop body) is fine — the classic
+// false positive; (2) emission is fine once the keys are sorted.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct MetricsSink
+{
+    void event(const std::string &name, std::uint64_t v);
+};
+
+std::uint64_t
+sumCounts(const std::unordered_map<std::string, std::uint64_t> &counts)
+{
+    std::uint64_t total = 0;
+    for (const auto &entry : counts) // commutative fold: fine
+        total += entry.second;
+    return total;
+}
+
+void
+emitSorted(MetricsSink &sink,
+           const std::unordered_map<std::string, std::uint64_t> &counts)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> sorted;
+    for (const auto &entry : counts) // building a local vector: fine
+        sorted.push_back(entry);
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto &entry : sorted) // ordered container: fine
+        sink.event(entry.first, entry.second);
+}
+
+void
+emitOrderedMap(MetricsSink &sink,
+               const std::map<std::string, std::uint64_t> &by_name)
+{
+    for (const auto &entry : by_name) // std::map: deterministic order
+        sink.event(entry.first, entry.second);
+}
+
+} // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: no-wall-clock must fire on each banned token below.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double
+wallSeconds()
+{
+    const auto t0 = std::chrono::steady_clock::now(); // line 10: 2 hits
+    const auto t1 = std::chrono::system_clock::now(); // line 11: 2 hits
+    (void)t1;
+    const std::time_t t = std::time(nullptr); // line 13: 1 hit
+    (void)t;
+    return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+} // namespace fixture

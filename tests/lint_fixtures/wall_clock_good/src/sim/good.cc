@@ -1,0 +1,30 @@
+// Fixture: no-wall-clock must stay silent. Banned tokens appear only
+// inside comments and string literals, which the lexer blanks:
+// steady_clock, system_clock, time(nullptr).
+#include <string>
+
+namespace fixture {
+
+// A comment mentioning std::chrono::steady_clock::now() is fine.
+std::string
+describe()
+{
+    std::string s = "uses steady_clock and system_clock by name";
+    s += "and even time() and clock_gettime() in a literal";
+    // lifetime( is not the banned time( token: word-bounded matching.
+    return s;
+}
+
+int
+lifetime(int x)
+{
+    return x + 1;
+}
+
+int
+callsLifetime()
+{
+    return lifetime(3);
+}
+
+} // namespace fixture

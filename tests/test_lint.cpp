@@ -1,0 +1,256 @@
+/**
+ * @file
+ * misam-lint self-tests: every rule fires on its bad fixture and stays
+ * silent on its good fixture (tests/lint_fixtures/), annotations are
+ * validated, and — the acceptance gate — the real tree lints clean
+ * with all rules enabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "internal.hh"
+#include "lint.hh"
+
+using misam::lint::Diagnostic;
+using misam::lint::Options;
+using misam::lint::Result;
+using misam::lint::runLint;
+
+namespace {
+
+Options
+fixtureOptions(const std::string &name,
+               const std::vector<std::string> &rules)
+{
+    Options options;
+    options.root = std::string(MISAM_LINT_FIXTURES) + "/" + name;
+    options.rules = rules;
+    return options;
+}
+
+std::vector<std::string>
+rulesOf(const Result &result)
+{
+    std::vector<std::string> rules;
+    for (const Diagnostic &d : result.diagnostics)
+        rules.push_back(d.rule);
+    return rules;
+}
+
+std::size_t
+countRule(const Result &result, const std::string &rule)
+{
+    const std::vector<std::string> rules = rulesOf(result);
+    return static_cast<std::size_t>(
+        std::count(rules.begin(), rules.end(), rule));
+}
+
+bool
+hasDiagAtLine(const Result &result, const std::string &rule,
+              std::size_t line)
+{
+    for (const Diagnostic &d : result.diagnostics)
+        if (d.rule == rule && d.line == line)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(LintRuleTable, ListsTheFiveRulesSorted)
+{
+    const auto table = misam::lint::ruleTable();
+    std::vector<std::string> names;
+    for (const auto &info : table) {
+        names.push_back(info.name);
+        EXPECT_FALSE(info.description.empty()) << info.name;
+    }
+    const std::vector<std::string> expected = {
+        "metrics-catalog-sync", "no-ambient-rng", "no-raw-getenv",
+        "no-unordered-emission", "no-wall-clock"};
+    EXPECT_EQ(names, expected);
+    for (const std::string &name : expected)
+        EXPECT_TRUE(misam::lint::isKnownRule(name));
+    EXPECT_FALSE(misam::lint::isKnownRule("no-such-rule"));
+    EXPECT_FALSE(misam::lint::isKnownRule("allow-annotation"));
+}
+
+TEST(LintRunner, UnknownRuleNameThrows)
+{
+    Options options = fixtureOptions("wall_clock_good", {"no-such-rule"});
+    EXPECT_THROW(runLint(options), std::runtime_error);
+}
+
+TEST(LintRunner, MissingRootThrows)
+{
+    Options options;
+    options.root = std::string(MISAM_LINT_FIXTURES) + "/does_not_exist";
+    EXPECT_THROW(runLint(options), std::runtime_error);
+}
+
+TEST(LintWallClock, FiresOnBadFixture)
+{
+    const Result result =
+        runLint(fixtureOptions("wall_clock_bad", {"no-wall-clock"}));
+    // line 10: steady_clock + ::now(), line 11: system_clock + ::now(),
+    // line 13: time(.
+    EXPECT_EQ(countRule(result, "no-wall-clock"), 5u);
+    EXPECT_TRUE(hasDiagAtLine(result, "no-wall-clock", 10));
+    EXPECT_TRUE(hasDiagAtLine(result, "no-wall-clock", 11));
+    EXPECT_TRUE(hasDiagAtLine(result, "no-wall-clock", 13));
+}
+
+TEST(LintWallClock, SilentOnGoodFixture)
+{
+    const Result result =
+        runLint(fixtureOptions("wall_clock_good", {"no-wall-clock"}));
+    EXPECT_TRUE(result.diagnostics.empty())
+        << result.diagnostics.front().message;
+    EXPECT_EQ(result.files_scanned, 1u);
+}
+
+TEST(LintAmbientRng, FiresOnBadFixture)
+{
+    const Result result =
+        runLint(fixtureOptions("ambient_rng_bad", {"no-ambient-rng"}));
+    EXPECT_EQ(countRule(result, "no-ambient-rng"), 4u);
+    EXPECT_TRUE(hasDiagAtLine(result, "no-ambient-rng", 16)); // mt19937
+    EXPECT_TRUE(hasDiagAtLine(result, "no-ambient-rng", 17)); // random_device
+    EXPECT_TRUE(hasDiagAtLine(result, "no-ambient-rng", 18)); // Rng ambient;
+    EXPECT_TRUE(hasDiagAtLine(result, "no-ambient-rng", 21)); // std::rand(
+}
+
+TEST(LintAmbientRng, SilentOnGoodFixture)
+{
+    const Result result =
+        runLint(fixtureOptions("ambient_rng_good", {"no-ambient-rng"}));
+    EXPECT_TRUE(result.diagnostics.empty())
+        << result.diagnostics.front().message;
+}
+
+TEST(LintUnorderedEmission, FiresOnBadFixture)
+{
+    const Result result = runLint(
+        fixtureOptions("unordered_bad", {"no-unordered-emission"}));
+    EXPECT_EQ(countRule(result, "no-unordered-emission"), 2u);
+    EXPECT_TRUE(hasDiagAtLine(result, "no-unordered-emission", 24));
+    EXPECT_TRUE(hasDiagAtLine(result, "no-unordered-emission", 32));
+}
+
+TEST(LintUnorderedEmission, SilentOnGoodFixture)
+{
+    // The false-positive guard: unordered iteration into local
+    // accumulators / sorted staging must not be flagged.
+    const Result result = runLint(
+        fixtureOptions("unordered_good", {"no-unordered-emission"}));
+    EXPECT_TRUE(result.diagnostics.empty())
+        << result.diagnostics.front().message;
+}
+
+TEST(LintCatalogSync, ReportsBothDriftDirections)
+{
+    const Result result =
+        runLint(fixtureOptions("catalog_bad", {"metrics-catalog-sync"}));
+    ASSERT_EQ(countRule(result, "metrics-catalog-sync"), 2u);
+    bool undocumented = false, ghost = false;
+    for (const Diagnostic &d : result.diagnostics) {
+        if (d.message.find("sim.undocumented_counter") != std::string::npos) {
+            undocumented = true;
+            EXPECT_EQ(d.file, "src/sim/bad.cc");
+            EXPECT_EQ(d.line, 18u);
+        }
+        if (d.message.find("sim.ghost_counter") != std::string::npos) {
+            ghost = true;
+            EXPECT_EQ(d.file, "docs/OBSERVABILITY.md");
+            EXPECT_EQ(d.line, 6u);
+        }
+    }
+    EXPECT_TRUE(undocumented);
+    EXPECT_TRUE(ghost);
+}
+
+TEST(LintCatalogSync, SilentOnGoodFixture)
+{
+    const Result result =
+        runLint(fixtureOptions("catalog_good", {"metrics-catalog-sync"}));
+    EXPECT_TRUE(result.diagnostics.empty())
+        << result.diagnostics.front().message;
+}
+
+TEST(LintRawGetenv, FiresOnBadFixture)
+{
+    const Result result =
+        runLint(fixtureOptions("getenv_bad", {"no-raw-getenv"}));
+    EXPECT_EQ(countRule(result, "no-raw-getenv"), 1u);
+    EXPECT_TRUE(hasDiagAtLine(result, "no-raw-getenv", 11));
+}
+
+TEST(LintRawGetenv, SilentInsideUtil)
+{
+    const Result result =
+        runLint(fixtureOptions("getenv_good", {"no-raw-getenv"}));
+    EXPECT_TRUE(result.diagnostics.empty())
+        << result.diagnostics.front().message;
+}
+
+TEST(LintAllowAnnotations, UnjustifiedAnnotationsAreViolations)
+{
+    const Result result = runLint(fixtureOptions(
+        "allow_unjustified", {"no-wall-clock", "no-raw-getenv"}));
+    // Reason-less, unknown-rule, and suppresses-nothing annotations.
+    EXPECT_EQ(countRule(result, "allow-annotation"), 3u);
+    // The reason-less allow does not suppress, so the violation stays.
+    EXPECT_EQ(countRule(result, "no-wall-clock"), 2u);
+    EXPECT_EQ(result.allows_used, 0u);
+}
+
+TEST(LintAllowAnnotations, JustifiedAllowSuppressesAndCounts)
+{
+    const Result result =
+        runLint(fixtureOptions("allow_good", {"no-wall-clock"}));
+    EXPECT_TRUE(result.diagnostics.empty())
+        << result.diagnostics.front().message;
+    EXPECT_EQ(result.allows_used, 1u);
+}
+
+TEST(LintLexer, BlanksCommentsAndLiterals)
+{
+    const auto file = misam::lint::lexSource(
+        "src/sim/x.cc",
+        "// steady_clock in a comment\n"
+        "const char *s = \"system_clock\"; /* time( */\n"
+        "int lifetime(int x);\n");
+    for (const char *banned : {"steady_clock", "system_clock"})
+        EXPECT_EQ(file.code.find(banned), std::string::npos) << banned;
+    ASSERT_EQ(file.literals.size(), 1u);
+    EXPECT_EQ(file.literals[0].text, "system_clock");
+    EXPECT_EQ(file.literals[0].line, 2u);
+    // Newlines survive blanking so line numbers stay aligned.
+    EXPECT_EQ(std::count(file.code.begin(), file.code.end(), '\n'), 3);
+}
+
+TEST(LintLexer, DigitSeparatorIsNotACharLiteral)
+{
+    const auto file = misam::lint::lexSource(
+        "src/sim/x.cc", "const long n = 1'000'000 + steady_clock_x;\n");
+    // The ' separators must not open a char literal and swallow code.
+    EXPECT_NE(file.code.find("steady_clock_x"), std::string::npos);
+}
+
+// The acceptance gate: the tree itself is clean under every rule, and
+// each in-tree allow annotation is justified and load-bearing.
+TEST(LintRealTree, RunsCleanWithAllRules)
+{
+    Options options;
+    options.root = MISAM_REPO_ROOT;
+    const Result result = runLint(options);
+    for (const Diagnostic &d : result.diagnostics)
+        ADD_FAILURE() << d.file << ":" << d.line << ": [" << d.rule
+                      << "] " << d.message;
+    EXPECT_GE(result.files_scanned, 100u);
+    EXPECT_GE(result.allows_used, 3u);
+}

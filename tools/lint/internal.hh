@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Internals shared between the misam-lint lexer, the rule
+ * implementations, and the catalog checker. Not installed; only the
+ * tools/lint sources and tests/test_lint.cpp include this.
+ */
+
+#ifndef MISAM_TOOLS_LINT_INTERNAL_HH
+#define MISAM_TOOLS_LINT_INTERNAL_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hh"
+
+namespace misam::lint {
+
+/** A `// misam-lint: allow(...)` annotation found while lexing. */
+struct AllowAnnotation
+{
+    std::string rule;   ///< Rule name inside the parentheses.
+    std::string reason; ///< Text after `--` (may be empty = invalid).
+    std::size_t line;   ///< 1-based line the annotation sits on.
+    bool file_scope;    ///< allow-file(...) vs allow(...).
+    bool used = false;  ///< Set when it suppresses a match.
+};
+
+/** A string literal lexed from code (not from a comment). */
+struct StringLiteral
+{
+    std::string text;  ///< Contents without the quotes, unescaped-ish.
+    std::size_t line;  ///< 1-based line of the opening quote.
+};
+
+/**
+ * One lexed source file. `code` is `raw` with comments and
+ * string/character literals blanked to spaces (newlines preserved), so
+ * offsets and line numbers agree between the two.
+ */
+struct SourceFile
+{
+    std::string rel_path; ///< Relative to the scanned root, '/'-separated.
+    std::string raw;
+    std::string code;
+    std::vector<AllowAnnotation> allows;
+    std::vector<StringLiteral> literals;
+    std::vector<std::size_t> line_starts; ///< Offset of each line start.
+
+    /** 1-based line containing byte `offset`. */
+    std::size_t lineOf(std::size_t offset) const;
+
+    /** True when `rel_path` starts with `prefix` (e.g. "src/sim/"). */
+    bool under(std::string_view prefix) const;
+};
+
+/** Lex `raw` into a SourceFile (strip + annotation/literal scan). */
+SourceFile lexSource(std::string rel_path, std::string raw);
+
+/**
+ * How a banned token must sit in the code to count as a match.
+ *  - Word:       word-bounded occurrence, e.g. `steady_clock`.
+ *  - Call:       word-bounded occurrence followed by `(`, e.g. `time(`.
+ *  - MemberCall: Call that is additionally preceded by `::` or `.` or
+ *                `->`, e.g. `clock::now()` — catches type aliases that
+ *                would launder a Word ban.
+ */
+enum class TokenKind
+{
+    Word,
+    Call,
+    MemberCall,
+};
+
+/** One banned token of a token-ban rule. */
+struct BannedToken
+{
+    TokenKind kind;
+    std::string_view text;
+};
+
+/** One match of a banned token. */
+struct TokenMatch
+{
+    std::size_t offset;
+    std::size_t line;
+    std::string_view token;
+};
+
+/** All matches of `token` in `file.code`. */
+std::vector<TokenMatch> findToken(const SourceFile &file,
+                                  const BannedToken &token);
+
+/** Identifiers declared with an unordered_{map,set} type in `code`. */
+std::vector<std::string> unorderedIdentifiers(const SourceFile &file);
+
+/**
+ * For every loop in `file` that ranges over one of `idents` (range-for
+ * or `.begin()` iterator loop), return the line of the loop header if
+ * the loop *body* contains any of `markers` — i.e. iteration order of
+ * an unordered container reaches an emitter directly.
+ */
+std::vector<std::size_t>
+unorderedEmissionLoops(const SourceFile &file,
+                       const std::vector<std::string> &idents,
+                       const std::vector<std::string_view> &markers);
+
+/** Catalog check input: where a metric-shaped literal was seen. */
+struct MetricUse
+{
+    std::string name;
+    std::string file; ///< Relative path.
+    std::size_t line;
+};
+
+/**
+ * Extract metric names (`<prefix>.<dotted_lowercase>` for one of
+ * `prefixes`) from the code string literals of `file`.
+ */
+std::vector<MetricUse>
+metricNamesInCode(const SourceFile &file,
+                  const std::vector<std::string_view> &prefixes);
+
+/**
+ * Extract metric names from backtick-quoted spans of a Markdown
+ * catalog. Returns name -> first line seen.
+ */
+std::vector<MetricUse>
+metricNamesInCatalog(const std::string &markdown,
+                     const std::string &catalog_path,
+                     const std::vector<std::string_view> &prefixes);
+
+} // namespace misam::lint
+
+#endif // MISAM_TOOLS_LINT_INTERNAL_HH

@@ -1,0 +1,917 @@
+/**
+ * @file
+ * misam-lint implementation: a single-pass lexer that blanks comments
+ * and literals (so rules never fire on documentation or strings), plus
+ * the five determinism rules driven by the declarative tables below.
+ * See lint.hh for the contract and docs/STATIC_ANALYSIS.md for the
+ * rule catalog.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "internal.hh"
+
+namespace misam::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+isWordChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.front())) != 0)
+        s.remove_prefix(1);
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.back())) != 0)
+        s.remove_suffix(1);
+    return s;
+}
+
+/** Parse `misam-lint: allow[-file](rule) -- reason` from a comment. */
+void
+parseAnnotation(std::string_view comment, std::size_t line,
+                std::vector<AllowAnnotation> &out)
+{
+    const std::string_view tag = "misam-lint:";
+    const std::size_t at = comment.find(tag);
+    if (at == std::string_view::npos)
+        return;
+    std::string_view rest = trim(comment.substr(at + tag.size()));
+
+    AllowAnnotation ann;
+    ann.line = line;
+    if (rest.rfind("allow-file", 0) == 0) {
+        ann.file_scope = true;
+        rest.remove_prefix(10);
+    } else if (rest.rfind("allow", 0) == 0) {
+        ann.file_scope = false;
+        rest.remove_prefix(5);
+    } else {
+        // A lint tag followed by something other than allow/allow-file
+        // is a malformed annotation; record it so it gets reported.
+        ann.rule = std::string(rest.substr(0, rest.find(' ')));
+        out.push_back(std::move(ann));
+        return;
+    }
+    rest = trim(rest);
+    if (rest.empty() || rest.front() != '(') {
+        out.push_back(std::move(ann)); // missing (rule)
+        return;
+    }
+    const std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+        out.push_back(std::move(ann));
+        return;
+    }
+    ann.rule = std::string(trim(rest.substr(1, close - 1)));
+    rest = trim(rest.substr(close + 1));
+    if (rest.rfind("--", 0) == 0)
+        ann.reason = std::string(trim(rest.substr(2)));
+    out.push_back(std::move(ann));
+}
+
+} // namespace
+
+std::size_t
+SourceFile::lineOf(std::size_t offset) const
+{
+    auto it = std::upper_bound(line_starts.begin(), line_starts.end(),
+                               offset);
+    return static_cast<std::size_t>(it - line_starts.begin());
+}
+
+bool
+SourceFile::under(std::string_view prefix) const
+{
+    return rel_path.compare(0, prefix.size(), prefix) == 0;
+}
+
+SourceFile
+lexSource(std::string rel_path, std::string raw)
+{
+    SourceFile f;
+    f.rel_path = std::move(rel_path);
+    f.raw = std::move(raw);
+    f.code = f.raw;
+
+    f.line_starts.push_back(0);
+    for (std::size_t i = 0; i < f.raw.size(); ++i)
+        if (f.raw[i] == '\n')
+            f.line_starts.push_back(i + 1);
+
+    std::string &code = f.code;
+    const std::string &raw_src = f.raw;
+    const std::size_t n = raw_src.size();
+
+    auto blank = [&code](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi && k < code.size(); ++k)
+            if (code[k] != '\n')
+                code[k] = ' ';
+    };
+
+    std::size_t i = 0;
+    while (i < n) {
+        const char c = raw_src[i];
+        if (c == '/' && i + 1 < n && raw_src[i + 1] == '/') {
+            std::size_t end = raw_src.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            parseAnnotation(
+                std::string_view(raw_src).substr(i + 2, end - i - 2),
+                f.lineOf(i), f.allows);
+            blank(i, end);
+            i = end;
+        } else if (c == '/' && i + 1 < n && raw_src[i + 1] == '*') {
+            std::size_t end = raw_src.find("*/", i + 2);
+            end = (end == std::string::npos) ? n : end + 2;
+            blank(i, end);
+            i = end;
+        } else if (c == '"' && i > 0 && raw_src[i - 1] == 'R' &&
+                   (i < 2 || !isWordChar(raw_src[i - 2]))) {
+            // Raw string literal R"delim( ... )delim".
+            const std::size_t open = raw_src.find('(', i + 1);
+            if (open == std::string::npos) {
+                blank(i, n);
+                break;
+            }
+            const std::string delim = raw_src.substr(i + 1, open - i - 1);
+            const std::string closer = ")" + delim + "\"";
+            std::size_t end = raw_src.find(closer, open + 1);
+            StringLiteral lit;
+            lit.line = f.lineOf(i);
+            if (end == std::string::npos) {
+                lit.text = raw_src.substr(open + 1);
+                blank(i - 1, n);
+                f.literals.push_back(std::move(lit));
+                break;
+            }
+            lit.text = raw_src.substr(open + 1, end - open - 1);
+            f.literals.push_back(std::move(lit));
+            blank(i - 1, end + closer.size());
+            i = end + closer.size();
+        } else if (c == '"') {
+            StringLiteral lit;
+            lit.line = f.lineOf(i);
+            std::size_t j = i + 1;
+            while (j < n && raw_src[j] != '"' && raw_src[j] != '\n') {
+                if (raw_src[j] == '\\' && j + 1 < n) {
+                    lit.text.push_back(raw_src[j + 1]);
+                    j += 2;
+                } else {
+                    lit.text.push_back(raw_src[j]);
+                    ++j;
+                }
+            }
+            const std::size_t end = (j < n) ? j + 1 : n;
+            blank(i, end);
+            f.literals.push_back(std::move(lit));
+            i = end;
+        } else if (c == '\'' && (i == 0 || !isWordChar(raw_src[i - 1]))) {
+            // Character literal (a ' after a word char is a digit
+            // separator like 1'000 and stays in the code).
+            std::size_t j = i + 1;
+            while (j < n && raw_src[j] != '\'' && raw_src[j] != '\n') {
+                if (raw_src[j] == '\\' && j + 1 < n)
+                    j += 2;
+                else
+                    ++j;
+            }
+            const std::size_t end = (j < n) ? j + 1 : n;
+            blank(i, end);
+            i = end;
+        } else {
+            ++i;
+        }
+    }
+    return f;
+}
+
+std::vector<TokenMatch>
+findToken(const SourceFile &file, const BannedToken &token)
+{
+    std::vector<TokenMatch> matches;
+    const std::string &code = file.code;
+    const std::string text(token.text);
+    std::size_t at = 0;
+    while ((at = code.find(text, at)) != std::string::npos) {
+        const std::size_t end = at + text.size();
+        const bool bounded =
+            (at == 0 || !isWordChar(code[at - 1])) &&
+            (end >= code.size() || !isWordChar(code[end]));
+        if (!bounded) {
+            at = end;
+            continue;
+        }
+        bool ok = true;
+        if (token.kind == TokenKind::Call ||
+            token.kind == TokenKind::MemberCall) {
+            std::size_t j = end;
+            while (j < code.size() &&
+                   std::isspace(static_cast<unsigned char>(code[j])) != 0)
+                ++j;
+            ok = j < code.size() && code[j] == '(';
+        }
+        if (ok && token.kind == TokenKind::MemberCall) {
+            std::size_t j = at;
+            while (j > 0 && std::isspace(
+                                static_cast<unsigned char>(code[j - 1])) != 0)
+                --j;
+            ok = j >= 1 &&
+                 (code[j - 1] == '.' ||
+                  (j >= 2 && code[j - 2] == ':' && code[j - 1] == ':') ||
+                  (j >= 2 && code[j - 2] == '-' && code[j - 1] == '>'));
+        }
+        if (ok)
+            matches.push_back({at, file.lineOf(at), token.text});
+        at = end;
+    }
+    return matches;
+}
+
+namespace {
+
+/** Skip a balanced `<...>` template argument list; `at` points at `<`.
+ *  Returns the offset just past the matching `>`. */
+std::size_t
+skipAngles(const std::string &code, std::size_t at)
+{
+    int depth = 0;
+    while (at < code.size()) {
+        const char c = code[at];
+        if (c == '<')
+            ++depth;
+        else if (c == '>' && --depth == 0)
+            return at + 1;
+        ++at;
+    }
+    return at;
+}
+
+std::string
+readIdentifier(const std::string &code, std::size_t &at)
+{
+    std::string ident;
+    if (at < code.size() &&
+        (std::isalpha(static_cast<unsigned char>(code[at])) != 0 ||
+         code[at] == '_')) {
+        while (at < code.size() && isWordChar(code[at]))
+            ident.push_back(code[at++]);
+    }
+    return ident;
+}
+
+void
+skipSpaces(const std::string &code, std::size_t &at)
+{
+    while (at < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[at])) != 0)
+        ++at;
+}
+
+/** Last identifier ending at or before offset `at` (skipping spaces). */
+std::string
+identifierEndingBefore(const std::string &code, std::size_t at)
+{
+    while (at > 0 &&
+           std::isspace(static_cast<unsigned char>(code[at - 1])) != 0)
+        --at;
+    std::size_t end = at;
+    while (at > 0 && isWordChar(code[at - 1]))
+        --at;
+    return code.substr(at, end - at);
+}
+
+} // namespace
+
+std::vector<std::string>
+unorderedIdentifiers(const SourceFile &file)
+{
+    std::set<std::string> idents;
+    const std::string &code = file.code;
+    for (const char *kw : {"unordered_map", "unordered_set"}) {
+        for (const TokenMatch &m :
+             findToken(file, {TokenKind::Word, kw})) {
+            // Forward form: unordered_map<...> [&*const ]name
+            std::size_t j = m.offset + std::string_view(kw).size();
+            skipSpaces(code, j);
+            if (j < code.size() && code[j] == '<')
+                j = skipAngles(code, j);
+            for (;;) {
+                skipSpaces(code, j);
+                if (j < code.size() && (code[j] == '&' || code[j] == '*')) {
+                    ++j;
+                    continue;
+                }
+                std::size_t probe = j;
+                const std::string word = readIdentifier(code, probe);
+                if (word == "const") {
+                    j = probe;
+                    continue;
+                }
+                if (!word.empty() && word != "new")
+                    idents.insert(word);
+                break;
+            }
+            // Backward form: name = new std::unordered_map<...>
+            std::size_t b = m.offset;
+            while (b > 0 && (isWordChar(code[b - 1]) || code[b - 1] == ':'))
+                --b; // skip the std:: qualifier
+            while (b > 0 && std::isspace(
+                                static_cast<unsigned char>(code[b - 1])) != 0)
+                --b;
+            std::size_t w_begin = b;
+            while (w_begin > 0 && isWordChar(code[w_begin - 1]))
+                --w_begin;
+            if (code.substr(w_begin, b - w_begin) == "new") {
+                std::size_t eq = w_begin;
+                while (eq > 0 &&
+                       std::isspace(
+                           static_cast<unsigned char>(code[eq - 1])) != 0)
+                    --eq;
+                if (eq > 0 && code[eq - 1] == '=') {
+                    const std::string lhs =
+                        identifierEndingBefore(code, eq - 1);
+                    if (!lhs.empty())
+                        idents.insert(lhs);
+                }
+            }
+        }
+    }
+    return {idents.begin(), idents.end()};
+}
+
+std::vector<std::size_t>
+unorderedEmissionLoops(const SourceFile &file,
+                       const std::vector<std::string> &idents,
+                       const std::vector<std::string_view> &markers)
+{
+    std::vector<std::size_t> lines;
+    if (idents.empty())
+        return lines;
+    const std::string &code = file.code;
+
+    auto containsWord = [](std::string_view hay, std::string_view word) {
+        std::size_t at = 0;
+        while ((at = hay.find(word, at)) != std::string_view::npos) {
+            const std::size_t end = at + word.size();
+            if ((at == 0 || !isWordChar(hay[at - 1])) &&
+                (end >= hay.size() || !isWordChar(hay[end])))
+                return true;
+            at = end;
+        }
+        return false;
+    };
+
+    for (const TokenMatch &m : findToken(file, {TokenKind::Call, "for"})) {
+        const std::size_t open = code.find('(', m.offset);
+        if (open == std::string::npos)
+            continue;
+        int depth = 0;
+        std::size_t close = open;
+        while (close < code.size()) {
+            if (code[close] == '(')
+                ++depth;
+            else if (code[close] == ')' && --depth == 0)
+                break;
+            ++close;
+        }
+        if (close >= code.size())
+            continue;
+        const std::string_view header =
+            std::string_view(code).substr(open + 1, close - open - 1);
+
+        // A range-for colon: a ':' that is not part of '::'.
+        std::size_t colon = std::string_view::npos;
+        for (std::size_t k = 0; k < header.size(); ++k) {
+            if (header[k] != ':')
+                continue;
+            if ((k + 1 < header.size() && header[k + 1] == ':') ||
+                (k > 0 && header[k - 1] == ':'))
+                continue;
+            colon = k;
+            break;
+        }
+
+        bool over_unordered = false;
+        for (const std::string &ident : idents) {
+            if (colon != std::string_view::npos &&
+                containsWord(header.substr(colon + 1), ident)) {
+                over_unordered = true;
+                break;
+            }
+            if (header.find(ident + ".begin(") != std::string_view::npos ||
+                header.find(ident + ".cbegin(") != std::string_view::npos) {
+                over_unordered = true;
+                break;
+            }
+        }
+        if (!over_unordered)
+            continue;
+
+        // Loop body: balanced braces, or a single statement up to ';'.
+        std::size_t b = close + 1;
+        skipSpaces(code, b);
+        std::size_t body_end = b;
+        if (b < code.size() && code[b] == '{') {
+            int bd = 0;
+            while (body_end < code.size()) {
+                if (code[body_end] == '{')
+                    ++bd;
+                else if (code[body_end] == '}' && --bd == 0)
+                    break;
+                ++body_end;
+            }
+        } else {
+            body_end = code.find(';', b);
+            if (body_end == std::string::npos)
+                body_end = code.size();
+        }
+        const std::string_view body =
+            std::string_view(code).substr(b, body_end - b);
+        for (std::string_view marker : markers) {
+            if (body.find(marker) != std::string_view::npos) {
+                lines.push_back(m.line);
+                break;
+            }
+        }
+    }
+    return lines;
+}
+
+namespace {
+
+/** True when `s` is exactly `<prefix>.<seg>(.<seg>)*` for one of the
+ *  prefixes, with segments of [a-z0-9_]. */
+bool
+isMetricName(std::string_view s,
+             const std::vector<std::string_view> &prefixes)
+{
+    const std::size_t dot = s.find('.');
+    if (dot == std::string_view::npos || dot + 1 >= s.size())
+        return false;
+    const std::string_view head = s.substr(0, dot);
+    if (std::find(prefixes.begin(), prefixes.end(), head) ==
+        prefixes.end())
+        return false;
+    bool seg_start = true;
+    for (std::size_t k = dot + 1; k < s.size(); ++k) {
+        const char c = s[k];
+        if (c == '.') {
+            if (seg_start)
+                return false; // empty segment
+            seg_start = true;
+            continue;
+        }
+        if (!(std::islower(static_cast<unsigned char>(c)) != 0 ||
+              std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+              c == '_'))
+            return false;
+        seg_start = false;
+    }
+    return !seg_start;
+}
+
+} // namespace
+
+std::vector<MetricUse>
+metricNamesInCode(const SourceFile &file,
+                  const std::vector<std::string_view> &prefixes)
+{
+    std::vector<MetricUse> uses;
+    for (const StringLiteral &lit : file.literals)
+        if (isMetricName(lit.text, prefixes))
+            uses.push_back({lit.text, file.rel_path, lit.line});
+    return uses;
+}
+
+std::vector<MetricUse>
+metricNamesInCatalog(const std::string &markdown,
+                     const std::string &catalog_path,
+                     const std::vector<std::string_view> &prefixes)
+{
+    std::vector<MetricUse> uses;
+    std::istringstream in(markdown);
+    std::string line;
+    std::size_t lineno = 0;
+    bool in_fence = false;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::string_view trimmed = trim(line);
+        if (trimmed.rfind("```", 0) == 0) {
+            in_fence = !in_fence;
+            continue;
+        }
+        if (in_fence)
+            continue;
+        std::size_t at = 0;
+        while ((at = line.find('`', at)) != std::string::npos) {
+            const std::size_t end = line.find('`', at + 1);
+            if (end == std::string::npos)
+                break;
+            const std::string_view span =
+                std::string_view(line).substr(at + 1, end - at - 1);
+            // Spans with a wildcard (`sim.sched.*`) name families, not
+            // metrics, and are not checked.
+            if (span.find('*') == std::string_view::npos &&
+                isMetricName(span, prefixes))
+                uses.push_back({std::string(span), catalog_path, lineno});
+            at = end + 1;
+        }
+    }
+    return uses;
+}
+
+// ---------------------------------------------------------------------------
+// Rule tables and the driver.
+
+namespace {
+
+constexpr std::string_view kCatalogRelPath = "docs/OBSERVABILITY.md";
+
+const std::vector<std::string_view> kMetricPrefixes = {
+    "sim", "cache", "serve", "reconfig", "tenant", "train", "phase"};
+
+/** Markers that mean a loop body reaches an emitter / output stream. */
+const std::vector<std::string_view> kEmissionMarkers = {
+    "MetricsSink", "SimResult",     ".event(",   "emitRegistry(",
+    "emitSimEvents(", "writeLine(", "appendJsonString(",
+};
+
+struct TokenRule
+{
+    std::string_view name;
+    std::string_view description;
+    /** rel-path prefixes the rule applies to; empty = everywhere. */
+    std::vector<std::string_view> include;
+    /** rel-path prefixes exempt from the rule. */
+    std::vector<std::string_view> exclude;
+    std::vector<BannedToken> tokens;
+    std::string_view hint;
+};
+
+const std::vector<TokenRule> &
+tokenRules()
+{
+    static const std::vector<TokenRule> rules = {
+        {"no-wall-clock",
+         "wall-clock reads are banned in the library (src/); timing "
+         "belongs to util/metrics.* and core/pipeline.hh only",
+         {"src/"},
+         {},
+         {{TokenKind::Word, "steady_clock"},
+          {TokenKind::Word, "system_clock"},
+          {TokenKind::Word, "high_resolution_clock"},
+          {TokenKind::Call, "time"},
+          {TokenKind::Call, "gettimeofday"},
+          {TokenKind::Call, "clock_gettime"},
+          {TokenKind::Call, "clock"},
+          {TokenKind::MemberCall, "now"}},
+         "route timing through ScopedTimer/Stopwatch, or annotate the "
+         "sanctioned measurement layer"},
+        {"no-ambient-rng",
+         "ambient/unseeded randomness is banned outside "
+         "src/util/random.*; all draws flow through a seed-derived Rng",
+         {},
+         {"src/util/random."},
+         {{TokenKind::Call, "rand"},
+          {TokenKind::Call, "srand"},
+          {TokenKind::Word, "random_device"},
+          {TokenKind::Word, "mt19937"},
+          {TokenKind::Word, "mt19937_64"},
+          {TokenKind::Word, "minstd_rand"},
+          {TokenKind::Word, "default_random_engine"}},
+         "construct Rng(seed) or Rng(deriveSeed(seed, stream)) instead"},
+        {"no-raw-getenv",
+         "std::getenv (and env mutation) is banned outside src/util/; "
+         "use the util/env.hh helpers",
+         {},
+         {"src/util/"},
+         {{TokenKind::Call, "getenv"},
+          {TokenKind::Call, "secure_getenv"},
+          {TokenKind::Call, "setenv"},
+          {TokenKind::Call, "putenv"},
+          {TokenKind::Call, "unsetenv"}},
+         "use misam::envRaw / envU64 / envF64 from util/env.hh"},
+    };
+    return rules;
+}
+
+void
+appendTokenRuleDiags(const TokenRule &rule, const SourceFile &file,
+                     std::vector<Diagnostic> &out)
+{
+    bool included = rule.include.empty();
+    for (std::string_view prefix : rule.include)
+        included = included || file.under(prefix);
+    if (!included)
+        return;
+    for (std::string_view prefix : rule.exclude)
+        if (file.under(prefix))
+            return;
+    for (const BannedToken &token : rule.tokens) {
+        for (const TokenMatch &m : findToken(file, token)) {
+            Diagnostic d;
+            d.rule = std::string(rule.name);
+            d.file = file.rel_path;
+            d.line = m.line;
+            d.message = "banned token '" + std::string(m.token) + "' (" +
+                        std::string(rule.hint) + ")";
+            out.push_back(std::move(d));
+        }
+    }
+}
+
+/** Default-constructed Rng outside src/util/random.*: a fixed ambient
+ *  seed instead of one derived from the workload's seed. */
+void
+appendDefaultRngDiags(const SourceFile &file, std::vector<Diagnostic> &out)
+{
+    if (file.under("src/util/random."))
+        return;
+    const std::string &code = file.code;
+    for (const TokenMatch &m : findToken(file, {TokenKind::Word, "Rng"})) {
+        std::size_t j = m.offset + 3;
+        skipSpaces(code, j);
+        bool flagged = false;
+        if (j < code.size() && code[j] == '(') {
+            // Rng() temporary with no seed argument.
+            std::size_t k = j + 1;
+            skipSpaces(code, k);
+            flagged = k < code.size() && code[k] == ')';
+        } else {
+            const std::string ident = readIdentifier(code, j);
+            if (!ident.empty()) {
+                skipSpaces(code, j);
+                if (j < code.size() && code[j] == ';') {
+                    flagged = true;
+                } else if (j + 1 < code.size() && code[j] == '{') {
+                    std::size_t k = j + 1;
+                    skipSpaces(code, k);
+                    flagged = k < code.size() && code[k] == '}';
+                }
+            }
+        }
+        if (flagged) {
+            Diagnostic d;
+            d.rule = "no-ambient-rng";
+            d.file = file.rel_path;
+            d.line = m.line;
+            d.message =
+                "Rng constructed without a derived seed (pass the "
+                "workload seed, or Rng(deriveSeed(seed, stream)))";
+            out.push_back(std::move(d));
+        }
+    }
+}
+
+void
+appendUnorderedEmissionDiags(const SourceFile &file,
+                             std::vector<Diagnostic> &out)
+{
+    if (!file.under("src/") && !file.under("tools/"))
+        return;
+    const std::vector<std::string> idents = unorderedIdentifiers(file);
+    for (std::size_t line :
+         unorderedEmissionLoops(file, idents, kEmissionMarkers)) {
+        Diagnostic d;
+        d.rule = "no-unordered-emission";
+        d.file = file.rel_path;
+        d.line = line;
+        d.message =
+            "loop over an unordered container feeds an emitter; sort "
+            "the keys (or use the stable-handle registry) so trace "
+            "bytes do not depend on hash iteration order";
+        out.push_back(std::move(d));
+    }
+}
+
+void
+appendCatalogDiags(const std::vector<SourceFile> &files,
+                   const std::string &catalog_path,
+                   const std::string &catalog_rel,
+                   std::vector<Diagnostic> &out)
+{
+    std::ifstream in(catalog_path);
+    if (!in)
+        throw std::runtime_error("misam-lint: metrics-catalog-sync needs " +
+                                 catalog_path + " (not readable)");
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    // First use per name, in sorted (file, line) order — `files` is
+    // already sorted by rel_path and literals by position.
+    std::map<std::string, MetricUse> code_names;
+    for (const SourceFile &file : files)
+        for (MetricUse &use : metricNamesInCode(file, kMetricPrefixes))
+            code_names.emplace(use.name, use);
+
+    std::map<std::string, MetricUse> catalog_names;
+    for (MetricUse &use :
+         metricNamesInCatalog(buf.str(), catalog_rel, kMetricPrefixes))
+        catalog_names.emplace(use.name, use);
+
+    for (const auto &[name, use] : code_names) {
+        if (catalog_names.count(name) != 0)
+            continue;
+        Diagnostic d;
+        d.rule = "metrics-catalog-sync";
+        d.file = use.file;
+        d.line = use.line;
+        d.message = "metric '" + name + "' is used here but not " +
+                    "documented in " + catalog_rel;
+        out.push_back(std::move(d));
+    }
+    for (const auto &[name, use] : catalog_names) {
+        if (code_names.count(name) != 0)
+            continue;
+        Diagnostic d;
+        d.rule = "metrics-catalog-sync";
+        d.file = use.file;
+        d.line = use.line;
+        d.message = "metric '" + name + "' is documented but no longer "
+                    "appears in src/, bench/, or tools/";
+        out.push_back(std::move(d));
+    }
+}
+
+} // namespace
+
+std::vector<RuleInfo>
+ruleTable()
+{
+    std::vector<RuleInfo> table;
+    for (const TokenRule &rule : tokenRules())
+        table.push_back(
+            {std::string(rule.name), std::string(rule.description)});
+    table.push_back(
+        {"no-unordered-emission",
+         "loops over unordered_{map,set} must not feed MetricsSink / "
+         "SimResult / trace or JSONL emitters directly"});
+    table.push_back(
+        {"metrics-catalog-sync",
+         "every metric name literal in the code appears in "
+         "docs/OBSERVABILITY.md, and vice versa"});
+    std::sort(table.begin(), table.end(),
+              [](const RuleInfo &a, const RuleInfo &b) {
+                  return a.name < b.name;
+              });
+    return table;
+}
+
+bool
+isKnownRule(const std::string &name)
+{
+    for (const RuleInfo &info : ruleTable())
+        if (info.name == name)
+            return true;
+    return false;
+}
+
+Result
+runLint(const Options &options)
+{
+    const fs::path root(options.root);
+    if (!fs::is_directory(root))
+        throw std::runtime_error("misam-lint: root is not a directory: " +
+                                 options.root);
+
+    std::set<std::string> enabled;
+    if (options.rules.empty()) {
+        for (const RuleInfo &info : ruleTable())
+            enabled.insert(info.name);
+    } else {
+        for (const std::string &name : options.rules) {
+            if (!isKnownRule(name))
+                throw std::runtime_error("misam-lint: unknown rule: " +
+                                         name);
+            enabled.insert(name);
+        }
+    }
+
+    // Collect + lex, sorted by relative path for deterministic output.
+    std::vector<std::string> rel_paths;
+    for (const char *dir : {"src", "bench", "tools"}) {
+        const fs::path base = root / dir;
+        if (!fs::is_directory(base))
+            continue;
+        for (const auto &entry : fs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext != ".cc" && ext != ".hh" && ext != ".cpp" &&
+                ext != ".hpp" && ext != ".h")
+                continue;
+            rel_paths.push_back(
+                fs::relative(entry.path(), root).generic_string());
+        }
+    }
+    std::sort(rel_paths.begin(), rel_paths.end());
+
+    std::vector<SourceFile> files;
+    files.reserve(rel_paths.size());
+    for (const std::string &rel : rel_paths) {
+        std::ifstream in(root / rel, std::ios::binary);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        files.push_back(lexSource(rel, buf.str()));
+    }
+
+    Result result;
+    result.files_scanned = files.size();
+
+    std::vector<Diagnostic> diags;
+    for (SourceFile &file : files) {
+        for (const TokenRule &rule : tokenRules())
+            if (enabled.count(std::string(rule.name)) != 0)
+                appendTokenRuleDiags(rule, file, diags);
+        if (enabled.count("no-ambient-rng") != 0)
+            appendDefaultRngDiags(file, diags);
+        if (enabled.count("no-unordered-emission") != 0)
+            appendUnorderedEmissionDiags(file, diags);
+    }
+    if (enabled.count("metrics-catalog-sync") != 0) {
+        const std::string catalog =
+            options.catalog.empty()
+                ? (root / fs::path(kCatalogRelPath)).string()
+                : options.catalog;
+        appendCatalogDiags(files, catalog, std::string(kCatalogRelPath),
+                           diags);
+    }
+
+    // Suppression pass: an allow(rule) covers its own line and the next
+    // line; allow-file(rule) covers the whole file.
+    std::vector<Diagnostic> kept;
+    for (Diagnostic &d : diags) {
+        bool suppressed = false;
+        for (SourceFile &file : files) {
+            if (file.rel_path != d.file)
+                continue;
+            for (AllowAnnotation &ann : file.allows) {
+                if (ann.rule != d.rule || ann.reason.empty())
+                    continue;
+                if (ann.file_scope ||
+                    (d.line >= ann.line && d.line <= ann.line + 1)) {
+                    ann.used = true;
+                    suppressed = true;
+                }
+            }
+            break;
+        }
+        if (!suppressed)
+            kept.push_back(std::move(d));
+    }
+
+    // Annotation validation: every annotation must name a known rule,
+    // carry a reason, and actually suppress something.
+    for (const SourceFile &file : files) {
+        for (const AllowAnnotation &ann : file.allows) {
+            std::string problem;
+            if (!isKnownRule(ann.rule))
+                problem = "unknown rule '" + ann.rule + "'";
+            else if (ann.reason.empty())
+                problem = "missing justification ('-- <reason>') on "
+                          "allow(" +
+                          ann.rule + ")";
+            else if (!ann.used && enabled.count(ann.rule) != 0)
+                problem = "allow(" + ann.rule +
+                          ") suppresses nothing; remove it";
+            else
+                result.allows_used += 1;
+            if (problem.empty())
+                continue;
+            Diagnostic d;
+            d.rule = "allow-annotation";
+            d.file = file.rel_path;
+            d.line = ann.line;
+            d.message = problem;
+            kept.push_back(std::move(d));
+        }
+    }
+
+    std::sort(kept.begin(), kept.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
+              });
+    result.diagnostics = std::move(kept);
+    return result;
+}
+
+} // namespace misam::lint

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * misam-lint: a repo-specific static checker that enforces the
+ * determinism invariants the golden-trace suite only samples.
+ *
+ * The golden traces pin byte-stability for a handful of seeded
+ * workloads; these rules ban the *sources* of nondeterminism (wall
+ * clocks, ambient randomness, unordered-container iteration order
+ * reaching an emitter, undocumented metric names, raw environment
+ * reads) everywhere in the tree, so a violation cannot hide on a path
+ * no golden workload exercises.
+ *
+ * The checker is text-based: each file is lexed once (comments and
+ * string/character literals blanked, `// misam-lint:` annotations and
+ * string literals recorded) and every rule then runs over the blanked
+ * code, so tokens inside comments or literals never fire a rule.
+ * `docs/STATIC_ANALYSIS.md` catalogs the rules and the annotation
+ * syntax; `tests/test_lint.cpp` pins each rule against good/bad
+ * fixtures under `tests/lint_fixtures/`.
+ *
+ * Legitimate exceptions are annotated in place:
+ *
+ *     // misam-lint: allow(<rule>) -- <reason>
+ *     // misam-lint: allow-file(<rule>) -- <reason>
+ *
+ * `allow` covers its own line and the next line; `allow-file` covers
+ * the whole file. An annotation with no `-- <reason>`, an unknown rule
+ * name, or one that suppresses nothing is itself a violation
+ * (reported under the pseudo-rule `allow-annotation`).
+ */
+
+#ifndef MISAM_TOOLS_LINT_LINT_HH
+#define MISAM_TOOLS_LINT_LINT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace misam::lint {
+
+/** One rule violation (or annotation problem). */
+struct Diagnostic
+{
+    std::string rule;    ///< Rule name, or "allow-annotation".
+    std::string file;    ///< Path relative to the scanned root.
+    std::size_t line;    ///< 1-based line number.
+    std::string message; ///< Human-readable explanation.
+};
+
+/** Name + one-line description of a rule, for --list-rules. */
+struct RuleInfo
+{
+    std::string name;
+    std::string description;
+};
+
+/** What to lint. */
+struct Options
+{
+    /** Repository root; `src/`, `bench/`, `tools/` under it are
+     *  scanned (each rule further restricts its own scope). */
+    std::string root;
+
+    /** Metric catalog path for metrics-catalog-sync; empty means
+     *  `<root>/docs/OBSERVABILITY.md`. */
+    std::string catalog;
+
+    /** Rule names to run; empty means all rules. */
+    std::vector<std::string> rules;
+};
+
+/** Lint outcome: diagnostics plus scan statistics. */
+struct Result
+{
+    std::vector<Diagnostic> diagnostics; ///< Sorted by (file, line).
+    std::size_t files_scanned = 0;
+    std::size_t allows_used = 0; ///< Honored allow annotations.
+};
+
+/** The declarative rule table, in the order rules run. */
+std::vector<RuleInfo> ruleTable();
+
+/** True when `name` names a rule in the table. */
+bool isKnownRule(const std::string &name);
+
+/** Run the checker. Throws std::runtime_error when `root` is not a
+ *  directory or an enabled rule's inputs are missing. */
+Result runLint(const Options &options);
+
+} // namespace misam::lint
+
+#endif // MISAM_TOOLS_LINT_LINT_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * misam-lint command line. Exit status: 0 clean, 1 violations found,
+ * 2 usage or I/O error.
+ *
+ *     misam-lint --root DIR [--catalog FILE] [--rules a,b,...]
+ *     misam-lint --list-rules
+ */
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "lint.hh"
+
+namespace {
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: misam-lint [--root DIR] [--catalog FILE]"
+           " [--rules a,b,...] [--list-rules]\n"
+           "  --root DIR      repository root to scan (default: .)\n"
+           "  --catalog FILE  metric catalog (default: "
+           "<root>/docs/OBSERVABILITY.md)\n"
+           "  --rules LIST    comma-separated rule names (default: all)\n"
+           "  --list-rules    print the rule table and exit\n";
+}
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::istringstream in(list);
+    std::string item;
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    misam::lint::Options options;
+    options.root = ".";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            const std::string prefix = std::string(flag) + "=";
+            if (arg.rfind(prefix, 0) == 0)
+                return arg.substr(prefix.size());
+            if (arg == flag && i + 1 < argc)
+                return argv[++i];
+            return {};
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        }
+        if (arg == "--list-rules") {
+            for (const misam::lint::RuleInfo &info :
+                 misam::lint::ruleTable())
+                std::cout << info.name << "\n    " << info.description
+                          << "\n";
+            return 0;
+        }
+        if (arg.rfind("--root", 0) == 0) {
+            options.root = value("--root");
+        } else if (arg.rfind("--catalog", 0) == 0) {
+            options.catalog = value("--catalog");
+        } else if (arg.rfind("--rules", 0) == 0) {
+            options.rules = splitCommas(value("--rules"));
+        } else {
+            std::cerr << "misam-lint: unknown argument: " << arg << "\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    misam::lint::Result result;
+    try {
+        result = misam::lint::runLint(options);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+
+    for (const misam::lint::Diagnostic &d : result.diagnostics)
+        std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
+                  << d.message << "\n";
+    std::cout << "misam-lint: " << result.files_scanned
+              << " file(s) scanned, " << result.allows_used
+              << " allow annotation(s) honored, "
+              << result.diagnostics.size() << " violation(s)\n";
+    return result.diagnostics.empty() ? 0 : 1;
+}

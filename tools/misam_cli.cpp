@@ -305,9 +305,14 @@ cmdDetail(const Args &args)
             t.bottleneckCycles() == t.compute_cycles ? "compute"
             : t.bottleneckCycles() == t.read_b_cycles ? "ch_B"
                                                       : "ch_A";
-        table.addRow({"[" + std::to_string(t.k_range.k_lo) + "," +
-                          std::to_string(t.k_range.k_hi) + ")",
-                      formatCount(t.a_elements),
+        // Built with append rather than an operator+ chain: GCC 12's
+        // -Wrestrict misfires on the inlined temporary chain.
+        std::string range = "[";
+        range += std::to_string(t.k_range.k_lo);
+        range += ",";
+        range += std::to_string(t.k_range.k_hi);
+        range += ")";
+        table.addRow({range, formatCount(t.a_elements),
                       formatCount(t.read_a_cycles),
                       formatCount(t.read_b_cycles),
                       formatCount(t.compute_cycles), bound,
