@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Lookahead serving bench: per-job reconfiguration engine vs the
+ * windowed lookahead scheduler (serve/lookahead.hh) on a multi-tenant
+ * job stream that thrashes between design families.
+ *
+ * The stream interleaves two tenants — a sparse SpGEMM tenant the
+ * selector maps to the SpMM-family designs and a dense-B inference
+ * tenant mapped to Design 4 — each job amortizing over many repeated
+ * executions (identical DNN layers), so the per-job engine flips the
+ * bitstream at nearly every tenant boundary. Three arms serve the SAME
+ * stream through MisamServer:
+ *
+ *   admission          — per-job engine, admission-order execution
+ *   lookahead          — windows grouped by decided design
+ *   lookahead+prewarm  — plus next-group loads overlapped with
+ *                        execution (partial-reconfig double buffering)
+ *
+ * Per-job results are bit-identical across arms by contract (the
+ * decision chain always runs in admission order; pinned by
+ * tests/test_lookahead.cpp) — this bench asserts it, then measures what
+ * the schedule is allowed to change: physical loads per 1k jobs and the
+ * modeled fabric makespan (execute + exposed reconfiguration seconds).
+ *
+ * Output: paper-style rows on stdout plus a machine-readable JSON
+ * summary (default BENCH_serve.json; scripts/check.sh smoke-parses it).
+ * Exits nonzero unless lookahead strictly reduces both loads-per-1k
+ * and makespan vs the admission arm.
+ *
+ * Flags: --out=FILE (JSON path), --smoke (small stream, for CI).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "core/misam.hh"
+#include "serve/server.hh"
+#include "serve/summary_cache.hh"
+#include "sparse/generate.hh"
+#include "util/table.hh"
+#include "workloads/training_data.hh"
+
+using namespace misam;
+
+namespace {
+
+struct ArmResult
+{
+    const char *name = nullptr;
+    int chain_switches = 0;   ///< Engine-chain paid switches (verdicts).
+    int free_switches = 0;    ///< Shared-bitstream moves (no load).
+    int paid_loads = 0;       ///< Physical bitstream loads executed.
+    double loads_per_1k = 0.0;
+    double reconfig_s = 0.0;  ///< Physical load seconds.
+    double overlapped_s = 0.0;
+    double exposed_s = 0.0;
+    double execute_s = 0.0;
+    double makespan_s = 0.0;  ///< execute + exposed reconfig.
+    BatchReport report;
+};
+
+/**
+ * The interleaved two-tenant stream: every third job is the dense-B
+ * inference tenant, the rest the sparse SpGEMM tenant. Deterministic
+ * shapes and seeds; `repetitions` amortizes reconfiguration the way
+ * repeated identical layers do (Figure 8).
+ */
+std::vector<BatchJob>
+buildStream(std::size_t n)
+{
+    Rng rng(47);
+    const CsrMatrix sparse_b = generateUniform(256, 192, 0.02, rng);
+    const CsrMatrix dense_b = generateDenseCsr(256, 96, rng);
+    std::vector<BatchJob> jobs;
+    jobs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        BatchJob job;
+        const bool dense_tenant = (i % 3 == 2);
+        job.name = (dense_tenant ? "dnn" : "spgemm") +
+                   std::to_string(i);
+        job.a = generateUniform(192, 256,
+                                dense_tenant ? 0.06 : 0.015, rng);
+        job.b = dense_tenant ? dense_b : sparse_b;
+        job.repetitions = 1e7; // Identical layers / solver iterations.
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+/** One trained framework per arm: training is deterministic, so every
+ *  arm sees an identical selector, latency model, and engine. */
+MisamFramework
+freshFramework(std::size_t samples)
+{
+    MisamConfig cfg;
+    // Partial reconfiguration: the mode with a double-buffered dynamic
+    // region, so the prewarm arm has something to overlap into.
+    cfg.engine_config.time_model.mode = ReconfigMode::Partial;
+    MisamFramework misam(cfg);
+    misam.train(generateTrainingSamples(
+        {.num_samples = samples, .seed = 33, .max_dim = 512}));
+    return misam;
+}
+
+ArmResult
+runArm(const char *name, const std::vector<BatchJob> &jobs,
+       std::size_t samples, SchedulePolicy schedule, bool prewarm)
+{
+    MisamFramework misam = freshFramework(samples);
+    SummaryCache cache;
+    misam.setSummaryCache(&cache);
+    ServeConfig config;
+    config.window = 16;
+    config.schedule = schedule;
+    config.prewarm = prewarm;
+    // Deterministic window boundaries: without gather the dispatcher
+    // races the submission loop and grouping statistics wobble.
+    config.gather = true;
+
+    ArmResult arm;
+    arm.name = name;
+    ScheduleStats stats;
+    {
+        MisamServer server(misam, config);
+        arm.report = server.serveAll(jobs);
+        stats = server.scheduleStats();
+    }
+    misam.setSummaryCache(nullptr);
+
+    arm.chain_switches = arm.report.reconfigurations;
+    arm.free_switches = arm.report.free_switches;
+    arm.execute_s = arm.report.total_execute_s;
+    if (schedule == SchedulePolicy::Lookahead) {
+        arm.paid_loads = stats.paid_loads;
+        arm.reconfig_s = stats.paid_reconfig_s;
+        arm.overlapped_s = stats.overlapped_reconfig_s;
+        arm.exposed_s = stats.exposed_reconfig_s;
+    } else {
+        // Per-job engine: every chain switch is a physical load, fully
+        // exposed — there is no plan to coalesce or overlap it.
+        arm.paid_loads = arm.report.reconfigurations;
+        arm.reconfig_s = arm.report.total_reconfig_s;
+        arm.exposed_s = arm.report.total_reconfig_s;
+    }
+    arm.loads_per_1k =
+        1000.0 * arm.paid_loads / static_cast<double>(jobs.size());
+    arm.makespan_s = arm.execute_s + arm.exposed_s;
+    return arm;
+}
+
+/** Per-job results must be bit-identical across arms. */
+int
+countResultDivergences(const BatchReport &x, const BatchReport &y)
+{
+    if (x.jobs.size() != y.jobs.size())
+        return static_cast<int>(x.jobs.size() + y.jobs.size());
+    int divergences = 0;
+    for (std::size_t i = 0; i < x.jobs.size(); ++i) {
+        if (x.jobs[i].decision.chosen != y.jobs[i].decision.chosen ||
+            x.jobs[i].sim.total_cycles != y.jobs[i].sim.total_cycles ||
+            x.jobs[i].sim.exec_seconds != y.jobs[i].sim.exec_seconds)
+            ++divergences;
+    }
+    return divergences;
+}
+
+void
+writeJson(const std::string &path, const std::vector<ArmResult> &arms,
+          std::size_t jobs, bool smoke)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_serve_lookahead: cannot write %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_serve_lookahead\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"jobs\": %zu,\n", jobs);
+    std::fprintf(f, "  \"arms\": [\n");
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+        const ArmResult &a = arms[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"chain_switches\": %d,\n"
+            "     \"free_switches\": %d, \"paid_loads\": %d,\n"
+            "     \"reconfigs_per_1k_jobs\": %.3f,\n"
+            "     \"reconfig_seconds\": %.6f,\n"
+            "     \"overlapped_seconds\": %.6f,\n"
+            "     \"exposed_seconds\": %.6f,\n"
+            "     \"execute_seconds\": %.6f,\n"
+            "     \"makespan_seconds\": %.6f}%s\n",
+            a.name, a.chain_switches, a.free_switches, a.paid_loads,
+            a.loads_per_1k, a.reconfig_s, a.overlapped_s, a.exposed_s,
+            a.execute_s, a.makespan_s,
+            i + 1 < arms.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+std::string
+outPath(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0)
+            return arg.substr(6);
+        if (arg == "--out" && i + 1 < argc)
+            return argv[++i];
+    }
+    return "BENCH_serve.json";
+}
+
+bool
+smokeMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--smoke")
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Lookahead serving — coalesced + prewarmed bitstream "
+                  "loads",
+                  "windowed scheduling over the §3.3 engine (tooling, "
+                  "not a paper figure)");
+
+    const bool smoke = smokeMode(argc, argv);
+    const std::string out = outPath(argc, argv);
+    const std::size_t num_jobs = smoke ? 24 : 192;
+    const std::size_t samples = smoke ? 80 : 160;
+    const std::vector<BatchJob> jobs = buildStream(num_jobs);
+
+    std::vector<ArmResult> arms;
+    arms.push_back(runArm("admission", jobs, samples,
+                          SchedulePolicy::AdmissionOrder, false));
+    arms.push_back(runArm("lookahead", jobs, samples,
+                          SchedulePolicy::Lookahead, false));
+    arms.push_back(runArm("lookahead+prewarm", jobs, samples,
+                          SchedulePolicy::Lookahead, true));
+
+    TextTable table({"Arm", "Chain sw", "Free sw", "Paid loads",
+                     "Loads/1k", "Reconfig (s)", "Hidden (s)",
+                     "Makespan (s)"});
+    for (const ArmResult &a : arms) {
+        table.addRow({a.name, std::to_string(a.chain_switches),
+                      std::to_string(a.free_switches),
+                      std::to_string(a.paid_loads),
+                      formatDouble(a.loads_per_1k, 1),
+                      formatDouble(a.reconfig_s, 2),
+                      formatDouble(a.overlapped_s, 2),
+                      formatDouble(a.makespan_s, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("(makespan = modeled execute + exposed reconfiguration "
+                "seconds;\n per-job results are bit-identical across "
+                "arms by contract)\n");
+
+    writeJson(out, arms, num_jobs, smoke);
+    std::printf("JSON summary written to %s\n", out.c_str());
+
+    int failures = 0;
+    const ArmResult &admission = arms[0];
+    const ArmResult &lookahead = arms[1];
+    const ArmResult &prewarm = arms[2];
+    for (const ArmResult &a : {lookahead, prewarm}) {
+        const int diverged = countResultDivergences(admission.report,
+                                                    a.report);
+        if (diverged != 0) {
+            std::fprintf(stderr,
+                         "FAIL: %s diverged from admission results on "
+                         "%d job(s)\n",
+                         a.name, diverged);
+            ++failures;
+        }
+    }
+    if (admission.chain_switches == 0) {
+        std::fprintf(stderr,
+                     "FAIL: stream never reconfigures — the thrashing "
+                     "workload no longer thrashes\n");
+        ++failures;
+    }
+    if (lookahead.loads_per_1k >= admission.loads_per_1k) {
+        std::fprintf(stderr,
+                     "FAIL: lookahead loads/1k %.1f !< admission %.1f\n",
+                     lookahead.loads_per_1k, admission.loads_per_1k);
+        ++failures;
+    }
+    if (lookahead.makespan_s >= admission.makespan_s) {
+        std::fprintf(stderr,
+                     "FAIL: lookahead makespan %.3f s !< admission "
+                     "%.3f s\n",
+                     lookahead.makespan_s, admission.makespan_s);
+        ++failures;
+    }
+    if (prewarm.makespan_s > lookahead.makespan_s) {
+        std::fprintf(stderr,
+                     "FAIL: prewarm makespan %.3f s > lookahead "
+                     "%.3f s\n",
+                     prewarm.makespan_s, lookahead.makespan_s);
+        ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+}

@@ -120,6 +120,29 @@ print("bench_sim_hot smoke: %d workloads, JSON ok" %
 EOF
     rm -f "$sim_json"
 
+    # Lookahead serving bench smoke: a small thrashing stream through
+    # all three arms. The bench exits nonzero itself unless per-job
+    # results are bit-identical across arms AND lookahead strictly
+    # reduces paid loads and makespan vs the per-job engine.
+    echo "== bench_serve_lookahead smoke =="
+    serve_json=$(mktemp /tmp/misam_bench_serve.XXXXXX.json)
+    ./build/bench/bench_serve_lookahead --smoke --out="$serve_json"
+    python3 - "$serve_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+assert data["bench"] == "bench_serve_lookahead", data
+arms = {a["name"]: a for a in data["arms"]}
+assert set(arms) == {"admission", "lookahead", "lookahead+prewarm"}, arms
+assert arms["lookahead"]["paid_loads"] < arms["admission"]["paid_loads"]
+assert (arms["lookahead"]["makespan_seconds"]
+        < arms["admission"]["makespan_seconds"])
+print("bench_serve_lookahead smoke: %d jobs, %d -> %d paid loads, "
+      "JSON ok" % (data["jobs"], arms["admission"]["paid_loads"],
+                   arms["lookahead"]["paid_loads"]))
+EOF
+    rm -f "$serve_json"
+
     # Golden-trace suite under ASan: the trace emitters and the JSONL
     # sink touch raw buffers, so run the byte-stability suite with
     # memory checking on.
@@ -167,7 +190,7 @@ if have_sanitizer thread; then
     cmake -B build-tsan -S . -DMISAM_SANITIZE=thread \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-tsan -j --target test_parallel test_serve \
-          test_scheduler_kernels
+          test_lookahead test_scheduler_kernels
     (cd build-tsan && ctest --output-on-failure -R '^Parallel')
     (cd build-tsan && ctest --output-on-failure -L serve)
     (cd build-tsan && ./tests/test_scheduler_kernels \

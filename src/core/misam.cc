@@ -237,9 +237,16 @@ MisamFramework::finishExecution(ExecutionReport report, const CsrMatrix &a,
                                 const CsrMatrix &b, double repetitions,
                                 double engine_amortization)
 {
-    Stopwatch sw;
+    decidePhase(report, engine_amortization);
+    simulatePhase(report, a, b, repetitions);
+    return report;
+}
 
-    sw.restart();
+void
+MisamFramework::decidePhase(ExecutionReport &report,
+                            double engine_amortization)
+{
+    Stopwatch sw;
     report.predicted = predictDesign(report.features);
     recordPhase(report.breakdown, Phase::Inference, sw.elapsedSeconds());
 
@@ -247,7 +254,12 @@ MisamFramework::finishExecution(ExecutionReport report, const CsrMatrix &a,
     report.decision = engine_->decide(report.features, report.predicted,
                                       engine_amortization);
     recordPhase(report.breakdown, Phase::Engine, sw.elapsedSeconds());
+}
 
+void
+MisamFramework::simulatePhase(ExecutionReport &report, const CsrMatrix &a,
+                              const CsrMatrix &b, double repetitions)
+{
     // One convention everywhere: the execute phase covers every
     // execution the report stands for, so breakdown.execute_s, the
     // registry's phase.execute timer, and batch/stream totals all agree
@@ -273,18 +285,24 @@ MisamFramework::finishExecution(ExecutionReport report, const CsrMatrix &a,
                                             : 0.0);
     if (metrics_)
         recordSimMetrics(*metrics_, report.sim);
-    return report;
 }
 
 BatchReport
 MisamFramework::executeBatch(const std::vector<BatchJob> &jobs,
                              unsigned threads)
 {
+    return executeBatch(jobs, threads, nullptr);
+}
+
+BatchReport
+MisamFramework::executeBatch(const std::vector<BatchJob> &jobs,
+                             unsigned threads, const BatchPlanHook &plan)
+{
     requireTrained();
 
     // Feature extraction is pure per-job work — fan it out. The
-    // predict/decide/execute pass below must stay serial in job order:
-    // the engine's loaded-bitstream state carries from job to job.
+    // predict/decide pass below must stay serial in job order: the
+    // engine's loaded-bitstream state carries from job to job.
     std::vector<FeatureVector> features(jobs.size());
     std::vector<double> preprocess_s(jobs.size(), 0.0);
     parallelFor(
@@ -296,17 +314,51 @@ MisamFramework::executeBatch(const std::vector<BatchJob> &jobs,
         },
         threads);
 
-    BatchReport batch;
+    // Pass 1 — admission order, serial: predict and decide. This chain
+    // alone defines every job's decision (and hence its simulated
+    // result), whatever execution order the plan hook picks below.
+    std::vector<ExecutionReport> reports(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        const BatchJob &job = jobs[i];
-        ExecutionReport partial;
-        partial.name = job.name;
-        partial.features = std::move(features[i]);
-        recordPhase(partial.breakdown, Phase::Preprocess,
+        reports[i].name = jobs[i].name;
+        reports[i].features = std::move(features[i]);
+        recordPhase(reports[i].breakdown, Phase::Preprocess,
                     preprocess_s[i]);
-        ExecutionReport rep =
-            finishExecution(std::move(partial), job.a, job.b,
-                            job.repetitions, job.repetitions);
+        decidePhase(reports[i], jobs[i].repetitions);
+    }
+
+    // Plan hook: when given, it picks the execution order from the
+    // decisions (an exact permutation — anything else is a scheduler
+    // bug we refuse to run).
+    std::vector<std::size_t> order(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        order[i] = i;
+    if (plan) {
+        std::vector<ReconfigDecision> decisions;
+        decisions.reserve(reports.size());
+        for (const ExecutionReport &rep : reports)
+            decisions.push_back(rep.decision);
+        order = plan(decisions);
+        if (order.size() != jobs.size())
+            fatal("executeBatch: plan returned ", order.size(),
+                  " indices for ", jobs.size(), " jobs");
+        std::vector<char> seen(jobs.size(), 0);
+        for (const std::size_t k : order) {
+            if (k >= jobs.size() || seen[k])
+                fatal("executeBatch: plan order is not a permutation "
+                      "(index ", k, ")");
+            seen[k] = 1;
+        }
+    }
+
+    // Pass 2 — planned order: simulate. Engine state is no longer
+    // touched, so order only decides when each job occupies the fabric.
+    for (const std::size_t k : order)
+        simulatePhase(reports[k], jobs[k].a, jobs[k].b,
+                      jobs[k].repetitions);
+
+    // Assemble in admission order regardless of execution order.
+    BatchReport batch;
+    for (ExecutionReport &rep : reports) {
         // breakdown.execute_s already covers the job's repetitions.
         batch.total_execute_s += rep.breakdown.execute_s;
         batch.total_reconfig_s += rep.breakdown.reconfig_s;
@@ -315,6 +367,8 @@ MisamFramework::executeBatch(const std::vector<BatchJob> &jobs,
                               rep.breakdown.engine_s;
         if (rep.decision.reconfigure)
             ++batch.reconfigurations;
+        if (rep.decision.free_switch)
+            ++batch.free_switches;
         batch.jobs.push_back(std::move(rep));
     }
     return batch;
@@ -390,6 +444,8 @@ MisamFramework::executeStream(const CsrMatrix &a, const CsrMatrix &b,
                                rep.breakdown.engine_s;
         if (rep.decision.reconfigure)
             ++stream.reconfigurations;
+        if (rep.decision.free_switch)
+            ++stream.free_switches;
         stream.tiles.push_back(std::move(rep));
     }
     return stream;

@@ -20,6 +20,7 @@
 #ifndef MISAM_CORE_MISAM_HH
 #define MISAM_CORE_MISAM_HH
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -121,7 +122,11 @@ struct BatchReport
     double total_execute_s = 0.0;
     double total_reconfig_s = 0.0;  ///< Bitstream switches paid.
     double total_host_s = 0.0;      ///< Features + inference + engine.
-    int reconfigurations = 0;
+    int reconfigurations = 0;       ///< Paid bitstream loads.
+    /** Zero-overhead design moves (shared bitstream, D2 <-> D3).
+     *  Disjoint from `reconfigurations`; multi-tenant reporting keeps
+     *  them apart because a free switch costs no fabric time. */
+    int free_switches = 0;
 
     double total() const
     {
@@ -136,13 +141,28 @@ struct StreamReport
     double total_execute_s = 0.0;
     double total_reconfig_s = 0.0;
     double total_host_s = 0.0;
-    int reconfigurations = 0;
+    int reconfigurations = 0;       ///< Paid bitstream loads.
+    int free_switches = 0;          ///< Shared-bitstream (free) moves.
 
     double total() const
     {
         return total_execute_s + total_reconfig_s + total_host_s;
     }
 };
+
+/**
+ * Execution-order hook for executeBatch. Called once per batch with the
+ * admission-order engine decisions; returns the order in which the
+ * simulations run — an exact permutation of [0, decisions.size())
+ * (fatal otherwise). The decision chain always runs in admission order
+ * *before* the hook (per-job decisions, and hence results, are
+ * bit-identical whatever order the hook picks), and the batch report is
+ * assembled in admission order afterward; the hook only chooses when
+ * each job occupies the fabric. The lookahead serving scheduler
+ * (serve/lookahead.hh) is the in-tree client.
+ */
+using BatchPlanHook = std::function<std::vector<std::size_t>(
+    const std::vector<ReconfigDecision> &)>;
 
 /**
  * The Misam framework: trainable dataflow selector + reconfiguration
@@ -203,6 +223,14 @@ class MisamFramework
      */
     BatchReport executeBatch(const std::vector<BatchJob> &jobs,
                              unsigned threads = 0);
+
+    /**
+     * executeBatch with an execution-order plan hook (see
+     * BatchPlanHook). Passing a null hook is the plain admission-order
+     * path.
+     */
+    BatchReport executeBatch(const std::vector<BatchJob> &jobs,
+                             unsigned threads, const BatchPlanHook &plan);
 
     /**
      * Streaming execution (§3.3): A is split into row tiles of random
@@ -272,6 +300,21 @@ class MisamFramework
                                     const CsrMatrix &a, const CsrMatrix &b,
                                     double repetitions,
                                     double engine_amortization);
+
+    /**
+     * First half of finishExecution: predict the design and let the
+     * engine decide. Mutates the engine's loaded-bitstream state, so
+     * calls must happen in admission order.
+     */
+    void decidePhase(ExecutionReport &report, double engine_amortization);
+
+    /**
+     * Second half of finishExecution: simulate on the decided design and
+     * record the execute/reconfig phases. Engine state is not touched,
+     * so calls may run in any (planned) order after the decisions.
+     */
+    void simulatePhase(ExecutionReport &report, const CsrMatrix &a,
+                       const CsrMatrix &b, double repetitions);
 
     /** Record a phase in the report and mirror it into the registry. */
     void recordPhase(BreakdownReport &breakdown, Phase phase,

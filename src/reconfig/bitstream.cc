@@ -68,10 +68,13 @@ ReconfigTimeModel::switchSeconds(DesignId from, DesignId to) const
       case ReconfigMode::Full:
         return fullReconfigSeconds(to);
       case ReconfigMode::Partial:
-        // The dynamic region must host the target design's footprint;
-        // its bottleneck resource fraction sizes the region.
+        // The dynamic region must host whichever design occupies it —
+        // under double-buffered prewarm the resident design keeps
+        // executing while the target is written, so the region is sized
+        // to the larger of the two footprints, not just the target's.
         return partialReconfigSeconds(
-            to, designConfig(to).resources.maxFraction());
+            to, std::max(designConfig(from).resources.maxFraction(),
+                         designConfig(to).resources.maxFraction()));
       case ReconfigMode::Cgra:
         return cgra_switch_seconds;
     }

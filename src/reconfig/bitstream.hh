@@ -66,8 +66,10 @@ struct ReconfigTimeModel
     /**
      * Seconds to switch `from` -> `to` under `mode`: zero when the
      * designs share a bitstream; otherwise the full-reconfiguration
-     * time (Full), a dynamic-region update sized to the target's
-     * resource footprint (Partial), or the CGRA context switch (Cgra).
+     * time (Full), a dynamic-region update sized to the larger of the
+     * resident and target resource footprints — the region must host
+     * both under double-buffered prewarm (Partial) — or the CGRA
+     * context switch (Cgra).
      */
     double switchSeconds(DesignId from, DesignId to) const;
 };

@@ -61,6 +61,7 @@ ReconfigEngine::decide(const FeatureVector &features,
         // whenever the predictor sees any gain at all.
         if (d.expected_gain_s > 0.0) {
             d.chosen = predicted_best;
+            d.free_switch = true;
             current_ = predicted_best;
         } else {
             d.chosen = current_;
@@ -85,7 +86,7 @@ ReconfigEngine::decide(const FeatureVector &features,
             metrics_->addSeconds("reconfig.predicted_gain_s",
                                  d.expected_gain_s);
             metrics_->addSeconds("reconfig.charged_s", d.overhead_s);
-        } else if (d.chosen != before) {
+        } else if (d.free_switch) {
             metrics_->add("reconfig.free_switches");
         } else if (predicted_best == before) {
             metrics_->add("reconfig.already_loaded");

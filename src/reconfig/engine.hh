@@ -37,6 +37,12 @@ struct ReconfigDecision
 {
     DesignId chosen = DesignId::D1;   ///< Design to run the workload on.
     bool reconfigure = false;         ///< Whether a bitstream load fires.
+    /**
+     * The engine moved to a different design without paying a load
+     * (shared bitstream, D2 <-> D3). Disjoint from `reconfigure`;
+     * multi-tenant reporting separates these from paid switches.
+     */
+    bool free_switch = false;
     double current_latency_s = 0.0;   ///< Predicted time on current design.
     double best_latency_s = 0.0;      ///< Predicted time on target design.
     double overhead_s = 0.0;          ///< Bitstream-switch cost (0 if

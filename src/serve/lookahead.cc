@@ -1,0 +1,164 @@
+#include "serve/lookahead.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+namespace misam {
+
+const char *
+schedulePolicyName(SchedulePolicy policy)
+{
+    switch (policy) {
+      case SchedulePolicy::AdmissionOrder:
+        return "admission";
+      case SchedulePolicy::Lookahead:
+        return "lookahead";
+    }
+    return "?";
+}
+
+WindowPlan
+planLookaheadWindow(const std::vector<ReconfigDecision> &decisions,
+                    DesignId resident, const ReconfigTimeModel &time_model)
+{
+    WindowPlan plan;
+    plan.resident_after = resident;
+    if (decisions.empty())
+        return plan;
+
+    // Bucket jobs by the chain's chosen design, groups keyed by first
+    // appearance so the plan is a pure function of the decision list.
+    for (std::size_t i = 0; i < decisions.size(); ++i) {
+        const DesignId chosen = decisions[i].chosen;
+        auto it = std::find_if(plan.groups.begin(), plan.groups.end(),
+                               [chosen](const LookaheadGroup &g) {
+                                   return g.design == chosen;
+                               });
+        if (it == plan.groups.end()) {
+            plan.groups.push_back({chosen, {}, false, 0.0});
+            it = std::prev(plan.groups.end());
+        }
+        it->jobs.push_back(i);
+        if (decisions[i].reconfigure) {
+            ++plan.planned_reconfigs;
+            plan.planned_reconfig_s += decisions[i].overhead_s;
+        }
+    }
+
+    // Execute the group that can reuse the resident bitstream first (no
+    // load to expose at the window's front), then the rest in first-
+    // admission order. stable_partition keeps ties deterministic.
+    std::stable_partition(plan.groups.begin(), plan.groups.end(),
+                          [&](const LookaheadGroup &g) {
+                              return time_model.switchSeconds(
+                                         resident, g.design) == 0.0;
+                          });
+
+    DesignId loaded = resident;
+    for (LookaheadGroup &group : plan.groups) {
+        const double cost = time_model.switchSeconds(loaded, group.design);
+        if (cost > 0.0) {
+            group.loads_bitstream = true;
+            group.load_seconds = cost;
+            ++plan.paid_loads;
+            plan.paid_reconfig_s += cost;
+        }
+        loaded = group.design;
+        for (std::size_t job : group.jobs)
+            plan.order.push_back(job);
+    }
+    plan.resident_after = loaded;
+
+    if (plan.order.size() != decisions.size())
+        panic("planLookaheadWindow: order is not a permutation");
+    for (std::size_t k = 0; k < plan.order.size(); ++k)
+        if (plan.order[k] != k)
+            ++plan.reordered_jobs;
+    return plan;
+}
+
+WindowAccounting
+accountLookaheadWindow(const WindowPlan &plan,
+                       const std::vector<double> &group_execute_s,
+                       const ReconfigTimeModel &time_model, bool prewarm)
+{
+    if (group_execute_s.size() != plan.groups.size())
+        fatal("accountLookaheadWindow: ", group_execute_s.size(),
+              " execute totals for ", plan.groups.size(), " groups");
+
+    WindowAccounting acct;
+    for (double s : group_execute_s)
+        acct.execute_s += s;
+
+    // Prewarm needs a second dynamic region to write into while the
+    // resident one keeps executing — only the Partial mode has one.
+    const bool overlap_capable =
+        prewarm && time_model.mode == ReconfigMode::Partial;
+    for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+        const LookaheadGroup &group = plan.groups[g];
+        if (!group.loads_bitstream)
+            continue;
+        if (!overlap_capable || g == 0) {
+            // Nothing executes ahead of the first group; its load — and
+            // every load without a double-buffered region — stalls.
+            acct.exposed_reconfig_s += group.load_seconds;
+            continue;
+        }
+        ++acct.prewarm_loads;
+        const double overlapped =
+            std::min(group.load_seconds, group_execute_s[g - 1]);
+        acct.overlapped_reconfig_s += overlapped;
+        acct.exposed_reconfig_s += group.load_seconds - overlapped;
+    }
+    return acct;
+}
+
+void
+ScheduleStats::accumulate(const WindowPlan &plan,
+                          const WindowAccounting &acct)
+{
+    ++windows;
+    jobs += plan.order.size();
+    groups += plan.groups.size();
+    reordered_jobs += plan.reordered_jobs;
+    planned_reconfigs += plan.planned_reconfigs;
+    paid_loads += plan.paid_loads;
+    prewarm_loads += acct.prewarm_loads;
+    planned_reconfig_s += plan.planned_reconfig_s;
+    paid_reconfig_s += plan.paid_reconfig_s;
+    overlapped_reconfig_s += acct.overlapped_reconfig_s;
+    exposed_reconfig_s += acct.exposed_reconfig_s;
+    execute_s += acct.execute_s;
+}
+
+void
+emitScheduleEvents(MetricsSink &sink, const WindowPlan &plan,
+                   const WindowAccounting &acct)
+{
+    sink.event("sched.window",
+               {{"jobs", std::uint64_t(plan.order.size())},
+                {"groups", std::uint64_t(plan.groups.size())},
+                {"reordered", std::uint64_t(plan.reordered_jobs)},
+                {"planned_reconfigs", plan.planned_reconfigs},
+                {"paid_loads", plan.paid_loads},
+                {"prewarm_loads", acct.prewarm_loads},
+                {"planned_reconfig_s", plan.planned_reconfig_s},
+                {"paid_reconfig_s", plan.paid_reconfig_s},
+                {"overlapped_s", acct.overlapped_reconfig_s},
+                {"exposed_s", acct.exposed_reconfig_s},
+                {"execute_s", acct.execute_s},
+                {"resident_after", designName(plan.resident_after)}});
+    for (const LookaheadGroup &group : plan.groups) {
+        sink.event("sched.group",
+                   {{"design", designName(group.design)},
+                    {"jobs", std::uint64_t(group.jobs.size())},
+                    {"first_job", std::uint64_t(group.jobs.front())},
+                    {"loads_bitstream",
+                     std::uint64_t(group.loads_bitstream ? 1 : 0)},
+                    {"load_s", group.load_seconds}});
+    }
+}
+
+} // namespace misam

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Lookahead reconfiguration scheduling (ROADMAP item 2; paper §6.1).
+ *
+ * The reconfiguration engine decides per job, so an interleaved stream
+ * of jobs whose predicted-best designs alternate pays a bitstream load
+ * at every flip — the paper's 3-4 s full-reconfiguration cost, per
+ * flip. A serving queue, however, holds a *window* of admitted jobs
+ * whose decisions are already known before anything executes. The
+ * lookahead planner exploits that: it groups the window's jobs by the
+ * design the engine chose for them and executes the groups
+ * back-to-back, so one physical bitstream load amortizes over the whole
+ * run of same-design jobs. With prewarm enabled (partial-reconfig mode
+ * only), loading the *next* group's design overlaps the current group's
+ * execution — double-buffered dynamic regions, per the §6.1 model in
+ * reconfig/bitstream.hh.
+ *
+ * Ordering contract (SchedulePolicy):
+ *  - `AdmissionOrder` — jobs execute in admission order; physical
+ *    reconfigurations equal the engine chain's `reconfigure` verdicts.
+ *  - `Lookahead` — execution order within a window is a permutation of
+ *    admission order (same-design runs made contiguous). Per-job
+ *    results stay **bit-identical** to the admission-order serial path,
+ *    because the engine's decision chain is always evaluated in
+ *    admission order during planning; only *when* a job's simulation
+ *    runs — and how many physical loads the window pays — changes.
+ *    Reports are merged back in admission order regardless of execution
+ *    order (pinned by tests/test_lookahead.cpp).
+ *
+ * All planner inputs and outputs are modeled quantities (time-model
+ * seconds, simulated execute seconds), so plans and their accounting
+ * are deterministic for any `MISAM_THREADS` and can live in golden
+ * traces (tests/golden/sched_lookahead.jsonl).
+ */
+
+#ifndef MISAM_SERVE_LOOKAHEAD_HH
+#define MISAM_SERVE_LOOKAHEAD_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "reconfig/bitstream.hh"
+#include "reconfig/engine.hh"
+
+namespace misam {
+
+class MetricsSink;
+
+/** How the serving dispatcher orders execution within a window. */
+enum class SchedulePolicy
+{
+    AdmissionOrder, ///< Execute in admission order (per-job engine).
+    Lookahead,      ///< Batch + reorder + coalesce per window.
+};
+
+/** Display name ("admission", "lookahead"). */
+const char *schedulePolicyName(SchedulePolicy policy);
+
+/** One contiguous run of same-design jobs in a window plan. */
+struct LookaheadGroup
+{
+    DesignId design = DesignId::D1; ///< Design every job here runs on.
+    std::vector<std::size_t> jobs;  ///< Window-relative job indices, in
+                                    ///< admission order within the group.
+    bool loads_bitstream = false;   ///< A physical load precedes the group.
+    double load_seconds = 0.0;      ///< Cost of that load (0 when free).
+};
+
+/** A window's planned execution schedule. */
+struct WindowPlan
+{
+    std::vector<LookaheadGroup> groups;
+    /** Flattened execution order: window-relative job indices. Always
+     *  an exact permutation of [0, jobs). */
+    std::vector<std::size_t> order;
+    /** Jobs whose execution position differs from admission position. */
+    std::size_t reordered_jobs = 0;
+    /** Bitstream loads the admission-order chain would pay
+     *  (`decision.reconfigure` verdicts). */
+    int planned_reconfigs = 0;
+    /** Physical loads the grouped schedule pays. */
+    int paid_loads = 0;
+    /** Seconds of the admission-order chain's paid switches. */
+    double planned_reconfig_s = 0.0;
+    /** Seconds of the grouped schedule's physical loads. */
+    double paid_reconfig_s = 0.0;
+    /** Design resident on the fabric after the window executes. */
+    DesignId resident_after = DesignId::D1;
+};
+
+/** Post-execution accounting of one planned window. */
+struct WindowAccounting
+{
+    double execute_s = 0.0;           ///< Simulated execute seconds.
+    double overlapped_reconfig_s = 0.0; ///< Load seconds hidden under
+                                        ///< execution by prewarm.
+    double exposed_reconfig_s = 0.0;  ///< Residual stall seconds:
+                                      ///< paid - overlapped.
+    int prewarm_loads = 0;            ///< Loads issued as prewarms.
+};
+
+/** Accumulated scheduler statistics across windows. */
+struct ScheduleStats
+{
+    std::size_t windows = 0;
+    std::size_t jobs = 0;
+    std::size_t groups = 0;
+    std::size_t reordered_jobs = 0;
+    int planned_reconfigs = 0;
+    int paid_loads = 0;
+    int prewarm_loads = 0;
+    double planned_reconfig_s = 0.0;
+    double paid_reconfig_s = 0.0;
+    double overlapped_reconfig_s = 0.0;
+    double exposed_reconfig_s = 0.0;
+    double execute_s = 0.0;
+
+    /** Chain reconfigurations the grouped schedule avoided. */
+    int
+    coalesced() const
+    {
+        return planned_reconfigs - paid_loads;
+    }
+
+    /**
+     * Modeled time the schedule occupies the FPGA: execution plus the
+     * reconfiguration seconds prewarm could not hide. (Host-side
+     * feature/inference time is accounted separately in BatchReport.)
+     */
+    double
+    makespanSeconds() const
+    {
+        return execute_s + exposed_reconfig_s;
+    }
+
+    void accumulate(const WindowPlan &plan, const WindowAccounting &acct);
+};
+
+/**
+ * Plan one window: group the jobs by their (admission-order) chain
+ * decision's chosen design, order the groups to start with the
+ * resident bitstream when possible (then by first admission index), and
+ * price the physical load at each group boundary with `time_model`.
+ *
+ * `decisions[i]` must be the engine verdict for window job `i`,
+ * produced by the admission-order decision chain; `resident` is the
+ * design physically loaded before the window starts (which can differ
+ * from the chain's current design once windows reorder). Deterministic:
+ * the plan is a pure function of its arguments.
+ */
+WindowPlan planLookaheadWindow(const std::vector<ReconfigDecision> &decisions,
+                               DesignId resident,
+                               const ReconfigTimeModel &time_model);
+
+/**
+ * Account a planned window after execution. `group_execute_s[g]` is
+ * the summed simulated execute seconds (sim.exec_seconds x repetitions)
+ * of the jobs in plan.groups[g]. With `prewarm` true and the time model
+ * in Partial mode (double-buffered dynamic regions), the load of group
+ * g overlaps the execution of group g-1 up to the shorter of the two;
+ * the first group's load, and every load in Full/CGRA mode, is fully
+ * exposed.
+ */
+WindowAccounting accountLookaheadWindow(
+    const WindowPlan &plan, const std::vector<double> &group_execute_s,
+    const ReconfigTimeModel &time_model, bool prewarm);
+
+/**
+ * Emit one `sched.window` event per plan plus a `sched.group` event per
+ * group (docs/OBSERVABILITY.md schema). Deterministic bytes for
+ * deterministic inputs — pinned by the golden-trace suite.
+ */
+void emitScheduleEvents(MetricsSink &sink, const WindowPlan &plan,
+                        const WindowAccounting &acct);
+
+} // namespace misam
+
+#endif // MISAM_SERVE_LOOKAHEAD_HH

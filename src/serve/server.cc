@@ -14,19 +14,18 @@ MisamServer::MisamServer(MisamFramework &framework, ServeConfig config)
         fatal("MisamServer: queue_capacity must be positive");
     if (config_.window == 0)
         fatal("MisamServer: window must be positive");
+    if (config_.gather && config_.queue_capacity < config_.window)
+        fatal("MisamServer: gather mode requires queue_capacity >= "
+              "window");
     if (!framework_.trained())
         fatal("MisamServer: framework must be trained before serving");
+    resident_ = framework_.engine().currentDesign();
     dispatcher_ = std::thread([this] { dispatchLoop(); });
 }
 
 MisamServer::~MisamServer()
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stopping_ = true;
-    }
-    wake_cv_.notify_all();
-    admit_cv_.notify_all();
+    stop(true);
     dispatcher_.join();
 }
 
@@ -53,11 +52,35 @@ MisamServer::submit(BatchJob job)
 }
 
 void
+MisamServer::stop(bool drain_queue)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!stopping_) {
+        stopping_ = true;
+        abandon_ = !drain_queue;
+        wake_cv_.notify_all();
+        admit_cv_.notify_all();
+    }
+    // The shutdown contract: stop() returns only once every admitted
+    // job is settled — executed by the dispatcher, or moved to the
+    // rejected list. Nothing is ever silently dropped.
+    done_cv_.wait(lock, [this] {
+        return completed_ + rejected_.size() == admitted_;
+    });
+}
+
+void
 MisamServer::drain()
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock,
-                  [this] { return completed_ == admitted_; });
+    // Under gather the dispatcher holds out for a full window; a drain
+    // waiter forces it to flush the partial tail instead of deadlocking.
+    ++drain_waiters_;
+    wake_cv_.notify_all();
+    done_cv_.wait(lock, [this] {
+        return completed_ + rejected_.size() == admitted_;
+    });
+    --drain_waiters_;
 }
 
 BatchReport
@@ -90,6 +113,27 @@ MisamServer::completed() const
     return completed_;
 }
 
+std::vector<MisamServer::RejectedJob>
+MisamServer::rejected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+}
+
+std::vector<std::size_t>
+MisamServer::executionOrder() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return execution_order_;
+}
+
+ScheduleStats
+MisamServer::scheduleStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
 std::size_t
 MisamServer::queueHighWater() const
 {
@@ -105,12 +149,40 @@ MisamServer::setMetrics(MetricsRegistry *metrics)
 }
 
 void
+MisamServer::setTraceSink(MetricsSink *sink)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    trace_sink_ = sink;
+}
+
+void
 MisamServer::dispatchLoop()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        wake_cv_.wait(lock,
-                      [this] { return stopping_ || !queue_.empty(); });
+        wake_cv_.wait(lock, [this] {
+            if (stopping_)
+                return true;
+            if (queue_.empty())
+                return false;
+            // Gather mode: hold out for a full window unless a drain
+            // waiter needs the partial tail flushed.
+            return !config_.gather ||
+                   queue_.size() >= config_.window || drain_waiters_ > 0;
+        });
+        if (abandon_ && !queue_.empty()) {
+            // stop(false): settle the undispatched tail as rejections —
+            // the explicit record that these jobs never executed.
+            while (!queue_.empty()) {
+                rejected_.push_back(
+                    {dispatched_++, std::move(queue_.front().name)});
+                queue_.pop_front();
+            }
+            if (metrics_)
+                metrics_->add("serve.rejected", rejected_.size());
+            done_cv_.notify_all();
+            return;
+        }
         if (queue_.empty()) {
             if (stopping_)
                 return;
@@ -126,18 +198,53 @@ MisamServer::dispatchLoop()
             window.push_back(std::move(queue_.front()));
             queue_.pop_front();
         }
+        const std::size_t base = dispatched_;
+        dispatched_ += n;
         MetricsRegistry *metrics = metrics_;
+        MetricsSink *sink = trace_sink_;
         lock.unlock();
         admit_cv_.notify_all();
         if (metrics)
             metrics->add("serve.windows");
 
         // executeBatch fans extraction over the pool and keeps the
-        // engine chain serial in window (== admission) order; engine
-        // state persists in the framework across windows, so the
-        // concatenation of windows is exactly one serial batch.
-        BatchReport part = framework_.executeBatch(window,
-                                                   config_.threads);
+        // engine's decision chain serial in window (== admission)
+        // order; engine state persists in the framework across windows,
+        // so the concatenation of windows is exactly one serial batch.
+        // Under Lookahead the plan hook then reorders only the
+        // *simulations* into same-design groups, so the window pays one
+        // physical load per group instead of one per chain flip.
+        BatchReport part;
+        WindowPlan wplan;
+        WindowAccounting acct;
+        const bool lookahead =
+            config_.schedule == SchedulePolicy::Lookahead;
+        if (lookahead) {
+            const ReconfigTimeModel &time_model =
+                framework_.engine().config().time_model;
+            part = framework_.executeBatch(
+                window, config_.threads,
+                [&](const std::vector<ReconfigDecision> &decisions) {
+                    wplan = planLookaheadWindow(decisions, resident_,
+                                                time_model);
+                    return wplan.order;
+                });
+            std::vector<double> group_execute_s(wplan.groups.size(), 0.0);
+            for (std::size_t g = 0; g < wplan.groups.size(); ++g)
+                for (const std::size_t j : wplan.groups[g].jobs)
+                    group_execute_s[g] +=
+                        part.jobs[j].breakdown.execute_s;
+            acct = accountLookaheadWindow(wplan, group_execute_s,
+                                          time_model, config_.prewarm);
+            resident_ = wplan.resident_after;
+            if (sink)
+                emitScheduleEvents(*sink, wplan, acct);
+        } else {
+            part = framework_.executeBatch(window, config_.threads);
+            if (!part.jobs.empty())
+                resident_ =
+                    part.jobs.back().decision.chosen;
+        }
 
         lock.lock();
         for (ExecutionReport &rep : part.jobs)
@@ -146,9 +253,42 @@ MisamServer::dispatchLoop()
         report_.total_reconfig_s += part.total_reconfig_s;
         report_.total_host_s += part.total_host_s;
         report_.reconfigurations += part.reconfigurations;
+        report_.free_switches += part.free_switches;
+        if (lookahead) {
+            stats_.accumulate(wplan, acct);
+            for (const std::size_t j : wplan.order)
+                execution_order_.push_back(base + j);
+        } else {
+            for (std::size_t i = 0; i < n; ++i)
+                execution_order_.push_back(base + i);
+        }
         completed_ += n;
-        if (metrics_)
+        if (metrics_) {
             metrics_->add("serve.completed", n);
+            if (lookahead) {
+                metrics_->add("sched.windows");
+                metrics_->add("sched.groups", wplan.groups.size());
+                metrics_->add("sched.reordered_jobs",
+                              wplan.reordered_jobs);
+                metrics_->add("sched.paid_loads",
+                              static_cast<std::uint64_t>(
+                                  wplan.paid_loads));
+                const int coalesced =
+                    wplan.planned_reconfigs - wplan.paid_loads;
+                if (coalesced > 0)
+                    metrics_->add(
+                        "sched.coalesced_switches",
+                        static_cast<std::uint64_t>(coalesced));
+                if (acct.prewarm_loads > 0)
+                    metrics_->add("reconfig.prewarm.loads",
+                                  static_cast<std::uint64_t>(
+                                      acct.prewarm_loads));
+                metrics_->addSeconds("reconfig.prewarm.overlapped_s",
+                                     acct.overlapped_reconfig_s);
+                metrics_->addSeconds("reconfig.prewarm.exposed_s",
+                                     acct.exposed_reconfig_s);
+            }
+        }
         done_cv_.notify_all();
     }
 }

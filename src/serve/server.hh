@@ -8,17 +8,34 @@
  * order, processing jobs in windows: feature extraction fans out over
  * the existing `util/parallel.hh` thread pool (and, when a SummaryCache
  * is attached to the framework, repeated operands skip summarization
- * entirely), while the ReconfigEngine's predict/decide/execute pass
- * stays strictly serialized in admission order — the loaded-bitstream
- * state is a chain, so decision i must see the bitstream decision i-1
- * left loaded.
+ * entirely), while the ReconfigEngine's predict/decide pass stays
+ * strictly serialized in admission order — the loaded-bitstream state
+ * is a chain, so decision i must see the bitstream decision i-1 left
+ * loaded.
+ *
+ * Scheduling: with `ServeConfig::schedule == SchedulePolicy::Lookahead`
+ * the dispatcher plans each window with serve/lookahead.hh — jobs are
+ * grouped by their decided design and executed group-by-group, so one
+ * physical bitstream load amortizes over a run of same-design jobs;
+ * with `prewarm` (partial-reconfig mode) the next group's load overlaps
+ * the current group's execution. The decision chain still runs in
+ * admission order, so per-job results are bit-identical to the
+ * admission-order path; only the execution order (see
+ * executionOrder()) and the physical switch accounting
+ * (scheduleStats()) change.
  *
  * Determinism: results (features, predictions, decisions, simulated
  * cycles) are bit-identical to a serial `MisamFramework::executeBatch`
  * over the same jobs in the same admission order, for any thread count,
- * window size, or queue capacity — pinned by tests/test_serve.cpp and
- * exercised under TSan by scripts/check.sh. Only wall-clock phase
- * timings differ.
+ * window size, queue capacity, or schedule policy — pinned by
+ * tests/test_serve.cpp and tests/test_lookahead.cpp and exercised under
+ * TSan by scripts/check.sh. Only wall-clock phase timings differ.
+ *
+ * Shutdown contract: every admitted job is either executed or listed in
+ * rejected() — never silently dropped. stop(true) (and the destructor)
+ * executes everything already admitted; stop(false) abandons the
+ * not-yet-dispatched tail of the queue and reports it as rejected.
+ * submit() after stop() is fatal.
  *
  * The framework must not be driven concurrently from outside while a
  * server owns it — the dispatcher is the only thread that may touch the
@@ -32,12 +49,16 @@
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/misam.hh"
+#include "serve/lookahead.hh"
 
 namespace misam {
+
+class MetricsSink;
 
 /** Serving knobs. */
 struct ServeConfig
@@ -48,29 +69,59 @@ struct ServeConfig
     /**
      * Max jobs per dispatch window: the dispatcher pulls up to this
      * many queued jobs and fans their feature extraction out together.
-     * Larger windows expose more extraction parallelism; smaller ones
-     * lower per-job latency. Results are identical either way.
+     * Larger windows expose more extraction parallelism (and, under
+     * Lookahead, more coalescing opportunity); smaller ones lower
+     * per-job latency. Results are identical either way.
      */
     std::size_t window = 16;
 
     /** Extraction worker threads (0 = MISAM_THREADS / hardware). */
     unsigned threads = 0;
+
+    /** Window execution order (serve/lookahead.hh). */
+    SchedulePolicy schedule = SchedulePolicy::AdmissionOrder;
+
+    /**
+     * Overlap the next group's bitstream load with the current group's
+     * execution (double-buffered dynamic regions; effective only under
+     * ReconfigMode::Partial and SchedulePolicy::Lookahead). Accounting
+     * only — results are unchanged.
+     */
+    bool prewarm = false;
+
+    /**
+     * Gather full windows before dispatching: the dispatcher waits
+     * until `window` jobs are queued — instead of pulling whatever is
+     * queued when it wakes — and stop()/drain() flush any partial
+     * tail. Window boundaries (and therefore lookahead grouping
+     * statistics) become deterministic regardless of producer /
+     * dispatcher timing; per-job results are identical either way.
+     * Requires queue_capacity >= window.
+     */
+    bool gather = false;
 };
 
 /**
  * A serving front-end: bounded admission, windowed parallel feature
- * extraction, admission-ordered execution, merged reporting.
+ * extraction, planned execution, merged reporting in admission order.
  */
 class MisamServer
 {
   public:
+    /** A job admitted but abandoned by stop(false). */
+    struct RejectedJob
+    {
+        std::size_t index; ///< Admission index.
+        std::string name;  ///< BatchJob name.
+    };
+
     /** Starts the dispatcher thread. `framework` must be trained. */
     explicit MisamServer(MisamFramework &framework, ServeConfig config = {});
 
     MisamServer(const MisamServer &) = delete;
     MisamServer &operator=(const MisamServer &) = delete;
 
-    /** Drains outstanding jobs, then stops the dispatcher. */
+    /** stop(true), then joins the dispatcher. */
     ~MisamServer();
 
     /**
@@ -79,7 +130,17 @@ class MisamServer
      */
     std::size_t submit(BatchJob job);
 
-    /** Block until every admitted job has completed. */
+    /**
+     * Stop admission and settle every admitted job: with `drain_queue`
+     * the dispatcher executes everything already admitted; without it,
+     * queued-but-undispatched jobs are recorded in rejected() (a window
+     * already being executed always completes). Returns once every
+     * admitted job is executed or rejected. Idempotent — later calls
+     * (including the destructor's) keep the first call's semantics.
+     */
+    void stop(bool drain_queue = true);
+
+    /** Block until every admitted job is executed or rejected. */
     void drain();
 
     /** Submit every job, drain, and return the merged report so far. */
@@ -95,16 +156,36 @@ class MisamServer
     std::size_t admitted() const;
     std::size_t completed() const;
 
+    /** Jobs abandoned by stop(false), in admission order (snapshot). */
+    std::vector<RejectedJob> rejected() const;
+
+    /**
+     * Admission indices in the order the jobs occupied the fabric
+     * (snapshot). An exact permutation of [0, completed()) once
+     * drained; identity under SchedulePolicy::AdmissionOrder.
+     */
+    std::vector<std::size_t> executionOrder() const;
+
+    /** Accumulated lookahead planning statistics (snapshot). */
+    ScheduleStats scheduleStats() const;
+
     /** Deepest the admission queue has been. */
     std::size_t queueHighWater() const;
 
     /**
-     * Attach a metrics registry for the `serve.*` counters (see
-     * docs/OBSERVABILITY.md). Attach before submitting; the caller
-     * keeps the registry alive. Does not touch the framework's own
-     * registry attachment.
+     * Attach a metrics registry for the `serve.*` / `sched.*` /
+     * `reconfig.prewarm.*` counters (see docs/OBSERVABILITY.md).
+     * Attach before submitting; the caller keeps the registry alive.
+     * Does not touch the framework's own registry attachment.
      */
     void setMetrics(MetricsRegistry *metrics);
+
+    /**
+     * Attach a JSONL sink: the dispatcher then emits `sched.window` /
+     * `sched.group` events per lookahead window (emitScheduleEvents).
+     * Attach before submitting; the caller keeps the sink alive.
+     */
+    void setTraceSink(MetricsSink *sink);
 
     /** Serving configuration. */
     const ServeConfig &config() const { return config_; }
@@ -118,14 +199,28 @@ class MisamServer
     mutable std::mutex mutex_;
     std::condition_variable admit_cv_; ///< Signals queue capacity freed.
     std::condition_variable wake_cv_;  ///< Signals work or shutdown.
-    std::condition_variable done_cv_;  ///< Signals completions.
+    std::condition_variable done_cv_;  ///< Signals completions/rejections.
     std::deque<BatchJob> queue_;
     BatchReport report_;
+    ScheduleStats stats_;
+    std::vector<std::size_t> execution_order_;
+    std::vector<RejectedJob> rejected_;
     std::size_t admitted_ = 0;
+    std::size_t dispatched_ = 0; ///< Admission index of queue_.front().
     std::size_t completed_ = 0;
+    std::size_t drain_waiters_ = 0; ///< drain() callers flushing gather.
     std::size_t high_water_ = 0;
     bool stopping_ = false;
+    bool abandon_ = false; ///< stop(false): reject the undispatched tail.
     MetricsRegistry *metrics_ = nullptr;
+    MetricsSink *trace_sink_ = nullptr;
+
+    /**
+     * Design physically resident on the fabric — dispatcher-private.
+     * Tracks the *executed* schedule, which can differ from the engine
+     * chain's current design once lookahead reorders groups.
+     */
+    DesignId resident_;
 
     std::thread dispatcher_;
 };

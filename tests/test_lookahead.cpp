@@ -1,0 +1,674 @@
+/**
+ * @file
+ * Lookahead-scheduler tests: window planning (grouping, resident-first
+ * ordering, load pricing), prewarm overlap accounting, and the serving
+ * properties the scheduler must preserve — per-job results bit-identical
+ * to the admission-order serial path, execution order an exact
+ * permutation of admission order, byte-stable for any thread count —
+ * plus the server shutdown contract (admitted jobs are executed or
+ * explicitly rejected, never silently dropped).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "core/misam.hh"
+#include "serve/lookahead.hh"
+#include "serve/server.hh"
+#include "serve/summary_cache.hh"
+#include "sparse/generate.hh"
+#include "util/metrics.hh"
+#include "workloads/training_data.hh"
+
+namespace misam {
+namespace {
+
+// --------------------------------------------------------------------
+// window planning (pure functions over synthetic decisions)
+// --------------------------------------------------------------------
+
+ReconfigDecision
+chainDecision(DesignId chosen, bool reconfigure, double overhead_s = 0.0)
+{
+    ReconfigDecision d;
+    d.chosen = chosen;
+    d.reconfigure = reconfigure;
+    d.overhead_s = overhead_s;
+    return d;
+}
+
+TEST(LookaheadPlan, GroupsByDesignAndCoalescesLoads)
+{
+    // A thrashing chain D1,D4,D1,D4,D1: the per-job engine pays four
+    // switches; grouped execution pays one (D1 run first, one load to
+    // D4).
+    const ReconfigTimeModel tm;
+    const double d1 = tm.switchSeconds(DesignId::D4, DesignId::D1);
+    const double d4 = tm.switchSeconds(DesignId::D1, DesignId::D4);
+    const std::vector<ReconfigDecision> chain = {
+        chainDecision(DesignId::D1, false),
+        chainDecision(DesignId::D4, true, d4),
+        chainDecision(DesignId::D1, true, d1),
+        chainDecision(DesignId::D4, true, d4),
+        chainDecision(DesignId::D1, true, d1),
+    };
+    const WindowPlan plan = planLookaheadWindow(chain, DesignId::D1, tm);
+
+    ASSERT_EQ(plan.groups.size(), 2u);
+    EXPECT_EQ(plan.groups[0].design, DesignId::D1);
+    EXPECT_EQ(plan.groups[0].jobs, (std::vector<std::size_t>{0, 2, 4}));
+    EXPECT_FALSE(plan.groups[0].loads_bitstream);
+    EXPECT_EQ(plan.groups[1].design, DesignId::D4);
+    EXPECT_EQ(plan.groups[1].jobs, (std::vector<std::size_t>{1, 3}));
+    EXPECT_TRUE(plan.groups[1].loads_bitstream);
+    EXPECT_DOUBLE_EQ(plan.groups[1].load_seconds, d4);
+
+    EXPECT_EQ(plan.order, (std::vector<std::size_t>{0, 2, 4, 1, 3}));
+    EXPECT_EQ(plan.reordered_jobs, 4u); // only job 0 keeps its slot
+    EXPECT_EQ(plan.planned_reconfigs, 4);
+    EXPECT_EQ(plan.paid_loads, 1);
+    EXPECT_DOUBLE_EQ(plan.planned_reconfig_s, 2 * d4 + 2 * d1);
+    EXPECT_DOUBLE_EQ(plan.paid_reconfig_s, d4);
+    EXPECT_EQ(plan.resident_after, DesignId::D4);
+}
+
+TEST(LookaheadPlan, ResidentDesignGroupRunsFirst)
+{
+    // The resident bitstream's group jumps the queue — running it first
+    // is the one order that needs no load at the window's front.
+    const ReconfigTimeModel tm;
+    const std::vector<ReconfigDecision> chain = {
+        chainDecision(DesignId::D1, false),
+        chainDecision(DesignId::D4, true, 1.0),
+        chainDecision(DesignId::D1, true, 1.0),
+    };
+    const WindowPlan plan = planLookaheadWindow(chain, DesignId::D4, tm);
+    ASSERT_EQ(plan.groups.size(), 2u);
+    EXPECT_EQ(plan.groups[0].design, DesignId::D4);
+    EXPECT_FALSE(plan.groups[0].loads_bitstream);
+    EXPECT_EQ(plan.groups[1].design, DesignId::D1);
+    EXPECT_TRUE(plan.groups[1].loads_bitstream);
+    EXPECT_EQ(plan.order, (std::vector<std::size_t>{1, 0, 2}));
+    EXPECT_EQ(plan.paid_loads, 1);
+}
+
+TEST(LookaheadPlan, SharedBitstreamGroupIsAFreeBoundary)
+{
+    // Resident D2: a D3 group reuses its bitstream (free, runs first),
+    // and a D2->D3 boundary inside the window costs nothing either.
+    const ReconfigTimeModel tm;
+    const std::vector<ReconfigDecision> chain = {
+        chainDecision(DesignId::D1, false),
+        chainDecision(DesignId::D3, false),
+        chainDecision(DesignId::D2, false),
+    };
+    const WindowPlan plan = planLookaheadWindow(chain, DesignId::D2, tm);
+    ASSERT_EQ(plan.groups.size(), 3u);
+    // D3 and D2 both switch freely from resident D2 and precede D1.
+    EXPECT_EQ(plan.groups[0].design, DesignId::D3);
+    EXPECT_FALSE(plan.groups[0].loads_bitstream);
+    EXPECT_EQ(plan.groups[1].design, DesignId::D2);
+    EXPECT_FALSE(plan.groups[1].loads_bitstream); // shares with D3
+    EXPECT_EQ(plan.groups[2].design, DesignId::D1);
+    EXPECT_TRUE(plan.groups[2].loads_bitstream);
+    EXPECT_EQ(plan.paid_loads, 1);
+}
+
+TEST(LookaheadPlan, EmptyWindow)
+{
+    const WindowPlan plan =
+        planLookaheadWindow({}, DesignId::D2, ReconfigTimeModel{});
+    EXPECT_TRUE(plan.groups.empty());
+    EXPECT_TRUE(plan.order.empty());
+    EXPECT_EQ(plan.paid_loads, 0);
+    EXPECT_EQ(plan.resident_after, DesignId::D2);
+}
+
+TEST(LookaheadPlan, SingleDesignWindowKeepsAdmissionOrder)
+{
+    const std::vector<ReconfigDecision> chain(
+        6, chainDecision(DesignId::D2, false));
+    const WindowPlan plan =
+        planLookaheadWindow(chain, DesignId::D2, ReconfigTimeModel{});
+    ASSERT_EQ(plan.groups.size(), 1u);
+    EXPECT_EQ(plan.reordered_jobs, 0u);
+    std::vector<std::size_t> identity(6);
+    std::iota(identity.begin(), identity.end(), 0);
+    EXPECT_EQ(plan.order, identity);
+}
+
+TEST(LookaheadAccounting, PrewarmOverlapsUnderPartialMode)
+{
+    ReconfigTimeModel tm;
+    tm.mode = ReconfigMode::Partial;
+    const std::vector<ReconfigDecision> chain = {
+        chainDecision(DesignId::D1, false),
+        chainDecision(DesignId::D4, true, 1.0),
+    };
+    const WindowPlan plan = planLookaheadWindow(chain, DesignId::D1, tm);
+    ASSERT_EQ(plan.groups.size(), 2u);
+    const double load = plan.groups[1].load_seconds;
+    ASSERT_GT(load, 0.0);
+
+    // Long first group: the whole load hides under its execution.
+    {
+        const WindowAccounting acct = accountLookaheadWindow(
+            plan, {10.0 * load, 1.0}, tm, /*prewarm=*/true);
+        EXPECT_EQ(acct.prewarm_loads, 1);
+        EXPECT_DOUBLE_EQ(acct.overlapped_reconfig_s, load);
+        EXPECT_DOUBLE_EQ(acct.exposed_reconfig_s, 0.0);
+    }
+    // Short first group: only that much hides; the rest stalls.
+    {
+        const WindowAccounting acct = accountLookaheadWindow(
+            plan, {load / 4.0, 1.0}, tm, /*prewarm=*/true);
+        EXPECT_DOUBLE_EQ(acct.overlapped_reconfig_s, load / 4.0);
+        EXPECT_DOUBLE_EQ(acct.exposed_reconfig_s, load - load / 4.0);
+    }
+    // Prewarm off: everything stalls.
+    {
+        const WindowAccounting acct = accountLookaheadWindow(
+            plan, {10.0 * load, 1.0}, tm, /*prewarm=*/false);
+        EXPECT_EQ(acct.prewarm_loads, 0);
+        EXPECT_DOUBLE_EQ(acct.overlapped_reconfig_s, 0.0);
+        EXPECT_DOUBLE_EQ(acct.exposed_reconfig_s, load);
+    }
+}
+
+TEST(LookaheadAccounting, NoOverlapWithoutDoubleBufferedRegion)
+{
+    // Full reconfiguration rewrites the whole fabric — there is no
+    // second region to prewarm into, so the flag is inert.
+    const ReconfigTimeModel tm; // mode = Full
+    const std::vector<ReconfigDecision> chain = {
+        chainDecision(DesignId::D1, false),
+        chainDecision(DesignId::D4, true, 3.0),
+    };
+    const WindowPlan plan = planLookaheadWindow(chain, DesignId::D1, tm);
+    const WindowAccounting acct = accountLookaheadWindow(
+        plan, {100.0, 1.0}, tm, /*prewarm=*/true);
+    EXPECT_EQ(acct.prewarm_loads, 0);
+    EXPECT_DOUBLE_EQ(acct.overlapped_reconfig_s, 0.0);
+    EXPECT_DOUBLE_EQ(acct.exposed_reconfig_s, plan.paid_reconfig_s);
+}
+
+TEST(LookaheadAccounting, FirstGroupLoadIsAlwaysExposed)
+{
+    // Nothing executes ahead of the window's first group, so a load at
+    // its front cannot overlap anything.
+    ReconfigTimeModel tm;
+    tm.mode = ReconfigMode::Partial;
+    const std::vector<ReconfigDecision> chain = {
+        chainDecision(DesignId::D4, true, 1.0),
+    };
+    const WindowPlan plan = planLookaheadWindow(chain, DesignId::D1, tm);
+    ASSERT_EQ(plan.paid_loads, 1);
+    const WindowAccounting acct =
+        accountLookaheadWindow(plan, {50.0}, tm, /*prewarm=*/true);
+    EXPECT_EQ(acct.prewarm_loads, 0);
+    EXPECT_DOUBLE_EQ(acct.exposed_reconfig_s, plan.paid_reconfig_s);
+}
+
+TEST(LookaheadAccounting, StatsAccumulateAndMakespan)
+{
+    ReconfigTimeModel tm;
+    tm.mode = ReconfigMode::Partial;
+    const std::vector<ReconfigDecision> chain = {
+        chainDecision(DesignId::D1, false),
+        chainDecision(DesignId::D4, true, 1.0),
+        chainDecision(DesignId::D1, true, 1.0),
+    };
+    const WindowPlan plan = planLookaheadWindow(chain, DesignId::D1, tm);
+    const WindowAccounting acct = accountLookaheadWindow(
+        plan, {5.0, 2.0}, tm, /*prewarm=*/true);
+
+    ScheduleStats stats;
+    stats.accumulate(plan, acct);
+    stats.accumulate(plan, acct);
+    EXPECT_EQ(stats.windows, 2u);
+    EXPECT_EQ(stats.jobs, 6u);
+    EXPECT_EQ(stats.planned_reconfigs, 2 * plan.planned_reconfigs);
+    EXPECT_EQ(stats.paid_loads, 2 * plan.paid_loads);
+    EXPECT_EQ(stats.coalesced(),
+              2 * (plan.planned_reconfigs - plan.paid_loads));
+    EXPECT_DOUBLE_EQ(stats.execute_s, 14.0);
+    // Conservation: every paid second is either hidden or exposed.
+    EXPECT_DOUBLE_EQ(stats.overlapped_reconfig_s +
+                         stats.exposed_reconfig_s,
+                     stats.paid_reconfig_s);
+    EXPECT_DOUBLE_EQ(stats.makespanSeconds(),
+                     stats.execute_s + stats.exposed_reconfig_s);
+}
+
+TEST(LookaheadPlanDeath, NonPermutationPlanIsFatal)
+{
+    // A plan hook that drops or duplicates a job index is a scheduler
+    // bug executeBatch refuses to run.
+    MisamFramework misam;
+    misam.train(generateTrainingSamples(
+        {.num_samples = 40, .seed = 9, .max_dim = 256}));
+    Rng rng(4);
+    std::vector<BatchJob> jobs;
+    for (int i = 0; i < 3; ++i) {
+        BatchJob job;
+        job.name = "j" + std::to_string(i);
+        job.a = generateUniform(64, 64, 0.05, rng);
+        job.b = generateUniform(64, 64, 0.05, rng);
+        jobs.push_back(std::move(job));
+    }
+    EXPECT_EXIT(
+        (void)misam.executeBatch(
+            jobs, 1,
+            [](const std::vector<ReconfigDecision> &) {
+                return std::vector<std::size_t>{0, 0, 2};
+            }),
+        testing::ExitedWithCode(1), "not a permutation");
+    EXPECT_EXIT(
+        (void)misam.executeBatch(
+            jobs, 1,
+            [](const std::vector<ReconfigDecision> &) {
+                return std::vector<std::size_t>{0, 1};
+            }),
+        testing::ExitedWithCode(1), "plan returned");
+}
+
+// --------------------------------------------------------------------
+// serving properties (trained framework)
+// --------------------------------------------------------------------
+
+/** Shared trained framework: training is the expensive part. */
+class LookaheadServeTest : public testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        samples_ = new std::vector<TrainingSample>(generateTrainingSamples(
+            {.num_samples = 120, .seed = 33, .max_dim = 512}));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete samples_;
+        samples_ = nullptr;
+    }
+
+    static MisamFramework
+    freshFramework()
+    {
+        MisamFramework misam;
+        misam.train(*samples_);
+        return misam;
+    }
+
+    /** A mixed job stream: varied shapes/densities so the selector's
+     *  choices (and hence the planner's groups) vary across jobs. */
+    static std::vector<BatchJob>
+    mixedJobs(std::size_t n)
+    {
+        Rng rng(171);
+        std::vector<BatchJob> jobs;
+        for (std::size_t i = 0; i < n; ++i) {
+            BatchJob job;
+            job.name = "job" + std::to_string(i);
+            const Index rows = 64 + 32 * static_cast<Index>(i % 5);
+            const double density = (i % 2 == 0) ? 0.02 : 0.15;
+            job.a = generateUniform(rows, 128, density, rng);
+            job.b = generateUniform(128, 96, 0.05, rng);
+            job.repetitions = (i % 3 == 0) ? 40.0 : 1.0;
+            jobs.push_back(std::move(job));
+        }
+        return jobs;
+    }
+
+    static std::vector<TrainingSample> *samples_;
+};
+
+std::vector<TrainingSample> *LookaheadServeTest::samples_ = nullptr;
+
+/** Result fields that must be bit-identical across paths. */
+void
+expectSameResults(const std::vector<ExecutionReport> &x,
+                  const std::vector<ExecutionReport> &y)
+{
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(x[i].name, y[i].name);
+        EXPECT_EQ(0, std::memcmp(x[i].features.values.data(),
+                                 y[i].features.values.data(),
+                                 sizeof(double) * kNumFeatures));
+        EXPECT_EQ(x[i].predicted, y[i].predicted);
+        EXPECT_EQ(x[i].decision.chosen, y[i].decision.chosen);
+        EXPECT_EQ(x[i].decision.reconfigure, y[i].decision.reconfigure);
+        EXPECT_EQ(x[i].decision.free_switch, y[i].decision.free_switch);
+        EXPECT_EQ(x[i].sim.total_cycles, y[i].sim.total_cycles);
+        EXPECT_EQ(x[i].sim.exec_seconds, y[i].sim.exec_seconds);
+        EXPECT_EQ(x[i].repetitions, y[i].repetitions);
+    }
+}
+
+TEST_F(LookaheadServeTest, ResultsBitIdenticalToSerialAcrossThreads)
+{
+    // The pinned ordering contract: lookahead may execute jobs in any
+    // planned order, but every job's result — and the report's order —
+    // must match the serial admission-order batch byte for byte, for
+    // any thread count.
+    const std::vector<BatchJob> jobs = mixedJobs(24);
+    MisamFramework serial = freshFramework();
+    const BatchReport truth = serial.executeBatch(jobs, 1);
+
+    for (unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE(threads);
+        MisamFramework misam = freshFramework();
+        SummaryCache cache;
+        misam.setSummaryCache(&cache);
+        ServeConfig config;
+        config.threads = threads;
+        config.window = 5;         // Windows deliberately misaligned
+        config.queue_capacity = 7; // with the job count.
+        config.schedule = SchedulePolicy::Lookahead;
+        BatchReport served;
+        std::vector<std::size_t> order;
+        {
+            MisamServer server(misam, config);
+            served = server.serveAll(jobs);
+            order = server.executionOrder();
+            EXPECT_EQ(server.completed(), jobs.size());
+            EXPECT_TRUE(server.rejected().empty());
+        }
+        misam.setSummaryCache(nullptr);
+
+        expectSameResults(truth.jobs, served.jobs);
+        EXPECT_DOUBLE_EQ(truth.total_execute_s, served.total_execute_s);
+        EXPECT_DOUBLE_EQ(truth.total_reconfig_s,
+                         served.total_reconfig_s);
+        EXPECT_EQ(truth.reconfigurations, served.reconfigurations);
+        EXPECT_EQ(truth.free_switches, served.free_switches);
+
+        // Execution order is an exact permutation of admission order.
+        ASSERT_EQ(order.size(), jobs.size());
+        std::vector<std::size_t> sorted = order;
+        std::sort(sorted.begin(), sorted.end());
+        std::vector<std::size_t> identity(jobs.size());
+        std::iota(identity.begin(), identity.end(), 0);
+        EXPECT_EQ(sorted, identity);
+    }
+}
+
+TEST_F(LookaheadServeTest, ExecutionOrderDeterministicAcrossThreads)
+{
+    // Gather mode pins window boundaries, so the planned order is a
+    // pure function of the job stream — the thread count (and any
+    // producer/dispatcher interleaving) must not leak into it.
+    const std::vector<BatchJob> jobs = mixedJobs(20);
+    std::vector<std::size_t> first_order;
+    for (unsigned threads : {1u, 3u}) {
+        MisamFramework misam = freshFramework();
+        ServeConfig config;
+        config.threads = threads;
+        config.window = 6;
+        config.gather = true;
+        config.schedule = SchedulePolicy::Lookahead;
+        MisamServer server(misam, config);
+        (void)server.serveAll(jobs);
+        if (first_order.empty())
+            first_order = server.executionOrder();
+        else
+            EXPECT_EQ(first_order, server.executionOrder());
+    }
+    ASSERT_EQ(first_order.size(), jobs.size());
+}
+
+TEST_F(LookaheadServeTest, GroupsAreContiguousRunsOfOneDesign)
+{
+    // Within a window, the executed sequence of chosen designs must be
+    // grouped: once a design's run ends, it never reappears in that
+    // window (that's the whole coalescing claim).
+    const std::vector<BatchJob> jobs = mixedJobs(24);
+    MisamFramework misam = freshFramework();
+    ServeConfig config;
+    config.window = 8;
+    config.gather = true; // Exact 8-job windows; the stride below
+                          // depends on it.
+    config.schedule = SchedulePolicy::Lookahead;
+    BatchReport served;
+    std::vector<std::size_t> order;
+    ScheduleStats stats;
+    {
+        MisamServer server(misam, config);
+        served = server.serveAll(jobs);
+        order = server.executionOrder();
+        stats = server.scheduleStats();
+    }
+    ASSERT_EQ(order.size(), jobs.size());
+    EXPECT_EQ(stats.windows, 3u);
+    EXPECT_EQ(stats.jobs, jobs.size());
+    for (std::size_t w = 0; w < jobs.size(); w += config.window) {
+        std::vector<DesignId> seen;
+        const std::size_t end =
+            std::min(jobs.size(), w + config.window);
+        for (std::size_t k = w; k < end; ++k) {
+            const DesignId d =
+                served.jobs[order[k]].decision.chosen;
+            if (!seen.empty() && seen.back() == d)
+                continue;
+            EXPECT_EQ(std::count(seen.begin(), seen.end(), d), 0)
+                << "design resumed after its run ended (window at "
+                << w << ")";
+            seen.push_back(d);
+        }
+    }
+    // Stats bookkeeping is conserved.
+    EXPECT_DOUBLE_EQ(stats.overlapped_reconfig_s +
+                         stats.exposed_reconfig_s,
+                     stats.paid_reconfig_s);
+    EXPECT_EQ(stats.coalesced(),
+              stats.planned_reconfigs - stats.paid_loads);
+}
+
+TEST_F(LookaheadServeTest, PrewarmIsResultAndPlanNeutral)
+{
+    // Prewarm changes only the overlap accounting — results, execution
+    // order, and load counts are untouched.
+    const std::vector<BatchJob> jobs = mixedJobs(18);
+    BatchReport plain_report, prewarm_report;
+    std::vector<std::size_t> plain_order, prewarm_order;
+    ScheduleStats plain_stats, prewarm_stats;
+    for (const bool prewarm : {false, true}) {
+        // Partial mode so a double-buffered dynamic region exists.
+        MisamConfig cfg;
+        cfg.engine_config.time_model.mode = ReconfigMode::Partial;
+        MisamFramework partial(cfg);
+        partial.train(*samples_);
+        ServeConfig config;
+        config.window = 6;
+        config.gather = true; // Same window boundaries in both runs.
+        config.schedule = SchedulePolicy::Lookahead;
+        config.prewarm = prewarm;
+        MisamServer server(partial, config);
+        const BatchReport report = server.serveAll(jobs);
+        if (prewarm) {
+            prewarm_report = report;
+            prewarm_order = server.executionOrder();
+            prewarm_stats = server.scheduleStats();
+        } else {
+            plain_report = report;
+            plain_order = server.executionOrder();
+            plain_stats = server.scheduleStats();
+        }
+    }
+    expectSameResults(plain_report.jobs, prewarm_report.jobs);
+    EXPECT_EQ(plain_order, prewarm_order);
+    EXPECT_EQ(plain_stats.paid_loads, prewarm_stats.paid_loads);
+    EXPECT_DOUBLE_EQ(plain_stats.paid_reconfig_s,
+                     prewarm_stats.paid_reconfig_s);
+    // Without prewarm every paid second is exposed; with it, the
+    // overlap can only shrink the exposed share.
+    EXPECT_DOUBLE_EQ(plain_stats.overlapped_reconfig_s, 0.0);
+    EXPECT_DOUBLE_EQ(plain_stats.exposed_reconfig_s,
+                     plain_stats.paid_reconfig_s);
+    EXPECT_LE(prewarm_stats.exposed_reconfig_s,
+              plain_stats.exposed_reconfig_s);
+    EXPECT_LE(prewarm_stats.makespanSeconds(),
+              plain_stats.makespanSeconds());
+}
+
+TEST_F(LookaheadServeTest, GatherFormsExactWindowsAndFlushesTail)
+{
+    // 14 jobs, window 4: gather holds out for three full windows, then
+    // drain() flushes the 2-job tail. Window boundaries become a pure
+    // function of the stream — identical for any thread count and any
+    // producer/dispatcher interleaving.
+    const std::vector<BatchJob> jobs = mixedJobs(14);
+    for (unsigned threads : {1u, 3u}) {
+        SCOPED_TRACE(threads);
+        MisamFramework misam = freshFramework();
+        ServeConfig config;
+        config.threads = threads;
+        config.window = 4;
+        config.queue_capacity = 4; // The tightest legal gather bound.
+        config.gather = true;
+        config.schedule = SchedulePolicy::Lookahead;
+        ScheduleStats stats;
+        {
+            MisamServer server(misam, config);
+            (void)server.serveAll(jobs);
+            stats = server.scheduleStats();
+            EXPECT_EQ(server.completed(), jobs.size());
+            EXPECT_TRUE(server.rejected().empty());
+        }
+        EXPECT_EQ(stats.windows, 4u); // 4 + 4 + 4 + tail of 2.
+        EXPECT_EQ(stats.jobs, jobs.size());
+    }
+}
+
+TEST(LookaheadServeDeath, GatherRequiresCapacityAtLeastWindow)
+{
+    // A gather window that can never fill (capacity < window) would
+    // deadlock the dispatcher; the constructor refuses it. Threadsafe
+    // style: earlier serve tests leave pool threads alive, and exit(1)
+    // in a forked child would trip over their dead state.
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MisamFramework misam;
+    misam.train(generateTrainingSamples(
+        {.num_samples = 40, .seed = 9, .max_dim = 256}));
+    ServeConfig config;
+    config.gather = true;
+    config.window = 8;
+    config.queue_capacity = 4;
+    EXPECT_EXIT({ MisamServer server(misam, config); },
+                testing::ExitedWithCode(1), "gather mode requires");
+}
+
+TEST_F(LookaheadServeTest, SchedulerMetricsCount)
+{
+    MetricsRegistry registry;
+    MisamFramework misam = freshFramework();
+    ServeConfig config;
+    config.window = 6;
+    config.schedule = SchedulePolicy::Lookahead;
+    std::vector<BatchJob> jobs = mixedJobs(18);
+    ScheduleStats stats;
+    {
+        MisamServer server(misam, config);
+        server.setMetrics(&registry);
+        (void)server.serveAll(std::move(jobs));
+        stats = server.scheduleStats();
+    }
+    EXPECT_EQ(registry.counterValue("sched.windows"), stats.windows);
+    EXPECT_EQ(registry.counterValue("sched.groups"), stats.groups);
+    EXPECT_EQ(registry.counterValue("sched.reordered_jobs"),
+              stats.reordered_jobs);
+    EXPECT_EQ(registry.counterValue("sched.paid_loads"),
+              static_cast<std::uint64_t>(stats.paid_loads));
+    EXPECT_EQ(registry.counterValue("serve.completed"), 18u);
+}
+
+// --------------------------------------------------------------------
+// shutdown contract
+// --------------------------------------------------------------------
+
+TEST_F(LookaheadServeTest, DestructionDrainsOutstandingQueue)
+{
+    // Regression (TSan-covered via the serve label): destroying a
+    // server with a backlogged queue must execute every admitted job —
+    // nothing silently dropped — and must not race the dispatcher.
+    MetricsRegistry registry;
+    MisamFramework misam = freshFramework();
+    ServeConfig config;
+    config.queue_capacity = 3; // Tiny: submit() exercises backpressure
+    config.window = 2;         // while the dispatcher works in windows.
+    {
+        MisamServer server(misam, config);
+        server.setMetrics(&registry);
+        for (BatchJob &job : mixedJobs(10))
+            (void)server.submit(std::move(job));
+        // No drain(): the destructor must settle the backlog itself.
+    }
+    EXPECT_EQ(registry.counterValue("serve.admitted"), 10u);
+    EXPECT_EQ(registry.counterValue("serve.completed"), 10u);
+    EXPECT_EQ(registry.counterValue("serve.rejected"), 0u);
+}
+
+TEST_F(LookaheadServeTest, StopWithoutDrainRejectsQueuedTail)
+{
+    // stop(false): whatever was already dispatched completes; the
+    // undispatched tail is reported as rejected — an explicit record,
+    // never a silent drop. Dispatch is FIFO, so the rejected indices
+    // are exactly the contiguous tail of the admission order.
+    MetricsRegistry registry;
+    MisamFramework misam = freshFramework();
+    ServeConfig config;
+    config.queue_capacity = 16;
+    config.window = 2;
+    MisamServer server(misam, config);
+    server.setMetrics(&registry);
+    std::vector<BatchJob> jobs = mixedJobs(12);
+    for (BatchJob &job : jobs)
+        (void)server.submit(std::move(job));
+    server.stop(/*drain_queue=*/false);
+
+    const BatchReport report = server.report();
+    const auto rejected = server.rejected();
+    EXPECT_EQ(server.completed() + rejected.size(), 12u);
+    EXPECT_EQ(report.jobs.size(), server.completed());
+    // Executed jobs are the admission-order prefix...
+    for (std::size_t i = 0; i < report.jobs.size(); ++i)
+        EXPECT_EQ(report.jobs[i].name, "job" + std::to_string(i));
+    // ...and the rejected jobs are the contiguous tail, in order.
+    for (std::size_t i = 0; i < rejected.size(); ++i) {
+        EXPECT_EQ(rejected[i].index, server.completed() + i);
+        EXPECT_EQ(rejected[i].name,
+                  "job" + std::to_string(rejected[i].index));
+    }
+    EXPECT_EQ(registry.counterValue("serve.rejected"), rejected.size());
+    EXPECT_EQ(registry.counterValue("serve.completed") +
+                  registry.counterValue("serve.rejected"),
+              registry.counterValue("serve.admitted"));
+    // drain() after stop() must not hang: everything is settled.
+    server.drain();
+}
+
+TEST_F(LookaheadServeTest, StopDrainExecutesEverything)
+{
+    MisamFramework misam = freshFramework();
+    ServeConfig config;
+    config.window = 3;
+    MisamServer server(misam, config);
+    for (BatchJob &job : mixedJobs(7))
+        (void)server.submit(std::move(job));
+    server.stop(/*drain_queue=*/true);
+    EXPECT_EQ(server.completed(), 7u);
+    EXPECT_TRUE(server.rejected().empty());
+    server.stop(); // Idempotent.
+    EXPECT_EQ(server.report().jobs.size(), 7u);
+}
+
+} // namespace
+} // namespace misam

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/misam.hh"
+#include "serve/lookahead.hh"
 #include "sim/design_sim.hh"
 #include "sparse/generate.hh"
 #include "util/metrics.hh"
@@ -357,6 +358,77 @@ INSTANTIATE_TEST_SUITE_P(AllCases, GoldenTrace,
                          [](const auto &info) {
                              return goldenCases()[info.param].name;
                          });
+
+/**
+ * Canonical scheduler trace: two lookahead windows planned from
+ * synthetic engine decisions — a Full-mode thrashing window and a
+ * Partial-mode prewarm window. Every emitted double comes from the
+ * reconfiguration time model's plain arithmetic (+, *, /, min, max)
+ * over literal constants — no libm, no wall clock — so the bytes are
+ * stable across runs, hosts, and MISAM_THREADS settings.
+ */
+std::string
+buildSchedGoldenTrace()
+{
+    auto decide = [](DesignId chosen, bool reconfigure,
+                     double overhead_s) {
+        ReconfigDecision d;
+        d.chosen = chosen;
+        d.reconfigure = reconfigure;
+        d.overhead_s = overhead_s;
+        return d;
+    };
+
+    std::ostringstream out;
+    MetricsSink sink(out);
+    sink.event("run", {{"case", "sched_lookahead"}});
+
+    // Window 1: Full mode, chain thrashes D1<->D4 (three paid chain
+    // switches), the plan coalesces to one physical load.
+    {
+        const ReconfigTimeModel tm;
+        const double to_d1 = tm.switchSeconds(DesignId::D4, DesignId::D1);
+        const double to_d4 = tm.switchSeconds(DesignId::D1, DesignId::D4);
+        const std::vector<ReconfigDecision> chain = {
+            decide(DesignId::D1, false, 0.0),
+            decide(DesignId::D4, true, to_d4),
+            decide(DesignId::D1, true, to_d1),
+            decide(DesignId::D4, true, to_d4),
+        };
+        const WindowPlan plan =
+            planLookaheadWindow(chain, DesignId::D1, tm);
+        const WindowAccounting acct = accountLookaheadWindow(
+            plan, {0.5, 0.25}, tm, /*prewarm=*/true); // inert in Full
+        emitScheduleEvents(sink, plan, acct);
+    }
+
+    // Window 2: Partial mode with prewarm — the D2 group's load
+    // partially hides under the first group's execution.
+    {
+        ReconfigTimeModel tm;
+        tm.mode = ReconfigMode::Partial;
+        const double to_d2 = tm.switchSeconds(DesignId::D4, DesignId::D2);
+        const std::vector<ReconfigDecision> chain = {
+            decide(DesignId::D4, false, 0.0),
+            decide(DesignId::D2, true, to_d2),
+            decide(DesignId::D3, false, 0.0),
+            decide(DesignId::D4, false, 0.0),
+        };
+        const WindowPlan plan =
+            planLookaheadWindow(chain, DesignId::D4, tm);
+        const WindowAccounting acct = accountLookaheadWindow(
+            plan, {0.125, 0.0625, 0.03125}, tm, /*prewarm=*/true);
+        emitScheduleEvents(sink, plan, acct);
+    }
+    return out.str();
+}
+
+TEST(GoldenTrace, SchedulerEventsMatchCheckedInTrace)
+{
+    expectMatchesGolden(buildSchedGoldenTrace(),
+                        std::string(MISAM_GOLDEN_DIR) +
+                            "/sched_lookahead.jsonl");
+}
 
 TEST(GoldenTraceDeterminism, IdenticalForAnyThreadCount)
 {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "reconfig/bitstream.hh"
@@ -94,6 +95,34 @@ TEST(Bitstream, SwitchFreeBetweenSharedDesigns)
     EXPECT_DOUBLE_EQ(model.switchSeconds(DesignId::D1, DesignId::D1),
                      0.0);
     EXPECT_GT(model.switchSeconds(DesignId::D1, DesignId::D4), 1.0);
+}
+
+TEST(Bitstream, PartialSwitchSizesRegionForResidentAndTarget)
+{
+    // The dynamic region hosts whichever design occupies it, so a
+    // partial switch is priced for max(resident, target) footprint —
+    // sizing only for the target undercharged switches out of a large
+    // resident design.
+    ReconfigTimeModel model;
+    model.mode = ReconfigMode::Partial;
+    for (DesignId from : allDesigns()) {
+        for (DesignId to : allDesigns()) {
+            if (sharesBitstream(from, to))
+                continue;
+            const double frac =
+                std::max(designConfig(from).resources.maxFraction(),
+                         designConfig(to).resources.maxFraction());
+            EXPECT_DOUBLE_EQ(model.switchSeconds(from, to),
+                             model.partialReconfigSeconds(to, frac))
+                << designName(from) << " -> " << designName(to);
+            // Symmetric region sizing: only the target's bitstream
+            // size can make A->B and B->A differ, never the fraction.
+            EXPECT_GE(model.switchSeconds(from, to),
+                      model.partialReconfigSeconds(
+                          to, designConfig(to).resources.maxFraction()) -
+                          1e-12);
+        }
+    }
 }
 
 // --------------------------------------------------------------------
@@ -186,8 +215,34 @@ TEST(Engine, SharedBitstreamSwitchIsFreeAndEager)
         engine.decide(zeroFeatures(), DesignId::D3);
     EXPECT_EQ(d.chosen, DesignId::D3);
     EXPECT_FALSE(d.reconfigure); // no bitstream load
+    EXPECT_TRUE(d.free_switch);  // ...but the move is visible
     EXPECT_DOUBLE_EQ(d.overhead_s, 0.0);
     EXPECT_EQ(engine.currentDesign(), DesignId::D3);
+}
+
+TEST(Engine, FreeSwitchDisjointFromPaidAndKeep)
+{
+    // Every verdict kind flags at most one of reconfigure/free_switch:
+    // paid D1->D4 swap, free D2->D3 move, and a keep are all distinct
+    // in the per-decision record (the multi-tenant report relies on
+    // the separation).
+    const auto model = stubLatencyModel({2.0, 4.0, 3.9, 1.0});
+    ReconfigEngine engine(model, {}, DesignId::D1);
+    const ReconfigDecision paid =
+        engine.decide(zeroFeatures(), DesignId::D4, 50.0);
+    EXPECT_TRUE(paid.reconfigure);
+    EXPECT_FALSE(paid.free_switch);
+
+    engine.setCurrentDesign(DesignId::D2);
+    const ReconfigDecision free =
+        engine.decide(zeroFeatures(), DesignId::D3);
+    EXPECT_TRUE(free.free_switch);
+    EXPECT_FALSE(free.reconfigure);
+
+    const ReconfigDecision keep =
+        engine.decide(zeroFeatures(), DesignId::D3);
+    EXPECT_FALSE(keep.reconfigure);
+    EXPECT_FALSE(keep.free_switch);
 }
 
 TEST(Engine, IgnoresPredictedSlowdowns)

@@ -25,11 +25,17 @@
  *             Per-tile phase breakdown (ch_A / ch_B / compute bound)
  *             of one design's execution; defaults to the fastest.
  *   serve     --model FILE --jobs FILE.jsonl [--threads N] [--queue N]
- *             [--window N] [--metrics OUT.jsonl]
+ *             [--window N] [--schedule admission|lookahead] [--prewarm]
+ *             [--gather] [--metrics OUT.jsonl]
  *             Replay a JSONL job file (see serve/jobfile.hh for the
  *             schema) through MisamServer with a content-addressed
  *             operand cache; prints per-job results plus serve.* /
- *             cache.* counters.
+ *             cache.* counters. --schedule lookahead groups each window
+ *             by decided design to coalesce bitstream loads; --prewarm
+ *             overlaps the next group's load with execution (partial
+ *             reconfig mode); --gather waits for full windows so the
+ *             grouping statistics are run-to-run deterministic.
+ *             Results are identical either way.
  *
  * Matrices are Matrix Market files; B defaults to --self (A x A).
  */
@@ -37,6 +43,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -372,15 +379,47 @@ cmdServe(const Args &args)
     serve_config.window = args.sizeOr("--window", 16);
     serve_config.threads =
         static_cast<unsigned>(args.sizeOr("--threads", 0));
+    if (auto schedule = args.value("--schedule")) {
+        if (*schedule == "admission")
+            serve_config.schedule = SchedulePolicy::AdmissionOrder;
+        else if (*schedule == "lookahead")
+            serve_config.schedule = SchedulePolicy::Lookahead;
+        else
+            fatal("--schedule must be admission or lookahead");
+    }
+    serve_config.prewarm = args.has("--prewarm");
+    serve_config.gather = args.has("--gather");
 
     const std::size_t num_jobs = jobs.size();
+    // The sink is opened before serving so the dispatcher can stream
+    // sched.window / sched.group events as lookahead windows execute.
+    std::unique_ptr<MetricsSink> sink;
+    const auto metrics_path = args.value("--metrics");
+    if (metrics_path) {
+        sink = std::make_unique<MetricsSink>(*metrics_path);
+        sink->event("run",
+                    {{"cmd", "serve"},
+                     {"jobs", static_cast<std::uint64_t>(num_jobs)},
+                     {"threads", static_cast<std::uint64_t>(
+                                     serve_config.threads)},
+                     {"schedule",
+                      schedulePolicyName(serve_config.schedule)},
+                     {"prewarm", serve_config.prewarm ? 1 : 0}});
+    }
     BatchReport report;
+    ScheduleStats sched_stats;
     {
         MisamServer server(misam, serve_config);
         server.setMetrics(&registry);
+        if (sink)
+            server.setTraceSink(sink.get());
         report = server.serveAll(std::move(jobs));
-        std::printf("served %zu jobs (queue high water %zu)\n",
-                    server.completed(), server.queueHighWater());
+        sched_stats = server.scheduleStats();
+        std::printf("served %zu jobs (queue high water %zu, "
+                    "schedule %s%s)\n",
+                    server.completed(), server.queueHighWater(),
+                    schedulePolicyName(serve_config.schedule),
+                    serve_config.prewarm ? "+prewarm" : "");
     }
     misam.setSummaryCache(nullptr);
 
@@ -395,10 +434,22 @@ cmdServe(const Args &args)
                       formatDouble(r.breakdown.execute_s * 1e3, 2)});
     }
     std::printf("%s", table.render().c_str());
-    std::printf("batch summary: exec %.3f s, switches %d (%.3f s), "
-                "host %.3f ms\n",
+    std::printf("batch summary: exec %.3f s, switches %d paid "
+                "(%.3f s) + %d free, host %.3f ms\n",
                 report.total_execute_s, report.reconfigurations,
-                report.total_reconfig_s, report.total_host_s * 1e3);
+                report.total_reconfig_s, report.free_switches,
+                report.total_host_s * 1e3);
+    if (serve_config.schedule == SchedulePolicy::Lookahead) {
+        std::printf(
+            "lookahead: %zu windows, %zu groups, %zu jobs reordered; "
+            "%d chain switches -> %d paid loads (%.3f s); "
+            "prewarm hid %.3f s, %.3f s exposed\n",
+            sched_stats.windows, sched_stats.groups,
+            sched_stats.reordered_jobs, sched_stats.planned_reconfigs,
+            sched_stats.paid_loads, sched_stats.paid_reconfig_s,
+            sched_stats.overlapped_reconfig_s,
+            sched_stats.exposed_reconfig_s);
+    }
     std::printf("operand cache: %llu summary hits, %llu misses, "
                 "%llu bytes of rescans saved\n",
                 static_cast<unsigned long long>(cache.summaryHits()),
@@ -406,25 +457,20 @@ cmdServe(const Args &args)
                 static_cast<unsigned long long>(
                     cache.summaryBytesSaved()));
 
-    if (auto metrics_path = args.value("--metrics")) {
-        MetricsSink sink(*metrics_path);
-        sink.event("run", {{"cmd", "serve"},
-                           {"jobs", static_cast<std::uint64_t>(num_jobs)},
-                           {"threads", static_cast<std::uint64_t>(
-                                           serve_config.threads)}});
+    if (sink) {
         for (const ExecutionReport &r : report.jobs) {
-            sink.event("serve.job",
-                       {{"name", r.name},
-                        {"predicted", designName(r.predicted)},
-                        {"chosen", designName(r.decision.chosen)},
-                        {"reconfigure", r.decision.reconfigure ? 1 : 0},
-                        {"repetitions", r.repetitions},
-                        {"execute_s", r.breakdown.execute_s}});
+            sink->event("serve.job",
+                        {{"name", r.name},
+                         {"predicted", designName(r.predicted)},
+                         {"chosen", designName(r.decision.chosen)},
+                         {"reconfigure", r.decision.reconfigure ? 1 : 0},
+                         {"repetitions", r.repetitions},
+                         {"execute_s", r.breakdown.execute_s}});
         }
-        sink.emitRegistry(registry);
+        sink->emitRegistry(registry);
         std::printf("metrics trace written to %s (%llu events)\n",
                     metrics_path->c_str(),
-                    static_cast<unsigned long long>(sink.eventCount()));
+                    static_cast<unsigned long long>(sink->eventCount()));
     }
     return 0;
 }
@@ -447,7 +493,10 @@ usage()
         "  dataset  --out FILE.csv [--samples N] [--seed S]\n"
         "  detail   --matrix A.mtx [--design 1..4] [B flags]\n"
         "  serve    --model FILE --jobs FILE.jsonl [--threads N] "
-        "[--queue N] [--window N] [--metrics OUT.jsonl]\n");
+        "[--queue N] [--window N]\n"
+        "           [--schedule admission|lookahead] [--prewarm] "
+        "[--gather]\n"
+        "           [--metrics OUT.jsonl]\n");
 }
 
 } // namespace
