@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Fleet serving bench: bitstream-affinity routing vs least-loaded
+ * routing across 1/2/4/8 simulated boards on the thrashing two-tenant
+ * traffic stream (workloads/traffic.hh — the same sparse-SpGEMM +
+ * dense-B inference mix as bench_serve_lookahead, §6.2's time-division
+ * pattern).
+ *
+ * Per-job results are bit-identical across every arm by contract: the
+ * FleetRouter runs the global decision chain in admission order before
+ * routing, so routing policy and board count are physically invisible
+ * to the decisions (pinned by tests/test_fleet.cpp; this bench asserts
+ * it again over all eight arms). What routing IS allowed to change is
+ * the physical accounting, and that is what the bench measures per arm:
+ *
+ *   throughput     — jobs / fleet logical makespan
+ *   p50/p99 wait   — logical queueing latency percentiles
+ *   paid loads /1k — physical bitstream loads per 1k jobs
+ *
+ * Exits nonzero unless affinity routing strictly reduces paid loads
+ * per 1k jobs vs least-loaded at 4 boards (the headline claim), or if
+ * any arm's per-job results diverge.
+ *
+ * Flags: --out=FILE (default BENCH_serve.json — the "fleet" section is
+ * merged into bench_serve_lookahead's summary when the file already
+ * exists), --smoke (small stream, for CI).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "core/misam.hh"
+#include "serve/fleet.hh"
+#include "serve/summary_cache.hh"
+#include "util/table.hh"
+#include "workloads/traffic.hh"
+#include "workloads/training_data.hh"
+
+using namespace misam;
+
+namespace {
+
+struct ArmResult
+{
+    std::string name;
+    std::size_t boards = 0;
+    RoutePolicy route = RoutePolicy::Affinity;
+    std::size_t affine_routed = 0;
+    int paid_loads = 0;
+    int free_moves = 0;
+    double loads_per_1k = 0.0;
+    double reconfig_s = 0.0;  ///< Paid load seconds fleet-wide.
+    double makespan_s = 0.0;  ///< Max board logical finish time.
+    double throughput = 0.0;  ///< Jobs per logical second.
+    double p50_wait_s = 0.0;
+    double p99_wait_s = 0.0;
+    BatchReport report;
+};
+
+/** One trained framework per arm: training is deterministic, so every
+ *  arm sees an identical selector, latency model, and engine. Partial
+ *  reconfiguration, matching bench_serve_lookahead, so the D2/D3
+ *  shared-bitstream affinity actually has free moves to exploit. */
+MisamFramework
+freshFramework(std::size_t samples)
+{
+    MisamConfig cfg;
+    cfg.engine_config.time_model.mode = ReconfigMode::Partial;
+    MisamFramework misam(cfg);
+    misam.train(generateTrainingSamples(
+        {.num_samples = samples, .seed = 33, .max_dim = 512}));
+    return misam;
+}
+
+ArmResult
+runArm(const std::vector<TrafficJob> &stream, std::size_t samples,
+       std::size_t boards, RoutePolicy route, std::size_t window,
+       std::size_t board_capacity)
+{
+    MisamFramework misam = freshFramework(samples);
+    SummaryCache cache;
+    misam.setSummaryCache(&cache);
+
+    FleetConfig config;
+    config.boards = boards;
+    config.route = route;
+    config.window = window;
+    config.queue_capacity = 2 * window;
+    // The affinity spill valve: a board takes at most this many jobs
+    // per window, so affine placement cannot starve the other boards.
+    config.board_capacity = board_capacity;
+    // Deterministic window boundaries: without gather the dispatcher
+    // races the submission loop and routing statistics wobble.
+    config.gather = true;
+
+    ArmResult arm;
+    arm.name = std::string(routePolicyName(route)) + "-" +
+               std::to_string(boards);
+    arm.boards = boards;
+    arm.route = route;
+    std::vector<double> waits;
+    {
+        FleetRouter fleet(misam, config);
+        for (const TrafficJob &tj : stream)
+            (void)fleet.submit(tj.job, tj.arrival_s);
+        fleet.drain();
+        arm.report = fleet.report();
+        arm.makespan_s = fleet.makespanSeconds();
+        for (const FleetRouter::Placement &p : fleet.placements())
+            waits.push_back(p.wait_s);
+        for (const FleetRouter::BoardTotals &b : fleet.boardTotals()) {
+            arm.paid_loads += b.paid_loads;
+            arm.free_moves += b.free_moves;
+            arm.reconfig_s += b.paid_reconfig_s;
+        }
+        for (const FleetRouter::Placement &p : fleet.placements())
+            arm.affine_routed += p.affine ? 1 : 0;
+    }
+    misam.setSummaryCache(nullptr);
+
+    arm.loads_per_1k =
+        1000.0 * arm.paid_loads / static_cast<double>(stream.size());
+    arm.throughput = arm.makespan_s > 0.0
+                         ? static_cast<double>(stream.size()) /
+                               arm.makespan_s
+                         : 0.0;
+    arm.p50_wait_s = waitPercentileSeconds(waits, 50.0);
+    arm.p99_wait_s = waitPercentileSeconds(waits, 99.0);
+    return arm;
+}
+
+/** Per-job results must be bit-identical across arms. */
+int
+countResultDivergences(const BatchReport &x, const BatchReport &y)
+{
+    if (x.jobs.size() != y.jobs.size())
+        return static_cast<int>(x.jobs.size() + y.jobs.size());
+    int divergences = 0;
+    for (std::size_t i = 0; i < x.jobs.size(); ++i) {
+        if (x.jobs[i].name != y.jobs[i].name ||
+            x.jobs[i].decision.chosen != y.jobs[i].decision.chosen ||
+            x.jobs[i].sim.total_cycles != y.jobs[i].sim.total_cycles ||
+            x.jobs[i].sim.exec_seconds != y.jobs[i].sim.exec_seconds)
+            ++divergences;
+    }
+    return divergences;
+}
+
+std::string
+fleetJson(const std::vector<ArmResult> &arms, std::size_t jobs,
+          std::size_t window, bool smoke)
+{
+    std::ostringstream out;
+    char buf[512];
+    out << "{\n    \"bench\": \"bench_fleet\",\n";
+    out << "    \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+    out << "    \"jobs\": " << jobs << ",\n";
+    out << "    \"window\": " << window << ",\n";
+    out << "    \"arms\": [\n";
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+        const ArmResult &a = arms[i];
+        std::snprintf(
+            buf, sizeof buf,
+            "      {\"name\": \"%s\", \"boards\": %zu,\n"
+            "       \"route\": \"%s\",\n"
+            "       \"affine_routed\": %zu, \"paid_loads\": %d,\n"
+            "       \"free_moves\": %d,\n"
+            "       \"reconfigs_per_1k_jobs\": %.3f,\n"
+            "       \"reconfig_seconds\": %.6f,\n"
+            "       \"makespan_seconds\": %.6f,\n"
+            "       \"throughput_jobs_per_s\": %.6f,\n"
+            "       \"p50_wait_seconds\": %.6f,\n"
+            "       \"p99_wait_seconds\": %.6f}%s\n",
+            a.name.c_str(), a.boards, routePolicyName(a.route),
+            a.affine_routed, a.paid_loads, a.free_moves, a.loads_per_1k,
+            a.reconfig_s, a.makespan_s, a.throughput, a.p50_wait_s,
+            a.p99_wait_s, i + 1 < arms.size() ? "," : "");
+        out << buf;
+    }
+    out << "    ]\n  }";
+    return out.str();
+}
+
+/**
+ * Write the fleet summary. When `path` already holds a JSON object
+ * (normally bench_serve_lookahead's BENCH_serve.json), the "fleet"
+ * section is merged into it — replacing any previous fleet section —
+ * so both benches share one committed summary file. Otherwise the
+ * section is written standalone.
+ */
+void
+writeJson(const std::string &path, const std::string &fleet)
+{
+    std::string existing;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::stringstream buf;
+            buf << in.rdbuf();
+            existing = buf.str();
+        }
+    }
+    // Drop any previous fleet section, then the closing brace.
+    const std::string marker = ",\n  \"fleet\":";
+    const std::size_t at = existing.find(marker);
+    if (at != std::string::npos)
+        existing.erase(at);
+    while (!existing.empty() &&
+           (existing.back() == '\n' || existing.back() == ' '))
+        existing.pop_back();
+    if (!existing.empty() && existing.back() == '}')
+        existing.pop_back();
+    while (!existing.empty() &&
+           (existing.back() == '\n' || existing.back() == ' '))
+        existing.pop_back();
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "bench_fleet: cannot write %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    if (existing.empty())
+        out << "{\n  \"fleet\": " << fleet << "\n}\n";
+    else
+        out << existing << ",\n  \"fleet\": " << fleet << "\n}\n";
+}
+
+std::string
+outPath(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0)
+            return arg.substr(6);
+        if (arg == "--out" && i + 1 < argc)
+            return argv[++i];
+    }
+    return "BENCH_serve.json";
+}
+
+bool
+smokeMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--smoke")
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Fleet serving — bitstream-affinity vs least-loaded "
+                  "routing",
+                  "multi-board scaling of the §3.3 engine (tooling, "
+                  "not a paper figure)");
+
+    const bool smoke = smokeMode(argc, argv);
+    const std::string out = outPath(argc, argv);
+    const std::size_t num_jobs = smoke ? 24 : 192;
+    const std::size_t samples = smoke ? 80 : 160;
+    const std::size_t window = smoke ? 8 : 32;
+    const std::size_t board_capacity = smoke ? 2 : 8;
+
+    TrafficConfig traffic;
+    traffic.seed = 47;
+    traffic.jobs = num_jobs;
+    traffic.arrival = ArrivalProcess::Bursty;
+    traffic.mean_interarrival_s = 1.0;
+    traffic.tenants = defaultTenantMix();
+    const std::vector<TrafficJob> stream = generateTraffic(traffic);
+
+    std::vector<ArmResult> arms;
+    for (const std::size_t boards : {1u, 2u, 4u, 8u})
+        for (const RoutePolicy route :
+             {RoutePolicy::Affinity, RoutePolicy::LeastLoaded})
+            arms.push_back(runArm(stream, samples, boards, route,
+                                  window, board_capacity));
+
+    TextTable table({"Arm", "Affine", "Paid loads", "Loads/1k",
+                     "Reconfig (s)", "Makespan (s)", "Jobs/s",
+                     "p50 wait", "p99 wait"});
+    for (const ArmResult &a : arms) {
+        table.addRow({a.name, std::to_string(a.affine_routed),
+                      std::to_string(a.paid_loads),
+                      formatDouble(a.loads_per_1k, 1),
+                      formatDouble(a.reconfig_s, 2),
+                      formatDouble(a.makespan_s, 2),
+                      formatDouble(a.throughput, 4),
+                      formatDouble(a.p50_wait_s, 2),
+                      formatDouble(a.p99_wait_s, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("(logical time; per-job results are bit-identical "
+                "across arms by contract)\n");
+
+    writeJson(out, fleetJson(arms, num_jobs, window, smoke));
+    std::printf("JSON summary written to %s (fleet section)\n",
+                out.c_str());
+
+    int failures = 0;
+    for (const ArmResult &a : arms) {
+        const int diverged =
+            countResultDivergences(arms[0].report, a.report);
+        if (diverged != 0) {
+            std::fprintf(stderr,
+                         "FAIL: %s diverged from %s results on %d "
+                         "job(s)\n",
+                         a.name.c_str(), arms[0].name.c_str(),
+                         diverged);
+            ++failures;
+        }
+    }
+    const ArmResult *affinity4 = nullptr;
+    const ArmResult *least4 = nullptr;
+    for (const ArmResult &a : arms) {
+        if (a.boards == 4 && a.route == RoutePolicy::Affinity)
+            affinity4 = &a;
+        if (a.boards == 4 && a.route == RoutePolicy::LeastLoaded)
+            least4 = &a;
+    }
+    if (affinity4 == nullptr || least4 == nullptr) {
+        std::fprintf(stderr, "FAIL: missing 4-board arms\n");
+        return 1;
+    }
+    if (affinity4->loads_per_1k >= least4->loads_per_1k) {
+        std::fprintf(stderr,
+                     "FAIL: affinity loads/1k %.1f !< least-loaded "
+                     "%.1f at 4 boards\n",
+                     affinity4->loads_per_1k, least4->loads_per_1k);
+        ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+}

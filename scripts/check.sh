@@ -143,6 +143,32 @@ print("bench_serve_lookahead smoke: %d jobs, %d -> %d paid loads, "
 EOF
     rm -f "$serve_json"
 
+    # Fleet serving bench smoke: 1/2/4/8 boards under both routing
+    # policies on the thrashing two-tenant stream. The bench exits
+    # nonzero itself unless per-job results are bit-identical across
+    # all arms AND affinity routing strictly reduces paid loads per 1k
+    # jobs vs least-loaded at 4 boards.
+    echo "== bench_fleet smoke =="
+    fleet_json=$(mktemp /tmp/misam_bench_fleet.XXXXXX.json)
+    ./build/bench/bench_fleet --smoke --out="$fleet_json"
+    python3 - "$fleet_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)["fleet"]
+assert data["bench"] == "bench_fleet", data
+arms = {a["name"]: a for a in data["arms"]}
+assert len(arms) == 8, arms
+aff4 = arms["affinity-4"]
+ll4 = arms["least-loaded-4"]
+assert (aff4["reconfigs_per_1k_jobs"]
+        < ll4["reconfigs_per_1k_jobs"]), (aff4, ll4)
+print("bench_fleet smoke: %d jobs, affinity %.1f vs least-loaded %.1f "
+      "loads/1k at 4 boards, JSON ok"
+      % (data["jobs"], aff4["reconfigs_per_1k_jobs"],
+         ll4["reconfigs_per_1k_jobs"]))
+EOF
+    rm -f "$fleet_json"
+
     # Golden-trace suite under ASan: the trace emitters and the JSONL
     # sink touch raw buffers, so run the byte-stability suite with
     # memory checking on.
@@ -190,7 +216,7 @@ if have_sanitizer thread; then
     cmake -B build-tsan -S . -DMISAM_SANITIZE=thread \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-tsan -j --target test_parallel test_serve \
-          test_lookahead test_scheduler_kernels
+          test_lookahead test_fleet test_scheduler_kernels
     (cd build-tsan && ctest --output-on-failure -R '^Parallel')
     (cd build-tsan && ctest --output-on-failure -L serve)
     (cd build-tsan && ./tests/test_scheduler_kernels \

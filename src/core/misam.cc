@@ -287,6 +287,31 @@ MisamFramework::simulatePhase(ExecutionReport &report, const CsrMatrix &a,
         recordSimMetrics(*metrics_, report.sim);
 }
 
+void
+MisamFramework::extractJobFeatures(ExecutionReport &report,
+                                   const CsrMatrix &a,
+                                   const CsrMatrix &b) const
+{
+    Stopwatch sw;
+    report.features = extractFeaturesCached(a, b);
+    recordPhase(report.breakdown, Phase::Preprocess, sw.elapsedSeconds());
+}
+
+void
+MisamFramework::decideJob(ExecutionReport &report, double engine_amortization)
+{
+    requireTrained();
+    decidePhase(report, engine_amortization);
+}
+
+void
+MisamFramework::simulateJob(ExecutionReport &report, const CsrMatrix &a,
+                            const CsrMatrix &b, double repetitions)
+{
+    requireTrained();
+    simulatePhase(report, a, b, repetitions);
+}
+
 BatchReport
 MisamFramework::executeBatch(const std::vector<BatchJob> &jobs,
                              unsigned threads)

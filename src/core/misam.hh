@@ -233,6 +233,27 @@ class MisamFramework
                              unsigned threads, const BatchPlanHook &plan);
 
     /**
+     * Building blocks of executeBatch for external batch schedulers
+     * (the fleet router): extractJobFeatures() is the cached feature-
+     * extraction step (independent per job, safe to fan out across
+     * threads), decideJob() is the serial predict+decide step (mutates
+     * the engine's loaded-bitstream state, so calls must happen in
+     * admission order), and simulateJob() is the simulate step (engine
+     * state untouched, safe to call concurrently from board workers in
+     * any planned order after the decisions). Composed in that order
+     * they reproduce executeBatch's exact per-job results.
+     */
+    void extractJobFeatures(ExecutionReport &report, const CsrMatrix &a,
+                            const CsrMatrix &b) const;
+
+    /** See extractJobFeatures. Serial: advances the engine's chain. */
+    void decideJob(ExecutionReport &report, double engine_amortization);
+
+    /** See extractJobFeatures. Thread-safe once the job is decided. */
+    void simulateJob(ExecutionReport &report, const CsrMatrix &a,
+                     const CsrMatrix &b, double repetitions);
+
+    /**
      * Streaming execution (§3.3): A is split into row tiles of random
      * height in [tile_min, tile_max] (the paper streams 10k-50k tiles),
      * the engine re-decides per tile, and reconfiguration cost is paid

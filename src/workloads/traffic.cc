@@ -1,0 +1,160 @@
+#include "workloads/traffic.hh"
+
+#include "sparse/generate.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace misam {
+
+namespace {
+
+// Substream bases: job i draws from stream i; tenants and the arrival
+// clock live far above any realistic job count so streams never collide.
+constexpr std::uint64_t kTenantStreamBase = std::uint64_t(1) << 40;
+constexpr std::uint64_t kArrivalStream = std::uint64_t(1) << 41;
+
+// Diurnal rate multipliers over one synthetic day: night trough, morning
+// ramp, midday peak, evening ramp-down. Gaps divide by the rate.
+constexpr double kDiurnalRate[8] = {0.25, 0.5, 1.0, 2.0,
+                                    4.0,  2.0, 1.0, 0.5};
+
+double
+nextGap(const TrafficConfig &config, Rng &arr, std::size_t i,
+        std::size_t &burst_remaining)
+{
+    switch (config.arrival) {
+    case ArrivalProcess::Uniform:
+        return arr.uniform(0.0, 2.0 * config.mean_interarrival_s);
+    case ArrivalProcess::Bursty: {
+        if (burst_remaining == 0) {
+            // Idle gap, then a fresh burst of 1..2*burst_jobs jobs.
+            burst_remaining =
+                1 + std::size_t(arr.uniformInt(
+                        std::uint64_t(2 * config.burst_jobs)));
+            --burst_remaining;
+            return arr.uniform(0.5, 1.5) * config.mean_interarrival_s *
+                   config.burst_factor;
+        }
+        --burst_remaining;
+        return arr.uniform(
+            0.0, 2.0 * config.mean_interarrival_s / config.burst_factor);
+    }
+    case ArrivalProcess::Diurnal: {
+        const std::size_t period =
+            config.diurnal_period == 0 ? 1 : config.diurnal_period;
+        const std::size_t phase = i * 8 / period % 8;
+        return arr.uniform(
+            0.0, 2.0 * config.mean_interarrival_s / kDiurnalRate[phase]);
+    }
+    }
+    fatal("generateTraffic: unknown arrival process");
+}
+
+} // namespace
+
+const char *
+arrivalProcessName(ArrivalProcess process)
+{
+    switch (process) {
+    case ArrivalProcess::Uniform:
+        return "uniform";
+    case ArrivalProcess::Bursty:
+        return "bursty";
+    case ArrivalProcess::Diurnal:
+        return "diurnal";
+    }
+    return "?";
+}
+
+std::vector<TrafficTenant>
+defaultTenantMix()
+{
+    TrafficTenant spgemm;
+    spgemm.name = "spgemm";
+    spgemm.a_rows = 192;
+    spgemm.a_cols = 256;
+    spgemm.a_density = 0.015;
+    spgemm.b_cols = 192;
+    spgemm.b_density = 0.02;
+    spgemm.repetitions = 1e7;
+    spgemm.weight = 2;
+
+    TrafficTenant dnn;
+    dnn.name = "dnn";
+    dnn.a_rows = 192;
+    dnn.a_cols = 256;
+    dnn.a_density = 0.06;
+    dnn.b_cols = 96;
+    dnn.dense_b = true;
+    dnn.repetitions = 1e7;
+    dnn.weight = 1;
+
+    return {spgemm, dnn};
+}
+
+std::vector<TrafficJob>
+generateTraffic(const TrafficConfig &config)
+{
+    const std::vector<TrafficTenant> tenants =
+        config.tenants.empty() ? defaultTenantMix() : config.tenants;
+    std::size_t total_weight = 0;
+    for (const TrafficTenant &tenant : tenants)
+        total_weight += tenant.weight;
+    if (total_weight == 0)
+        fatal("generateTraffic: tenant mix has zero total weight");
+
+    // Deterministic weighted rotation: slot -> tenant index.
+    std::vector<std::size_t> rotation;
+    rotation.reserve(total_weight);
+    for (std::size_t t = 0; t < tenants.size(); ++t)
+        for (unsigned w = 0; w < tenants[t].weight; ++w)
+            rotation.push_back(t);
+
+    // One shared B operand per tenant, from the tenant's own substream.
+    std::vector<CsrMatrix> shared_b;
+    shared_b.reserve(tenants.size());
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        const TrafficTenant &tenant = tenants[t];
+        Rng rng(config.seed, kTenantStreamBase + t);
+        shared_b.push_back(tenant.dense_b
+                               ? generateDenseCsr(tenant.a_cols,
+                                                  tenant.b_cols, rng)
+                               : generateUniform(tenant.a_cols,
+                                                 tenant.b_cols,
+                                                 tenant.b_density, rng));
+    }
+
+    std::vector<TrafficJob> stream;
+    stream.reserve(config.jobs);
+    Rng arr(config.seed, kArrivalStream);
+    double clock_s = 0.0;
+    std::size_t burst_remaining = 0;
+    for (std::size_t i = 0; i < config.jobs; ++i) {
+        clock_s += nextGap(config, arr, i, burst_remaining);
+        const std::size_t t = rotation[i % total_weight];
+        const TrafficTenant &tenant = tenants[t];
+        Rng job_rng(config.seed, i);
+        TrafficJob out;
+        out.job.name = tenant.name + "/" + std::to_string(i);
+        out.job.a = generateUniform(tenant.a_rows, tenant.a_cols,
+                                    tenant.a_density, job_rng);
+        out.job.b = shared_b[t];
+        out.job.repetitions = tenant.repetitions;
+        out.arrival_s = clock_s;
+        out.tenant = t;
+        stream.push_back(std::move(out));
+    }
+    return stream;
+}
+
+std::vector<BatchJob>
+trafficBatch(const std::vector<TrafficJob> &stream)
+{
+    std::vector<BatchJob> jobs;
+    jobs.reserve(stream.size());
+    for (const TrafficJob &entry : stream)
+        jobs.push_back(entry.job);
+    return jobs;
+}
+
+} // namespace misam

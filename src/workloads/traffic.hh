@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Seeded synthetic serving traffic for the fleet router and benches.
+ *
+ * A traffic stream is a mixed-tenant job sequence with logical arrival
+ * times: each tenant owns a shared B operand (the multi-tenant weight
+ * matrix of §6.2) and a structural recipe for its A operands, and the
+ * arrival process models the regimes a serving fleet actually sees —
+ * uniform load, on/off bursts, and a diurnal rate curve. Everything is
+ * a pure function of the seed via Rng(seed, i) substreams: job i's
+ * operands never depend on how many jobs were generated before it, and
+ * arrival times come from one dedicated serial substream, so streams
+ * are byte-stable across hosts and thread counts.
+ */
+
+#ifndef MISAM_WORKLOADS_TRAFFIC_HH
+#define MISAM_WORKLOADS_TRAFFIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/misam.hh"
+#include "sparse/csr.hh"
+
+namespace misam {
+
+/** Arrival process shaping the logical interarrival gaps. */
+enum class ArrivalProcess {
+    Uniform, ///< i.i.d. uniform gaps around the mean.
+    Bursty,  ///< on/off: dense in-burst gaps separated by long idles.
+    Diurnal, ///< rate follows a fixed 8-phase day curve.
+};
+
+/** Stable name ("uniform" / "bursty" / "diurnal"). */
+const char *arrivalProcessName(ArrivalProcess process);
+
+/** One tenant's workload recipe. */
+struct TrafficTenant
+{
+    std::string name = "tenant";
+    Index a_rows = 192;       ///< Per-job A operand shape.
+    Index a_cols = 256;
+    double a_density = 0.02;
+    Index b_cols = 192;       ///< Shared B operand (one per tenant).
+    double b_density = 0.02;
+    bool dense_b = false;     ///< Dense B: the §6.2 DNN tenant.
+    double repetitions = 1.0; ///< Executions each job stands for.
+    unsigned weight = 1;      ///< Share of the deterministic rotation.
+};
+
+/** Knobs of the traffic generator. */
+struct TrafficConfig
+{
+    std::uint64_t seed = 1;
+    std::size_t jobs = 128;
+    ArrivalProcess arrival = ArrivalProcess::Uniform;
+    double mean_interarrival_s = 1.0;
+    double burst_factor = 8.0;   ///< Bursty: idle gap multiplier and
+                                 ///< in-burst rate divisor.
+    std::size_t burst_jobs = 16; ///< Bursty: mean jobs per burst.
+    std::size_t diurnal_period = 64; ///< Diurnal: jobs per synthetic day.
+    /** Tenant mix; empty selects defaultTenantMix(). */
+    std::vector<TrafficTenant> tenants;
+};
+
+/** One generated job with its logical arrival time. */
+struct TrafficJob
+{
+    BatchJob job;
+    double arrival_s = 0.0;
+    std::size_t tenant = 0;
+};
+
+/**
+ * The two-tenant thrashing mix the fleet benches route: a sparse SpGEMM
+ * tenant (weight 2) interleaved with a dense-B DNN tenant (weight 1),
+ * so consecutive jobs alternate predicted-best designs — worst case for
+ * a single board, best case for affinity routing.
+ */
+std::vector<TrafficTenant> defaultTenantMix();
+
+/**
+ * Generate `config.jobs` jobs. Tenants rotate deterministically by
+ * cumulative weight (weights {2, 1} put every third job on tenant 1);
+ * arrival times are nondecreasing and start after the first gap.
+ */
+std::vector<TrafficJob> generateTraffic(const TrafficConfig &config);
+
+/** Strip arrivals: the plain BatchJob stream, in arrival order. */
+std::vector<BatchJob> trafficBatch(const std::vector<TrafficJob> &stream);
+
+} // namespace misam
+
+#endif // MISAM_WORKLOADS_TRAFFIC_HH

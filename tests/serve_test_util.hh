@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Shared fixtures for the serving-layer test suites (test_serve,
+ * test_lookahead, test_fleet): one trained-framework fixture and the
+ * seeded job-stream builders the suites previously each re-declared
+ * inline, plus the bit-identity result matcher. Streams are pure
+ * functions of their hard-coded seeds, so every suite pins against the
+ * same jobs.
+ */
+
+#ifndef MISAM_TESTS_SERVE_TEST_UTIL_HH
+#define MISAM_TESTS_SERVE_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/misam.hh"
+#include "sparse/generate.hh"
+#include "util/random.hh"
+#include "workloads/training_data.hh"
+
+namespace misam::serve_test {
+
+/**
+ * Shared trained-framework fixture: training on the 120-sample seed-33
+ * set is the expensive part, so the sample set is generated once per
+ * fixture class (refcounted — a binary may host several derived
+ * fixtures). Derive and use freshFramework() for an independent engine
+ * chain per test.
+ */
+class ServeFixture : public testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        if (suite_refs_++ == 0)
+            samples_ =
+                new std::vector<TrainingSample>(generateTrainingSamples(
+                    {.num_samples = 120, .seed = 33, .max_dim = 512}));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        if (--suite_refs_ == 0) {
+            delete samples_;
+            samples_ = nullptr;
+        }
+    }
+
+    /** A fresh framework trained on the shared samples. */
+    static MisamFramework
+    freshFramework()
+    {
+        MisamFramework misam;
+        misam.train(*samples_);
+        return misam;
+    }
+
+    static inline std::vector<TrainingSample> *samples_ = nullptr;
+    static inline int suite_refs_ = 0;
+};
+
+/** Shared-B workload: one weight matrix times `n` activation tiles. */
+inline std::vector<BatchJob>
+sharedBJobs(std::size_t n)
+{
+    Rng rng(99);
+    const CsrMatrix b = generateUniform(256, 256, 0.04, rng);
+    std::vector<BatchJob> jobs;
+    for (std::size_t i = 0; i < n; ++i) {
+        BatchJob job;
+        job.name = "tile" + std::to_string(i);
+        job.a = generateUniform(128, 256, 0.03, rng);
+        job.b = b;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+/** A mixed job stream: varied shapes/densities so the selector's
+ *  choices (and hence any planner's groups) vary across jobs. */
+inline std::vector<BatchJob>
+mixedJobs(std::size_t n)
+{
+    Rng rng(171);
+    std::vector<BatchJob> jobs;
+    for (std::size_t i = 0; i < n; ++i) {
+        BatchJob job;
+        job.name = "job" + std::to_string(i);
+        const Index rows = 64 + 32 * static_cast<Index>(i % 5);
+        const double density = (i % 2 == 0) ? 0.02 : 0.15;
+        job.a = generateUniform(rows, 128, density, rng);
+        job.b = generateUniform(128, 96, 0.05, rng);
+        job.repetitions = (i % 3 == 0) ? 40.0 : 1.0;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+/** Result fields that must be bit-identical across paths. */
+inline void
+expectSameResults(const std::vector<ExecutionReport> &x,
+                  const std::vector<ExecutionReport> &y)
+{
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(x[i].name, y[i].name);
+        EXPECT_EQ(0, std::memcmp(x[i].features.values.data(),
+                                 y[i].features.values.data(),
+                                 sizeof(double) * kNumFeatures));
+        EXPECT_EQ(x[i].predicted, y[i].predicted);
+        EXPECT_EQ(x[i].decision.chosen, y[i].decision.chosen);
+        EXPECT_EQ(x[i].decision.reconfigure, y[i].decision.reconfigure);
+        EXPECT_EQ(x[i].decision.free_switch, y[i].decision.free_switch);
+        EXPECT_EQ(x[i].sim.total_cycles, y[i].sim.total_cycles);
+        EXPECT_EQ(x[i].sim.exec_seconds, y[i].sim.exec_seconds);
+        EXPECT_EQ(x[i].repetitions, y[i].repetitions);
+    }
+}
+
+} // namespace misam::serve_test
+
+#endif // MISAM_TESTS_SERVE_TEST_UTIL_HH

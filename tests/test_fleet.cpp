@@ -1,0 +1,732 @@
+/**
+ * @file
+ * Fleet-serving tests: planFleetWindow's deterministic affinity /
+ * least-loaded placement, the FleetRouter's shutdown and settlement
+ * invariants under randomized traffic (boards x gather x shutdown
+ * mode), single-board equivalence with MisamServer, placement
+ * determinism across thread counts, and the fleet.* metrics/trace
+ * surface. The per-job bit-identity assertions are the fleet's core
+ * contract: the decision chain is global in admission order, so
+ * results never depend on placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/misam.hh"
+#include "reconfig/bitstream.hh"
+#include "serve/fleet.hh"
+#include "serve/server.hh"
+#include "sparse/generate.hh"
+#include "util/metrics.hh"
+#include "workloads/traffic.hh"
+#include "workloads/training_data.hh"
+
+#include "serve_test_util.hh"
+
+namespace misam {
+namespace {
+
+ReconfigDecision
+chainDecision(DesignId chosen)
+{
+    ReconfigDecision d;
+    d.chosen = chosen;
+    return d;
+}
+
+// --------------------------------------------------------------------
+// planFleetWindow (pure routing) unit tests
+// --------------------------------------------------------------------
+
+TEST(FleetPlan, AffinityRoutesToResidentBoards)
+{
+    const ReconfigTimeModel tm;
+    std::vector<BoardState> boards = {{DesignId::D1, 0.0},
+                                      {DesignId::D4, 0.0}};
+    const std::vector<ReconfigDecision> decisions = {
+        chainDecision(DesignId::D4), chainDecision(DesignId::D1),
+        chainDecision(DesignId::D4), chainDecision(DesignId::D1)};
+    const std::vector<double> est(4, 1.0);
+    const std::vector<double> arr(4, 0.0);
+
+    const FleetWindowPlan plan = planFleetWindow(
+        decisions, est, arr, RoutePolicy::Affinity, tm, 8, boards);
+
+    // A thrashing D4/D1 stream lands cleanly on the two specialized
+    // boards: zero loads paid anywhere.
+    EXPECT_EQ(plan.routes[0].board, 1u);
+    EXPECT_EQ(plan.routes[1].board, 0u);
+    EXPECT_EQ(plan.routes[2].board, 1u);
+    EXPECT_EQ(plan.routes[3].board, 0u);
+    for (const RouteChoice &route : plan.routes) {
+        EXPECT_TRUE(route.affine);
+        EXPECT_EQ(route.switch_s, 0.0);
+    }
+    EXPECT_EQ(plan.affine_routed, 4u);
+    EXPECT_EQ(plan.fallback_routed, 0u);
+    EXPECT_EQ(plan.paid_loads, 0);
+    EXPECT_EQ(boards[0].resident, DesignId::D1);
+    EXPECT_EQ(boards[1].resident, DesignId::D4);
+    EXPECT_EQ(boards[0].ready_s, 2.0);
+    EXPECT_EQ(boards[1].ready_s, 2.0);
+}
+
+TEST(FleetPlan, SharedBitstreamIsAFreeMove)
+{
+    // D2 and D3 share a bitstream: a D2-resident board takes a D3 job
+    // affinely, and the move is counted as free, not paid.
+    const ReconfigTimeModel tm;
+    ASSERT_EQ(tm.switchSeconds(DesignId::D2, DesignId::D3), 0.0);
+    std::vector<BoardState> boards = {{DesignId::D2, 0.0}};
+    const std::vector<ReconfigDecision> decisions = {
+        chainDecision(DesignId::D3)};
+    const FleetWindowPlan plan =
+        planFleetWindow(decisions, {1.0}, {0.0}, RoutePolicy::Affinity,
+                        tm, 8, boards);
+    EXPECT_TRUE(plan.routes[0].affine);
+    EXPECT_EQ(plan.paid_loads, 0);
+    EXPECT_EQ(plan.free_moves, 1);
+    EXPECT_EQ(plan.board_free_moves[0], 1);
+    EXPECT_EQ(boards[0].resident, DesignId::D3);
+}
+
+TEST(FleetPlan, FallbackPaysTheCheapestSwitch)
+{
+    const ReconfigTimeModel tm;
+    const double from_d1 = tm.switchSeconds(DesignId::D1, DesignId::D4);
+    const double from_d2 = tm.switchSeconds(DesignId::D2, DesignId::D4);
+    ASSERT_GT(from_d1, 0.0);
+    ASSERT_GT(from_d2, 0.0);
+    std::vector<BoardState> boards = {{DesignId::D1, 0.0},
+                                      {DesignId::D2, 0.0}};
+    const std::vector<ReconfigDecision> decisions = {
+        chainDecision(DesignId::D4)};
+    const FleetWindowPlan plan =
+        planFleetWindow(decisions, {1.0}, {0.0}, RoutePolicy::Affinity,
+                        tm, 8, boards);
+    const std::size_t cheaper = from_d1 <= from_d2 ? 0u : 1u;
+    EXPECT_EQ(plan.routes[0].board, cheaper);
+    EXPECT_FALSE(plan.routes[0].affine);
+    EXPECT_EQ(plan.fallback_routed, 1u);
+    EXPECT_EQ(plan.paid_loads, 1);
+    EXPECT_GT(plan.paid_reconfig_s, 0.0);
+}
+
+TEST(FleetPlan, AffinitySpillsWhenTheAffineBoardIsFull)
+{
+    // Window capacity 1: the second D1 job cannot join board 0, so it
+    // spills to board 1 and pays the D4 -> D1 load.
+    const ReconfigTimeModel tm;
+    std::vector<BoardState> boards = {{DesignId::D1, 0.0},
+                                      {DesignId::D4, 0.0}};
+    const std::vector<ReconfigDecision> decisions = {
+        chainDecision(DesignId::D1), chainDecision(DesignId::D1)};
+    const FleetWindowPlan plan = planFleetWindow(
+        decisions, {1.0, 1.0}, {0.0, 0.0}, RoutePolicy::Affinity, tm, 1,
+        boards);
+    EXPECT_EQ(plan.routes[0].board, 0u);
+    EXPECT_TRUE(plan.routes[0].affine);
+    EXPECT_EQ(plan.routes[1].board, 1u);
+    EXPECT_FALSE(plan.routes[1].affine);
+    EXPECT_EQ(plan.paid_loads, 1);
+}
+
+TEST(FleetPlan, LeastLoadedIgnoresAffinity)
+{
+    const ReconfigTimeModel tm;
+    const std::vector<ReconfigDecision> decisions = {
+        chainDecision(DesignId::D1)};
+    {
+        std::vector<BoardState> boards = {{DesignId::D1, 5.0},
+                                          {DesignId::D4, 0.0}};
+        const FleetWindowPlan plan = planFleetWindow(
+            decisions, {1.0}, {0.0}, RoutePolicy::LeastLoaded, tm, 8,
+            boards);
+        EXPECT_EQ(plan.routes[0].board, 1u);
+        EXPECT_FALSE(plan.routes[0].affine);
+    }
+    {
+        std::vector<BoardState> boards = {{DesignId::D1, 5.0},
+                                          {DesignId::D4, 0.0}};
+        const FleetWindowPlan plan = planFleetWindow(
+            decisions, {1.0}, {0.0}, RoutePolicy::Affinity, tm, 8,
+            boards);
+        EXPECT_EQ(plan.routes[0].board, 0u);
+        EXPECT_TRUE(plan.routes[0].affine);
+    }
+}
+
+TEST(FleetPlan, CapacityOverflowStillRoutesEverything)
+{
+    // One board, capacity 2, five jobs: nothing is ever dropped — the
+    // window overflows the soft capacity instead.
+    const ReconfigTimeModel tm;
+    std::vector<BoardState> boards = {{DesignId::D1, 0.0}};
+    std::vector<ReconfigDecision> decisions(5,
+                                            chainDecision(DesignId::D1));
+    const FleetWindowPlan plan = planFleetWindow(
+        decisions, std::vector<double>(5, 1.0),
+        std::vector<double>(5, 0.0), RoutePolicy::Affinity, tm, 2,
+        boards);
+    EXPECT_EQ(plan.board_jobs[0].size(), 5u);
+    EXPECT_EQ(plan.affine_routed + plan.fallback_routed, 5u);
+}
+
+TEST(FleetPlan, TieBreaksTowardTheLowestBoardId)
+{
+    const ReconfigTimeModel tm;
+    std::vector<BoardState> boards = {{DesignId::D1, 0.0},
+                                      {DesignId::D1, 0.0}};
+    const std::vector<ReconfigDecision> decisions = {
+        chainDecision(DesignId::D1)};
+    for (const RoutePolicy policy :
+         {RoutePolicy::Affinity, RoutePolicy::LeastLoaded}) {
+        std::vector<BoardState> state = boards;
+        const FleetWindowPlan plan = planFleetWindow(
+            decisions, {1.0}, {0.0}, policy, tm, 8, state);
+        EXPECT_EQ(plan.routes[0].board, 0u) << routePolicyName(policy);
+    }
+}
+
+TEST(FleetPlan, ArrivalGapsLeaveTheBoardIdle)
+{
+    // A job arriving after the board drains starts at its arrival, not
+    // at the board's ready time.
+    const ReconfigTimeModel tm;
+    std::vector<BoardState> boards = {{DesignId::D1, 0.0}};
+    const std::vector<ReconfigDecision> decisions = {
+        chainDecision(DesignId::D1), chainDecision(DesignId::D1)};
+    const FleetWindowPlan plan = planFleetWindow(
+        decisions, {1.0, 1.0}, {0.0, 10.0}, RoutePolicy::Affinity, tm, 8,
+        boards);
+    EXPECT_EQ(boards[0].ready_s, 11.0);
+    (void)plan;
+}
+
+TEST(FleetWait, PercentileInterpolatesBetweenRanks)
+{
+    EXPECT_EQ(waitPercentileSeconds({}, 50.0), 0.0);
+    EXPECT_EQ(waitPercentileSeconds({3.0}, 99.0), 3.0);
+    const std::vector<double> waits = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_EQ(waitPercentileSeconds(waits, 0.0), 1.0);
+    EXPECT_EQ(waitPercentileSeconds(waits, 100.0), 4.0);
+    EXPECT_EQ(waitPercentileSeconds(waits, 50.0), 2.5);
+}
+
+// --------------------------------------------------------------------
+// traffic generator
+// --------------------------------------------------------------------
+
+TEST(Traffic, DeterministicAndNondecreasing)
+{
+    TrafficConfig config;
+    config.seed = 5;
+    config.jobs = 24;
+    config.arrival = ArrivalProcess::Bursty;
+    const std::vector<TrafficJob> a = generateTraffic(config);
+    const std::vector<TrafficJob> b = generateTraffic(config);
+    ASSERT_EQ(a.size(), 24u);
+    double prev = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].job.name, b[i].job.name);
+        EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+        EXPECT_EQ(a[i].job.a.nnz(), b[i].job.a.nnz());
+        EXPECT_GE(a[i].arrival_s, prev);
+        prev = a[i].arrival_s;
+    }
+}
+
+TEST(Traffic, WeightedRotationPutsEveryThirdJobOnTenantOne)
+{
+    // The default mix weights {2, 1}: jobs 0,1 -> tenant 0, job 2 ->
+    // tenant 1, repeating — the §6.2 time-division pattern.
+    TrafficConfig config;
+    config.jobs = 9;
+    const std::vector<TrafficJob> stream = generateTraffic(config);
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        EXPECT_EQ(stream[i].tenant, i % 3 == 2 ? 1u : 0u) << i;
+}
+
+TEST(Traffic, TenantsShareTheirBOperand)
+{
+    TrafficConfig config;
+    config.jobs = 6;
+    const std::vector<TrafficJob> stream = generateTraffic(config);
+    // Jobs 0 and 1 are the same tenant: identical B.
+    EXPECT_EQ(stream[0].job.b.nnz(), stream[1].job.b.nnz());
+    EXPECT_EQ(stream[0].job.b.values(), stream[1].job.b.values());
+}
+
+// --------------------------------------------------------------------
+// FleetRouter integration (trained framework)
+// --------------------------------------------------------------------
+
+/** Shared trained framework + job streams: tests/serve_test_util.hh. */
+class FleetTest : public serve_test::ServeFixture
+{
+  protected:
+    /** Small/fast two-tenant mix for router tests. */
+    static std::vector<TrafficTenant>
+    testMix()
+    {
+        TrafficTenant sparse;
+        sparse.name = "sparse";
+        sparse.a_rows = 96;
+        sparse.a_cols = 128;
+        sparse.a_density = 0.02;
+        sparse.b_cols = 96;
+        sparse.b_density = 0.05;
+        sparse.repetitions = 30.0;
+        sparse.weight = 2;
+
+        TrafficTenant dense;
+        dense.name = "dense";
+        dense.a_rows = 96;
+        dense.a_cols = 128;
+        dense.a_density = 0.1;
+        dense.b_cols = 64;
+        dense.dense_b = true;
+        dense.weight = 1;
+        return {sparse, dense};
+    }
+
+    static std::vector<TrafficJob>
+    testTraffic(std::uint64_t seed, std::size_t jobs,
+                ArrivalProcess arrival)
+    {
+        TrafficConfig config;
+        config.seed = seed;
+        config.jobs = jobs;
+        config.arrival = arrival;
+        config.mean_interarrival_s = 0.01;
+        config.tenants = testMix();
+        return generateTraffic(config);
+    }
+
+    /** A framework sharing `trained`'s models with a fresh chain —
+     *  restore() skips the expensive re-training. */
+    static MisamFramework
+    cloneFramework(const MisamFramework &trained)
+    {
+        MisamFramework misam;
+        misam.restore(trained.selector(),
+                      trained.engine().latencyModel(), DesignId::D1);
+        return misam;
+    }
+
+    /** Bit-exact comparison of a completed job against the serial
+     *  global-chain truth for the same admission stream. */
+    static void
+    expectMatchesTruth(const ExecutionReport &job,
+                       const ExecutionReport &truth)
+    {
+        EXPECT_EQ(0, std::memcmp(job.features.values.data(),
+                                 truth.features.values.data(),
+                                 sizeof(double) * kNumFeatures));
+        EXPECT_EQ(job.predicted, truth.predicted);
+        EXPECT_EQ(job.decision.chosen, truth.decision.chosen);
+        EXPECT_EQ(job.decision.reconfigure, truth.decision.reconfigure);
+        EXPECT_EQ(job.decision.free_switch, truth.decision.free_switch);
+        EXPECT_EQ(job.sim.total_cycles, truth.sim.total_cycles);
+        EXPECT_EQ(job.sim.exec_seconds, truth.sim.exec_seconds);
+        EXPECT_EQ(job.repetitions, truth.repetitions);
+    }
+};
+
+TEST_F(FleetTest, StressInvariantsAcrossFleetShapes)
+{
+    // The fleet stress matrix: boards x gather x shutdown mode over a
+    // seeded bursty stream. Every combination must settle every
+    // admitted job exactly once, and every completed job must carry
+    // the serial global-chain result for its admission slot — placement
+    // may differ run to run without gather, results never.
+    const std::vector<TrafficJob> stream =
+        testTraffic(7, 36, ArrivalProcess::Bursty);
+    MisamFramework trained = freshFramework();
+    BatchReport truth;
+    {
+        MisamFramework serial = cloneFramework(trained);
+        truth = serial.executeBatch(trafficBatch(stream), 1);
+    }
+    std::map<std::string, const ExecutionReport *> truth_by_name;
+    for (const ExecutionReport &job : truth.jobs)
+        truth_by_name[job.name] = &job;
+
+    enum class Shutdown { Drain, StopDrain, StopAbandon };
+    for (const std::size_t boards : {1u, 2u, 4u, 8u}) {
+        for (const bool gather : {false, true}) {
+            for (const Shutdown mode : {Shutdown::Drain,
+                                        Shutdown::StopDrain,
+                                        Shutdown::StopAbandon}) {
+                SCOPED_TRACE(testing::Message()
+                             << "boards=" << boards
+                             << " gather=" << gather
+                             << " mode=" << int(mode));
+                MisamFramework misam = cloneFramework(trained);
+                FleetConfig config;
+                config.boards = boards;
+                config.window = 8;
+                config.queue_capacity = 16;
+                config.board_capacity = 4;
+                config.gather = gather;
+                config.threads = boards % 2 == 0 ? 4 : 0;
+                FleetRouter fleet(misam, config);
+                for (const TrafficJob &tj : stream)
+                    (void)fleet.submit(tj.job, tj.arrival_s);
+                switch (mode) {
+                case Shutdown::Drain:
+                    fleet.drain();
+                    fleet.stop(true);
+                    break;
+                case Shutdown::StopDrain:
+                    fleet.stop(true);
+                    break;
+                case Shutdown::StopAbandon:
+                    fleet.stop(false);
+                    break;
+                }
+
+                const auto rejected = fleet.rejected();
+                EXPECT_EQ(fleet.admitted(), stream.size());
+                // Fleet-wide settlement: nothing dropped, nothing
+                // double-counted.
+                EXPECT_EQ(fleet.completed() + rejected.size(),
+                          fleet.admitted());
+                if (mode != Shutdown::StopAbandon) {
+                    EXPECT_TRUE(rejected.empty());
+                }
+
+                // Per-board settlement.
+                std::size_t routed = 0;
+                std::size_t router_rejected = 0;
+                for (const auto &reject : rejected)
+                    if (reject.board == FleetRouter::kRouterRejected)
+                        ++router_rejected;
+                const auto totals = fleet.boardTotals();
+                ASSERT_EQ(totals.size(), boards);
+                for (const auto &board : totals) {
+                    EXPECT_EQ(board.routed,
+                              board.completed + board.rejected);
+                    routed += board.routed;
+                }
+                EXPECT_EQ(routed + router_rejected, fleet.admitted());
+
+                // No job settled twice; every completed job matches
+                // the serial truth bit for bit.
+                const BatchReport report = fleet.report();
+                EXPECT_EQ(report.jobs.size(), fleet.completed());
+                EXPECT_EQ(fleet.placements().size(), report.jobs.size());
+                std::set<std::string> seen;
+                for (const ExecutionReport &job : report.jobs) {
+                    EXPECT_TRUE(seen.insert(job.name).second)
+                        << job.name;
+                    const auto it = truth_by_name.find(job.name);
+                    ASSERT_NE(it, truth_by_name.end()) << job.name;
+                    expectMatchesTruth(job, *it->second);
+                }
+                for (const auto &reject : rejected) {
+                    EXPECT_EQ(truth_by_name.count(reject.name), 1u);
+                    EXPECT_EQ(seen.count(reject.name), 0u);
+                    EXPECT_LT(reject.index, fleet.admitted());
+                }
+            }
+        }
+    }
+}
+
+TEST_F(FleetTest, ResultsBitIdenticalAcrossPoliciesBoardsAndThreads)
+{
+    // The acceptance contract of the fleet: per-job results are a pure
+    // function of the admission order — routing policy, board count,
+    // and thread count are physically invisible to them.
+    const std::vector<TrafficJob> stream =
+        testTraffic(11, 24, ArrivalProcess::Diurnal);
+    MisamFramework trained = freshFramework();
+    BatchReport truth;
+    {
+        MisamFramework serial = cloneFramework(trained);
+        truth = serial.executeBatch(trafficBatch(stream), 1);
+    }
+    for (const RoutePolicy policy :
+         {RoutePolicy::Affinity, RoutePolicy::LeastLoaded}) {
+        for (const std::size_t boards : {2u, 4u}) {
+            for (const unsigned threads : {1u, 4u}) {
+                SCOPED_TRACE(testing::Message()
+                             << routePolicyName(policy)
+                             << " boards=" << boards
+                             << " threads=" << threads);
+                MisamFramework misam = cloneFramework(trained);
+                FleetConfig config;
+                config.boards = boards;
+                config.route = policy;
+                config.window = 6;
+                config.queue_capacity = 24;
+                config.board_capacity = 3;
+                config.gather = true;
+                config.threads = threads;
+                FleetRouter fleet(misam, config);
+                for (const TrafficJob &tj : stream)
+                    (void)fleet.submit(tj.job, tj.arrival_s);
+                fleet.drain();
+                const BatchReport report = fleet.report();
+                serve_test::expectSameResults(truth.jobs, report.jobs);
+            }
+        }
+    }
+}
+
+TEST_F(FleetTest, SingleBoardFleetMatchesMisamServer)
+{
+    // N=1 equivalence across three seeded workloads: the fleet router
+    // degenerates to exactly MisamServer — same per-job bytes, same
+    // totals — under both server scheduling policies.
+    MisamFramework trained = freshFramework();
+    struct Workload
+    {
+        const char *name;
+        std::vector<BatchJob> jobs;
+    };
+    const std::vector<Workload> workloads = {
+        {"traffic", trafficBatch(
+                        testTraffic(7, 18, ArrivalProcess::Uniform))},
+        {"mixed", serve_test::mixedJobs(18)},
+        {"sharedB", serve_test::sharedBJobs(14)},
+    };
+    for (const Workload &workload : workloads) {
+        for (const SchedulePolicy policy :
+             {SchedulePolicy::AdmissionOrder, SchedulePolicy::Lookahead}) {
+            SCOPED_TRACE(testing::Message()
+                         << workload.name << " "
+                         << schedulePolicyName(policy));
+            MisamFramework server_fw = cloneFramework(trained);
+            ServeConfig server_config;
+            server_config.queue_capacity = 8;
+            server_config.window = 5;
+            server_config.threads = 2;
+            server_config.schedule = policy;
+            server_config.gather = true;
+            MisamServer server(server_fw, server_config);
+            const BatchReport server_report =
+                server.serveAll(workload.jobs);
+
+            MisamFramework fleet_fw = cloneFramework(trained);
+            FleetConfig fleet_config;
+            fleet_config.boards = 1;
+            fleet_config.queue_capacity = 8;
+            fleet_config.window = 5;
+            fleet_config.board_capacity = 0; // Unbounded: one board.
+            fleet_config.threads = 2;
+            fleet_config.gather = true;
+            FleetRouter fleet(fleet_fw, fleet_config);
+            const BatchReport fleet_report =
+                fleet.serveAll(workload.jobs);
+
+            serve_test::expectSameResults(server_report.jobs,
+                                          fleet_report.jobs);
+            EXPECT_DOUBLE_EQ(server_report.total_execute_s,
+                             fleet_report.total_execute_s);
+            EXPECT_DOUBLE_EQ(server_report.total_reconfig_s,
+                             fleet_report.total_reconfig_s);
+            EXPECT_EQ(server_report.reconfigurations,
+                      fleet_report.reconfigurations);
+            EXPECT_EQ(server_report.free_switches,
+                      fleet_report.free_switches);
+
+            // And with one board the physical accounting agrees with
+            // the server's lookahead scheduler too.
+            if (policy == SchedulePolicy::Lookahead) {
+                const auto totals = fleet.boardTotals();
+                ASSERT_EQ(totals.size(), 1u);
+                EXPECT_EQ(totals[0].paid_loads,
+                          server.scheduleStats().paid_loads);
+            }
+        }
+    }
+}
+
+TEST_F(FleetTest, GatherPlacementsDeterministicAcrossThreads)
+{
+    // Under gather the window boundaries are pinned, so the *entire*
+    // fleet outcome — placements, waits, board totals, makespan — is a
+    // pure function of the stream, for any thread count.
+    const std::vector<TrafficJob> stream =
+        testTraffic(171, 24, ArrivalProcess::Diurnal);
+    MisamFramework trained = freshFramework();
+    const auto run = [&](unsigned threads) {
+        MisamFramework misam = cloneFramework(trained);
+        FleetConfig config;
+        config.boards = 4;
+        config.window = 6;
+        config.queue_capacity = 24;
+        config.board_capacity = 3;
+        config.gather = true;
+        config.threads = threads;
+        FleetRouter fleet(misam, config);
+        for (const TrafficJob &tj : stream)
+            (void)fleet.submit(tj.job, tj.arrival_s);
+        fleet.drain();
+        return std::make_tuple(fleet.placements(), fleet.boardTotals(),
+                               fleet.makespanSeconds());
+    };
+    const auto [p1, t1, m1] = run(1);
+    const auto [p3, t3, m3] = run(3);
+    EXPECT_EQ(m1, m3);
+    ASSERT_EQ(p1.size(), p3.size());
+    for (std::size_t i = 0; i < p1.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(p1[i].board, p3[i].board);
+        EXPECT_EQ(p1[i].affine, p3[i].affine);
+        EXPECT_EQ(p1[i].arrival_s, p3[i].arrival_s);
+        EXPECT_EQ(p1[i].start_s, p3[i].start_s);
+        EXPECT_EQ(p1[i].wait_s, p3[i].wait_s);
+        EXPECT_EQ(p1[i].finish_s, p3[i].finish_s);
+    }
+    ASSERT_EQ(t1.size(), t3.size());
+    for (std::size_t b = 0; b < t1.size(); ++b) {
+        SCOPED_TRACE(b);
+        EXPECT_EQ(t1[b].routed, t3[b].routed);
+        EXPECT_EQ(t1[b].paid_loads, t3[b].paid_loads);
+        EXPECT_EQ(t1[b].free_moves, t3[b].free_moves);
+        EXPECT_EQ(t1[b].busy_s, t3[b].busy_s);
+        EXPECT_EQ(t1[b].finish_s, t3[b].finish_s);
+        EXPECT_EQ(t1[b].resident, t3[b].resident);
+    }
+}
+
+TEST_F(FleetTest, MetricsCountersAndRouteTrace)
+{
+    const std::vector<TrafficJob> stream =
+        testTraffic(99, 12, ArrivalProcess::Uniform);
+    MisamFramework misam = freshFramework();
+    MetricsRegistry registry;
+    std::ostringstream out;
+    MetricsSink sink(out);
+    FleetConfig config;
+    config.boards = 2;
+    config.window = 4;
+    config.queue_capacity = 12;
+    config.board_capacity = 2;
+    config.gather = true;
+    FleetRouter fleet(misam, config);
+    fleet.setMetrics(&registry);
+    fleet.setTraceSink(&sink);
+    for (const TrafficJob &tj : stream)
+        (void)fleet.submit(tj.job, tj.arrival_s);
+    fleet.drain();
+    fleet.stop(true);
+
+    EXPECT_EQ(registry.counterValue("fleet.admitted"), 12u);
+    EXPECT_EQ(registry.counterValue("fleet.completed"), 12u);
+    EXPECT_EQ(registry.counterValue("fleet.rejected"), 0u);
+    EXPECT_EQ(registry.counterValue("fleet.windows"), 3u);
+    EXPECT_EQ(registry.counterValue("fleet.routed_affine") +
+                  registry.counterValue("fleet.routed_fallback"),
+              12u);
+    EXPECT_EQ(registry.gaugeValue("fleet.boards"), 2.0);
+    int paid = 0;
+    int free_moves = 0;
+    for (const auto &board : fleet.boardTotals()) {
+        paid += board.paid_loads;
+        free_moves += board.free_moves;
+    }
+    EXPECT_EQ(registry.counterValue("fleet.paid_loads"),
+              std::uint64_t(paid));
+    EXPECT_EQ(registry.counterValue("fleet.free_moves"),
+              std::uint64_t(free_moves));
+
+    // One fleet.route event per job; one fleet.board event per board
+    // per window that touched it.
+    std::size_t route_events = 0;
+    std::size_t board_events = 0;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.find("\"ev\":\"fleet.route\"") != std::string::npos)
+            ++route_events;
+        if (line.find("\"ev\":\"fleet.board\"") != std::string::npos)
+            ++board_events;
+    }
+    EXPECT_EQ(route_events, 12u);
+    EXPECT_GE(board_events, 3u);
+}
+
+TEST_F(FleetTest, StopWithoutDrainRejectsTheGatheredTail)
+{
+    // Gather holds a partial tail below the window size; stop(false)
+    // must settle it as router rejections with the sentinel board id.
+    const std::vector<TrafficJob> stream =
+        testTraffic(13, 10, ArrivalProcess::Uniform);
+    MisamFramework misam = freshFramework();
+    FleetConfig config;
+    config.boards = 2;
+    config.window = 8;
+    config.queue_capacity = 16;
+    config.gather = true;
+    FleetRouter fleet(misam, config);
+    for (const TrafficJob &tj : stream)
+        (void)fleet.submit(tj.job, tj.arrival_s);
+    fleet.stop(false);
+
+    const auto rejected = fleet.rejected();
+    EXPECT_EQ(fleet.completed() + rejected.size(), 10u);
+    // Jobs 8 and 9 never reached a full window: guaranteed rejected,
+    // at the router, in admission order at the tail of the list.
+    ASSERT_GE(rejected.size(), 2u);
+    EXPECT_EQ(rejected.back().index, 9u);
+    EXPECT_EQ(rejected[rejected.size() - 2].index, 8u);
+    for (const auto &reject : rejected) {
+        if (reject.index >= 8) {
+            EXPECT_EQ(reject.board, FleetRouter::kRouterRejected);
+        }
+    }
+    // drain() after stop() must not hang: everything is settled.
+    fleet.drain();
+}
+
+TEST(FleetShutdown, SubmitAfterStopDies)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MisamFramework misam;
+    misam.train(generateTrainingSamples(
+        {.num_samples = 40, .seed = 9, .max_dim = 256}));
+    FleetConfig config;
+    config.boards = 2;
+    // The router (and its worker threads) must be constructed inside the
+    // death statement: forking with live threads in the parent is
+    // unreliable under TSan even in threadsafe death-test mode.
+    EXPECT_EXIT(
+        {
+            FleetRouter fleet(misam, config);
+            fleet.stop(true);
+            Rng rng(3);
+            BatchJob job;
+            job.name = "late";
+            job.a = generateUniform(32, 32, 0.1, rng);
+            job.b = generateUniform(32, 32, 0.1, rng);
+            (void)fleet.submit(std::move(job));
+        },
+        testing::ExitedWithCode(1), "shutting down");
+}
+
+TEST(FleetShutdown, ZeroBoardsIsFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MisamFramework misam;
+    misam.train(generateTrainingSamples(
+        {.num_samples = 40, .seed = 9, .max_dim = 256}));
+    FleetConfig config;
+    config.boards = 0;
+    EXPECT_EXIT({ FleetRouter fleet(misam, config); },
+                testing::ExitedWithCode(1), "boards must be positive");
+}
+
+} // namespace
+} // namespace misam

@@ -24,6 +24,8 @@
 #include "util/metrics.hh"
 #include "workloads/training_data.hh"
 
+#include "serve_test_util.hh"
+
 namespace misam {
 namespace {
 
@@ -280,78 +282,20 @@ TEST(LookaheadPlanDeath, NonPermutationPlanIsFatal)
 // serving properties (trained framework)
 // --------------------------------------------------------------------
 
-/** Shared trained framework: training is the expensive part. */
-class LookaheadServeTest : public testing::Test
+/** Shared trained framework + job streams: tests/serve_test_util.hh. */
+class LookaheadServeTest : public serve_test::ServeFixture
 {
   protected:
-    static void
-    SetUpTestSuite()
-    {
-        samples_ = new std::vector<TrainingSample>(generateTrainingSamples(
-            {.num_samples = 120, .seed = 33, .max_dim = 512}));
-    }
+    using serve_test::ServeFixture::freshFramework;
 
-    static void
-    TearDownTestSuite()
-    {
-        delete samples_;
-        samples_ = nullptr;
-    }
-
-    static MisamFramework
-    freshFramework()
-    {
-        MisamFramework misam;
-        misam.train(*samples_);
-        return misam;
-    }
-
-    /** A mixed job stream: varied shapes/densities so the selector's
-     *  choices (and hence the planner's groups) vary across jobs. */
     static std::vector<BatchJob>
     mixedJobs(std::size_t n)
     {
-        Rng rng(171);
-        std::vector<BatchJob> jobs;
-        for (std::size_t i = 0; i < n; ++i) {
-            BatchJob job;
-            job.name = "job" + std::to_string(i);
-            const Index rows = 64 + 32 * static_cast<Index>(i % 5);
-            const double density = (i % 2 == 0) ? 0.02 : 0.15;
-            job.a = generateUniform(rows, 128, density, rng);
-            job.b = generateUniform(128, 96, 0.05, rng);
-            job.repetitions = (i % 3 == 0) ? 40.0 : 1.0;
-            jobs.push_back(std::move(job));
-        }
-        return jobs;
+        return serve_test::mixedJobs(n);
     }
-
-    static std::vector<TrainingSample> *samples_;
 };
 
-std::vector<TrainingSample> *LookaheadServeTest::samples_ = nullptr;
-
-/** Result fields that must be bit-identical across paths. */
-void
-expectSameResults(const std::vector<ExecutionReport> &x,
-                  const std::vector<ExecutionReport> &y)
-{
-    ASSERT_EQ(x.size(), y.size());
-    for (std::size_t i = 0; i < x.size(); ++i) {
-        SCOPED_TRACE(i);
-        EXPECT_EQ(x[i].name, y[i].name);
-        EXPECT_EQ(0, std::memcmp(x[i].features.values.data(),
-                                 y[i].features.values.data(),
-                                 sizeof(double) * kNumFeatures));
-        EXPECT_EQ(x[i].predicted, y[i].predicted);
-        EXPECT_EQ(x[i].decision.chosen, y[i].decision.chosen);
-        EXPECT_EQ(x[i].decision.reconfigure, y[i].decision.reconfigure);
-        EXPECT_EQ(x[i].decision.free_switch, y[i].decision.free_switch);
-        EXPECT_EQ(x[i].sim.total_cycles, y[i].sim.total_cycles);
-        EXPECT_EQ(x[i].sim.exec_seconds, y[i].sim.exec_seconds);
-        EXPECT_EQ(x[i].repetitions, y[i].repetitions);
-    }
-}
+using serve_test::expectSameResults;
 
 TEST_F(LookaheadServeTest, ResultsBitIdenticalToSerialAcrossThreads)
 {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/misam.hh"
+#include "serve/fleet.hh"
 #include "serve/lookahead.hh"
 #include "sim/design_sim.hh"
 #include "sparse/generate.hh"
@@ -428,6 +429,76 @@ TEST(GoldenTrace, SchedulerEventsMatchCheckedInTrace)
     expectMatchesGolden(buildSchedGoldenTrace(),
                         std::string(MISAM_GOLDEN_DIR) +
                             "/sched_lookahead.jsonl");
+}
+
+/**
+ * Canonical fleet-routing trace: three windows routed across a
+ * two-board fleet — an affinity window that lands cleanly on the
+ * resident boards (including a free D2->D3 shared-bitstream move), an
+ * affinity window forced through the cheapest-switch fallback, and a
+ * least-loaded window that ignores affinity. Like the scheduler trace,
+ * every double is plain time-model arithmetic over the literal
+ * latencies 0.5/0.25/0.125 — no libm, no wall clock — so the bytes are
+ * stable across runs, hosts, and MISAM_THREADS settings.
+ */
+std::string
+buildFleetGoldenTrace()
+{
+    auto decide = [](DesignId chosen) {
+        ReconfigDecision d;
+        d.chosen = chosen;
+        return d;
+    };
+
+    std::ostringstream out;
+    MetricsSink sink(out);
+    sink.event("run", {{"case", "fleet_route"}});
+
+    const ReconfigTimeModel tm;
+    std::vector<BoardState> boards = {{DesignId::D1, 0.0},
+                                      {DesignId::D2, 0.0}};
+
+    // Window 1: a D1/D3 mix — D1 jobs stay on board 0, the D3 job is a
+    // free shared-bitstream move on the D2-resident board 1.
+    {
+        const std::vector<ReconfigDecision> chain = {
+            decide(DesignId::D1), decide(DesignId::D3),
+            decide(DesignId::D1)};
+        const FleetWindowPlan plan = planFleetWindow(
+            chain, {0.5, 0.25, 0.125}, {0.0, 0.0, 0.0},
+            RoutePolicy::Affinity, tm, 8, boards);
+        emitFleetEvents(sink, plan, chain, 0, boards);
+    }
+
+    // Window 2: both boards now resident D1/D3; a D4 job has no affine
+    // home and pays the cheapest switch via the fallback.
+    {
+        const std::vector<ReconfigDecision> chain = {
+            decide(DesignId::D4), decide(DesignId::D1)};
+        const FleetWindowPlan plan = planFleetWindow(
+            chain, {0.5, 0.25}, {1.0, 1.0}, RoutePolicy::Affinity, tm, 8,
+            boards);
+        emitFleetEvents(sink, plan, chain, 3, boards);
+    }
+
+    // Window 3: least-loaded ignores the D1-resident board's affinity
+    // and spreads by predicted backlog alone.
+    {
+        const std::vector<ReconfigDecision> chain = {
+            decide(DesignId::D1), decide(DesignId::D1)};
+        const FleetWindowPlan plan = planFleetWindow(
+            chain, {0.125, 0.125}, {2.0, 2.0}, RoutePolicy::LeastLoaded,
+            tm, 8, boards);
+        emitFleetEvents(sink, plan, chain, 5, boards);
+    }
+    return out.str();
+}
+
+TEST(GoldenTrace, FleetRouteEventsMatchCheckedInTrace)
+{
+    expectMatchesGolden(buildFleetGoldenTrace(),
+                        std::string(MISAM_GOLDEN_DIR) +
+                            "/fleet_route.jsonl");
 }
 
 TEST(GoldenTraceDeterminism, IdenticalForAnyThreadCount)

@@ -22,6 +22,8 @@
 #include "util/metrics.hh"
 #include "workloads/training_data.hh"
 
+#include "serve_test_util.hh"
+
 namespace misam {
 namespace {
 
@@ -172,75 +174,20 @@ TEST(SummaryCacheTest, CountersMirrorIntoRegistry)
               2u * SummaryCache::matrixBytes(m));
 }
 
-/** Shared trained framework: training is the expensive part. */
-class ServeTest : public testing::Test
+/** Shared trained framework + job streams: tests/serve_test_util.hh. */
+class ServeTest : public serve_test::ServeFixture
 {
   protected:
-    static void
-    SetUpTestSuite()
-    {
-        samples_ = new std::vector<TrainingSample>(generateTrainingSamples(
-            {.num_samples = 120, .seed = 33, .max_dim = 512}));
-    }
+    using serve_test::ServeFixture::freshFramework;
 
-    static void
-    TearDownTestSuite()
-    {
-        delete samples_;
-        samples_ = nullptr;
-    }
-
-    /** A fresh framework trained on the shared samples. */
-    static MisamFramework
-    freshFramework()
-    {
-        MisamFramework misam;
-        misam.train(*samples_);
-        return misam;
-    }
-
-    /** Shared-B workload: one weight matrix times `n` activation tiles. */
     static std::vector<BatchJob>
     sharedBJobs(std::size_t n)
     {
-        Rng rng(99);
-        const CsrMatrix b = generateUniform(256, 256, 0.04, rng);
-        std::vector<BatchJob> jobs;
-        for (std::size_t i = 0; i < n; ++i) {
-            BatchJob job;
-            job.name = "tile" + std::to_string(i);
-            job.a = generateUniform(128, 256, 0.03, rng);
-            job.b = b;
-            jobs.push_back(std::move(job));
-        }
-        return jobs;
+        return serve_test::sharedBJobs(n);
     }
-
-    static std::vector<TrainingSample> *samples_;
 };
 
-std::vector<TrainingSample> *ServeTest::samples_ = nullptr;
-
-/** Result fields that must be bit-identical across paths. */
-void
-expectSameResults(const std::vector<ExecutionReport> &x,
-                  const std::vector<ExecutionReport> &y)
-{
-    ASSERT_EQ(x.size(), y.size());
-    for (std::size_t i = 0; i < x.size(); ++i) {
-        SCOPED_TRACE(i);
-        EXPECT_EQ(x[i].name, y[i].name);
-        EXPECT_EQ(0, std::memcmp(x[i].features.values.data(),
-                                 y[i].features.values.data(),
-                                 sizeof(double) * kNumFeatures));
-        EXPECT_EQ(x[i].predicted, y[i].predicted);
-        EXPECT_EQ(x[i].decision.chosen, y[i].decision.chosen);
-        EXPECT_EQ(x[i].decision.reconfigure, y[i].decision.reconfigure);
-        EXPECT_EQ(x[i].sim.total_cycles, y[i].sim.total_cycles);
-        EXPECT_EQ(x[i].sim.exec_seconds, y[i].sim.exec_seconds);
-        EXPECT_EQ(x[i].repetitions, y[i].repetitions);
-    }
-}
+using serve_test::expectSameResults;
 
 TEST_F(ServeTest, CacheRoutingIsBitIdentical)
 {

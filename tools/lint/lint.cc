@@ -546,8 +546,8 @@ namespace {
 constexpr std::string_view kCatalogRelPath = "docs/OBSERVABILITY.md";
 
 const std::vector<std::string_view> kMetricPrefixes = {
-    "sim",    "cache", "serve", "reconfig",
-    "tenant", "train", "phase", "sched"};
+    "sim",   "cache", "serve", "reconfig",
+    "tenant", "train", "phase", "sched", "fleet"};
 
 /** Markers that mean a loop body reaches an emitter / output stream. */
 const std::vector<std::string_view> kEmissionMarkers = {

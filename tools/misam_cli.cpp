@@ -26,7 +26,8 @@
  *             of one design's execution; defaults to the fastest.
  *   serve     --model FILE --jobs FILE.jsonl [--threads N] [--queue N]
  *             [--window N] [--schedule admission|lookahead] [--prewarm]
- *             [--gather] [--metrics OUT.jsonl]
+ *             [--gather] [--boards N] [--route affinity|least-loaded]
+ *             [--metrics OUT.jsonl]
  *             Replay a JSONL job file (see serve/jobfile.hh for the
  *             schema) through MisamServer with a content-addressed
  *             operand cache; prints per-job results plus serve.* /
@@ -35,7 +36,14 @@
  *             overlaps the next group's load with execution (partial
  *             reconfig mode); --gather waits for full windows so the
  *             grouping statistics are run-to-run deterministic.
- *             Results are identical either way.
+ *             --boards N (> 1) serves through the FleetRouter instead:
+ *             N board workers with --route placement (default
+ *             affinity — resident/shared bitstreams first), printing
+ *             per-board totals plus fleet makespan and queueing-wait
+ *             percentiles. Per-job results are identical for every
+ *             schedule, route, and board count.
+ *
+ * Flags accept both "--flag value" and "--flag=value".
  *
  * Matrices are Matrix Market files; B defaults to --self (A x A).
  */
@@ -49,6 +57,7 @@
 
 #include "core/misam.hh"
 #include "core/persistence.hh"
+#include "serve/fleet.hh"
 #include "serve/jobfile.hh"
 #include "serve/server.hh"
 #include "serve/summary_cache.hh"
@@ -66,7 +75,7 @@ using namespace misam;
 
 namespace {
 
-/** Minimal --flag value parser. */
+/** Minimal --flag value parser; accepts "--flag v" and "--flag=v". */
 class Args
 {
   public:
@@ -75,9 +84,14 @@ class Args
     std::optional<std::string>
     value(const char *flag) const
     {
-        for (int i = 2; i + 1 < argc_; ++i)
-            if (std::strcmp(argv_[i], flag) == 0)
+        const std::string prefix = std::string(flag) + "=";
+        for (int i = 2; i < argc_; ++i) {
+            if (std::strncmp(argv_[i], prefix.c_str(),
+                             prefix.size()) == 0)
+                return std::string(argv_[i] + prefix.size());
+            if (std::strcmp(argv_[i], flag) == 0 && i + 1 < argc_)
                 return std::string(argv_[i + 1]);
+        }
         return std::nullopt;
     }
 
@@ -406,9 +420,35 @@ cmdServe(const Args &args)
                       schedulePolicyName(serve_config.schedule)},
                      {"prewarm", serve_config.prewarm ? 1 : 0}});
     }
+    const std::size_t boards = args.sizeOr("--boards", 1);
     BatchReport report;
     ScheduleStats sched_stats;
-    {
+    std::vector<FleetRouter::BoardTotals> board_totals;
+    std::vector<double> waits;
+    double makespan_s = 0.0;
+    if (boards > 1) {
+        FleetConfig fleet_config;
+        fleet_config.boards = boards;
+        if (auto route = args.value("--route"))
+            fleet_config.route = parseRoutePolicy(*route);
+        fleet_config.queue_capacity = serve_config.queue_capacity;
+        fleet_config.window = serve_config.window;
+        fleet_config.threads = serve_config.threads;
+        fleet_config.gather = serve_config.gather;
+        FleetRouter fleet(misam, fleet_config);
+        fleet.setMetrics(&registry);
+        if (sink)
+            fleet.setTraceSink(sink.get());
+        report = fleet.serveAll(std::move(jobs));
+        board_totals = fleet.boardTotals();
+        makespan_s = fleet.makespanSeconds();
+        for (const FleetRouter::Placement &p : fleet.placements())
+            waits.push_back(p.wait_s);
+        std::printf("served %zu jobs across %zu boards (queue high "
+                    "water %zu, route %s)\n",
+                    fleet.completed(), boards, fleet.queueHighWater(),
+                    routePolicyName(fleet_config.route));
+    } else {
         MisamServer server(misam, serve_config);
         server.setMetrics(&registry);
         if (sink)
@@ -439,7 +479,26 @@ cmdServe(const Args &args)
                 report.total_execute_s, report.reconfigurations,
                 report.total_reconfig_s, report.free_switches,
                 report.total_host_s * 1e3);
-    if (serve_config.schedule == SchedulePolicy::Lookahead) {
+    if (boards > 1) {
+        TextTable fleet_table({"Board", "Routed", "Paid loads",
+                               "Free moves", "Busy (s)", "Resident"});
+        for (std::size_t b = 0; b < board_totals.size(); ++b) {
+            const FleetRouter::BoardTotals &t = board_totals[b];
+            fleet_table.addRow({std::to_string(b),
+                                std::to_string(t.routed),
+                                std::to_string(t.paid_loads),
+                                std::to_string(t.free_moves),
+                                formatDouble(t.busy_s, 3),
+                                designName(t.resident)});
+        }
+        std::printf("%s", fleet_table.render().c_str());
+        std::printf("fleet: makespan %.3f s, queue wait p50 %.3f s / "
+                    "p99 %.3f s (logical time)\n",
+                    makespan_s, waitPercentileSeconds(waits, 50.0),
+                    waitPercentileSeconds(waits, 99.0));
+    }
+    if (boards == 1 &&
+        serve_config.schedule == SchedulePolicy::Lookahead) {
         std::printf(
             "lookahead: %zu windows, %zu groups, %zu jobs reordered; "
             "%d chain switches -> %d paid loads (%.3f s); "
@@ -496,6 +555,7 @@ usage()
         "[--queue N] [--window N]\n"
         "           [--schedule admission|lookahead] [--prewarm] "
         "[--gather]\n"
+        "           [--boards N] [--route affinity|least-loaded]\n"
         "           [--metrics OUT.jsonl]\n");
 }
 
