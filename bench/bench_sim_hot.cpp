@@ -14,6 +14,10 @@
  *
  * Output: paper-style rows on stdout plus a machine-readable JSON
  * summary (default BENCH_sim.json; scripts/check.sh smoke-parses it).
+ * The summary holds one section per run mode — "full" (the committed
+ * numbers, including a per-SIMD-backend comparison) and "smoke" (CI's
+ * one-rep sanity run) — and a run only replaces its own section, so a
+ * smoke run never clobbers the committed full-run figures.
  *
  * Flags: --out=FILE (JSON path), --smoke (one repetition per workload,
  * for CI), --threads=N / MISAM_THREADS (ignored for the timed loops,
@@ -22,13 +26,18 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/common.hh"
+#include "serve/fingerprint.hh"
 #include "sim/design_sim.hh"
 #include "sim/workspace.hh"
 #include "sparse/generate.hh"
+#include "sparse/spgemm.hh"
+#include "util/simd.hh"
 #include "util/table.hh"
 
 using namespace misam;
@@ -132,35 +141,174 @@ runWorkload(const HotWorkload &w)
     return row;
 }
 
-void
-writeJson(const std::string &path, const std::vector<HotRow> &rows,
-          bool smoke)
+/**
+ * Per-SIMD-backend timings of the vector-kernel consumers (full mode).
+ * The steady-state loops above either memoize the analysis work or run
+ * marker-path shapes that bypass the vector kernels, so they say
+ * nothing about the dispatch backends; this comparison drives the
+ * bitmap symbolic merge (orInto/popcountAndClear) and the fingerprint
+ * bulk rounds (fingerprintBulk/packPairsU32) directly, on a dense-ish
+ * B whose shape takes the bitmap path, under scalar vs the widest
+ * supported backend. The outputs are byte-identical by contract; only
+ * the time may differ.
+ */
+struct BackendCompare
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "bench_sim_hot: cannot write %s\n",
-                     path.c_str());
-        std::exit(1);
+    const char *best = nullptr;
+    double scalar_kernel_seconds = 0.0;
+    double best_kernel_seconds = 0.0;
+    double vector_vs_scalar = 0.0;
+};
+
+BackendCompare
+compareBackends()
+{
+    // Wide-ish B (64 occupancy words per row) keeps the bitmap merge in
+    // long orInto/popcountAndClear runs rather than loop overhead.
+    Rng rng(404);
+    const CsrMatrix a = generateUniform(1024, 1024, 0.03, rng);
+    const CsrMatrix b = generateUniform(1024, 4096, 0.04, rng);
+    constexpr std::size_t kReps = 20;
+
+    BackendCompare cmp;
+    const simd::Backend best = simd::bestSupportedBackend();
+    cmp.best = simd::backendName(best);
+    for (const simd::Backend backend : {simd::Backend::Scalar, best}) {
+        simd::setBackendForTesting(backend);
+        spgemmSymbolic(a, b); // Warm (page faults, bitmap build).
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < kReps; ++i) {
+            spgemmSymbolic(a, b);
+            fingerprintMatrix(a);
+            fingerprintMatrix(b);
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(stop - start).count();
+        if (backend == simd::Backend::Scalar)
+            cmp.scalar_kernel_seconds = secs;
+        cmp.best_kernel_seconds = secs; // Last iteration is `best`.
     }
-    std::fprintf(f, "{\n  \"bench\": \"bench_sim_hot\",\n");
-    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-    std::fprintf(f, "  \"workloads\": [\n");
+    simd::resetBackendFromEnv();
+    if (cmp.best_kernel_seconds > 0.0)
+        cmp.vector_vs_scalar =
+            cmp.scalar_kernel_seconds / cmp.best_kernel_seconds;
+    return cmp;
+}
+
+/**
+ * One mode section ("full" or "smoke"), rendered with its leading
+ * comma so sections concatenate after the "bench" field.
+ */
+std::string
+modeSection(const char *mode, const std::vector<HotRow> &rows,
+            const BackendCompare *backends)
+{
+    std::ostringstream out;
+    char buf[512];
+    out << ",\n  \"" << mode << "\": {\n    \"workloads\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const HotRow &r = rows[i];
-        std::fprintf(
-            f,
-            "    {\"name\": \"%s\", \"reps\": %zu, \"tiles\": %d,\n"
-            "     \"fast_seconds\": %.6f, \"ref_seconds\": %.6f,\n"
-            "     \"tiles_per_sec\": %.1f, \"samples_per_sec\": %.3f,\n"
-            "     \"speedup\": %.3f, \"steady_alloc_events\": %llu}%s\n",
+        std::snprintf(
+            buf, sizeof buf,
+            "      {\"name\": \"%s\", \"reps\": %zu, \"tiles\": %d,\n"
+            "       \"fast_seconds\": %.6f, \"ref_seconds\": %.6f,\n"
+            "       \"tiles_per_sec\": %.1f, \"samples_per_sec\": %.3f,\n"
+            "       \"speedup\": %.3f, \"steady_alloc_events\": %llu}%s\n",
             r.name, r.reps, r.tiles_per_sample, r.fast_seconds,
             r.ref_seconds, r.fast_tiles_per_sec, r.fast_samples_per_sec,
             r.speedup,
             static_cast<unsigned long long>(r.steady_alloc_delta),
             i + 1 < rows.size() ? "," : "");
+        out << buf;
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    out << "    ]";
+    if (backends != nullptr) {
+        std::snprintf(buf, sizeof buf,
+                      ",\n    \"backends\": {\"best\": \"%s\",\n"
+                      "     \"scalar_kernel_seconds\": %.6f,\n"
+                      "     \"best_kernel_seconds\": %.6f,\n"
+                      "     \"vector_vs_scalar\": %.3f}",
+                      backends->best, backends->scalar_kernel_seconds,
+                      backends->best_kernel_seconds,
+                      backends->vector_vs_scalar);
+        out << buf;
+    }
+    out << "\n  }";
+    return out.str();
+}
+
+/**
+ * Extract one mode section (with its leading comma) from an existing
+ * summary, or "" when absent. Only the current two-section format is
+ * recognized — anything else (including the retired flat layout, whose
+ * `"smoke": false` field would false-match the marker) is discarded
+ * rather than merged.
+ */
+std::string
+extractSection(const std::string &text, const std::string &marker)
+{
+    const std::size_t at = text.find(marker);
+    if (at == std::string::npos)
+        return "";
+    std::size_t open = at + marker.size();
+    while (open < text.size() && text[open] == ' ')
+        ++open;
+    if (open >= text.size() || text[open] != '{')
+        return "";
+    const char *const markers[] = {",\n  \"full\":", ",\n  \"smoke\":"};
+    std::size_t end = std::string::npos;
+    for (const char *other : markers) {
+        if (marker == other)
+            continue;
+        const std::size_t p = text.find(other, open);
+        if (p != std::string::npos && p < end)
+            end = p;
+    }
+    if (end == std::string::npos) {
+        end = text.rfind('}'); // The file's closing brace.
+        if (end == std::string::npos || end <= at)
+            return "";
+    }
+    std::string section = text.substr(at, end - at);
+    while (!section.empty() &&
+           (section.back() == '\n' || section.back() == ' '))
+        section.pop_back();
+    return section;
+}
+
+/**
+ * Write the summary, replacing only the current mode's section and
+ * carrying the other mode's section over verbatim ("full" always
+ * renders first for a stable committed layout).
+ */
+void
+writeJson(const std::string &path, const std::string &section, bool smoke)
+{
+    std::string existing;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::stringstream buf;
+            buf << in.rdbuf();
+            existing = buf.str();
+        }
+    }
+    const std::string kept = extractSection(
+        existing, smoke ? ",\n  \"full\":" : ",\n  \"smoke\":");
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "bench_sim_hot: cannot write %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    out << "{\n  \"bench\": \"bench_sim_hot\"";
+    if (smoke)
+        out << kept << section;
+    else
+        out << section << kept;
+    out << "\n}\n";
 }
 
 std::string
@@ -216,7 +364,19 @@ main(int argc, char **argv)
     }
     std::printf("%s", table.render().c_str());
 
-    writeJson(out, rows, smoke);
+    BackendCompare cmp;
+    if (!smoke) {
+        cmp = compareBackends();
+        std::printf("backends: bitmap+fingerprint kernels scalar %.3fs "
+                    "vs %s %.3fs (%.2fx)\n",
+                    cmp.scalar_kernel_seconds, cmp.best,
+                    cmp.best_kernel_seconds, cmp.vector_vs_scalar);
+    }
+
+    writeJson(out,
+              modeSection(smoke ? "smoke" : "full", rows,
+                          smoke ? nullptr : &cmp),
+              smoke);
     std::printf("JSON summary written to %s\n", out.c_str());
 
     int failures = 0;

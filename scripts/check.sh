@@ -112,11 +112,11 @@ import json, sys
 with open(sys.argv[1]) as f:
     data = json.load(f)
 assert data["bench"] == "bench_sim_hot", data
-assert len(data["workloads"]) >= 3, data
-for w in data["workloads"]:
+workloads = data["smoke"]["workloads"]
+assert len(workloads) >= 3, data
+for w in workloads:
     assert w["steady_alloc_events"] == 0, w
-print("bench_sim_hot smoke: %d workloads, JSON ok" %
-      len(data["workloads"]))
+print("bench_sim_hot smoke: %d workloads, JSON ok" % len(workloads))
 EOF
     rm -f "$sim_json"
 
@@ -177,11 +177,13 @@ EOF
         cmake -B build-asan -S . -DMISAM_SANITIZE=address \
               -DCMAKE_BUILD_TYPE=RelWithDebInfo
         cmake --build build-asan -j --target test_metrics \
-              test_scheduler_kernels
+              test_scheduler_kernels test_simd_dispatch
         (cd build-asan && ctest --output-on-failure -L golden)
         (cd build-asan && ./tests/test_scheduler_kernels \
             --gtest_brief=1 >/dev/null)
-        echo "test_scheduler_kernels under ASan: ok"
+        (cd build-asan && ./tests/test_simd_dispatch \
+            --gtest_brief=1 >/dev/null)
+        echo "test_scheduler_kernels + test_simd_dispatch under ASan: ok"
     else
         echo "NOTICE: toolchain lacks AddressSanitizer support;" \
              "skipping the ASan golden pass."
@@ -196,12 +198,17 @@ EOF
         cmake -B build-ubsan -S . -DMISAM_SANITIZE=undefined \
               -DCMAKE_BUILD_TYPE=RelWithDebInfo
         cmake --build build-ubsan -j --target test_metrics \
-              test_scheduler_kernels
+              test_scheduler_kernels test_simd_dispatch
         (cd build-ubsan && ctest --output-on-failure -L golden)
         (cd build-ubsan && ./tests/test_scheduler_kernels \
             --gtest_brief=1 >/dev/null)
-        echo "test_scheduler_kernels under UBSan: ok (no UB on the"\
-             "golden/kernel paths)"
+        # The dispatch-parity suite drives every SIMD kernel (both
+        # backends, boundary lengths) under -fno-sanitize-recover=all,
+        # so any UB in the vector paths aborts here.
+        (cd build-ubsan && ./tests/test_simd_dispatch \
+            --gtest_brief=1 >/dev/null)
+        echo "test_scheduler_kernels + test_simd_dispatch under UBSan:"\
+             "ok (no UB on the golden/kernel/vector paths)"
     else
         echo "NOTICE: toolchain lacks UndefinedBehaviorSanitizer" \
              "support; skipping the UBSan pass."

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstring>
 
+#include "util/simd.hh"
+
 namespace misam {
 
 namespace {
@@ -63,27 +65,25 @@ FingerprintHasher::mixRange(const std::uint64_t *words, std::size_t n)
 {
     // Four independent lanes seeded from the running state: the
     // multiply chains of consecutive words overlap instead of
-    // serializing, which is where the throughput comes from.
-    std::uint64_t l0 = h1_ ^ 0x243f6a8885a308d3ULL;
-    std::uint64_t l1 = h2_ + 0x13198a2e03707344ULL;
-    std::uint64_t l2 = rotl64(h1_, 17) + 0xa4093822299f31d0ULL;
-    std::uint64_t l3 = rotl64(h2_, 41) ^ 0x082efa98ec4e6c89ULL;
-    std::size_t i = 0;
-    for (; i + 4 <= n; i += 4) {
-        l0 = bulkRound(l0, words[i]);
-        l1 = bulkRound(l1, words[i + 1]);
-        l2 = bulkRound(l2, words[i + 2]);
-        l3 = bulkRound(l3, words[i + 3]);
-    }
+    // serializing, which is where the throughput comes from. The
+    // grouped rounds run through simd::fingerprintBulk, whose vector
+    // variants reproduce bulkRound's lane math bit-for-bit.
+    std::uint64_t lanes[4] = {
+        h1_ ^ 0x243f6a8885a308d3ULL,
+        h2_ + 0x13198a2e03707344ULL,
+        rotl64(h1_, 17) + 0xa4093822299f31d0ULL,
+        rotl64(h2_, 41) ^ 0x082efa98ec4e6c89ULL,
+    };
+    std::size_t i = simd::fingerprintBulk(lanes, words, n);
     for (; i < n; ++i)
-        l0 = bulkRound(l0, words[i]);
+        lanes[0] = bulkRound(lanes[0], words[i]);
     // Fold the lanes (and the run length, so runs of different word
     // counts never alias) back into the running state through the
     // full-avalanche path.
-    mix(l0);
-    mix(l1);
-    mix(l2);
-    mix(l3);
+    mix(lanes[0]);
+    mix(lanes[1]);
+    mix(lanes[2]);
+    mix(lanes[3]);
     mix(n);
 }
 
@@ -121,11 +121,7 @@ fingerprintMatrix(const CsrMatrix &m)
         while (i + 1 < n) {
             const std::size_t take =
                 std::min(kChunkWords, (n - i) / 2);
-            for (std::size_t j = 0; j < take; ++j)
-                buf[j] =
-                    static_cast<std::uint64_t>(ci[i + 2 * j]) |
-                    (static_cast<std::uint64_t>(ci[i + 2 * j + 1])
-                     << 32);
+            simd::packPairsU32(buf, ci.data() + i, take);
             h.mixRange(buf, take);
             i += 2 * take;
         }

@@ -25,32 +25,41 @@ template <typename V>
 void
 SummaryCache::evictIfOverFull(Shard<V> &shard)
 {
-    // Called under mutex_. Evict the oldest *ready* entry; skip entries
-    // still being computed (their promise holder owns the value and
-    // waiters hold shared_future copies, so dropping a ready entry from
-    // the map is always safe).
-    if (shard.map.size() <= config_.max_entries)
-        return;
-    for (std::size_t i = 0; i < shard.fifo.size(); ++i) {
-        const Fingerprint128 fp = shard.fifo[i];
-        const auto it = shard.map.find(fp);
-        if (it == shard.map.end()) {
-            // Stale fifo entry (cleared earlier); drop it.
+    // Called under mutex_. Evict the oldest *ready* entries until the
+    // bound holds; entries still being computed are never evicted
+    // (their promise holder owns the value and waiters hold
+    // shared_future copies, so dropping a ready entry from the map is
+    // always safe). Looping matters: an insert that finds every entry
+    // in flight overshoots the bound, and a later insert must drain
+    // that excess — the retired single-eviction version traded one
+    // eviction per insertion and carried the overshoot forever.
+    while (shard.map.size() > config_.max_entries) {
+        bool evicted = false;
+        for (std::size_t i = 0; i < shard.fifo.size(); ++i) {
+            const Fingerprint128 fp = shard.fifo[i];
+            const auto it = shard.map.find(fp);
+            if (it == shard.map.end()) {
+                // Stale fifo entry (cleared earlier); drop it without
+                // counting an eviction — nothing left the map.
+                shard.fifo.erase(shard.fifo.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                evicted = true;
+                break;
+            }
+            if (it->second.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready)
+                continue;
+            shard.map.erase(it);
             shard.fifo.erase(shard.fifo.begin() +
                              static_cast<std::ptrdiff_t>(i));
-            --i;
-            continue;
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+            if (metrics_)
+                metrics_->add("cache.evictions");
+            evicted = true;
+            break;
         }
-        if (it->second.wait_for(std::chrono::seconds(0)) !=
-            std::future_status::ready)
-            continue;
-        shard.map.erase(it);
-        shard.fifo.erase(shard.fifo.begin() +
-                         static_cast<std::ptrdiff_t>(i));
-        evictions_.fetch_add(1, std::memory_order_relaxed);
-        if (metrics_)
-            metrics_->add("cache.evictions");
-        return;
+        if (!evicted)
+            break; // Everything in flight; transient overshoot.
     }
 }
 
@@ -112,6 +121,8 @@ SummaryCache::summary(const CsrMatrix &m)
     return lookup(
         summaries_, m,
         [this](const CsrMatrix &mat) {
+            if (config_.summary_compute_hook)
+                config_.summary_compute_hook();
             return std::make_shared<const MatrixFeatureSummary>(
                 summarizeMatrix(mat, config_.tile_config));
         },

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -57,6 +58,14 @@ struct SummaryCacheConfig
 
     /** Tiling geometry passed through to summarizeMatrix. */
     FeatureTileConfig tile_config{};
+
+    /**
+     * Test seam: invoked at the start of every summary computation,
+     * outside the cache lock. Lets tests hold entries in the in-flight
+     * state deterministically (e.g. to pin the eviction accounting
+     * under overshoot). Leave empty in production.
+     */
+    std::function<void()> summary_compute_hook;
 };
 
 /**

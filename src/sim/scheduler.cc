@@ -1,10 +1,13 @@
 #include "sim/scheduler.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <type_traits>
 #include <unordered_map>
 
 #include "sim/workspace.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace misam {
 
@@ -38,14 +41,18 @@ TileScheduleStats
 finishStats(const std::vector<PeAccumulator> &pe_acc, int total_pes,
             int dep)
 {
+    // PeAccumulator is exactly the 4-u64 record simd::peScheduleFold
+    // reduces (per-PE peScheduleLength, max over PEs, field sums).
+    static_assert(std::is_standard_layout_v<PeAccumulator>);
+    static_assert(sizeof(PeAccumulator) == 4 * sizeof(std::uint64_t));
+    static_assert(sizeof(Offset) == sizeof(std::uint64_t));
     TileScheduleStats stats;
-    for (const PeAccumulator &acc : pe_acc) {
-        const Offset len = TileScheduler::peScheduleLength(
-            acc.total_work, acc.max_row_count, acc.rows_at_max, dep);
-        stats.schedule_length = std::max(stats.schedule_length, len);
-        stats.total_elements += acc.total_elements;
-        stats.busy_cycles += acc.total_work;
-    }
+    const simd::PeFold fold = simd::peScheduleFold(
+        reinterpret_cast<const std::uint64_t *>(pe_acc.data()),
+        pe_acc.size(), static_cast<std::uint64_t>(dep));
+    stats.schedule_length = fold.schedule_length;
+    stats.total_elements = fold.total_elements;
+    stats.busy_cycles = fold.busy_cycles;
     if (stats.schedule_length > 0) {
         const Offset capacity =
             stats.schedule_length * static_cast<Offset>(total_pes);
@@ -70,16 +77,28 @@ TileScheduler::schedule(const CscMatrix &a_csc, const KTile &k_range,
     SimWorkspace &ws = SimWorkspace::local();
     std::vector<PeAccumulator> &pe_acc = ws.peAccumulators(pes);
 
+    const Offset *cp = a_csc.colPtr().data();
+    const Index *ri = a_csc.rowIdx().data();
     if (kind_ == SchedulerKind::Col) {
         // PE is a function of the output row; accumulate per-row counts
         // once in the stamped arena, then fold each row into its PE.
         ws.rows.begin(a_csc.rows());
-        for (Index k = k_range.k_lo; k < k_range.k_hi; ++k) {
-            const Offset w =
-                col_job_weight ? std::max<Offset>((*col_job_weight)[k], 1)
-                               : 1;
-            for (Index r : a_csc.colRows(k))
-                ws.rows.add(r, w);
+        if (col_job_weight == nullptr) {
+            // Unit weights: the tile's nonzeros are one contiguous CSC
+            // slice, and storage order visits rows in the same
+            // first-touch order as the per-column loops.
+            ws.rows.addRun(ri + cp[k_range.k_lo],
+                           static_cast<std::size_t>(cp[k_range.k_hi] -
+                                                    cp[k_range.k_lo]),
+                           1);
+        } else {
+            for (Index k = k_range.k_lo; k < k_range.k_hi; ++k) {
+                const Offset w =
+                    std::max<Offset>((*col_job_weight)[k], 1);
+                ws.rows.addRun(
+                    ri + cp[k],
+                    static_cast<std::size_t>(cp[k + 1] - cp[k]), w);
+            }
         }
         for (Index r : ws.rows.touched())
             pe_acc[r % pes].addRow(ws.rows.count(r), ws.rows.work(r));
@@ -101,8 +120,9 @@ TileScheduler::schedule(const CscMatrix &a_csc, const KTile &k_range,
                     col_job_weight
                         ? std::max<Offset>((*col_job_weight)[k], 1)
                         : 1;
-                for (Index r : a_csc.colRows(k))
-                    ws.rows.add(r, w);
+                ws.rows.addRun(
+                    ri + cp[k],
+                    static_cast<std::size_t>(cp[k + 1] - cp[k]), w);
             }
             for (Index r : ws.rows.touched())
                 pe_acc[pe].addRow(ws.rows.count(r), ws.rows.work(r));
@@ -190,11 +210,16 @@ buildTileRowHistograms(const CscMatrix &a_csc,
     hist.tile_ptr.reserve(tiles.size() + 1);
     hist.tile_ptr.push_back(0);
     SimWorkspace &ws = SimWorkspace::local();
+    const Offset *cp = a_csc.colPtr().data();
+    const Index *ri = a_csc.rowIdx().data();
     for (const KTile &tile : tiles) {
         ws.rows.begin(a_csc.rows());
-        for (Index k = tile.k_lo; k < tile.k_hi; ++k)
-            for (Index r : a_csc.colRows(k))
-                ws.rows.add(r, 1);
+        // One contiguous CSC slice per tile; storage order preserves
+        // the per-column first-touch order exactly.
+        ws.rows.addRun(
+            ri + cp[tile.k_lo],
+            static_cast<std::size_t>(cp[tile.k_hi] - cp[tile.k_lo]),
+            1);
         for (Index r : ws.rows.touched())
             hist.bins.push_back({r, ws.rows.count(r)});
         hist.tile_ptr.push_back(hist.bins.size());

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "serve/fingerprint.hh"
+#include "sparse/convert.hh"
 #include "util/metrics.hh"
 
 namespace misam {
@@ -80,11 +81,17 @@ std::atomic<std::uint64_t> g_scratch_reuses{0};
 std::atomic<std::uint64_t> g_symbolic_hits{0};
 std::atomic<std::uint64_t> g_symbolic_misses{0};
 std::atomic<std::uint64_t> g_symbolic_evictions{0};
+std::atomic<std::uint64_t> g_csc_hits{0};
+std::atomic<std::uint64_t> g_csc_misses{0};
+std::atomic<std::uint64_t> g_csc_evictions{0};
 
 std::atomic<Counter *> g_mirror_scratch{nullptr};
 std::atomic<Counter *> g_mirror_hits{nullptr};
 std::atomic<Counter *> g_mirror_misses{nullptr};
 std::atomic<Counter *> g_mirror_evictions{nullptr};
+std::atomic<Counter *> g_mirror_csc_hits{nullptr};
+std::atomic<Counter *> g_mirror_csc_misses{nullptr};
+std::atomic<Counter *> g_mirror_csc_evictions{nullptr};
 
 void
 bump(std::atomic<std::uint64_t> &total, std::atomic<Counter *> &mirror)
@@ -166,6 +173,62 @@ evictSymbolicOverFull()
     }
 }
 
+using CscFuture = std::shared_future<std::shared_ptr<const CscMatrix>>;
+
+/**
+ * Entry bound for the conversion cache. Unlike the symbolic cache the
+ * entries hold full matrices, so the bound is deliberately tight; the
+ * serve path cycles through a handful of hot operands.
+ */
+constexpr std::size_t kCscCacheCapacity = 16;
+
+std::mutex g_csc_mutex;
+
+std::unordered_map<Fingerprint128, CscFuture, FingerprintHash> &
+cscMap()
+{
+    static auto *map =
+        new std::unordered_map<Fingerprint128, CscFuture,
+                               FingerprintHash>();
+    return *map;
+}
+
+std::deque<Fingerprint128> &
+cscFifo()
+{
+    static auto *fifo = new std::deque<Fingerprint128>();
+    return *fifo;
+}
+
+/** Evict the oldest *ready* conversions past capacity (mutex held). */
+void
+evictCscOverFull()
+{
+    auto &map = cscMap();
+    auto &fifo = cscFifo();
+    while (map.size() > kCscCacheCapacity) {
+        bool evicted = false;
+        for (auto it = fifo.begin(); it != fifo.end(); ++it) {
+            const auto entry = map.find(*it);
+            if (entry == map.end()) {
+                fifo.erase(it); // Stale (cleared) key.
+                evicted = true;
+                break;
+            }
+            if (entry->second.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+                map.erase(entry);
+                fifo.erase(it);
+                bump(g_csc_evictions, g_mirror_csc_evictions);
+                evicted = true;
+                break;
+            }
+        }
+        if (!evicted)
+            break; // Everything in flight; transient overshoot.
+    }
+}
+
 } // namespace
 
 std::shared_ptr<const SymbolicStats>
@@ -219,6 +282,54 @@ symbolicCacheEntries()
     return symbolicMap().size();
 }
 
+std::shared_ptr<const CscMatrix>
+cachedCsrToCsc(const CsrMatrix &a)
+{
+    const Fingerprint128 key = fingerprintMatrix(a);
+
+    std::promise<std::shared_ptr<const CscMatrix>> promise;
+    CscFuture future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(g_csc_mutex);
+        auto &map = cscMap();
+        const auto it = map.find(key);
+        if (it != map.end()) {
+            bump(g_csc_hits, g_mirror_csc_hits);
+            future = it->second;
+        } else {
+            bump(g_csc_misses, g_mirror_csc_misses);
+            future = promise.get_future().share();
+            map.emplace(key, future);
+            cscFifo().push_back(key);
+            owner = true;
+            evictCscOverFull();
+        }
+    }
+
+    if (owner) {
+        auto value = std::make_shared<const CscMatrix>(csrToCsc(a));
+        promise.set_value(value);
+        return value;
+    }
+    return future.get();
+}
+
+void
+clearCscCache()
+{
+    std::lock_guard<std::mutex> lock(g_csc_mutex);
+    cscMap().clear();
+    cscFifo().clear();
+}
+
+std::size_t
+cscCacheEntries()
+{
+    std::lock_guard<std::mutex> lock(g_csc_mutex);
+    return cscMap().size();
+}
+
 SimKernelCounters
 simKernelCounters()
 {
@@ -228,6 +339,9 @@ simKernelCounters()
     c.symbolic_misses = g_symbolic_misses.load(std::memory_order_relaxed);
     c.symbolic_evictions =
         g_symbolic_evictions.load(std::memory_order_relaxed);
+    c.csc_hits = g_csc_hits.load(std::memory_order_relaxed);
+    c.csc_misses = g_csc_misses.load(std::memory_order_relaxed);
+    c.csc_evictions = g_csc_evictions.load(std::memory_order_relaxed);
     return c;
 }
 
@@ -239,6 +353,9 @@ setSimKernelMetrics(MetricsRegistry *registry)
         g_mirror_hits.store(nullptr, std::memory_order_relaxed);
         g_mirror_misses.store(nullptr, std::memory_order_relaxed);
         g_mirror_evictions.store(nullptr, std::memory_order_relaxed);
+        g_mirror_csc_hits.store(nullptr, std::memory_order_relaxed);
+        g_mirror_csc_misses.store(nullptr, std::memory_order_relaxed);
+        g_mirror_csc_evictions.store(nullptr, std::memory_order_relaxed);
         return;
     }
     g_mirror_scratch.store(&registry->counter("sim.sched.scratch_reuses"),
@@ -249,6 +366,12 @@ setSimKernelMetrics(MetricsRegistry *registry)
                           std::memory_order_relaxed);
     g_mirror_evictions.store(&registry->counter("sim.symbolic.evictions"),
                              std::memory_order_relaxed);
+    g_mirror_csc_hits.store(&registry->counter("sim.csc.hits"),
+                            std::memory_order_relaxed);
+    g_mirror_csc_misses.store(&registry->counter("sim.csc.misses"),
+                              std::memory_order_relaxed);
+    g_mirror_csc_evictions.store(&registry->counter("sim.csc.evictions"),
+                                 std::memory_order_relaxed);
 }
 
 namespace {

@@ -95,6 +95,18 @@ class RowScratch
         work_[r] += work;
     }
 
+    /**
+     * Fold a run of nonzeros (row indices `rs[0..n)`, one weight) —
+     * the pointerized inner loop of the tile kernels. Equivalent to n
+     * calls to add(): same counts, same first-touch order.
+     */
+    void
+    addRun(const Index *rs, std::size_t n, Offset work)
+    {
+        for (std::size_t t = 0; t < n; ++t)
+            add(rs[t], work);
+    }
+
     /** Rows touched since begin(), in first-touch order. */
     const std::vector<Index> &
     touched() const
@@ -179,6 +191,21 @@ void clearSymbolicCache();
 /** Cached symbolic entries currently held (ready + in-flight). */
 std::size_t symbolicCacheEntries();
 
+/**
+ * csrToCsc memoized process-wide by A's content fingerprint with the
+ * same exactly-once / FIFO-evicted semantics as cachedSpgemmSymbolic.
+ * Entries hold the full converted matrix, so the capacity is small;
+ * it pays off on the serve/bench path where the same A is simulated
+ * repeatedly. Byte-identical to csrToCsc(a). Never returns null.
+ */
+std::shared_ptr<const CscMatrix> cachedCsrToCsc(const CsrMatrix &a);
+
+/** Drop every cached conversion (counters keep accumulating). */
+void clearCscCache();
+
+/** Cached conversions currently held (ready + in-flight). */
+std::size_t cscCacheEntries();
+
 /** Process-lifetime totals of the simulator kernel counters. */
 struct SimKernelCounters
 {
@@ -186,6 +213,9 @@ struct SimKernelCounters
     std::uint64_t symbolic_hits = 0;     ///< Symbolic lookups from cache.
     std::uint64_t symbolic_misses = 0;   ///< Symbolic analyses computed.
     std::uint64_t symbolic_evictions = 0;///< FIFO evictions.
+    std::uint64_t csc_hits = 0;          ///< Conversions from cache.
+    std::uint64_t csc_misses = 0;        ///< Conversions computed.
+    std::uint64_t csc_evictions = 0;     ///< Conversion FIFO evictions.
 };
 
 /** Snapshot of the process-wide kernel counters. */
@@ -193,8 +223,9 @@ SimKernelCounters simKernelCounters();
 
 /**
  * Mirror future kernel-counter events into `registry` under
- * `sim.sched.scratch_reuses` / `sim.symbolic.{hits,misses,evictions}`
- * (docs/OBSERVABILITY.md). nullptr detaches. The caller keeps the
+ * `sim.sched.scratch_reuses`, `sim.symbolic.{hits,misses,evictions}`,
+ * and `sim.csc.{hits,misses,evictions}` (docs/OBSERVABILITY.md).
+ * nullptr detaches. The caller keeps the
  * registry alive until detach; attach before concurrent use. Mirroring
  * starts at zero from the attach point (prior totals are not
  * backfilled). The golden-trace registries never attach this hook, so

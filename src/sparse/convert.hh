@@ -21,8 +21,20 @@ CsrMatrix cooToCsr(CooMatrix coo);
 /** CSR -> COO (already canonical). */
 CooMatrix csrToCoo(const CsrMatrix &csr);
 
-/** CSR -> CSC via a counting transpose-style pass. */
+/**
+ * CSR -> CSC via a counting transpose-style pass. Large conversions
+ * take a cache-blocked route (nonzeros staged per column block so the
+ * scatter's write window stays cache-resident); outputs are
+ * byte-identical either way, pinned by csrToCscReference.
+ */
 CscMatrix csrToCsc(const CsrMatrix &csr);
+
+/**
+ * The original single-pass cursor-scatter conversion, retained as the
+ * test reference for the direct and cache-blocked kernels in
+ * csrToCsc (tests/test_simd_dispatch.cpp pins byte-equality).
+ */
+CscMatrix csrToCscReference(const CsrMatrix &csr);
 
 /** CSC -> CSR. */
 CsrMatrix cscToCsr(const CscMatrix &csc);

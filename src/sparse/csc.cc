@@ -17,6 +17,18 @@ CscMatrix::CscMatrix(Index rows, Index cols, std::vector<Offset> col_ptr,
     validate();
 }
 
+CscMatrix::CscMatrix(TrustedSource, Index rows, Index cols,
+                     std::vector<Offset> col_ptr,
+                     std::vector<Index> row_idx,
+                     std::vector<Value> values)
+    : rows_(rows), cols_(cols), col_ptr_(std::move(col_ptr)),
+      row_idx_(std::move(row_idx)), values_(std::move(values))
+{
+#ifndef NDEBUG
+    validate();
+#endif
+}
+
 std::span<const Index>
 CscMatrix::colRows(Index c) const
 {

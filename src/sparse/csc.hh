@@ -18,6 +18,16 @@
 namespace misam {
 
 /**
+ * Tag selecting the non-validating CscMatrix constructor. For kernels
+ * whose output satisfies the structural invariants by construction
+ * (e.g. the csrToCsc scatter over an already-validated CsrMatrix),
+ * where the O(nnz) validate() walk would double the conversion cost.
+ */
+struct TrustedSource
+{
+};
+
+/**
  * Sparse matrix in compressed sparse column format; the column-major dual
  * of CsrMatrix with the same invariants transposed.
  */
@@ -32,6 +42,14 @@ class CscMatrix
     /** Construct from raw arrays (takes ownership; validates). */
     CscMatrix(Index rows, Index cols, std::vector<Offset> col_ptr,
               std::vector<Index> row_idx, std::vector<Value> values);
+
+    /**
+     * Construct from raw arrays without validating. The caller asserts
+     * the invariants hold by construction; debug builds still check.
+     */
+    CscMatrix(TrustedSource, Index rows, Index cols,
+              std::vector<Offset> col_ptr, std::vector<Index> row_idx,
+              std::vector<Value> values);
 
     Index rows() const { return rows_; }
     Index cols() const { return cols_; }

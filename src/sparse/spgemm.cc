@@ -1,9 +1,11 @@
 #include "sparse/spgemm.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "sparse/convert.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace misam {
 
@@ -238,35 +240,117 @@ spgemmCompressionFactor(const CsrMatrix &a, const CsrMatrix &b)
            static_cast<double>(sym.multiplies);
 }
 
+namespace {
+
+/**
+ * Bitmap row-merge variant of the fused symbolic pass: each B row
+ * becomes a column-occupancy bitmap, each output row ORs the bitmaps
+ * its A nonzeros select (simd::orInto) and popcounts the union. Wins
+ * when B rows average at least one set bit per occupancy word; the
+ * caller gates on that, so hypersparse B stays on the marker path.
+ */
+void
+symbolicBitmap(const CsrMatrix &a, const CsrMatrix &b,
+               std::size_t words, SymbolicStats &sym)
+{
+    const Offset *b_rp = b.rowPtr().data();
+    const Index *b_ci = b.colIdx().data();
+    std::vector<std::uint64_t> bitmaps(words * b.rows(), 0);
+    for (Index k = 0; k < b.rows(); ++k) {
+        std::uint64_t *bits = bitmaps.data() + words * k;
+        for (Offset q = b_rp[k]; q < b_rp[k + 1]; ++q) {
+            const Index j = b_ci[q];
+            bits[j >> 6] |= std::uint64_t{1} << (j & 63);
+        }
+    }
+
+    const Offset *a_rp = a.rowPtr().data();
+    const Index *a_ci = a.colIdx().data();
+    const Offset *row_len = sym.b_row_nnz.data();
+    std::vector<std::uint64_t> acc(words, 0);
+    for (Index i = 0; i < a.rows(); ++i) {
+        const Offset lo = a_rp[i];
+        const Offset hi = a_rp[i + 1];
+        if (lo == hi)
+            continue;
+        if (hi - lo == 1) {
+            // One selected B row: its distinct columns are its nnz.
+            const Index k = a_ci[lo];
+            sym.multiplies += row_len[k];
+            sym.output_nnz += row_len[k];
+            continue;
+        }
+        for (Offset p = lo; p < hi; ++p) {
+            const Index k = a_ci[p];
+            sym.multiplies += row_len[k];
+            simd::orInto(acc.data(), bitmaps.data() + words * k,
+                         words);
+        }
+        sym.output_nnz += simd::popcountAndClear(acc.data(), words);
+    }
+    simd::noteBitmapRows(a.rows());
+}
+
+/** Marker-array variant (branchless stamps); any backend, any shape. */
+void
+symbolicMarker(const CsrMatrix &a, const CsrMatrix &b,
+               SymbolicStats &sym)
+{
+    const Offset *a_rp = a.rowPtr().data();
+    const Index *a_ci = a.colIdx().data();
+    const Offset *b_rp = b.rowPtr().data();
+    const Index *b_ci = b.colIdx().data();
+    const Offset *row_len = sym.b_row_nnz.data();
+    std::vector<Index> mark(b.cols(), 0);
+    Index stamp = 0;
+    for (Index i = 0; i < a.rows(); ++i) {
+        ++stamp;
+        Offset row_nnz = 0;
+        for (Offset p = a_rp[i]; p < a_rp[i + 1]; ++p) {
+            const Index k = a_ci[p];
+            sym.multiplies += row_len[k];
+            for (Offset q = b_rp[k]; q < b_rp[k + 1]; ++q) {
+                const Index j = b_ci[q];
+                row_nnz += static_cast<Offset>(mark[j] != stamp);
+                mark[j] = stamp;
+            }
+        }
+        sym.output_nnz += row_nnz;
+    }
+}
+
+} // namespace
+
 SymbolicStats
 spgemmSymbolic(const CsrMatrix &a, const CsrMatrix &b)
 {
     checkDims(a.cols(), b.rows());
     SymbolicStats sym;
     sym.b_row_nnz.resize(b.rows());
+    const Offset *b_rp = b.rowPtr().data();
     for (Index k = 0; k < b.rows(); ++k)
-        sym.b_row_nnz[k] = b.rowNnz(k);
+        sym.b_row_nnz[k] = b_rp[k + 1] - b_rp[k];
 
-    // Fused multiply-count + symbolic-output pass: per output row, the
-    // marker array unions the B rows selected by A(i,:) while the
-    // cached B row lengths accumulate the effectual flops. Identical
-    // values to spgemmMultiplyCount/spgemmOutputNnz by construction.
-    std::vector<Index> mark(b.cols(), 0);
-    Index stamp = 0;
-    for (Index i = 0; i < a.rows(); ++i) {
-        ++stamp;
-        Offset row_nnz = 0;
-        for (Index k : a.rowCols(i)) {
-            sym.multiplies += sym.b_row_nnz[k];
-            for (Index j : b.rowCols(k)) {
-                if (mark[j] != stamp) {
-                    mark[j] = stamp;
-                    ++row_nnz;
-                }
-            }
-        }
-        sym.output_nnz += row_nnz;
-    }
+    // Degenerate operands (0 rows / 0 cols / 0 nnz) take no merge pass
+    // at all, so every backend trivially agrees on them.
+    if (a.rows() == 0 || a.nnz() == 0 || b.cols() == 0)
+        return sym;
+
+    // Fused multiply-count + symbolic-output pass. Identical values to
+    // spgemmMultiplyCount/spgemmOutputNnz by construction, from either
+    // variant: the path choice depends only on the operand shape (never
+    // on backend or thread count), and both variants count the same
+    // distinct-column unions.
+    const std::size_t words =
+        (static_cast<std::size_t>(b.cols()) + 63) / 64;
+    constexpr std::size_t kMaxBitmapWords = (64u << 20) / 8;
+    const bool use_bitmap =
+        b.nnz() >= static_cast<Offset>(words) * b.rows() &&
+        words * b.rows() <= kMaxBitmapWords;
+    if (use_bitmap)
+        symbolicBitmap(a, b, words, sym);
+    else
+        symbolicMarker(a, b, sym);
     return sym;
 }
 

@@ -1,0 +1,767 @@
+#include "util/simd.hh"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <string>
+
+#include "util/env.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace misam::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Backend selection.
+// ---------------------------------------------------------------------
+
+/** -1 until first resolution; a Backend ordinal afterwards. */
+std::atomic<int> g_backend{-1};
+
+Backend
+resolveFromEnv()
+{
+    const std::string requested = envString("MISAM_SIMD");
+    if (requested.empty())
+        return bestSupportedBackend();
+    Backend backend = Backend::Scalar;
+    if (requested == "scalar")
+        backend = Backend::Scalar;
+    else if (requested == "avx2")
+        backend = Backend::Avx2;
+    else if (requested == "neon")
+        backend = Backend::Neon;
+    else
+        fatal("MISAM_SIMD: unknown backend '", requested,
+              "' (expected scalar|avx2|neon)");
+    if (!backendSupported(backend))
+        fatal("MISAM_SIMD: backend '", requested,
+              "' is not executable on this host");
+    return backend;
+}
+
+// ---------------------------------------------------------------------
+// Observability: process-wide totals plus resolve-at-attach mirrors
+// (the setSimKernelMetrics pattern from sim/workspace.cc).
+// ---------------------------------------------------------------------
+
+std::atomic<std::uint64_t> g_bitmap_rows{0};
+std::atomic<std::uint64_t> g_fingerprint_blocks{0};
+std::atomic<std::uint64_t> g_weight_builds{0};
+std::atomic<std::uint64_t> g_pe_folds{0};
+std::atomic<std::uint64_t> g_csc_blocked{0};
+
+std::atomic<Counter *> g_mirror_bitmap_rows{nullptr};
+std::atomic<Counter *> g_mirror_fingerprint_blocks{nullptr};
+std::atomic<Counter *> g_mirror_weight_builds{nullptr};
+std::atomic<Counter *> g_mirror_pe_folds{nullptr};
+std::atomic<Counter *> g_mirror_csc_blocked{nullptr};
+std::atomic<Gauge *> g_mirror_backend{nullptr};
+
+void
+bumpBy(std::atomic<std::uint64_t> &total, std::atomic<Counter *> &mirror,
+       std::uint64_t n)
+{
+    total.fetch_add(n, std::memory_order_relaxed);
+    if (Counter *c = mirror.load(std::memory_order_relaxed))
+        c->add(n);
+}
+
+void
+publishBackendGauge()
+{
+    if (Gauge *g = g_mirror_backend.load(std::memory_order_relaxed))
+        g->set(static_cast<double>(static_cast<int>(activeBackend())));
+}
+
+// ---------------------------------------------------------------------
+// Scalar reference kernels. Every vector variant must match these
+// byte-for-byte (tests/test_simd_dispatch.cpp).
+// ---------------------------------------------------------------------
+
+void
+orIntoScalar(std::uint64_t *acc, const std::uint64_t *src,
+             std::size_t words)
+{
+    for (std::size_t i = 0; i < words; ++i)
+        acc[i] |= src[i];
+}
+
+std::uint64_t
+popcountAndClearScalar(std::uint64_t *words, std::size_t n)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += static_cast<std::uint64_t>(std::popcount(words[i]));
+        words[i] = 0;
+    }
+    return total;
+}
+
+std::uint64_t
+rotl64(std::uint64_t x, int r)
+{
+    return (x << r) | (x >> (64 - r));
+}
+
+// The fingerprint bulk-round constants (serve/fingerprint.cc keeps the
+// canonical scalar loop; these variants must agree with it exactly).
+constexpr std::uint64_t kFpMul1 = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kFpMul2 = 0xc2b2ae3d27d4eb4fULL;
+
+std::uint64_t
+fingerprintRound(std::uint64_t lane, std::uint64_t word)
+{
+    return rotl64(lane ^ (word * kFpMul1), 31) * kFpMul2;
+}
+
+std::size_t
+fingerprintBulkScalar(std::uint64_t lanes[4], const std::uint64_t *words,
+                      std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        lanes[0] = fingerprintRound(lanes[0], words[i]);
+        lanes[1] = fingerprintRound(lanes[1], words[i + 1]);
+        lanes[2] = fingerprintRound(lanes[2], words[i + 2]);
+        lanes[3] = fingerprintRound(lanes[3], words[i + 3]);
+    }
+    return i;
+}
+
+void
+packPairsU32Scalar(std::uint64_t *dst, const std::uint32_t *src,
+                   std::size_t pairs)
+{
+    for (std::size_t i = 0; i < pairs; ++i)
+        dst[i] = static_cast<std::uint64_t>(src[2 * i]) |
+                 (static_cast<std::uint64_t>(src[2 * i + 1]) << 32);
+}
+
+void
+ceilDivWeightsScalar(std::uint64_t *dst, const std::uint64_t *row_nnz,
+                     std::size_t n, double eff_lanes, std::uint64_t meta)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto gather = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(row_nnz[i]) / eff_lanes));
+        dst[i] = meta + gather;
+    }
+}
+
+std::uint64_t
+peLengthScalar(const std::uint64_t *rec, std::uint64_t dep)
+{
+    const std::uint64_t total_work = rec[1];
+    const std::uint64_t max_row_count = rec[2];
+    const std::uint64_t rows_at_max = rec[3];
+    if (total_work == 0)
+        return 0;
+    const std::uint64_t cooldown =
+        max_row_count > 0 ? (max_row_count - 1) * dep + rows_at_max : 0;
+    return total_work > cooldown ? total_work : cooldown;
+}
+
+PeFold
+peScheduleFoldScalar(const std::uint64_t *acc4, std::size_t n,
+                     std::uint64_t dep)
+{
+    PeFold fold;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t *rec = acc4 + 4 * i;
+        const std::uint64_t len = peLengthScalar(rec, dep);
+        if (len > fold.schedule_length)
+            fold.schedule_length = len;
+        fold.total_elements += rec[0];
+        fold.busy_cycles += rec[1];
+    }
+    return fold;
+}
+
+// ---------------------------------------------------------------------
+// AVX2 kernels (x86-64, selected at runtime via cpuid).
+// ---------------------------------------------------------------------
+
+#if defined(__x86_64__)
+
+#define MISAM_AVX2 __attribute__((target("avx2")))
+
+MISAM_AVX2 void
+orIntoAvx2(std::uint64_t *acc, const std::uint64_t *src,
+           std::size_t words)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= words; i += 4) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(acc + i));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + i),
+                            _mm256_or_si256(a, b));
+    }
+    for (; i < words; ++i)
+        acc[i] |= src[i];
+}
+
+MISAM_AVX2 std::uint64_t
+popcountAndClearAvx2(std::uint64_t *words, std::size_t n)
+{
+    // Mula's nibble-table popcount: per byte, two pshufb lookups summed
+    // into 64-bit buckets via sad_epu8.
+    const __m256i lookup = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1,
+        2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low_mask = _mm256_set1_epi8(0x0f);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc = zero;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(words + i));
+        const __m256i lo = _mm256_and_si256(v, low_mask);
+        const __m256i hi =
+            _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+        const __m256i cnt =
+            _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                            _mm256_shuffle_epi8(lookup, hi));
+        acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, zero));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(words + i),
+                            zero);
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < n; ++i) {
+        total += static_cast<std::uint64_t>(std::popcount(words[i]));
+        words[i] = 0;
+    }
+    return total;
+}
+
+/** Full 64x64->low-64 multiply by a broadcast constant. */
+MISAM_AVX2 __m256i
+mul64Avx2(__m256i a, __m256i b)
+{
+    const __m256i lo = _mm256_mul_epu32(a, b);
+    const __m256i hi1 =
+        _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+    const __m256i hi2 =
+        _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
+    return _mm256_add_epi64(
+        lo, _mm256_slli_epi64(_mm256_add_epi64(hi1, hi2), 32));
+}
+
+MISAM_AVX2 __m256i
+rotl64Avx2(__m256i x, int r)
+{
+    return _mm256_or_si256(_mm256_slli_epi64(x, r),
+                           _mm256_srli_epi64(x, 64 - r));
+}
+
+MISAM_AVX2 std::size_t
+fingerprintBulkAvx2(std::uint64_t lanes[4], const std::uint64_t *words,
+                    std::size_t n)
+{
+    const __m256i c1 = _mm256_set1_epi64x(
+        static_cast<long long>(kFpMul1));
+    const __m256i c2 = _mm256_set1_epi64x(
+        static_cast<long long>(kFpMul2));
+    __m256i state = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(lanes));
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i w = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(words + i));
+        const __m256i mixed =
+            _mm256_xor_si256(state, mul64Avx2(w, c1));
+        state = mul64Avx2(rotl64Avx2(mixed, 31), c2);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), state);
+    return i;
+}
+
+MISAM_AVX2 void
+packPairsU32Avx2(std::uint64_t *dst, const std::uint32_t *src,
+                 std::size_t pairs)
+{
+    // Little-endian x86: a (lo, hi) u32 pair in memory is exactly the
+    // packed u64, so wide copies reproduce the scalar shift/or loop.
+    std::size_t i = 0;
+    for (; i + 4 <= pairs; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + 2 * i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i), v);
+    }
+    packPairsU32Scalar(dst + i, src + 2 * i, pairs - i);
+}
+
+// f64 <-> u64 conversion for values below 2^52: or/subtract against the
+// 2^52 exponent pattern keeps the integer in the mantissa bits exactly.
+constexpr long long kExp52 = 0x4330000000000000LL; // (double)2^52 bits.
+
+MISAM_AVX2 __m256d
+u64ToF64Avx2(__m256i v)
+{
+    const __m256i shifted =
+        _mm256_or_si256(v, _mm256_set1_epi64x(kExp52));
+    return _mm256_sub_pd(_mm256_castsi256_pd(shifted),
+                         _mm256_set1_pd(4503599627370496.0));
+}
+
+MISAM_AVX2 __m256i
+f64ToU64Avx2(__m256d d)
+{
+    const __m256d shifted =
+        _mm256_add_pd(d, _mm256_set1_pd(4503599627370496.0));
+    return _mm256_sub_epi64(_mm256_castpd_si256(shifted),
+                            _mm256_set1_epi64x(kExp52));
+}
+
+MISAM_AVX2 void
+ceilDivWeightsAvx2(std::uint64_t *dst, const std::uint64_t *row_nnz,
+                   std::size_t n, double eff_lanes, std::uint64_t meta)
+{
+    const __m256d lanes_v = _mm256_set1_pd(eff_lanes);
+    const __m256i meta_v =
+        _mm256_set1_epi64x(static_cast<long long>(meta));
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i nnz = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(row_nnz + i));
+        const __m256d q =
+            _mm256_div_pd(u64ToF64Avx2(nnz), lanes_v);
+        const __m256d c = _mm256_round_pd(
+            q, _MM_FROUND_TO_POS_INF | _MM_FROUND_NO_EXC);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + i),
+            _mm256_add_epi64(f64ToU64Avx2(c), meta_v));
+    }
+    ceilDivWeightsScalar(dst + i, row_nnz + i, n - i, eff_lanes, meta);
+}
+
+MISAM_AVX2 __m256i
+maxU64Avx2(__m256i a, __m256i b)
+{
+    // Values stay far below 2^63, so the signed compare is exact.
+    const __m256i gt = _mm256_cmpgt_epi64(b, a);
+    return _mm256_blendv_epi8(a, b, gt);
+}
+
+MISAM_AVX2 PeFold
+peScheduleFoldAvx2(const std::uint64_t *acc4, std::size_t n,
+                   std::uint64_t dep)
+{
+    const __m256i dep_v =
+        _mm256_set1_epi64x(static_cast<long long>(dep));
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i len_acc = zero;
+    __m256i te_acc = zero;
+    __m256i tw_acc = zero;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const std::uint64_t *base = acc4 + 4 * i;
+        const __m256i r0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(base));
+        const __m256i r1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(base + 4));
+        const __m256i r2 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(base + 8));
+        const __m256i r3 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(base + 12));
+        // 4x4 u64 transpose: four records -> one vector per field.
+        const __m256i t0 = _mm256_unpacklo_epi64(r0, r1);
+        const __m256i t1 = _mm256_unpackhi_epi64(r0, r1);
+        const __m256i t2 = _mm256_unpacklo_epi64(r2, r3);
+        const __m256i t3 = _mm256_unpackhi_epi64(r2, r3);
+        const __m256i te = _mm256_permute2x128_si256(t0, t2, 0x20);
+        const __m256i tw = _mm256_permute2x128_si256(t1, t3, 0x20);
+        const __m256i mc = _mm256_permute2x128_si256(t0, t2, 0x31);
+        const __m256i ram = _mm256_permute2x128_si256(t1, t3, 0x31);
+        // cooldown = (mc - 1) * dep + ram, forced to 0 when mc == 0
+        // (mc and dep fit 32 bits, so mul_epu32 is the full product).
+        const __m256i cooldown_raw = _mm256_add_epi64(
+            _mm256_mul_epu32(_mm256_sub_epi64(mc, one), dep_v), ram);
+        const __m256i mc_zero = _mm256_cmpeq_epi64(mc, zero);
+        const __m256i cooldown =
+            _mm256_andnot_si256(mc_zero, cooldown_raw);
+        __m256i len = maxU64Avx2(tw, cooldown);
+        len = _mm256_andnot_si256(_mm256_cmpeq_epi64(tw, zero), len);
+        len_acc = maxU64Avx2(len_acc, len);
+        te_acc = _mm256_add_epi64(te_acc, te);
+        tw_acc = _mm256_add_epi64(tw_acc, tw);
+    }
+    alignas(32) std::uint64_t len_l[4];
+    alignas(32) std::uint64_t te_l[4];
+    alignas(32) std::uint64_t tw_l[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(len_l), len_acc);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(te_l), te_acc);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(tw_l), tw_acc);
+    PeFold fold;
+    for (int lane = 0; lane < 4; ++lane) {
+        if (len_l[lane] > fold.schedule_length)
+            fold.schedule_length = len_l[lane];
+        fold.total_elements += te_l[lane];
+        fold.busy_cycles += tw_l[lane];
+    }
+    const PeFold tail = peScheduleFoldScalar(acc4 + 4 * i, n - i, dep);
+    if (tail.schedule_length > fold.schedule_length)
+        fold.schedule_length = tail.schedule_length;
+    fold.total_elements += tail.total_elements;
+    fold.busy_cycles += tail.busy_cycles;
+    return fold;
+}
+
+#undef MISAM_AVX2
+
+#endif // __x86_64__
+
+// ---------------------------------------------------------------------
+// NEON kernels (aarch64 baseline; no runtime probe needed). The f64 and
+// fold kernels stay on the scalar variants there — the integer paths
+// are where NEON pays, and every variant is byte-identical anyway.
+// ---------------------------------------------------------------------
+
+#if defined(__aarch64__)
+
+void
+orIntoNeon(std::uint64_t *acc, const std::uint64_t *src,
+           std::size_t words)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= words; i += 2) {
+        const uint64x2_t a = vld1q_u64(acc + i);
+        const uint64x2_t b = vld1q_u64(src + i);
+        vst1q_u64(acc + i, vorrq_u64(a, b));
+    }
+    for (; i < words; ++i)
+        acc[i] |= src[i];
+}
+
+std::uint64_t
+popcountAndClearNeon(std::uint64_t *words, std::size_t n)
+{
+    uint64x2_t acc = vdupq_n_u64(0);
+    const uint64x2_t zero = vdupq_n_u64(0);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint8x16_t v =
+            vreinterpretq_u8_u64(vld1q_u64(words + i));
+        const uint8x16_t cnt = vcntq_u8(v);
+        acc = vaddq_u64(
+            acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(cnt))));
+        vst1q_u64(words + i, zero);
+    }
+    std::uint64_t total =
+        vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+    for (; i < n; ++i) {
+        total += static_cast<std::uint64_t>(std::popcount(words[i]));
+        words[i] = 0;
+    }
+    return total;
+}
+
+uint64x2_t
+fingerprintRoundNeon(uint64x2_t lane, uint64x2_t word)
+{
+    // NEON has no 64-bit vector multiply; the multiplies stay scalar
+    // while the xor/rotate run vectorized. Lane math is unchanged.
+    const uint64x2_t prod = {
+        vgetq_lane_u64(word, 0) * kFpMul1,
+        vgetq_lane_u64(word, 1) * kFpMul1,
+    };
+    const uint64x2_t mixed = veorq_u64(lane, prod);
+    const uint64x2_t rot = vorrq_u64(vshlq_n_u64(mixed, 31),
+                                     vshrq_n_u64(mixed, 33));
+    return uint64x2_t{
+        vgetq_lane_u64(rot, 0) * kFpMul2,
+        vgetq_lane_u64(rot, 1) * kFpMul2,
+    };
+}
+
+std::size_t
+fingerprintBulkNeon(std::uint64_t lanes[4], const std::uint64_t *words,
+                    std::size_t n)
+{
+    uint64x2_t s01 = vld1q_u64(lanes);
+    uint64x2_t s23 = vld1q_u64(lanes + 2);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        s01 = fingerprintRoundNeon(s01, vld1q_u64(words + i));
+        s23 = fingerprintRoundNeon(s23, vld1q_u64(words + i + 2));
+    }
+    vst1q_u64(lanes, s01);
+    vst1q_u64(lanes + 2, s23);
+    return i;
+}
+
+void
+packPairsU32Neon(std::uint64_t *dst, const std::uint32_t *src,
+                 std::size_t pairs)
+{
+    // Little-endian aarch64: the pair layout is the packed word.
+    std::size_t i = 0;
+    for (; i + 2 <= pairs; i += 2) {
+        vst1q_u64(dst + i,
+                  vreinterpretq_u64_u32(vld1q_u32(src + 2 * i)));
+    }
+    packPairsU32Scalar(dst + i, src + 2 * i, pairs - i);
+}
+
+#endif // __aarch64__
+
+} // namespace
+
+const char *
+backendName(Backend backend)
+{
+    switch (backend) {
+      case Backend::Scalar:
+        return "scalar";
+      case Backend::Avx2:
+        return "avx2";
+      case Backend::Neon:
+        return "neon";
+    }
+    return "?";
+}
+
+bool
+backendSupported(Backend backend)
+{
+    switch (backend) {
+      case Backend::Scalar:
+        return true;
+      case Backend::Avx2:
+#if defined(__x86_64__)
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+      case Backend::Neon:
+#if defined(__aarch64__)
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+Backend
+bestSupportedBackend()
+{
+    if (backendSupported(Backend::Avx2))
+        return Backend::Avx2;
+    if (backendSupported(Backend::Neon))
+        return Backend::Neon;
+    return Backend::Scalar;
+}
+
+Backend
+activeBackend()
+{
+    int current = g_backend.load(std::memory_order_relaxed);
+    if (current < 0) {
+        // Resolution is deterministic, so a first-use race just stores
+        // the same value twice.
+        current = static_cast<int>(resolveFromEnv());
+        g_backend.store(current, std::memory_order_relaxed);
+    }
+    return static_cast<Backend>(current);
+}
+
+void
+setBackendForTesting(Backend backend)
+{
+    if (!backendSupported(backend))
+        fatal("setBackendForTesting: backend '", backendName(backend),
+              "' is not executable on this host");
+    g_backend.store(static_cast<int>(backend),
+                    std::memory_order_relaxed);
+    publishBackendGauge();
+}
+
+void
+resetBackendFromEnv()
+{
+    g_backend.store(-1, std::memory_order_relaxed);
+    publishBackendGauge();
+}
+
+void
+orInto(std::uint64_t *acc, const std::uint64_t *src, std::size_t words)
+{
+    switch (activeBackend()) {
+#if defined(__x86_64__)
+      case Backend::Avx2:
+        orIntoAvx2(acc, src, words);
+        return;
+#endif
+#if defined(__aarch64__)
+      case Backend::Neon:
+        orIntoNeon(acc, src, words);
+        return;
+#endif
+      default:
+        orIntoScalar(acc, src, words);
+        return;
+    }
+}
+
+std::uint64_t
+popcountAndClear(std::uint64_t *words, std::size_t n)
+{
+    switch (activeBackend()) {
+#if defined(__x86_64__)
+      case Backend::Avx2:
+        return popcountAndClearAvx2(words, n);
+#endif
+#if defined(__aarch64__)
+      case Backend::Neon:
+        return popcountAndClearNeon(words, n);
+#endif
+      default:
+        return popcountAndClearScalar(words, n);
+    }
+}
+
+std::size_t
+fingerprintBulk(std::uint64_t lanes[4], const std::uint64_t *words,
+                std::size_t n)
+{
+    bumpBy(g_fingerprint_blocks, g_mirror_fingerprint_blocks, 1);
+    switch (activeBackend()) {
+#if defined(__x86_64__)
+      case Backend::Avx2:
+        return fingerprintBulkAvx2(lanes, words, n);
+#endif
+#if defined(__aarch64__)
+      case Backend::Neon:
+        return fingerprintBulkNeon(lanes, words, n);
+#endif
+      default:
+        return fingerprintBulkScalar(lanes, words, n);
+    }
+}
+
+void
+packPairsU32(std::uint64_t *dst, const std::uint32_t *src,
+             std::size_t pairs)
+{
+    switch (activeBackend()) {
+#if defined(__x86_64__)
+      case Backend::Avx2:
+        packPairsU32Avx2(dst, src, pairs);
+        return;
+#endif
+#if defined(__aarch64__)
+      case Backend::Neon:
+        packPairsU32Neon(dst, src, pairs);
+        return;
+#endif
+      default:
+        packPairsU32Scalar(dst, src, pairs);
+        return;
+    }
+}
+
+void
+ceilDivWeights(std::uint64_t *dst, const std::uint64_t *row_nnz,
+               std::size_t n, double eff_lanes, std::uint64_t meta)
+{
+    bumpBy(g_weight_builds, g_mirror_weight_builds, 1);
+    switch (activeBackend()) {
+#if defined(__x86_64__)
+      case Backend::Avx2:
+        ceilDivWeightsAvx2(dst, row_nnz, n, eff_lanes, meta);
+        return;
+#endif
+      default:
+        ceilDivWeightsScalar(dst, row_nnz, n, eff_lanes, meta);
+        return;
+    }
+}
+
+PeFold
+peScheduleFold(const std::uint64_t *acc4, std::size_t n,
+               std::uint64_t dep)
+{
+    bumpBy(g_pe_folds, g_mirror_pe_folds, 1);
+    switch (activeBackend()) {
+#if defined(__x86_64__)
+      case Backend::Avx2:
+        return peScheduleFoldAvx2(acc4, n, dep);
+#endif
+      default:
+        return peScheduleFoldScalar(acc4, n, dep);
+    }
+}
+
+SimdCounters
+simdCounters()
+{
+    SimdCounters c;
+    c.bitmap_rows = g_bitmap_rows.load(std::memory_order_relaxed);
+    c.fingerprint_blocks =
+        g_fingerprint_blocks.load(std::memory_order_relaxed);
+    c.weight_builds = g_weight_builds.load(std::memory_order_relaxed);
+    c.pe_folds = g_pe_folds.load(std::memory_order_relaxed);
+    c.csc_blocked = g_csc_blocked.load(std::memory_order_relaxed);
+    return c;
+}
+
+void
+noteBitmapRows(std::uint64_t rows)
+{
+    bumpBy(g_bitmap_rows, g_mirror_bitmap_rows, rows);
+}
+
+void
+noteBlockedCsc()
+{
+    bumpBy(g_csc_blocked, g_mirror_csc_blocked, 1);
+}
+
+void
+setSimdMetrics(MetricsRegistry *registry)
+{
+    if (registry == nullptr) {
+        g_mirror_bitmap_rows.store(nullptr, std::memory_order_relaxed);
+        g_mirror_fingerprint_blocks.store(nullptr,
+                                          std::memory_order_relaxed);
+        g_mirror_weight_builds.store(nullptr,
+                                     std::memory_order_relaxed);
+        g_mirror_pe_folds.store(nullptr, std::memory_order_relaxed);
+        g_mirror_csc_blocked.store(nullptr, std::memory_order_relaxed);
+        g_mirror_backend.store(nullptr, std::memory_order_relaxed);
+        return;
+    }
+    g_mirror_bitmap_rows.store(
+        &registry->counter("simd.bitmap_rows"),
+        std::memory_order_relaxed);
+    g_mirror_fingerprint_blocks.store(
+        &registry->counter("simd.fingerprint_blocks"),
+        std::memory_order_relaxed);
+    g_mirror_weight_builds.store(
+        &registry->counter("simd.weight_builds"),
+        std::memory_order_relaxed);
+    g_mirror_pe_folds.store(&registry->counter("simd.pe_folds"),
+                            std::memory_order_relaxed);
+    g_mirror_csc_blocked.store(&registry->counter("simd.csc_blocked"),
+                               std::memory_order_relaxed);
+    g_mirror_backend.store(&registry->gauge("simd.backend"),
+                           std::memory_order_relaxed);
+    publishBackendGauge();
+}
+
+} // namespace misam::simd

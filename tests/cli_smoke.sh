@@ -165,4 +165,41 @@ if "$CLI" frobnicate 2>/dev/null; then
     echo "expected nonzero exit"; exit 1
 fi
 
+# Survival check for the mode-keyed bench summary: a --smoke run must
+# replace only the "smoke" section and carry an existing "full" section
+# (the committed full-run numbers) over verbatim.
+BENCH_SIM="${2:-}"
+if [ -n "$BENCH_SIM" ]; then
+    echo "== bench_sim_hot smoke keeps the full section =="
+    cat > "$WORK/bench.json" <<'JSONEOF'
+{
+  "bench": "bench_sim_hot",
+  "full": {
+    "workloads": [
+      {"name": "sentinel", "fast_seconds": 1.0}
+    ]
+  }
+}
+JSONEOF
+    "$BENCH_SIM" --smoke --out="$WORK/bench.json" >/dev/null
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$WORK/bench.json" <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+full = data.get("full", {}).get("workloads")
+if not full or full[0].get("name") != "sentinel":
+    sys.exit(f"full section clobbered by smoke run: {data.get('full')}")
+if not data.get("smoke", {}).get("workloads"):
+    sys.exit("smoke section missing after smoke run")
+print("bench summary merge OK")
+PYEOF
+    else
+        grep -q '"sentinel"' "$WORK/bench.json"
+        grep -q '"smoke"' "$WORK/bench.json"
+        echo "bench summary merge OK (grep fallback)"
+    fi
+fi
+
 echo "cli smoke OK"

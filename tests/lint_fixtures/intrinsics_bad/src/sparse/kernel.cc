@@ -1,0 +1,27 @@
+// Fixture: raw intrinsics outside src/util/simd.* must all fire.
+#include <cstdint>
+#include <immintrin.h>
+#include "arm_neon.h"
+
+namespace misam {
+
+std::uint64_t
+sumFour(const std::uint64_t *w)
+{
+    __m256i acc = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(w));
+    acc = _mm256_add_epi64(acc, acc);
+    std::uint64_t out[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(out), acc);
+    return out[0];
+}
+
+std::uint64_t
+neonAdd(std::uint64_t a, std::uint64_t b)
+{
+    const auto va = vdupq_n_u64(a);
+    const auto vb = vdupq_n_u64(b);
+    return vgetq_lane_u64(vaddq_u64(va, vb), 0);
+}
+
+} // namespace misam

@@ -1,0 +1,20 @@
+// Fixture: near-miss identifiers that must NOT fire — lowercase words
+// starting with v but lacking a NEON lane suffix, names merely
+// containing mm, and the dispatch API itself.
+#include <cstdint>
+
+namespace misam {
+
+std::uint64_t value_u64_total = 0; // not v<op>_<lane>: tail is "total"
+
+std::uint64_t
+useDispatch(const std::uint64_t *words, std::uint64_t vmax_u)
+{
+    std::uint64_t vec_sum = vmax_u;     // no lane suffix
+    std::uint64_t comm_mask = words[0]; // mm inside a word
+    std::uint64_t val_of = vec_sum + comm_mask;
+    value_u64_total += val_of;
+    return val_of;
+}
+
+} // namespace misam

@@ -1,0 +1,18 @@
+// Fixture: the dispatch layer itself may use vendor intrinsics.
+#include <cstdint>
+#include <immintrin.h>
+
+namespace misam::simd {
+
+std::uint64_t
+sumFour(const std::uint64_t *w)
+{
+    __m256i acc = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(w));
+    acc = _mm256_add_epi64(acc, acc);
+    std::uint64_t out[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(out), acc);
+    return out[0];
+}
+
+} // namespace misam::simd

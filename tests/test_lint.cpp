@@ -61,7 +61,7 @@ hasDiagAtLine(const Result &result, const std::string &rule,
 
 } // namespace
 
-TEST(LintRuleTable, ListsTheFiveRulesSorted)
+TEST(LintRuleTable, ListsTheSixRulesSorted)
 {
     const auto table = misam::lint::ruleTable();
     std::vector<std::string> names;
@@ -70,8 +70,9 @@ TEST(LintRuleTable, ListsTheFiveRulesSorted)
         EXPECT_FALSE(info.description.empty()) << info.name;
     }
     const std::vector<std::string> expected = {
-        "metrics-catalog-sync", "no-ambient-rng", "no-raw-getenv",
-        "no-unordered-emission", "no-wall-clock"};
+        "metrics-catalog-sync",  "no-ambient-rng", "no-raw-getenv",
+        "no-raw-intrinsics",     "no-unordered-emission",
+        "no-wall-clock"};
     EXPECT_EQ(names, expected);
     for (const std::string &name : expected)
         EXPECT_TRUE(misam::lint::isKnownRule(name));
@@ -195,6 +196,33 @@ TEST(LintRawGetenv, SilentInsideUtil)
         runLint(fixtureOptions("getenv_good", {"no-raw-getenv"}));
     EXPECT_TRUE(result.diagnostics.empty())
         << result.diagnostics.front().message;
+}
+
+TEST(LintRawIntrinsics, FiresOnBadFixture)
+{
+    const Result result = runLint(
+        fixtureOptions("intrinsics_bad", {"no-raw-intrinsics"}));
+    // Header word + quoted header literal + every __m256i / _mm256_*
+    // / NEON v*q_u64 occurrence in the fixture.
+    EXPECT_EQ(countRule(result, "no-raw-intrinsics"), 12u);
+    EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics", 3));  // immintrin
+    EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics", 4));  // arm_neon.h
+    EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics", 11)); // __m256i
+    EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics", 13)); // _mm256_add
+    EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics", 22)); // vdupq_n_u64
+    EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics", 24)); // vaddq_u64
+}
+
+TEST(LintRawIntrinsics, SilentInsideSimdLayerAndOnNearMisses)
+{
+    // src/util/simd.cc is the sanctioned home; caller.cc holds
+    // near-miss identifiers (vec_sum, comm_mask, value_u64_total)
+    // that must not fire.
+    const Result result = runLint(
+        fixtureOptions("intrinsics_good", {"no-raw-intrinsics"}));
+    EXPECT_TRUE(result.diagnostics.empty())
+        << result.diagnostics.front().message;
+    EXPECT_EQ(result.files_scanned, 2u);
 }
 
 TEST(LintAllowAnnotations, UnjustifiedAnnotationsAreViolations)

@@ -8,9 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "core/misam.hh"
 #include "serve/fingerprint.hh"
@@ -157,6 +160,62 @@ TEST(SummaryCacheTest, EvictsOldestBeyondCapacity)
     // An evicted matrix recomputes (a new miss, not a hit).
     (void)cache.summary(testMatrix(0));
     EXPECT_EQ(cache.summaryMisses(), 11u);
+}
+
+TEST(SummaryCacheTest, DrainsOvershootFromInFlightInsertsExactly)
+{
+    // Regression: the retired evictIfOverFull evicted at most one
+    // entry per insert, so an overshoot created while every entry was
+    // still being computed was carried forever — each later insert
+    // traded one eviction for its own insertion. Hold three
+    // computations in flight past a capacity of two, then assert the
+    // next insert drains the excess with exact accounting.
+    SummaryCacheConfig config;
+    config.max_entries = 2;
+    std::atomic<int> entered{0};
+    std::atomic<bool> release{false};
+    config.summary_compute_hook = [&] {
+        entered.fetch_add(1, std::memory_order_relaxed);
+        while (!release.load(std::memory_order_relaxed))
+            std::this_thread::yield();
+    };
+    SummaryCache cache(config);
+    MetricsRegistry registry;
+    cache.setMetrics(&registry);
+
+    std::vector<std::thread> workers;
+    for (std::uint64_t s = 0; s < 3; ++s)
+        workers.emplace_back(
+            [&cache, s] { (void)cache.summary(testMatrix(s)); });
+    while (entered.load(std::memory_order_relaxed) < 3)
+        std::this_thread::yield();
+    // All three are in flight: the bound is overshot by one and
+    // nothing is evictable yet.
+    EXPECT_EQ(cache.summaryEntries(), 3u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    release.store(true, std::memory_order_relaxed);
+    for (std::thread &t : workers)
+        t.join();
+
+    // Fourth insert with three ready entries: must evict TWO (down to
+    // the bound), not one.
+    (void)cache.summary(testMatrix(3));
+    EXPECT_EQ(cache.summaryEntries(), 2u);
+    EXPECT_EQ(cache.evictions(), 2u);
+
+    // clear() interleaved with further inserts keeps the accounting
+    // exact: a cleared map never yields phantom evictions.
+    cache.clear();
+    for (std::uint64_t s = 10; s < 13; ++s)
+        (void)cache.summary(testMatrix(s));
+    EXPECT_EQ(cache.summaryEntries(), 2u);
+    EXPECT_EQ(cache.evictions(), 3u);
+    cache.clear();
+    (void)cache.summary(testMatrix(20));
+    EXPECT_EQ(cache.summaryEntries(), 1u);
+    EXPECT_EQ(cache.evictions(), 3u);
+    EXPECT_EQ(registry.counterValue("cache.evictions"),
+              cache.evictions());
 }
 
 TEST(SummaryCacheTest, CountersMirrorIntoRegistry)

@@ -2,7 +2,7 @@
  * @file
  * misam-lint implementation: a single-pass lexer that blanks comments
  * and literals (so rules never fire on documentation or strings), plus
- * the five determinism rules driven by the declarative tables below.
+ * the six rules driven by the declarative tables below.
  * See lint.hh for the contract and docs/STATIC_ANALYSIS.md for the
  * rule catalog.
  */
@@ -546,8 +546,8 @@ namespace {
 constexpr std::string_view kCatalogRelPath = "docs/OBSERVABILITY.md";
 
 const std::vector<std::string_view> kMetricPrefixes = {
-    "sim",   "cache", "serve", "reconfig",
-    "tenant", "train", "phase", "sched", "fleet"};
+    "sim",    "cache", "serve", "reconfig", "tenant",
+    "train",  "phase", "sched", "fleet",    "simd"};
 
 /** Markers that mean a loop body reaches an emitter / output stream. */
 const std::vector<std::string_view> kEmissionMarkers = {
@@ -703,6 +703,106 @@ appendUnorderedEmissionDiags(const SourceFile &file,
     }
 }
 
+/** NEON element-type suffix: u8/s16/f32/p64 and friends. */
+bool
+isNeonLaneSuffix(std::string_view tail)
+{
+    if (tail.size() < 2 || tail.size() > 4)
+        return false;
+    if (tail[0] != 'u' && tail[0] != 's' && tail[0] != 'f' &&
+        tail[0] != 'p')
+        return false;
+    for (std::size_t i = 1; i < tail.size(); ++i)
+        if (std::isdigit(static_cast<unsigned char>(tail[i])) == 0)
+            return false;
+    return true;
+}
+
+/** Word forms that identify a raw vendor intrinsic or vector type. */
+bool
+isRawIntrinsicWord(std::string_view w)
+{
+    if (w.rfind("_mm", 0) == 0)
+        return true; // x86 _mm_* / _mm256_* / _mm512_* intrinsics.
+    if (w.size() > 3 && w.rfind("__m", 0) == 0 &&
+        std::isdigit(static_cast<unsigned char>(w[3])) != 0)
+        return true; // __m128 / __m256i / __m512d vector types.
+    if (w == "immintrin" || w == "arm_neon")
+        return true; // Vendor headers (#include lines are code).
+    // NEON intrinsics: lowercase v<op>[q]_..._<lane>, e.g. vaddq_u64,
+    // vld1q_u8, vgetq_lane_u64. Requiring the lane suffix keeps plain
+    // identifiers like `value_of` out.
+    if (w.size() >= 4 && w[0] == 'v') {
+        const std::size_t us = w.rfind('_');
+        if (us == std::string_view::npos || us + 1 >= w.size())
+            return false;
+        for (char c : w.substr(0, us))
+            if (std::islower(static_cast<unsigned char>(c)) == 0 &&
+                std::isdigit(static_cast<unsigned char>(c)) == 0 &&
+                c != '_')
+                return false;
+        return isNeonLaneSuffix(w.substr(us + 1));
+    }
+    return false;
+}
+
+/**
+ * Raw SIMD intrinsics outside the dispatch layer. Vendor headers and
+ * intrinsic names are confined to src/util/simd.* so every vector
+ * kernel sits behind the runtime-dispatched, parity-tested API — a
+ * stray intrinsic elsewhere silently breaks the scalar build and the
+ * cross-backend byte-identity contract.
+ */
+void
+appendRawIntrinsicsDiags(const SourceFile &file,
+                         std::vector<Diagnostic> &out)
+{
+    if (file.under("src/util/simd."))
+        return;
+    const std::string &code = file.code;
+    std::size_t i = 0;
+    while (i < code.size()) {
+        if (!isWordChar(code[i]) || (i > 0 && isWordChar(code[i - 1]))) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i;
+        while (j < code.size() && isWordChar(code[j]))
+            ++j;
+        const std::string_view w(code.data() + i, j - i);
+        if (isRawIntrinsicWord(w)) {
+            Diagnostic d;
+            d.rule = "no-raw-intrinsics";
+            d.file = file.rel_path;
+            d.line = file.lineOf(i);
+            d.message = "raw SIMD intrinsic '" + std::string(w) +
+                        "' outside src/util/simd.* (add the kernel to "
+                        "util/simd.hh so it runtime-dispatches and "
+                        "keeps the scalar backend byte-identical)";
+            out.push_back(std::move(d));
+        }
+        i = j;
+    }
+    // Vendor headers smuggled through quoted includes land in the
+    // blanked-literal list rather than the code scan above.
+    // misam-lint: allow(no-raw-intrinsics) -- the rule's own patterns
+    static const char *const headers[] = {"immintrin.h", "arm_neon.h"};
+    for (const StringLiteral &lit : file.literals) {
+        bool vendor = false;
+        for (const char *h : headers)
+            vendor = vendor || lit.text.find(h) != std::string::npos;
+        if (!vendor)
+            continue;
+        Diagnostic d;
+        d.rule = "no-raw-intrinsics";
+        d.file = file.rel_path;
+        d.line = lit.line;
+        d.message = "vendor SIMD header '" + lit.text +
+                    "' included outside src/util/simd.*";
+        out.push_back(std::move(d));
+    }
+}
+
 void
 appendCatalogDiags(const std::vector<SourceFile> &files,
                    const std::string &catalog_path,
@@ -765,6 +865,11 @@ ruleTable()
         {"no-unordered-emission",
          "loops over unordered_{map,set} must not feed MetricsSink / "
          "SimResult / trace or JSONL emitters directly"});
+    table.push_back(
+        {"no-raw-intrinsics",
+         "vendor SIMD headers and raw _mm* / __mNNN / NEON intrinsics "
+         "are confined to src/util/simd.*; kernels go through the "
+         "runtime-dispatched util/simd.hh API"});
     table.push_back(
         {"metrics-catalog-sync",
          "every metric name literal in the code appears in "
@@ -846,6 +951,8 @@ runLint(const Options &options)
             appendDefaultRngDiags(file, diags);
         if (enabled.count("no-unordered-emission") != 0)
             appendUnorderedEmissionDiags(file, diags);
+        if (enabled.count("no-raw-intrinsics") != 0)
+            appendRawIntrinsicsDiags(file, diags);
     }
     if (enabled.count("metrics-catalog-sync") != 0) {
         const std::string catalog =

@@ -68,6 +68,7 @@
 #include "sparse/io.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
+#include "util/simd.hh"
 #include "util/table.hh"
 #include "workloads/training_data.hh"
 
@@ -191,6 +192,8 @@ cmdPredict(const Args &args)
     MetricsRegistry registry;
     const ScopedSimKernelMetrics kernel_metrics(
         args.has("--metrics") ? &registry : nullptr);
+    const simd::ScopedSimdMetrics simd_metrics(
+        args.has("--metrics") ? &registry : nullptr);
     if (args.has("--metrics"))
         misam.setMetrics(&registry);
     ExecutionReport rep = misam.execute(a, b);
@@ -259,6 +262,7 @@ cmdSimulate(const Args &args)
 {
     MetricsRegistry registry;
     const ScopedSimKernelMetrics kernel_metrics(&registry);
+    const simd::ScopedSimdMetrics simd_metrics(&registry);
     ScopedTimer load_timer(registry, "phase.load");
     auto [a, b] = loadWorkload(args);
     load_timer.stop();
@@ -382,6 +386,7 @@ cmdServe(const Args &args)
 
     MetricsRegistry registry;
     const ScopedSimKernelMetrics kernel_metrics(&registry);
+    const simd::ScopedSimdMetrics simd_metrics(&registry);
     misam.setMetrics(&registry);
 
     SummaryCache cache;
