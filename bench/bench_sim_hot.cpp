@@ -26,6 +26,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -37,6 +38,7 @@
 #include "sim/workspace.hh"
 #include "sparse/generate.hh"
 #include "sparse/spgemm.hh"
+#include "sparse/spgemm_numeric.hh"
 #include "util/simd.hh"
 #include "util/table.hh"
 
@@ -95,6 +97,16 @@ buildWorkloads(bool smoke)
                       generateUniform(2048, 512, 0.002, rng),
                       smoke ? 1u : 8u});
     }
+    {
+        // FEM/CFD-like band-diagonal structure: short, clustered rows
+        // whose column runs land in bursts, stressing the Row-policy
+        // bucketing pass differently from the uniform families.
+        Rng rng(505);
+        ws.push_back({"band",
+                      generateBanded(2560, 2560, 24, 0.5, rng),
+                      generateUniform(2560, 640, 0.003, rng),
+                      smoke ? 1u : 8u});
+    }
     return ws;
 }
 
@@ -142,58 +154,153 @@ runWorkload(const HotWorkload &w)
 }
 
 /**
- * Per-SIMD-backend timings of the vector-kernel consumers (full mode).
- * The steady-state loops above either memoize the analysis work or run
- * marker-path shapes that bypass the vector kernels, so they say
- * nothing about the dispatch backends; this comparison drives the
- * bitmap symbolic merge (orInto/popcountAndClear) and the fingerprint
- * bulk rounds (fingerprintBulk/packPairsU32) directly, on a dense-ish
- * B whose shape takes the bitmap path, under scalar vs the widest
- * supported backend. The outputs are byte-identical by contract; only
- * the time may differ.
+ * Per-SIMD-backend timings of the vector-kernel consumers (full mode),
+ * one row per shape family. The steady-state loops above either
+ * memoize the analysis work or run marker-path shapes that bypass the
+ * vector kernels, so they say nothing about the dispatch backends;
+ * each row drives the bitmap symbolic merge (orInto/popcountAndClear),
+ * the fingerprint bulk rounds (fingerprintBulk/packPairsU32), and the
+ * fused numeric kernel's expandSetBits emit on one family's operands,
+ * under scalar vs the widest supported backend. The outputs are
+ * byte-identical by contract; only the time may differ — and the gap
+ * is family-dependent (word count per bitmap row, run lengths), which
+ * is why one aggregate row was not enough.
  */
-struct BackendCompare
+struct BackendRow
 {
-    const char *best = nullptr;
+    const char *family = nullptr;
     double scalar_kernel_seconds = 0.0;
     double best_kernel_seconds = 0.0;
     double vector_vs_scalar = 0.0;
 };
 
-BackendCompare
-compareBackends()
+struct BackendCompare
 {
-    // Wide-ish B (64 occupancy words per row) keeps the bitmap merge in
-    // long orInto/popcountAndClear runs rather than loop overhead.
+    const char *best = nullptr;
+    std::vector<BackendRow> rows;
+};
+
+BackendCompare
+compareBackends(const std::vector<HotWorkload> &workloads)
+{
+    // A dedicated wide-B family (64 occupancy words per row) keeps the
+    // bitmap merge in long runs; the simulator families reuse their
+    // own operands so the per-family gap reflects the shapes the timed
+    // loops above actually run.
     Rng rng(404);
-    const CsrMatrix a = generateUniform(1024, 1024, 0.03, rng);
-    const CsrMatrix b = generateUniform(1024, 4096, 0.04, rng);
-    constexpr std::size_t kReps = 20;
+    const CsrMatrix wide_a = generateUniform(1024, 1024, 0.03, rng);
+    const CsrMatrix wide_b = generateUniform(1024, 4096, 0.04, rng);
 
     BackendCompare cmp;
     const simd::Backend best = simd::bestSupportedBackend();
     cmp.best = simd::backendName(best);
-    for (const simd::Backend backend : {simd::Backend::Scalar, best}) {
-        simd::setBackendForTesting(backend);
-        spgemmSymbolic(a, b); // Warm (page faults, bitmap build).
-        const auto start = std::chrono::steady_clock::now();
-        for (std::size_t i = 0; i < kReps; ++i) {
-            spgemmSymbolic(a, b);
-            fingerprintMatrix(a);
-            fingerprintMatrix(b);
+
+    struct Driver
+    {
+        const char *family;
+        const CsrMatrix *a;
+        const CsrMatrix *b;
+        std::size_t reps;
+    };
+    std::vector<Driver> drivers;
+    for (const HotWorkload &w : workloads)
+        drivers.push_back({w.name, &w.a, &w.b, 8});
+    drivers.push_back({"wide-bitmap", &wide_a, &wide_b, 20});
+
+    for (const Driver &d : drivers) {
+        BackendRow row;
+        row.family = d.family;
+        // Words for the fingerprint leg, prepared outside the timer:
+        // fingerprintMatrix memoizes its digest on the matrix, so
+        // timing it warm would measure the memo, not the
+        // simd::fingerprintBulk kernel under comparison. Hashing both
+        // operands' values through mixRange drives the same bulk path
+        // with a fresh hasher every rep.
+        static_assert(sizeof(Value) == sizeof(std::uint64_t));
+        std::vector<std::uint64_t> hash_words(d.a->values().size() +
+                                              d.b->values().size());
+        std::memcpy(hash_words.data(), d.a->values().data(),
+                    d.a->values().size() * sizeof(std::uint64_t));
+        std::memcpy(hash_words.data() + d.a->values().size(),
+                    d.b->values().data(),
+                    d.b->values().size() * sizeof(std::uint64_t));
+        for (const simd::Backend backend :
+             {simd::Backend::Scalar, best}) {
+            simd::setBackendForTesting(backend);
+            // Warm (page faults, bitmap build).
+            const SymbolicStats sym = spgemmSymbolic(*d.a, *d.b);
+            spgemmNumericFused(*d.a, *d.b, &sym);
+            const auto start = std::chrono::steady_clock::now();
+            for (std::size_t i = 0; i < d.reps; ++i) {
+                spgemmSymbolic(*d.a, *d.b);
+                spgemmNumericFused(*d.a, *d.b, &sym);
+                FingerprintHasher hasher;
+                hasher.mixRange(hash_words.data(), hash_words.size());
+            }
+            const auto stop = std::chrono::steady_clock::now();
+            const double secs =
+                std::chrono::duration<double>(stop - start).count();
+            if (backend == simd::Backend::Scalar)
+                row.scalar_kernel_seconds = secs;
+            row.best_kernel_seconds = secs; // Last iteration is `best`.
         }
-        const auto stop = std::chrono::steady_clock::now();
-        const double secs =
-            std::chrono::duration<double>(stop - start).count();
-        if (backend == simd::Backend::Scalar)
-            cmp.scalar_kernel_seconds = secs;
-        cmp.best_kernel_seconds = secs; // Last iteration is `best`.
+        simd::resetBackendFromEnv();
+        if (row.best_kernel_seconds > 0.0)
+            row.vector_vs_scalar =
+                row.scalar_kernel_seconds / row.best_kernel_seconds;
+        cmp.rows.push_back(row);
     }
-    simd::resetBackendFromEnv();
-    if (cmp.best_kernel_seconds > 0.0)
-        cmp.vector_vs_scalar =
-            cmp.scalar_kernel_seconds / cmp.best_kernel_seconds;
     return cmp;
+}
+
+/**
+ * Fused numeric SpGEMM (dense accumulator + bitmap occupancy, the
+ * executeFunctional fast path) vs the retained sparse-accumulator
+ * reference spgemmRowWise, per shape family. Products are
+ * byte-identical by contract (tests/test_numeric_spgemm.cpp); this
+ * measures the throughput gap. Full mode asserts >= 2x on `medium`.
+ */
+struct NumericRow
+{
+    const char *family = nullptr;
+    std::size_t reps = 0;
+    double fused_seconds = 0.0;
+    double naive_seconds = 0.0;
+    double speedup = 0.0;
+};
+
+std::vector<NumericRow>
+compareNumeric(const std::vector<HotWorkload> &workloads)
+{
+    std::vector<NumericRow> rows;
+    for (const HotWorkload &w : workloads) {
+        NumericRow row;
+        row.family = w.name;
+        row.reps = 8;
+        // The symbolic analysis is shared by contract on the fast path
+        // (cachedSpgemmNumeric warms the symbolic cache), so it sits
+        // outside both timed loops.
+        const SymbolicStats sym = spgemmSymbolic(w.a, w.b);
+        spgemmNumericFused(w.a, w.b, &sym); // Warm.
+        auto start = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < row.reps; ++i)
+            spgemmNumericFused(w.a, w.b, &sym);
+        auto stop = std::chrono::steady_clock::now();
+        row.fused_seconds =
+            std::chrono::duration<double>(stop - start).count();
+
+        spgemmRowWise(w.a, w.b); // Warm.
+        start = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < row.reps; ++i)
+            spgemmRowWise(w.a, w.b);
+        stop = std::chrono::steady_clock::now();
+        row.naive_seconds =
+            std::chrono::duration<double>(stop - start).count();
+        if (row.fused_seconds > 0.0)
+            row.speedup = row.naive_seconds / row.fused_seconds;
+        rows.push_back(row);
+    }
+    return rows;
 }
 
 /**
@@ -202,7 +309,8 @@ compareBackends()
  */
 std::string
 modeSection(const char *mode, const std::vector<HotRow> &rows,
-            const BackendCompare *backends)
+            const BackendCompare *backends,
+            const std::vector<NumericRow> *numeric)
 {
     std::ostringstream out;
     char buf[512];
@@ -224,15 +332,37 @@ modeSection(const char *mode, const std::vector<HotRow> &rows,
     }
     out << "    ]";
     if (backends != nullptr) {
-        std::snprintf(buf, sizeof buf,
-                      ",\n    \"backends\": {\"best\": \"%s\",\n"
-                      "     \"scalar_kernel_seconds\": %.6f,\n"
-                      "     \"best_kernel_seconds\": %.6f,\n"
-                      "     \"vector_vs_scalar\": %.3f}",
-                      backends->best, backends->scalar_kernel_seconds,
-                      backends->best_kernel_seconds,
-                      backends->vector_vs_scalar);
-        out << buf;
+        out << ",\n    \"backends\": {\"best\": \"" << backends->best
+            << "\",\n     \"families\": [\n";
+        for (std::size_t i = 0; i < backends->rows.size(); ++i) {
+            const BackendRow &r = backends->rows[i];
+            std::snprintf(buf, sizeof buf,
+                          "      {\"family\": \"%s\",\n"
+                          "       \"scalar_kernel_seconds\": %.6f,\n"
+                          "       \"best_kernel_seconds\": %.6f,\n"
+                          "       \"vector_vs_scalar\": %.3f}%s\n",
+                          r.family, r.scalar_kernel_seconds,
+                          r.best_kernel_seconds, r.vector_vs_scalar,
+                          i + 1 < backends->rows.size() ? "," : "");
+            out << buf;
+        }
+        out << "    ]}";
+    }
+    if (numeric != nullptr) {
+        out << ",\n    \"numeric\": [\n";
+        for (std::size_t i = 0; i < numeric->size(); ++i) {
+            const NumericRow &r = (*numeric)[i];
+            std::snprintf(buf, sizeof buf,
+                          "      {\"family\": \"%s\", \"reps\": %zu,\n"
+                          "       \"fused_seconds\": %.6f,\n"
+                          "       \"naive_seconds\": %.6f,\n"
+                          "       \"speedup\": %.3f}%s\n",
+                          r.family, r.reps, r.fused_seconds,
+                          r.naive_seconds, r.speedup,
+                          i + 1 < numeric->size() ? "," : "");
+            out << buf;
+        }
+        out << "    ]";
     }
     out << "\n  }";
     return out.str();
@@ -365,17 +495,26 @@ main(int argc, char **argv)
     std::printf("%s", table.render().c_str());
 
     BackendCompare cmp;
+    std::vector<NumericRow> numeric;
     if (!smoke) {
-        cmp = compareBackends();
-        std::printf("backends: bitmap+fingerprint kernels scalar %.3fs "
-                    "vs %s %.3fs (%.2fx)\n",
-                    cmp.scalar_kernel_seconds, cmp.best,
-                    cmp.best_kernel_seconds, cmp.vector_vs_scalar);
+        cmp = compareBackends(workloads);
+        for (const BackendRow &r : cmp.rows)
+            std::printf("backends[%s]: symbolic+numeric+fingerprint "
+                        "kernels scalar %.3fs vs %s %.3fs (%.2fx)\n",
+                        r.family, r.scalar_kernel_seconds, cmp.best,
+                        r.best_kernel_seconds, r.vector_vs_scalar);
+        numeric = compareNumeric(workloads);
+        for (const NumericRow &r : numeric)
+            std::printf("numeric[%s]: fused %.3fs vs rowwise %.3fs "
+                        "(%.2fx)\n",
+                        r.family, r.fused_seconds, r.naive_seconds,
+                        r.speedup);
     }
 
     writeJson(out,
               modeSection(smoke ? "smoke" : "full", rows,
-                          smoke ? nullptr : &cmp),
+                          smoke ? nullptr : &cmp,
+                          smoke ? nullptr : &numeric),
               smoke);
     std::printf("JSON summary written to %s\n", out.c_str());
 
@@ -394,6 +533,14 @@ main(int argc, char **argv)
         if (!smoke && std::string(r.name) == "medium" && r.speedup < 2.0) {
             std::fprintf(stderr,
                          "FAIL: medium workload speedup %.2fx < 2x\n",
+                         r.speedup);
+            ++failures;
+        }
+    }
+    for (const NumericRow &r : numeric) {
+        if (std::string(r.family) == "medium" && r.speedup < 2.0) {
+            std::fprintf(stderr,
+                         "FAIL: numeric medium speedup %.2fx < 2x\n",
                          r.speedup);
             ++failures;
         }

@@ -98,6 +98,16 @@ FingerprintHasher::digest() const
 Fingerprint128
 fingerprintMatrix(const CsrMatrix &m)
 {
+    // The matrix is immutable after construction, so the digest is
+    // memoized on the matrix itself: the fingerprint-keyed caches
+    // (csc / symbolic / numeric / histogram) all key the same operand
+    // and would otherwise each re-hash O(nnz) content per warm lookup.
+    {
+        std::uint64_t hi, lo;
+        if (m.cachedFingerprint(&hi, &lo))
+            return {hi, lo};
+    }
+
     FingerprintHasher h;
     h.mix(kTagShape);
     h.mix(m.rows());
@@ -146,7 +156,9 @@ fingerprintMatrix(const CsrMatrix &m)
             i += k;
         }
     }
-    return h.digest();
+    const Fingerprint128 fp = h.digest();
+    m.storeFingerprint(fp.hi, fp.lo);
+    return fp;
 }
 
 } // namespace misam

@@ -36,6 +36,37 @@ TileScheduler::peScheduleLength(Offset total_work, Offset max_row_count,
 
 namespace {
 
+/**
+ * Division-free 32-bit modulo by a fixed divisor (Lemire's fastmod:
+ * one 64-bit multiply, one 128-bit high multiply). The per-row PE
+ * folds run `r % pes` once per touched row per tile, and a hardware
+ * divide there costs more than the rest of the fold body; the
+ * multiplicative form is exact for every 32-bit operand, so results
+ * cannot move.
+ */
+class FastMod
+{
+  public:
+    explicit FastMod(std::uint32_t d)
+        : d_(d), m_(d > 1 ? ~std::uint64_t{0} / d + 1 : 0)
+    {
+    }
+
+    std::uint32_t
+    mod(std::uint32_t x) const
+    {
+        if (d_ == 1)
+            return 0;
+        const std::uint64_t low = m_ * x;
+        return static_cast<std::uint32_t>(
+            (static_cast<unsigned __int128>(low) * d_) >> 64);
+    }
+
+  private:
+    std::uint32_t d_;
+    std::uint64_t m_;
+};
+
 /** The closing stats fold shared by every kernel variant. */
 TileScheduleStats
 finishStats(const std::vector<PeAccumulator> &pe_acc, int total_pes,
@@ -100,33 +131,114 @@ TileScheduler::schedule(const CscMatrix &a_csc, const KTile &k_range,
                     static_cast<std::size_t>(cp[k + 1] - cp[k]), w);
             }
         }
+        const FastMod pe_of(static_cast<std::uint32_t>(pes));
         for (Index r : ws.rows.touched())
-            pe_acc[r % pes].addRow(ws.rows.count(r), ws.rows.work(r));
+            pe_acc[pe_of.mod(r)].addRow(ws.rows.count(r),
+                                        ws.rows.work(r));
     } else {
-        // PE is a function of the column. One strided column pass per
-        // PE reuses the same stamped row arena as a per-(PE, row)
-        // histogram — replacing the per-nonzero unordered_map of the
-        // reference kernel. Total work stays O(tile nnz + pes): every
-        // tile column is visited by exactly one pass.
+        // PE is a function of the column. A single sequential pass
+        // buckets each non-empty tile column's CSC run into its PE's
+        // arena slice (counting-sort on k % pes), then each PE folds
+        // its runs through the stamped row arena once. This replaces
+        // the `pes` strided column sweeps (scheduleRowStrided): the
+        // column pointers are read in storage order, empty columns and
+        // idle PEs cost nothing, and the stats cannot move because the
+        // per-row sums and the PE fold are order-independent.
         const auto stride = static_cast<Index>(pes);
-        for (std::size_t pe = 0; pe < pes; ++pe) {
-            const Index rem = k_range.k_lo % stride;
-            const Index first =
-                k_range.k_lo +
-                (static_cast<Index>(pe) + stride - rem) % stride;
-            ws.rows.begin(a_csc.rows());
-            for (Index k = first; k < k_range.k_hi; k += stride) {
+        const std::size_t width = k_range.k_hi - k_range.k_lo;
+        std::vector<Offset> &pe_ptr = ws.peRunPtr(pes + 1);
+        std::fill(pe_ptr.begin(), pe_ptr.end(), 0);
+        std::vector<SimWorkspace::ColRun> &runs = ws.colRuns(width);
+        // k % stride cycles round-robin as k ascends, so one modulo at
+        // the tile edge seeds a wrapping counter and the column loops
+        // run division-free.
+        const Index first_pe = k_range.k_lo % stride;
+        Index pe_cursor = first_pe;
+        for (Index k = k_range.k_lo; k < k_range.k_hi; ++k) {
+            pe_ptr[pe_cursor + 1] +=
+                static_cast<Offset>(cp[k + 1] > cp[k]);
+            if (++pe_cursor == stride)
+                pe_cursor = 0;
+        }
+        for (std::size_t pe = 0; pe < pes; ++pe)
+            pe_ptr[pe + 1] += pe_ptr[pe];
+        pe_cursor = first_pe;
+        for (Index k = k_range.k_lo; k < k_range.k_hi; ++k) {
+            if (cp[k + 1] != cp[k]) {
                 const Offset w =
                     col_job_weight
                         ? std::max<Offset>((*col_job_weight)[k], 1)
                         : 1;
-                ws.rows.addRun(
-                    ri + cp[k],
-                    static_cast<std::size_t>(cp[k + 1] - cp[k]), w);
+                runs[pe_ptr[pe_cursor]++] = {cp[k], cp[k + 1] - cp[k],
+                                             w};
+            }
+            if (++pe_cursor == stride)
+                pe_cursor = 0;
+        }
+        // The cursors finished on each PE's end offset, so the slice
+        // for PE p is [p == 0 ? 0 : pe_ptr[p-1], pe_ptr[p]).
+        ws.rows.begin(a_csc.rows());
+        Offset begin_off = 0;
+        for (std::size_t pe = 0; pe < pes; ++pe) {
+            const Offset end_off = pe_ptr[pe];
+            if (begin_off == end_off)
+                continue;
+            ws.rows.reset();
+            for (Offset t = begin_off; t < end_off; ++t) {
+                const SimWorkspace::ColRun &run = runs[t];
+                ws.rows.addRun(ri + run.start,
+                               static_cast<std::size_t>(run.len),
+                               run.weight);
             }
             for (Index r : ws.rows.touched())
                 pe_acc[pe].addRow(ws.rows.count(r), ws.rows.work(r));
+            begin_off = end_off;
         }
+        noteRowBucketPass();
+    }
+    noteScratchReuse();
+    return finishStats(pe_acc, total_pes_, dep_);
+}
+
+TileScheduleStats
+TileScheduler::scheduleRowStrided(
+    const CscMatrix &a_csc, const KTile &k_range,
+    const std::vector<Offset> *col_job_weight) const
+{
+    if (kind_ != SchedulerKind::Row)
+        panic("TileScheduler::scheduleRowStrided: Row policy only");
+    if (k_range.k_hi > a_csc.cols())
+        panic("TileScheduler::schedule: tile exceeds A columns");
+
+    const auto pes = static_cast<std::size_t>(total_pes_);
+    SimWorkspace &ws = SimWorkspace::local();
+    std::vector<PeAccumulator> &pe_acc = ws.peAccumulators(pes);
+
+    const Offset *cp = a_csc.colPtr().data();
+    const Index *ri = a_csc.rowIdx().data();
+    // One strided column pass per PE over the shared stamped row arena.
+    // Total work is O(tile nnz + pes) — every tile column is visited by
+    // exactly one pass — but the column pointers are read at stride
+    // `pes`, which is what the bucketing pass in schedule() fixes.
+    const auto stride = static_cast<Index>(pes);
+    const Index rem = k_range.k_lo % stride;
+    ws.rows.begin(a_csc.rows());
+    for (std::size_t pe = 0; pe < pes; ++pe) {
+        const Index first =
+            k_range.k_lo +
+            (static_cast<Index>(pe) + stride - rem) % stride;
+        ws.rows.reset();
+        for (Index k = first; k < k_range.k_hi; k += stride) {
+            const Offset w =
+                col_job_weight
+                    ? std::max<Offset>((*col_job_weight)[k], 1)
+                    : 1;
+            ws.rows.addRun(
+                ri + cp[k],
+                static_cast<std::size_t>(cp[k + 1] - cp[k]), w);
+        }
+        for (Index r : ws.rows.touched())
+            pe_acc[pe].addRow(ws.rows.count(r), ws.rows.work(r));
     }
     noteScratchReuse();
     return finishStats(pe_acc, total_pes_, dep_);
@@ -194,8 +306,9 @@ TileScheduler::scheduleFromHistogram(
     SimWorkspace &ws = SimWorkspace::local();
     std::vector<PeAccumulator> &pe_acc = ws.peAccumulators(pes);
     // Unit-weight histograms: work == count for every row.
+    const FastMod pe_of(static_cast<std::uint32_t>(pes));
     for (const TileRowHistograms::RowBin &bin : bins)
-        pe_acc[bin.row % pes].addRow(bin.count, bin.count);
+        pe_acc[pe_of.mod(bin.row)].addRow(bin.count, bin.count);
     return finishStats(pe_acc, total_pes_, dep_);
 }
 

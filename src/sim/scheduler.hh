@@ -111,6 +111,20 @@ class TileScheduler
                           nullptr) const;
 
     /**
+     * The Row-policy pass the bucketing rewrite in schedule() replaced:
+     * one strided column sweep per PE over the stamped row arena, with
+     * the tile-remainder computation and the arena re-stamp hoisted out
+     * of the per-PE loop (reset() between PEs instead of a full
+     * begin()). Row policy only. Retained as a second reference route:
+     * tests pin schedule() byte-equal to it, bench_sim_hot measures
+     * the bucketing gap on Row-heavy workloads.
+     */
+    TileScheduleStats
+    scheduleRowStrided(const CscMatrix &a_csc, const KTile &k_range,
+                       const std::vector<Offset> *col_job_weight =
+                           nullptr) const;
+
+    /**
      * Fold one tile of precomputed unit-weight row histograms
      * (buildTileRowHistograms). Col policy only — the Row policy needs
      * per-(PE, row) cells, which a shared row histogram cannot supply.

@@ -10,7 +10,10 @@
 #include <utility>
 
 #include "serve/fingerprint.hh"
+#include "sim/scheduler.hh"
+#include "sim/tiling.hh"
 #include "sparse/convert.hh"
+#include "sparse/spgemm_numeric.hh"
 #include "util/metrics.hh"
 
 namespace misam {
@@ -25,18 +28,17 @@ RowScratch::begin(std::size_t rows)
         ++grow_events_;
     }
     touched_.clear();
-    if (rows > count_.size()) {
+    if (rows > cells_.size()) {
         ++grow_events_;
-        count_.assign(rows, 0);
-        work_.assign(rows, 0);
-        epoch_of_.assign(rows, 0);
+        cells_.assign(rows, Cell{0, 0, 0});
         epoch_ = 0; // Fresh stamps; the bump below revalidates.
     }
     ++epoch_;
     if (epoch_ == 0) {
         // The 32-bit stamp wrapped: old cells would alias the new
         // epoch, so pay one full refill (once per ~4G tiles).
-        std::fill(epoch_of_.begin(), epoch_of_.end(), 0);
+        for (Cell &cell : cells_)
+            cell.epoch = 0;
         epoch_ = 1;
     }
 }
@@ -66,6 +68,24 @@ SimWorkspace::jobWeight(std::size_t n)
     return job_weight_;
 }
 
+std::vector<SimWorkspace::ColRun> &
+SimWorkspace::colRuns(std::size_t n)
+{
+    if (n > col_runs_.capacity())
+        ++grow_events_;
+    col_runs_.resize(n);
+    return col_runs_;
+}
+
+std::vector<Offset> &
+SimWorkspace::peRunPtr(std::size_t n)
+{
+    if (n > pe_run_ptr_.capacity())
+        ++grow_events_;
+    pe_run_ptr_.resize(n);
+    return pe_run_ptr_;
+}
+
 std::uint64_t
 SimWorkspace::allocationEvents() const
 {
@@ -78,20 +98,34 @@ namespace {
 // mirror handles are resolved once at attach time so the hot paths pay
 // one relaxed atomic load + add, never a name lookup.
 std::atomic<std::uint64_t> g_scratch_reuses{0};
+std::atomic<std::uint64_t> g_row_bucket_passes{0};
 std::atomic<std::uint64_t> g_symbolic_hits{0};
 std::atomic<std::uint64_t> g_symbolic_misses{0};
 std::atomic<std::uint64_t> g_symbolic_evictions{0};
 std::atomic<std::uint64_t> g_csc_hits{0};
 std::atomic<std::uint64_t> g_csc_misses{0};
 std::atomic<std::uint64_t> g_csc_evictions{0};
+std::atomic<std::uint64_t> g_numeric_hits{0};
+std::atomic<std::uint64_t> g_numeric_misses{0};
+std::atomic<std::uint64_t> g_numeric_evictions{0};
+std::atomic<std::uint64_t> g_hist_hits{0};
+std::atomic<std::uint64_t> g_hist_misses{0};
+std::atomic<std::uint64_t> g_hist_evictions{0};
 
 std::atomic<Counter *> g_mirror_scratch{nullptr};
+std::atomic<Counter *> g_mirror_row_bucket{nullptr};
 std::atomic<Counter *> g_mirror_hits{nullptr};
 std::atomic<Counter *> g_mirror_misses{nullptr};
 std::atomic<Counter *> g_mirror_evictions{nullptr};
 std::atomic<Counter *> g_mirror_csc_hits{nullptr};
 std::atomic<Counter *> g_mirror_csc_misses{nullptr};
 std::atomic<Counter *> g_mirror_csc_evictions{nullptr};
+std::atomic<Counter *> g_mirror_numeric_hits{nullptr};
+std::atomic<Counter *> g_mirror_numeric_misses{nullptr};
+std::atomic<Counter *> g_mirror_numeric_evictions{nullptr};
+std::atomic<Counter *> g_mirror_hist_hits{nullptr};
+std::atomic<Counter *> g_mirror_hist_misses{nullptr};
+std::atomic<Counter *> g_mirror_hist_evictions{nullptr};
 
 void
 bump(std::atomic<std::uint64_t> &total, std::atomic<Counter *> &mirror)
@@ -229,6 +263,133 @@ evictCscOverFull()
     }
 }
 
+using NumericFuture =
+    std::shared_future<std::shared_ptr<const CsrMatrix>>;
+
+/** Entries hold full product matrices, so the bound stays tight. */
+constexpr std::size_t kNumericCacheCapacity = 16;
+
+std::mutex g_numeric_mutex;
+
+std::unordered_map<SymbolicKey, NumericFuture, SymbolicKeyHash> &
+numericMap()
+{
+    static auto *map =
+        new std::unordered_map<SymbolicKey, NumericFuture,
+                               SymbolicKeyHash>();
+    return *map;
+}
+
+std::deque<SymbolicKey> &
+numericFifo()
+{
+    static auto *fifo = new std::deque<SymbolicKey>();
+    return *fifo;
+}
+
+/** Evict the oldest *ready* products past capacity (mutex held). */
+void
+evictNumericOverFull()
+{
+    auto &map = numericMap();
+    auto &fifo = numericFifo();
+    while (map.size() > kNumericCacheCapacity) {
+        bool evicted = false;
+        for (auto it = fifo.begin(); it != fifo.end(); ++it) {
+            const auto entry = map.find(*it);
+            if (entry == map.end()) {
+                fifo.erase(it); // Stale (cleared) key.
+                evicted = true;
+                break;
+            }
+            if (entry->second.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+                map.erase(entry);
+                fifo.erase(it);
+                bump(g_numeric_evictions, g_mirror_numeric_evictions);
+                evicted = true;
+                break;
+            }
+        }
+        if (!evicted)
+            break; // Everything in flight; transient overshoot.
+    }
+}
+
+/** Cache key: A's content fingerprint plus the tiling parameters. */
+struct HistKey
+{
+    Fingerprint128 a;
+    Index b_rows;
+    Index tile_height;
+
+    bool operator==(const HistKey &) const = default;
+};
+
+struct HistKeyHash
+{
+    std::size_t
+    operator()(const HistKey &key) const
+    {
+        return static_cast<std::size_t>(
+            key.a.fold() * 0x9e3779b97f4a7c15ULL ^
+            (static_cast<std::uint64_t>(key.b_rows) << 32 |
+             key.tile_height));
+    }
+};
+
+using HistFuture =
+    std::shared_future<std::shared_ptr<const TileRowHistograms>>;
+
+/** Entries hold O(nnz) bins, so the bound stays as tight as csc's. */
+constexpr std::size_t kHistCacheCapacity = 16;
+
+std::mutex g_hist_mutex;
+
+std::unordered_map<HistKey, HistFuture, HistKeyHash> &
+histMap()
+{
+    static auto *map =
+        new std::unordered_map<HistKey, HistFuture, HistKeyHash>();
+    return *map;
+}
+
+std::deque<HistKey> &
+histFifo()
+{
+    static auto *fifo = new std::deque<HistKey>();
+    return *fifo;
+}
+
+/** Evict the oldest *ready* histogram sets past capacity (mutex held). */
+void
+evictHistOverFull()
+{
+    auto &map = histMap();
+    auto &fifo = histFifo();
+    while (map.size() > kHistCacheCapacity) {
+        bool evicted = false;
+        for (auto it = fifo.begin(); it != fifo.end(); ++it) {
+            const auto entry = map.find(*it);
+            if (entry == map.end()) {
+                fifo.erase(it); // Stale (cleared) key.
+                evicted = true;
+                break;
+            }
+            if (entry->second.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+                map.erase(entry);
+                fifo.erase(it);
+                bump(g_hist_evictions, g_mirror_hist_evictions);
+                evicted = true;
+                break;
+            }
+        }
+        if (!evicted)
+            break; // Everything in flight; transient overshoot.
+    }
+}
+
 } // namespace
 
 std::shared_ptr<const SymbolicStats>
@@ -330,11 +491,117 @@ cscCacheEntries()
     return cscMap().size();
 }
 
+std::shared_ptr<const CsrMatrix>
+cachedSpgemmNumeric(const CsrMatrix &a, const CsrMatrix &b)
+{
+    const SymbolicKey key{fingerprintMatrix(a), fingerprintMatrix(b)};
+
+    std::promise<std::shared_ptr<const CsrMatrix>> promise;
+    NumericFuture future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(g_numeric_mutex);
+        auto &map = numericMap();
+        const auto it = map.find(key);
+        if (it != map.end()) {
+            bump(g_numeric_hits, g_mirror_numeric_hits);
+            future = it->second;
+        } else {
+            bump(g_numeric_misses, g_mirror_numeric_misses);
+            future = promise.get_future().share();
+            map.emplace(key, future);
+            numericFifo().push_back(key);
+            owner = true;
+            evictNumericOverFull();
+        }
+    }
+
+    if (owner) {
+        // The structure pass comes from (and warms) the symbolic cache,
+        // so the exact-size reservation is free on the serve path.
+        const auto sym = cachedSpgemmSymbolic(a, b);
+        auto value = std::make_shared<const CsrMatrix>(
+            spgemmNumericFused(a, b, sym.get()));
+        promise.set_value(value);
+        return value;
+    }
+    return future.get();
+}
+
+void
+clearNumericCache()
+{
+    std::lock_guard<std::mutex> lock(g_numeric_mutex);
+    numericMap().clear();
+    numericFifo().clear();
+}
+
+std::size_t
+numericCacheEntries()
+{
+    std::lock_guard<std::mutex> lock(g_numeric_mutex);
+    return numericMap().size();
+}
+
+std::shared_ptr<const TileRowHistograms>
+cachedTileRowHistograms(const CsrMatrix &a, const CscMatrix &a_csc,
+                        Index b_rows, Index tile_height)
+{
+    const HistKey key{fingerprintMatrix(a), b_rows, tile_height};
+
+    std::promise<std::shared_ptr<const TileRowHistograms>> promise;
+    HistFuture future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(g_hist_mutex);
+        auto &map = histMap();
+        const auto it = map.find(key);
+        if (it != map.end()) {
+            bump(g_hist_hits, g_mirror_hist_hits);
+            future = it->second;
+        } else {
+            bump(g_hist_misses, g_mirror_hist_misses);
+            future = promise.get_future().share();
+            map.emplace(key, future);
+            histFifo().push_back(key);
+            owner = true;
+            evictHistOverFull();
+        }
+    }
+
+    if (owner) {
+        const std::vector<KTile> tiles =
+            fixedRowTiles(b_rows, tile_height);
+        auto value = std::make_shared<const TileRowHistograms>(
+            buildTileRowHistograms(a_csc, tiles));
+        promise.set_value(value);
+        return value;
+    }
+    return future.get();
+}
+
+void
+clearHistogramCache()
+{
+    std::lock_guard<std::mutex> lock(g_hist_mutex);
+    histMap().clear();
+    histFifo().clear();
+}
+
+std::size_t
+histogramCacheEntries()
+{
+    std::lock_guard<std::mutex> lock(g_hist_mutex);
+    return histMap().size();
+}
+
 SimKernelCounters
 simKernelCounters()
 {
     SimKernelCounters c;
     c.scratch_reuses = g_scratch_reuses.load(std::memory_order_relaxed);
+    c.row_bucket_passes =
+        g_row_bucket_passes.load(std::memory_order_relaxed);
     c.symbolic_hits = g_symbolic_hits.load(std::memory_order_relaxed);
     c.symbolic_misses = g_symbolic_misses.load(std::memory_order_relaxed);
     c.symbolic_evictions =
@@ -342,6 +609,13 @@ simKernelCounters()
     c.csc_hits = g_csc_hits.load(std::memory_order_relaxed);
     c.csc_misses = g_csc_misses.load(std::memory_order_relaxed);
     c.csc_evictions = g_csc_evictions.load(std::memory_order_relaxed);
+    c.numeric_hits = g_numeric_hits.load(std::memory_order_relaxed);
+    c.numeric_misses = g_numeric_misses.load(std::memory_order_relaxed);
+    c.numeric_evictions =
+        g_numeric_evictions.load(std::memory_order_relaxed);
+    c.hist_hits = g_hist_hits.load(std::memory_order_relaxed);
+    c.hist_misses = g_hist_misses.load(std::memory_order_relaxed);
+    c.hist_evictions = g_hist_evictions.load(std::memory_order_relaxed);
     return c;
 }
 
@@ -350,16 +624,29 @@ setSimKernelMetrics(MetricsRegistry *registry)
 {
     if (registry == nullptr) {
         g_mirror_scratch.store(nullptr, std::memory_order_relaxed);
+        g_mirror_row_bucket.store(nullptr, std::memory_order_relaxed);
         g_mirror_hits.store(nullptr, std::memory_order_relaxed);
         g_mirror_misses.store(nullptr, std::memory_order_relaxed);
         g_mirror_evictions.store(nullptr, std::memory_order_relaxed);
         g_mirror_csc_hits.store(nullptr, std::memory_order_relaxed);
         g_mirror_csc_misses.store(nullptr, std::memory_order_relaxed);
         g_mirror_csc_evictions.store(nullptr, std::memory_order_relaxed);
+        g_mirror_numeric_hits.store(nullptr, std::memory_order_relaxed);
+        g_mirror_numeric_misses.store(nullptr,
+                                      std::memory_order_relaxed);
+        g_mirror_numeric_evictions.store(nullptr,
+                                         std::memory_order_relaxed);
+        g_mirror_hist_hits.store(nullptr, std::memory_order_relaxed);
+        g_mirror_hist_misses.store(nullptr, std::memory_order_relaxed);
+        g_mirror_hist_evictions.store(nullptr,
+                                      std::memory_order_relaxed);
         return;
     }
     g_mirror_scratch.store(&registry->counter("sim.sched.scratch_reuses"),
                            std::memory_order_relaxed);
+    g_mirror_row_bucket.store(
+        &registry->counter("sim.sched.row_bucket_passes"),
+        std::memory_order_relaxed);
     g_mirror_hits.store(&registry->counter("sim.symbolic.hits"),
                         std::memory_order_relaxed);
     g_mirror_misses.store(&registry->counter("sim.symbolic.misses"),
@@ -372,6 +659,22 @@ setSimKernelMetrics(MetricsRegistry *registry)
                               std::memory_order_relaxed);
     g_mirror_csc_evictions.store(&registry->counter("sim.csc.evictions"),
                                  std::memory_order_relaxed);
+    g_mirror_numeric_hits.store(
+        &registry->counter("sim.numeric.hits"),
+        std::memory_order_relaxed);
+    g_mirror_numeric_misses.store(
+        &registry->counter("sim.numeric.misses"),
+        std::memory_order_relaxed);
+    g_mirror_numeric_evictions.store(
+        &registry->counter("sim.numeric.evictions"),
+        std::memory_order_relaxed);
+    g_mirror_hist_hits.store(&registry->counter("sim.hist.hits"),
+                             std::memory_order_relaxed);
+    g_mirror_hist_misses.store(&registry->counter("sim.hist.misses"),
+                               std::memory_order_relaxed);
+    g_mirror_hist_evictions.store(
+        &registry->counter("sim.hist.evictions"),
+        std::memory_order_relaxed);
 }
 
 namespace {
@@ -394,6 +697,12 @@ void
 noteScratchReuse()
 {
     bump(g_scratch_reuses, g_mirror_scratch);
+}
+
+void
+noteRowBucketPass()
+{
+    bump(g_row_bucket_passes, g_mirror_row_bucket);
 }
 
 } // namespace misam

@@ -30,6 +30,7 @@
 #ifndef MISAM_SIM_WORKSPACE_HH
 #define MISAM_SIM_WORKSPACE_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -42,6 +43,7 @@
 namespace misam {
 
 class MetricsRegistry;
+struct TileRowHistograms;
 
 /**
  * Per-PE accumulation of row histograms and work totals. The fold is
@@ -81,18 +83,37 @@ class RowScratch
     /** Start a new histogram over `rows` rows. O(1) unless growing. */
     void begin(std::size_t rows);
 
+    /**
+     * Start a new histogram over the same row span as the last
+     * begin(): an epoch bump plus a touched-list clear, with the grow
+     * checks skipped. The per-PE loops call this between PEs of one
+     * tile so only the first PE pays the begin() bookkeeping.
+     */
+    void
+    reset()
+    {
+        touched_.clear();
+        ++epoch_;
+        if (epoch_ == 0) {
+            for (Cell &cell : cells_)
+                cell.epoch = 0;
+            epoch_ = 1;
+        }
+    }
+
     /** Fold one nonzero of row `r` carrying `work` compute cycles. */
     void
     add(Index r, Offset work)
     {
-        if (epoch_of_[r] != epoch_) {
-            epoch_of_[r] = epoch_;
-            count_[r] = 0;
-            work_[r] = 0;
+        Cell &cell = cells_[r];
+        if (cell.epoch != epoch_) {
+            cell.epoch = epoch_;
+            cell.count = 0;
+            cell.work = 0;
             touched_.push_back(r);
         }
-        ++count_[r];
-        work_[r] += work;
+        ++cell.count;
+        cell.work += work;
     }
 
     /**
@@ -117,13 +138,13 @@ class RowScratch
     Offset
     count(Index r) const
     {
-        return count_[r];
+        return cells_[r].count;
     }
 
     Offset
     work(Index r) const
     {
-        return work_[r];
+        return cells_[r].work;
     }
 
     /** Arena (re)allocations observed — stable once warmed up. */
@@ -134,9 +155,21 @@ class RowScratch
     }
 
   private:
-    std::vector<Offset> count_;
-    std::vector<Offset> work_;
-    std::vector<std::uint32_t> epoch_of_;
+    /**
+     * One row's stamp + accumulators packed into a single 16-byte cell
+     * so each nonzero folded by add() touches one cache line instead
+     * of three parallel arrays. `count` is 32-bit: a row's in-tile
+     * count is bounded by the tile width, which is an Index. `work`
+     * stays 64-bit (count x per-column weight).
+     */
+    struct Cell
+    {
+        std::uint32_t epoch;
+        std::uint32_t count;
+        std::uint64_t work;
+    };
+
+    std::vector<Cell> cells_;
     std::vector<Index> touched_;
     std::uint32_t epoch_ = 0;
     std::size_t touched_capacity_ = 0;
@@ -163,6 +196,24 @@ class SimWorkspace
     std::vector<Offset> &jobWeight(std::size_t n);
 
     /**
+     * One non-empty tile column bucketed for the Row-policy pass: the
+     * CSC slice it selects (offset + length into rowIdx) and the
+     * per-element compute weight of that column.
+     */
+    struct ColRun
+    {
+        Offset start;
+        Offset len;
+        Offset weight;
+    };
+
+    /** Reusable run arena with room for `n` bucketed columns. */
+    std::vector<ColRun> &colRuns(std::size_t n);
+
+    /** Reusable per-PE run cursor/boundary buffer of `n` entries. */
+    std::vector<Offset> &peRunPtr(std::size_t n);
+
+    /**
      * Buffer (re)allocations across all arenas in this workspace.
      * A warmed-up scheduler leaves this unchanged — the bench harness
      * asserts a zero delta in steady state.
@@ -172,6 +223,8 @@ class SimWorkspace
   private:
     std::vector<PeAccumulator> pe_acc_;
     std::vector<Offset> job_weight_;
+    std::vector<ColRun> col_runs_;
+    std::vector<Offset> pe_run_ptr_;
     std::uint64_t grow_events_ = 0;
 };
 
@@ -206,16 +259,63 @@ void clearCscCache();
 /** Cached conversions currently held (ready + in-flight). */
 std::size_t cscCacheEntries();
 
+/**
+ * Fused numeric SpGEMM (sparse/spgemm_numeric.hh) memoized process-wide
+ * by the operands' content fingerprints, with the same exactly-once /
+ * FIFO-evicted semantics as cachedSpgemmSymbolic. Entries hold full
+ * product matrices, so the capacity is as tight as the conversion
+ * cache's. Reuses the symbolic cache for the structure pass, so a
+ * numeric miss also warms cachedSpgemmSymbolic. Byte-identical to
+ * spgemmRowWise(a, b). Never returns null.
+ */
+std::shared_ptr<const CsrMatrix>
+cachedSpgemmNumeric(const CsrMatrix &a, const CsrMatrix &b);
+
+/** Drop every cached product (counters keep accumulating). */
+void clearNumericCache();
+
+/** Cached products currently held (ready + in-flight). */
+std::size_t numericCacheEntries();
+
+/**
+ * Per-tile row histograms of `a` over the fixedRowTiles(b_rows,
+ * tile_height) tiling (sim/scheduler.hh: buildTileRowHistograms),
+ * memoized process-wide by A's content fingerprint plus the tiling
+ * parameters, with the same exactly-once / FIFO-evicted semantics as
+ * cachedSpgemmSymbolic. The histograms are a pure function of A's
+ * structure, so simulateAllDesigns re-simulating a hot operand (the
+ * serve path) pays the O(nnz) bucketing pass once per (operand, tile
+ * height) instead of once per call. `a_csc` must be the CSC form of
+ * `a` — it feeds the build on a miss; the key is `a`'s fingerprint.
+ * Never returns null.
+ */
+std::shared_ptr<const TileRowHistograms>
+cachedTileRowHistograms(const CsrMatrix &a, const CscMatrix &a_csc,
+                        Index b_rows, Index tile_height);
+
+/** Drop every cached histogram set (counters keep accumulating). */
+void clearHistogramCache();
+
+/** Cached histogram sets currently held (ready + in-flight). */
+std::size_t histogramCacheEntries();
+
 /** Process-lifetime totals of the simulator kernel counters. */
 struct SimKernelCounters
 {
     std::uint64_t scratch_reuses = 0;    ///< Arena-backed tile schedules.
+    std::uint64_t row_bucket_passes = 0; ///< Row-policy bucketing passes.
     std::uint64_t symbolic_hits = 0;     ///< Symbolic lookups from cache.
     std::uint64_t symbolic_misses = 0;   ///< Symbolic analyses computed.
     std::uint64_t symbolic_evictions = 0;///< FIFO evictions.
     std::uint64_t csc_hits = 0;          ///< Conversions from cache.
     std::uint64_t csc_misses = 0;        ///< Conversions computed.
     std::uint64_t csc_evictions = 0;     ///< Conversion FIFO evictions.
+    std::uint64_t numeric_hits = 0;      ///< Products from cache.
+    std::uint64_t numeric_misses = 0;    ///< Products computed.
+    std::uint64_t numeric_evictions = 0; ///< Product FIFO evictions.
+    std::uint64_t hist_hits = 0;         ///< Histogram sets from cache.
+    std::uint64_t hist_misses = 0;       ///< Histogram sets built.
+    std::uint64_t hist_evictions = 0;    ///< Histogram FIFO evictions.
 };
 
 /** Snapshot of the process-wide kernel counters. */
@@ -223,8 +323,11 @@ SimKernelCounters simKernelCounters();
 
 /**
  * Mirror future kernel-counter events into `registry` under
- * `sim.sched.scratch_reuses`, `sim.symbolic.{hits,misses,evictions}`,
- * and `sim.csc.{hits,misses,evictions}` (docs/OBSERVABILITY.md).
+ * `sim.sched.{scratch_reuses,row_bucket_passes}`,
+ * `sim.symbolic.{hits,misses,evictions}`,
+ * `sim.csc.{hits,misses,evictions}`,
+ * `sim.numeric.{hits,misses,evictions}`, and
+ * `sim.hist.{hits,misses,evictions}` (docs/OBSERVABILITY.md).
  * nullptr detaches. The caller keeps the
  * registry alive until detach; attach before concurrent use. Mirroring
  * starts at zero from the attach point (prior totals are not
@@ -263,6 +366,9 @@ bool useReferenceSimKernels();
 
 /** Internal: count one arena-backed tile schedule (mirrored). */
 void noteScratchReuse();
+
+/** Internal: count one Row-policy bucketing pass (mirrored). */
+void noteRowBucketPass();
 
 } // namespace misam
 

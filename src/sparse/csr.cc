@@ -20,6 +20,66 @@ CsrMatrix::CsrMatrix(Index rows, Index cols, std::vector<Offset> row_ptr,
     validate();
 }
 
+CsrMatrix::CsrMatrix(const CsrMatrix &other)
+    : rows_(other.rows_), cols_(other.cols_), row_ptr_(other.row_ptr_),
+      col_idx_(other.col_idx_), values_(other.values_)
+{
+    std::uint64_t hi, lo;
+    if (other.cachedFingerprint(&hi, &lo))
+        storeFingerprint(hi, lo);
+}
+
+CsrMatrix &
+CsrMatrix::operator=(const CsrMatrix &other)
+{
+    if (this == &other)
+        return *this;
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    row_ptr_ = other.row_ptr_;
+    col_idx_ = other.col_idx_;
+    values_ = other.values_;
+    std::uint64_t hi, lo;
+    if (other.cachedFingerprint(&hi, &lo))
+        storeFingerprint(hi, lo);
+    else
+        fp_ready_.store(false, std::memory_order_release);
+    return *this;
+}
+
+CsrMatrix::CsrMatrix(CsrMatrix &&other) noexcept
+    : rows_(other.rows_), cols_(other.cols_),
+      row_ptr_(std::move(other.row_ptr_)),
+      col_idx_(std::move(other.col_idx_)),
+      values_(std::move(other.values_))
+{
+    std::uint64_t hi, lo;
+    if (other.cachedFingerprint(&hi, &lo))
+        storeFingerprint(hi, lo);
+    // The moved-from matrix holds unspecified vectors; its stale hash
+    // must not survive.
+    other.fp_ready_.store(false, std::memory_order_release);
+}
+
+CsrMatrix &
+CsrMatrix::operator=(CsrMatrix &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    row_ptr_ = std::move(other.row_ptr_);
+    col_idx_ = std::move(other.col_idx_);
+    values_ = std::move(other.values_);
+    std::uint64_t hi, lo;
+    if (other.cachedFingerprint(&hi, &lo))
+        storeFingerprint(hi, lo);
+    else
+        fp_ready_.store(false, std::memory_order_release);
+    other.fp_ready_.store(false, std::memory_order_release);
+    return *this;
+}
+
 double
 CsrMatrix::density() const
 {

@@ -10,6 +10,8 @@
 #ifndef MISAM_SPARSE_CSR_HH
 #define MISAM_SPARSE_CSR_HH
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -37,6 +39,14 @@ class CsrMatrix
     CsrMatrix(Index rows, Index cols, std::vector<Offset> row_ptr,
               std::vector<Index> col_idx, std::vector<Value> values);
 
+    // The memoized fingerprint slot is atomic, so the special members
+    // are spelled out (csr.cc): copies carry the cached hash, a
+    // moved-from matrix drops it.
+    CsrMatrix(const CsrMatrix &other);
+    CsrMatrix &operator=(const CsrMatrix &other);
+    CsrMatrix(CsrMatrix &&other) noexcept;
+    CsrMatrix &operator=(CsrMatrix &&other) noexcept;
+
     Index rows() const { return rows_; }
     Index cols() const { return cols_; }
     Offset nnz() const { return values_.size(); }
@@ -60,8 +70,14 @@ class CsrMatrix
     /** Check all structural invariants; panics with a description if bad. */
     void validate() const;
 
-    /** Structural + value equality. */
-    bool operator==(const CsrMatrix &other) const = default;
+    /** Structural + value equality (the fingerprint slot is excluded). */
+    bool
+    operator==(const CsrMatrix &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_ &&
+               row_ptr_ == other.row_ptr_ &&
+               col_idx_ == other.col_idx_ && values_ == other.values_;
+    }
 
     /**
      * Approximate equality: same structure, values within `tol` (used by
@@ -70,12 +86,47 @@ class CsrMatrix
      */
     bool approxEqual(const CsrMatrix &other, double tol = 1e-9) const;
 
+    /**
+     * Read the memoized 128-bit content hash, if one has been stored.
+     * The matrix is immutable after construction, so the hash is a pure
+     * function of content; serve/fingerprint.cc computes it on first
+     * use and parks it here via storeFingerprint() so the fingerprint-
+     * keyed caches (sim/workspace.hh) stop re-hashing O(nnz) content on
+     * every warm lookup. The slot is internal plumbing: the hash
+     * algorithm lives entirely in serve/fingerprint.cc.
+     */
+    bool
+    cachedFingerprint(std::uint64_t *hi, std::uint64_t *lo) const
+    {
+        if (!fp_ready_.load(std::memory_order_acquire))
+            return false;
+        *hi = fp_hi_.load(std::memory_order_relaxed);
+        *lo = fp_lo_.load(std::memory_order_relaxed);
+        return true;
+    }
+
+    /**
+     * Park a computed content hash. Racing writers store identical
+     * words (the hash is deterministic), so the relaxed value stores
+     * under the release flag are benign.
+     */
+    void
+    storeFingerprint(std::uint64_t hi, std::uint64_t lo) const
+    {
+        fp_hi_.store(hi, std::memory_order_relaxed);
+        fp_lo_.store(lo, std::memory_order_relaxed);
+        fp_ready_.store(true, std::memory_order_release);
+    }
+
   private:
     Index rows_ = 0;
     Index cols_ = 0;
     std::vector<Offset> row_ptr_{0};
     std::vector<Index> col_idx_;
     std::vector<Value> values_;
+    mutable std::atomic<std::uint64_t> fp_hi_{0};
+    mutable std::atomic<std::uint64_t> fp_lo_{0};
+    mutable std::atomic<bool> fp_ready_{false};
 };
 
 } // namespace misam

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fused numeric SpGEMM: the value-carrying counterpart of the fused
+ * symbolic pass (sparse/spgemm.hh: spgemmSymbolic).
+ *
+ * spgemmRowWise is the functional ground truth but pays for it — vector
+ * growth on every output row, a vector<bool> occupancy array, and a
+ * std::sort per row. This kernel computes the same Gustavson product
+ * over a dense per-row value accumulator with a word-packed occupancy
+ * bitmap, reserves the output arrays exactly from the symbolic
+ * output_nnz, and emits each row in column order by expanding the
+ * bitmap's set bits (simd::expandSetBits) instead of sorting.
+ *
+ * Determinism contract: the product is byte-identical to
+ * spgemmRowWise(a, b) on every backend and thread count. Values
+ * accumulate into each output cell in the same (A-nonzero, B-nonzero)
+ * traversal order, and both emit paths produce ascending columns, so
+ * neither the IEEE sums nor the structure can differ. The emit-path
+ * choice is a pure function of the operand shapes, never of the backend
+ * (tests/test_numeric_spgemm.cpp pins all of this).
+ */
+
+#ifndef MISAM_SPARSE_SPGEMM_NUMERIC_HH
+#define MISAM_SPARSE_SPGEMM_NUMERIC_HH
+
+#include "sparse/csr.hh"
+#include "sparse/spgemm.hh"
+
+namespace misam {
+
+/**
+ * C = A * B with dense accumulator blocks and bitmap occupancy.
+ * `sym`, when non-null, must be spgemmSymbolic(a, b) (typically from
+ * cachedSpgemmSymbolic) and is used for the exact output reservation;
+ * null recomputes it. Byte-identical to spgemmRowWise(a, b).
+ */
+CsrMatrix spgemmNumericFused(const CsrMatrix &a, const CsrMatrix &b,
+                             const SymbolicStats *sym = nullptr);
+
+} // namespace misam
+
+#endif // MISAM_SPARSE_SPGEMM_NUMERIC_HH

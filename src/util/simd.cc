@@ -40,9 +40,11 @@ resolveFromEnv()
         backend = Backend::Avx2;
     else if (requested == "neon")
         backend = Backend::Neon;
+    else if (requested == "avx512")
+        backend = Backend::Avx512;
     else
         fatal("MISAM_SIMD: unknown backend '", requested,
-              "' (expected scalar|avx2|neon)");
+              "' (expected scalar|avx2|neon|avx512)");
     if (!backendSupported(backend))
         fatal("MISAM_SIMD: backend '", requested,
               "' is not executable on this host");
@@ -59,12 +61,14 @@ std::atomic<std::uint64_t> g_fingerprint_blocks{0};
 std::atomic<std::uint64_t> g_weight_builds{0};
 std::atomic<std::uint64_t> g_pe_folds{0};
 std::atomic<std::uint64_t> g_csc_blocked{0};
+std::atomic<std::uint64_t> g_expand_rows{0};
 
 std::atomic<Counter *> g_mirror_bitmap_rows{nullptr};
 std::atomic<Counter *> g_mirror_fingerprint_blocks{nullptr};
 std::atomic<Counter *> g_mirror_weight_builds{nullptr};
 std::atomic<Counter *> g_mirror_pe_folds{nullptr};
 std::atomic<Counter *> g_mirror_csc_blocked{nullptr};
+std::atomic<Counter *> g_mirror_expand_rows{nullptr};
 std::atomic<Gauge *> g_mirror_backend{nullptr};
 
 void
@@ -185,6 +189,25 @@ peScheduleFoldScalar(const std::uint64_t *acc4, std::size_t n,
         fold.busy_cycles += rec[1];
     }
     return fold;
+}
+
+std::size_t
+expandSetBitsScalar(std::uint64_t *words, std::size_t n,
+                    std::uint32_t base, std::uint32_t *dst)
+{
+    std::size_t out = 0;
+    for (std::size_t w = 0; w < n; ++w) {
+        std::uint64_t bits = words[w];
+        const std::uint32_t word_base =
+            base + static_cast<std::uint32_t>(w) * 64u;
+        while (bits != 0) {
+            dst[out++] = word_base + static_cast<std::uint32_t>(
+                                         std::countr_zero(bits));
+            bits &= bits - 1;
+        }
+        words[w] = 0;
+    }
+    return out;
 }
 
 // ---------------------------------------------------------------------
@@ -423,6 +446,221 @@ peScheduleFoldAvx2(const std::uint64_t *acc4, std::size_t n,
 
 #undef MISAM_AVX2
 
+// ---------------------------------------------------------------------
+// AVX-512 kernels (x86-64, runtime-probed for F+BW+DQ+VL). The host we
+// target has no VPOPCNTDQ, so popcount stays on Mula's shuffle method,
+// just at 512-bit width; DQ's vpmullq replaces AVX2's three-multiply
+// 64-bit product in the fingerprint rounds and the schedule fold.
+// ---------------------------------------------------------------------
+
+#define MISAM_AVX512                                                   \
+    __attribute__((target("avx512f,avx512bw,avx512dq,avx512vl")))
+
+MISAM_AVX512 void
+orIntoAvx512(std::uint64_t *acc, const std::uint64_t *src,
+             std::size_t words)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= words; i += 8) {
+        const __m512i a = _mm512_loadu_si512(acc + i);
+        const __m512i b = _mm512_loadu_si512(src + i);
+        _mm512_storeu_si512(acc + i, _mm512_or_si512(a, b));
+    }
+    for (; i < words; ++i)
+        acc[i] |= src[i];
+}
+
+MISAM_AVX512 std::uint64_t
+popcountAndClearAvx512(std::uint64_t *words, std::size_t n)
+{
+    const __m512i lookup = _mm512_broadcast_i32x4(_mm_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4));
+    const __m512i low_mask = _mm512_set1_epi8(0x0f);
+    const __m512i zero = _mm512_setzero_si512();
+    __m512i acc = zero;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i v = _mm512_loadu_si512(words + i);
+        const __m512i lo = _mm512_and_si512(v, low_mask);
+        const __m512i hi =
+            _mm512_and_si512(_mm512_srli_epi32(v, 4), low_mask);
+        const __m512i cnt =
+            _mm512_add_epi8(_mm512_shuffle_epi8(lookup, lo),
+                            _mm512_shuffle_epi8(lookup, hi));
+        acc = _mm512_add_epi64(acc, _mm512_sad_epu8(cnt, zero));
+        _mm512_storeu_si512(words + i, zero);
+    }
+    std::uint64_t total =
+        static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+    for (; i < n; ++i) {
+        total += static_cast<std::uint64_t>(std::popcount(words[i]));
+        words[i] = 0;
+    }
+    return total;
+}
+
+MISAM_AVX512 std::size_t
+fingerprintBulkAvx512(std::uint64_t lanes[4],
+                      const std::uint64_t *words, std::size_t n)
+{
+    const __m256i c1 =
+        _mm256_set1_epi64x(static_cast<long long>(kFpMul1));
+    const __m256i c2 =
+        _mm256_set1_epi64x(static_cast<long long>(kFpMul2));
+    __m256i state = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(lanes));
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i w = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(words + i));
+        const __m256i mixed =
+            _mm256_xor_si256(state, _mm256_mullo_epi64(w, c1));
+        state = _mm256_mullo_epi64(_mm256_rol_epi64(mixed, 31), c2);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), state);
+    return i;
+}
+
+MISAM_AVX512 void
+packPairsU32Avx512(std::uint64_t *dst, const std::uint32_t *src,
+                   std::size_t pairs)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= pairs; i += 8)
+        _mm512_storeu_si512(dst + i, _mm512_loadu_si512(src + 2 * i));
+    packPairsU32Scalar(dst + i, src + 2 * i, pairs - i);
+}
+
+MISAM_AVX512 void
+ceilDivWeightsAvx512(std::uint64_t *dst, const std::uint64_t *row_nnz,
+                     std::size_t n, double eff_lanes,
+                     std::uint64_t meta)
+{
+    // DQ's direct u64<->f64 conversions round/truncate exactly like the
+    // scalar casts, so no 2^52 trick is needed here.
+    const __m512d lanes_v = _mm512_set1_pd(eff_lanes);
+    const __m512i meta_v =
+        _mm512_set1_epi64(static_cast<long long>(meta));
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i nnz = _mm512_loadu_si512(row_nnz + i);
+        const __m512d q =
+            _mm512_div_pd(_mm512_cvtepu64_pd(nnz), lanes_v);
+        const __m512d c = _mm512_roundscale_pd(
+            q, _MM_FROUND_TO_POS_INF | _MM_FROUND_NO_EXC);
+        _mm512_storeu_si512(
+            dst + i,
+            _mm512_add_epi64(_mm512_cvttpd_epu64(c), meta_v));
+    }
+    ceilDivWeightsScalar(dst + i, row_nnz + i, n - i, eff_lanes, meta);
+}
+
+MISAM_AVX512 PeFold
+peScheduleFoldAvx512(const std::uint64_t *acc4, std::size_t n,
+                     std::uint64_t dep)
+{
+    const __m512i dep_v =
+        _mm512_set1_epi64(static_cast<long long>(dep));
+    const __m512i one = _mm512_set1_epi64(1);
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i lo_half = _mm512_setr_epi64(0, 1, 2, 3, 8, 9, 10, 11);
+    __m512i len_acc = zero;
+    __m512i te_acc = zero;
+    __m512i tw_acc = zero;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const std::uint64_t *base = acc4 + 4 * i;
+        const __m512i z0 = _mm512_loadu_si512(base);
+        const __m512i z1 = _mm512_loadu_si512(base + 8);
+        const __m512i z2 = _mm512_loadu_si512(base + 16);
+        const __m512i z3 = _mm512_loadu_si512(base + 24);
+        // 8x4 u64 transpose via two-source permutes: per field f, lanes
+        // {f, f+4} of each record pair, then splice the four-record
+        // halves together.
+        __m512i field[4];
+        for (int f = 0; f < 4; ++f) {
+            const __m512i idx = _mm512_setr_epi64(f, f + 4, f + 8,
+                                                  f + 12, f, f + 4,
+                                                  f + 8, f + 12);
+            const __m512i a = _mm512_permutex2var_epi64(z0, idx, z1);
+            const __m512i b = _mm512_permutex2var_epi64(z2, idx, z3);
+            field[f] = _mm512_permutex2var_epi64(a, lo_half, b);
+        }
+        const __m512i te = field[0];
+        const __m512i tw = field[1];
+        const __m512i mc = field[2];
+        const __m512i ram = field[3];
+        const __m512i cooldown_raw = _mm512_add_epi64(
+            _mm512_mullo_epi64(_mm512_sub_epi64(mc, one), dep_v), ram);
+        const __mmask8 mc_nz = _mm512_test_epi64_mask(mc, mc);
+        const __m512i cooldown =
+            _mm512_maskz_mov_epi64(mc_nz, cooldown_raw);
+        const __mmask8 tw_nz = _mm512_test_epi64_mask(tw, tw);
+        const __m512i len = _mm512_maskz_mov_epi64(
+            tw_nz, _mm512_max_epu64(tw, cooldown));
+        len_acc = _mm512_max_epu64(len_acc, len);
+        te_acc = _mm512_add_epi64(te_acc, te);
+        tw_acc = _mm512_add_epi64(tw_acc, tw);
+    }
+    PeFold fold;
+    fold.schedule_length = _mm512_reduce_max_epu64(len_acc);
+    fold.total_elements =
+        static_cast<std::uint64_t>(_mm512_reduce_add_epi64(te_acc));
+    fold.busy_cycles =
+        static_cast<std::uint64_t>(_mm512_reduce_add_epi64(tw_acc));
+    const PeFold tail = peScheduleFoldScalar(acc4 + 4 * i, n - i, dep);
+    if (tail.schedule_length > fold.schedule_length)
+        fold.schedule_length = tail.schedule_length;
+    fold.total_elements += tail.total_elements;
+    fold.busy_cycles += tail.busy_cycles;
+    return fold;
+}
+
+MISAM_AVX512 std::size_t
+expandSetBitsAvx512(std::uint64_t *words, std::size_t n,
+                    std::uint32_t base, std::uint32_t *dst)
+{
+    const __m512i iota = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8,
+                                           9, 10, 11, 12, 13, 14, 15);
+    std::size_t out = 0;
+    for (std::size_t w = 0; w < n; ++w) {
+        std::uint64_t bits = words[w];
+        if (bits == 0)
+            continue;
+        words[w] = 0;
+        const std::uint32_t word_base =
+            base + static_cast<std::uint32_t>(w) * 64u;
+        // Sparse words: four masked compress-stores cost more than a
+        // handful of ctz steps. Same ascending output either way, so
+        // the cutover is invisible to callers.
+        if (std::popcount(bits) < 8) {
+            while (bits != 0) {
+                dst[out++] =
+                    word_base +
+                    static_cast<std::uint32_t>(std::countr_zero(bits));
+                bits &= bits - 1;
+            }
+            continue;
+        }
+        for (int half = 0; half < 4; ++half) {
+            const auto m =
+                static_cast<__mmask16>(bits >> (16 * half));
+            if (m == 0)
+                continue;
+            const __m512i vals = _mm512_add_epi32(
+                iota, _mm512_set1_epi32(static_cast<int>(
+                          word_base + 16u * static_cast<unsigned>(
+                                                half))));
+            _mm512_mask_compressstoreu_epi32(dst + out, m, vals);
+            out += static_cast<std::size_t>(
+                std::popcount(static_cast<std::uint32_t>(m)));
+        }
+    }
+    return out;
+}
+
+#undef MISAM_AVX512
+
 #endif // __x86_64__
 
 // ---------------------------------------------------------------------
@@ -531,6 +769,8 @@ backendName(Backend backend)
         return "avx2";
       case Backend::Neon:
         return "neon";
+      case Backend::Avx512:
+        return "avx512";
     }
     return "?";
 }
@@ -553,6 +793,15 @@ backendSupported(Backend backend)
 #else
         return false;
 #endif
+      case Backend::Avx512:
+#if defined(__x86_64__)
+        return __builtin_cpu_supports("avx512f") != 0 &&
+               __builtin_cpu_supports("avx512bw") != 0 &&
+               __builtin_cpu_supports("avx512dq") != 0 &&
+               __builtin_cpu_supports("avx512vl") != 0;
+#else
+        return false;
+#endif
     }
     return false;
 }
@@ -560,6 +809,8 @@ backendSupported(Backend backend)
 Backend
 bestSupportedBackend()
 {
+    if (backendSupported(Backend::Avx512))
+        return Backend::Avx512;
     if (backendSupported(Backend::Avx2))
         return Backend::Avx2;
     if (backendSupported(Backend::Neon))
@@ -606,6 +857,9 @@ orInto(std::uint64_t *acc, const std::uint64_t *src, std::size_t words)
       case Backend::Avx2:
         orIntoAvx2(acc, src, words);
         return;
+      case Backend::Avx512:
+        orIntoAvx512(acc, src, words);
+        return;
 #endif
 #if defined(__aarch64__)
       case Backend::Neon:
@@ -625,6 +879,8 @@ popcountAndClear(std::uint64_t *words, std::size_t n)
 #if defined(__x86_64__)
       case Backend::Avx2:
         return popcountAndClearAvx2(words, n);
+      case Backend::Avx512:
+        return popcountAndClearAvx512(words, n);
 #endif
 #if defined(__aarch64__)
       case Backend::Neon:
@@ -644,6 +900,8 @@ fingerprintBulk(std::uint64_t lanes[4], const std::uint64_t *words,
 #if defined(__x86_64__)
       case Backend::Avx2:
         return fingerprintBulkAvx2(lanes, words, n);
+      case Backend::Avx512:
+        return fingerprintBulkAvx512(lanes, words, n);
 #endif
 #if defined(__aarch64__)
       case Backend::Neon:
@@ -662,6 +920,9 @@ packPairsU32(std::uint64_t *dst, const std::uint32_t *src,
 #if defined(__x86_64__)
       case Backend::Avx2:
         packPairsU32Avx2(dst, src, pairs);
+        return;
+      case Backend::Avx512:
+        packPairsU32Avx512(dst, src, pairs);
         return;
 #endif
 #if defined(__aarch64__)
@@ -685,6 +946,9 @@ ceilDivWeights(std::uint64_t *dst, const std::uint64_t *row_nnz,
       case Backend::Avx2:
         ceilDivWeightsAvx2(dst, row_nnz, n, eff_lanes, meta);
         return;
+      case Backend::Avx512:
+        ceilDivWeightsAvx512(dst, row_nnz, n, eff_lanes, meta);
+        return;
 #endif
       default:
         ceilDivWeightsScalar(dst, row_nnz, n, eff_lanes, meta);
@@ -701,9 +965,25 @@ peScheduleFold(const std::uint64_t *acc4, std::size_t n,
 #if defined(__x86_64__)
       case Backend::Avx2:
         return peScheduleFoldAvx2(acc4, n, dep);
+      case Backend::Avx512:
+        return peScheduleFoldAvx512(acc4, n, dep);
 #endif
       default:
         return peScheduleFoldScalar(acc4, n, dep);
+    }
+}
+
+std::size_t
+expandSetBits(std::uint64_t *words, std::size_t n, std::uint32_t base,
+              std::uint32_t *dst)
+{
+    switch (activeBackend()) {
+#if defined(__x86_64__)
+      case Backend::Avx512:
+        return expandSetBitsAvx512(words, n, base, dst);
+#endif
+      default:
+        return expandSetBitsScalar(words, n, base, dst);
     }
 }
 
@@ -717,6 +997,7 @@ simdCounters()
     c.weight_builds = g_weight_builds.load(std::memory_order_relaxed);
     c.pe_folds = g_pe_folds.load(std::memory_order_relaxed);
     c.csc_blocked = g_csc_blocked.load(std::memory_order_relaxed);
+    c.expand_rows = g_expand_rows.load(std::memory_order_relaxed);
     return c;
 }
 
@@ -733,6 +1014,12 @@ noteBlockedCsc()
 }
 
 void
+noteExpandRows(std::uint64_t rows)
+{
+    bumpBy(g_expand_rows, g_mirror_expand_rows, rows);
+}
+
+void
 setSimdMetrics(MetricsRegistry *registry)
 {
     if (registry == nullptr) {
@@ -743,6 +1030,7 @@ setSimdMetrics(MetricsRegistry *registry)
                                      std::memory_order_relaxed);
         g_mirror_pe_folds.store(nullptr, std::memory_order_relaxed);
         g_mirror_csc_blocked.store(nullptr, std::memory_order_relaxed);
+        g_mirror_expand_rows.store(nullptr, std::memory_order_relaxed);
         g_mirror_backend.store(nullptr, std::memory_order_relaxed);
         return;
     }
@@ -759,6 +1047,9 @@ setSimdMetrics(MetricsRegistry *registry)
                             std::memory_order_relaxed);
     g_mirror_csc_blocked.store(&registry->counter("simd.csc_blocked"),
                                std::memory_order_relaxed);
+    g_mirror_expand_rows.store(
+        &registry->counter("simd.expand_rows"),
+        std::memory_order_relaxed);
     g_mirror_backend.store(&registry->gauge("simd.backend"),
                            std::memory_order_relaxed);
     publishBackendGauge();

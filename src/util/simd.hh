@@ -6,8 +6,9 @@
  * Design-4 job weights, fingerprint bulk hashing) bottom out in a small
  * set of flat-array kernels. This header is their one doorway: each
  * kernel has a scalar reference implementation plus vector variants
- * (AVX2 on x86-64, NEON on aarch64) compiled into src/util/simd.cc and
- * selected once per process at first use. misam-lint's
+ * (AVX2/AVX-512 on x86-64, NEON on aarch64) compiled into
+ * src/util/simd.cc and selected once per process at first use.
+ * misam-lint's
  * no-raw-intrinsics rule confines the intrinsics themselves to
  * src/util/simd.* so no other translation unit can fork behavior on the
  * instruction set.
@@ -20,9 +21,9 @@
  * backend.
  *
  * Backend selection: the best instruction set the host supports, unless
- * `MISAM_SIMD=scalar|avx2|neon` (read through util/env.hh) forces one.
- * Forcing a backend the host cannot execute is a fatal configuration
- * error rather than a silent downgrade.
+ * `MISAM_SIMD=scalar|avx2|neon|avx512` (read through util/env.hh)
+ * forces one. Forcing a backend the host cannot execute is a fatal
+ * configuration error rather than a silent downgrade.
  */
 
 #ifndef MISAM_UTIL_SIMD_HH
@@ -43,9 +44,10 @@ enum class Backend
     Scalar = 0,
     Avx2 = 1,
     Neon = 2,
+    Avx512 = 3,
 };
 
-/** Stable lowercase name ("scalar", "avx2", "neon"). */
+/** Stable lowercase name ("scalar", "avx2", "neon", "avx512"). */
 const char *backendName(Backend backend);
 
 /** True when this host can execute `backend`. Scalar always can. */
@@ -125,6 +127,16 @@ struct PeFold
 PeFold peScheduleFold(const std::uint64_t *acc4, std::size_t n,
                       std::uint64_t dep);
 
+/**
+ * Expand an occupancy bitmap into ascending bit positions: for each set
+ * bit b of words[0..n), append `base + w*64 + bit` to dst (as u32) and
+ * clear the word. Returns the number of positions written. dst must
+ * have room for the total popcount. The numeric-SpGEMM emit uses this
+ * to produce column-ordered output rows without sorting.
+ */
+std::size_t expandSetBits(std::uint64_t *words, std::size_t n,
+                          std::uint32_t base, std::uint32_t *dst);
+
 // ---------------------------------------------------------------------
 // Observability. Coarse trip counters: bumped once per kernel call (or
 // once per consumer call for composite paths), never per element.
@@ -138,6 +150,7 @@ struct SimdCounters
     std::uint64_t weight_builds = 0;      ///< ceilDivWeights calls.
     std::uint64_t pe_folds = 0;           ///< peScheduleFold calls.
     std::uint64_t csc_blocked = 0;        ///< Cache-blocked csrToCsc runs.
+    std::uint64_t expand_rows = 0;        ///< Numeric bitmap-emit rows.
 };
 
 /** Snapshot of the process-wide SIMD counters. */
@@ -146,6 +159,7 @@ SimdCounters simdCounters();
 /** Consumer-side bumps for composite paths (see SimdCounters). */
 void noteBitmapRows(std::uint64_t rows);
 void noteBlockedCsc();
+void noteExpandRows(std::uint64_t rows);
 
 /**
  * Mirror future SIMD-layer events into `registry`: the `simd.backend`

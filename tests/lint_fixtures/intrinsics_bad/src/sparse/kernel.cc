@@ -24,4 +24,13 @@ neonAdd(std::uint64_t a, std::uint64_t b)
     return vgetq_lane_u64(vaddq_u64(va, vb), 0);
 }
 
+std::uint32_t
+maskCompress(const std::uint64_t *w, std::uint64_t *dst)
+{
+    const __m512i v = _mm512_loadu_si512(w);
+    const __mmask8 nz = _mm512_test_epi64_mask(v, v);
+    _mm512_mask_compressstoreu_epi64(dst, nz, v);
+    return static_cast<std::uint32_t>(nz);
+}
+
 } // namespace misam

@@ -12,7 +12,8 @@ useDispatch(const std::uint64_t *words, std::uint64_t vmax_u)
 {
     std::uint64_t vec_sum = vmax_u;     // no lane suffix
     std::uint64_t comm_mask = words[0]; // mm inside a word
-    std::uint64_t val_of = vec_sum + comm_mask;
+    std::uint64_t row_mmask = words[0]; // mmask without the __ prefix
+    std::uint64_t val_of = vec_sum + comm_mask + row_mmask;
     value_u64_total += val_of;
     return val_of;
 }

@@ -15,4 +15,12 @@ sumFour(const std::uint64_t *w)
     return out[0];
 }
 
+std::uint64_t
+maskedSum(const std::uint64_t *w)
+{
+    const __m512i v = _mm512_loadu_si512(w);
+    const __mmask8 nz = _mm512_test_epi64_mask(v, v);
+    return _mm512_mask_reduce_add_epi64(nz, v);
+}
+
 } // namespace misam::simd

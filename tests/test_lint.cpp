@@ -203,14 +203,19 @@ TEST(LintRawIntrinsics, FiresOnBadFixture)
     const Result result = runLint(
         fixtureOptions("intrinsics_bad", {"no-raw-intrinsics"}));
     // Header word + quoted header literal + every __m256i / _mm256_*
-    // / NEON v*q_u64 occurrence in the fixture.
-    EXPECT_EQ(countRule(result, "no-raw-intrinsics"), 12u);
+    // / __m512i / __mmask8 / _mm512_* / NEON v*q_u64 occurrence in the
+    // fixture.
+    EXPECT_EQ(countRule(result, "no-raw-intrinsics"), 17u);
     EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics", 3));  // immintrin
     EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics", 4));  // arm_neon.h
     EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics", 11)); // __m256i
     EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics", 13)); // _mm256_add
     EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics", 22)); // vdupq_n_u64
     EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics", 24)); // vaddq_u64
+    EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics", 30)); // __m512i
+    EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics", 31)); // __mmask8
+    EXPECT_TRUE(hasDiagAtLine(result, "no-raw-intrinsics",
+                              32)); // _mm512_mask_compressstoreu
 }
 
 TEST(LintRawIntrinsics, SilentInsideSimdLayerAndOnNearMisses)

@@ -156,6 +156,42 @@ TEST(SchedulerKernels, EmptyTileMatchesReference)
                      sched.scheduleReference(a_csc, {10, 10}));
 }
 
+// Row policy has three routes: the bucketing pass (schedule), the
+// retained strided pass (scheduleRowStrided), and the hash-map
+// reference. All three must agree on every shape, tile offset, PE
+// count, and weighting — including tiles whose k_lo is not a multiple
+// of the PE stride (the remainder arithmetic scheduleRowStrided
+// hoists).
+TEST(SchedulerKernels, RowStridedRouteMatchesBucketingAndReference)
+{
+    for (const int structure : {0, 1, 2}) {
+        Rng rng(static_cast<std::uint64_t>(structure) + 23);
+        const CsrMatrix a = makeMatrix(structure, 160, 224, 0.06, rng);
+        const CscMatrix a_csc = csrToCsc(a);
+        std::vector<Offset> weights(a.cols());
+        for (Offset &w : weights)
+            w = rng.uniformInt(std::uint64_t{7});
+
+        for (const int pes : {1, 3, 16, 64}) {
+            const TileScheduler sched(SchedulerKind::Row, pes, 2);
+            for (const Index height : {Index{32}, Index{70}, Index{224}}) {
+                for (const KTile &tile : fixedRowTiles(a.cols(), height)) {
+                    const std::vector<Offset> *weight_options[] = {
+                        nullptr, &weights};
+                    for (const std::vector<Offset> *w : weight_options) {
+                        const TileScheduleStats ref =
+                            sched.scheduleReference(a_csc, tile, w);
+                        expectStatsEqual(
+                            sched.scheduleRowStrided(a_csc, tile, w), ref);
+                        expectStatsEqual(sched.schedule(a_csc, tile, w),
+                                         ref);
+                    }
+                }
+            }
+        }
+    }
+}
+
 // --------------------------------------------------------------------
 // precomputed histograms: the shared-plan fold
 // --------------------------------------------------------------------
@@ -365,6 +401,51 @@ TEST(SymbolicCache, EvictsOldestBeyondCapacity)
     clearSymbolicCache();
 }
 
+TEST(HistogramCache, MatchesDirectBuildAndCountsHitsMissesEvictions)
+{
+    clearHistogramCache();
+    Rng rng(29);
+    const CsrMatrix a = generateUniform(96, 96, 0.08, rng);
+    const CsrMatrix b = generateUniform(96, 64, 0.05, rng);
+    const CscMatrix a_csc = csrToCsc(a);
+
+    const SimKernelCounters before = simKernelCounters();
+    const auto first = cachedTileRowHistograms(a, a_csc, b.rows(), 32);
+    const auto again = cachedTileRowHistograms(a, a_csc, b.rows(), 32);
+    SimKernelCounters after = simKernelCounters();
+    EXPECT_EQ(after.hist_misses - before.hist_misses, 1u);
+    EXPECT_EQ(after.hist_hits - before.hist_hits, 1u);
+    EXPECT_EQ(first.get(), again.get()); // One shared entry.
+
+    // A different tile height is a different tiling: its own entry.
+    cachedTileRowHistograms(a, a_csc, b.rows(), 48);
+    after = simKernelCounters();
+    EXPECT_EQ(after.hist_misses - before.hist_misses, 2u);
+
+    // The memoized set matches a direct build, bin for bin.
+    const TileRowHistograms want =
+        buildTileRowHistograms(a_csc, fixedRowTiles(b.rows(), 32));
+    ASSERT_EQ(first->tile_ptr, want.tile_ptr);
+    ASSERT_EQ(first->bins.size(), want.bins.size());
+    for (std::size_t i = 0; i < want.bins.size(); ++i) {
+        EXPECT_EQ(first->bins[i].row, want.bins[i].row);
+        EXPECT_EQ(first->bins[i].count, want.bins[i].count);
+    }
+
+    // More distinct keys than the FIFO capacity (16): evictions must
+    // fire and the entry count must stay bounded.
+    for (int i = 0; i < 20; ++i) {
+        Rng pair_rng(2000 + i);
+        const CsrMatrix m = generateUniform(48, 48, 0.1, pair_rng);
+        const CscMatrix m_csc = csrToCsc(m);
+        cachedTileRowHistograms(m, m_csc, 48, 16);
+    }
+    after = simKernelCounters();
+    EXPECT_GE(after.hist_evictions - before.hist_evictions, 6u);
+    EXPECT_LE(histogramCacheEntries(), 16u);
+    clearHistogramCache();
+}
+
 // --------------------------------------------------------------------
 // counters: thread-count determinism and metrics mirroring
 // --------------------------------------------------------------------
@@ -377,6 +458,10 @@ TEST(KernelCounters, ScratchReusesDeterministicAcrossThreadCounts)
 
     std::uint64_t delta1 = 0;
     for (const unsigned threads : {1u, 4u}) {
+        // A warm histogram cache would skip the hoisted builds (and
+        // their per-tile scratch reuses) on the second run; start both
+        // runs cold so they do identical work.
+        clearHistogramCache();
         const SimKernelCounters before = simKernelCounters();
         simulateAllDesigns(a, b, threads);
         const SimKernelCounters after = simKernelCounters();

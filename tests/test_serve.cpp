@@ -44,6 +44,35 @@ TEST(Fingerprint, EqualContentEqualFingerprint)
     EXPECT_EQ(fingerprintMatrix(a), fingerprintMatrix(b));
 }
 
+TEST(Fingerprint, MemoizedOnTheMatrixAndCarriedByCopies)
+{
+    const CsrMatrix a = testMatrix(11);
+    std::uint64_t hi = 0, lo = 0;
+    EXPECT_FALSE(a.cachedFingerprint(&hi, &lo));
+    const Fingerprint128 fp = fingerprintMatrix(a);
+    ASSERT_TRUE(a.cachedFingerprint(&hi, &lo));
+    EXPECT_EQ((Fingerprint128{hi, lo}), fp);
+    EXPECT_EQ(fingerprintMatrix(a), fp); // Served from the slot.
+
+    // Copies carry the memo; content equality ignores the slot.
+    CsrMatrix copy = a;
+    ASSERT_TRUE(copy.cachedFingerprint(&hi, &lo));
+    EXPECT_EQ((Fingerprint128{hi, lo}), fp);
+    EXPECT_EQ(copy, a);
+    const CsrMatrix fresh = testMatrix(11);
+    EXPECT_FALSE(fresh.cachedFingerprint(&hi, &lo));
+    EXPECT_EQ(fresh, a);
+    EXPECT_EQ(fingerprintMatrix(fresh), fp);
+
+    // Moves carry the memo forward and drop it from the source, whose
+    // vectors are in a moved-from state.
+    const CsrMatrix moved = std::move(copy);
+    ASSERT_TRUE(moved.cachedFingerprint(&hi, &lo));
+    EXPECT_EQ((Fingerprint128{hi, lo}), fp);
+    EXPECT_FALSE(copy.cachedFingerprint(&hi, &lo));
+    EXPECT_EQ(fingerprintMatrix(moved), fp);
+}
+
 TEST(Fingerprint, SensitiveToEveryComponent)
 {
     const CsrMatrix base = testMatrix(3);

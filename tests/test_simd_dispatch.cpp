@@ -47,17 +47,22 @@ class ScopedBackend
 };
 
 /**
- * The backends to compare: always scalar, plus the widest supported one
- * when that differs. On a scalar-only host the parity assertions
- * degenerate to self-comparison, which keeps the suite green (and still
- * exercises the degenerate-shape and reference-kernel checks).
+ * The backends to compare: always scalar, plus every vector backend
+ * this host can execute (AVX2 and AVX-512 are probed independently, so
+ * an AVX-512 host pins scalar == AVX2 == AVX-512). On a scalar-only
+ * host the parity assertions degenerate to self-comparison, which keeps
+ * the suite green (and still exercises the degenerate-shape and
+ * reference-kernel checks).
  */
 std::vector<Backend>
 backendsUnderTest()
 {
     std::vector<Backend> backends = {Backend::Scalar};
-    if (simd::bestSupportedBackend() != Backend::Scalar)
-        backends.push_back(simd::bestSupportedBackend());
+    for (Backend vec :
+         {Backend::Avx2, Backend::Neon, Backend::Avx512}) {
+        if (simd::backendSupported(vec))
+            backends.push_back(vec);
+    }
     return backends;
 }
 
@@ -126,6 +131,11 @@ TEST(SimdDispatch, BackendPlumbing)
     EXPECT_STREQ(simd::backendName(Backend::Scalar), "scalar");
     EXPECT_STREQ(simd::backendName(Backend::Avx2), "avx2");
     EXPECT_STREQ(simd::backendName(Backend::Neon), "neon");
+    EXPECT_STREQ(simd::backendName(Backend::Avx512), "avx512");
+    // AVX-512 subsumes AVX2: any host that can run the new backend can
+    // also run the old one, so the parity matrix is never sparse.
+    if (simd::backendSupported(Backend::Avx512))
+        EXPECT_TRUE(simd::backendSupported(Backend::Avx2));
     {
         ScopedBackend forced(Backend::Scalar);
         EXPECT_EQ(simd::activeBackend(), Backend::Scalar);
@@ -292,6 +302,55 @@ TEST(SimdDispatch, PeScheduleFoldParity)
                 << "n=" << n << " backend=" << simd::backendName(backend);
             EXPECT_EQ(got.total_elements, want.total_elements) << "n=" << n;
             EXPECT_EQ(got.busy_cycles, want.busy_cycles) << "n=" << n;
+        }
+    }
+}
+
+TEST(SimdDispatch, ExpandSetBitsParity)
+{
+    for (std::size_t n : kLengths) {
+        // AND-ed patterns give sparse-ish words; also pin the all-ones
+        // and all-zeros words via the first two positions.
+        std::vector<std::uint64_t> base = patternWords(n, 0x800 + n);
+        const std::vector<std::uint64_t> other =
+            patternWords(n, 0x900 + n);
+        for (std::size_t i = 0; i < n; ++i)
+            base[i] &= other[i];
+        if (n >= 2) {
+            base[0] = ~std::uint64_t{0};
+            base[1] = 0;
+        }
+        std::uint64_t total_bits = 0;
+        for (std::uint64_t w : base)
+            total_bits +=
+                static_cast<std::uint64_t>(__builtin_popcountll(w));
+        std::vector<std::uint32_t> want;
+        bool first = true;
+        for (Backend backend : backendsUnderTest()) {
+            ScopedBackend forced(backend);
+            std::vector<std::uint64_t> words = base;
+            std::vector<std::uint32_t> dst(total_bits + 1,
+                                           0xdeadbeefu);
+            const std::size_t cnt = simd::expandSetBits(
+                words.data(), n, 1000, dst.data());
+            EXPECT_EQ(cnt, total_bits)
+                << "n=" << n << " backend=" << simd::backendName(backend);
+            EXPECT_EQ(words, std::vector<std::uint64_t>(n, 0))
+                << "n=" << n << " backend=" << simd::backendName(backend);
+            EXPECT_EQ(dst[total_bits], 0xdeadbeefu) << "overwrite";
+            dst.resize(cnt);
+            // Positions are ascending and offset by the base.
+            for (std::size_t i = 1; i < dst.size(); ++i)
+                ASSERT_LT(dst[i - 1], dst[i]) << "n=" << n;
+            if (!dst.empty())
+                EXPECT_GE(dst.front(), 1000u);
+            if (first) {
+                want = dst;
+                first = false;
+                continue;
+            }
+            EXPECT_EQ(dst, want)
+                << "n=" << n << " backend=" << simd::backendName(backend);
         }
     }
 }

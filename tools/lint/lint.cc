@@ -727,6 +727,8 @@ isRawIntrinsicWord(std::string_view w)
     if (w.size() > 3 && w.rfind("__m", 0) == 0 &&
         std::isdigit(static_cast<unsigned char>(w[3])) != 0)
         return true; // __m128 / __m256i / __m512d vector types.
+    if (w.rfind("__mmask", 0) == 0)
+        return true; // AVX-512 __mmask8/16/32/64 predicate types.
     if (w == "immintrin" || w == "arm_neon")
         return true; // Vendor headers (#include lines are code).
     // NEON intrinsics: lowercase v<op>[q]_..._<lane>, e.g. vaddq_u64,
