@@ -33,7 +33,7 @@
 #include <vector>
 
 #include "bench/common.hh"
-#include "serve/fingerprint.hh"
+#include "sparse/fingerprint.hh"
 #include "sim/design_sim.hh"
 #include "sim/workspace.hh"
 #include "sparse/generate.hh"
@@ -518,12 +518,19 @@ main(int argc, char **argv)
               smoke);
     std::printf("JSON summary written to %s\n", out.c_str());
 
+    // The dynamic counterpart of the static hot-path-alloc lint rule:
+    // the annotated hot-path regions (TileScheduler::schedule,
+    // RowScratch::add/addRun, the SIMD kernels) promise steady-state
+    // allocation freedom, and the arena event counters prove it here
+    // for every workload — in smoke mode too, so CI re-checks the
+    // promise on each run.
     int failures = 0;
     for (const HotRow &r : rows) {
         if (r.steady_alloc_delta != 0) {
             std::fprintf(stderr,
                          "FAIL: %s performed %llu steady-state arena "
-                         "allocations (expected 0)\n",
+                         "allocations (expected 0; the misam-lint "
+                         "hot-path regions promise none)\n",
                          r.name,
                          static_cast<unsigned long long>(
                              r.steady_alloc_delta));
@@ -545,5 +552,10 @@ main(int argc, char **argv)
             ++failures;
         }
     }
+    if (failures == 0)
+        std::printf("hot-path check: %zu workload(s) steady-state "
+                    "allocation-free (dynamic check of the misam-lint "
+                    "hot-path-alloc regions)\n",
+                    rows.size());
     return failures == 0 ? 0 : 1;
 }

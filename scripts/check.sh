@@ -78,7 +78,8 @@ if [[ "$tsan_only" -eq 0 ]]; then
     echo "== lint: misam-lint + clang-tidy =="
     cmake -B build -S . >/dev/null
     cmake --build build --target misam_lint -j >/dev/null
-    ./build/tools/lint/misam-lint --root .
+    ./build/tools/lint/misam-lint --root . \
+        --cache build/misam_lint.cache
     scripts/run_clang_tidy.sh . build
     if [[ "$lint_only" -eq 1 ]]; then
         echo "check.sh: lint pass complete (--lint-only)"

@@ -4,7 +4,8 @@
 #include <cmath>
 
 #include "ml/metrics.hh"
-#include "serve/fingerprint.hh"
+#include "sparse/fingerprint.hh"
+// misam-lint: allow(include-layering) -- the analyze facade owns a SummaryCache so CLI invocations share warm summaries; serve/ types never leak out of this .cc
 #include "serve/summary_cache.hh"
 #include "sparse/convert.hh"
 #include "util/logging.hh"

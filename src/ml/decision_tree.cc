@@ -92,8 +92,9 @@ class TreeBuilder
     std::vector<double>
     takeImportances()
     {
-        const double total = std::accumulate(importances_.begin(),
-                                             importances_.end(), 0.0);
+        double total = 0.0;
+        for (double v : importances_)
+            total += v;
         if (total > 0.0)
             for (double &v : importances_)
                 v /= total;
@@ -224,8 +225,9 @@ DecisionTree::fit(const Dataset &data, const DecisionTreeParams &params,
     }
 
     TreeBuilder builder(data, params, sample_weights, num_classes);
-    builder.total_weight_ = std::accumulate(sample_weights.begin(),
-                                            sample_weights.end(), 0.0);
+    builder.total_weight_ = 0.0;
+    for (double w : sample_weights)
+        builder.total_weight_ += w;
     std::vector<std::size_t> all(data.size());
     std::iota(all.begin(), all.end(), 0);
     builder.build(all, 0);

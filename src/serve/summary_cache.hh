@@ -37,7 +37,7 @@
 #include <unordered_map>
 
 #include "features/features.hh"
-#include "serve/fingerprint.hh"
+#include "sparse/fingerprint.hh"
 #include "sparse/csc.hh"
 #include "sparse/csr.hh"
 

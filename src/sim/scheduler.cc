@@ -97,6 +97,7 @@ finishStats(const std::vector<PeAccumulator> &pe_acc, int total_pes,
 
 } // namespace
 
+// misam-lint: hot-path begin -- per-tile scheduling runs once per (tile, design) pair in every sweep; steady state must stay allocation-free (bench_sim_hot pins steady_alloc_delta == 0)
 TileScheduleStats
 TileScheduler::schedule(const CscMatrix &a_csc, const KTile &k_range,
                         const std::vector<Offset> *col_job_weight) const
@@ -199,6 +200,7 @@ TileScheduler::schedule(const CscMatrix &a_csc, const KTile &k_range,
     noteScratchReuse();
     return finishStats(pe_acc, total_pes_, dep_);
 }
+// misam-lint: hot-path end
 
 TileScheduleStats
 TileScheduler::scheduleRowStrided(

@@ -9,7 +9,7 @@
 #include <unordered_map>
 #include <utility>
 
-#include "serve/fingerprint.hh"
+#include "sparse/fingerprint.hh"
 #include "sim/scheduler.hh"
 #include "sim/tiling.hh"
 #include "sparse/convert.hh"

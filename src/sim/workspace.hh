@@ -15,7 +15,7 @@
  *
  * The same header hosts the process-wide memoization of one-pass
  * symbolic SpGEMM analysis (sparse/spgemm.hh: SymbolicStats), keyed by
- * the 128-bit content fingerprints from serve/fingerprint.hh with
+ * the 128-bit content fingerprints from sparse/fingerprint.hh with
  * exactly-once semantics (the SummaryCache pattern): Design 4, the CPU
  * and GPU baseline models, and the compression-factor feature all
  * consume the same traversal instead of re-walking the A·B structure.
@@ -101,6 +101,7 @@ class RowScratch
         }
     }
 
+    // misam-lint: hot-path begin -- add()/addRun() fold every scheduled nonzero; touched_ keeps its begin()-managed capacity so steady-state folds never allocate
     /** Fold one nonzero of row `r` carrying `work` compute cycles. */
     void
     add(Index r, Offset work)
@@ -110,6 +111,7 @@ class RowScratch
             cell.epoch = epoch_;
             cell.count = 0;
             cell.work = 0;
+            // misam-lint: allow(hot-path-alloc) -- appends into capacity reserved by begin(); clear() never shrinks, so warm tiles stay allocation-free
             touched_.push_back(r);
         }
         ++cell.count;
@@ -127,6 +129,7 @@ class RowScratch
         for (std::size_t t = 0; t < n; ++t)
             add(rs[t], work);
     }
+    // misam-lint: hot-path end
 
     /** Rows touched since begin(), in first-touch order. */
     const std::vector<Index> &

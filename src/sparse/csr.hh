@@ -89,11 +89,11 @@ class CsrMatrix
     /**
      * Read the memoized 128-bit content hash, if one has been stored.
      * The matrix is immutable after construction, so the hash is a pure
-     * function of content; serve/fingerprint.cc computes it on first
+     * function of content; sparse/fingerprint.cc computes it on first
      * use and parks it here via storeFingerprint() so the fingerprint-
      * keyed caches (sim/workspace.hh) stop re-hashing O(nnz) content on
      * every warm lookup. The slot is internal plumbing: the hash
-     * algorithm lives entirely in serve/fingerprint.cc.
+     * algorithm lives entirely in sparse/fingerprint.cc.
      */
     bool
     cachedFingerprint(std::uint64_t *hi, std::uint64_t *lo) const

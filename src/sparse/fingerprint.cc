@@ -1,4 +1,4 @@
-#include "serve/fingerprint.hh"
+#include "sparse/fingerprint.hh"
 
 #include <algorithm>
 #include <bit>
@@ -60,6 +60,7 @@ FingerprintHasher::mix(std::uint64_t word)
     ++len_;
 }
 
+// misam-lint: hot-path begin -- the bulk rounds stream every rowPtr/colIdx/values word of an unfingerprinted matrix; stack chunk buffers only
 void
 FingerprintHasher::mixRange(const std::uint64_t *words, std::size_t n)
 {
@@ -160,5 +161,6 @@ fingerprintMatrix(const CsrMatrix &m)
     m.storeFingerprint(fp.hi, fp.lo);
     return fp;
 }
+// misam-lint: hot-path end
 
 } // namespace misam

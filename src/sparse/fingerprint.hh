@@ -2,6 +2,11 @@
  * @file
  * 128-bit content fingerprints for sparse matrices.
  *
+ * Lives in sparse/ because a fingerprint is a pure function of CsrMatrix
+ * content — every layer above sparse (sim workspace caches, core seed
+ * derivation, the serving layer's operand cache) keys on it, so it must
+ * sit at the bottom of the include DAG rather than in serve/.
+ *
  * The serving layer's operand cache (serve/summary_cache.hh) is
  * content-addressed: two CsrMatrix objects with the same shape and the
  * same row_ptr/col_idx/values arrays hash to the same fingerprint, so a
@@ -20,8 +25,8 @@
  * key. It is NOT cryptographic.
  */
 
-#ifndef MISAM_SERVE_FINGERPRINT_HH
-#define MISAM_SERVE_FINGERPRINT_HH
+#ifndef MISAM_SPARSE_FINGERPRINT_HH
+#define MISAM_SPARSE_FINGERPRINT_HH
 
 #include <cstddef>
 #include <cstdint>
@@ -94,4 +99,4 @@ Fingerprint128 fingerprintMatrix(const CsrMatrix &m);
 
 } // namespace misam
 
-#endif // MISAM_SERVE_FINGERPRINT_HH
+#endif // MISAM_SPARSE_FINGERPRINT_HH

@@ -51,6 +51,8 @@ spgemmNumericFused(const CsrMatrix &a, const CsrMatrix &b,
     const bool use_expand =
         sym->output_nnz >= static_cast<Offset>(words) * rows;
 
+    // misam-lint: hot-path begin -- per-nonzero multiply/emit loops; output buffers are pre-sized from the symbolic pass so the loops never grow storage
+
     Offset cursor = 0;
     if (use_expand) {
         for (Index i = 0; i < rows; ++i) {
@@ -95,6 +97,7 @@ spgemmNumericFused(const CsrMatrix &a, const CsrMatrix &b,
                                                    << (j & 63);
                         if ((bits[j >> 6] & mask) == 0) {
                             bits[j >> 6] |= mask;
+                            // misam-lint: allow(hot-path-alloc) -- grows to the densest row's occupancy once, then clear() keeps capacity for the rest of the product
                             touched.push_back(j);
                         }
                         acc[j] += av * b_vx[q];
@@ -114,6 +117,7 @@ spgemmNumericFused(const CsrMatrix &a, const CsrMatrix &b,
             row_ptr[i + 1] = cursor;
         }
     }
+    // misam-lint: hot-path end
     if (cursor != sym->output_nnz)
         panic("spgemmNumericFused: symbolic stats disagree with the "
               "product structure");

@@ -1,12 +1,13 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace misam {
 
 namespace {
 
-bool verbose_enabled = false;
+std::atomic<bool> verbose_enabled{false};
 
 const char *
 levelTag(LogLevel level)

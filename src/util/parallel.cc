@@ -154,6 +154,7 @@ ThreadPool::forEach(std::size_t n,
 ThreadPool &
 ThreadPool::global()
 {
+    // misam-lint: allow(guarded-state) -- magic-static init is thread-safe and ThreadPool synchronizes internally (job_mutex_/done_cv_)
     static ThreadPool pool(
         resolveThreads(0) > 1 ? resolveThreads(0) - 1 : 0);
     return pool;

@@ -91,6 +91,7 @@ publishBackendGauge()
 // Scalar reference kernels. Every vector variant must match these
 // byte-for-byte (tests/test_simd_dispatch.cpp).
 // ---------------------------------------------------------------------
+// misam-lint: hot-path begin -- kernel bodies run per 64-bit word of every bitmask/fingerprint pass; any allocation here multiplies by nnz
 
 void
 orIntoScalar(std::uint64_t *acc, const std::uint64_t *src,
@@ -117,7 +118,7 @@ rotl64(std::uint64_t x, int r)
     return (x << r) | (x >> (64 - r));
 }
 
-// The fingerprint bulk-round constants (serve/fingerprint.cc keeps the
+// The fingerprint bulk-round constants (sparse/fingerprint.cc keeps the
 // canonical scalar loop; these variants must agree with it exactly).
 constexpr std::uint64_t kFpMul1 = 0x9e3779b97f4a7c15ULL;
 constexpr std::uint64_t kFpMul2 = 0xc2b2ae3d27d4eb4fULL;
@@ -756,6 +757,7 @@ packPairsU32Neon(std::uint64_t *dst, const std::uint32_t *src,
 }
 
 #endif // __aarch64__
+// misam-lint: hot-path end
 
 } // namespace
 

@@ -86,7 +86,7 @@ void orInto(std::uint64_t *acc, const std::uint64_t *src,
 std::uint64_t popcountAndClear(std::uint64_t *words, std::size_t n);
 
 /**
- * The four-lane fingerprint bulk rounds (serve/fingerprint.cc): absorb
+ * The four-lane fingerprint bulk rounds (sparse/fingerprint.cc): absorb
  * floor(n/4)*4 words into lanes[0..3] using the xor-rotl31-multiply
  * round, word i going to lane i%4. Returns the number of words
  * consumed; the caller folds the tail through lane 0 itself. The vector

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+// misam-lint: allow(include-layering) -- traffic synthesis emits core::BatchJob records directly; splitting the job struct out of core/ is tracked in ROADMAP.md
 #include "core/misam.hh"
 #include "sparse/csr.hh"
 

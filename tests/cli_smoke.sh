@@ -6,6 +6,7 @@ set -euo pipefail
 CLI="$1"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
 # A small deterministic banded matrix in Matrix Market form.
 {
@@ -200,6 +201,73 @@ PYEOF
         grep -q '"smoke"' "$WORK/bench.json"
         echo "bench summary merge OK (grep fallback)"
     fi
+fi
+
+# misam-lint machine formats: the JSON and SARIF documents must parse
+# and carry the documented envelope, and a warm re-run against an
+# unchanged tree must serve every file from the incremental cache
+# without reading a single file body.
+LINT="${3:-}"
+if [ -n "$LINT" ]; then
+    echo "== misam-lint formats =="
+    "$LINT" --root "$REPO_ROOT" --format=json \
+        --out "$WORK/lint.json" >/dev/null
+    "$LINT" --root "$REPO_ROOT" --format=sarif \
+        --out "$WORK/lint.sarif" >/dev/null
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$WORK/lint.json" "$WORK/lint.sarif" <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if doc.get("tool") != "misam-lint":
+    sys.exit(f"json: bad tool field: {doc.get('tool')}")
+for key in ("files_scanned", "allows_used", "cache", "diagnostics"):
+    if key not in doc:
+        sys.exit(f"json: missing key {key}")
+for key in ("hits", "misses", "files_read"):
+    if key not in doc["cache"]:
+        sys.exit(f"json: missing cache key {key}")
+for d in doc["diagnostics"]:
+    for key in ("rule", "file", "line", "message"):
+        if key not in d:
+            sys.exit(f"json: diagnostic missing {key}: {d}")
+
+with open(sys.argv[2]) as f:
+    sarif = json.load(f)
+if sarif.get("version") != "2.1.0":
+    sys.exit(f"sarif: bad version: {sarif.get('version')}")
+runs = sarif.get("runs")
+if not runs:
+    sys.exit("sarif: no runs")
+driver = runs[0]["tool"]["driver"]
+if driver.get("name") != "misam-lint":
+    sys.exit(f"sarif: bad driver name: {driver.get('name')}")
+rule_ids = {r["id"] for r in driver.get("rules", [])}
+if len(rule_ids) < 10:
+    sys.exit(f"sarif: expected >= 10 rules, got {sorted(rule_ids)}")
+for res in runs[0].get("results", []):
+    if res.get("ruleId") not in rule_ids:
+        sys.exit(f"sarif: result names unknown rule: {res}")
+    loc = res["locations"][0]["physicalLocation"]
+    if loc["region"]["startLine"] < 1:
+        sys.exit(f"sarif: bad startLine: {res}")
+print("lint json + sarif schema OK")
+PYEOF
+    else
+        grep -q '"tool": "misam-lint"' "$WORK/lint.json"
+        grep -q '"version": "2.1.0"' "$WORK/lint.sarif"
+        echo "lint json + sarif schema OK (grep fallback)"
+    fi
+
+    echo "== misam-lint warm cache =="
+    "$LINT" --root "$REPO_ROOT" --cache "$WORK/lint.cache" \
+        > "$WORK/lint_cold.txt"
+    "$LINT" --root "$REPO_ROOT" --cache "$WORK/lint.cache" \
+        > "$WORK/lint_warm.txt"
+    grep -q " 0 cache hit(s)" "$WORK/lint_cold.txt"
+    grep -q " 0 miss(es), 0 file(s) read" "$WORK/lint_warm.txt"
+    echo "lint warm cache OK"
 fi
 
 echo "cli smoke OK"

@@ -1,0 +1,12 @@
+// Fixture: allow annotations that suppress nothing are themselves
+// violations, one per rule.
+
+namespace fixture {
+
+// misam-lint: allow(include-layering) -- fixture: suppresses nothing
+// misam-lint: allow(guarded-state) -- fixture: suppresses nothing
+// misam-lint: allow(hot-path-alloc) -- fixture: suppresses nothing
+// misam-lint: allow(float-determinism) -- fixture: suppresses nothing
+int clean() { return 0; }
+
+} // namespace fixture

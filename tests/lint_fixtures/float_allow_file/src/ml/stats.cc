@@ -1,0 +1,20 @@
+// Fixture: one allow-file covers every violation in the file.
+// misam-lint: allow-file(float-determinism) -- fixture: legacy stats module pending rewrite
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+double
+total(const std::vector<double> &v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+double
+unordered(const std::vector<double> &v)
+{
+    return std::reduce(v.begin(), v.end());
+}
+
+} // namespace fixture

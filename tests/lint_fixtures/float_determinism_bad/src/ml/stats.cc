@@ -1,0 +1,23 @@
+// Fixture: order-sensitive float reductions and fast-math relaxations.
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+double
+total(const std::vector<double> &v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+double
+unordered(const std::vector<double> &v)
+{
+    return std::reduce(v.begin(), v.end());
+}
+
+#pragma float_control(precise, off)
+
+const char *kFlags = "-ffast-math";
+
+} // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: integer reductions, member functions named accumulate, and
+// explicit left folds are all fine.
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+struct Report
+{
+    void accumulate(int phase, double seconds);
+};
+
+int
+count(const std::vector<int> &v)
+{
+    return std::accumulate(v.begin(), v.end(), 0);
+}
+
+double
+total(const std::vector<double> &v, Report &report)
+{
+    report.accumulate(3, 0.25);
+    double sum = 0.0;
+    for (double x : v)
+        sum += x;
+    return sum;
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: src/util/simd.* is the pinned doorway; reductions here are
+// exempt because every variant is byte-compared against the scalar
+// reference.
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+double
+doorway(const std::vector<double> &v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: unguarded mutable static state in all three scope kinds.
+#include <vector>
+
+namespace fixture {
+
+int g_counter = 0;
+
+struct Tracker
+{
+    static int hits_;
+};
+
+int
+lookup(int key)
+{
+    static std::vector<int> cache;
+    cache.push_back(key);
+    return static_cast<int>(cache.size());
+}
+
+} // namespace fixture

@@ -1,0 +1,66 @@
+// Fixture: every static is exempt by content (atomic/const/
+// thread_local), mutex-adjacent, locked in every touching function,
+// or annotated.
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+std::atomic<int> g_counter{0};
+const int kLimit = 3;
+thread_local int tls_scratch = 0;
+
+std::mutex g_m;
+int g_mutex_adjacent = 0;
+
+// ------------------------------------------------------------------
+// Filler so the table below sits more than 30 lines from any mutex
+// declaration: its guard is proven by the lock-in-every-touching-
+// function check, not by adjacency.
+// ------------------------------------------------------------------
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+
+std::vector<int> g_table;
+
+// misam-lint: allow(guarded-state) -- fixture: written only during single-threaded setup
+int g_legacy = 0;
+
+void
+put(int v)
+{
+    std::lock_guard<std::mutex> lk(g_m);
+    g_table.push_back(v);
+}
+
+int
+tableSize()
+{
+    std::lock_guard<std::mutex> lk(g_m);
+    return static_cast<int>(g_table.size());
+}
+
+} // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: every banned allocation shape inside one hot-path region.
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+namespace fixture {
+
+// misam-lint: hot-path begin -- fixture's steady-state loop
+int
+work(std::vector<int> &v)
+{
+    int *p = new int(3);
+    v.push_back(*p);
+    std::function<int()> f = [] { return 1; };
+    void *raw = std::malloc(8);
+    std::free(raw);
+    delete p;
+    return f();
+}
+// misam-lint: hot-path end
+
+std::vector<int>
+coldSetup()
+{
+    // Outside the region the same calls are fine.
+    std::vector<int> v;
+    v.push_back(1);
+    return v;
+}
+
+} // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: arena-alias growth and annotated growth stay silent
+// inside a hot-path region.
+#include <vector>
+
+namespace fixture {
+
+struct Arena
+{
+    std::vector<int> &buf();
+};
+
+struct SimWorkspace
+{
+    static Arena &local();
+};
+
+std::vector<int> &coldScratch();
+
+// misam-lint: hot-path begin -- fixture's steady-state loop
+int
+work(int x)
+{
+    Arena &ws = SimWorkspace::local();
+    std::vector<int> &v = ws.buf();
+    v.push_back(x);
+    // misam-lint: allow(hot-path-alloc) -- fixture: amortized growth pinned by the bench
+    coldScratch().push_back(x);
+    return static_cast<int>(v.size());
+}
+// misam-lint: hot-path end
+
+} // namespace fixture

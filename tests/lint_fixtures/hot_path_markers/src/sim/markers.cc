@@ -1,0 +1,18 @@
+// Fixture: marker misuse is itself a hot-path-alloc diagnostic.
+
+namespace fixture {
+
+// misam-lint: hot-path begin
+int a() { return 1; }
+// misam-lint: hot-path end
+
+// misam-lint: hot-path end
+
+// misam-lint: hot-path begin -- opened once
+// misam-lint: hot-path begin -- opened again while still open
+int b() { return 2; }
+// misam-lint: hot-path end
+
+// misam-lint: hot-path begin -- never closed
+
+} // namespace fixture

@@ -1,0 +1,4 @@
+// Fixture: leaf header, no includes.
+#ifndef FIXTURE_ML_MODEL_HH
+#define FIXTURE_ML_MODEL_HH
+#endif

@@ -1,0 +1,7 @@
+// Fixture: serve -> ml is a denied edge even though it points
+// downward; predictions must flow through the core facade.
+#include "ml/model.hh"
+
+namespace fixture {
+int serveUsesModel() { return 1; }
+} // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: downward includes are fine on their own.
+#ifndef FIXTURE_SIM_ENGINE_HH
+#define FIXTURE_SIM_ENGINE_HH
+
+#include "sparse/x.hh"
+
+#endif

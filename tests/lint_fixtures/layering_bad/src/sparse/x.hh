@@ -1,0 +1,7 @@
+// Fixture: x -> y -> x is an include cycle inside one module.
+#ifndef FIXTURE_SPARSE_X_HH
+#define FIXTURE_SPARSE_X_HH
+
+#include "sparse/y.hh"
+
+#endif

@@ -1,0 +1,7 @@
+// Fixture: the closing edge of the x -> y -> x cycle.
+#ifndef FIXTURE_SPARSE_Y_HH
+#define FIXTURE_SPARSE_Y_HH
+
+#include "sparse/x.hh"
+
+#endif

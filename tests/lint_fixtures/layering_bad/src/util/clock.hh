@@ -1,0 +1,7 @@
+// Fixture: util is layer 0; including sim (layer 4) climbs the DAG.
+#ifndef FIXTURE_UTIL_CLOCK_HH
+#define FIXTURE_UTIL_CLOCK_HH
+
+#include "sim/engine.hh"
+
+#endif

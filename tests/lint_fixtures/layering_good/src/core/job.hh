@@ -1,0 +1,4 @@
+// Fixture: leaf header in core.
+#ifndef FIXTURE_CORE_JOB_HH
+#define FIXTURE_CORE_JOB_HH
+#endif

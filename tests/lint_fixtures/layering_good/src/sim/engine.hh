@@ -1,0 +1,8 @@
+// Fixture: strictly downward includes (sim -> sparse -> util).
+#ifndef FIXTURE_SIM_ENGINE_HH
+#define FIXTURE_SIM_ENGINE_HH
+
+#include "sparse/csr.hh"
+#include "util/clock.hh"
+
+#endif

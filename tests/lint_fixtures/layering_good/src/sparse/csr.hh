@@ -1,0 +1,7 @@
+// Fixture: sparse -> util points downward.
+#ifndef FIXTURE_SPARSE_CSR_HH
+#define FIXTURE_SPARSE_CSR_HH
+
+#include "util/clock.hh"
+
+#endif

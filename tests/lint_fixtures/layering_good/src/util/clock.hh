@@ -1,0 +1,4 @@
+// Fixture: leaf header.
+#ifndef FIXTURE_UTIL_CLOCK_HH
+#define FIXTURE_UTIL_CLOCK_HH
+#endif

@@ -1,0 +1,8 @@
+// Fixture: an annotated upward edge is honored (and counted).
+#ifndef FIXTURE_WORKLOADS_TRAFFIC_HH
+#define FIXTURE_WORKLOADS_TRAFFIC_HH
+
+// misam-lint: allow(include-layering) -- fixture's sanctioned upward edge
+#include "core/job.hh"
+
+#endif

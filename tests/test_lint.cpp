@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -61,7 +62,7 @@ hasDiagAtLine(const Result &result, const std::string &rule,
 
 } // namespace
 
-TEST(LintRuleTable, ListsTheSixRulesSorted)
+TEST(LintRuleTable, ListsTheTenRulesSorted)
 {
     const auto table = misam::lint::ruleTable();
     std::vector<std::string> names;
@@ -70,9 +71,11 @@ TEST(LintRuleTable, ListsTheSixRulesSorted)
         EXPECT_FALSE(info.description.empty()) << info.name;
     }
     const std::vector<std::string> expected = {
-        "metrics-catalog-sync",  "no-ambient-rng", "no-raw-getenv",
-        "no-raw-intrinsics",     "no-unordered-emission",
-        "no-wall-clock"};
+        "float-determinism",     "guarded-state",
+        "hot-path-alloc",        "include-layering",
+        "metrics-catalog-sync",  "no-ambient-rng",
+        "no-raw-getenv",         "no-raw-intrinsics",
+        "no-unordered-emission", "no-wall-clock"};
     EXPECT_EQ(names, expected);
     for (const std::string &name : expected)
         EXPECT_TRUE(misam::lint::isKnownRule(name));
@@ -274,6 +277,236 @@ TEST(LintLexer, DigitSeparatorIsNotACharLiteral)
     EXPECT_NE(file.code.find("steady_clock_x"), std::string::npos);
 }
 
+TEST(LintIncludeLayering, FiresOnUpwardDeniedAndCyclicEdges)
+{
+    const Result result = runLint(
+        fixtureOptions("layering_bad", {"include-layering"}));
+    EXPECT_EQ(countRule(result, "include-layering"), 3u);
+    // util -> sim climbs the DAG.
+    EXPECT_TRUE(hasDiagAtLine(result, "include-layering", 5));
+    bool deny = false, cycle = false;
+    for (const Diagnostic &d : result.diagnostics) {
+        if (d.file == "src/serve/api.cc" && d.line == 3 &&
+            d.message.find("firewalled") != std::string::npos)
+            deny = true;
+        if (d.file == "src/sparse/y.hh" &&
+            d.message.find("include cycle") != std::string::npos)
+            cycle = true;
+    }
+    EXPECT_TRUE(deny);
+    EXPECT_TRUE(cycle);
+}
+
+TEST(LintIncludeLayering, SilentOnDownwardAndAnnotatedEdges)
+{
+    const Result result = runLint(
+        fixtureOptions("layering_good", {"include-layering"}));
+    EXPECT_TRUE(result.diagnostics.empty())
+        << result.diagnostics.front().message;
+    EXPECT_EQ(result.allows_used, 1u); // annotated upward edge
+}
+
+TEST(LintIncludeLayering, RendersTheLayerDot)
+{
+    const Result result = runLint(
+        fixtureOptions("layering_good", {"include-layering"}));
+    EXPECT_NE(result.dot.find("digraph misam_include_layers"),
+              std::string::npos);
+    EXPECT_NE(result.dot.find("\"sim\" -> \"sparse\""),
+              std::string::npos);
+    // The annotated upward edge renders highlighted, not hidden.
+    EXPECT_NE(result.dot.find("\"workloads\" -> \"core\""),
+              std::string::npos);
+    EXPECT_NE(result.dot.find("color=red"), std::string::npos);
+}
+
+TEST(LintGuardedState, FiresOnUnguardedStaticsInEveryScope)
+{
+    const Result result = runLint(
+        fixtureOptions("guarded_state_bad", {"guarded-state"}));
+    EXPECT_EQ(countRule(result, "guarded-state"), 3u);
+    EXPECT_TRUE(hasDiagAtLine(result, "guarded-state", 6));  // file scope
+    EXPECT_TRUE(hasDiagAtLine(result, "guarded-state", 10)); // member
+    EXPECT_TRUE(hasDiagAtLine(result, "guarded-state", 16)); // local
+}
+
+TEST(LintGuardedState, SilentOnExemptAdjacentLockedAndAnnotated)
+{
+    const Result result = runLint(
+        fixtureOptions("guarded_state_good", {"guarded-state"}));
+    EXPECT_TRUE(result.diagnostics.empty())
+        << result.diagnostics.front().message;
+    EXPECT_EQ(result.allows_used, 1u); // annotated g_legacy
+}
+
+TEST(LintHotPathAlloc, FiresOnEveryBannedShapeInsideTheRegion)
+{
+    const Result result = runLint(
+        fixtureOptions("hot_path_bad", {"hot-path-alloc"}));
+    EXPECT_EQ(countRule(result, "hot-path-alloc"), 6u);
+    EXPECT_TRUE(hasDiagAtLine(result, "hot-path-alloc", 12)); // new
+    EXPECT_TRUE(hasDiagAtLine(result, "hot-path-alloc", 13)); // push_back
+    EXPECT_TRUE(hasDiagAtLine(result, "hot-path-alloc", 14)); // function
+    EXPECT_TRUE(hasDiagAtLine(result, "hot-path-alloc", 15)); // malloc
+    EXPECT_TRUE(hasDiagAtLine(result, "hot-path-alloc", 16)); // free
+    EXPECT_TRUE(hasDiagAtLine(result, "hot-path-alloc", 17)); // delete
+    // coldSetup()'s push_back is outside the region: no diag past 20.
+    for (const Diagnostic &d : result.diagnostics)
+        EXPECT_LE(d.line, 20u) << d.message;
+}
+
+TEST(LintHotPathAlloc, MarkerMisuseIsItselfAViolation)
+{
+    const Result result = runLint(
+        fixtureOptions("hot_path_markers", {"hot-path-alloc"}));
+    EXPECT_EQ(countRule(result, "hot-path-alloc"), 4u);
+    EXPECT_TRUE(hasDiagAtLine(result, "hot-path-alloc", 5));  // no reason
+    EXPECT_TRUE(hasDiagAtLine(result, "hot-path-alloc", 9));  // stray end
+    EXPECT_TRUE(hasDiagAtLine(result, "hot-path-alloc", 12)); // double open
+    EXPECT_TRUE(hasDiagAtLine(result, "hot-path-alloc", 16)); // never closed
+}
+
+TEST(LintHotPathAlloc, ArenaAliasesAndAllowsStaySilent)
+{
+    const Result result = runLint(
+        fixtureOptions("hot_path_good", {"hot-path-alloc"}));
+    EXPECT_TRUE(result.diagnostics.empty())
+        << result.diagnostics.front().message;
+    EXPECT_EQ(result.allows_used, 1u); // annotated non-arena growth
+}
+
+TEST(LintFloatDeterminism, FiresOnReductionsPragmasAndFlags)
+{
+    const Result result = runLint(fixtureOptions(
+        "float_determinism_bad", {"float-determinism"}));
+    EXPECT_EQ(countRule(result, "float-determinism"), 4u);
+    EXPECT_TRUE(hasDiagAtLine(result, "float-determinism", 10)); // accumulate
+    EXPECT_TRUE(hasDiagAtLine(result, "float-determinism", 16)); // reduce
+    EXPECT_TRUE(hasDiagAtLine(result, "float-determinism", 19)); // pragma
+    EXPECT_TRUE(hasDiagAtLine(result, "float-determinism", 21)); // -ffast-math
+}
+
+TEST(LintFloatDeterminism, SilentOnIntFoldsMembersAndTheSimdDoorway)
+{
+    const Result result = runLint(fixtureOptions(
+        "float_determinism_good", {"float-determinism"}));
+    EXPECT_TRUE(result.diagnostics.empty())
+        << result.diagnostics.front().message;
+    EXPECT_EQ(result.files_scanned, 2u); // stats.cc + util/simd.cc
+}
+
+TEST(LintFloatDeterminism, AllowFileCoversTheWholeFile)
+{
+    const Result result = runLint(
+        fixtureOptions("float_allow_file", {"float-determinism"}));
+    EXPECT_TRUE(result.diagnostics.empty())
+        << result.diagnostics.front().message;
+    EXPECT_EQ(result.allows_used, 1u);
+}
+
+TEST(LintAllowAnnotations, UnusedAllowsForTheNewRulesAreViolations)
+{
+    const Result result = runLint(fixtureOptions(
+        "annotations_unused", {"include-layering", "guarded-state",
+                               "hot-path-alloc", "float-determinism"}));
+    EXPECT_EQ(countRule(result, "allow-annotation"), 4u);
+    EXPECT_EQ(result.allows_used, 0u);
+}
+
+TEST(LintParallelScan, DiagnosticOrderIsThreadCountInvariant)
+{
+    Options base = fixtureOptions(
+        "layering_bad", {"include-layering", "guarded-state",
+                         "hot-path-alloc", "float-determinism"});
+    base.threads = 1;
+    const Result serial = runLint(base);
+    base.threads = 4;
+    const Result parallel = runLint(base);
+    ASSERT_EQ(serial.diagnostics.size(), parallel.diagnostics.size());
+    for (std::size_t i = 0; i < serial.diagnostics.size(); ++i) {
+        EXPECT_EQ(serial.diagnostics[i].file,
+                  parallel.diagnostics[i].file);
+        EXPECT_EQ(serial.diagnostics[i].line,
+                  parallel.diagnostics[i].line);
+        EXPECT_EQ(serial.diagnostics[i].rule,
+                  parallel.diagnostics[i].rule);
+        EXPECT_EQ(serial.diagnostics[i].message,
+                  parallel.diagnostics[i].message);
+    }
+    // The rendered documents are byte-identical too.
+    EXPECT_EQ(misam::lint::renderJson(serial),
+              misam::lint::renderJson(parallel));
+    EXPECT_EQ(misam::lint::renderSarif(serial),
+              misam::lint::renderSarif(parallel));
+}
+
+TEST(LintCache, WarmRunReadsNoFileContents)
+{
+    const std::string cache =
+        testing::TempDir() + "/misam_lint_cache_test";
+    std::remove(cache.c_str());
+
+    Options options = fixtureOptions(
+        "layering_bad", {"include-layering", "guarded-state",
+                         "hot-path-alloc", "float-determinism"});
+    options.cache_path = cache;
+    const Result cold = runLint(options);
+    EXPECT_EQ(cold.cache_hits, 0u);
+    EXPECT_EQ(cold.cache_misses, cold.files_scanned);
+    EXPECT_EQ(cold.files_read, cold.files_scanned);
+
+    const Result warm = runLint(options);
+    EXPECT_EQ(warm.cache_hits, warm.files_scanned);
+    EXPECT_EQ(warm.cache_misses, 0u);
+    EXPECT_EQ(warm.files_read, 0u); // stat-only revalidation
+    // Cached facts reproduce the cold diagnostics exactly.
+    ASSERT_EQ(cold.diagnostics.size(), warm.diagnostics.size());
+    for (std::size_t i = 0; i < cold.diagnostics.size(); ++i)
+        EXPECT_EQ(cold.diagnostics[i].message,
+                  warm.diagnostics[i].message);
+    std::remove(cache.c_str());
+}
+
+TEST(LintCache, EnabledRuleSetChangesInvalidateTheCache)
+{
+    const std::string cache =
+        testing::TempDir() + "/misam_lint_cache_rules_test";
+    std::remove(cache.c_str());
+
+    Options options =
+        fixtureOptions("layering_bad", {"include-layering"});
+    options.cache_path = cache;
+    (void)runLint(options);
+
+    // A different rule set must not reuse the cached facts.
+    options.rules = {"guarded-state"};
+    const Result other = runLint(options);
+    EXPECT_EQ(other.cache_hits, 0u);
+    EXPECT_EQ(other.files_read, other.files_scanned);
+    std::remove(cache.c_str());
+}
+
+TEST(LintOutput, JsonAndSarifCarryTheDiagnostics)
+{
+    const Result result = runLint(
+        fixtureOptions("float_determinism_bad", {"float-determinism"}));
+    const std::string json = misam::lint::renderJson(result);
+    EXPECT_NE(json.find("\"tool\": \"misam-lint\""), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"float-determinism\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+    const std::string sarif = misam::lint::renderSarif(result);
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"float-determinism\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+    // Every rule in the table ships as driver metadata.
+    for (const auto &info : misam::lint::ruleTable())
+        EXPECT_NE(sarif.find("\"id\": \"" + info.name + "\""),
+                  std::string::npos)
+            << info.name;
+}
+
 // The acceptance gate: the tree itself is clean under every rule, and
 // each in-tree allow annotation is justified and load-bearing.
 TEST(LintRealTree, RunsCleanWithAllRules)
@@ -286,4 +519,8 @@ TEST(LintRealTree, RunsCleanWithAllRules)
                       << "] " << d.message;
     EXPECT_GE(result.files_scanned, 100u);
     EXPECT_GE(result.allows_used, 3u);
+    // The four new passes all ran: the layer DAG rendered, and the
+    // annotated upward edges plus hot-path allows are load-bearing.
+    EXPECT_NE(result.dot.find("digraph misam_include_layers"),
+              std::string::npos);
 }

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "core/misam.hh"
-#include "serve/fingerprint.hh"
+#include "sparse/fingerprint.hh"
 #include "serve/jobfile.hh"
 #include "serve/server.hh"
 #include "serve/summary_cache.hh"

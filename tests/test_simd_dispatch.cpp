@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "serve/fingerprint.hh"
+#include "sparse/fingerprint.hh"
 #include "sim/design_sim.hh"
 #include "sim/workspace.hh"
 #include "sparse/convert.hh"

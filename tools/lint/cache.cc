@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The incremental analysis cache: per-file FileFacts keyed two ways.
+ *
+ *  - Fast path: (size, mtime) match against the cached record means
+ *    the file is reused without reading its bytes — an unchanged tree
+ *    re-lints with zero file-content reads.
+ *  - Real key: the FNV-1a content hash, consulted when the stat pair
+ *    changed (e.g. a `touch`), so a rewrite with identical bytes is
+ *    still a hit.
+ *
+ * The whole file is versioned by a signature line (rule-table version
+ * + the enabled-rule set): facts cached under different rules are
+ * never reused. The format is line-oriented, tab-separated, written
+ * atomically enough for a single-writer build tree (plain rewrite).
+ * Any parse problem discards the cache — it is only an accelerator.
+ */
+
+#include <fstream>
+#include <sstream>
+
+#include "internal.hh"
+
+namespace misam::lint {
+
+namespace {
+
+constexpr std::string_view kMagic = "misam-lint-cache";
+
+/** One logical field may not contain tabs or newlines; free-text
+ *  fields (messages, reasons) are sanitized on write. */
+std::string
+sanitize(std::string_view text)
+{
+    std::string out(text);
+    for (char &c : out)
+        if (c == '\t' || c == '\n' || c == '\r')
+            c = ' ';
+    return out;
+}
+
+std::vector<std::string>
+splitTabs(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::size_t at = 0;
+    for (;;) {
+        const std::size_t tab = line.find('\t', at);
+        if (tab == std::string::npos) {
+            fields.push_back(line.substr(at));
+            return fields;
+        }
+        fields.push_back(line.substr(at, tab - at));
+        at = tab + 1;
+    }
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t *out)
+{
+    if (s.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    *out = v;
+    return true;
+}
+
+bool
+parseI64(const std::string &s, std::int64_t *out)
+{
+    std::string_view v(s);
+    bool neg = false;
+    if (!v.empty() && v.front() == '-') {
+        neg = true;
+        v.remove_prefix(1);
+    }
+    std::uint64_t mag = 0;
+    if (!parseU64(std::string(v), &mag))
+        return false;
+    *out = neg ? -static_cast<std::int64_t>(mag)
+               : static_cast<std::int64_t>(mag);
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+hashContent(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL; // FNV offset basis
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL; // FNV prime
+    }
+    return h;
+}
+
+CacheMap
+loadAnalysisCache(const std::string &path, const std::string &signature)
+{
+    CacheMap entries;
+    std::ifstream in(path);
+    if (!in)
+        return entries;
+
+    std::string line;
+    if (!std::getline(in, line))
+        return entries;
+    const std::vector<std::string> header = splitTabs(line);
+    if (header.size() != 2 || header[0] != kMagic ||
+        header[1] != signature)
+        return entries; // different version / rule set: full rescan
+
+    CacheEntry *current = nullptr;
+    while (std::getline(in, line)) {
+        const std::vector<std::string> f = splitTabs(line);
+        if (f.empty())
+            continue;
+        if (f[0] == "F") {
+            current = nullptr;
+            std::uint64_t size = 0, hash = 0;
+            std::int64_t mtime = 0;
+            if (f.size() != 5 || !parseU64(f[2], &size) ||
+                !parseI64(f[3], &mtime) || !parseU64(f[4], &hash))
+                return {}; // corrupt: discard everything
+            CacheEntry entry;
+            entry.size = size;
+            entry.mtime = mtime;
+            entry.hash = hash;
+            current = &entries.emplace(f[1], std::move(entry))
+                           .first->second;
+        } else if (current == nullptr) {
+            return {};
+        } else if (f[0] == "D") {
+            std::uint64_t at = 0;
+            if (f.size() != 4 || !parseU64(f[1], &at))
+                return {};
+            Diagnostic d;
+            d.line = at;
+            d.rule = f[2];
+            d.message = f[3];
+            current->facts.diags.push_back(std::move(d));
+        } else if (f[0] == "A") {
+            std::uint64_t at = 0;
+            if (f.size() != 5 || !parseU64(f[1], &at) ||
+                (f[2] != "0" && f[2] != "1"))
+                return {};
+            AllowAnnotation ann;
+            ann.line = at;
+            ann.file_scope = f[2] == "1";
+            ann.rule = f[3];
+            ann.reason = f[4];
+            current->facts.allows.push_back(std::move(ann));
+        } else if (f[0] == "M") {
+            std::uint64_t at = 0;
+            if (f.size() != 3 || !parseU64(f[1], &at))
+                return {};
+            current->facts.metric_uses.push_back({f[2], "", at});
+        } else if (f[0] == "I") {
+            std::uint64_t at = 0;
+            if (f.size() != 3 || !parseU64(f[1], &at))
+                return {};
+            current->facts.includes.push_back({f[2], at});
+        } else {
+            return {};
+        }
+    }
+    return entries;
+}
+
+void
+saveAnalysisCache(const std::string &path, const std::string &signature,
+                  const CacheMap &entries)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return; // best effort: the cache is only an accelerator
+    out << kMagic << '\t' << signature << '\n';
+    for (const auto &[rel, entry] : entries) {
+        out << "F\t" << rel << '\t' << entry.size << '\t' << entry.mtime
+            << '\t' << entry.hash << '\n';
+        for (const Diagnostic &d : entry.facts.diags)
+            out << "D\t" << d.line << '\t' << sanitize(d.rule) << '\t'
+                << sanitize(d.message) << '\n';
+        for (const AllowAnnotation &ann : entry.facts.allows)
+            out << "A\t" << ann.line << '\t' << (ann.file_scope ? 1 : 0)
+                << '\t' << sanitize(ann.rule) << '\t'
+                << sanitize(ann.reason) << '\n';
+        for (const MetricUse &use : entry.facts.metric_uses)
+            out << "M\t" << use.line << '\t' << sanitize(use.name)
+                << '\n';
+        for (const IncludeEdge &edge : entry.facts.includes)
+            out << "I\t" << edge.line << '\t' << sanitize(edge.target)
+                << '\n';
+    }
+}
+
+} // namespace misam::lint

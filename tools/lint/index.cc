@@ -1,0 +1,592 @@
+/**
+ * @file
+ * The lightweight symbol/include indexer behind the multi-pass rules.
+ *
+ * Works on the blanked code of a lexed SourceFile (comments and
+ * literals are spaces, newlines preserved), extracting just enough
+ * structure for the passes in passes.cc:
+ *
+ *  - quoted `#include` edges (targets come from the lexer's literal
+ *    list, since the blanking pass erases the quoted path itself);
+ *  - static-storage mutable-state candidates: file-scope variable
+ *    definitions plus `static` declarations at class and function
+ *    scope, with const/atomic/thread_local/synchronization types
+ *    filtered out by declaration content;
+ *  - declaration lines of synchronization primitives (mutex families,
+ *    once_flag), for the guarded-state adjacency check;
+ *  - outermost function-body byte ranges, for the "locked in every
+ *    touching function" analysis;
+ *  - arena aliases: references bound (transitively) to
+ *    `SimWorkspace::local()`, which the hot-path-allocation rule
+ *    exempts as sanctioned growth targets.
+ *
+ * This is a heuristic indexer over text, not a parser; it is tuned to
+ * the repo's house style (tests/test_lint.cpp pins its behavior on
+ * fixture trees, and the acceptance gate pins it on the real tree).
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "internal.hh"
+
+namespace misam::lint {
+
+namespace {
+
+bool
+isWordByte(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+containsWord(std::string_view hay, std::string_view word)
+{
+    std::size_t at = 0;
+    while ((at = hay.find(word, at)) != std::string_view::npos) {
+        const std::size_t end = at + word.size();
+        if ((at == 0 || !isWordByte(hay[at - 1])) &&
+            (end >= hay.size() || !isWordByte(hay[end])))
+            return true;
+        at = end;
+    }
+    return false;
+}
+
+std::string_view
+trimView(std::string_view s)
+{
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.front())) != 0)
+        s.remove_prefix(1);
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.back())) != 0)
+        s.remove_suffix(1);
+    return s;
+}
+
+/** The full code text of 1-based line `line`. */
+std::string_view
+lineText(const SourceFile &file, std::size_t line)
+{
+    const std::size_t begin = file.line_starts[line - 1];
+    const std::size_t end = (line < file.line_starts.size())
+                                ? file.line_starts[line]
+                                : file.code.size();
+    return std::string_view(file.code).substr(begin, end - begin);
+}
+
+/**
+ * Scope classification for one brace context. Only two properties
+ * matter downstream: whether the context is transparent for file
+ * scope (Namespace) and whether it is an outermost function body.
+ */
+enum class ContextKind
+{
+    Namespace, ///< namespace { } / extern "C" { } — transparent.
+    Type,      ///< class/struct/union/enum body.
+    Function,  ///< function body (head contains a parameter list).
+    Opaque,    ///< initializer braces, control blocks, lambdas, ...
+};
+
+/** Classify a brace context by the head text before its `{`. */
+ContextKind
+classifyHead(std::string_view head)
+{
+    head = trimView(head);
+    if (containsWord(head, "namespace") || containsWord(head, "extern"))
+        return ContextKind::Namespace;
+    // `= { ... }` / `Type name{...}`-style initializers never declare.
+    const std::size_t eq = head.find('=');
+    const std::size_t paren = head.find('(');
+    if (eq != std::string_view::npos &&
+        (paren == std::string_view::npos || eq < paren))
+        return ContextKind::Opaque;
+    if ((containsWord(head, "class") || containsWord(head, "struct") ||
+         containsWord(head, "union") || containsWord(head, "enum")) &&
+        !head.ends_with(")"))
+        return ContextKind::Type;
+    if (paren != std::string_view::npos)
+        return ContextKind::Function;
+    return ContextKind::Opaque;
+}
+
+/** Keywords that start a statement which is never a variable
+ *  definition (or that we deliberately leave alone). */
+bool
+isNonDeclStarter(std::string_view word)
+{
+    static const std::set<std::string_view> starters = {
+        "using",  "typedef", "template",      "friend",  "extern",
+        "return", "if",      "for",           "while",   "switch",
+        "case",   "default", "static_assert", "public",  "private",
+        "protected", "enum", "goto",          "do",      "else",
+        "break",  "continue", "asm",          "throw",
+    };
+    return starters.count(word) != 0;
+}
+
+/** Declaration-content exemptions: immutable or self-synchronized. */
+bool
+isExemptDeclaration(std::string_view stmt)
+{
+    for (std::string_view word :
+         {"const", "constexpr", "constinit", "thread_local", "atomic",
+          "once_flag", "condition_variable", "condition_variable_any"})
+        if (containsWord(stmt, word))
+            return true;
+    // Any mutex family type (std::mutex, shared_mutex, recursive_mutex,
+    // timed variants): the primitive itself is the guard.
+    std::size_t at = 0;
+    while ((at = stmt.find("mutex", at)) != std::string_view::npos) {
+        const std::size_t end = at + 5;
+        if (end >= stmt.size() || !isWordByte(stmt[end]))
+            return true;
+        at = end;
+    }
+    // atomic_flag / atomic_uint64_t-style aliases.
+    if (stmt.find("atomic_") != std::string_view::npos)
+        return true;
+    return false;
+}
+
+/** True when the declaration introduces a synchronization primitive
+ *  (recorded for the guarded-state adjacency check). */
+bool
+isSyncDeclaration(std::string_view stmt)
+{
+    if (containsWord(stmt, "once_flag"))
+        return true;
+    std::size_t at = 0;
+    while ((at = stmt.find("mutex", at)) != std::string_view::npos) {
+        const std::size_t end = at + 5;
+        if (end >= stmt.size() || !isWordByte(stmt[end]))
+            return true;
+        at = end;
+    }
+    return false;
+}
+
+/** First word of a trimmed statement. */
+std::string_view
+firstWord(std::string_view stmt)
+{
+    stmt = trimView(stmt);
+    std::size_t end = 0;
+    while (end < stmt.size() && isWordByte(stmt[end]))
+        ++end;
+    return stmt.substr(0, end);
+}
+
+/** Last identifier ending at or before `at` in `s`, skipping spaces
+ *  and one balanced `[...]` suffix (array declarators). */
+std::string_view
+identifierBefore(std::string_view s, std::size_t at)
+{
+    auto skipBack = [&s](std::size_t &k) {
+        while (k > 0 &&
+               std::isspace(static_cast<unsigned char>(s[k - 1])) != 0)
+            --k;
+    };
+    std::size_t k = at;
+    skipBack(k);
+    if (k > 0 && s[k - 1] == ']') {
+        int depth = 0;
+        while (k > 0) {
+            if (s[k - 1] == ']')
+                ++depth;
+            else if (s[k - 1] == '[' && --depth == 0) {
+                --k;
+                break;
+            }
+            --k;
+        }
+        skipBack(k);
+    }
+    std::size_t end = k;
+    while (k > 0 && isWordByte(s[k - 1]))
+        --k;
+    return s.substr(k, end - k);
+}
+
+/** Declared name of a variable-definition statement, or "". */
+std::string_view
+declaredName(std::string_view stmt)
+{
+    // name = init;  |  name{init};  |  name(init);  |  name;
+    std::size_t stop = stmt.size();
+    for (std::size_t k = 0; k < stmt.size(); ++k) {
+        const char c = stmt[k];
+        if (c == '=' || c == '{' || c == '(') {
+            stop = k;
+            break;
+        }
+        if (c == '<') { // skip template arguments in the type
+            int depth = 0;
+            while (k < stmt.size()) {
+                if (stmt[k] == '<')
+                    ++depth;
+                else if (stmt[k] == '>' && --depth == 0)
+                    break;
+                ++k;
+            }
+        }
+    }
+    return identifierBefore(stmt, stop);
+}
+
+/** Where a `;`-terminated statement lives; decides how `(` reads. */
+enum class DeclScope
+{
+    File,         ///< Namespace scope: `(` means function signature.
+    Type,         ///< Class scope: `(` means member function decl.
+    FunctionBody, ///< Inside a body: `(` means constructor init.
+};
+
+/**
+ * Statement-level filter: is `stmt` (a `;`-terminated span at file,
+ * type, or function scope, preprocessor lines removed) a mutable
+ * static-storage variable definition we should audit?
+ */
+bool
+isMutableStaticCandidate(std::string_view stmt, DeclScope scope)
+{
+    stmt = trimView(stmt);
+    // Strip access labels so `public: static int x_;` still scans.
+    for (;;) {
+        bool stripped = false;
+        for (std::string_view label : {"public", "private", "protected"}) {
+            if (stmt.rfind(label, 0) == 0) {
+                std::string_view rest = trimView(stmt.substr(label.size()));
+                if (!rest.empty() && rest.front() == ':' &&
+                    (rest.size() < 2 || rest[1] != ':')) {
+                    stmt = trimView(rest.substr(1));
+                    stripped = true;
+                }
+            }
+        }
+        if (!stripped)
+            break;
+    }
+    if (stmt.empty())
+        return false;
+    const std::string_view head = firstWord(stmt);
+    if (head.empty() || isNonDeclStarter(head))
+        return false;
+    // Forward declarations (`class MetricsRegistry;`) declare a type,
+    // not storage.
+    if (head == "class" || head == "struct" || head == "union") {
+        const std::string_view rest =
+            trimView(stmt.substr(stmt.find(head) + head.size()));
+        if (!rest.empty() &&
+            std::all_of(rest.begin(), rest.end(),
+                        [](char c) { return isWordByte(c); }))
+            return false;
+    }
+    if (scope != DeclScope::File && !containsWord(stmt, "static"))
+        return false;
+    if (isExemptDeclaration(stmt))
+        return false;
+    if (scope != DeclScope::FunctionBody) {
+        // At namespace or class scope a `(` before any `=` means a
+        // function signature (prototype, member declaration, or
+        // definition head), not a variable. Inside a function body the
+        // same shape is a constructor-initialized static local, which
+        // we do want to audit.
+        const std::size_t paren = stmt.find('(');
+        const std::size_t eq = stmt.find('=');
+        if (paren != std::string_view::npos &&
+            (eq == std::string_view::npos || paren < eq))
+            return false;
+    }
+    return !declaredName(stmt).empty();
+}
+
+/** Strip preprocessor lines (`#...`) from a statement span. */
+std::string
+stripPreprocessor(std::string_view stmt)
+{
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < stmt.size()) {
+        std::size_t eol = stmt.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = stmt.size();
+        const std::string_view line = stmt.substr(pos, eol - pos);
+        if (trimView(line).rfind('#', 0) != 0) {
+            out.append(line);
+            out.push_back(' ');
+        }
+        pos = eol + 1;
+    }
+    return out;
+}
+
+void
+collectIncludes(const SourceFile &file, FileIndex &index)
+{
+    for (const StringLiteral &lit : file.literals) {
+        if (lit.line == 0 || lit.line > file.line_starts.size())
+            continue;
+        const std::string_view line = trimView(lineText(file, lit.line));
+        if (line.rfind('#', 0) != 0)
+            continue;
+        std::string_view rest = trimView(line.substr(1));
+        if (rest.rfind("include", 0) != 0)
+            continue;
+        index.includes.push_back({lit.text, lit.line});
+    }
+}
+
+/**
+ * One walk over the blanked code: track the brace-context stack,
+ * record outermost function ranges, and split file/type-scope
+ * statements for the static-state candidate scan.
+ */
+void
+collectScopes(const SourceFile &file, FileIndex &index)
+{
+    const std::string &code = file.code;
+    std::vector<ContextKind> stack;
+    std::size_t stmt_start = 0;
+    std::size_t function_open = std::string::npos;
+
+    auto atFileScope = [&stack] {
+        return std::all_of(stack.begin(), stack.end(),
+                           [](ContextKind k) {
+                               return k == ContextKind::Namespace;
+                           });
+    };
+    auto atTypeScope = [&stack, &atFileScope] {
+        if (stack.empty() || stack.back() != ContextKind::Type)
+            return false;
+        ContextKind saved = stack.back();
+        stack.pop_back();
+        const bool outer_ok =
+            atFileScope() ||
+            std::all_of(stack.begin(), stack.end(), [](ContextKind k) {
+                return k == ContextKind::Namespace ||
+                       k == ContextKind::Type;
+            });
+        stack.push_back(saved);
+        return outer_ok;
+    };
+
+    auto processStatement = [&](std::size_t begin, std::size_t end,
+                                DeclScope scope) {
+        const std::string stmt = stripPreprocessor(
+            std::string_view(code).substr(begin, end - begin));
+        if (!isMutableStaticCandidate(stmt, scope))
+            return;
+        // Anchor the diagnostic on the declared name, not the
+        // statement start (long types can span lines).
+        const std::string_view name = declaredName(stmt);
+        std::size_t line = file.lineOf(begin);
+        const std::size_t name_at =
+            std::string_view(code).substr(begin, end - begin)
+                .find(std::string(name));
+        if (name_at != std::string_view::npos)
+            line = file.lineOf(begin + name_at);
+        index.static_decls.push_back(
+            {std::string(name), line, stmt});
+    };
+    auto recordSync = [&](std::size_t begin, std::size_t end) {
+        const std::string stmt = stripPreprocessor(
+            std::string_view(code).substr(begin, end - begin));
+        if (isSyncDeclaration(stmt))
+            index.sync_decl_lines.push_back(file.lineOf(begin));
+    };
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const char c = code[i];
+        if (c == '{') {
+            const ContextKind kind = classifyHead(
+                std::string_view(code).substr(stmt_start,
+                                              i - stmt_start));
+            if (kind == ContextKind::Function && atFileScope() &&
+                function_open == std::string::npos)
+                function_open = i;
+            stack.push_back(kind);
+            stmt_start = i + 1;
+        } else if (c == '}') {
+            if (!stack.empty()) {
+                stack.pop_back();
+                if (function_open != std::string::npos && atFileScope() &&
+                    (stack.empty() ||
+                     stack.back() != ContextKind::Function)) {
+                    // Closed back to file scope: the span was one
+                    // outermost function body.
+                    index.functions.push_back(
+                        {function_open, i + 1,
+                         file.lineOf(function_open)});
+                    function_open = std::string::npos;
+                }
+            }
+            stmt_start = i + 1;
+        } else if (c == ';') {
+            const bool file_scope =
+                function_open == std::string::npos && atFileScope();
+            const bool type_scope =
+                function_open == std::string::npos && atTypeScope();
+            if (file_scope || type_scope) {
+                recordSync(stmt_start, i);
+                processStatement(stmt_start, i,
+                                 type_scope ? DeclScope::Type
+                                            : DeclScope::File);
+            }
+            stmt_start = i + 1;
+        }
+    }
+}
+
+/** `static` declarations inside function bodies (the statement runs
+ *  from the `static` keyword to its `;` at balanced depth). */
+void
+collectFunctionStatics(const SourceFile &file, FileIndex &index)
+{
+    const std::string &code = file.code;
+    for (const FunctionRange &fn : index.functions) {
+        std::size_t at = fn.begin_offset;
+        while ((at = code.find("static", at)) != std::string::npos &&
+               at < fn.end_offset) {
+            const std::size_t end = at + 6;
+            if ((at > 0 && isWordByte(code[at - 1])) ||
+                (end < code.size() && isWordByte(code[end]))) {
+                at = end;
+                continue;
+            }
+            // Statement: to the first `;` at balanced ()/{}/<> depth.
+            std::size_t j = at;
+            int paren = 0, brace = 0;
+            while (j < fn.end_offset) {
+                const char c = code[j];
+                if (c == '(')
+                    ++paren;
+                else if (c == ')')
+                    --paren;
+                else if (c == '{')
+                    ++brace;
+                else if (c == '}')
+                    --brace;
+                else if (c == ';' && paren == 0 && brace == 0)
+                    break;
+                ++j;
+            }
+            const std::string stmt = stripPreprocessor(
+                std::string_view(code).substr(at, j - at));
+            if (isMutableStaticCandidate(stmt,
+                                         DeclScope::FunctionBody)) {
+                std::string_view name = declaredName(stmt);
+                index.static_decls.push_back(
+                    {std::string(name), file.lineOf(at), stmt});
+            }
+            // Sync primitives declared static-locally count for
+            // adjacency too (function-local once_flag pattern).
+            if (isSyncDeclaration(stmt))
+                index.sync_decl_lines.push_back(file.lineOf(at));
+            at = j;
+        }
+    }
+}
+
+/**
+ * Arena aliases: reference bindings whose initializer chains back to
+ * `SimWorkspace::local()`. Seed with direct bindings, then propagate
+ * through `Type &x = <alias>.member(...)` chains to a fixpoint.
+ */
+void
+collectArenaAliases(const SourceFile &file, FileIndex &index)
+{
+    const std::string &code = file.code;
+    std::set<std::string> aliases;
+
+    auto bindingsOver = [&](auto isArenaInit) {
+        bool changed = false;
+        std::size_t at = 0;
+        while ((at = code.find('=', at)) != std::string::npos) {
+            const std::size_t eq = at;
+            ++at;
+            // Skip comparison and compound-assignment operators.
+            if (eq + 1 < code.size() && code[eq + 1] == '=')
+                continue;
+            if (eq > 0 &&
+                std::string_view("=!<>+-*/%|&^").find(code[eq - 1]) !=
+                    std::string_view::npos)
+                continue;
+            // LHS must be a reference declarator: `& name =`.
+            const std::string_view lhs_name =
+                identifierBefore(code, eq);
+            if (lhs_name.empty())
+                continue;
+            std::size_t b = eq;
+            while (b > 0 &&
+                   std::isspace(
+                       static_cast<unsigned char>(code[b - 1])) != 0)
+                --b;
+            if (b < lhs_name.size() ||
+                code.compare(b - lhs_name.size(), lhs_name.size(),
+                             lhs_name) != 0)
+                continue; // array declarator or similar; not a ref bind
+            b -= lhs_name.size();
+            while (b > 0 &&
+                   std::isspace(
+                       static_cast<unsigned char>(code[b - 1])) != 0)
+                --b;
+            if (b == 0 || code[b - 1] != '&')
+                continue;
+            std::size_t end = code.find(';', eq);
+            if (end == std::string::npos)
+                end = code.size();
+            const std::string_view init =
+                std::string_view(code).substr(eq + 1, end - eq - 1);
+            if (isArenaInit(init) &&
+                aliases.insert(std::string(lhs_name)).second)
+                changed = true;
+        }
+        return changed;
+    };
+
+    auto directArena = [](std::string_view init) {
+        return init.find("SimWorkspace::local") != std::string_view::npos;
+    };
+    auto throughAlias = [&aliases](std::string_view init) {
+        for (const std::string &a : aliases) {
+            std::size_t at = 0;
+            while ((at = init.find(a, at)) != std::string_view::npos) {
+                const std::size_t end = at + a.size();
+                const bool bounded =
+                    (at == 0 || !isWordByte(init[at - 1])) &&
+                    end < init.size();
+                if (bounded && (init[end] == '.' ||
+                                init.compare(end, 2, "->") == 0))
+                    return true;
+                at = end;
+            }
+        }
+        return false;
+    };
+
+    bindingsOver(directArena);
+    // Propagate chains (bounded: each round adds at least one alias).
+    while (bindingsOver(throughAlias)) {
+    }
+    index.arena_aliases.assign(aliases.begin(), aliases.end());
+}
+
+} // namespace
+
+FileIndex
+buildFileIndex(const SourceFile &file)
+{
+    FileIndex index;
+    collectIncludes(file, index);
+    collectScopes(file, index);
+    collectFunctionStatics(file, index);
+    collectArenaAliases(file, index);
+    std::sort(index.sync_decl_lines.begin(), index.sync_decl_lines.end());
+    return index;
+}
+
+} // namespace misam::lint

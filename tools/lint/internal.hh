@@ -9,6 +9,8 @@
 #define MISAM_TOOLS_LINT_INTERNAL_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +36,14 @@ struct StringLiteral
     std::size_t line;  ///< 1-based line of the opening quote.
 };
 
+/** A `// misam-lint: hot-path begin|end` region marker. */
+struct HotMarker
+{
+    std::size_t line;   ///< 1-based line of the marker comment.
+    bool begin;         ///< begin vs end.
+    std::string reason; ///< Text after `--` (begin markers only).
+};
+
 /**
  * One lexed source file. `code` is `raw` with comments and
  * string/character literals blanked to spaces (newlines preserved), so
@@ -46,6 +56,7 @@ struct SourceFile
     std::string code;
     std::vector<AllowAnnotation> allows;
     std::vector<StringLiteral> literals;
+    std::vector<HotMarker> hot_markers;
     std::vector<std::size_t> line_starts; ///< Offset of each line start.
 
     /** 1-based line containing byte `offset`. */
@@ -130,6 +141,110 @@ std::vector<MetricUse>
 metricNamesInCatalog(const std::string &markdown,
                      const std::string &catalog_path,
                      const std::vector<std::string_view> &prefixes);
+
+// ---------------------------------------------------------------------------
+// The symbol/include index (index.cc): a lightweight structural layer
+// over the blanked code that the multi-pass rules (passes.cc) consume.
+
+/** One `#include "..."` edge (quoted form only; `<...>` is external). */
+struct IncludeEdge
+{
+    std::string target; ///< Path as written, e.g. "sparse/csr.hh".
+    std::size_t line;   ///< 1-based line of the directive.
+};
+
+/** One static-storage mutable-state candidate (exemptions resolved by
+ *  declaration content only; adjacency/locking checked by the pass). */
+struct StaticDecl
+{
+    std::string name;      ///< Declared identifier.
+    std::size_t line;      ///< 1-based declaration line.
+    std::string statement; ///< Blanked declaration statement text.
+};
+
+/** Byte range of an outermost function body (braces included). */
+struct FunctionRange
+{
+    std::size_t begin_offset;
+    std::size_t end_offset;
+    std::size_t begin_line;
+};
+
+/** Structural facts about one file, built once per scan. */
+struct FileIndex
+{
+    std::vector<IncludeEdge> includes;
+    std::vector<StaticDecl> static_decls; ///< Mutable candidates only.
+    std::vector<std::size_t> sync_decl_lines; ///< mutex/once_flag decls.
+    std::vector<FunctionRange> functions;
+    std::vector<std::string> arena_aliases; ///< SimWorkspace-bound refs.
+};
+
+/** Build the structural index for one lexed file. */
+FileIndex buildFileIndex(const SourceFile &file);
+
+// Pass entry points (passes.cc). Each appends raw (pre-suppression)
+// diagnostics; the driver applies allow annotations afterwards.
+
+/** Layer rank of a src/ module directory, or -1 when unknown. */
+int moduleRank(std::string_view module);
+
+/** include-layering, per-file half: rank violations + deny pairs. */
+void appendLayerRankDiags(const SourceFile &file, const FileIndex &index,
+                          std::vector<Diagnostic> &out);
+
+/** guarded-state: unguarded static-storage mutable state in src/. */
+void appendGuardedStateDiags(const SourceFile &file, const FileIndex &index,
+                             std::vector<Diagnostic> &out);
+
+/** hot-path-alloc: heap growth inside `hot-path begin/end` regions. */
+void appendHotPathAllocDiags(const SourceFile &file, const FileIndex &index,
+                             std::vector<Diagnostic> &out);
+
+/** float-determinism: order-sensitive float reductions outside the
+ *  pinned kernel doorways. */
+void appendFloatDeterminismDiags(const SourceFile &file,
+                                 std::vector<Diagnostic> &out);
+
+// ---------------------------------------------------------------------------
+// Incremental analysis cache (cache.cc): per-file facts keyed by
+// content hash + rule-table version + enabled-rule signature, with a
+// (size, mtime) fast path so an unchanged tree reads zero file bodies.
+
+/** Everything the driver needs from one file after per-file analysis.
+ *  Cross-file passes (cycles, catalog sync, suppression) run over
+ *  facts, so cached files never need re-reading or re-lexing. */
+struct FileFacts
+{
+    std::vector<Diagnostic> diags; ///< File-local, pre-suppression.
+    std::vector<AllowAnnotation> allows;
+    std::vector<MetricUse> metric_uses;
+    std::vector<IncludeEdge> includes;
+};
+
+/** One cache record: stat fingerprint + content hash + facts. */
+struct CacheEntry
+{
+    std::uint64_t size = 0;
+    std::int64_t mtime = 0; ///< filesystem clock ticks, opaque.
+    std::uint64_t hash = 0; ///< content hash (hashContent).
+    FileFacts facts;
+};
+
+using CacheMap = std::map<std::string, CacheEntry>;
+
+/** FNV-1a 64-bit over the raw bytes. */
+std::uint64_t hashContent(std::string_view bytes);
+
+/** Load `path`; returns empty when missing, unreadable, or written
+ *  under a different signature (rule-table version + enabled rules). */
+CacheMap loadAnalysisCache(const std::string &path,
+                           const std::string &signature);
+
+/** Rewrite `path` with the current entries under `signature`. */
+void saveAnalysisCache(const std::string &path,
+                       const std::string &signature,
+                       const CacheMap &entries);
 
 } // namespace misam::lint
 

@@ -1,10 +1,13 @@
 /**
  * @file
- * misam-lint implementation: a single-pass lexer that blanks comments
- * and literals (so rules never fire on documentation or strings), plus
- * the six rules driven by the declarative tables below.
- * See lint.hh for the contract and docs/STATIC_ANALYSIS.md for the
- * rule catalog.
+ * misam-lint implementation: the lexer that blanks comments and
+ * literals (so rules never fire on documentation or strings), the
+ * token-rule passes, and the driver — a parallelFor file scan with an
+ * incremental facts cache (cache.cc), the structural passes riding on
+ * the symbol/include index (index.cc, passes.cc), and cross-file
+ * passes (include cycles, catalog sync, suppression) over the merged
+ * facts. See lint.hh for the contract and docs/STATIC_ANALYSIS.md for
+ * the rule catalog.
  */
 
 #include "lint.hh"
@@ -19,6 +22,7 @@
 #include <stdexcept>
 
 #include "internal.hh"
+#include "util/parallel.hh"
 
 namespace misam::lint {
 
@@ -44,16 +48,42 @@ trim(std::string_view s)
     return s;
 }
 
-/** Parse `misam-lint: allow[-file](rule) -- reason` from a comment. */
+/** Parse `misam-lint: allow[-file](rule) -- reason` or
+ *  `misam-lint: hot-path begin|end [-- reason]` from a comment. */
 void
-parseAnnotation(std::string_view comment, std::size_t line,
-                std::vector<AllowAnnotation> &out)
+parseAnnotation(std::string_view comment, std::size_t line, SourceFile &f)
 {
+    std::vector<AllowAnnotation> &out = f.allows;
     const std::string_view tag = "misam-lint:";
     const std::size_t at = comment.find(tag);
     if (at == std::string_view::npos)
         return;
     std::string_view rest = trim(comment.substr(at + tag.size()));
+
+    if (rest.rfind("hot-path", 0) == 0) {
+        rest = trim(rest.substr(8));
+        HotMarker marker;
+        marker.line = line;
+        if (rest.rfind("begin", 0) == 0) {
+            marker.begin = true;
+            rest = trim(rest.substr(5));
+            if (rest.rfind("--", 0) == 0)
+                marker.reason = std::string(trim(rest.substr(2)));
+        } else if (rest.rfind("end", 0) == 0) {
+            marker.begin = false;
+        } else {
+            // Malformed hot-path marker: surface it as an annotation
+            // problem rather than silently ignoring the region.
+            AllowAnnotation bad;
+            bad.line = line;
+            bad.rule = "hot-path " + std::string(rest.substr(
+                                         0, rest.find(' ')));
+            out.push_back(std::move(bad));
+            return;
+        }
+        f.hot_markers.push_back(std::move(marker));
+        return;
+    }
 
     AllowAnnotation ann;
     ann.line = line;
@@ -135,7 +165,7 @@ lexSource(std::string rel_path, std::string raw)
                 end = n;
             parseAnnotation(
                 std::string_view(raw_src).substr(i + 2, end - i - 2),
-                f.lineOf(i), f.allows);
+                f.lineOf(i), f);
             blank(i, end);
             i = end;
         } else if (c == '/' && i + 1 < n && raw_src[i + 1] == '*') {
@@ -806,7 +836,7 @@ appendRawIntrinsicsDiags(const SourceFile &file,
 }
 
 void
-appendCatalogDiags(const std::vector<SourceFile> &files,
+appendCatalogDiags(const std::vector<MetricUse> &uses,
                    const std::string &catalog_path,
                    const std::string &catalog_rel,
                    std::vector<Diagnostic> &out)
@@ -818,12 +848,11 @@ appendCatalogDiags(const std::vector<SourceFile> &files,
     std::stringstream buf;
     buf << in.rdbuf();
 
-    // First use per name, in sorted (file, line) order — `files` is
-    // already sorted by rel_path and literals by position.
+    // First use per name — `uses` arrives in sorted (file, line) order
+    // from the driver's per-file merge.
     std::map<std::string, MetricUse> code_names;
-    for (const SourceFile &file : files)
-        for (MetricUse &use : metricNamesInCode(file, kMetricPrefixes))
-            code_names.emplace(use.name, use);
+    for (const MetricUse &use : uses)
+        code_names.emplace(use.name, use);
 
     std::map<std::string, MetricUse> catalog_names;
     for (MetricUse &use :
@@ -876,6 +905,26 @@ ruleTable()
         {"metrics-catalog-sync",
          "every metric name literal in the code appears in "
          "docs/OBSERVABILITY.md, and vice versa"});
+    table.push_back(
+        {"include-layering",
+         "src/ #include edges must point strictly down the "
+         "docs/ARCHITECTURE.md layer DAG (no upward or peer edges, no "
+         "cycles, serve never reaches ml internals)"});
+    table.push_back(
+        {"guarded-state",
+         "static-storage mutable state in src/ must be std::atomic, "
+         "const, thread_local, mutex-adjacent, or locked in every "
+         "touching function"});
+    table.push_back(
+        {"hot-path-alloc",
+         "inside `misam-lint: hot-path begin/end` regions, new/malloc, "
+         "non-arena container growth, and std::function construction "
+         "are banned (the zero steady-state allocation contract)"});
+    table.push_back(
+        {"float-determinism",
+         "reduction-order-sensitive float constructs (std::accumulate "
+         "/ std::reduce over floats, fast-math pragmas) are banned "
+         "outside the pinned simd kernel doorway"});
     std::sort(table.begin(), table.end(),
               [](const RuleInfo &a, const RuleInfo &b) {
                   return a.name < b.name;
@@ -891,6 +940,195 @@ isKnownRule(const std::string &name)
             return true;
     return false;
 }
+
+namespace {
+
+/** Bump when any rule's behavior changes: invalidates every cached
+ *  FileFacts record (the cache stores pass *outputs*). */
+constexpr int kRuleTableVersion = 2;
+
+/** Per-file analysis: every file-local pass over one lexed file. The
+ *  result is what the incremental cache stores — cross-file passes
+ *  (cycles, catalog sync, suppression) run over these facts only. */
+FileFacts
+analyzeFile(const SourceFile &file, const std::set<std::string> &enabled)
+{
+    FileFacts facts;
+    for (const TokenRule &rule : tokenRules())
+        if (enabled.count(std::string(rule.name)) != 0)
+            appendTokenRuleDiags(rule, file, facts.diags);
+    if (enabled.count("no-ambient-rng") != 0)
+        appendDefaultRngDiags(file, facts.diags);
+    if (enabled.count("no-unordered-emission") != 0)
+        appendUnorderedEmissionDiags(file, facts.diags);
+    if (enabled.count("no-raw-intrinsics") != 0)
+        appendRawIntrinsicsDiags(file, facts.diags);
+
+    const FileIndex index = buildFileIndex(file);
+    if (enabled.count("include-layering") != 0)
+        appendLayerRankDiags(file, index, facts.diags);
+    if (enabled.count("guarded-state") != 0)
+        appendGuardedStateDiags(file, index, facts.diags);
+    if (enabled.count("hot-path-alloc") != 0)
+        appendHotPathAllocDiags(file, index, facts.diags);
+    if (enabled.count("float-determinism") != 0)
+        appendFloatDeterminismDiags(file, facts.diags);
+
+    facts.allows = file.allows;
+    facts.metric_uses = metricNamesInCode(file, kMetricPrefixes);
+    facts.includes = index.includes;
+    return facts;
+}
+
+/** Cross-file half of include-layering: file-level cycle detection
+ *  over the resolved `src/` include graph. */
+void
+appendIncludeCycleDiags(const std::vector<std::string> &rel_paths,
+                        const std::vector<FileFacts> &facts,
+                        std::vector<Diagnostic> &out)
+{
+    // Resolve quoted targets against the scanned set ("sparse/csr.hh"
+    // -> index of "src/sparse/csr.hh"); unresolved targets are
+    // external and cannot participate in a cycle.
+    std::map<std::string, std::size_t> by_rel;
+    for (std::size_t i = 0; i < rel_paths.size(); ++i)
+        by_rel.emplace(rel_paths[i], i);
+    struct Edge
+    {
+        std::size_t to;
+        std::size_t line;
+    };
+    std::vector<std::vector<Edge>> adj(rel_paths.size());
+    for (std::size_t i = 0; i < rel_paths.size(); ++i) {
+        if (rel_paths[i].rfind("src/", 0) != 0)
+            continue;
+        for (const IncludeEdge &edge : facts[i].includes) {
+            const auto it = by_rel.find("src/" + edge.target);
+            if (it != by_rel.end())
+                adj[i].push_back({it->second, edge.line});
+        }
+    }
+
+    // Iterative DFS with tricolor marking; each back edge closes one
+    // cycle. Reported once per closing edge, at that edge's line.
+    enum : unsigned char { White, Grey, Black };
+    std::vector<unsigned char> color(rel_paths.size(), White);
+    std::vector<std::size_t> parent_pos(rel_paths.size(), 0);
+    std::set<std::string> seen_cycles;
+
+    for (std::size_t start = 0; start < rel_paths.size(); ++start) {
+        if (color[start] != White)
+            continue;
+        // stack of (node, next-edge-index); path holds the grey chain.
+        std::vector<std::pair<std::size_t, std::size_t>> stack;
+        std::vector<std::size_t> path;
+        stack.push_back({start, 0});
+        color[start] = Grey;
+        path.push_back(start);
+        while (!stack.empty()) {
+            auto &[node, next] = stack.back();
+            if (next >= adj[node].size()) {
+                color[node] = Black;
+                path.pop_back();
+                stack.pop_back();
+                continue;
+            }
+            const Edge edge = adj[node][next++];
+            if (color[edge.to] == Grey) {
+                // Back edge: the cycle is the path suffix from edge.to.
+                const auto at = std::find(path.begin(), path.end(),
+                                          edge.to);
+                std::vector<std::size_t> cycle(at, path.end());
+                // Normalize (rotate smallest first) to dedupe.
+                const auto min_it =
+                    std::min_element(cycle.begin(), cycle.end());
+                std::rotate(cycle.begin(), min_it, cycle.end());
+                std::string key, shown;
+                for (std::size_t n : cycle) {
+                    key += std::to_string(n) + ",";
+                    shown += rel_paths[n] + " -> ";
+                }
+                shown += rel_paths[cycle.front()];
+                if (seen_cycles.insert(key).second) {
+                    Diagnostic d;
+                    d.rule = "include-layering";
+                    d.file = rel_paths[node];
+                    d.line = edge.line;
+                    d.message = "include cycle: " + shown;
+                    out.push_back(std::move(d));
+                }
+            } else if (color[edge.to] == White) {
+                color[edge.to] = Grey;
+                stack.push_back({edge.to, 0});
+                path.push_back(edge.to);
+            }
+        }
+    }
+}
+
+/** Graphviz dump of the module-level include DAG (src/ only), layer
+ *  ranks as horizontal bands, upward/firewalled edges highlighted. */
+std::string
+renderLayerDot(const std::vector<std::string> &rel_paths,
+               const std::vector<FileFacts> &facts)
+{
+    auto moduleOf = [](std::string_view rel) -> std::string {
+        if (rel.rfind("src/", 0) != 0)
+            return {};
+        rel.remove_prefix(4);
+        const std::size_t slash = rel.find('/');
+        if (slash == std::string_view::npos)
+            return {};
+        return std::string(rel.substr(0, slash));
+    };
+
+    std::map<std::pair<std::string, std::string>, std::size_t> edges;
+    std::set<std::string> modules;
+    for (std::size_t i = 0; i < rel_paths.size(); ++i) {
+        const std::string from = moduleOf(rel_paths[i]);
+        if (from.empty())
+            continue;
+        modules.insert(from);
+        for (const IncludeEdge &edge : facts[i].includes) {
+            const std::size_t slash = edge.target.find('/');
+            if (slash == std::string::npos)
+                continue;
+            const std::string to = edge.target.substr(0, slash);
+            if (to == from || moduleRank(to) < 0)
+                continue;
+            modules.insert(to);
+            edges[{from, to}] += 1;
+        }
+    }
+
+    std::ostringstream out;
+    out << "digraph misam_include_layers {\n"
+        << "  rankdir=BT;\n"
+        << "  node [shape=box, fontname=\"Helvetica\"];\n";
+    std::map<int, std::vector<std::string>> by_rank;
+    for (const std::string &m : modules)
+        by_rank[moduleRank(m)].push_back(m);
+    for (const auto &[rank, mods] : by_rank) {
+        out << "  { rank=same;";
+        for (const std::string &m : mods)
+            out << " \"" << m << "\" [label=\"" << m << "\\nlayer "
+                << rank << "\"];";
+        out << " }\n";
+    }
+    for (const auto &[pair, count] : edges) {
+        const bool upward =
+            moduleRank(pair.second) >= moduleRank(pair.first);
+        out << "  \"" << pair.first << "\" -> \"" << pair.second
+            << "\" [label=\"" << count << "\"";
+        if (upward)
+            out << ", color=red, style=dashed, fontcolor=red";
+        out << "];\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace
 
 Result
 runLint(const Options &options)
@@ -913,8 +1151,22 @@ runLint(const Options &options)
         }
     }
 
-    // Collect + lex, sorted by relative path for deterministic output.
-    std::vector<std::string> rel_paths;
+    // The cache signature: facts computed under any other rule-table
+    // version or enabled set are unusable.
+    std::string signature = "v" + std::to_string(kRuleTableVersion) +
+                            ";rules=";
+    for (const std::string &name : enabled)
+        signature += name + ",";
+
+    // Enumerate candidate files, sorted by relative path — slot order
+    // is what makes the parallel scan deterministic.
+    struct FileEntry
+    {
+        std::string rel;
+        std::uint64_t size;
+        std::int64_t mtime;
+    };
+    std::vector<FileEntry> entries;
     for (const char *dir : {"src", "bench", "tools"}) {
         const fs::path base = root / dir;
         if (!fs::is_directory(base))
@@ -926,54 +1178,132 @@ runLint(const Options &options)
             if (ext != ".cc" && ext != ".hh" && ext != ".cpp" &&
                 ext != ".hpp" && ext != ".h")
                 continue;
-            rel_paths.push_back(
-                fs::relative(entry.path(), root).generic_string());
+            entries.push_back(
+                {fs::relative(entry.path(), root).generic_string(),
+                 static_cast<std::uint64_t>(entry.file_size()),
+                 static_cast<std::int64_t>(
+                     entry.last_write_time().time_since_epoch().count())});
         }
     }
-    std::sort(rel_paths.begin(), rel_paths.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const FileEntry &a, const FileEntry &b) {
+                  return a.rel < b.rel;
+              });
 
-    std::vector<SourceFile> files;
-    files.reserve(rel_paths.size());
-    for (const std::string &rel : rel_paths) {
-        std::ifstream in(root / rel, std::ios::binary);
-        std::stringstream buf;
-        buf << in.rdbuf();
-        files.push_back(lexSource(rel, buf.str()));
-    }
+    CacheMap cache;
+    if (!options.cache_path.empty())
+        cache = loadAnalysisCache(options.cache_path, signature);
+
+    // Parallel per-file scan into pre-sized slots. Each worker writes
+    // only its own slot, and the cache map is read-only here (updates
+    // are applied sequentially below), so the merge order — and with
+    // it every diagnostic byte — is independent of the thread count.
+    struct Slot
+    {
+        FileFacts facts;
+        std::uint64_t hash = 0;
+        bool hit = false;
+        bool read = false;
+        bool restamp = false; ///< stat changed, content did not.
+    };
+    std::vector<Slot> slots(entries.size());
+    parallelFor(
+        entries.size(),
+        [&](std::size_t i) {
+            const FileEntry &e = entries[i];
+            Slot &slot = slots[i];
+            const auto it = cache.find(e.rel);
+            if (it != cache.end() && it->second.size == e.size &&
+                it->second.mtime == e.mtime) {
+                slot.facts = it->second.facts;
+                slot.hash = it->second.hash;
+                slot.hit = true;
+                return;
+            }
+            std::ifstream in(root / e.rel, std::ios::binary);
+            std::stringstream buf;
+            buf << in.rdbuf();
+            std::string content = buf.str();
+            slot.read = true;
+            slot.hash = hashContent(content);
+            if (it != cache.end() && it->second.hash == slot.hash) {
+                slot.facts = it->second.facts;
+                slot.hit = true;
+                slot.restamp = true;
+                return;
+            }
+            const SourceFile file =
+                lexSource(e.rel, std::move(content));
+            slot.facts = analyzeFile(file, enabled);
+        },
+        options.threads);
 
     Result result;
-    result.files_scanned = files.size();
+    result.files_scanned = entries.size();
 
+    // Sequential merge: counters, cache updates, and the file-local
+    // diagnostics in slot (= path) order.
+    std::vector<std::string> rel_paths;
+    std::vector<FileFacts> facts;
+    rel_paths.reserve(entries.size());
+    facts.reserve(entries.size());
     std::vector<Diagnostic> diags;
-    for (SourceFile &file : files) {
-        for (const TokenRule &rule : tokenRules())
-            if (enabled.count(std::string(rule.name)) != 0)
-                appendTokenRuleDiags(rule, file, diags);
-        if (enabled.count("no-ambient-rng") != 0)
-            appendDefaultRngDiags(file, diags);
-        if (enabled.count("no-unordered-emission") != 0)
-            appendUnorderedEmissionDiags(file, diags);
-        if (enabled.count("no-raw-intrinsics") != 0)
-            appendRawIntrinsicsDiags(file, diags);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        Slot &slot = slots[i];
+        result.cache_hits += slot.hit ? 1 : 0;
+        result.cache_misses += slot.hit ? 0 : 1;
+        result.files_read += slot.read ? 1 : 0;
+        CacheEntry &entry = cache[entries[i].rel];
+        entry.size = entries[i].size;
+        entry.mtime = entries[i].mtime;
+        entry.hash = slot.hash;
+        if (!slot.hit)
+            entry.facts = slot.facts;
+        for (Diagnostic d : slot.facts.diags) {
+            d.file = entries[i].rel;
+            diags.push_back(std::move(d));
+        }
+        rel_paths.push_back(entries[i].rel);
+        facts.push_back(std::move(slot.facts));
+    }
+    // Drop cache records for files that no longer exist.
+    for (auto it = cache.begin(); it != cache.end();) {
+        const bool live = std::binary_search(rel_paths.begin(),
+                                             rel_paths.end(), it->first);
+        it = live ? std::next(it) : cache.erase(it);
+    }
+
+    // Cross-file passes over the merged facts.
+    if (enabled.count("include-layering") != 0) {
+        appendIncludeCycleDiags(rel_paths, facts, diags);
+        result.dot = renderLayerDot(rel_paths, facts);
     }
     if (enabled.count("metrics-catalog-sync") != 0) {
         const std::string catalog =
             options.catalog.empty()
                 ? (root / fs::path(kCatalogRelPath)).string()
                 : options.catalog;
-        appendCatalogDiags(files, catalog, std::string(kCatalogRelPath),
+        std::vector<MetricUse> uses;
+        for (std::size_t i = 0; i < facts.size(); ++i)
+            for (MetricUse use : facts[i].metric_uses) {
+                use.file = rel_paths[i];
+                uses.push_back(std::move(use));
+            }
+        appendCatalogDiags(uses, catalog, std::string(kCatalogRelPath),
                            diags);
     }
 
     // Suppression pass: an allow(rule) covers its own line and the next
     // line; allow-file(rule) covers the whole file.
+    std::map<std::string, std::vector<AllowAnnotation> *> allows_by_file;
+    for (std::size_t i = 0; i < facts.size(); ++i)
+        allows_by_file.emplace(rel_paths[i], &facts[i].allows);
     std::vector<Diagnostic> kept;
     for (Diagnostic &d : diags) {
         bool suppressed = false;
-        for (SourceFile &file : files) {
-            if (file.rel_path != d.file)
-                continue;
-            for (AllowAnnotation &ann : file.allows) {
+        const auto it = allows_by_file.find(d.file);
+        if (it != allows_by_file.end()) {
+            for (AllowAnnotation &ann : *it->second) {
                 if (ann.rule != d.rule || ann.reason.empty())
                     continue;
                 if (ann.file_scope ||
@@ -982,7 +1312,6 @@ runLint(const Options &options)
                     suppressed = true;
                 }
             }
-            break;
         }
         if (!suppressed)
             kept.push_back(std::move(d));
@@ -990,8 +1319,8 @@ runLint(const Options &options)
 
     // Annotation validation: every annotation must name a known rule,
     // carry a reason, and actually suppress something.
-    for (const SourceFile &file : files) {
-        for (const AllowAnnotation &ann : file.allows) {
+    for (std::size_t i = 0; i < facts.size(); ++i) {
+        for (const AllowAnnotation &ann : facts[i].allows) {
             std::string problem;
             if (!isKnownRule(ann.rule))
                 problem = "unknown rule '" + ann.rule + "'";
@@ -1008,12 +1337,15 @@ runLint(const Options &options)
                 continue;
             Diagnostic d;
             d.rule = "allow-annotation";
-            d.file = file.rel_path;
+            d.file = rel_paths[i];
             d.line = ann.line;
             d.message = problem;
             kept.push_back(std::move(d));
         }
     }
+
+    if (!options.cache_path.empty())
+        saveAnalysisCache(options.cache_path, signature, cache);
 
     std::sort(kept.begin(), kept.end(),
               [](const Diagnostic &a, const Diagnostic &b) {

@@ -67,14 +67,27 @@ struct Options
 
     /** Rule names to run; empty means all rules. */
     std::vector<std::string> rules;
+
+    /** Incremental analysis cache path; empty disables the cache.
+     *  Keyed by content hash + rule-table version + enabled rules, so
+     *  an unchanged tree re-lints without reading file bodies. */
+    std::string cache_path;
+
+    /** Worker threads for the file scan (0 = library default). The
+     *  diagnostic order is byte-identical for every thread count. */
+    unsigned threads = 0;
 };
 
 /** Lint outcome: diagnostics plus scan statistics. */
 struct Result
 {
-    std::vector<Diagnostic> diagnostics; ///< Sorted by (file, line).
+    std::vector<Diagnostic> diagnostics; ///< Sorted by (file, line, rule).
     std::size_t files_scanned = 0;
-    std::size_t allows_used = 0; ///< Honored allow annotations.
+    std::size_t allows_used = 0;  ///< Honored allow annotations.
+    std::size_t cache_hits = 0;   ///< Files served from the cache.
+    std::size_t cache_misses = 0; ///< Files analyzed this run.
+    std::size_t files_read = 0;   ///< File bodies actually read.
+    std::string dot; ///< include-layering module DAG (Graphviz), or "".
 };
 
 /** The declarative rule table, in the order rules run. */
@@ -86,6 +99,13 @@ bool isKnownRule(const std::string &name);
 /** Run the checker. Throws std::runtime_error when `root` is not a
  *  directory or an enabled rule's inputs are missing. */
 Result runLint(const Options &options);
+
+/** Machine-readable renderings of a Result (output.cc). Both are
+ *  deterministic byte-for-byte given the same Result. */
+std::string renderJson(const Result &result);
+
+/** SARIF 2.1.0 (one run, rule metadata from ruleTable()). */
+std::string renderSarif(const Result &result);
 
 } // namespace misam::lint
 

@@ -4,10 +4,14 @@
  * 2 usage or I/O error.
  *
  *     misam-lint --root DIR [--catalog FILE] [--rules a,b,...]
+ *                [--format text|json|sarif] [--out FILE]
+ *                [--cache FILE] [--dot FILE] [--threads N]
  *     misam-lint --list-rules
  */
 
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -20,11 +24,22 @@ void
 usage(std::ostream &out)
 {
     out << "usage: misam-lint [--root DIR] [--catalog FILE]"
-           " [--rules a,b,...] [--list-rules]\n"
+           " [--rules a,b,...]\n"
+           "                  [--format text|json|sarif] [--out FILE]"
+           " [--cache FILE]\n"
+           "                  [--dot FILE] [--threads N] [--list-rules]\n"
            "  --root DIR      repository root to scan (default: .)\n"
            "  --catalog FILE  metric catalog (default: "
            "<root>/docs/OBSERVABILITY.md)\n"
            "  --rules LIST    comma-separated rule names (default: all)\n"
+           "  --format FMT    text (default), json, or sarif\n"
+           "  --out FILE      write the report there instead of stdout\n"
+           "  --cache FILE    incremental analysis cache (content-hash "
+           "keyed)\n"
+           "  --dot FILE      write the include-layer module DAG "
+           "(Graphviz)\n"
+           "  --threads N     scan worker threads (default: library "
+           "choice)\n"
            "  --list-rules    print the rule table and exit\n";
 }
 
@@ -47,6 +62,9 @@ main(int argc, char **argv)
 {
     misam::lint::Options options;
     options.root = ".";
+    std::string format = "text";
+    std::string out_path;
+    std::string dot_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -75,6 +93,23 @@ main(int argc, char **argv)
             options.catalog = value("--catalog");
         } else if (arg.rfind("--rules", 0) == 0) {
             options.rules = splitCommas(value("--rules"));
+        } else if (arg.rfind("--format", 0) == 0) {
+            format = value("--format");
+            if (format != "text" && format != "json" &&
+                format != "sarif") {
+                std::cerr << "misam-lint: unknown format: " << format
+                          << "\n";
+                return 2;
+            }
+        } else if (arg.rfind("--out", 0) == 0) {
+            out_path = value("--out");
+        } else if (arg.rfind("--cache", 0) == 0) {
+            options.cache_path = value("--cache");
+        } else if (arg.rfind("--dot", 0) == 0) {
+            dot_path = value("--dot");
+        } else if (arg.rfind("--threads", 0) == 0) {
+            options.threads = static_cast<unsigned>(
+                std::strtoul(value("--threads").c_str(), nullptr, 10));
         } else {
             std::cerr << "misam-lint: unknown argument: " << arg << "\n";
             usage(std::cerr);
@@ -90,12 +125,54 @@ main(int argc, char **argv)
         return 2;
     }
 
-    for (const misam::lint::Diagnostic &d : result.diagnostics)
-        std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
-                  << d.message << "\n";
-    std::cout << "misam-lint: " << result.files_scanned
-              << " file(s) scanned, " << result.allows_used
-              << " allow annotation(s) honored, "
-              << result.diagnostics.size() << " violation(s)\n";
+    if (!dot_path.empty()) {
+        if (result.dot.empty()) {
+            std::cerr << "misam-lint: --dot needs the include-layering "
+                         "rule enabled\n";
+            return 2;
+        }
+        std::ofstream dot(dot_path, std::ios::trunc);
+        if (!dot) {
+            std::cerr << "misam-lint: cannot write " << dot_path << "\n";
+            return 2;
+        }
+        dot << result.dot;
+    }
+
+    std::string report;
+    if (format == "json") {
+        report = misam::lint::renderJson(result);
+    } else if (format == "sarif") {
+        report = misam::lint::renderSarif(result);
+    } else {
+        std::ostringstream text;
+        for (const misam::lint::Diagnostic &d : result.diagnostics)
+            text << d.file << ":" << d.line << ": [" << d.rule << "] "
+                 << d.message << "\n";
+        report = text.str();
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path, std::ios::trunc);
+        if (!out) {
+            std::cerr << "misam-lint: cannot write " << out_path << "\n";
+            return 2;
+        }
+        out << report;
+    } else {
+        std::cout << report;
+    }
+
+    // The human-readable summary goes to stdout, unless a machine
+    // format owns stdout (then it must not corrupt the document).
+    std::ostream &human =
+        (format == "text" || !out_path.empty()) ? std::cout : std::cerr;
+    human << "misam-lint: " << result.files_scanned
+          << " file(s) scanned, " << result.allows_used
+          << " allow annotation(s) honored, " << result.cache_hits
+          << " cache hit(s), " << result.cache_misses
+          << " miss(es), " << result.files_read
+          << " file(s) read, " << result.diagnostics.size()
+          << " violation(s)\n";
     return result.diagnostics.empty() ? 0 : 1;
 }

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Machine-readable renderers for lint results: JSON (the repo's own
+ * schema, validated by tests/cli_smoke.sh) and SARIF 2.1.0 (consumed
+ * by GitHub code scanning in CI). Both are deterministic: the
+ * diagnostics arrive sorted from runLint and nothing here depends on
+ * time, locale, or iteration order.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "lint.hh"
+
+namespace misam::lint {
+
+namespace {
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderJson(const Result &result)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"tool\": \"misam-lint\",\n"
+        << "  \"files_scanned\": " << result.files_scanned << ",\n"
+        << "  \"allows_used\": " << result.allows_used << ",\n"
+        << "  \"cache\": {\"hits\": " << result.cache_hits
+        << ", \"misses\": " << result.cache_misses
+        << ", \"files_read\": " << result.files_read << "},\n"
+        << "  \"diagnostics\": [";
+    for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+        const Diagnostic &d = result.diagnostics[i];
+        out << (i == 0 ? "\n" : ",\n")
+            << "    {\"rule\": \"" << jsonEscape(d.rule)
+            << "\", \"file\": \"" << jsonEscape(d.file)
+            << "\", \"line\": " << d.line << ", \"message\": \""
+            << jsonEscape(d.message) << "\"}";
+    }
+    out << (result.diagnostics.empty() ? "]" : "\n  ]") << "\n}\n";
+    return out.str();
+}
+
+std::string
+renderSarif(const Result &result)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"misam-lint\",\n"
+        << "          \"informationUri\": "
+           "\"docs/STATIC_ANALYSIS.md\",\n"
+        << "          \"rules\": [";
+    const std::vector<RuleInfo> rules = ruleTable();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        out << (i == 0 ? "\n" : ",\n")
+            << "            {\"id\": \"" << jsonEscape(rules[i].name)
+            << "\", \"shortDescription\": {\"text\": \""
+            << jsonEscape(rules[i].description) << "\"}}";
+    }
+    out << "\n          ]\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"results\": [";
+    for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+        const Diagnostic &d = result.diagnostics[i];
+        out << (i == 0 ? "\n" : ",\n")
+            << "        {\"ruleId\": \"" << jsonEscape(d.rule)
+            << "\", \"level\": \"error\", \"message\": {\"text\": \""
+            << jsonEscape(d.message)
+            << "\"}, \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \""
+            << jsonEscape(d.file)
+            << "\", \"uriBaseId\": \"SRCROOT\"}, \"region\": "
+               "{\"startLine\": "
+            << (d.line == 0 ? 1 : d.line) << "}}}]}";
+    }
+    out << (result.diagnostics.empty() ? "]" : "\n      ]") << "\n"
+        << "    }\n"
+        << "  ]\n"
+        << "}\n";
+    return out.str();
+}
+
+} // namespace misam::lint

@@ -1,0 +1,577 @@
+/**
+ * @file
+ * The multi-pass structural rules: include-graph layering (per-file
+ * rank half — the cross-file cycle check lives in the driver),
+ * guarded-state, hot-path-allocation, and float-determinism. All four
+ * consume the FileIndex from index.cc and emit raw diagnostics; the
+ * driver applies allow annotations afterwards.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "internal.hh"
+
+namespace misam::lint {
+
+namespace {
+
+bool
+isWordByte(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+containsWord(std::string_view hay, std::string_view word)
+{
+    std::size_t at = 0;
+    while ((at = hay.find(word, at)) != std::string_view::npos) {
+        const std::size_t end = at + word.size();
+        if ((at == 0 || !isWordByte(hay[at - 1])) &&
+            (end >= hay.size() || !isWordByte(hay[end])))
+            return true;
+        at = end;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// include-layering
+
+/**
+ * The docs/ARCHITECTURE.md layer DAG, as (module, rank) pairs. A file
+ * in module M may include module D only when rank(D) < rank(M) —
+ * strictly downward, so peer modules stay decoupled. The ranks mirror
+ * the "Layer N" headings in the doc; sim/trapezoid/baselines share a
+ * rank because they are sibling cost models that must not include one
+ * another.
+ */
+struct ModuleLayer
+{
+    std::string_view module;
+    int rank;
+};
+
+constexpr ModuleLayer kLayers[] = {
+    {"util", 0},     {"sparse", 1},    {"features", 2},
+    {"ml", 3},       {"sim", 4},       {"trapezoid", 4},
+    {"baselines", 4}, {"reconfig", 5}, {"workloads", 6},
+    {"core", 7},     {"serve", 8},
+};
+
+/** Hard deny edges on top of the rank check: even though the rank
+ *  order would allow them, these pairs are architectural firewalls. */
+struct DenyEdge
+{
+    std::string_view from;
+    std::string_view to;
+    std::string_view why;
+};
+
+constexpr DenyEdge kDenyEdges[] = {
+    {"serve", "ml",
+     "the serving layer must consume predictions through the core "
+     "facade (core/misam.hh), never ml internals"},
+};
+
+std::string_view
+moduleOfPath(std::string_view rel)
+{
+    if (rel.rfind("src/", 0) != 0)
+        return {};
+    rel.remove_prefix(4);
+    const std::size_t slash = rel.find('/');
+    if (slash == std::string_view::npos)
+        return {};
+    return rel.substr(0, slash);
+}
+
+std::string_view
+moduleOfInclude(std::string_view target)
+{
+    const std::size_t slash = target.find('/');
+    if (slash == std::string_view::npos)
+        return {};
+    return target.substr(0, slash);
+}
+
+} // namespace
+
+int
+moduleRank(std::string_view module)
+{
+    for (const ModuleLayer &layer : kLayers)
+        if (layer.module == module)
+            return layer.rank;
+    return -1;
+}
+
+void
+appendLayerRankDiags(const SourceFile &file, const FileIndex &index,
+                     std::vector<Diagnostic> &out)
+{
+    const std::string_view from = moduleOfPath(file.rel_path);
+    const int from_rank = moduleRank(from);
+    if (from_rank < 0)
+        return;
+    for (const IncludeEdge &edge : index.includes) {
+        const std::string_view to = moduleOfInclude(edge.target);
+        if (to == from)
+            continue;
+        const int to_rank = moduleRank(to);
+        if (to_rank < 0)
+            continue; // not a src/ module path (e.g. vendor header)
+        for (const DenyEdge &deny : kDenyEdges) {
+            if (deny.from == from && deny.to == to) {
+                Diagnostic d;
+                d.rule = "include-layering";
+                d.file = file.rel_path;
+                d.line = edge.line;
+                d.message = "include of '" + edge.target +
+                            "' crosses a firewalled edge (" +
+                            std::string(deny.from) + " -> " +
+                            std::string(deny.to) + "): " +
+                            std::string(deny.why);
+                out.push_back(std::move(d));
+            }
+        }
+        if (to_rank >= from_rank) {
+            Diagnostic d;
+            d.rule = "include-layering";
+            d.file = file.rel_path;
+            d.line = edge.line;
+            d.message =
+                "include of '" + edge.target + "' climbs the layer DAG (" +
+                std::string(from) + " is layer " +
+                std::to_string(from_rank) + ", " + std::string(to) +
+                " is layer " + std::to_string(to_rank) +
+                "; includes must point strictly downward — see "
+                "docs/ARCHITECTURE.md)";
+            out.push_back(std::move(d));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// guarded-state
+
+namespace {
+
+/** Lines either side of a static declaration within which a mutex /
+ *  once_flag declaration counts as "adjacent" (same guarded unit). */
+constexpr std::size_t kMutexAdjacencyLines = 30;
+
+constexpr std::string_view kLockMarkers[] = {
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+    "call_once",
+};
+
+bool
+lineAdjacent(const std::vector<std::size_t> &sync_lines, std::size_t line)
+{
+    for (std::size_t sync : sync_lines) {
+        const std::size_t lo =
+            line > kMutexAdjacencyLines ? line - kMutexAdjacencyLines : 1;
+        if (sync >= lo && sync <= line + kMutexAdjacencyLines)
+            return true;
+    }
+    return false;
+}
+
+/** True when every function that mentions `name` takes a lock (and at
+ *  least one function mentions it). */
+bool
+lockedInEveryTouchingFunction(const SourceFile &file,
+                              const FileIndex &index,
+                              const std::string &name)
+{
+    const std::string_view code(file.code);
+    bool touched = false;
+    for (const FunctionRange &fn : index.functions) {
+        const std::string_view body =
+            code.substr(fn.begin_offset, fn.end_offset - fn.begin_offset);
+        if (!containsWord(body, name))
+            continue;
+        touched = true;
+        bool locked = false;
+        for (std::string_view marker : kLockMarkers)
+            locked = locked || containsWord(body, marker);
+        if (!locked)
+            return false;
+    }
+    return touched;
+}
+
+} // namespace
+
+void
+appendGuardedStateDiags(const SourceFile &file, const FileIndex &index,
+                        std::vector<Diagnostic> &out)
+{
+    if (!file.under("src/"))
+        return;
+    for (const StaticDecl &decl : index.static_decls) {
+        if (lineAdjacent(index.sync_decl_lines, decl.line))
+            continue;
+        if (lockedInEveryTouchingFunction(file, index, decl.name))
+            continue;
+        Diagnostic d;
+        d.rule = "guarded-state";
+        d.file = file.rel_path;
+        d.line = decl.line;
+        d.message =
+            "mutable static-storage state '" + decl.name +
+            "' has no guard: not std::atomic/const/thread_local, no "
+            "mutex or once_flag declared within " +
+            std::to_string(kMutexAdjacencyLines) +
+            " lines, and not locked in every function that touches it "
+            "(guard it, or annotate allow(guarded-state) with the "
+            "synchronization story)";
+        out.push_back(std::move(d));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hot-path-alloc
+
+namespace {
+
+/** Allocation / growth call names banned inside hot-path regions. */
+constexpr std::string_view kAllocCalls[] = {
+    "malloc",       "calloc",      "realloc",    "free",
+    "aligned_alloc", "strdup",     "make_unique", "make_shared",
+};
+
+/** Member calls that can grow a container's heap buffer. */
+constexpr std::string_view kGrowthCalls[] = {
+    "push_back", "emplace_back", "resize", "reserve",
+    "insert",    "emplace",      "append",
+};
+
+struct HotRegion
+{
+    std::size_t begin_line;
+    std::size_t end_line;
+};
+
+/** Pair begin/end markers into regions; unmatched markers become
+ *  diagnostics (a region that silently never closes would make the
+ *  rule cover the rest of the file, or nothing). */
+std::vector<HotRegion>
+buildHotRegions(const SourceFile &file, std::vector<Diagnostic> &out)
+{
+    std::vector<HotRegion> regions;
+    std::size_t open_line = 0;
+    bool open = false;
+    for (const HotMarker &marker : file.hot_markers) {
+        if (marker.begin) {
+            if (open) {
+                Diagnostic d;
+                d.rule = "hot-path-alloc";
+                d.file = file.rel_path;
+                d.line = marker.line;
+                d.message = "hot-path begin while a region opened on "
+                            "line " +
+                            std::to_string(open_line) +
+                            " is still open (missing hot-path end)";
+                out.push_back(std::move(d));
+                continue;
+            }
+            if (marker.reason.empty()) {
+                Diagnostic d;
+                d.rule = "hot-path-alloc";
+                d.file = file.rel_path;
+                d.line = marker.line;
+                d.message = "hot-path begin needs a '-- <reason>' "
+                            "naming the loop it protects";
+                out.push_back(std::move(d));
+            }
+            open = true;
+            open_line = marker.line;
+        } else {
+            if (!open) {
+                Diagnostic d;
+                d.rule = "hot-path-alloc";
+                d.file = file.rel_path;
+                d.line = marker.line;
+                d.message = "hot-path end without a matching begin";
+                out.push_back(std::move(d));
+                continue;
+            }
+            regions.push_back({open_line, marker.line});
+            open = false;
+        }
+    }
+    if (open) {
+        Diagnostic d;
+        d.rule = "hot-path-alloc";
+        d.file = file.rel_path;
+        d.line = open_line;
+        d.message = "hot-path begin never closed (missing hot-path end)";
+        out.push_back(std::move(d));
+    }
+    return regions;
+}
+
+bool
+inRegions(const std::vector<HotRegion> &regions, std::size_t line)
+{
+    for (const HotRegion &r : regions)
+        if (line >= r.begin_line && line <= r.end_line)
+            return true;
+    return false;
+}
+
+/** Receiver identifier of a member call at `at` (offset of the member
+ *  name), or "" when the receiver is not a plain identifier. */
+std::string
+receiverOf(const std::string &code, std::size_t at)
+{
+    std::size_t k = at;
+    while (k > 0 &&
+           std::isspace(static_cast<unsigned char>(code[k - 1])) != 0)
+        --k;
+    if (k >= 2 && code[k - 2] == '-' && code[k - 1] == '>')
+        k -= 2;
+    else if (k >= 1 && code[k - 1] == '.')
+        k -= 1;
+    else
+        return {};
+    while (k > 0 &&
+           std::isspace(static_cast<unsigned char>(code[k - 1])) != 0)
+        --k;
+    std::size_t end = k;
+    while (k > 0 && isWordByte(code[k - 1]))
+        --k;
+    return code.substr(k, end - k);
+}
+
+} // namespace
+
+void
+appendHotPathAllocDiags(const SourceFile &file, const FileIndex &index,
+                        std::vector<Diagnostic> &out)
+{
+    const std::vector<HotRegion> regions = buildHotRegions(file, out);
+    if (regions.empty())
+        return;
+    const std::string &code = file.code;
+
+    auto diag = [&](std::size_t line, const std::string &what) {
+        Diagnostic d;
+        d.rule = "hot-path-alloc";
+        d.file = file.rel_path;
+        d.line = line;
+        d.message = what +
+                    " inside a hot-path region; route growth through "
+                    "the SimWorkspace arenas (reference-bound to "
+                    "SimWorkspace::local()) or annotate "
+                    "allow(hot-path-alloc) with the amortization "
+                    "argument";
+        out.push_back(std::move(d));
+    };
+
+    // Operator new / delete.
+    for (std::string_view word : {"new", "delete"}) {
+        for (const TokenMatch &m :
+             findToken(file, {TokenKind::Word, std::string_view(word)}))
+            if (inRegions(regions, m.line))
+                diag(m.line, "operator " + std::string(word));
+    }
+    // C allocator calls and allocating factories.
+    for (std::string_view call : kAllocCalls) {
+        for (const TokenMatch &m :
+             findToken(file, {TokenKind::Call, call}))
+            if (inRegions(regions, m.line))
+                diag(m.line, "allocator call '" + std::string(call) + "'");
+    }
+    // Container growth through non-arena receivers.
+    for (std::string_view call : kGrowthCalls) {
+        for (const TokenMatch &m :
+             findToken(file, {TokenKind::MemberCall, call})) {
+            if (!inRegions(regions, m.line))
+                continue;
+            const std::string receiver = receiverOf(code, m.offset);
+            const bool arena =
+                !receiver.empty() &&
+                std::find(index.arena_aliases.begin(),
+                          index.arena_aliases.end(),
+                          receiver) != index.arena_aliases.end();
+            if (arena)
+                continue;
+            diag(m.line, "container growth '" +
+                             (receiver.empty() ? std::string("?")
+                                               : receiver) +
+                             "." + std::string(call) + "(...)'");
+        }
+    }
+    // std::function construction (type-erased callables allocate).
+    for (const TokenMatch &m :
+         findToken(file, {TokenKind::Word, "function"})) {
+        if (!inRegions(regions, m.line))
+            continue;
+        std::size_t k = m.offset;
+        while (k > 0 &&
+               std::isspace(static_cast<unsigned char>(code[k - 1])) != 0)
+            --k;
+        if (k >= 2 && code[k - 2] == ':' && code[k - 1] == ':')
+            diag(m.line, "std::function construction");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// float-determinism
+
+namespace {
+
+/** Reduction algorithms whose result depends on evaluation order (or
+ *  whose spec permits reordering) when fed floating-point values. */
+constexpr std::string_view kFloatReductions[] = {
+    "accumulate", "reduce", "transform_reduce", "inner_product",
+};
+
+/** Heuristic: does the argument list mention a floating-point type or
+ *  literal? (An init value of `0.0`, a `float`/`double` cast, ...) */
+bool
+hasFloatEvidence(std::string_view args)
+{
+    if (containsWord(args, "float") || containsWord(args, "double") ||
+        containsWord(args, "Value")) // repo alias for double
+        return true;
+    for (std::size_t k = 0; k + 1 < args.size(); ++k) {
+        if (args[k] != '.')
+            continue;
+        const bool digit_before =
+            k > 0 &&
+            std::isdigit(static_cast<unsigned char>(args[k - 1])) != 0;
+        const bool digit_after =
+            std::isdigit(static_cast<unsigned char>(args[k + 1])) != 0;
+        if (digit_before && digit_after)
+            return true;
+        if (digit_before &&
+            (args[k + 1] == 'f' || args[k + 1] == 'F'))
+            return true;
+    }
+    return false;
+}
+
+/** True when the token at `at` is qualified as `std::` (skipping
+ *  whitespace between the qualifier and the name). */
+bool
+qualifiedByStd(const std::string &code, std::size_t at)
+{
+    std::size_t k = at;
+    while (k > 0 &&
+           std::isspace(static_cast<unsigned char>(code[k - 1])) != 0)
+        --k;
+    if (k < 2 || code[k - 1] != ':' || code[k - 2] != ':')
+        return false;
+    k -= 2;
+    std::size_t end = k;
+    while (k > 0 && isWordByte(code[k - 1]))
+        --k;
+    return std::string_view(code).substr(k, end - k) == "std";
+}
+
+/** Balanced argument list following the call at `end` (offset just
+ *  past the callee name). */
+std::string_view
+argsOfCall(const std::string &code, std::size_t end)
+{
+    std::size_t j = end;
+    while (j < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[j])) != 0)
+        ++j;
+    if (j >= code.size() || code[j] != '(')
+        return {};
+    int depth = 0;
+    const std::size_t open = j;
+    while (j < code.size()) {
+        if (code[j] == '(')
+            ++depth;
+        else if (code[j] == ')' && --depth == 0)
+            return std::string_view(code).substr(open + 1, j - open - 1);
+        ++j;
+    }
+    return std::string_view(code).substr(open + 1);
+}
+
+} // namespace
+
+void
+appendFloatDeterminismDiags(const SourceFile &file,
+                            std::vector<Diagnostic> &out)
+{
+    if (!file.under("src/"))
+        return;
+    if (file.under("src/util/simd."))
+        return; // the pinned kernel doorway (parity-tested per backend)
+
+    for (std::string_view callee : kFloatReductions) {
+        for (const TokenMatch &m :
+             findToken(file, {TokenKind::Call, callee})) {
+            // Key on the std:: qualification: a bare or otherwise
+            // qualified `accumulate(` is a repo member function
+            // (e.g. BreakdownReport::accumulate), not <numeric>.
+            if (!qualifiedByStd(file.code, m.offset))
+                continue;
+            const std::string_view args =
+                argsOfCall(file.code, m.offset + callee.size());
+            // std::reduce and transform_reduce are order-unspecified
+            // even over integers on some implementations' parallel
+            // overloads; flag them regardless of argument evidence.
+            const bool always =
+                callee == "reduce" || callee == "transform_reduce";
+            if (!always && !hasFloatEvidence(args))
+                continue;
+            Diagnostic d;
+            d.rule = "float-determinism";
+            d.file = file.rel_path;
+            d.line = m.line;
+            d.message =
+                "'" + std::string(callee) +
+                "' over floating-point values is reduction-order "
+                "sensitive; write the loop explicitly (fixed left "
+                "fold) or move it behind the pinned simd doorway";
+            out.push_back(std::move(d));
+        }
+    }
+
+    // Pragmas that relax FP semantics per translation unit.
+    for (std::string_view word : {"float_control", "FP_CONTRACT"}) {
+        for (const TokenMatch &m :
+             findToken(file, {TokenKind::Word, word})) {
+            Diagnostic d;
+            d.rule = "float-determinism";
+            d.file = file.rel_path;
+            d.line = m.line;
+            d.message = "'" + std::string(word) +
+                        "' relaxes per-TU floating-point semantics; "
+                        "results must be bit-stable across builds";
+            out.push_back(std::move(d));
+        }
+    }
+
+    // Fast-math smuggled through pragma strings or embedded flags.
+    for (const StringLiteral &lit : file.literals) {
+        for (std::string_view bad :
+             {"fast-math", "Ofast", "funsafe-math"}) {
+            if (lit.text.find(bad) == std::string::npos)
+                continue;
+            Diagnostic d;
+            d.rule = "float-determinism";
+            d.file = file.rel_path;
+            d.line = lit.line;
+            d.message = "'" + std::string(bad) +
+                        "' in a literal (pragma or embedded flag) "
+                        "enables value-changing FP transforms; the "
+                        "byte-identity contract forbids it";
+            out.push_back(std::move(d));
+            break;
+        }
+    }
+}
+
+} // namespace misam::lint
